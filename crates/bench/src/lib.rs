@@ -1,0 +1,74 @@
+//! Shared harness utilities for the paper-reproduction benchmarks.
+//!
+//! Each bench target under `benches/` regenerates one table or figure of
+//! the paper (see DESIGN.md §4); this crate hosts the common plumbing:
+//! LUT construction, Best-Single-Library computation and table formatting.
+
+use qsdnn::engine::{AnalyticalPlatform, CostLut, Mode, Profiler};
+use qsdnn::nn::zoo;
+use qsdnn::primitives::Library;
+
+/// Profiles `network` on the sim-TX2 with the paper's 50-repeat averaging.
+///
+/// # Panics
+///
+/// Panics if `network` is not in the zoo.
+pub fn lut_for(network: &str, mode: Mode) -> CostLut {
+    let net = zoo::by_name(network, 1).expect("network exists in the zoo");
+    Profiler::with_repeats(AnalyticalPlatform::tx2(), 50).profile(&net, mode)
+}
+
+/// Fast variant (5 repeats) for the sweep-heavy figures.
+pub fn lut_for_quick(network: &str, mode: Mode) -> CostLut {
+    let net = zoo::by_name(network, 1).expect("network exists in the zoo");
+    Profiler::with_repeats(AnalyticalPlatform::tx2(), 5).profile(&net, mode)
+}
+
+/// Cost of the single-library global implementation.
+pub fn single_library_cost(lut: &CostLut, lib: Library) -> f64 {
+    lut.cost(&lut.single_library_assignment(lib))
+}
+
+/// Best Single Library: `(library, cost)` of the strongest per-library
+/// global implementation.
+pub fn best_single_library(lut: &CostLut) -> (Library, f64) {
+    Library::ALL
+        .iter()
+        .map(|&lib| (lib, single_library_cost(lut, lib)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"))
+        .expect("non-empty library list")
+}
+
+/// Mean and (population) standard deviation.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Prints a horizontal rule sized to `width`.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bsl_is_min_over_libraries() {
+        let lut = lut_for_quick("lenet5", Mode::Cpu);
+        let (lib, cost) = best_single_library(&lut);
+        for l in Library::ALL {
+            assert!(single_library_cost(&lut, l) >= cost, "{l} beats reported BSL {lib}");
+        }
+    }
+
+    #[test]
+    fn mean_std_known_values() {
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((m - 2.5).abs() < 1e-12);
+        assert!((s - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,355 @@
+//! Implementation of the `qsdnn-cli` command-line tool.
+//!
+//! Four subcommands drive the full pipeline from a shell:
+//!
+//! ```text
+//! qsdnn-cli networks
+//! qsdnn-cli profile --network mobilenet_v1 --mode gpgpu --out lut.json
+//! qsdnn-cli search  --lut lut.json --episodes 2000 --out report.json
+//! qsdnn-cli report  --lut lut.json --report report.json
+//! ```
+//!
+//! Argument parsing is hand-rolled (no external CLI dependency) and kept in
+//! this library crate so it can be unit-tested.
+
+use std::collections::HashMap;
+
+use qsdnn::baselines::{pbqp_search, solve_chain_dp, RandomSearch, SimulatedAnnealing,
+    SimulatedAnnealingConfig};
+use qsdnn::engine::{AnalyticalPlatform, CostLut, MeasuredPlatform, Mode, Objective, Profiler};
+use qsdnn::nn::zoo;
+use qsdnn::{ApproxQsDnnSearch, QsDnnConfig, QsDnnSearch, SearchReport};
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    /// Subcommand name.
+    pub command: String,
+    /// `--key value` options.
+    pub options: HashMap<String, String>,
+}
+
+/// Parses `argv[1..]` into a subcommand plus `--key value` pairs.
+///
+/// # Errors
+///
+/// Returns a usage message when the subcommand is missing or an option has
+/// no value.
+pub fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut it = argv.iter();
+    let command = it.next().ok_or_else(usage)?.clone();
+    let mut options = HashMap::new();
+    while let Some(key) = it.next() {
+        let key = key
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --option, got `{key}`\n{}", usage()))?;
+        let value =
+            it.next().ok_or_else(|| format!("missing value for --{key}\n{}", usage()))?;
+        options.insert(key.to_string(), value.clone());
+    }
+    Ok(Args { command, options })
+}
+
+/// The tool's usage text.
+pub fn usage() -> String {
+    "usage:\n  \
+     qsdnn-cli networks\n  \
+     qsdnn-cli profile --network <name> [--mode cpu|gpgpu] [--platform analytical|measured]\n            \
+     [--repeats N] [--batch N] --out <lut.json>\n  \
+     qsdnn-cli search --lut <lut.json> [--method qsdnn|linear|random|annealing|pbqp|dp]\n            \
+     [--episodes N] [--seed N] [--objective latency|energy|weighted:<lambda>] [--out <report.json>]\n  \
+     qsdnn-cli report --lut <lut.json> --report <report.json>"
+        .to_string()
+}
+
+/// Parses the `--mode` option.
+///
+/// # Errors
+///
+/// Returns a message for unknown modes.
+pub fn parse_mode(s: &str) -> Result<Mode, String> {
+    match s {
+        "cpu" => Ok(Mode::Cpu),
+        "gpgpu" => Ok(Mode::Gpgpu),
+        other => Err(format!("unknown mode `{other}` (cpu|gpgpu)")),
+    }
+}
+
+/// Parses the `--objective` option (`latency`, `energy`, `weighted:<λ>`).
+///
+/// # Errors
+///
+/// Returns a message for unknown objectives or a malformed λ.
+pub fn parse_objective(s: &str) -> Result<Objective, String> {
+    match s {
+        "latency" => Ok(Objective::Latency),
+        "energy" => Ok(Objective::Energy),
+        other => {
+            if let Some(lambda) = other.strip_prefix("weighted:") {
+                let lambda: f64 =
+                    lambda.parse().map_err(|_| format!("bad lambda in `{other}`"))?;
+                Ok(Objective::Weighted { lambda })
+            } else {
+                Err(format!("unknown objective `{other}` (latency|energy|weighted:<l>)"))
+            }
+        }
+    }
+}
+
+fn opt_parse<T: std::str::FromStr>(
+    args: &Args,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match args.options.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: `{v}`")),
+    }
+}
+
+fn required<'a>(args: &'a Args, key: &str) -> Result<&'a String, String> {
+    args.options.get(key).ok_or_else(|| format!("missing --{key}\n{}", usage()))
+}
+
+fn cmd_networks() -> Result<String, String> {
+    let mut out = String::from("available networks:\n");
+    for name in zoo::PAPER_ROSTER {
+        let net = zoo::by_name(name, 1).expect("roster");
+        out.push_str(&format!(
+            "  {:<15} {:>4} layers {:>10.1} MMACs {:>9.2} Mparams\n",
+            name,
+            net.len(),
+            net.total_macs() as f64 / 1e6,
+            net.total_params() as f64 / 1e6
+        ));
+    }
+    out.push_str("  (plus test-scale: tiny_cnn, toy_branchy)\n");
+    Ok(out)
+}
+
+fn cmd_profile(args: &Args) -> Result<String, String> {
+    let name = required(args, "network")?;
+    let batch = opt_parse(args, "batch", 1usize)?;
+    let net = zoo::by_name(name, batch).ok_or_else(|| format!("unknown network `{name}`"))?;
+    let mode = parse_mode(args.options.get("mode").map_or("gpgpu", String::as_str))?;
+    let repeats = opt_parse(args, "repeats", 50usize)?;
+    let platform = args.options.get("platform").map_or("analytical", String::as_str);
+    let lut = match platform {
+        "analytical" => {
+            Profiler::with_repeats(AnalyticalPlatform::tx2(), repeats).profile(&net, mode)
+        }
+        "measured" => {
+            Profiler::with_repeats(MeasuredPlatform::new(7), repeats).profile(&net, mode)
+        }
+        other => return Err(format!("unknown platform `{other}` (analytical|measured)")),
+    };
+    let out_path = required(args, "out")?;
+    let json = serde_json::to_string(&lut).map_err(|e| e.to_string())?;
+    std::fs::write(out_path, json).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "profiled {} ({} layers, {} mode, {} repeats) -> {out_path}\n\
+         design space: {:.2e} implementations",
+        net.name(),
+        lut.len(),
+        mode,
+        repeats,
+        lut.design_space_size()
+    ))
+}
+
+fn load_lut(args: &Args) -> Result<CostLut, String> {
+    let path = required(args, "lut")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&json).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_search(args: &Args) -> Result<String, String> {
+    let raw = load_lut(args)?;
+    let objective =
+        parse_objective(args.options.get("objective").map_or("latency", String::as_str))?;
+    let lut = raw.with_objective(objective);
+    let episodes = opt_parse(args, "episodes", 1000usize.max(40 * lut.len()))?;
+    let seed = opt_parse(args, "seed", 0x5EEDu64)?;
+    let method = args.options.get("method").map_or("qsdnn", String::as_str);
+    let report: SearchReport = match method {
+        "qsdnn" => {
+            QsDnnSearch::new(QsDnnConfig::with_episodes(episodes).with_seed(seed)).run(&lut)
+        }
+        "linear" => {
+            ApproxQsDnnSearch::new(QsDnnConfig::with_episodes(episodes).with_seed(seed))
+                .run(&lut)
+        }
+        "random" => RandomSearch::new(episodes, seed).run(&lut),
+        "annealing" => SimulatedAnnealing::new(SimulatedAnnealingConfig {
+            evaluations: episodes,
+            seed,
+            ..Default::default()
+        })
+        .run(&lut),
+        "pbqp" => pbqp_search(&lut),
+        "dp" => {
+            let (assign, cost) =
+                solve_chain_dp(&lut).ok_or("network is not a chain; dp unavailable")?;
+            SearchReport {
+                method: "chain-dp".into(),
+                network: lut.network().to_string(),
+                best_assignment: assign,
+                best_cost_ms: cost,
+                episodes: 0,
+                curve: Vec::new(),
+                wall_time_ms: 0.0,
+            }
+        }
+        other => return Err(format!("unknown method `{other}`")),
+    };
+    let mut summary = format!(
+        "{} on {}: best objective value {:.3} (latency {:.3} ms, energy {:.3} mJ)\n\
+         vs vanilla {:.3} ms | search wall time {:.1} ms",
+        report.method,
+        report.network,
+        report.best_cost_ms,
+        raw.cost(&report.best_assignment),
+        raw.energy_cost(&report.best_assignment),
+        raw.cost(&raw.vanilla_assignment()),
+        report.wall_time_ms
+    );
+    if let Some(out_path) = args.options.get("out") {
+        let json = serde_json::to_string(&report).map_err(|e| e.to_string())?;
+        std::fs::write(out_path, json).map_err(|e| e.to_string())?;
+        summary.push_str(&format!("\nreport written to {out_path}"));
+    }
+    Ok(summary)
+}
+
+fn cmd_report(args: &Args) -> Result<String, String> {
+    let lut = load_lut(args)?;
+    let path = required(args, "report")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let report: SearchReport =
+        serde_json::from_str(&json).map_err(|e| format!("{path}: {e}"))?;
+    if report.best_assignment.len() != lut.len() {
+        return Err("report does not match this LUT".to_string());
+    }
+    let mut out = format!(
+        "{} on {}: {:.3} ms ({} episodes, {:.1} ms wall time)\n\nper-layer primitives:\n",
+        report.method, report.network, report.best_cost_ms, report.episodes,
+        report.wall_time_ms
+    );
+    for (l, &ci) in report.best_assignment.iter().enumerate() {
+        let entry = &lut.layers()[l];
+        out.push_str(&format!(
+            "  {:<28} {:>9.4} ms  {}\n",
+            entry.name,
+            lut.time(l, ci),
+            entry.candidates[ci]
+        ));
+    }
+    Ok(out)
+}
+
+/// Dispatches a parsed command line; returns the text to print.
+///
+/// # Errors
+///
+/// Returns a user-facing error message (bad arguments, I/O failures,
+/// unknown names).
+pub fn run(args: &Args) -> Result<String, String> {
+    match args.command.as_str() {
+        "networks" => cmd_networks(),
+        "profile" => cmd_profile(args),
+        "search" => cmd_search(args),
+        "report" => cmd_report(args),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_command_and_options() {
+        let args = parse_args(&argv(&["search", "--lut", "x.json", "--episodes", "50"])).unwrap();
+        assert_eq!(args.command, "search");
+        assert_eq!(args.options["lut"], "x.json");
+        assert_eq!(args.options["episodes"], "50");
+    }
+
+    #[test]
+    fn parse_rejects_bare_options() {
+        assert!(parse_args(&argv(&["search", "oops"])).is_err());
+        assert!(parse_args(&argv(&["search", "--lut"])).is_err());
+        assert!(parse_args(&argv(&[])).is_err());
+    }
+
+    #[test]
+    fn objective_parsing() {
+        assert_eq!(parse_objective("latency").unwrap(), Objective::Latency);
+        assert_eq!(parse_objective("energy").unwrap(), Objective::Energy);
+        assert_eq!(
+            parse_objective("weighted:0.5").unwrap(),
+            Objective::Weighted { lambda: 0.5 }
+        );
+        assert!(parse_objective("weighted:abc").is_err());
+        assert!(parse_objective("speed").is_err());
+    }
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!(parse_mode("cpu").unwrap(), Mode::Cpu);
+        assert_eq!(parse_mode("gpgpu").unwrap(), Mode::Gpgpu);
+        assert!(parse_mode("tpu").is_err());
+    }
+
+    #[test]
+    fn networks_lists_roster() {
+        let out = run(&parse_args(&argv(&["networks"])).unwrap()).unwrap();
+        for name in qsdnn::nn::zoo::PAPER_ROSTER {
+            assert!(out.contains(name), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn unknown_command_errors_with_usage() {
+        let err = run(&parse_args(&argv(&["frobnicate"])).unwrap()).unwrap_err();
+        assert!(err.contains("usage:"));
+    }
+
+    #[test]
+    fn end_to_end_profile_search_report_via_tempfiles() {
+        let dir = std::env::temp_dir().join("qsdnn_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let lut_path = dir.join("lut.json");
+        let report_path = dir.join("report.json");
+        let lut_s = lut_path.to_str().unwrap();
+        let report_s = report_path.to_str().unwrap();
+
+        let out = run(&parse_args(&argv(&[
+            "profile", "--network", "lenet5", "--mode", "gpgpu", "--repeats", "2", "--out",
+            lut_s,
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("profiled lenet5"));
+
+        let out = run(&parse_args(&argv(&[
+            "search", "--lut", lut_s, "--episodes", "200", "--out", report_s,
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("qs-dnn on lenet5"));
+
+        let out = run(&parse_args(&argv(&["report", "--lut", lut_s, "--report", report_s]))
+            .unwrap())
+        .unwrap();
+        assert!(out.contains("per-layer primitives"));
+        assert!(out.contains("conv1"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

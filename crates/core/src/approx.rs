@@ -1,0 +1,317 @@
+//! Value-function approximation (paper §VII future work: "look into Deep RL
+//! to approximate the value function for better scalability towards larger
+//! networks and more dimensions in the search space").
+//!
+//! Instead of one Q-value per `(depth, prev, action)` cell, a linear model
+//! `Q̂(s, a) = w · φ(s, a)` shares ~40 weights across the whole network.
+//! Features φ encode the paper's Table I state tuple (library, algorithm,
+//! lowering, processor, BLAS backend, layer type, depth) plus the two
+//! compatibility indicators the tabular agent has to *discover* cell by
+//! cell: does the action's layout/processor match the previous layer's?
+//! The candidate's own profiled time is also a feature, so the model
+//! generalizes across layers of different magnitude.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use qsdnn_engine::CostLut;
+use qsdnn_primitives::{Algorithm, Library, Lowering, Primitive, Processor};
+
+use crate::{EpisodeRecord, QsDnnConfig, SearchReport};
+
+/// Feature vector dimensionality of [`featurize`].
+pub const FEATURE_DIM: usize = 27;
+
+fn library_index(lib: Library) -> usize {
+    Library::ALL.iter().position(|&l| l == lib).expect("library in ALL")
+}
+
+fn algorithm_index(a: Algorithm) -> usize {
+    match a {
+        Algorithm::Direct => 0,
+        Algorithm::DirectOpt => 1,
+        Algorithm::Gemm => 2,
+        Algorithm::Gemv => 3,
+        Algorithm::Winograd => 4,
+        Algorithm::SparseCsr => 5,
+    }
+}
+
+fn lowering_index(l: Lowering) -> usize {
+    match l {
+        Lowering::None => 0,
+        Lowering::Im2col => 1,
+        Lowering::Im2row => 2,
+        Lowering::Kn2row => 3,
+    }
+}
+
+/// Builds φ(s, a) for choosing `action` at layer `l` when layer `l-1` runs
+/// `prev`. `time_scale` normalizes profiled times into ~[0, 1].
+pub fn featurize(
+    lut: &CostLut,
+    l: usize,
+    prev: Option<&Primitive>,
+    action_ci: usize,
+    time_scale: f64,
+) -> [f64; FEATURE_DIM] {
+    let action = &lut.candidates(l)[action_ci];
+    let mut f = [0.0; FEATURE_DIM];
+    let mut k = 0;
+    // Bias.
+    f[k] = 1.0;
+    k += 1;
+    // Library one-hot (7).
+    f[k + library_index(action.library)] = 1.0;
+    k += 7;
+    // Algorithm one-hot (6).
+    f[k + algorithm_index(action.algorithm)] = 1.0;
+    k += 6;
+    // Lowering one-hot (4).
+    f[k + lowering_index(action.lowering)] = 1.0;
+    k += 4;
+    // Processor (2).
+    f[k + usize::from(action.processor == Processor::Gpu)] = 1.0;
+    k += 2;
+    // BLAS backend present (1).
+    f[k] = f64::from(action.blas.is_some());
+    k += 1;
+    // Compatibility with the previous layer's primitive (2).
+    if let Some(p) = prev {
+        f[k] = f64::from(p.layout == action.layout);
+        f[k + 1] = f64::from(p.processor == action.processor);
+    }
+    k += 2;
+    // Normalized depth (1).
+    f[k] = l as f64 / lut.len().max(1) as f64;
+    k += 1;
+    // Normalized profiled time of the action (1), the strongest predictor.
+    f[k] = lut.time(l, action_ci) / time_scale;
+    k += 1;
+    // Normalized best-in-layer time (1): lets the model learn advantage.
+    let best = lut.layers()[l]
+        .time_ms
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    f[k] = best / time_scale;
+    k += 1;
+    // Remaining-depth fraction (1): proxies the magnitude of future reward.
+    f[k] = (lut.len() - l) as f64 / lut.len().max(1) as f64;
+    debug_assert_eq!(k + 1, FEATURE_DIM);
+    f
+}
+
+/// Linear state-action value function trained by stochastic semi-gradient
+/// Q-learning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearQ {
+    weights: [f64; FEATURE_DIM],
+}
+
+impl LinearQ {
+    /// Zero-initialized model.
+    pub fn new() -> Self {
+        LinearQ { weights: [0.0; FEATURE_DIM] }
+    }
+
+    /// `Q̂ = w · φ`.
+    pub fn predict(&self, phi: &[f64; FEATURE_DIM]) -> f64 {
+        self.weights.iter().zip(phi).map(|(w, x)| w * x).sum()
+    }
+
+    /// One semi-gradient step towards `target`.
+    pub fn update(&mut self, phi: &[f64; FEATURE_DIM], target: f64, lr: f64) {
+        let err = target - self.predict(phi);
+        for (w, x) in self.weights.iter_mut().zip(phi) {
+            *w += lr * err * x;
+        }
+    }
+
+    /// The learned weights.
+    pub fn weights(&self) -> &[f64; FEATURE_DIM] {
+        &self.weights
+    }
+}
+
+impl Default for LinearQ {
+    fn default() -> Self {
+        LinearQ::new()
+    }
+}
+
+/// QS-DNN with the tabular Q replaced by [`LinearQ`] — the scalability
+/// extension. Reuses [`QsDnnConfig`] (schedule, γ, seed); `alpha` becomes
+/// the SGD learning rate.
+///
+/// # Examples
+///
+/// ```
+/// use qsdnn::{ApproxQsDnnSearch, QsDnnConfig};
+/// use qsdnn_engine::toy;
+///
+/// let lut = toy::fig1_lut();
+/// let report = ApproxQsDnnSearch::new(QsDnnConfig::with_episodes(400)).run(&lut);
+/// assert!(report.best_cost_ms <= lut.cost(&lut.greedy_assignment()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ApproxQsDnnSearch {
+    config: QsDnnConfig,
+}
+
+impl ApproxQsDnnSearch {
+    /// Search with the given configuration.
+    pub fn new(config: QsDnnConfig) -> Self {
+        ApproxQsDnnSearch { config }
+    }
+
+    /// Runs the linear-Q search against a Phase-1 LUT.
+    pub fn run(&self, lut: &CostLut) -> SearchReport {
+        let start = std::time::Instant::now();
+        let total = self.config.schedule.total_episodes();
+        let layers = lut.len();
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let mut q = LinearQ::new();
+
+        // Reward/feature scale: the largest profiled layer time.
+        let time_scale = lut
+            .layers()
+            .iter()
+            .flat_map(|l| l.time_ms.iter().copied())
+            .fold(1e-12f64, f64::max);
+        let lr = self.config.alpha / FEATURE_DIM as f64;
+
+        let mut best_cost = f64::INFINITY;
+        let mut best_assign: Vec<usize> = Vec::new();
+        let mut curve = Vec::with_capacity(total);
+
+        for episode in 0..total {
+            let eps = self.config.schedule.epsilon_for(episode);
+            let mut assign: Vec<usize> = Vec::with_capacity(layers);
+            let mut prev: Option<Primitive> = None;
+            let mut episode_cost = 0.0;
+            let mut trajectory: Vec<([f64; FEATURE_DIM], f64, usize)> =
+                Vec::with_capacity(layers);
+            for l in 0..layers {
+                let n = lut.candidates(l).len();
+                let a = if rng.gen::<f64>() < eps {
+                    rng.gen_range(0..n)
+                } else {
+                    (0..n)
+                        .max_by(|&x, &y| {
+                            let qx =
+                                q.predict(&featurize(lut, l, prev.as_ref(), x, time_scale));
+                            let qy =
+                                q.predict(&featurize(lut, l, prev.as_ref(), y, time_scale));
+                            qx.partial_cmp(&qy).expect("finite")
+                        })
+                        .expect("non-empty")
+                };
+                let phi = featurize(lut, l, prev.as_ref(), a, time_scale);
+                let step = lut.step_cost(l, a, &assign);
+                episode_cost += step;
+                trajectory.push((phi, -step / time_scale, a));
+                assign.push(a);
+                prev = Some(lut.candidates(l)[a]);
+            }
+            // Semi-gradient updates in reverse order.
+            for l in (0..layers).rev() {
+                let (phi, reward, a) = &trajectory[l];
+                let future = if l + 1 == layers {
+                    0.0
+                } else {
+                    let p = lut.candidates(l)[*a];
+                    let n = lut.candidates(l + 1).len();
+                    (0..n)
+                        .map(|x| q.predict(&featurize(lut, l + 1, Some(&p), x, time_scale)))
+                        .fold(f64::NEG_INFINITY, f64::max)
+                };
+                q.update(phi, reward + self.config.gamma * future, lr);
+            }
+
+            if episode_cost < best_cost {
+                best_cost = episode_cost;
+                best_assign = assign;
+            }
+            curve.push(EpisodeRecord {
+                episode,
+                epsilon: eps,
+                cost_ms: episode_cost,
+                best_so_far_ms: best_cost,
+            });
+        }
+
+        SearchReport {
+            method: "qs-dnn-linear".into(),
+            network: lut.network().to_string(),
+            best_assignment: best_assign,
+            best_cost_ms: best_cost,
+            episodes: total,
+            curve,
+            wall_time_ms: start.elapsed().as_secs_f64() * 1e3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsdnn_engine::toy;
+
+    #[test]
+    fn feature_vector_has_declared_dimension() {
+        let lut = toy::fig1_lut();
+        let phi = featurize(&lut, 1, Some(&Primitive::vanilla()), 0, 1.0);
+        assert_eq!(phi.len(), FEATURE_DIM);
+        assert_eq!(phi[0], 1.0, "bias");
+    }
+
+    #[test]
+    fn compatibility_features_react_to_prev() {
+        let lut = toy::fig1_lut();
+        // Candidate 1 at layer 1 is NHWC; vanilla prev is NCHW.
+        let mismatch = featurize(&lut, 1, Some(&Primitive::vanilla()), 1, 1.0);
+        let matched = featurize(&lut, 1, Some(&lut.candidates(0)[1]), 1, 1.0);
+        // Layout-match flag (index 21 = 1+7+6+4+2+1) flips.
+        assert_eq!(mismatch[21], 0.0);
+        assert_eq!(matched[21], 1.0);
+    }
+
+    #[test]
+    fn linear_q_learns_a_simple_target() {
+        let lut = toy::small_chain_lut();
+        let mut q = LinearQ::new();
+        let phi = featurize(&lut, 2, None, 1, 1.0);
+        for _ in 0..200 {
+            q.update(&phi, -3.0, 0.05);
+        }
+        assert!((q.predict(&phi) + 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn avoids_fig1_trap() {
+        let lut = toy::fig1_lut();
+        let report = ApproxQsDnnSearch::new(QsDnnConfig::with_episodes(500)).run(&lut);
+        assert!(report.best_cost_ms <= 2.9 + 1e-9, "found {}", report.best_cost_ms);
+    }
+
+    #[test]
+    fn near_optimal_on_small_chain() {
+        let lut = toy::small_chain_lut();
+        let report = ApproxQsDnnSearch::new(QsDnnConfig::with_episodes(800)).run(&lut);
+        let (_, opt) = crate::baselines::exhaustive_search(&lut, 1e6).expect("small");
+        assert!(
+            report.best_cost_ms <= opt * 1.10 + 1e-9,
+            "linear-Q {} vs optimum {opt}",
+            report.best_cost_ms
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let lut = toy::small_chain_lut();
+        let a = ApproxQsDnnSearch::new(QsDnnConfig::with_episodes(100)).run(&lut);
+        let b = ApproxQsDnnSearch::new(QsDnnConfig::with_episodes(100)).run(&lut);
+        assert_eq!(a.best_cost_ms, b.best_cost_ms);
+    }
+}

@@ -1,0 +1,130 @@
+//! Simulated annealing baseline (extension beyond the paper's comparisons;
+//! the paper notes its approach "can be applied to other optimization
+//! methods").
+
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use qsdnn_engine::CostLut;
+
+use crate::{EpisodeRecord, SearchReport};
+
+/// Simulated-annealing hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulatedAnnealingConfig {
+    /// Number of proposal evaluations (comparable to an episode budget).
+    pub evaluations: usize,
+    /// Initial temperature (ms scale of accepted uphill moves).
+    pub t_initial: f64,
+    /// Final temperature.
+    pub t_final: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SimulatedAnnealingConfig {
+    fn default() -> Self {
+        SimulatedAnnealingConfig { evaluations: 1000, t_initial: 5.0, t_final: 0.01, seed: 0xA11 }
+    }
+}
+
+/// Single-flip simulated annealing over assignments with geometric cooling.
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnealing {
+    config: SimulatedAnnealingConfig,
+}
+
+impl SimulatedAnnealing {
+    /// Annealer with the given configuration.
+    pub fn new(config: SimulatedAnnealingConfig) -> Self {
+        SimulatedAnnealing { config }
+    }
+
+    /// Runs annealing from the all-Vanilla start point.
+    pub fn run(&self, lut: &CostLut) -> SearchReport {
+        let start = Instant::now();
+        let cfg = &self.config;
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut current = lut.vanilla_assignment();
+        let mut current_cost = lut.cost(&current);
+        let mut best = current.clone();
+        let mut best_cost = current_cost;
+        let mut curve = Vec::with_capacity(cfg.evaluations);
+        let cooling = if cfg.evaluations > 1 {
+            (cfg.t_final / cfg.t_initial).powf(1.0 / (cfg.evaluations - 1) as f64)
+        } else {
+            1.0
+        };
+        let mut temp = cfg.t_initial;
+        for step in 0..cfg.evaluations {
+            let l = rng.gen_range(0..lut.len());
+            let n = lut.candidates(l).len();
+            let mut proposal = current.clone();
+            proposal[l] = rng.gen_range(0..n);
+            let cost = lut.cost(&proposal);
+            let accept = cost <= current_cost
+                || rng.gen::<f64>() < ((current_cost - cost) / temp.max(1e-12)).exp();
+            if accept {
+                current = proposal;
+                current_cost = cost;
+            }
+            if current_cost < best_cost {
+                best_cost = current_cost;
+                best = current.clone();
+            }
+            curve.push(EpisodeRecord {
+                episode: step,
+                epsilon: temp,
+                cost_ms: current_cost,
+                best_so_far_ms: best_cost,
+            });
+            temp *= cooling;
+        }
+        SearchReport {
+            method: "annealing".into(),
+            network: lut.network().to_string(),
+            best_assignment: best,
+            best_cost_ms: best_cost,
+            episodes: cfg.evaluations,
+            curve,
+            wall_time_ms: start.elapsed().as_secs_f64() * 1e3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::exhaustive_search;
+    use qsdnn_engine::toy;
+
+    #[test]
+    fn reaches_near_optimum_on_small_chain() {
+        let lut = toy::small_chain_lut();
+        let (_, opt) = exhaustive_search(&lut, 1e6).unwrap();
+        let report = SimulatedAnnealing::new(SimulatedAnnealingConfig {
+            evaluations: 2000,
+            ..Default::default()
+        })
+        .run(&lut);
+        assert!(report.best_cost_ms <= opt * 1.05 + 1e-9, "{} vs {opt}", report.best_cost_ms);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let lut = toy::small_chain_lut();
+        let a = SimulatedAnnealing::new(SimulatedAnnealingConfig::default()).run(&lut);
+        let b = SimulatedAnnealing::new(SimulatedAnnealingConfig::default()).run(&lut);
+        assert_eq!(a.best_cost_ms, b.best_cost_ms);
+    }
+
+    #[test]
+    fn improves_over_vanilla_start() {
+        let lut = toy::fig1_lut();
+        let report = SimulatedAnnealing::new(SimulatedAnnealingConfig::default()).run(&lut);
+        assert!(report.best_cost_ms <= lut.cost(&lut.vanilla_assignment()));
+    }
+}

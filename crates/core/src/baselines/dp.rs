@@ -1,0 +1,99 @@
+//! Exact dynamic programming (Viterbi) for chain-shaped networks.
+//!
+//! When every layer's only in-edge comes from its serialized predecessor,
+//! the selection problem has optimal substructure and the optimum is
+//! computable in `O(L · N_I²)` — the gold standard QS-DNN is tested against
+//! on chains. Branchy graphs (GoogLeNet's inceptions, residual adds) break
+//! the chain property; use exhaustive search or PBQP there.
+
+use qsdnn_engine::{Assignment, CostLut};
+
+/// Whether the LUT describes a pure chain (layer `l`'s only in-edge is
+/// `l-1`).
+pub fn is_chain(lut: &CostLut) -> bool {
+    lut.layers().iter().enumerate().all(|(l, entry)| {
+        if l == 0 {
+            entry.incoming.is_empty()
+        } else {
+            entry.incoming.len() == 1 && entry.incoming[0].from == l - 1
+        }
+    })
+}
+
+/// Exact optimum for chain LUTs, or `None` for non-chains.
+pub fn solve_chain_dp(lut: &CostLut) -> Option<(Assignment, f64)> {
+    if lut.is_empty() || !is_chain(lut) {
+        return None;
+    }
+    let layers = lut.layers();
+    let n0 = layers[0].candidates.len();
+    // best[ci] = minimal cost of a prefix ending with candidate ci.
+    let mut best: Vec<f64> = (0..n0).map(|ci| lut.time(0, ci)).collect();
+    let mut back: Vec<Vec<usize>> = vec![vec![0; n0]];
+    for l in 1..layers.len() {
+        let entry = &layers[l];
+        let n = entry.candidates.len();
+        let n_prev = layers[l - 1].candidates.len();
+        let penalty = &entry.incoming[0].penalty;
+        let mut next = vec![f64::INFINITY; n];
+        let mut choice = vec![0usize; n];
+        for (ci, nb) in next.iter_mut().enumerate() {
+            for p in 0..n_prev {
+                let c = best[p] + penalty[p * n + ci] + entry.time_ms[ci];
+                if c < *nb {
+                    *nb = c;
+                    choice[ci] = p;
+                }
+            }
+        }
+        best = next;
+        back.push(choice);
+    }
+    // Trace back.
+    let (mut ci, &cost) = best
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .expect("non-empty");
+    let mut assign = vec![0usize; layers.len()];
+    for l in (0..layers.len()).rev() {
+        assign[l] = ci;
+        ci = back[l][ci];
+    }
+    Some((assign, cost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::exhaustive_search;
+    use qsdnn_engine::toy;
+
+    #[test]
+    fn fig1_is_a_chain_and_dp_matches_exhaustive() {
+        let lut = toy::fig1_lut();
+        assert!(is_chain(&lut));
+        let (dp_a, dp_c) = solve_chain_dp(&lut).unwrap();
+        let (ex_a, ex_c) = exhaustive_search(&lut, 1e6).unwrap();
+        assert_eq!(dp_a, ex_a);
+        assert!((dp_c - ex_c).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_chain_dp_matches_exhaustive() {
+        let lut = toy::small_chain_lut();
+        let (dp_a, dp_c) = solve_chain_dp(&lut).unwrap();
+        let (_, ex_c) = exhaustive_search(&lut, 1e6).unwrap();
+        assert!((dp_c - ex_c).abs() < 1e-12);
+        assert!((lut.cost(&dp_a) - dp_c).abs() < 1e-12, "reported cost is consistent");
+    }
+
+    #[test]
+    fn rejects_branchy_luts() {
+        use qsdnn_engine::{AnalyticalPlatform, Mode, Profiler};
+        let net = qsdnn_nn::zoo::toy_branchy(1);
+        let lut = Profiler::with_repeats(AnalyticalPlatform::tx2(), 1).profile(&net, Mode::Cpu);
+        assert!(!is_chain(&lut));
+        assert!(solve_chain_dp(&lut).is_none());
+    }
+}

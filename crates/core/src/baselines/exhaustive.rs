@@ -1,0 +1,62 @@
+//! Exhaustive enumeration — ground truth for small design spaces.
+
+use qsdnn_engine::{Assignment, CostLut};
+
+/// Enumerates every implementation and returns the optimum, or `None` if
+/// the design space exceeds `limit` evaluations (the paper's point: the
+/// space grows as `N_I^N_L`, so this is only feasible for toy networks).
+pub fn exhaustive_search(lut: &CostLut, limit: f64) -> Option<(Assignment, f64)> {
+    if lut.design_space_size() > limit {
+        return None;
+    }
+    let dims: Vec<usize> = (0..lut.len()).map(|l| lut.candidates(l).len()).collect();
+    let mut sel = vec![0usize; lut.len()];
+    let mut best = (sel.clone(), f64::INFINITY);
+    loop {
+        let c = lut.cost(&sel);
+        if c < best.1 {
+            best = (sel.clone(), c);
+        }
+        let mut i = 0;
+        loop {
+            if i == sel.len() {
+                return Some(best);
+            }
+            sel[i] += 1;
+            if sel[i] < dims[i] {
+                break;
+            }
+            sel[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsdnn_engine::toy;
+
+    #[test]
+    fn finds_fig1_optimum() {
+        let lut = toy::fig1_lut();
+        let (assign, cost) = exhaustive_search(&lut, 1e6).expect("space is tiny");
+        assert_eq!(assign, vec![0, 0, 0]);
+        assert!((cost - 2.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_limit() {
+        let lut = toy::small_chain_lut(); // 243 implementations
+        assert!(exhaustive_search(&lut, 100.0).is_none());
+        assert!(exhaustive_search(&lut, 1000.0).is_some());
+    }
+
+    #[test]
+    fn optimum_beats_greedy_and_vanilla() {
+        let lut = toy::small_chain_lut();
+        let (_, opt) = exhaustive_search(&lut, 1e6).unwrap();
+        assert!(opt <= lut.cost(&lut.greedy_assignment()));
+        assert!(opt < lut.cost(&lut.vanilla_assignment()));
+    }
+}

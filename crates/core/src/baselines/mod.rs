@@ -1,0 +1,16 @@
+//! Comparator searches: Random Search (the paper's §VI.B baseline),
+//! exhaustive enumeration, exact chain DP, simulated annealing, the PBQP
+//! formulation of Anderson & Gregg, and the per-layer greedy trap
+//! ([`CostLut::greedy_assignment`](qsdnn_engine::CostLut::greedy_assignment)).
+
+mod annealing;
+mod dp;
+mod exhaustive;
+mod pbqp;
+mod random;
+
+pub use annealing::{SimulatedAnnealing, SimulatedAnnealingConfig};
+pub use dp::{is_chain, solve_chain_dp};
+pub use exhaustive::exhaustive_search;
+pub use pbqp::pbqp_search;
+pub use random::RandomSearch;

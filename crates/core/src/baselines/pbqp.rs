@@ -1,0 +1,78 @@
+//! PBQP-based primitive selection — the Anderson & Gregg formulation the
+//! paper positions itself against.
+
+use std::time::Instant;
+
+use qsdnn_engine::CostLut;
+use qsdnn_pbqp::PbqpGraph;
+
+use crate::SearchReport;
+
+/// Maps the Phase-1 LUT onto a PBQP instance (layer → node with the time
+/// vector, edge → penalty matrix) and solves it with the reduction solver.
+///
+/// Exact on chain/tree-reducible graphs, heuristic (RN) otherwise — unlike
+/// QS-DNN it needs the *full* LUT rather than samples, which is the
+/// methodological contrast drawn in the paper's related work.
+pub fn pbqp_search(lut: &CostLut) -> SearchReport {
+    let start = Instant::now();
+    let mut g = PbqpGraph::new();
+    for l in 0..lut.len() {
+        g.add_node(lut.layers()[l].time_ms.clone());
+    }
+    for (l, entry) in lut.layers().iter().enumerate() {
+        for e in &entry.incoming {
+            // Penalty matrix is stored [ci_from][ci_self] row-major, which
+            // is exactly add_edge(from, l) orientation.
+            g.add_edge(e.from, l, e.penalty.clone()).expect("LUT edges are well-formed");
+        }
+    }
+    let sol = g.solve_with_cost();
+    let cost = lut.cost(&sol.selection);
+    SearchReport {
+        method: if sol.exact { "pbqp(exact)".into() } else { "pbqp(rn)".into() },
+        network: lut.network().to_string(),
+        best_assignment: sol.selection,
+        best_cost_ms: cost,
+        episodes: 0,
+        curve: Vec::new(),
+        wall_time_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{exhaustive_search, solve_chain_dp};
+    use qsdnn_engine::toy;
+
+    #[test]
+    fn matches_dp_on_chains() {
+        for lut in [toy::fig1_lut(), toy::small_chain_lut()] {
+            let (_, dp_cost) = solve_chain_dp(&lut).unwrap();
+            let report = pbqp_search(&lut);
+            assert!(
+                (report.best_cost_ms - dp_cost).abs() < 1e-9,
+                "{}: pbqp {} vs dp {dp_cost}",
+                lut.network(),
+                report.best_cost_ms
+            );
+            assert_eq!(report.method, "pbqp(exact)");
+        }
+    }
+
+    #[test]
+    fn matches_exhaustive_on_branchy_toy() {
+        use qsdnn_engine::{AnalyticalPlatform, Mode, Profiler};
+        let net = qsdnn_nn::zoo::toy_branchy(1);
+        let lut = Profiler::with_repeats(AnalyticalPlatform::tx2(), 1).profile(&net, Mode::Cpu);
+        let report = pbqp_search(&lut);
+        let (_, opt) = exhaustive_search(&lut, 1e7).expect("toy space fits");
+        // Tree-width of the branchy toy is 2, so RII keeps this exact.
+        assert!(
+            (report.best_cost_ms - opt).abs() < 1e-9,
+            "pbqp {} vs optimum {opt}",
+            report.best_cost_ms
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Random Search: the paper's §VI.B comparison baseline.
+
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use qsdnn_engine::CostLut;
+
+use crate::{EpisodeRecord, SearchReport};
+
+/// Uniform random sampling of implementations, tracking the best seen —
+/// same episode budget accounting as QS-DNN so curves are comparable.
+///
+/// # Examples
+///
+/// ```
+/// use qsdnn::baselines::RandomSearch;
+/// use qsdnn_engine::toy;
+///
+/// let lut = toy::small_chain_lut();
+/// let report = RandomSearch::new(200, 1).run(&lut);
+/// assert!(report.best_cost_ms < lut.cost(&lut.vanilla_assignment()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    episodes: usize,
+    seed: u64,
+}
+
+impl RandomSearch {
+    /// Random search with the given episode budget and seed.
+    pub fn new(episodes: usize, seed: u64) -> Self {
+        RandomSearch { episodes, seed }
+    }
+
+    /// Samples `episodes` uniform assignments against `lut`.
+    pub fn run(&self, lut: &CostLut) -> SearchReport {
+        let start = Instant::now();
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut best_cost = f64::INFINITY;
+        let mut best_assign = Vec::new();
+        let mut curve = Vec::with_capacity(self.episodes);
+        for episode in 0..self.episodes {
+            let assign: Vec<usize> =
+                (0..lut.len()).map(|l| rng.gen_range(0..lut.candidates(l).len())).collect();
+            let cost = lut.cost(&assign);
+            if cost < best_cost {
+                best_cost = cost;
+                best_assign = assign;
+            }
+            curve.push(EpisodeRecord {
+                episode,
+                epsilon: 1.0,
+                cost_ms: cost,
+                best_so_far_ms: best_cost,
+            });
+        }
+        SearchReport {
+            method: "random".into(),
+            network: lut.network().to_string(),
+            best_assignment: best_assign,
+            best_cost_ms: best_cost,
+            episodes: self.episodes,
+            curve,
+            wall_time_ms: start.elapsed().as_secs_f64() * 1e3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsdnn_engine::toy;
+
+    #[test]
+    fn improves_with_budget() {
+        let lut = toy::small_chain_lut();
+        let short = RandomSearch::new(5, 3).run(&lut);
+        let long = RandomSearch::new(500, 3).run(&lut);
+        assert!(long.best_cost_ms <= short.best_cost_ms);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let lut = toy::small_chain_lut();
+        assert_eq!(
+            RandomSearch::new(50, 9).run(&lut).best_cost_ms,
+            RandomSearch::new(50, 9).run(&lut).best_cost_ms
+        );
+    }
+
+    #[test]
+    fn curve_length_matches_budget() {
+        let lut = toy::fig1_lut();
+        let r = RandomSearch::new(25, 1).run(&lut);
+        assert_eq!(r.curve.len(), 25);
+        assert_eq!(r.episodes, 25);
+    }
+}

@@ -1,0 +1,188 @@
+//! Tabular action-value function over the layer-serialized state space.
+//!
+//! Per paper Table I, a state is the tuple *(layer type, layer depth,
+//! library, algorithm, algorithm impl, processor, BLAS library)*. Depth
+//! plus the candidate index into the LUT's per-layer primitive list encodes
+//! exactly that tuple, so the Q-table is a ragged `depth × prev-candidate ×
+//! next-candidate` array: `Q[(l, prev), a]` is the value of choosing
+//! candidate `a` at layer `l` when layer `l-1` runs candidate `prev`.
+
+use serde::{Deserialize, Serialize};
+
+use qsdnn_engine::CostLut;
+
+/// Dense tabular Q-function for one network's search space.
+///
+/// Rewards are negated times, so a zero-initialized table is *optimistic*:
+/// a greedy argmax would always prefer never-tried actions and bootstrap
+/// targets would ignore costly futures. The table therefore tracks a
+/// visited mask and [`QTable::best`] maximizes over *visited* actions only
+/// (falling back to action 0 when the state is untouched).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QTable {
+    /// Candidate counts per layer.
+    dims: Vec<usize>,
+    /// Q-values of the first layer's actions (no predecessor state).
+    first: Vec<f64>,
+    /// For layer `l ≥ 1`: `q[l-1][prev * dims[l] + a]`.
+    q: Vec<Vec<f64>>,
+    /// Update counts of `first`.
+    first_seen: Vec<u32>,
+    /// Update counts of `q`.
+    seen: Vec<Vec<u32>>,
+}
+
+impl QTable {
+    /// Zero-initialized table matching `lut`'s candidate structure.
+    pub fn new(lut: &CostLut) -> Self {
+        let dims: Vec<usize> = (0..lut.len()).map(|l| lut.candidates(l).len()).collect();
+        let first = vec![0.0; dims[0]];
+        let q: Vec<Vec<f64>> =
+            (1..dims.len()).map(|l| vec![0.0; dims[l - 1] * dims[l]]).collect();
+        let first_seen = vec![0; dims[0]];
+        let seen = q.iter().map(|row| vec![0; row.len()]).collect();
+        QTable { dims, first, q, first_seen, seen }
+    }
+
+    /// Candidate count at layer `l`.
+    pub fn arity(&self, l: usize) -> usize {
+        self.dims[l]
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Whether the table covers no layers.
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// `Q[(l, prev), a]`. For `l == 0`, `prev` is ignored.
+    pub fn get(&self, l: usize, prev: usize, a: usize) -> f64 {
+        if l == 0 {
+            self.first[a]
+        } else {
+            self.q[l - 1][prev * self.dims[l] + a]
+        }
+    }
+
+    /// Sets `Q[(l, prev), a]` and increments its update count.
+    pub fn set(&mut self, l: usize, prev: usize, a: usize, value: f64) {
+        if l == 0 {
+            self.first[a] = value;
+            self.first_seen[a] += 1;
+        } else {
+            let idx = prev * self.dims[l] + a;
+            self.q[l - 1][idx] = value;
+            self.seen[l - 1][idx] += 1;
+        }
+    }
+
+    /// Number of updates `(l, prev, a)` has received.
+    pub fn visits(&self, l: usize, prev: usize, a: usize) -> u32 {
+        if l == 0 {
+            self.first_seen[a]
+        } else {
+            self.seen[l - 1][prev * self.dims[l] + a]
+        }
+    }
+
+    /// Whether `(l, prev, a)` has ever been updated.
+    pub fn visited(&self, l: usize, prev: usize, a: usize) -> bool {
+        self.visits(l, prev, a) > 0
+    }
+
+    /// `max_a Q[(l, prev), a]` over *visited* actions and its argmax (first
+    /// on ties). Untouched states return `(0, 0.0)`.
+    pub fn best(&self, l: usize, prev: usize) -> (usize, f64) {
+        let n = self.dims[l];
+        let (row, mask): (&[f64], &[u32]) = if l == 0 {
+            (&self.first, &self.first_seen)
+        } else {
+            let r = prev * n..(prev + 1) * n;
+            (&self.q[l - 1][r.clone()], &self.seen[l - 1][r])
+        };
+        let mut bi = None;
+        let mut bv = f64::NEG_INFINITY;
+        for i in 0..n {
+            if mask[i] > 0 && row[i] > bv {
+                bv = row[i];
+                bi = Some(i);
+            }
+        }
+        match bi {
+            Some(i) => (i, bv),
+            None => (0, 0.0),
+        }
+    }
+
+    /// Greedy rollout: the assignment obtained by following `argmax Q` from
+    /// layer 0 — the learned policy at ε = 0.
+    pub fn greedy_rollout(&self) -> Vec<usize> {
+        let mut assign = Vec::with_capacity(self.dims.len());
+        let mut prev = 0usize;
+        for l in 0..self.dims.len() {
+            let (a, _) = self.best(l, prev);
+            assign.push(a);
+            prev = a;
+        }
+        assign
+    }
+
+    /// Total number of stored Q-values (state-action pairs).
+    pub fn entries(&self) -> usize {
+        self.first.len() + self.q.iter().map(Vec::len).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsdnn_engine::toy;
+
+    #[test]
+    fn dimensions_follow_lut() {
+        let lut = toy::small_chain_lut();
+        let q = QTable::new(&lut);
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.arity(0), 3);
+        // 3 first-layer entries + 4 transitions of 3x3.
+        assert_eq!(q.entries(), 3 + 4 * 9);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let lut = toy::small_chain_lut();
+        let mut q = QTable::new(&lut);
+        q.set(0, 0, 2, -1.5);
+        q.set(3, 1, 0, -0.25);
+        assert_eq!(q.get(0, 7, 2), -1.5, "prev ignored at layer 0");
+        assert_eq!(q.get(3, 1, 0), -0.25);
+        assert_eq!(q.get(3, 2, 0), 0.0);
+    }
+
+    #[test]
+    fn best_returns_argmax() {
+        let lut = toy::small_chain_lut();
+        let mut q = QTable::new(&lut);
+        q.set(1, 0, 0, -3.0);
+        q.set(1, 0, 1, -1.0);
+        q.set(1, 0, 2, -2.0);
+        assert_eq!(q.best(1, 0), (1, -1.0));
+    }
+
+    #[test]
+    fn greedy_rollout_follows_chain_of_argmaxes() {
+        let lut = toy::small_chain_lut();
+        let mut q = QTable::new(&lut);
+        // Make layer 0 prefer 2, then from prev=2 prefer 1, etc.
+        q.set(0, 0, 2, 1.0);
+        q.set(1, 2, 1, 1.0);
+        q.set(2, 1, 0, 1.0);
+        q.set(3, 0, 2, 1.0);
+        q.set(4, 2, 2, 1.0);
+        assert_eq!(q.greedy_rollout(), vec![2, 1, 0, 2, 2]);
+    }
+}

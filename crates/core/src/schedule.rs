@@ -1,0 +1,136 @@
+//! ε-greedy exploration schedules.
+//!
+//! The paper's schedule (§V.B, Fig. 4): 50% of the episode budget at ε = 1
+//! (full exploration), 5% at each ε ∈ {0.9, 0.8, …, 0.1}, and the remaining
+//! ~5% at ε = 0 (full exploitation).
+
+use serde::{Deserialize, Serialize};
+
+/// Piecewise-constant ε schedule: a list of `(ε, episode count)` segments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpsilonSchedule {
+    segments: Vec<(f64, usize)>,
+}
+
+impl EpsilonSchedule {
+    /// The paper's schedule for a total episode budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is zero.
+    pub fn paper(total: usize) -> Self {
+        assert!(total > 0, "schedule needs at least one episode");
+        let explore = total / 2;
+        let step = total * 5 / 100;
+        let mut segments = vec![(1.0, explore)];
+        let mut used = explore;
+        for i in 1..=9 {
+            let eps = 1.0 - i as f64 * 0.1;
+            segments.push((eps, step));
+            used += step;
+        }
+        segments.push((0.0, total.saturating_sub(used)));
+        EpsilonSchedule { segments }
+    }
+
+    /// Constant ε for every episode (ablation).
+    pub fn constant(eps: f64, total: usize) -> Self {
+        EpsilonSchedule { segments: vec![(eps, total)] }
+    }
+
+    /// Linear decay from 1.0 to 0.0 over the budget, quantized to 20 steps
+    /// (ablation).
+    pub fn linear(total: usize) -> Self {
+        let steps = 20usize;
+        let per = (total / steps).max(1);
+        let mut segments = Vec::new();
+        let mut used = 0;
+        for i in 0..steps {
+            let eps = 1.0 - i as f64 / (steps - 1) as f64;
+            let count = if i == steps - 1 { total.saturating_sub(used) } else { per };
+            segments.push((eps, count));
+            used += count;
+            if used >= total {
+                break;
+            }
+        }
+        EpsilonSchedule { segments }
+    }
+
+    /// Custom segments.
+    pub fn from_segments(segments: Vec<(f64, usize)>) -> Self {
+        EpsilonSchedule { segments }
+    }
+
+    /// ε for a given episode index (clamped to the last segment).
+    pub fn epsilon_for(&self, episode: usize) -> f64 {
+        let mut acc = 0usize;
+        for &(eps, n) in &self.segments {
+            acc += n;
+            if episode < acc {
+                return eps;
+            }
+        }
+        self.segments.last().map(|&(e, _)| e).unwrap_or(0.0)
+    }
+
+    /// Total number of episodes covered by the schedule.
+    pub fn total_episodes(&self) -> usize {
+        self.segments.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// The segments `(ε, episode count)`.
+    pub fn segments(&self) -> &[(f64, usize)] {
+        &self.segments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_schedule_for_1000_matches_fig4() {
+        let s = EpsilonSchedule::paper(1000);
+        assert_eq!(s.total_episodes(), 1000);
+        assert_eq!(s.epsilon_for(0), 1.0);
+        assert_eq!(s.epsilon_for(499), 1.0);
+        // After 500, ε drops by 0.1 every 50 episodes.
+        assert!((s.epsilon_for(500) - 0.9).abs() < 1e-12);
+        assert!((s.epsilon_for(549) - 0.9).abs() < 1e-12);
+        assert!((s.epsilon_for(550) - 0.8).abs() < 1e-12);
+        assert!((s.epsilon_for(949) - 0.1).abs() < 1e-12);
+        assert_eq!(s.epsilon_for(950), 0.0);
+        assert_eq!(s.epsilon_for(999), 0.0);
+    }
+
+    #[test]
+    fn paper_schedule_covers_odd_budgets() {
+        for total in [1, 7, 25, 350, 999] {
+            let s = EpsilonSchedule::paper(total);
+            assert_eq!(s.total_episodes(), total, "budget {total}");
+        }
+    }
+
+    #[test]
+    fn epsilon_clamps_past_the_end() {
+        let s = EpsilonSchedule::paper(100);
+        assert_eq!(s.epsilon_for(10_000), 0.0);
+    }
+
+    #[test]
+    fn constant_schedule() {
+        let s = EpsilonSchedule::constant(0.3, 10);
+        assert_eq!(s.epsilon_for(0), 0.3);
+        assert_eq!(s.epsilon_for(9), 0.3);
+        assert_eq!(s.total_episodes(), 10);
+    }
+
+    #[test]
+    fn linear_schedule_decays() {
+        let s = EpsilonSchedule::linear(200);
+        assert_eq!(s.total_episodes(), 200);
+        assert!(s.epsilon_for(0) > s.epsilon_for(100));
+        assert!(s.epsilon_for(100) > s.epsilon_for(199));
+    }
+}

@@ -1,0 +1,166 @@
+//! End-to-end network execution under a primitive assignment.
+//!
+//! Runs the real kernels layer by layer, inserting layout-conversion
+//! compatibility layers exactly where the engine would at deployment time,
+//! and counts them. Used to verify that *any* assignment computes the same
+//! function as the all-Vanilla reference (the searches only change *where*
+//! and *how fast*, never *what*).
+
+use qsdnn_nn::Network;
+use qsdnn_primitives::{execute_layer, generate_weights, Primitive, Processor};
+use qsdnn_tensor::{DataLayout, Tensor};
+
+use crate::{Assignment, CostLut};
+
+/// Outcome of one end-to-end run.
+#[derive(Debug, Clone)]
+pub struct ExecutionResult {
+    /// Final layer output, normalized to NCHW.
+    pub output: Tensor,
+    /// Number of layout conversions (compatibility layers) inserted.
+    pub layout_conversions: usize,
+    /// Number of CPU↔GPU boundary crossings (simulated residency changes).
+    pub processor_transfers: usize,
+}
+
+/// Executes `net` with the primitives selected by `assignment` in `lut`.
+///
+/// Weights are generated deterministically from `seed`; `input` is the
+/// network input tensor (any layout).
+///
+/// # Panics
+///
+/// Panics if the assignment length or candidate indices do not match `lut`,
+/// or if `lut` was built for a different network.
+pub fn run_network(
+    net: &Network,
+    lut: &CostLut,
+    assignment: &Assignment,
+    input: &Tensor,
+    seed: u64,
+) -> ExecutionResult {
+    assert_eq!(lut.network(), net.name(), "LUT/network mismatch");
+    assert_eq!(assignment.len(), net.len(), "assignment length");
+    let mut activations: Vec<Tensor> = Vec::with_capacity(net.len());
+    let mut residency: Vec<Processor> = Vec::with_capacity(net.len());
+    let mut layout_conversions = 0usize;
+    let mut processor_transfers = 0usize;
+
+    for node in net.layers() {
+        let prim: Primitive = lut.candidates(node.id.0)[assignment[node.id.0]];
+        let in_shapes = net.input_shapes(node.id);
+        let weights = generate_weights(node, &in_shapes, seed);
+        let gathered: Vec<Tensor> = if node.inputs.is_empty() {
+            if input.layout() != prim.layout {
+                layout_conversions += 1;
+            }
+            vec![input.to_layout(prim.layout)]
+        } else {
+            node.inputs
+                .iter()
+                .map(|&p| {
+                    let t = &activations[p.0];
+                    if residency[p.0] != prim.processor {
+                        processor_transfers += 1;
+                    }
+                    if t.layout() != prim.layout {
+                        layout_conversions += 1;
+                    }
+                    t.to_layout(prim.layout)
+                })
+                .collect()
+        };
+        let refs: Vec<&Tensor> = gathered.iter().collect();
+        let out = execute_layer(node, &prim, &refs, &weights);
+        activations.push(out);
+        residency.push(prim.processor);
+    }
+
+    ExecutionResult {
+        output: activations.pop().expect("non-empty network").to_layout(DataLayout::Nchw),
+        layout_conversions,
+        processor_transfers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AnalyticalPlatform, Mode, Profiler};
+    use qsdnn_nn::zoo;
+
+    fn lut_for(net: &Network, mode: Mode) -> CostLut {
+        Profiler::with_repeats(AnalyticalPlatform::tx2(), 1).profile(net, mode)
+    }
+
+    #[test]
+    fn vanilla_run_produces_probabilities() {
+        let net = zoo::tiny_cnn(1);
+        let lut = lut_for(&net, Mode::Cpu);
+        let input = Tensor::random(net.layers()[0].output_shape, DataLayout::Nchw, 5);
+        let r = run_network(&net, &lut, &lut.vanilla_assignment(), &input, 7);
+        let sum: f32 = r.output.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4, "softmax output sums to 1, got {sum}");
+    }
+
+    #[test]
+    fn greedy_assignment_matches_vanilla_output() {
+        let net = zoo::tiny_cnn(1);
+        let lut = lut_for(&net, Mode::Cpu);
+        let input = Tensor::random(net.layers()[0].output_shape, DataLayout::Nchw, 5);
+        let base = run_network(&net, &lut, &lut.vanilla_assignment(), &input, 7);
+        let fast = run_network(&net, &lut, &lut.greedy_assignment(), &input, 7);
+        let d = base.output.max_abs_diff(&fast.output).unwrap();
+        assert!(d < 1e-3, "outputs diverged by {d}");
+    }
+
+    #[test]
+    fn mixed_layout_assignment_counts_conversions() {
+        let net = zoo::tiny_cnn(1);
+        let lut = lut_for(&net, Mode::Cpu);
+        // Force alternating layouts by picking, per layer, any NHWC
+        // candidate when available, else candidate 0.
+        let assignment: Assignment = (0..lut.len())
+            .map(|l| {
+                lut.candidates(l)
+                    .iter()
+                    .position(|p| p.layout == DataLayout::Nhwc)
+                    .unwrap_or(0)
+            })
+            .collect();
+        let input = Tensor::random(net.layers()[0].output_shape, DataLayout::Nchw, 5);
+        let r = run_network(&net, &lut, &assignment, &input, 7);
+        assert!(r.layout_conversions > 0, "NHWC/NCHW mix must insert conversions");
+        // Function must still be preserved.
+        let base = run_network(&net, &lut, &lut.vanilla_assignment(), &input, 7);
+        assert!(base.output.approx_eq(&r.output, 1e-3).unwrap());
+    }
+
+    #[test]
+    fn gpgpu_assignment_counts_transfers() {
+        let net = zoo::tiny_cnn(1);
+        let lut = lut_for(&net, Mode::Gpgpu);
+        // Put everything possible on the GPU.
+        let assignment: Assignment = (0..lut.len())
+            .map(|l| {
+                lut.candidates(l)
+                    .iter()
+                    .position(|p| p.processor == Processor::Gpu)
+                    .unwrap_or(0)
+            })
+            .collect();
+        let input = Tensor::random(net.layers()[0].output_shape, DataLayout::Nchw, 5);
+        let r = run_network(&net, &lut, &assignment, &input, 7);
+        assert!(r.processor_transfers > 0, "CPU input must cross to GPU at least once");
+    }
+
+    #[test]
+    fn branchy_network_executes_correctly() {
+        let net = zoo::toy_branchy(1);
+        let lut = lut_for(&net, Mode::Cpu);
+        let input = Tensor::random(net.layers()[0].output_shape, DataLayout::Nchw, 3);
+        let base = run_network(&net, &lut, &lut.vanilla_assignment(), &input, 11);
+        let fast = run_network(&net, &lut, &lut.greedy_assignment(), &input, 11);
+        assert!(base.output.approx_eq(&fast.output, 1e-3).unwrap());
+    }
+}

@@ -1,0 +1,334 @@
+//! The Phase-1 look-up table: per-layer primitive times plus pairwise
+//! compatibility penalties on every graph edge.
+//!
+//! "After all inference measurements have been retrieved, a look-up table is
+//! built" (paper §V.A). Phase 2 — any search — then evaluates candidate
+//! network implementations against this LUT without touching the device
+//! again.
+
+use serde::{Deserialize, Serialize};
+
+use qsdnn_nn::LayerTag;
+use qsdnn_primitives::Primitive;
+
+use crate::Mode;
+
+/// One candidate assignment: the chosen candidate index for every layer, in
+/// topological order.
+pub type Assignment = Vec<usize>;
+
+/// Compatibility penalties along one producer→consumer edge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncomingEdge {
+    /// Producer layer index (topological).
+    pub from: usize,
+    /// Penalty matrix, `penalty[ci_from * n_self + ci_self]` in ms.
+    pub penalty: Vec<f64>,
+    /// Energy-penalty matrix (mJ), same indexing; empty = all zeros.
+    #[serde(default)]
+    pub penalty_energy_mj: Vec<f64>,
+}
+
+/// Costs of one layer: its candidate primitives, their profiled times, and
+/// the penalty matrices of its incoming edges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerEntry {
+    /// Layer name (diagnostics).
+    pub name: String,
+    /// Layer type discriminant.
+    pub tag: LayerTag,
+    /// Admissible primitives (≥1; Vanilla-family first).
+    pub candidates: Vec<Primitive>,
+    /// Mean profiled time per candidate (ms), parallel to `candidates`.
+    pub time_ms: Vec<f64>,
+    /// Mean profiled energy per candidate (mJ); empty = all zeros.
+    #[serde(default)]
+    pub energy_mj: Vec<f64>,
+    /// Incoming edges with their penalty matrices.
+    pub incoming: Vec<IncomingEdge>,
+}
+
+/// The complete Phase-1 profile of one network on one platform in one mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostLut {
+    network: String,
+    platform: String,
+    mode: Mode,
+    layers: Vec<LayerEntry>,
+}
+
+impl CostLut {
+    /// Assembles a LUT from parts (used by the profiler and by hand-built
+    /// toy instances).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any layer has no candidates or a penalty matrix has the
+    /// wrong extent.
+    pub fn from_parts(
+        network: impl Into<String>,
+        platform: impl Into<String>,
+        mode: Mode,
+        layers: Vec<LayerEntry>,
+    ) -> Self {
+        for (li, l) in layers.iter().enumerate() {
+            assert!(!l.candidates.is_empty(), "layer {} has no candidates", l.name);
+            assert_eq!(l.candidates.len(), l.time_ms.len(), "layer {} arity", l.name);
+            assert!(
+                l.energy_mj.is_empty() || l.energy_mj.len() == l.candidates.len(),
+                "layer {} energy arity",
+                l.name
+            );
+            for e in &l.incoming {
+                assert!(e.from < li, "edge source must precede layer {} topologically", l.name);
+                let n_from = layers[e.from].candidates.len();
+                assert_eq!(
+                    e.penalty.len(),
+                    n_from * l.candidates.len(),
+                    "penalty matrix extent on edge {} -> {}",
+                    e.from,
+                    li
+                );
+                assert!(
+                    e.penalty_energy_mj.is_empty()
+                        || e.penalty_energy_mj.len() == e.penalty.len(),
+                    "energy penalty extent on edge {} -> {}",
+                    e.from,
+                    li
+                );
+            }
+        }
+        CostLut { network: network.into(), platform: platform.into(), mode, layers }
+    }
+
+    /// Profiled network name.
+    pub fn network(&self) -> &str {
+        &self.network
+    }
+
+    /// Platform name the profile came from.
+    pub fn platform(&self) -> &str {
+        &self.platform
+    }
+
+    /// Processor mode the profile was restricted to.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the LUT is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Per-layer entries in topological order.
+    pub fn layers(&self) -> &[LayerEntry] {
+        &self.layers
+    }
+
+    /// Candidates of layer `l`.
+    pub fn candidates(&self, l: usize) -> &[Primitive] {
+        &self.layers[l].candidates
+    }
+
+    /// Profiled time of candidate `ci` at layer `l` (ms).
+    pub fn time(&self, l: usize, ci: usize) -> f64 {
+        self.layers[l].time_ms[ci]
+    }
+
+    /// Profiled energy of candidate `ci` at layer `l` (mJ); 0 when the LUT
+    /// was built without energy profiling.
+    pub fn energy(&self, l: usize, ci: usize) -> f64 {
+        self.layers[l].energy_mj.get(ci).copied().unwrap_or(0.0)
+    }
+
+    /// Total energy of an assignment (mJ), including conversion energy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assign` has the wrong length.
+    pub fn energy_cost(&self, assign: &[usize]) -> f64 {
+        assert_eq!(assign.len(), self.layers.len(), "assignment length");
+        let mut total = 0.0;
+        for (l, &ci) in assign.iter().enumerate() {
+            total += self.energy(l, ci);
+            for e in &self.layers[l].incoming {
+                if !e.penalty_energy_mj.is_empty() {
+                    total +=
+                        e.penalty_energy_mj[assign[e.from] * self.layers[l].candidates.len() + ci];
+                }
+            }
+        }
+        total
+    }
+
+    /// A copy of this LUT whose `time_ms`/`penalty` entries are replaced by
+    /// the scalarized `objective` — every search and baseline then
+    /// optimizes that objective without modification (the paper's
+    /// "different reward choices" extension).
+    pub fn with_objective(&self, objective: crate::Objective) -> CostLut {
+        let mut out = self.clone();
+        for l in &mut out.layers {
+            for ci in 0..l.candidates.len() {
+                let e = l.energy_mj.get(ci).copied().unwrap_or(0.0);
+                l.time_ms[ci] = objective.scalarize(l.time_ms[ci], e);
+            }
+            for edge in &mut l.incoming {
+                for i in 0..edge.penalty.len() {
+                    let e = edge.penalty_energy_mj.get(i).copied().unwrap_or(0.0);
+                    edge.penalty[i] = objective.scalarize(edge.penalty[i], e);
+                }
+            }
+        }
+        out
+    }
+
+    /// Total size of the design space, `Π_l |candidates(l)|`, saturating.
+    pub fn design_space_size(&self) -> f64 {
+        self.layers.iter().map(|l| l.candidates.len() as f64).product()
+    }
+
+    /// Incremental cost of choosing candidate `ci` at layer `l`, given the
+    /// already-chosen prefix `assign[0..l]`: the layer time plus penalties
+    /// on all incoming edges — the (negated) RL reward of paper §IV.C.
+    pub fn step_cost(&self, l: usize, ci: usize, prefix: &[usize]) -> f64 {
+        let entry = &self.layers[l];
+        let mut cost = entry.time_ms[ci];
+        for e in &entry.incoming {
+            let ci_from = prefix[e.from];
+            cost += e.penalty[ci_from * entry.candidates.len() + ci];
+        }
+        cost
+    }
+
+    /// Full network latency of an assignment (ms): sum of layer times plus
+    /// all edge penalties.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assign` has the wrong length or an index is out of range.
+    pub fn cost(&self, assign: &[usize]) -> f64 {
+        assert_eq!(assign.len(), self.layers.len(), "assignment length");
+        let mut total = 0.0;
+        for (l, &ci) in assign.iter().enumerate() {
+            total += self.step_cost(l, ci, assign);
+        }
+        total
+    }
+
+    /// The all-Vanilla baseline assignment (paper's reference).
+    pub fn vanilla_assignment(&self) -> Assignment {
+        self.layers
+            .iter()
+            .map(|l| {
+                l.candidates
+                    .iter()
+                    .position(|p| p.library == qsdnn_primitives::Library::Vanilla)
+                    .expect("vanilla fallback exists for every layer")
+            })
+            .collect()
+    }
+
+    /// The single-library global implementation for `lib`: each layer runs
+    /// the library's fastest primitive if it has one, else Vanilla — the
+    /// paper's Phase-1 sweep semantics (§V.A).
+    pub fn single_library_assignment(&self, lib: qsdnn_primitives::Library) -> Assignment {
+        self.layers
+            .iter()
+            .map(|l| {
+                let best_of_lib = l
+                    .candidates
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.library == lib)
+                    .min_by(|a, b| {
+                        l.time_ms[a.0].partial_cmp(&l.time_ms[b.0]).expect("finite times")
+                    })
+                    .map(|(i, _)| i);
+                best_of_lib.unwrap_or_else(|| {
+                    l.candidates
+                        .iter()
+                        .position(|p| p.library == qsdnn_primitives::Library::Vanilla)
+                        .expect("vanilla fallback exists")
+                })
+            })
+            .collect()
+    }
+
+    /// Greedy per-layer assignment: the locally fastest primitive for every
+    /// layer, ignoring penalties — the paper's Fig. 1 "red path" trap.
+    pub fn greedy_assignment(&self) -> Assignment {
+        self.layers
+            .iter()
+            .map(|l| {
+                l.time_ms
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+                    .map(|(i, _)| i)
+                    .expect("non-empty candidates")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy;
+
+    #[test]
+    fn toy_lut_shape() {
+        let lut = toy::fig1_lut();
+        assert_eq!(lut.len(), 3);
+        assert!(lut.design_space_size() >= 8.0);
+    }
+
+    #[test]
+    fn cost_adds_penalties() {
+        let lut = toy::fig1_lut();
+        let greedy = lut.greedy_assignment();
+        // Greedy picks the locally-fastest middle primitive, paying two
+        // incompatibility penalties.
+        let cost_greedy = lut.cost(&greedy);
+        let sum_times: f64 =
+            greedy.iter().enumerate().map(|(l, &ci)| lut.time(l, ci)).sum();
+        assert!(cost_greedy > sum_times, "penalties must be charged");
+    }
+
+    #[test]
+    fn step_cost_composes_to_total() {
+        let lut = toy::fig1_lut();
+        let a = vec![0, 1, 0];
+        let total: f64 = (0..3).map(|l| lut.step_cost(l, a[l], &a)).sum();
+        assert!((total - lut.cost(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vanilla_assignment_picks_vanilla_everywhere() {
+        let lut = toy::fig1_lut();
+        let v = lut.vanilla_assignment();
+        for (l, &ci) in v.iter().enumerate() {
+            assert_eq!(lut.candidates(l)[ci].library, qsdnn_primitives::Library::Vanilla);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment length")]
+    fn cost_rejects_wrong_length() {
+        toy::fig1_lut().cost(&[0]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let lut = toy::fig1_lut();
+        let json = serde_json::to_string(&lut).expect("serializes");
+        let back: CostLut = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(lut, back);
+    }
+}

@@ -1,0 +1,171 @@
+//! Wall-clock platform: times the real Rust kernels on the host CPU.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use qsdnn_nn::{Network, Node};
+use qsdnn_primitives::{execute_layer, generate_weights, LayerWeights, Primitive, Processor};
+use qsdnn_tensor::{Shape, Tensor};
+
+use super::{AnalyticalPlatform, Platform};
+
+/// Times each primitive by actually executing its kernel on the host CPU.
+///
+/// GPU primitives cannot be timed on the host; they are delegated to the
+/// embedded [`AnalyticalPlatform`] (DESIGN.md §2). Host-CPU absolute times
+/// will differ from a Cortex-A57, but the *relative* ordering of the
+/// algorithm families (direct ≪ GEMM-lowered < Winograd for 3×3) is
+/// preserved, which is what the search consumes.
+pub struct MeasuredPlatform {
+    seed: u64,
+    analytical: AnalyticalPlatform,
+    inputs: HashMap<(String, usize), Vec<Tensor>>,
+    weights: HashMap<(String, usize), LayerWeights>,
+}
+
+impl MeasuredPlatform {
+    /// Creates a measured platform; `seed` controls synthetic inputs and
+    /// weights.
+    pub fn new(seed: u64) -> Self {
+        MeasuredPlatform {
+            seed,
+            analytical: AnalyticalPlatform::tx2(),
+            inputs: HashMap::new(),
+            weights: HashMap::new(),
+        }
+    }
+
+    fn fixture(&mut self, net: &Network, node: &Node) -> (Vec<Tensor>, LayerWeights) {
+        let key = (net.name().to_string(), node.id.0);
+        let seed = self.seed;
+        let inputs = self
+            .inputs
+            .entry(key.clone())
+            .or_insert_with(|| {
+                let shapes: Vec<Shape> = if node.inputs.is_empty() {
+                    vec![node.output_shape]
+                } else {
+                    net.input_shapes(node.id)
+                };
+                shapes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &s)| {
+                        Tensor::random(
+                            s,
+                            qsdnn_tensor::DataLayout::Nchw,
+                            seed ^ (node.id.0 as u64) << 8 ^ i as u64,
+                        )
+                    })
+                    .collect()
+            })
+            .clone();
+        let weights = self
+            .weights
+            .entry(key)
+            .or_insert_with(|| generate_weights(node, &net.input_shapes(node.id), seed))
+            .clone();
+        (inputs, weights)
+    }
+}
+
+impl Platform for MeasuredPlatform {
+    fn layer_time_ms(&mut self, net: &Network, node: &Node, prim: &Primitive) -> f64 {
+        if prim.processor == Processor::Gpu {
+            return self.analytical.layer_time_ms(net, node, prim);
+        }
+        let (inputs, weights) = self.fixture(net, node);
+        let converted: Vec<Tensor> = inputs.iter().map(|t| t.to_layout(prim.layout)).collect();
+        let refs: Vec<&Tensor> = converted.iter().collect();
+        let start = Instant::now();
+        let out = execute_layer(node, prim, &refs, &weights);
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        // Keep the optimizer from discarding the computation.
+        std::hint::black_box(out.as_slice().first().copied());
+        elapsed
+    }
+
+    fn conversion_time_ms(&self, shape: Shape, from: &Primitive, to: &Primitive) -> f64 {
+        if from.processor != to.processor {
+            // Cross-processor copies cannot be measured on the host.
+            return self.analytical.conversion_time_ms(shape, from, to);
+        }
+        if from.layout == to.layout {
+            return 0.0;
+        }
+        let t = Tensor::random(shape, from.layout, self.seed);
+        let start = Instant::now();
+        let converted = t.to_layout(to.layout);
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(converted.as_slice().first().copied());
+        elapsed
+    }
+
+    fn name(&self) -> &str {
+        "measured-host"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsdnn_nn::zoo;
+    use qsdnn_primitives::registry;
+
+    #[test]
+    fn measures_positive_times_for_cpu_primitives() {
+        let net = zoo::tiny_cnn(1);
+        let mut p = MeasuredPlatform::new(3);
+        let conv = net.layers().iter().find(|l| l.desc.name == "conv1").unwrap();
+        for prim in registry::candidates(conv) {
+            if prim.processor == Processor::Cpu {
+                let t = p.layer_time_ms(&net, conv, &prim);
+                assert!(t > 0.0, "{prim}: {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn vanilla_direct_is_slower_than_gemm_on_bigger_convs() {
+        // Use a moderately sized conv so the ordering is reliable.
+        let net = zoo::sphereface20(1);
+        let conv = net.layers().iter().find(|l| l.desc.name == "conv2_1").unwrap();
+        let mut p = MeasuredPlatform::new(3);
+        let cands = registry::candidates(conv);
+        let vanilla = cands[0];
+        let gemm = cands
+            .iter()
+            .find(|c| c.library == qsdnn_primitives::Library::Blas)
+            .copied()
+            .unwrap();
+        // Warm up, then take the best of 3 to de-noise.
+        let tv = (0..3).map(|_| p.layer_time_ms(&net, conv, &vanilla)).fold(f64::MAX, f64::min);
+        let tg = (0..3).map(|_| p.layer_time_ms(&net, conv, &gemm)).fold(f64::MAX, f64::min);
+        assert!(tv > tg, "vanilla {tv} should be slower than blas gemm {tg}");
+    }
+
+    #[test]
+    fn gpu_primitives_fall_back_to_analytical() {
+        let net = zoo::tiny_cnn(1);
+        let conv = net.layers().iter().find(|l| l.desc.name == "conv1").unwrap();
+        let gpu = registry::candidates(conv)
+            .into_iter()
+            .find(|c| c.processor == Processor::Gpu)
+            .unwrap();
+        let mut p = MeasuredPlatform::new(3);
+        let t = p.layer_time_ms(&net, conv, &gpu);
+        assert!(t >= AnalyticalPlatform::tx2().config().gpu_launch_ms * 0.9);
+    }
+
+    #[test]
+    fn layout_conversion_is_measured() {
+        let p = MeasuredPlatform::new(1);
+        let mut nhwc = Primitive::vanilla();
+        nhwc.layout = qsdnn_tensor::DataLayout::Nhwc;
+        let t = p.conversion_time_ms(Shape::new(1, 32, 32, 32), &Primitive::vanilla(), &nhwc);
+        assert!(t > 0.0);
+        let zero =
+            p.conversion_time_ms(Shape::new(1, 32, 32, 32), &Primitive::vanilla(), &Primitive::vanilla());
+        assert_eq!(zero, 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Platform abstraction: where layer times and conversion penalties come
+//! from.
+//!
+//! The paper obtains all numbers empirically on a Jetson TX-2. We provide
+//! two sources behind one trait:
+//!
+//! * [`AnalyticalPlatform`](crate::AnalyticalPlatform) — a calibrated
+//!   roofline-style model of the TX-2 (deterministic, instant; used for all
+//!   paper-scale experiments);
+//! * [`MeasuredPlatform`](crate::MeasuredPlatform) — wall-clock timing of
+//!   the real Rust kernels on the host CPU (GPU primitives fall back to the
+//!   analytical model; see DESIGN.md §2).
+
+mod analytical;
+mod measured;
+
+pub use analytical::{AnalyticalPlatform, PlatformConfig};
+pub use measured::MeasuredPlatform;
+
+use qsdnn_nn::{Network, Node};
+use qsdnn_primitives::Primitive;
+use qsdnn_tensor::Shape;
+
+/// Source of layer execution times and compatibility-layer penalties.
+///
+/// `layer_time_ms` takes `&mut self` because implementations may keep
+/// internal state (RNG for measurement noise, weight caches, timers).
+pub trait Platform {
+    /// One measured/modelled execution of `node` under `primitive`, in
+    /// milliseconds. Successive calls may return slightly different values
+    /// (measurement noise); the profiler averages over its repeat count.
+    fn layer_time_ms(&mut self, net: &Network, node: &Node, primitive: &Primitive) -> f64;
+
+    /// Cost (ms) of the compatibility layer needed between a producer
+    /// running `from` and a consumer running `to`, for a tensor of `shape`:
+    /// layout repack and/or CPU↔GPU transfer. Zero when fully compatible.
+    fn conversion_time_ms(&self, shape: Shape, from: &Primitive, to: &Primitive) -> f64;
+
+    /// Energy (mJ) of one execution of `node` under `primitive` — the basis
+    /// of the multi-objective reward extension (paper §VII future work).
+    /// Default: power-weighted execution time with TX-2-class core powers.
+    fn layer_energy_mj(&mut self, net: &Network, node: &Node, prim: &Primitive) -> f64 {
+        let t = self.layer_time_ms(net, node, prim);
+        let p = match prim.processor {
+            qsdnn_primitives::Processor::Cpu => 1.8,
+            qsdnn_primitives::Processor::Gpu => 7.0,
+        };
+        t * p
+    }
+
+    /// Energy (mJ) of the compatibility layer between `from` and `to`.
+    /// Default: transfer power times the conversion time.
+    fn conversion_energy_mj(&self, shape: Shape, from: &Primitive, to: &Primitive) -> f64 {
+        self.conversion_time_ms(shape, from, to) * 2.5
+    }
+
+    /// Human-readable platform name for reports.
+    fn name(&self) -> &str;
+}
+
+/// What the search minimizes (paper §VII envisions "different reward
+/// choices or multi-objective search").
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Objective {
+    /// Pure inference latency (the paper's reward).
+    Latency,
+    /// Pure energy per inference.
+    Energy,
+    /// `latency_ms + lambda · energy_mj` — a latency/energy trade-off knob.
+    Weighted {
+        /// Energy weight in ms/mJ.
+        lambda: f64,
+    },
+}
+
+impl Objective {
+    /// Scalarizes a `(latency ms, energy mJ)` pair.
+    pub fn scalarize(&self, time_ms: f64, energy_mj: f64) -> f64 {
+        match self {
+            Objective::Latency => time_ms,
+            Objective::Energy => energy_mj,
+            Objective::Weighted { lambda } => time_ms + lambda * energy_mj,
+        }
+    }
+}
+
+/// Which processors the search may use — Table II's "CPU" vs "GPGPU" modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Mode {
+    /// CPU-only primitives.
+    Cpu,
+    /// CPU and GPU primitives (the heterogeneous setting).
+    Gpgpu,
+}
+
+impl Mode {
+    /// Whether `primitive` is admissible in this mode.
+    pub fn admits(&self, primitive: &Primitive) -> bool {
+        match self {
+            Mode::Cpu => primitive.processor == qsdnn_primitives::Processor::Cpu,
+            Mode::Gpgpu => true,
+        }
+    }
+
+    /// Lowercase mode label used in report tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mode::Cpu => "cpu",
+            Mode::Gpgpu => "gpgpu",
+        }
+    }
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsdnn_primitives::{Algorithm, Library, Lowering, Primitive, Processor};
+    use qsdnn_tensor::DataLayout;
+
+    #[test]
+    fn cpu_mode_rejects_gpu_primitives() {
+        let gpu = Primitive::new(
+            Library::CuDnn,
+            Algorithm::Gemm,
+            Lowering::Im2col,
+            None,
+            Processor::Gpu,
+            DataLayout::Nchw,
+        );
+        assert!(!Mode::Cpu.admits(&gpu));
+        assert!(Mode::Gpgpu.admits(&gpu));
+        assert!(Mode::Cpu.admits(&Primitive::vanilla()));
+    }
+
+    #[test]
+    fn mode_labels() {
+        assert_eq!(Mode::Cpu.to_string(), "cpu");
+        assert_eq!(Mode::Gpgpu.to_string(), "gpgpu");
+    }
+}

@@ -1,0 +1,154 @@
+//! Hand-built toy LUTs, including the paper's Fig. 1 local-minimum example.
+
+use qsdnn_gemm::BlasBackend;
+use qsdnn_nn::LayerTag;
+use qsdnn_primitives::{Algorithm, Library, Lowering, Primitive, Processor};
+use qsdnn_tensor::DataLayout;
+
+use crate::{CostLut, IncomingEdge, LayerEntry, Mode};
+
+fn nchw_cpu(lib: Library) -> Primitive {
+    Primitive::new(lib, Algorithm::Direct, Lowering::None, None, Processor::Cpu, DataLayout::Nchw)
+}
+
+fn nhwc_cpu(lib: Library) -> Primitive {
+    Primitive::new(
+        lib,
+        Algorithm::DirectOpt,
+        Lowering::None,
+        None,
+        Processor::Cpu,
+        DataLayout::Nhwc,
+    )
+}
+
+/// The paper's Fig. 1: a 3-layer network where the middle layer's *fastest*
+/// primitive (red path) is NHWC-only, so choosing it pays two layout
+/// conversions; the globally fastest path (blue) keeps a slightly slower
+/// NCHW primitive.
+///
+/// Layer times (ms):
+///
+/// | layer | NCHW (vanilla/blas) | NHWC (armcl) |
+/// |-------|--------------------:|-------------:|
+/// | L0    | 1.0                 | 1.3          |
+/// | L1    | 0.9                 | 0.5 ← local min |
+/// | L2    | 1.0                 | 1.2          |
+///
+/// Each layout flip on an edge costs 0.4 ms, so greedy = 1.0+0.5+1.0+0.8 =
+/// 3.3 while the optimum = 1.0+0.9+1.0 = 2.9.
+pub fn fig1_lut() -> CostLut {
+    let penalty_flip = 0.4;
+    let pen = |from: &[Primitive], to: &[Primitive]| {
+        let mut m = Vec::new();
+        for pf in from {
+            for pt in to {
+                m.push(if pf.layout == pt.layout { 0.0 } else { penalty_flip });
+            }
+        }
+        m
+    };
+    let l0 = vec![nchw_cpu(Library::Vanilla), nhwc_cpu(Library::ArmCl)];
+    let l1 = vec![nchw_cpu(Library::Vanilla), nhwc_cpu(Library::ArmCl)];
+    let l2 = vec![nchw_cpu(Library::Vanilla), nhwc_cpu(Library::ArmCl)];
+    let layers = vec![
+        LayerEntry {
+            name: "layer0".into(),
+            tag: LayerTag::Conv,
+            candidates: l0.clone(),
+            time_ms: vec![1.0, 1.3],
+            energy_mj: vec![],
+            incoming: vec![],
+        },
+        LayerEntry {
+            name: "layer1".into(),
+            tag: LayerTag::Conv,
+            candidates: l1.clone(),
+            time_ms: vec![0.9, 0.5],
+            energy_mj: vec![],
+            incoming: vec![IncomingEdge { from: 0, penalty: pen(&l0, &l1), penalty_energy_mj: vec![] }],
+        },
+        LayerEntry {
+            name: "layer2".into(),
+            tag: LayerTag::Conv,
+            candidates: l2.clone(),
+            time_ms: vec![1.0, 1.2],
+            energy_mj: vec![],
+            incoming: vec![IncomingEdge { from: 1, penalty: pen(&l1, &l2), penalty_energy_mj: vec![] }],
+        },
+    ];
+    CostLut::from_parts("fig1_toy", "hand-built", Mode::Cpu, layers)
+}
+
+/// A slightly larger hand-built chain (5 layers × 3 candidates) with a BLAS
+/// backend axis, used by search unit tests that need a non-trivial but
+/// exhaustively-searchable space.
+pub fn small_chain_lut() -> CostLut {
+    let cands = vec![
+        nchw_cpu(Library::Vanilla),
+        Primitive::new(
+            Library::Blas,
+            Algorithm::Gemm,
+            Lowering::Im2col,
+            Some(BlasBackend::OpenBlasLike),
+            Processor::Cpu,
+            DataLayout::Nchw,
+        ),
+        nhwc_cpu(Library::ArmCl),
+    ];
+    let times = [
+        vec![2.0, 0.8, 0.7],
+        vec![2.2, 0.9, 0.6],
+        vec![1.5, 0.7, 0.9],
+        vec![2.4, 1.0, 0.5],
+        vec![1.8, 0.6, 0.8],
+    ];
+    let pen = |from: &[Primitive], to: &[Primitive]| {
+        let mut m = Vec::new();
+        for pf in from {
+            for pt in to {
+                m.push(if pf.layout == pt.layout { 0.0 } else { 0.35 });
+            }
+        }
+        m
+    };
+    let mut layers = Vec::new();
+    for (i, t) in times.iter().enumerate() {
+        let incoming = if i == 0 {
+            vec![]
+        } else {
+            vec![IncomingEdge { from: i - 1, penalty: pen(&cands, &cands), penalty_energy_mj: vec![] }]
+        };
+        layers.push(LayerEntry {
+            name: format!("layer{i}"),
+            tag: LayerTag::Conv,
+            candidates: cands.clone(),
+            time_ms: t.clone(),
+            energy_mj: vec![],
+            incoming,
+        });
+    }
+    CostLut::from_parts("small_chain_toy", "hand-built", Mode::Cpu, layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_greedy_falls_into_local_minimum() {
+        let lut = fig1_lut();
+        let greedy = lut.greedy_assignment();
+        assert_eq!(greedy, vec![0, 1, 0], "greedy picks the fast NHWC middle layer");
+        let optimal = vec![0, 0, 0];
+        assert!(lut.cost(&optimal) < lut.cost(&greedy));
+        assert!((lut.cost(&greedy) - 3.3).abs() < 1e-9);
+        assert!((lut.cost(&optimal) - 2.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_chain_has_243_implementations() {
+        let lut = small_chain_lut();
+        assert_eq!(lut.design_space_size() as usize, 243);
+    }
+}

@@ -1,0 +1,93 @@
+/// Cache-tiled SGEMM: `C = A · B` with `mb×kb×nb` blocking.
+///
+/// Identical semantics to [`sgemm_naive`](crate::sgemm_naive) but iterates
+/// in tiles so that working sets fit in cache — the structure used by
+/// ATLAS-generated kernels.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its implied matrix size, or any block
+/// extent is zero.
+#[allow(clippy::too_many_arguments)] // m/k/n plus the three block extents are the whole point
+pub fn sgemm_blocked(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    mb: usize,
+    kb: usize,
+    nb: usize,
+) {
+    assert!(a.len() >= m * k, "a too short");
+    assert!(b.len() >= k * n, "b too short");
+    assert!(c.len() >= m * n, "c too short");
+    assert!(mb > 0 && kb > 0 && nb > 0, "block extents must be positive");
+
+    c[..m * n].fill(0.0);
+    let mut i0 = 0;
+    while i0 < m {
+        let i1 = (i0 + mb).min(m);
+        let mut p0 = 0;
+        while p0 < k {
+            let p1 = (p0 + kb).min(k);
+            let mut j0 = 0;
+            while j0 < n {
+                let j1 = (j0 + nb).min(n);
+                for i in i0..i1 {
+                    for p in p0..p1 {
+                        let aip = a[i * k + p];
+                        for j in j0..j1 {
+                            c[i * n + j] += aip * b[p * n + j];
+                        }
+                    }
+                }
+                j0 = j1;
+            }
+            p0 = p1;
+        }
+        i0 = i1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sgemm_naive;
+
+    #[test]
+    fn matches_naive_with_odd_blocks() {
+        let (m, k, n) = (9, 11, 13);
+        let a: Vec<f32> = (0..m * k).map(|i| (i % 7) as f32 - 3.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i % 5) as f32 - 2.0).collect();
+        let mut c0 = vec![0.0; m * n];
+        let mut c1 = vec![0.0; m * n];
+        sgemm_naive(m, k, n, &a, &b, &mut c0);
+        sgemm_blocked(m, k, n, &a, &b, &mut c1, 4, 3, 5);
+        assert_eq!(c0, c1);
+    }
+
+    #[test]
+    fn blocks_larger_than_matrix() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 4.0];
+        let mut c = [0.0; 1];
+        sgemm_blocked(1, 2, 1, &a, &b, &mut c, 64, 64, 64);
+        assert_eq!(c[0], 11.0);
+    }
+
+    #[test]
+    fn clears_stale_c() {
+        let mut c = [123.0; 1];
+        sgemm_blocked(1, 1, 1, &[1.0], &[1.0], &mut c, 2, 2, 2);
+        assert_eq!(c[0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block extents must be positive")]
+    fn rejects_zero_block() {
+        let mut c = [0.0; 1];
+        sgemm_blocked(1, 1, 1, &[1.0], &[1.0], &mut c, 0, 1, 1);
+    }
+}

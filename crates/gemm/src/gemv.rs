@@ -1,0 +1,72 @@
+/// SGEMV: `y = A · x` for a row-major `m×k` matrix.
+///
+/// This is the routine the paper's *cuBLAS* group exposes for fully-connected
+/// layers (the only cuBLAS primitive QS-DNN uses) and the BLAS groups expose
+/// on CPU.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its implied size.
+///
+/// # Examples
+///
+/// ```
+/// let a = [1.0, 2.0, 3.0, 4.0]; // 2x2
+/// let x = [1.0, 1.0];
+/// let mut y = [0.0; 2];
+/// qsdnn_gemm::sgemv(2, 2, &a, &x, &mut y);
+/// assert_eq!(y, [3.0, 7.0]);
+/// ```
+pub fn sgemv(m: usize, k: usize, a: &[f32], x: &[f32], y: &mut [f32]) {
+    assert!(a.len() >= m * k, "a too short");
+    assert!(x.len() >= k, "x too short");
+    assert!(y.len() >= m, "y too short");
+    for i in 0..m {
+        let row = &a[i * k..i * k + k];
+        let mut acc = 0.0f32;
+        // Unrolled-by-4 accumulation: the shape of a NEON/SSE dot product.
+        let chunks = k / 4;
+        let mut acc4 = [0.0f32; 4];
+        for ch in 0..chunks {
+            let base = ch * 4;
+            for lane in 0..4 {
+                acc4[lane] += row[base + lane] * x[base + lane];
+            }
+        }
+        for p in chunks * 4..k {
+            acc += row[p] * x[p];
+        }
+        y[i] = acc + acc4.iter().sum::<f32>();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_vector() {
+        let a = [2.0, 0.0, 0.0, 3.0];
+        let x = [5.0, 7.0];
+        let mut y = [0.0; 2];
+        sgemv(2, 2, &a, &x, &mut y);
+        assert_eq!(y, [10.0, 21.0]);
+    }
+
+    #[test]
+    fn k_not_multiple_of_four() {
+        let k = 7;
+        let a: Vec<f32> = (0..k).map(|i| i as f32).collect();
+        let x = vec![1.0; k];
+        let mut y = [0.0; 1];
+        sgemv(1, k, &a, &x, &mut y);
+        assert_eq!(y[0], 21.0);
+    }
+
+    #[test]
+    fn zero_k_gives_zero() {
+        let mut y = [5.0];
+        sgemv(1, 0, &[], &[], &mut y);
+        assert_eq!(y[0], 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Pure-Rust SGEMM/SGEMV kernels for the QS-DNN reproduction.
+//!
+//! The paper's BLAS group contains *ATLAS* and *OpenBLAS*, each providing
+//! `GEMM`/`GEMV` routines consumed by the `im2col`/`im2row`/`kn2row`
+//! convolution lowerings. We cannot link those vendor libraries here, so this
+//! crate reimplements the same routine family in safe Rust at three
+//! optimization levels:
+//!
+//! * [`sgemm_naive`] — triple loop, the reference implementation;
+//! * [`sgemm_blocked`] — cache-tiled loops;
+//! * [`sgemm_packed`] — panel packing plus a 4×4 register micro-kernel.
+//!
+//! A [`BlasBackend`] selects the tuning (tile sizes) used by the dispatching
+//! [`Gemm`] handle, mimicking the fact that ATLAS and OpenBLAS achieve
+//! different fractions of peak on the same processor.
+//!
+//! All matrices are dense, row-major `f32`.
+//!
+//! # Examples
+//!
+//! ```
+//! use qsdnn_gemm::{BlasBackend, Gemm};
+//!
+//! let a = [1.0, 2.0, 3.0, 4.0]; // 2x2
+//! let b = [5.0, 6.0, 7.0, 8.0]; // 2x2
+//! let mut c = [0.0; 4];
+//! Gemm::new(BlasBackend::OpenBlasLike).sgemm(2, 2, 2, &a, &b, &mut c);
+//! assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+//! ```
+
+mod backend;
+mod blocked;
+mod gemv;
+mod naive;
+mod packed;
+
+pub use backend::{BlasBackend, Gemm};
+pub use blocked::sgemm_blocked;
+pub use gemv::sgemv;
+pub use naive::sgemm_naive;
+pub use packed::sgemm_packed;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Vec<f32> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..rows * cols).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    fn max_diff(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn all_variants_agree_on_square() {
+        let (m, k, n) = (17, 23, 19);
+        let a = random_matrix(m, k, 1);
+        let b = random_matrix(k, n, 2);
+        let mut c0 = vec![0.0; m * n];
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        sgemm_naive(m, k, n, &a, &b, &mut c0);
+        sgemm_blocked(m, k, n, &a, &b, &mut c1, 8, 8, 8);
+        sgemm_packed(m, k, n, &a, &b, &mut c2);
+        assert!(max_diff(&c0, &c1) < 1e-4);
+        assert!(max_diff(&c0, &c2) < 1e-4);
+    }
+
+    #[test]
+    fn backends_agree_with_reference() {
+        let (m, k, n) = (13, 29, 7);
+        let a = random_matrix(m, k, 3);
+        let b = random_matrix(k, n, 4);
+        let mut expect = vec![0.0; m * n];
+        sgemm_naive(m, k, n, &a, &b, &mut expect);
+        for backend in BlasBackend::ALL {
+            let mut c = vec![0.0; m * n];
+            Gemm::new(backend).sgemm(m, k, n, &a, &b, &mut c);
+            assert!(max_diff(&expect, &c) < 1e-4, "{backend:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_blocked_matches_naive(
+            m in 1usize..24, k in 1usize..24, n in 1usize..24, seed in 0u64..500
+        ) {
+            let a = random_matrix(m, k, seed);
+            let b = random_matrix(k, n, seed + 1);
+            let mut c0 = vec![0.0; m * n];
+            let mut c1 = vec![0.0; m * n];
+            sgemm_naive(m, k, n, &a, &b, &mut c0);
+            sgemm_blocked(m, k, n, &a, &b, &mut c1, 6, 10, 7);
+            prop_assert!(max_diff(&c0, &c1) < 1e-4);
+        }
+
+        #[test]
+        fn prop_packed_matches_naive(
+            m in 1usize..24, k in 1usize..24, n in 1usize..24, seed in 0u64..500
+        ) {
+            let a = random_matrix(m, k, seed);
+            let b = random_matrix(k, n, seed + 1);
+            let mut c0 = vec![0.0; m * n];
+            let mut c1 = vec![0.0; m * n];
+            sgemm_naive(m, k, n, &a, &b, &mut c0);
+            sgemm_packed(m, k, n, &a, &b, &mut c1);
+            prop_assert!(max_diff(&c0, &c1) < 1e-4);
+        }
+
+        #[test]
+        fn prop_gemv_matches_gemm_with_unit_n(
+            m in 1usize..32, k in 1usize..32, seed in 0u64..500
+        ) {
+            let a = random_matrix(m, k, seed);
+            let x = random_matrix(k, 1, seed + 1);
+            let mut y0 = vec![0.0; m];
+            let mut y1 = vec![0.0; m];
+            sgemm_naive(m, k, 1, &a, &x, &mut y0);
+            sgemv(m, k, &a, &x, &mut y1);
+            prop_assert!(max_diff(&y0, &y1) < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+/// Reference SGEMM: `C = A · B` for row-major dense matrices.
+///
+/// `a` is `m×k`, `b` is `k×n`, `c` is `m×n`; `c` is overwritten.
+///
+/// This is the semantics oracle for all optimized variants and the kernel
+/// behind the *Vanilla* fully-connected primitive (dependency-free ANSI-C
+/// style, no blocking, no packing).
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its implied matrix size.
+///
+/// # Examples
+///
+/// ```
+/// let a = [1.0, 0.0, 0.0, 1.0]; // identity
+/// let b = [3.0, 4.0, 5.0, 6.0];
+/// let mut c = [0.0; 4];
+/// qsdnn_gemm::sgemm_naive(2, 2, 2, &a, &b, &mut c);
+/// assert_eq!(c, b);
+/// ```
+pub fn sgemm_naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert!(a.len() >= m * k, "a too short");
+    assert!(b.len() >= k * n, "b too short");
+    assert!(c.len() >= m * n, "c too short");
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_by_one() {
+        let mut c = [0.0];
+        sgemm_naive(1, 1, 1, &[3.0], &[4.0], &mut c);
+        assert_eq!(c[0], 12.0);
+    }
+
+    #[test]
+    fn rectangular() {
+        // A = [1 2 3; 4 5 6] (2x3), B = [1;1;1] (3x1)
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [1.0, 1.0, 1.0];
+        let mut c = [0.0; 2];
+        sgemm_naive(2, 3, 1, &a, &b, &mut c);
+        assert_eq!(c, [6.0, 15.0]);
+    }
+
+    #[test]
+    fn overwrites_existing_c() {
+        let mut c = [99.0; 1];
+        sgemm_naive(1, 1, 1, &[2.0], &[5.0], &mut c);
+        assert_eq!(c[0], 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "a too short")]
+    fn panics_on_short_a() {
+        let mut c = [0.0; 4];
+        sgemm_naive(2, 2, 2, &[0.0; 3], &[0.0; 4], &mut c);
+    }
+}

@@ -1,0 +1,166 @@
+//! Panel-packing SGEMM with a 4×4 register micro-kernel — the structure of
+//! hand-tuned OpenBLAS kernels.
+
+const MR: usize = 4;
+const NR: usize = 4;
+const KC: usize = 128;
+const MC: usize = 64;
+
+/// Packed-panel SGEMM: `C = A · B`, row-major.
+///
+/// Packs `A` into `MR`-row panels and `B` into `NR`-column panels so the
+/// inner 4×4 micro-kernel streams contiguous memory, as OpenBLAS does.
+/// Semantics match [`sgemm_naive`](crate::sgemm_naive).
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its implied matrix size.
+pub fn sgemm_packed(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert!(a.len() >= m * k, "a too short");
+    assert!(b.len() >= k * n, "b too short");
+    assert!(c.len() >= m * n, "c too short");
+
+    c[..m * n].fill(0.0);
+    let mut packed_a = vec![0.0f32; MC * KC];
+    let mut packed_b = vec![0.0f32; KC * n.div_ceil(NR) * NR];
+
+    let mut p0 = 0;
+    while p0 < k {
+        let pc = (k - p0).min(KC);
+        pack_b(&mut packed_b, b, p0, pc, n);
+        let mut i0 = 0;
+        while i0 < m {
+            let ic = (m - i0).min(MC);
+            pack_a(&mut packed_a, a, i0, ic, p0, pc, k);
+            macro_block(&packed_a, &packed_b, c, i0, ic, pc, n);
+            i0 += ic;
+        }
+        p0 += pc;
+    }
+}
+
+/// Packs `ic` rows of A (columns `p0..p0+pc`) into MR-row panels.
+fn pack_a(dst: &mut [f32], a: &[f32], i0: usize, ic: usize, p0: usize, pc: usize, k: usize) {
+    let mut idx = 0;
+    let mut ir = 0;
+    while ir < ic {
+        let rows = (ic - ir).min(MR);
+        for p in 0..pc {
+            for r in 0..MR {
+                dst[idx] =
+                    if r < rows { a[(i0 + ir + r) * k + p0 + p] } else { 0.0 };
+                idx += 1;
+            }
+        }
+        ir += MR;
+    }
+}
+
+/// Packs `pc` rows of B into NR-column panels.
+fn pack_b(dst: &mut [f32], b: &[f32], p0: usize, pc: usize, n: usize) {
+    let mut idx = 0;
+    let mut jr = 0;
+    while jr < n {
+        let cols = (n - jr).min(NR);
+        for p in 0..pc {
+            for col in 0..NR {
+                dst[idx] = if col < cols { b[(p0 + p) * n + jr + col] } else { 0.0 };
+                idx += 1;
+            }
+        }
+        jr += NR;
+    }
+}
+
+fn macro_block(
+    packed_a: &[f32],
+    packed_b: &[f32],
+    c: &mut [f32],
+    i0: usize,
+    ic: usize,
+    pc: usize,
+    n: usize,
+) {
+    let mut ir = 0;
+    while ir < ic {
+        let rows = (ic - ir).min(MR);
+        let a_panel = &packed_a[(ir / MR) * pc * MR..];
+        let mut jr = 0;
+        while jr < n {
+            let cols = (n - jr).min(NR);
+            let b_panel = &packed_b[(jr / NR) * pc * NR..];
+            micro_kernel(a_panel, b_panel, c, i0 + ir, jr, rows, cols, pc, n);
+            jr += NR;
+        }
+        ir += MR;
+    }
+}
+
+/// 4×4 register-accumulating micro-kernel over packed panels.
+#[allow(clippy::too_many_arguments)]
+fn micro_kernel(
+    a_panel: &[f32],
+    b_panel: &[f32],
+    c: &mut [f32],
+    row0: usize,
+    col0: usize,
+    rows: usize,
+    cols: usize,
+    pc: usize,
+    n: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..pc {
+        let av = &a_panel[p * MR..p * MR + MR];
+        let bv = &b_panel[p * NR..p * NR + NR];
+        for (r, &ar) in av.iter().enumerate() {
+            for (cn, &bc) in bv.iter().enumerate() {
+                acc[r][cn] += ar * bc;
+            }
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate().take(rows) {
+        for (cn, &v) in acc_row.iter().enumerate().take(cols) {
+            c[(row0 + r) * n + col0 + cn] += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sgemm_naive;
+
+    fn check(m: usize, k: usize, n: usize) {
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 13 + 5) % 11) as f32 - 5.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 7 + 3) % 9) as f32 - 4.0).collect();
+        let mut c0 = vec![0.0; m * n];
+        let mut c1 = vec![0.0; m * n];
+        sgemm_naive(m, k, n, &a, &b, &mut c0);
+        sgemm_packed(m, k, n, &a, &b, &mut c1);
+        let d = c0.iter().zip(&c1).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max);
+        assert!(d < 1e-4, "m={m} k={k} n={n} diff={d}");
+    }
+
+    #[test]
+    fn exact_multiple_of_tiles() {
+        check(8, 128, 8);
+    }
+
+    #[test]
+    fn ragged_edges() {
+        check(5, 3, 7);
+        check(1, 1, 1);
+        check(4, 129, 9);
+    }
+
+    #[test]
+    fn k_larger_than_kc_splits_panels() {
+        check(6, 300, 10);
+    }
+
+    #[test]
+    fn m_larger_than_mc_splits_blocks() {
+        check(130, 20, 6);
+    }
+}

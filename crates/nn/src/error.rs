@@ -1,0 +1,67 @@
+use std::fmt;
+
+/// Error type for network construction and shape inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A layer referenced an input id that does not exist (yet).
+    UnknownInput {
+        /// Name of the layer being added.
+        layer: String,
+        /// The dangling input id.
+        input: usize,
+    },
+    /// A layer received an unexpected number of inputs.
+    ArityMismatch {
+        /// Name of the offending layer.
+        layer: String,
+        /// Inputs required.
+        expected: &'static str,
+        /// Inputs provided.
+        got: usize,
+    },
+    /// Input shapes are incompatible with the layer parameters.
+    ShapeError {
+        /// Name of the offending layer.
+        layer: String,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// The network has no layers.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownInput { layer, input } => {
+                write!(f, "layer `{layer}` references unknown input #{input}")
+            }
+            GraphError::ArityMismatch { layer, expected, got } => {
+                write!(f, "layer `{layer}` expects {expected} inputs, got {got}")
+            }
+            GraphError::ShapeError { layer, reason } => {
+                write!(f, "layer `{layer}` shape error: {reason}")
+            }
+            GraphError::Empty => write!(f, "network contains no layers"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_layer_name() {
+        let e = GraphError::UnknownInput { layer: "conv1".into(), input: 9 };
+        assert!(e.to_string().contains("conv1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,524 @@
+use serde::{Deserialize, Serialize};
+
+use qsdnn_tensor::Shape;
+
+use crate::{ConvParams, FcParams, GraphError, LayerDesc, LayerKind, LrnParams, PoolParams};
+
+/// Identifier of a layer inside a [`Network`]; also its position in the
+/// topological serialization order (builders append in dependency order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LayerId(pub usize);
+
+impl LayerId {
+    /// Position in the serialization order.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for LayerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A layer instance in a network: descriptor, wiring and resolved shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// The layer's id (== its topological index).
+    pub id: LayerId,
+    /// The operator and its parameters.
+    pub desc: LayerDesc,
+    /// Producers feeding this layer.
+    pub inputs: Vec<LayerId>,
+    /// Inferred output shape.
+    pub output_shape: Shape,
+}
+
+/// A validated, shape-inferred DAG of layers.
+///
+/// Construct with [`NetworkBuilder`]. Node ids are topologically ordered by
+/// construction, which is the serialization order the QS-DNN agent walks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    name: String,
+    nodes: Vec<Node>,
+}
+
+impl Network {
+    /// The network's name (e.g. `"mobilenet_v1"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All layers in topological order.
+    pub fn layers(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of layers (including the input placeholder).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: LayerId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Input shapes of `id` (producers' output shapes, in input order).
+    pub fn input_shapes(&self, id: LayerId) -> Vec<Shape> {
+        self.nodes[id.0].inputs.iter().map(|&p| self.nodes[p.0].output_shape).collect()
+    }
+
+    /// All producer → consumer edges.
+    pub fn edges(&self) -> Vec<(LayerId, LayerId)> {
+        let mut edges = Vec::new();
+        for node in &self.nodes {
+            for &src in &node.inputs {
+                edges.push((src, node.id));
+            }
+        }
+        edges
+    }
+
+    /// Consumers of each layer, indexed by layer id.
+    pub fn consumers(&self) -> Vec<Vec<LayerId>> {
+        let mut out = vec![Vec::new(); self.nodes.len()];
+        for node in &self.nodes {
+            for &src in &node.inputs {
+                out[src.0].push(node.id);
+            }
+        }
+        out
+    }
+
+    /// Total multiply-accumulate count of one forward pass.
+    pub fn total_macs(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.desc.macs(&self.input_shapes(n.id), n.output_shape))
+            .sum()
+    }
+
+    /// Total learned parameter count.
+    pub fn total_params(&self) -> u64 {
+        self.nodes.iter().map(|n| n.desc.param_count(&self.input_shapes(n.id))).sum()
+    }
+}
+
+/// Incremental builder for [`Network`] with on-the-fly shape inference.
+///
+/// Layers must be appended after their producers, which makes node ids a
+/// valid topological order by construction.
+///
+/// # Examples
+///
+/// ```
+/// use qsdnn_nn::{ConvParams, NetworkBuilder};
+/// use qsdnn_tensor::Shape;
+///
+/// # fn main() -> Result<(), qsdnn_nn::GraphError> {
+/// let mut b = NetworkBuilder::new("tiny");
+/// let x = b.input(Shape::new(1, 3, 8, 8));
+/// let c = b.conv("conv1", x, ConvParams::square(16, 3, 1, 1))?;
+/// let r = b.relu("relu1", c);
+/// let net = b.build()?;
+/// assert_eq!(net.len(), 3);
+/// assert_eq!(net.node(r).output_shape, Shape::new(1, 16, 8, 8));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct NetworkBuilder {
+    name: String,
+    nodes: Vec<Node>,
+}
+
+impl NetworkBuilder {
+    /// Starts a new network with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetworkBuilder { name: name.into(), nodes: Vec::new() }
+    }
+
+    fn push(&mut self, desc: LayerDesc, inputs: Vec<LayerId>, shape: Shape) -> LayerId {
+        let id = LayerId(self.nodes.len());
+        self.nodes.push(Node { id, desc, inputs, output_shape: shape });
+        id
+    }
+
+    fn shape_of(&self, id: LayerId, layer: &str) -> Result<Shape, GraphError> {
+        self.nodes
+            .get(id.0)
+            .map(|n| n.output_shape)
+            .ok_or(GraphError::UnknownInput { layer: layer.to_string(), input: id.0 })
+    }
+
+    /// Adds the input placeholder; its "output" is the network input.
+    pub fn input(&mut self, shape: Shape) -> LayerId {
+        self.push(LayerDesc::new("input", LayerKind::Input), vec![], shape)
+    }
+
+    /// Adds a convolution layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if `from` is unknown or the window does not fit.
+    pub fn conv(
+        &mut self,
+        name: &str,
+        from: LayerId,
+        params: ConvParams,
+    ) -> Result<LayerId, GraphError> {
+        let in_shape = self.shape_of(from, name)?;
+        let (oh, ow) = window_out(name, in_shape, params.kernel, params.stride, params.pad)?;
+        let shape = Shape::new(in_shape.n, params.out_channels, oh, ow);
+        Ok(self.push(LayerDesc::new(name, LayerKind::Conv(params)), vec![from], shape))
+    }
+
+    /// Adds a depth-wise convolution layer (`out_channels` is ignored; the
+    /// channel count is inherited from the input).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if `from` is unknown or the window does not fit.
+    pub fn depthwise_conv(
+        &mut self,
+        name: &str,
+        from: LayerId,
+        mut params: ConvParams,
+    ) -> Result<LayerId, GraphError> {
+        let in_shape = self.shape_of(from, name)?;
+        params.out_channels = in_shape.c;
+        let (oh, ow) = window_out(name, in_shape, params.kernel, params.stride, params.pad)?;
+        let shape = Shape::new(in_shape.n, in_shape.c, oh, ow);
+        Ok(self.push(LayerDesc::new(name, LayerKind::DepthwiseConv(params)), vec![from], shape))
+    }
+
+    /// Adds a pooling layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if `from` is unknown or the window does not fit.
+    pub fn pool(
+        &mut self,
+        name: &str,
+        from: LayerId,
+        params: PoolParams,
+    ) -> Result<LayerId, GraphError> {
+        let in_shape = self.shape_of(from, name)?;
+        let shape = if params.global {
+            Shape::new(in_shape.n, in_shape.c, 1, 1)
+        } else if params.ceil {
+            let (oh, ow) =
+                window_out_ceil(name, in_shape, params.kernel, params.stride, params.pad)?;
+            Shape::new(in_shape.n, in_shape.c, oh, ow)
+        } else {
+            let (oh, ow) = window_out(name, in_shape, params.kernel, params.stride, params.pad)?;
+            Shape::new(in_shape.n, in_shape.c, oh, ow)
+        };
+        Ok(self.push(LayerDesc::new(name, LayerKind::Pool(params)), vec![from], shape))
+    }
+
+    /// Adds a ReLU activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is unknown (activations always follow an existing
+    /// layer in practice; misuse is a programming error).
+    pub fn relu(&mut self, name: &str, from: LayerId) -> LayerId {
+        let shape = self.nodes[from.0].output_shape;
+        self.push(LayerDesc::new(name, LayerKind::Relu), vec![from], shape)
+    }
+
+    /// Adds an inference-time batch normalization (scale + shift).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is unknown.
+    pub fn batch_norm(&mut self, name: &str, from: LayerId) -> LayerId {
+        let shape = self.nodes[from.0].output_shape;
+        self.push(LayerDesc::new(name, LayerKind::BatchNorm), vec![from], shape)
+    }
+
+    /// Adds a local response normalization layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is unknown.
+    pub fn lrn(&mut self, name: &str, from: LayerId, params: LrnParams) -> LayerId {
+        let shape = self.nodes[from.0].output_shape;
+        self.push(LayerDesc::new(name, LayerKind::Lrn(params)), vec![from], shape)
+    }
+
+    /// Adds a fully-connected layer (input is implicitly flattened).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownInput`] if `from` is unknown.
+    pub fn fc(
+        &mut self,
+        name: &str,
+        from: LayerId,
+        params: FcParams,
+    ) -> Result<LayerId, GraphError> {
+        let in_shape = self.shape_of(from, name)?;
+        let shape = Shape::vector(in_shape.n, params.out_features);
+        Ok(self.push(LayerDesc::new(name, LayerKind::Fc(params)), vec![from], shape))
+    }
+
+    /// Adds a softmax over channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is unknown.
+    pub fn softmax(&mut self, name: &str, from: LayerId) -> LayerId {
+        let shape = self.nodes[from.0].output_shape;
+        self.push(LayerDesc::new(name, LayerKind::Softmax), vec![from], shape)
+    }
+
+    /// Adds a channel concatenation of two or more inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if fewer than two inputs are given, any is
+    /// unknown, or spatial extents / batch sizes disagree.
+    pub fn concat(&mut self, name: &str, from: &[LayerId]) -> Result<LayerId, GraphError> {
+        if from.len() < 2 {
+            return Err(GraphError::ArityMismatch {
+                layer: name.to_string(),
+                expected: "two or more",
+                got: from.len(),
+            });
+        }
+        let first = self.shape_of(from[0], name)?;
+        let mut channels = 0;
+        for &id in from {
+            let s = self.shape_of(id, name)?;
+            if (s.n, s.h, s.w) != (first.n, first.h, first.w) {
+                return Err(GraphError::ShapeError {
+                    layer: name.to_string(),
+                    reason: format!("concat input {s} incompatible with {first}"),
+                });
+            }
+            channels += s.c;
+        }
+        let shape = Shape::new(first.n, channels, first.h, first.w);
+        Ok(self.push(LayerDesc::new(name, LayerKind::Concat), from.to_vec(), shape))
+    }
+
+    /// Adds an element-wise addition of exactly two inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if the two input shapes differ or an input is
+    /// unknown.
+    pub fn add(&mut self, name: &str, a: LayerId, b: LayerId) -> Result<LayerId, GraphError> {
+        let sa = self.shape_of(a, name)?;
+        let sb = self.shape_of(b, name)?;
+        if sa != sb {
+            return Err(GraphError::ShapeError {
+                layer: name.to_string(),
+                reason: format!("add inputs {sa} vs {sb}"),
+            });
+        }
+        Ok(self.push(LayerDesc::new(name, LayerKind::Add), vec![a, b], sa))
+    }
+
+    /// Finalizes the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Empty`] if no layers were added.
+    pub fn build(self) -> Result<Network, GraphError> {
+        if self.nodes.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        Ok(Network { name: self.name, nodes: self.nodes })
+    }
+}
+
+/// Floor-mode output extents of a sliding window (convolution semantics).
+fn window_out(
+    layer: &str,
+    s: Shape,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    pad: (usize, usize),
+) -> Result<(usize, usize), GraphError> {
+    let eh = s.h + 2 * pad.0;
+    let ew = s.w + 2 * pad.1;
+    if kernel.0 == 0 || kernel.1 == 0 || stride.0 == 0 || stride.1 == 0 {
+        return Err(GraphError::ShapeError {
+            layer: layer.to_string(),
+            reason: "kernel and stride extents must be positive".to_string(),
+        });
+    }
+    if eh < kernel.0 || ew < kernel.1 {
+        return Err(GraphError::ShapeError {
+            layer: layer.to_string(),
+            reason: format!("window {}x{} exceeds padded input {eh}x{ew}", kernel.0, kernel.1),
+        });
+    }
+    Ok(((eh - kernel.0) / stride.0 + 1, (ew - kernel.1) / stride.1 + 1))
+}
+
+/// Ceil-mode output extents (Caffe pooling semantics).
+fn window_out_ceil(
+    layer: &str,
+    s: Shape,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    pad: (usize, usize),
+) -> Result<(usize, usize), GraphError> {
+    let (oh, ow) = window_out(layer, s, kernel, stride, pad)?;
+    let rem_h = (s.h + 2 * pad.0 - kernel.0) % stride.0;
+    let rem_w = (s.w + 2 * pad.1 - kernel.1) % stride.1;
+    Ok((oh + usize::from(rem_h != 0), ow + usize::from(rem_w != 0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PoolKind;
+
+    fn tiny() -> Network {
+        let mut b = NetworkBuilder::new("tiny");
+        let x = b.input(Shape::new(1, 3, 8, 8));
+        let c = b.conv("c1", x, ConvParams::square(4, 3, 1, 1)).unwrap();
+        let r = b.relu("r1", c);
+        let p = b.pool("p1", r, PoolParams::square(PoolKind::Max, 2, 2, 0)).unwrap();
+        let f = b.fc("fc", p, FcParams::new(10)).unwrap();
+        b.softmax("sm", f);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn shapes_flow_through() {
+        let net = tiny();
+        assert_eq!(net.node(LayerId(1)).output_shape, Shape::new(1, 4, 8, 8));
+        assert_eq!(net.node(LayerId(3)).output_shape, Shape::new(1, 4, 4, 4));
+        assert_eq!(net.node(LayerId(4)).output_shape, Shape::vector(1, 10));
+    }
+
+    #[test]
+    fn edges_are_producer_consumer() {
+        let net = tiny();
+        let edges = net.edges();
+        assert_eq!(edges.len(), 5);
+        assert!(edges.contains(&(LayerId(0), LayerId(1))));
+        assert!(edges.contains(&(LayerId(4), LayerId(5))));
+    }
+
+    #[test]
+    fn consumers_inverse_of_inputs() {
+        let net = tiny();
+        let cons = net.consumers();
+        assert_eq!(cons[0], vec![LayerId(1)]);
+        assert!(cons[5].is_empty());
+    }
+
+    #[test]
+    fn conv_stride_and_pad() {
+        let mut b = NetworkBuilder::new("t");
+        let x = b.input(Shape::new(1, 3, 227, 227));
+        // AlexNet conv1: 96 kernels 11x11 stride 4 -> 55x55.
+        let c = b.conv("c1", x, ConvParams::square(96, 11, 4, 0)).unwrap();
+        assert_eq!(b.build().unwrap().node(c).output_shape, Shape::new(1, 96, 55, 55));
+    }
+
+    #[test]
+    fn pool_ceil_mode_matches_caffe() {
+        let mut b = NetworkBuilder::new("t");
+        let x = b.input(Shape::new(1, 96, 55, 55));
+        // AlexNet pool1: 3x3 stride 2 ceil -> 27x27 (floor would give 27 too);
+        // GoogLeNet pool: 3x3 s2 on 28 -> ceil((28-3)/2)+1 = 14.
+        let p = b.pool("p", x, PoolParams::square(PoolKind::Max, 3, 2, 0)).unwrap();
+        assert_eq!(b.nodes[p.0].output_shape.h, 27);
+        let mut b2 = NetworkBuilder::new("t2");
+        let x2 = b2.input(Shape::new(1, 192, 28, 28));
+        let p2 = b2.pool("p", x2, PoolParams::square(PoolKind::Max, 3, 2, 0)).unwrap();
+        assert_eq!(b2.nodes[p2.0].output_shape.h, 14);
+    }
+
+    #[test]
+    fn depthwise_keeps_channels() {
+        let mut b = NetworkBuilder::new("t");
+        let x = b.input(Shape::new(1, 32, 112, 112));
+        let d = b.depthwise_conv("dw", x, ConvParams::square(0, 3, 2, 1)).unwrap();
+        assert_eq!(b.nodes[d.0].output_shape, Shape::new(1, 32, 56, 56));
+    }
+
+    #[test]
+    fn concat_sums_channels() {
+        let mut b = NetworkBuilder::new("t");
+        let x = b.input(Shape::new(1, 8, 4, 4));
+        let a = b.conv("a", x, ConvParams::square(4, 1, 1, 0)).unwrap();
+        let c = b.conv("b", x, ConvParams::square(6, 1, 1, 0)).unwrap();
+        let cat = b.concat("cat", &[a, c]).unwrap();
+        assert_eq!(b.nodes[cat.0].output_shape.c, 10);
+    }
+
+    #[test]
+    fn concat_rejects_mismatched_spatial() {
+        let mut b = NetworkBuilder::new("t");
+        let x = b.input(Shape::new(1, 8, 4, 4));
+        let a = b.conv("a", x, ConvParams::square(4, 1, 1, 0)).unwrap();
+        let c = b.conv("b", x, ConvParams::square(6, 3, 2, 1)).unwrap();
+        assert!(matches!(b.concat("cat", &[a, c]), Err(GraphError::ShapeError { .. })));
+    }
+
+    #[test]
+    fn concat_requires_two_inputs() {
+        let mut b = NetworkBuilder::new("t");
+        let x = b.input(Shape::new(1, 8, 4, 4));
+        assert!(matches!(b.concat("cat", &[x]), Err(GraphError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn add_requires_equal_shapes() {
+        let mut b = NetworkBuilder::new("t");
+        let x = b.input(Shape::new(1, 8, 4, 4));
+        let a = b.conv("a", x, ConvParams::square(8, 3, 1, 1)).unwrap();
+        let ok = b.add("add", x, a);
+        assert!(ok.is_ok());
+        let c = b.conv("c", x, ConvParams::square(4, 1, 1, 0)).unwrap();
+        assert!(b.add("bad", x, c).is_err());
+    }
+
+    #[test]
+    fn unknown_input_is_reported() {
+        let mut b = NetworkBuilder::new("t");
+        let err = b.conv("c", LayerId(42), ConvParams::square(8, 3, 1, 1));
+        assert!(matches!(err, Err(GraphError::UnknownInput { input: 42, .. })));
+    }
+
+    #[test]
+    fn oversized_window_is_rejected() {
+        let mut b = NetworkBuilder::new("t");
+        let x = b.input(Shape::new(1, 3, 4, 4));
+        assert!(b.conv("c", x, ConvParams::square(8, 7, 1, 0)).is_err());
+    }
+
+    #[test]
+    fn empty_network_rejected() {
+        assert!(matches!(NetworkBuilder::new("e").build(), Err(GraphError::Empty)));
+    }
+
+    #[test]
+    fn macs_and_params_total() {
+        let net = tiny();
+        assert!(net.total_macs() > 0);
+        // conv: 4*3*9+4 = 112; fc: 64*10+10 = 650.
+        assert_eq!(net.total_params(), 112 + 650);
+    }
+}

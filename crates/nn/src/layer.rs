@@ -1,0 +1,377 @@
+use serde::{Deserialize, Serialize};
+
+use qsdnn_tensor::Shape;
+
+/// Parameters of a (grouped-free) 2-D convolution layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvParams {
+    /// Number of output channels.
+    pub out_channels: usize,
+    /// Kernel extents `(kh, kw)`.
+    pub kernel: (usize, usize),
+    /// Strides `(sh, sw)`.
+    pub stride: (usize, usize),
+    /// Zero padding `(ph, pw)` applied on both sides.
+    pub pad: (usize, usize),
+    /// Whether a per-channel bias is added.
+    pub bias: bool,
+    /// Fraction of non-zero weights (1.0 = dense). Consumed by the *Sparse*
+    /// library's cost/behaviour model.
+    pub weight_density: f32,
+}
+
+impl ConvParams {
+    /// Dense square convolution with equal stride/pad on both axes.
+    pub fn square(out_channels: usize, k: usize, s: usize, p: usize) -> Self {
+        ConvParams {
+            out_channels,
+            kernel: (k, k),
+            stride: (s, s),
+            pad: (p, p),
+            bias: true,
+            weight_density: 1.0,
+        }
+    }
+
+    /// Returns a copy with the given weight density (for the Sparse library).
+    pub fn with_density(mut self, density: f32) -> Self {
+        self.weight_density = density;
+        self
+    }
+}
+
+/// Pooling flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Max pooling.
+    Max,
+    /// Average pooling.
+    Avg,
+}
+
+/// Parameters of a pooling layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolParams {
+    /// Max or average.
+    pub kind: PoolKind,
+    /// Window extents `(kh, kw)`; ignored when `global`.
+    pub kernel: (usize, usize),
+    /// Strides `(sh, sw)`; ignored when `global`.
+    pub stride: (usize, usize),
+    /// Zero padding `(ph, pw)`; ignored when `global`.
+    pub pad: (usize, usize),
+    /// Global pooling collapses each channel to 1×1.
+    pub global: bool,
+    /// Ceil-mode output rounding (Caffe semantics) vs floor (PyTorch).
+    pub ceil: bool,
+}
+
+impl PoolParams {
+    /// Square local pooling window with Caffe ceil-mode rounding.
+    pub fn square(kind: PoolKind, k: usize, s: usize, p: usize) -> Self {
+        PoolParams { kind, kernel: (k, k), stride: (s, s), pad: (p, p), global: false, ceil: true }
+    }
+
+    /// Global pooling (whole spatial plane per channel).
+    pub fn global(kind: PoolKind) -> Self {
+        PoolParams {
+            kind,
+            kernel: (0, 0),
+            stride: (1, 1),
+            pad: (0, 0),
+            global: true,
+            ceil: false,
+        }
+    }
+
+    /// Returns a copy using floor-mode output rounding (PyTorch semantics).
+    pub fn with_floor(mut self) -> Self {
+        self.ceil = false;
+        self
+    }
+}
+
+/// Parameters of a fully-connected (inner-product) layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FcParams {
+    /// Number of output features.
+    pub out_features: usize,
+    /// Whether a bias is added.
+    pub bias: bool,
+    /// Fraction of non-zero weights (1.0 = dense).
+    pub weight_density: f32,
+}
+
+impl FcParams {
+    /// Dense FC layer with bias.
+    pub fn new(out_features: usize) -> Self {
+        FcParams { out_features, bias: true, weight_density: 1.0 }
+    }
+
+    /// Returns a copy with the given weight density (for the Sparse library).
+    pub fn with_density(mut self, density: f32) -> Self {
+        self.weight_density = density;
+        self
+    }
+}
+
+/// Parameters of a local response normalization layer (AlexNet/GoogLeNet).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LrnParams {
+    /// Number of adjacent channels in the normalization window.
+    pub size: usize,
+    /// Scaling parameter.
+    pub alpha: f32,
+    /// Exponent.
+    pub beta: f32,
+    /// Additive constant.
+    pub k: f32,
+}
+
+impl Default for LrnParams {
+    fn default() -> Self {
+        LrnParams { size: 5, alpha: 1e-4, beta: 0.75, k: 2.0 }
+    }
+}
+
+/// The operator computed by a layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Network input placeholder (shape given at construction).
+    Input,
+    /// Standard 2-D convolution.
+    Conv(ConvParams),
+    /// Depth-wise 2-D convolution (one filter per input channel,
+    /// multiplier 1) — the MobileNet workhorse with its own optimized ArmCL
+    /// primitive in the paper.
+    DepthwiseConv(ConvParams),
+    /// Max/average pooling.
+    Pool(PoolParams),
+    /// Rectified linear activation.
+    Relu,
+    /// Batch normalization folded to scale+shift at inference time.
+    BatchNorm,
+    /// Local response normalization.
+    Lrn(LrnParams),
+    /// Fully-connected layer.
+    Fc(FcParams),
+    /// Softmax over channels.
+    Softmax,
+    /// Channel-wise concatenation of 2+ inputs (inception modules).
+    Concat,
+    /// Element-wise addition of exactly 2 inputs (residual blocks).
+    Add,
+}
+
+/// Layout-free discriminant of [`LayerKind`], used in the QS-DNN state tuple
+/// ("Layer type" row of the paper's Table I) and by library capability
+/// predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LayerTag {
+    /// See [`LayerKind::Input`].
+    Input,
+    /// See [`LayerKind::Conv`].
+    Conv,
+    /// See [`LayerKind::DepthwiseConv`].
+    DepthwiseConv,
+    /// See [`LayerKind::Pool`].
+    Pool,
+    /// See [`LayerKind::Relu`].
+    Relu,
+    /// See [`LayerKind::BatchNorm`].
+    BatchNorm,
+    /// See [`LayerKind::Lrn`].
+    Lrn,
+    /// See [`LayerKind::Fc`].
+    Fc,
+    /// See [`LayerKind::Softmax`].
+    Softmax,
+    /// See [`LayerKind::Concat`].
+    Concat,
+    /// See [`LayerKind::Add`].
+    Add,
+}
+
+impl LayerTag {
+    /// Short lowercase name (stable across versions; used in reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            LayerTag::Input => "input",
+            LayerTag::Conv => "conv",
+            LayerTag::DepthwiseConv => "dwconv",
+            LayerTag::Pool => "pool",
+            LayerTag::Relu => "relu",
+            LayerTag::BatchNorm => "bnorm",
+            LayerTag::Lrn => "lrn",
+            LayerTag::Fc => "fc",
+            LayerTag::Softmax => "softmax",
+            LayerTag::Concat => "concat",
+            LayerTag::Add => "add",
+        }
+    }
+}
+
+impl std::fmt::Display for LayerTag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A named layer: the unit the QS-DNN agent assigns a primitive to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerDesc {
+    /// Human-readable unique name (e.g. `"conv2_1"`).
+    pub name: String,
+    /// The operator.
+    pub kind: LayerKind,
+}
+
+impl LayerDesc {
+    /// Creates a named layer.
+    pub fn new(name: impl Into<String>, kind: LayerKind) -> Self {
+        LayerDesc { name: name.into(), kind }
+    }
+
+    /// The layer's type discriminant.
+    pub fn tag(&self) -> LayerTag {
+        match &self.kind {
+            LayerKind::Input => LayerTag::Input,
+            LayerKind::Conv(_) => LayerTag::Conv,
+            LayerKind::DepthwiseConv(_) => LayerTag::DepthwiseConv,
+            LayerKind::Pool(_) => LayerTag::Pool,
+            LayerKind::Relu => LayerTag::Relu,
+            LayerKind::BatchNorm => LayerTag::BatchNorm,
+            LayerKind::Lrn(_) => LayerTag::Lrn,
+            LayerKind::Fc(_) => LayerTag::Fc,
+            LayerKind::Softmax => LayerTag::Softmax,
+            LayerKind::Concat => LayerTag::Concat,
+            LayerKind::Add => LayerTag::Add,
+        }
+    }
+
+    /// Multiply-accumulate count (or op count for non-MAC layers) for one
+    /// forward pass, given resolved input/output shapes.
+    ///
+    /// This drives the roofline term of the analytical platform model.
+    pub fn macs(&self, in_shapes: &[Shape], out_shape: Shape) -> u64 {
+        let out_vol = out_shape.volume() as u64;
+        match &self.kind {
+            LayerKind::Input => 0,
+            LayerKind::Conv(p) => {
+                let in_c = in_shapes.first().map_or(0, |s| s.c) as u64;
+                out_vol * in_c * (p.kernel.0 * p.kernel.1) as u64
+            }
+            LayerKind::DepthwiseConv(p) => out_vol * (p.kernel.0 * p.kernel.1) as u64,
+            LayerKind::Pool(p) => {
+                if p.global {
+                    in_shapes.first().map_or(0, |s| s.volume() as u64)
+                } else {
+                    out_vol * (p.kernel.0 * p.kernel.1) as u64
+                }
+            }
+            LayerKind::Relu | LayerKind::BatchNorm => out_vol,
+            LayerKind::Lrn(p) => out_vol * p.size as u64,
+            LayerKind::Fc(p) => {
+                let in_vol = in_shapes.first().map_or(0, |s| s.volume() / s.n.max(1)) as u64;
+                in_vol * p.out_features as u64 * out_shape.n as u64
+            }
+            LayerKind::Softmax => 3 * out_vol,
+            LayerKind::Concat => out_vol,
+            LayerKind::Add => out_vol,
+        }
+    }
+
+    /// Number of learned parameters (weights + biases).
+    pub fn param_count(&self, in_shapes: &[Shape]) -> u64 {
+        match &self.kind {
+            LayerKind::Conv(p) => {
+                let in_c = in_shapes.first().map_or(0, |s| s.c) as u64;
+                let w = p.out_channels as u64 * in_c * (p.kernel.0 * p.kernel.1) as u64;
+                w + if p.bias { p.out_channels as u64 } else { 0 }
+            }
+            LayerKind::DepthwiseConv(p) => {
+                let in_c = in_shapes.first().map_or(0, |s| s.c) as u64;
+                let w = in_c * (p.kernel.0 * p.kernel.1) as u64;
+                w + if p.bias { in_c } else { 0 }
+            }
+            LayerKind::Fc(p) => {
+                let in_vol = in_shapes.first().map_or(0, |s| s.volume() / s.n.max(1)) as u64;
+                let w = in_vol * p.out_features as u64;
+                w + if p.bias { p.out_features as u64 } else { 0 }
+            }
+            LayerKind::BatchNorm => in_shapes.first().map_or(0, |s| 2 * s.c as u64),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_square_builder() {
+        let p = ConvParams::square(64, 3, 1, 1);
+        assert_eq!(p.kernel, (3, 3));
+        assert_eq!(p.stride, (1, 1));
+        assert_eq!(p.pad, (1, 1));
+        assert_eq!(p.weight_density, 1.0);
+        assert_eq!(p.with_density(0.25).weight_density, 0.25);
+    }
+
+    #[test]
+    fn tags_match_kinds() {
+        assert_eq!(LayerDesc::new("x", LayerKind::Relu).tag(), LayerTag::Relu);
+        assert_eq!(
+            LayerDesc::new("c", LayerKind::Conv(ConvParams::square(8, 3, 1, 1))).tag(),
+            LayerTag::Conv
+        );
+        assert_eq!(
+            LayerDesc::new("d", LayerKind::DepthwiseConv(ConvParams::square(8, 3, 1, 1))).tag(),
+            LayerTag::DepthwiseConv
+        );
+    }
+
+    #[test]
+    fn conv_macs() {
+        // 3x3 conv, 2 in channels, out 4x4x4 => 64 * 2 * 9 = 1152 MACs.
+        let d = LayerDesc::new("c", LayerKind::Conv(ConvParams::square(4, 3, 1, 1)));
+        let macs = d.macs(&[Shape::new(1, 2, 4, 4)], Shape::new(1, 4, 4, 4));
+        assert_eq!(macs, 64 * 2 * 9);
+    }
+
+    #[test]
+    fn depthwise_macs_independent_of_channels_count_product() {
+        let d = LayerDesc::new("d", LayerKind::DepthwiseConv(ConvParams::square(8, 3, 1, 1)));
+        let macs = d.macs(&[Shape::new(1, 8, 4, 4)], Shape::new(1, 8, 4, 4));
+        assert_eq!(macs, 8 * 16 * 9);
+    }
+
+    #[test]
+    fn fc_params_and_macs() {
+        let d = LayerDesc::new("fc", LayerKind::Fc(FcParams::new(10)));
+        let in_shape = Shape::new(1, 50, 4, 4); // 800 inputs
+        assert_eq!(d.macs(&[in_shape], Shape::vector(1, 10)), 8000);
+        assert_eq!(d.param_count(&[in_shape]), 8000 + 10);
+    }
+
+    #[test]
+    fn global_pool_macs_cover_input() {
+        let d = LayerDesc::new("p", LayerKind::Pool(PoolParams::global(PoolKind::Avg)));
+        let macs = d.macs(&[Shape::new(1, 32, 7, 7)], Shape::new(1, 32, 1, 1));
+        assert_eq!(macs, 32 * 49);
+    }
+
+    #[test]
+    fn lrn_default_matches_alexnet() {
+        let p = LrnParams::default();
+        assert_eq!(p.size, 5);
+        assert!(p.beta > 0.0);
+    }
+
+    #[test]
+    fn tag_names_are_stable() {
+        assert_eq!(LayerTag::DepthwiseConv.name(), "dwconv");
+        assert_eq!(LayerTag::Softmax.to_string(), "softmax");
+    }
+}

@@ -1,0 +1,34 @@
+//! DNN layer IR, DAG graph and model zoo for the QS-DNN reproduction.
+//!
+//! A [`Network`] is a directed acyclic graph of layers ([`LayerDesc`]) with
+//! inferred output shapes. The QS-DNN search walks the network in
+//! topological serialization order, choosing one primitive per layer; the
+//! graph *edges* (producer → consumer) are where layout-conversion and
+//! CPU↔GPU transfer penalties arise.
+//!
+//! The [`zoo`] module provides the nine networks evaluated in the paper's
+//! task mix (image classification, face recognition, object detection).
+//!
+//! # Examples
+//!
+//! ```
+//! use qsdnn_nn::zoo;
+//!
+//! let net = zoo::lenet5(1);
+//! assert_eq!(net.name(), "lenet5");
+//! assert!(net.len() > 5);
+//! // Output of the last layer is the 10-class score vector.
+//! let last = net.layers().last().unwrap();
+//! assert_eq!(last.output_shape.c, 10);
+//! ```
+
+mod error;
+mod graph;
+mod layer;
+pub mod zoo;
+
+pub use error::GraphError;
+pub use graph::{LayerId, Network, NetworkBuilder, Node};
+pub use layer::{
+    ConvParams, FcParams, LayerDesc, LayerKind, LayerTag, LrnParams, PoolKind, PoolParams,
+};

@@ -1,0 +1,44 @@
+use qsdnn_tensor::Shape;
+
+use crate::{ConvParams, FcParams, Network, NetworkBuilder, PoolKind, PoolParams};
+
+/// LeNet-5 (Caffe variant) on 28×28 grayscale MNIST digits.
+///
+/// The smallest paper network: in GPGPU mode its optimal implementation is
+/// *pure CPU*, because CPU↔GPU transfers dwarf the tiny layer times — the
+/// paper's §VI.A observation that QS-DNN discovers on its own.
+pub fn lenet5(batch: usize) -> Network {
+    let mut b = NetworkBuilder::new("lenet5");
+    let x = b.input(Shape::new(batch, 1, 28, 28));
+    let c1 = b.conv("conv1", x, ConvParams::square(20, 5, 1, 0)).expect("static shapes");
+    let p1 = b.pool("pool1", c1, PoolParams::square(PoolKind::Max, 2, 2, 0)).expect("fits");
+    let c2 = b.conv("conv2", p1, ConvParams::square(50, 5, 1, 0)).expect("fits");
+    let p2 = b.pool("pool2", c2, PoolParams::square(PoolKind::Max, 2, 2, 0)).expect("fits");
+    let f1 = b.fc("ip1", p2, FcParams::new(500)).expect("fits");
+    let r1 = b.relu("relu1", f1);
+    let f2 = b.fc("ip2", r1, FcParams::new(10)).expect("fits");
+    b.softmax("prob", f2);
+    b.build().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LayerId;
+
+    #[test]
+    fn canonical_shapes() {
+        let net = lenet5(1);
+        assert_eq!(net.node(LayerId(1)).output_shape, Shape::new(1, 20, 24, 24));
+        assert_eq!(net.node(LayerId(2)).output_shape, Shape::new(1, 20, 12, 12));
+        assert_eq!(net.node(LayerId(3)).output_shape, Shape::new(1, 50, 8, 8));
+        assert_eq!(net.node(LayerId(4)).output_shape, Shape::new(1, 50, 4, 4));
+        assert_eq!(net.node(LayerId(5)).output_shape, Shape::vector(1, 500));
+    }
+
+    #[test]
+    fn param_count_matches_caffe() {
+        // conv1: 20*1*25+20; conv2: 50*20*25+50; ip1: 800*500+500; ip2: 500*10+10.
+        assert_eq!(lenet5(1).total_params(), 520 + 25_050 + 400_500 + 5_010);
+    }
+}

@@ -1,0 +1,88 @@
+use qsdnn_tensor::Shape;
+
+use crate::{ConvParams, FcParams, LayerId, Network, NetworkBuilder, PoolKind, PoolParams};
+
+/// MobileNet-v1 (1.0×, 224×224 input).
+///
+/// Thirteen depth-wise separable blocks. The paper's marquee GPGPU case: the
+/// learned solution mixes ArmCL's optimized depth-wise kernels (CPU), cuDNN
+/// pointwise convolutions (GPU) and Vanilla ReLU/BatchNorm to avoid extra
+/// device copies, beating cuDNN-only by >1.4×.
+pub fn mobilenet_v1(batch: usize) -> Network {
+    let mut b = NetworkBuilder::new("mobilenet_v1");
+    let x = b.input(Shape::new(batch, 3, 224, 224));
+    let c0 = b.conv("conv0", x, ConvParams::square(32, 3, 2, 1)).expect("static shapes");
+    let b0 = b.batch_norm("conv0/bn", c0);
+    let mut cur: LayerId = b.relu("conv0/relu", b0);
+
+    // (stride of the depthwise conv, output channels of the pointwise conv)
+    let blocks: [(usize, usize); 13] = [
+        (1, 64),
+        (2, 128),
+        (1, 128),
+        (2, 256),
+        (1, 256),
+        (2, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (2, 1024),
+        (1, 1024),
+    ];
+    for (i, (stride, out)) in blocks.iter().enumerate() {
+        let n = i + 1;
+        let dw = b
+            .depthwise_conv(
+                &format!("conv{n}/dw"),
+                cur,
+                ConvParams::square(0, 3, *stride, 1),
+            )
+            .expect("static shapes");
+        let dwb = b.batch_norm(&format!("conv{n}/dw/bn"), dw);
+        let dwr = b.relu(&format!("conv{n}/dw/relu"), dwb);
+        let pw = b
+            .conv(&format!("conv{n}/pw"), dwr, ConvParams::square(*out, 1, 1, 0))
+            .expect("fits");
+        let pwb = b.batch_norm(&format!("conv{n}/pw/bn"), pw);
+        cur = b.relu(&format!("conv{n}/pw/relu"), pwb);
+    }
+
+    let gp = b.pool("pool6", cur, PoolParams::global(PoolKind::Avg)).expect("fits");
+    let fc = b.fc("fc7", gp, FcParams::new(1000)).expect("fits");
+    b.softmax("prob", fc);
+    b.build().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LayerTag;
+
+    #[test]
+    fn thirteen_depthwise_blocks() {
+        let net = mobilenet_v1(1);
+        let dws =
+            net.layers().iter().filter(|l| l.desc.tag() == LayerTag::DepthwiseConv).count();
+        assert_eq!(dws, 13);
+        // 1 stem + 13 pointwise convolutions.
+        let convs = net.layers().iter().filter(|l| l.desc.tag() == LayerTag::Conv).count();
+        assert_eq!(convs, 14);
+    }
+
+    #[test]
+    fn final_feature_map_is_7x7x1024() {
+        let net = mobilenet_v1(1);
+        let last_relu =
+            net.layers().iter().find(|l| l.desc.name == "conv13/pw/relu").unwrap();
+        assert_eq!(last_relu.output_shape, Shape::new(1, 1024, 7, 7));
+    }
+
+    #[test]
+    fn batchnorm_follows_every_conv() {
+        let net = mobilenet_v1(1);
+        let bns = net.layers().iter().filter(|l| l.desc.tag() == LayerTag::BatchNorm).count();
+        assert_eq!(bns, 27); // stem + 13 * (dw + pw)
+    }
+}

@@ -1,0 +1,108 @@
+use qsdnn_tensor::Shape;
+
+use crate::{ConvParams, FcParams, LayerId, Network, NetworkBuilder, PoolKind, PoolParams};
+
+/// One ResNet basic block: conv-bn-relu-conv-bn + shortcut, final relu.
+fn basic_block(
+    b: &mut NetworkBuilder,
+    from: LayerId,
+    name: &str,
+    channels: usize,
+    stride: usize,
+    downsample: bool,
+) -> LayerId {
+    let c1 = b
+        .conv(&format!("{name}/conv1"), from, ConvParams::square(channels, 3, stride, 1))
+        .expect("static shapes");
+    let b1 = b.batch_norm(&format!("{name}/bn1"), c1);
+    let r1 = b.relu(&format!("{name}/relu1"), b1);
+    let c2 = b
+        .conv(&format!("{name}/conv2"), r1, ConvParams::square(channels, 3, 1, 1))
+        .expect("fits");
+    let b2 = b.batch_norm(&format!("{name}/bn2"), c2);
+    let shortcut = if downsample {
+        let ds = b
+            .conv(&format!("{name}/downsample"), from, ConvParams::square(channels, 1, stride, 0))
+            .expect("fits");
+        b.batch_norm(&format!("{name}/downsample_bn"), ds)
+    } else {
+        from
+    };
+    let add = b.add(&format!("{name}/add"), b2, shortcut).expect("shapes match");
+    b.relu(&format!("{name}/relu2"), add)
+}
+
+/// ResNet-18 (224×224 input) with floor-mode stem pooling (PyTorch
+/// semantics, 56×56 after the stem).
+///
+/// Residual `Add` layers create multi-producer joins, exercising the
+/// penalty accounting on non-serialized edges.
+pub fn resnet18(batch: usize) -> Network {
+    resnet("resnet18", batch, [2, 2, 2, 2])
+}
+
+/// ResNet-34 (224×224 input): the deeper basic-block variant
+/// (3/4/6/3 blocks per stage). Not in the paper's Table II; included for
+/// roster breadth and scalability experiments.
+pub fn resnet34(batch: usize) -> Network {
+    resnet("resnet34", batch, [3, 4, 6, 3])
+}
+
+fn resnet(name: &str, batch: usize, blocks_per_stage: [usize; 4]) -> Network {
+    let mut b = NetworkBuilder::new(name);
+    let x = b.input(Shape::new(batch, 3, 224, 224));
+    let c1 = b.conv("conv1", x, ConvParams::square(64, 7, 2, 3)).expect("static shapes");
+    let b1 = b.batch_norm("bn1", c1);
+    let r1 = b.relu("relu1", b1);
+    let p1 = b
+        .pool("maxpool", r1, PoolParams::square(PoolKind::Max, 3, 2, 1).with_floor())
+        .expect("fits");
+
+    let mut cur = p1;
+    let stages: [(usize, usize); 4] = [(64, 1), (128, 2), (256, 2), (512, 2)];
+    for (si, (ch, first_stride)) in stages.iter().enumerate() {
+        for bi in 0..blocks_per_stage[si] {
+            let name = format!("layer{}_{}", si + 1, bi);
+            let stride = if bi == 0 { *first_stride } else { 1 };
+            let downsample = bi == 0 && *first_stride != 1;
+            cur = basic_block(&mut b, cur, &name, *ch, stride, downsample);
+        }
+    }
+
+    let gp = b.pool("avgpool", cur, PoolParams::global(PoolKind::Avg)).expect("fits");
+    let fc = b.fc("fc", gp, FcParams::new(1000)).expect("fits");
+    b.softmax("prob", fc);
+    b.build().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LayerTag;
+
+    #[test]
+    fn eight_residual_adds() {
+        let net = resnet18(1);
+        let adds = net.layers().iter().filter(|l| l.desc.tag() == LayerTag::Add).count();
+        assert_eq!(adds, 8);
+    }
+
+    #[test]
+    fn twenty_convs_including_downsamples() {
+        let net = resnet18(1);
+        let convs = net.layers().iter().filter(|l| l.desc.tag() == LayerTag::Conv).count();
+        // 1 stem + 16 block convs + 3 downsamples.
+        assert_eq!(convs, 20);
+    }
+
+    #[test]
+    fn canonical_stage_shapes() {
+        let net = resnet18(1);
+        let find = |name: &str| {
+            net.layers().iter().find(|l| l.desc.name == name).unwrap().output_shape
+        };
+        assert_eq!(find("maxpool"), Shape::new(1, 64, 56, 56));
+        assert_eq!(find("layer2_0/relu2"), Shape::new(1, 128, 28, 28));
+        assert_eq!(find("layer4_1/relu2"), Shape::new(1, 512, 7, 7));
+    }
+}

@@ -1,0 +1,73 @@
+use qsdnn_tensor::Shape;
+
+use crate::{ConvParams, FcParams, LayerId, Network, NetworkBuilder};
+
+/// One SphereFace residual unit: two 3×3 convolutions plus identity add.
+fn res_unit(b: &mut NetworkBuilder, from: LayerId, name: &str, channels: usize) -> LayerId {
+    let c1 = b
+        .conv(&format!("{name}/conv1"), from, ConvParams::square(channels, 3, 1, 1))
+        .expect("static shapes");
+    let r1 = b.relu(&format!("{name}/relu1"), c1);
+    let c2 = b
+        .conv(&format!("{name}/conv2"), r1, ConvParams::square(channels, 3, 1, 1))
+        .expect("fits");
+    let r2 = b.relu(&format!("{name}/relu2"), c2);
+    b.add(&format!("{name}/add"), r2, from).expect("shapes match")
+}
+
+/// SphereFace-20-style face-recognition CNN (112×96 RGB face crops,
+/// 512-d embedding output, no softmax).
+///
+/// Stands in for the paper's face-recognition workload: a 20-convolution
+/// residual net with stride-2 stage heads (64→128→256→512 channels).
+pub fn sphereface20(batch: usize) -> Network {
+    let mut b = NetworkBuilder::new("sphereface20");
+    let x = b.input(Shape::new(batch, 3, 112, 96));
+
+    // (stage channels, number of residual units). Conv count:
+    // 4 stage heads + 2*(1+2+4+1) = 20.
+    let stages: [(usize, usize); 4] = [(64, 1), (128, 2), (256, 4), (512, 1)];
+    let mut cur = x;
+    for (si, (ch, units)) in stages.iter().enumerate() {
+        let head = b
+            .conv(&format!("conv{}_1", si + 1), cur, ConvParams::square(*ch, 3, 2, 1))
+            .expect("static shapes");
+        cur = b.relu(&format!("relu{}_1", si + 1), head);
+        for ui in 0..*units {
+            cur = res_unit(&mut b, cur, &format!("res{}_{}", si + 1, ui + 1), *ch);
+        }
+    }
+    b.fc("fc5", cur, FcParams::new(512)).expect("fits");
+    b.build().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LayerTag;
+
+    #[test]
+    fn twenty_convolutions() {
+        let net = sphereface20(1);
+        let convs = net.layers().iter().filter(|l| l.desc.tag() == LayerTag::Conv).count();
+        assert_eq!(convs, 20);
+    }
+
+    #[test]
+    fn embedding_output_is_512d() {
+        let net = sphereface20(1);
+        let last = net.layers().last().unwrap();
+        assert_eq!(last.desc.tag(), LayerTag::Fc);
+        assert_eq!(last.output_shape, Shape::vector(1, 512));
+    }
+
+    #[test]
+    fn stage_spatial_extents_halve() {
+        let net = sphereface20(1);
+        let find = |name: &str| {
+            net.layers().iter().find(|l| l.desc.name == name).unwrap().output_shape
+        };
+        assert_eq!(find("relu1_1"), Shape::new(1, 64, 56, 48));
+        assert_eq!(find("relu4_1"), Shape::new(1, 512, 7, 6));
+    }
+}

@@ -1,0 +1,573 @@
+//! Partitioned Boolean Quadratic Programming (PBQP) solver.
+//!
+//! Anderson & Gregg ("Optimal DNN primitive selection with partitioned
+//! boolean quadratic programming", the paper's main related-work
+//! comparator) formulate primitive selection as a PBQP instance: one node
+//! per layer with a cost *vector* (one entry per candidate primitive), one
+//! edge per producer→consumer pair with a cost *matrix* (the layout/transfer
+//! incompatibility penalties). This crate implements the classic reduction
+//! solver:
+//!
+//! * **R0** — degree-0 nodes: pick the cheapest entry;
+//! * **RI** — degree-1 nodes: fold the node's costs into its neighbour;
+//! * **RII** — degree-2 nodes: replace the node by an edge between its two
+//!   neighbours;
+//! * **RN** — heuristic elimination for degree ≥ 3 (local argmin), which
+//!   makes the solver fast but only near-optimal on dense graphs.
+//!
+//! Decisions are back-propagated in reverse elimination order. For
+//! chain-/tree-shaped graphs (every DNN in the zoo reduces this way) the
+//! solution is **exact**.
+//!
+//! # Examples
+//!
+//! ```
+//! use qsdnn_pbqp::PbqpGraph;
+//!
+//! let mut g = PbqpGraph::new();
+//! let a = g.add_node(vec![1.0, 3.0]);
+//! let b = g.add_node(vec![2.0, 0.5]);
+//! // Disagreeing choices cost 10.
+//! g.add_edge(a, b, vec![0.0, 10.0, 10.0, 0.0]).unwrap();
+//! let sol = g.solve_with_cost();
+//! assert_eq!(sol.selection, vec![0, 0]); // 1.0 + 2.0 beats any mismatch
+//! assert!((sol.cost - 3.0).abs() < 1e-12);
+//! ```
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Error type for PBQP graph construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PbqpError {
+    /// An edge referenced a node id that does not exist.
+    UnknownNode(usize),
+    /// Matrix length does not equal `|u| * |v|`.
+    MatrixExtent {
+        /// Expected length.
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+    /// Self-loops are not representable in PBQP.
+    SelfLoop(usize),
+}
+
+impl std::fmt::Display for PbqpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PbqpError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            PbqpError::MatrixExtent { expected, got } => {
+                write!(f, "edge matrix has {got} entries, expected {expected}")
+            }
+            PbqpError::SelfLoop(n) => write!(f, "self-loop on node {n}"),
+        }
+    }
+}
+
+impl std::error::Error for PbqpError {}
+
+/// Solution of a PBQP instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PbqpSolution {
+    /// Chosen alternative per node.
+    pub selection: Vec<usize>,
+    /// Total cost of the selection.
+    pub cost: f64,
+    /// Whether only R0/RI/RII reductions were used (solution is exact).
+    pub exact: bool,
+}
+
+/// A PBQP instance: cost vectors on nodes, cost matrices on edges.
+#[derive(Debug, Clone, Default)]
+pub struct PbqpGraph {
+    nodes: Vec<Vec<f64>>,
+    /// Keyed by `(min(u,v), max(u,v))`; matrix row-major as `[ci_u][ci_v]`
+    /// for `u < v`.
+    edges: HashMap<(usize, usize), Vec<f64>>,
+}
+
+impl PbqpGraph {
+    /// Creates an empty instance.
+    pub fn new() -> Self {
+        PbqpGraph::default()
+    }
+
+    /// Adds a node with the given cost vector; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `costs` is empty.
+    pub fn add_node(&mut self, costs: Vec<f64>) -> usize {
+        assert!(!costs.is_empty(), "node needs at least one alternative");
+        self.nodes.push(costs);
+        self.nodes.len() - 1
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the instance has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds (or accumulates onto) the edge `u–v` with `matrix[ci_u][ci_v]`
+    /// costs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PbqpError`] on unknown ids, a self-loop, or a matrix whose
+    /// length is not `|u| * |v|`.
+    pub fn add_edge(&mut self, u: usize, v: usize, matrix: Vec<f64>) -> Result<(), PbqpError> {
+        if u >= self.nodes.len() {
+            return Err(PbqpError::UnknownNode(u));
+        }
+        if v >= self.nodes.len() {
+            return Err(PbqpError::UnknownNode(v));
+        }
+        if u == v {
+            return Err(PbqpError::SelfLoop(u));
+        }
+        let (nu, nv) = (self.nodes[u].len(), self.nodes[v].len());
+        if matrix.len() != nu * nv {
+            return Err(PbqpError::MatrixExtent { expected: nu * nv, got: matrix.len() });
+        }
+        let (key, mat) = if u < v {
+            ((u, v), matrix)
+        } else {
+            // Transpose into canonical (min,max) orientation.
+            let mut t = vec![0.0; matrix.len()];
+            for i in 0..nu {
+                for j in 0..nv {
+                    t[j * nu + i] = matrix[i * nv + j];
+                }
+            }
+            ((v, u), t)
+        };
+        match self.edges.get_mut(&key) {
+            Some(existing) => {
+                for (e, m) in existing.iter_mut().zip(mat) {
+                    *e += m;
+                }
+            }
+            None => {
+                self.edges.insert(key, mat);
+            }
+        }
+        Ok(())
+    }
+
+    /// Edge matrix oriented as `[ci_u][ci_v]`, if present.
+    fn matrix_oriented(&self, u: usize, v: usize) -> Option<Vec<f64>> {
+        let key = (u.min(v), u.max(v));
+        let mat = self.edges.get(&key)?;
+        if u < v {
+            Some(mat.clone())
+        } else {
+            let (nu, nv) = (self.nodes[u].len(), self.nodes[v].len());
+            let mut t = vec![0.0; mat.len()];
+            for i in 0..nu {
+                for j in 0..nv {
+                    t[i * nv + j] = mat[j * nu + i];
+                }
+            }
+            Some(t)
+        }
+    }
+
+    /// Cost of a full selection (for verification).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `selection` is the wrong length or indexes out of range.
+    pub fn cost_of(&self, selection: &[usize]) -> f64 {
+        assert_eq!(selection.len(), self.nodes.len(), "selection length");
+        let mut c: f64 = self
+            .nodes
+            .iter()
+            .zip(selection)
+            .map(|(costs, &ci)| costs[ci])
+            .sum();
+        for (&(u, v), mat) in &self.edges {
+            let nv = self.nodes[v].len();
+            c += mat[selection[u] * nv + selection[v]];
+        }
+        c
+    }
+
+    /// Solves the instance with R0/RI/RII reductions plus the RN heuristic.
+    pub fn solve(&self) -> PbqpSolution {
+        Solver::new(self).run()
+    }
+}
+
+/// Record of one elimination, replayed backwards to reconstruct choices.
+enum Elim {
+    /// R0/RN: the node's choice was fixed outright.
+    Fixed { node: usize, choice: usize },
+    /// RI: `node`'s best choice depends on `neighbor`'s choice.
+    Dep1 { node: usize, neighbor: usize, best: Vec<usize> },
+    /// RII: `node`'s best choice depends on both neighbours.
+    Dep2 { node: usize, n1: usize, n2: usize, best: Vec<usize>, n2_len: usize },
+}
+
+struct Solver {
+    costs: Vec<Vec<f64>>,
+    /// Live adjacency: for each node, map neighbor -> matrix `[self][nb]`.
+    adj: Vec<HashMap<usize, Vec<f64>>>,
+    alive: Vec<bool>,
+    trail: Vec<Elim>,
+    exact: bool,
+}
+
+impl Solver {
+    fn new(g: &PbqpGraph) -> Self {
+        let n = g.nodes.len();
+        let mut adj: Vec<HashMap<usize, Vec<f64>>> = vec![HashMap::new(); n];
+        for &(u, v) in g.edges.keys() {
+            adj[u].insert(v, g.matrix_oriented(u, v).expect("edge present"));
+            adj[v].insert(u, g.matrix_oriented(v, u).expect("edge present"));
+        }
+        Solver { costs: g.nodes.clone(), adj, alive: vec![true; n], trail: Vec::new(), exact: true }
+    }
+
+    fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    fn remove_edge(&mut self, u: usize, v: usize) {
+        self.adj[u].remove(&v);
+        self.adj[v].remove(&u);
+    }
+
+    fn add_matrix(&mut self, u: usize, v: usize, m: &[f64]) {
+        // m is oriented [u][v].
+        let nv = self.costs[v].len();
+        let nu = self.costs[u].len();
+        let entry_uv = self.adj[u].entry(v).or_insert_with(|| vec![0.0; nu * nv]);
+        for (e, x) in entry_uv.iter_mut().zip(m) {
+            *e += x;
+        }
+        let mut t = vec![0.0; m.len()];
+        for i in 0..nu {
+            for j in 0..nv {
+                t[j * nu + i] = m[i * nv + j];
+            }
+        }
+        let entry_vu = self.adj[v].entry(u).or_insert_with(|| vec![0.0; nu * nv]);
+        for (e, x) in entry_vu.iter_mut().zip(t) {
+            *e += x;
+        }
+    }
+
+    fn reduce_r0(&mut self, u: usize) {
+        let choice = argmin(&self.costs[u]);
+        self.trail.push(Elim::Fixed { node: u, choice });
+        self.alive[u] = false;
+    }
+
+    fn reduce_r1(&mut self, u: usize) {
+        let (&nb, mat) = self.adj[u].iter().next().expect("degree 1");
+        let mat = mat.clone();
+        let nu = self.costs[u].len();
+        let nnb = self.costs[nb].len();
+        let mut best = vec![0usize; nnb];
+        let mut delta = vec![0.0f64; nnb];
+        for j in 0..nnb {
+            let mut bi = 0;
+            let mut bc = f64::INFINITY;
+            for i in 0..nu {
+                let c = self.costs[u][i] + mat[i * nnb + j];
+                if c < bc {
+                    bc = c;
+                    bi = i;
+                }
+            }
+            best[j] = bi;
+            delta[j] = bc;
+        }
+        for (c, d) in self.costs[nb].iter_mut().zip(&delta) {
+            *c += d;
+        }
+        self.remove_edge(u, nb);
+        self.trail.push(Elim::Dep1 { node: u, neighbor: nb, best });
+        self.alive[u] = false;
+    }
+
+    fn reduce_r2(&mut self, u: usize) {
+        let neighbors: Vec<usize> = self.adj[u].keys().copied().collect();
+        let (n1, n2) = (neighbors[0], neighbors[1]);
+        let m1 = self.adj[u][&n1].clone(); // [u][n1]
+        let m2 = self.adj[u][&n2].clone(); // [u][n2]
+        let nu = self.costs[u].len();
+        let l1 = self.costs[n1].len();
+        let l2 = self.costs[n2].len();
+        let mut new_mat = vec![0.0f64; l1 * l2]; // [n1][n2]
+        let mut best = vec![0usize; l1 * l2];
+        for j in 0..l1 {
+            for k in 0..l2 {
+                let mut bi = 0;
+                let mut bc = f64::INFINITY;
+                for i in 0..nu {
+                    let c = self.costs[u][i] + m1[i * l1 + j] + m2[i * l2 + k];
+                    if c < bc {
+                        bc = c;
+                        bi = i;
+                    }
+                }
+                new_mat[j * l2 + k] = bc;
+                best[j * l2 + k] = bi;
+            }
+        }
+        self.remove_edge(u, n1);
+        self.remove_edge(u, n2);
+        self.add_matrix(n1, n2, &new_mat);
+        self.trail.push(Elim::Dep2 { node: u, n1, n2, best, n2_len: l2 });
+        self.alive[u] = false;
+    }
+
+    /// RN heuristic: fix the highest-degree node at its locally-optimal
+    /// alternative, folding the chosen row of each incident matrix into the
+    /// neighbour's vector.
+    fn reduce_rn(&mut self, u: usize) {
+        self.exact = false;
+        let nu = self.costs[u].len();
+        let neighbors: Vec<usize> = self.adj[u].keys().copied().collect();
+        let mut bi = 0;
+        let mut bc = f64::INFINITY;
+        for i in 0..nu {
+            let mut c = self.costs[u][i];
+            for &nb in &neighbors {
+                let mat = &self.adj[u][&nb];
+                let lnb = self.costs[nb].len();
+                let row_min =
+                    (0..lnb).map(|j| mat[i * lnb + j]).fold(f64::INFINITY, f64::min);
+                c += row_min;
+            }
+            if c < bc {
+                bc = c;
+                bi = i;
+            }
+        }
+        for &nb in &neighbors {
+            let mat = self.adj[u][&nb].clone();
+            let lnb = self.costs[nb].len();
+            for j in 0..lnb {
+                self.costs[nb][j] += mat[bi * lnb + j];
+            }
+            self.remove_edge(u, nb);
+        }
+        self.trail.push(Elim::Fixed { node: u, choice: bi });
+        self.alive[u] = false;
+    }
+
+    fn run(mut self) -> PbqpSolution {
+        let n = self.costs.len();
+        loop {
+            let mut progressed = false;
+            // Prefer exact reductions, lowest degree first.
+            for deg in 0..=2usize {
+                for u in 0..n {
+                    if self.alive[u] && self.degree(u) == deg {
+                        match deg {
+                            0 => self.reduce_r0(u),
+                            1 => self.reduce_r1(u),
+                            _ => self.reduce_r2(u),
+                        }
+                        progressed = true;
+                        break;
+                    }
+                }
+                if progressed {
+                    break;
+                }
+            }
+            if progressed {
+                continue;
+            }
+            // No exact reduction available: RN on the max-degree node.
+            let next = (0..n)
+                .filter(|&u| self.alive[u])
+                .max_by_key(|&u| self.degree(u));
+            match next {
+                Some(u) => self.reduce_rn(u),
+                None => break,
+            }
+        }
+        // Back-propagate decisions.
+        let mut selection = vec![usize::MAX; n];
+        for elim in self.trail.iter().rev() {
+            match elim {
+                Elim::Fixed { node, choice } => selection[*node] = *choice,
+                Elim::Dep1 { node, neighbor, best } => {
+                    selection[*node] = best[selection[*neighbor]];
+                }
+                Elim::Dep2 { node, n1, n2, best, n2_len } => {
+                    selection[*node] = best[selection[*n1] * n2_len + selection[*n2]];
+                }
+            }
+        }
+        PbqpSolution { cost: 0.0, exact: self.exact, selection }
+    }
+}
+
+fn argmin(v: &[f64]) -> usize {
+    v.iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite costs"))
+        .map(|(i, _)| i)
+        .expect("non-empty")
+}
+
+impl PbqpGraph {
+    /// Solves and fills in the verified total cost.
+    pub fn solve_with_cost(&self) -> PbqpSolution {
+        let mut sol = self.solve();
+        sol.cost = self.cost_of(&sol.selection);
+        sol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Brute-force optimum for small instances.
+    fn brute_force(g: &PbqpGraph) -> (Vec<usize>, f64) {
+        let dims: Vec<usize> = (0..g.len()).map(|u| g.nodes[u].len()).collect();
+        let mut best = (vec![0; g.len()], f64::INFINITY);
+        let mut sel = vec![0usize; g.len()];
+        loop {
+            let c = g.cost_of(&sel);
+            if c < best.1 {
+                best = (sel.clone(), c);
+            }
+            // Increment mixed-radix counter.
+            let mut i = 0;
+            loop {
+                if i == sel.len() {
+                    return best;
+                }
+                sel[i] += 1;
+                if sel[i] < dims[i] {
+                    break;
+                }
+                sel[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    fn random_instance(n: usize, k: usize, extra_edges: usize, seed: u64) -> PbqpGraph {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut g = PbqpGraph::new();
+        for _ in 0..n {
+            let costs: Vec<f64> = (0..k).map(|_| rng.gen_range(0.0..5.0)).collect();
+            g.add_node(costs);
+        }
+        // Chain backbone.
+        for u in 1..n {
+            let m: Vec<f64> = (0..k * k).map(|_| rng.gen_range(0.0..2.0)).collect();
+            g.add_edge(u - 1, u, m).unwrap();
+        }
+        for _ in 0..extra_edges {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                let m: Vec<f64> = (0..k * k).map(|_| rng.gen_range(0.0..2.0)).collect();
+                g.add_edge(u, v, m).unwrap();
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn single_node_picks_argmin() {
+        let mut g = PbqpGraph::new();
+        g.add_node(vec![3.0, 1.0, 2.0]);
+        let sol = g.solve_with_cost();
+        assert_eq!(sol.selection, vec![1]);
+        assert_eq!(sol.cost, 1.0);
+        assert!(sol.exact);
+    }
+
+    #[test]
+    fn chain_is_solved_exactly() {
+        for seed in 0..20 {
+            let g = random_instance(6, 3, 0, seed);
+            let sol = g.solve_with_cost();
+            let (_, opt) = brute_force(&g);
+            assert!(sol.exact, "chains reduce with RI only");
+            assert!((sol.cost - opt).abs() < 1e-9, "seed {seed}: {} vs {opt}", sol.cost);
+        }
+    }
+
+    #[test]
+    fn cycles_are_solved_exactly_via_r2() {
+        // A 4-cycle reduces with RII.
+        for seed in 0..10 {
+            let mut g = random_instance(4, 3, 0, seed);
+            let mut rng = SmallRng::seed_from_u64(seed + 999);
+            let m: Vec<f64> = (0..9).map(|_| rng.gen_range(0.0..2.0)).collect();
+            g.add_edge(3, 0, m).unwrap();
+            let sol = g.solve_with_cost();
+            let (_, opt) = brute_force(&g);
+            assert!((sol.cost - opt).abs() < 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dense_instances_use_rn_and_stay_close() {
+        for seed in 0..10 {
+            let g = random_instance(7, 3, 8, seed);
+            let sol = g.solve_with_cost();
+            let (_, opt) = brute_force(&g);
+            assert!(sol.cost >= opt - 1e-9);
+            assert!(
+                sol.cost <= opt * 1.25 + 1e-9,
+                "seed {seed}: heuristic {} vs optimum {opt}",
+                sol.cost
+            );
+        }
+    }
+
+    #[test]
+    fn transposed_edge_insertion_is_consistent() {
+        let mut g = PbqpGraph::new();
+        let a = g.add_node(vec![0.0, 0.0]);
+        let b = g.add_node(vec![0.0, 0.0, 0.0]);
+        // Insert as (b, a): matrix [3x2].
+        g.add_edge(b, a, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        // cost(a=1, b=2) must read matrix[b=2][a=1] = 6.
+        assert_eq!(g.cost_of(&[1, 2]), 6.0);
+    }
+
+    #[test]
+    fn parallel_edges_accumulate() {
+        let mut g = PbqpGraph::new();
+        let a = g.add_node(vec![0.0, 0.0]);
+        let b = g.add_node(vec![0.0, 0.0]);
+        g.add_edge(a, b, vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        g.add_edge(a, b, vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        assert_eq!(g.cost_of(&[0, 0]), 2.0);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut g = PbqpGraph::new();
+        let a = g.add_node(vec![0.0]);
+        assert!(matches!(g.add_edge(a, 9, vec![0.0]), Err(PbqpError::UnknownNode(9))));
+        assert!(matches!(g.add_edge(a, a, vec![0.0]), Err(PbqpError::SelfLoop(_))));
+        let b = g.add_node(vec![0.0, 0.0]);
+        assert!(matches!(
+            g.add_edge(a, b, vec![0.0]),
+            Err(PbqpError::MatrixExtent { expected: 2, got: 1 })
+        ));
+    }
+}

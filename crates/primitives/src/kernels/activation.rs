@@ -1,0 +1,175 @@
+//! Element-wise and normalization kernels: ReLU, batch-norm, LRN, softmax.
+
+use qsdnn_nn::LrnParams;
+use qsdnn_tensor::{Shape, Tensor};
+
+/// ReLU. Element-wise, so the buffer can be processed directly in whatever
+/// layout the input uses; the output keeps that layout.
+pub fn relu(input: &Tensor) -> Tensor {
+    let mut out = input.clone();
+    for v in out.as_mut_slice() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+    out
+}
+
+/// Inference-time batch normalization: `y = x * scale[c] + shift[c]`.
+/// Output keeps the input layout.
+pub fn batch_norm(input: &Tensor, scale: &[f32], shift: &[f32]) -> Tensor {
+    let s = input.shape();
+    let mut out = Tensor::zeros(s, input.layout());
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let (sc, sh) = (scale[c], shift[c]);
+            for h in 0..s.h {
+                for w in 0..s.w {
+                    out.set(n, c, h, w, input.at(n, c, h, w) * sc + sh);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Local response normalization across channels (Caffe `ACROSS_CHANNELS`):
+///
+/// `y[c] = x[c] / (k + alpha/size * sum_{c'} x[c']^2)^beta` over a window of
+/// `size` channels centred on `c`. Output keeps the input layout.
+pub fn lrn(input: &Tensor, p: &LrnParams) -> Tensor {
+    let s = input.shape();
+    let half = p.size / 2;
+    let mut out = Tensor::zeros(s, input.layout());
+    for n in 0..s.n {
+        for h in 0..s.h {
+            for w in 0..s.w {
+                for c in 0..s.c {
+                    let lo = c.saturating_sub(half);
+                    let hi = (c + half).min(s.c - 1);
+                    let mut sq = 0.0f32;
+                    for ci in lo..=hi {
+                        let v = input.at(n, ci, h, w);
+                        sq += v * v;
+                    }
+                    let denom = (p.k + p.alpha / p.size as f32 * sq).powf(p.beta);
+                    out.set(n, c, h, w, input.at(n, c, h, w) / denom);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Numerically-stable softmax over channels, per `(n, h, w)` position.
+/// Output keeps the input layout.
+pub fn softmax(input: &Tensor) -> Tensor {
+    let s = input.shape();
+    let mut out = Tensor::zeros(s, input.layout());
+    for n in 0..s.n {
+        for h in 0..s.h {
+            for w in 0..s.w {
+                let mut max = f32::NEG_INFINITY;
+                for c in 0..s.c {
+                    max = max.max(input.at(n, c, h, w));
+                }
+                let mut sum = 0.0f32;
+                for c in 0..s.c {
+                    sum += (input.at(n, c, h, w) - max).exp();
+                }
+                for c in 0..s.c {
+                    out.set(n, c, h, w, (input.at(n, c, h, w) - max).exp() / sum);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Helper: output shape equals input shape for all kernels in this module.
+pub fn same_shape(input: &Tensor) -> Shape {
+    input.shape()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsdnn_tensor::DataLayout;
+
+    #[test]
+    fn relu_clamps_negatives_only() {
+        let t = Tensor::from_vec(
+            Shape::new(1, 1, 1, 4),
+            DataLayout::Nchw,
+            vec![-1.0, 0.0, 2.5, -0.1],
+        )
+        .unwrap();
+        assert_eq!(relu(&t).as_slice(), &[0.0, 0.0, 2.5, 0.0]);
+    }
+
+    #[test]
+    fn relu_preserves_layout() {
+        let t = Tensor::random(Shape::new(1, 3, 2, 2), DataLayout::Nhwc, 3);
+        assert_eq!(relu(&t).layout(), DataLayout::Nhwc);
+    }
+
+    #[test]
+    fn batch_norm_scales_per_channel() {
+        let t = Tensor::from_fn(Shape::new(1, 2, 1, 2), DataLayout::Nchw, |_, _, _, _| 2.0);
+        let out = batch_norm(&t, &[1.0, 10.0], &[0.5, 0.0]);
+        assert_eq!(out.at(0, 0, 0, 0), 2.5);
+        assert_eq!(out.at(0, 1, 0, 1), 20.0);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let t = Tensor::from_vec(
+            Shape::new(1, 3, 1, 1),
+            DataLayout::Nchw,
+            vec![1.0, 3.0, 2.0],
+        )
+        .unwrap();
+        let s = softmax(&t);
+        let sum: f32 = s.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(s.at(0, 1, 0, 0) > s.at(0, 2, 0, 0));
+        assert!(s.at(0, 2, 0, 0) > s.at(0, 0, 0, 0));
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_inputs() {
+        let t = Tensor::from_vec(
+            Shape::new(1, 2, 1, 1),
+            DataLayout::Nchw,
+            vec![1000.0, 1001.0],
+        )
+        .unwrap();
+        let s = softmax(&t);
+        assert!(s.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn lrn_normalizes_by_neighbourhood_energy() {
+        let p = LrnParams { size: 3, alpha: 1.0, beta: 1.0, k: 1.0 };
+        let t = Tensor::from_vec(
+            Shape::new(1, 3, 1, 1),
+            DataLayout::Nchw,
+            vec![3.0, 0.0, 4.0],
+        )
+        .unwrap();
+        let out = lrn(&t, &p);
+        // c=0 window {0,1}: sq=9  -> denom = 1 + 9/3 = 4   -> 0.75
+        // c=1 window {0,1,2}: sq=25 -> denom = 1 + 25/3    -> 0.0
+        // c=2 window {1,2}: sq=16 -> denom = 1 + 16/3      -> 4/(19/3)
+        assert!((out.at(0, 0, 0, 0) - 0.75).abs() < 1e-5);
+        assert_eq!(out.at(0, 1, 0, 0), 0.0);
+        assert!((out.at(0, 2, 0, 0) - 4.0 / (1.0 + 16.0 / 3.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn lrn_identity_when_alpha_zero() {
+        let p = LrnParams { size: 5, alpha: 0.0, beta: 0.75, k: 1.0 };
+        let t = Tensor::random(Shape::new(1, 4, 2, 2), DataLayout::Nchw, 8);
+        assert!(lrn(&t, &p).approx_eq(&t, 1e-6).unwrap());
+    }
+}

@@ -1,0 +1,215 @@
+//! Direct (nested-loop) convolution kernels.
+
+use qsdnn_nn::ConvParams;
+use qsdnn_tensor::{DataLayout, Shape, Tensor};
+
+/// Vanilla direct convolution: accessor-based nested loops, any input
+/// layout, output produced in `out_layout`.
+///
+/// This is the dependency-free reference implementation — deliberately
+/// unoptimized, like the paper's ANSI-C Vanilla library.
+pub fn conv_direct_vanilla(
+    input: &Tensor,
+    w: &[f32],
+    bias: &[f32],
+    p: &ConvParams,
+    out_shape: Shape,
+    out_layout: DataLayout,
+) -> Tensor {
+    let in_shape = input.shape();
+    let (kh, kw) = p.kernel;
+    let (sh, sw) = p.stride;
+    let (ph, pw) = p.pad;
+    let ic = in_shape.c;
+    let mut out = Tensor::zeros(out_shape, out_layout);
+    for n in 0..out_shape.n {
+        for oc in 0..out_shape.c {
+            for oy in 0..out_shape.h {
+                for ox in 0..out_shape.w {
+                    let mut acc = if bias.is_empty() { 0.0 } else { bias[oc] };
+                    for c in 0..ic {
+                        for ky in 0..kh {
+                            let iy = (oy * sh + ky) as isize - ph as isize;
+                            if iy < 0 || iy >= in_shape.h as isize {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * sw + kx) as isize - pw as isize;
+                                if ix < 0 || ix >= in_shape.w as isize {
+                                    continue;
+                                }
+                                let wv = w[((oc * ic + c) * kh + ky) * kw + kx];
+                                acc += wv * input.at(n, c, iy as usize, ix as usize);
+                            }
+                        }
+                    }
+                    out.set(n, oc, oy, ox, acc);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// NNPACK-style optimized direct convolution: raw NCHW indexing with an
+/// output-channel-blocked inner structure.
+///
+/// Requires (and produces) NCHW buffers; semantics identical to
+/// [`conv_direct_vanilla`].
+///
+/// # Panics
+///
+/// Panics if `input` is not NCHW.
+pub fn conv_direct_opt(
+    input: &Tensor,
+    w: &[f32],
+    bias: &[f32],
+    p: &ConvParams,
+    out_shape: Shape,
+) -> Tensor {
+    assert_eq!(input.layout(), DataLayout::Nchw, "conv_direct_opt requires NCHW input");
+    let in_shape = input.shape();
+    let (kh, kw) = p.kernel;
+    let (sh, sw) = p.stride;
+    let (ph, pw) = p.pad;
+    let (ic, ih, iw) = (in_shape.c, in_shape.h, in_shape.w);
+    let (oc_n, oh, ow) = (out_shape.c, out_shape.h, out_shape.w);
+    let x = input.as_slice();
+    let mut out = Tensor::zeros(out_shape, DataLayout::Nchw);
+    let o = out.as_mut_slice();
+
+    const OCB: usize = 4; // output channels per register block
+    for n in 0..out_shape.n {
+        let in_base = n * ic * ih * iw;
+        let out_base = n * oc_n * oh * ow;
+        let mut oc0 = 0;
+        while oc0 < oc_n {
+            let ocb = (oc_n - oc0).min(OCB);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = [0.0f32; OCB];
+                    for (bi, a) in acc.iter_mut().enumerate().take(ocb) {
+                        if !bias.is_empty() {
+                            *a = bias[oc0 + bi];
+                        }
+                    }
+                    for c in 0..ic {
+                        let plane = in_base + c * ih * iw;
+                        for ky in 0..kh {
+                            let iy = (oy * sh + ky) as isize - ph as isize;
+                            if iy < 0 || iy >= ih as isize {
+                                continue;
+                            }
+                            let row = plane + iy as usize * iw;
+                            for kx in 0..kw {
+                                let ix = (ox * sw + kx) as isize - pw as isize;
+                                if ix < 0 || ix >= iw as isize {
+                                    continue;
+                                }
+                                let xv = x[row + ix as usize];
+                                for (bi, a) in acc.iter_mut().enumerate().take(ocb) {
+                                    let wv =
+                                        w[(((oc0 + bi) * ic + c) * kh + ky) * kw + kx];
+                                    *a += wv * xv;
+                                }
+                            }
+                        }
+                    }
+                    for (bi, a) in acc.iter().enumerate().take(ocb) {
+                        o[out_base + (oc0 + bi) * oh * ow + oy * ow + ox] = *a;
+                    }
+                }
+            }
+            oc0 += ocb;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(k: usize, s: usize, p: usize, oc: usize) -> ConvParams {
+        ConvParams::square(oc, k, s, p)
+    }
+
+    fn out_shape(in_s: Shape, p: &ConvParams) -> Shape {
+        Shape::new(
+            in_s.n,
+            p.out_channels,
+            (in_s.h + 2 * p.pad.0 - p.kernel.0) / p.stride.0 + 1,
+            (in_s.w + 2 * p.pad.1 - p.kernel.1) / p.stride.1 + 1,
+        )
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        // 1x1 conv with identity weights = channel mix with unit matrix.
+        let in_s = Shape::new(1, 2, 3, 3);
+        let input = Tensor::random(in_s, DataLayout::Nchw, 1);
+        let w = vec![1.0, 0.0, 0.0, 1.0]; // [oc=2][ic=2][1][1]
+        let p = params(1, 1, 0, 2);
+        let out = conv_direct_vanilla(&input, &w, &[], &p, out_shape(in_s, &p), DataLayout::Nchw);
+        assert!(out.approx_eq(&input, 1e-6).unwrap());
+    }
+
+    #[test]
+    fn known_3x3_valid_convolution() {
+        // Single channel 3x3 input, all-ones kernel, no pad: sum of input.
+        let in_s = Shape::new(1, 1, 3, 3);
+        let input = Tensor::from_fn(in_s, DataLayout::Nchw, |_, _, h, w| (h * 3 + w) as f32);
+        let w = vec![1.0; 9];
+        let p = params(3, 1, 0, 1);
+        let out = conv_direct_vanilla(&input, &w, &[], &p, out_shape(in_s, &p), DataLayout::Nchw);
+        assert_eq!(out.at(0, 0, 0, 0), 36.0);
+    }
+
+    #[test]
+    fn bias_is_added() {
+        let in_s = Shape::new(1, 1, 2, 2);
+        let input = Tensor::zeros(in_s, DataLayout::Nchw);
+        let p = params(1, 1, 0, 1);
+        let out =
+            conv_direct_vanilla(&input, &[0.0], &[5.0], &p, out_shape(in_s, &p), DataLayout::Nchw);
+        assert_eq!(out.at(0, 0, 1, 1), 5.0);
+    }
+
+    #[test]
+    fn optimized_matches_vanilla() {
+        let in_s = Shape::new(2, 3, 9, 7);
+        let input = Tensor::random(in_s, DataLayout::Nchw, 5);
+        for (k, s, pad, oc) in [(3, 1, 1, 5), (5, 2, 2, 7), (1, 1, 0, 4), (3, 2, 1, 6)] {
+            let p = params(k, s, pad, oc);
+            let os = out_shape(in_s, &p);
+            let w: Vec<f32> =
+                (0..oc * 3 * k * k).map(|i| ((i * 31 + 7) % 13) as f32 * 0.1 - 0.6).collect();
+            let bias: Vec<f32> = (0..oc).map(|i| i as f32 * 0.01).collect();
+            let a = conv_direct_vanilla(&input, &w, &bias, &p, os, DataLayout::Nchw);
+            let b = conv_direct_opt(&input, &w, &bias, &p, os);
+            assert!(a.approx_eq(&b, 1e-4).unwrap(), "k={k} s={s}");
+        }
+    }
+
+    #[test]
+    fn vanilla_accepts_nhwc_input_and_output() {
+        let in_s = Shape::new(1, 3, 6, 6);
+        let input_nchw = Tensor::random(in_s, DataLayout::Nchw, 9);
+        let input_nhwc = input_nchw.to_layout(DataLayout::Nhwc);
+        let p = params(3, 1, 1, 4);
+        let os = out_shape(in_s, &p);
+        let w: Vec<f32> = (0..4 * 3 * 9).map(|i| (i % 5) as f32 * 0.1).collect();
+        let a = conv_direct_vanilla(&input_nchw, &w, &[], &p, os, DataLayout::Nchw);
+        let b = conv_direct_vanilla(&input_nhwc, &w, &[], &p, os, DataLayout::Nhwc);
+        assert!(a.approx_eq(&b, 1e-5).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires NCHW")]
+    fn optimized_rejects_nhwc() {
+        let in_s = Shape::new(1, 1, 4, 4);
+        let input = Tensor::zeros(in_s, DataLayout::Nhwc);
+        let p = params(3, 1, 1, 1);
+        conv_direct_opt(&input, &[0.0; 9], &[], &p, out_shape(in_s, &p));
+    }
+}

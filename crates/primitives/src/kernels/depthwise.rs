@@ -1,0 +1,153 @@
+//! Depth-wise convolution kernels.
+
+use qsdnn_nn::ConvParams;
+use qsdnn_tensor::{DataLayout, Shape, Tensor};
+
+/// Vanilla depth-wise convolution: accessor-based loops, any input layout,
+/// output in `out_layout`. Weights are `[C][KH][KW]`.
+pub fn depthwise_vanilla(
+    input: &Tensor,
+    w: &[f32],
+    bias: &[f32],
+    p: &ConvParams,
+    out_shape: Shape,
+    out_layout: DataLayout,
+) -> Tensor {
+    let in_s = input.shape();
+    let (kh, kw) = p.kernel;
+    let (sh, sw) = p.stride;
+    let (ph, pw) = p.pad;
+    let mut out = Tensor::zeros(out_shape, out_layout);
+    for n in 0..out_shape.n {
+        for c in 0..out_shape.c {
+            for oy in 0..out_shape.h {
+                for ox in 0..out_shape.w {
+                    let mut acc = if bias.is_empty() { 0.0 } else { bias[c] };
+                    for ky in 0..kh {
+                        let iy = (oy * sh + ky) as isize - ph as isize;
+                        if iy < 0 || iy >= in_s.h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * sw + kx) as isize - pw as isize;
+                            if ix < 0 || ix >= in_s.w as isize {
+                                continue;
+                            }
+                            acc += w[(c * kh + ky) * kw + kx]
+                                * input.at(n, c, iy as usize, ix as usize);
+                        }
+                    }
+                    out.set(n, c, oy, ox, acc);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// ArmCL-style optimized depth-wise convolution: raw NHWC indexing so the
+/// channel loop is innermost and contiguous (vectorizer-friendly, the trick
+/// behind ArmCL's fast MobileNet depth-wise kernels).
+///
+/// # Panics
+///
+/// Panics if `input` is not NHWC.
+pub fn depthwise_opt_nhwc(
+    input: &Tensor,
+    w: &[f32],
+    bias: &[f32],
+    p: &ConvParams,
+    out_shape: Shape,
+) -> Tensor {
+    assert_eq!(input.layout(), DataLayout::Nhwc, "depthwise_opt_nhwc requires NHWC input");
+    let in_s = input.shape();
+    let (kh, kw) = p.kernel;
+    let (sh, sw) = p.stride;
+    let (ph, pw) = p.pad;
+    let c_n = in_s.c;
+    let x = input.as_slice();
+    let mut out = Tensor::zeros(out_shape, DataLayout::Nhwc);
+    let o = out.as_mut_slice();
+    for n in 0..out_shape.n {
+        let in_base = n * in_s.h * in_s.w * c_n;
+        let out_base = n * out_shape.h * out_shape.w * c_n;
+        for oy in 0..out_shape.h {
+            for ox in 0..out_shape.w {
+                let dst = out_base + (oy * out_shape.w + ox) * c_n;
+                if !bias.is_empty() {
+                    o[dst..dst + c_n].copy_from_slice(bias);
+                }
+                for ky in 0..kh {
+                    let iy = (oy * sh + ky) as isize - ph as isize;
+                    if iy < 0 || iy >= in_s.h as isize {
+                        continue;
+                    }
+                    for kx in 0..kw {
+                        let ix = (ox * sw + kx) as isize - pw as isize;
+                        if ix < 0 || ix >= in_s.w as isize {
+                            continue;
+                        }
+                        let src = in_base + (iy as usize * in_s.w + ix as usize) * c_n;
+                        let tap = ky * kw + kx;
+                        // Channel-contiguous FMA: o[c] += w[c][tap] * x[c].
+                        for c in 0..c_n {
+                            o[dst + c] += w[c * kh * kw + tap] * x[src + c];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(stride: usize) -> (Tensor, Vec<f32>, Vec<f32>, ConvParams, Shape) {
+        let in_s = Shape::new(2, 6, 9, 7);
+        let input = Tensor::random(in_s, DataLayout::Nchw, 13);
+        let p = ConvParams::square(0, 3, stride, 1);
+        let os = Shape::new(
+            in_s.n,
+            in_s.c,
+            (in_s.h + 2 - 3) / stride + 1,
+            (in_s.w + 2 - 3) / stride + 1,
+        );
+        let w: Vec<f32> = (0..6 * 9).map(|i| ((i * 23 + 1) % 7) as f32 * 0.1 - 0.3).collect();
+        let bias: Vec<f32> = (0..6).map(|i| i as f32 * 0.01).collect();
+        (input, w, bias, p, os)
+    }
+
+    #[test]
+    fn optimized_matches_vanilla_stride1() {
+        let (input, w, bias, p, os) = fixture(1);
+        let a = depthwise_vanilla(&input, &w, &bias, &p, os, DataLayout::Nchw);
+        let b = depthwise_opt_nhwc(&input.to_layout(DataLayout::Nhwc), &w, &bias, &p, os);
+        assert!(a.approx_eq(&b, 1e-5).unwrap());
+    }
+
+    #[test]
+    fn optimized_matches_vanilla_stride2() {
+        let (input, w, bias, p, os) = fixture(2);
+        let a = depthwise_vanilla(&input, &w, &bias, &p, os, DataLayout::Nchw);
+        let b = depthwise_opt_nhwc(&input.to_layout(DataLayout::Nhwc), &w, &bias, &p, os);
+        assert!(a.approx_eq(&b, 1e-5).unwrap());
+    }
+
+    #[test]
+    fn each_channel_is_independent() {
+        // Zeroing channel 0's weights must zero only channel 0's output.
+        let (input, mut w, _, p, os) = fixture(1);
+        w[..9].fill(0.0);
+        let out = depthwise_vanilla(&input, &w, &[], &p, os, DataLayout::Nchw);
+        for oy in 0..os.h {
+            for ox in 0..os.w {
+                assert_eq!(out.at(0, 0, oy, ox), 0.0);
+            }
+        }
+        let nonzero = (0..os.h).any(|y| (0..os.w).any(|x| out.at(0, 1, y, x) != 0.0));
+        assert!(nonzero);
+    }
+}

@@ -1,0 +1,122 @@
+//! Multi-input kernels: element-wise addition and channel concatenation.
+
+use qsdnn_tensor::{DataLayout, Shape, Tensor};
+
+/// Element-wise addition of two equal-shape tensors (layouts may differ);
+/// output in `out_layout`.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn add(a: &Tensor, b: &Tensor, out_layout: DataLayout) -> Tensor {
+    assert_eq!(a.shape(), b.shape(), "add requires equal shapes");
+    let s = a.shape();
+    if a.layout() == b.layout() && a.layout() == out_layout {
+        // Fast path: identical buffers order.
+        let mut out = a.clone();
+        for (o, v) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
+            *o += v;
+        }
+        return out;
+    }
+    let mut out = Tensor::zeros(s, out_layout);
+    for n in 0..s.n {
+        for c in 0..s.c {
+            for h in 0..s.h {
+                for w in 0..s.w {
+                    out.set(n, c, h, w, a.at(n, c, h, w) + b.at(n, c, h, w));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Channel-wise concatenation (inception modules); inputs must agree on
+/// batch and spatial extents. Output in `out_layout`.
+///
+/// # Panics
+///
+/// Panics if fewer than two inputs are given or extents disagree.
+pub fn concat(inputs: &[&Tensor], out_layout: DataLayout) -> Tensor {
+    assert!(inputs.len() >= 2, "concat requires at least two inputs");
+    let first = inputs[0].shape();
+    let channels: usize = inputs.iter().map(|t| t.shape().c).sum();
+    let out_shape = Shape::new(first.n, channels, first.h, first.w);
+    let mut out = Tensor::zeros(out_shape, out_layout);
+    let mut c_off = 0;
+    for t in inputs {
+        let s = t.shape();
+        assert_eq!(
+            (s.n, s.h, s.w),
+            (first.n, first.h, first.w),
+            "concat inputs must share batch and spatial extents"
+        );
+        for n in 0..s.n {
+            for c in 0..s.c {
+                for h in 0..s.h {
+                    for w in 0..s.w {
+                        out.set(n, c_off + c, h, w, t.at(n, c, h, w));
+                    }
+                }
+            }
+        }
+        c_off += s.c;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_fast_and_slow_paths_agree() {
+        let s = Shape::new(1, 3, 4, 4);
+        let a = Tensor::random(s, DataLayout::Nchw, 1);
+        let b = Tensor::random(s, DataLayout::Nchw, 2);
+        let fast = add(&a, &b, DataLayout::Nchw);
+        let slow = add(&a.to_layout(DataLayout::Nhwc), &b, DataLayout::Nchw);
+        assert!(fast.approx_eq(&slow, 1e-6).unwrap());
+    }
+
+    #[test]
+    fn add_known_values() {
+        let s = Shape::new(1, 1, 1, 2);
+        let a = Tensor::from_vec(s, DataLayout::Nchw, vec![1.0, 2.0]).unwrap();
+        let b = Tensor::from_vec(s, DataLayout::Nchw, vec![10.0, 20.0]).unwrap();
+        assert_eq!(add(&a, &b, DataLayout::Nchw).as_slice(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal shapes")]
+    fn add_rejects_shape_mismatch() {
+        let a = Tensor::zeros(Shape::new(1, 1, 2, 2), DataLayout::Nchw);
+        let b = Tensor::zeros(Shape::new(1, 2, 2, 2), DataLayout::Nchw);
+        add(&a, &b, DataLayout::Nchw);
+    }
+
+    #[test]
+    fn concat_stacks_channels_in_order() {
+        let a = Tensor::from_fn(Shape::new(1, 2, 2, 2), DataLayout::Nchw, |_, c, _, _| c as f32);
+        let b = Tensor::from_fn(Shape::new(1, 3, 2, 2), DataLayout::Nhwc, |_, c, _, _| {
+            10.0 + c as f32
+        });
+        let out = concat(&[&a, &b], DataLayout::Nchw);
+        assert_eq!(out.shape().c, 5);
+        assert_eq!(out.at(0, 0, 0, 0), 0.0);
+        assert_eq!(out.at(0, 1, 1, 1), 1.0);
+        assert_eq!(out.at(0, 2, 0, 0), 10.0);
+        assert_eq!(out.at(0, 4, 1, 0), 12.0);
+    }
+
+    #[test]
+    fn concat_output_layout_is_respected() {
+        let a = Tensor::random(Shape::new(1, 2, 2, 2), DataLayout::Nchw, 5);
+        let b = Tensor::random(Shape::new(1, 2, 2, 2), DataLayout::Nchw, 6);
+        let nchw = concat(&[&a, &b], DataLayout::Nchw);
+        let nhwc = concat(&[&a, &b], DataLayout::Nhwc);
+        assert_eq!(nhwc.layout(), DataLayout::Nhwc);
+        assert!(nchw.approx_eq(&nhwc, 0.0).unwrap());
+    }
+}

@@ -1,0 +1,125 @@
+//! Fully-connected (inner-product) kernels.
+
+use qsdnn_gemm::Gemm;
+use qsdnn_tensor::{DataLayout, Shape, Tensor};
+
+/// Vanilla FC: plain dot-product loops (no blocking, no unrolling), the
+/// dependency-free baseline. Input is flattened per batch element; output is
+/// an NCHW vector `N×OUT×1×1`.
+pub fn fc_vanilla(input: &Tensor, w: &[f32], bias: &[f32], out_shape: Shape) -> Tensor {
+    let in_s = input.shape();
+    let in_features = in_s.volume() / in_s.n.max(1);
+    let out_features = out_shape.c;
+    let x_nchw = input.to_layout(DataLayout::Nchw);
+    let x = x_nchw.as_slice();
+    let mut out = Tensor::zeros(out_shape, DataLayout::Nchw);
+    let o = out.as_mut_slice();
+    for n in 0..in_s.n {
+        for of in 0..out_features {
+            let mut acc = if bias.is_empty() { 0.0 } else { bias[of] };
+            let row = &w[of * in_features..(of + 1) * in_features];
+            let xv = &x[n * in_features..(n + 1) * in_features];
+            for i in 0..in_features {
+                acc += row[i] * xv[i];
+            }
+            o[n * out_features + of] = acc;
+        }
+    }
+    out
+}
+
+/// BLAS GEMV FC: `y = W·x` per batch element through the backend's
+/// vectorized GEMV routine.
+pub fn fc_gemv(input: &Tensor, w: &[f32], bias: &[f32], out_shape: Shape, gemm: Gemm) -> Tensor {
+    let in_s = input.shape();
+    let in_features = in_s.volume() / in_s.n.max(1);
+    let out_features = out_shape.c;
+    let x_nchw = input.to_layout(DataLayout::Nchw);
+    let mut out = Tensor::zeros(out_shape, DataLayout::Nchw);
+    for n in 0..in_s.n {
+        let x = &x_nchw.as_slice()[n * in_features..(n + 1) * in_features];
+        let y = &mut out.as_mut_slice()[n * out_features..(n + 1) * out_features];
+        gemm.sgemv(out_features, in_features, w, x, y);
+        if !bias.is_empty() {
+            for (yi, b) in y.iter_mut().zip(bias) {
+                *yi += b;
+            }
+        }
+    }
+    out
+}
+
+/// BLAS GEMM FC: the whole batch as one `[N×IN]·[IN×OUT]` product — wins
+/// over GEMV once `N > 1`.
+pub fn fc_gemm(input: &Tensor, w: &[f32], bias: &[f32], out_shape: Shape, gemm: Gemm) -> Tensor {
+    let in_s = input.shape();
+    let in_features = in_s.volume() / in_s.n.max(1);
+    let out_features = out_shape.c;
+    let x_nchw = input.to_layout(DataLayout::Nchw);
+    // Transpose W [OUT][IN] -> [IN][OUT].
+    let mut wt = vec![0.0f32; in_features * out_features];
+    for o in 0..out_features {
+        for i in 0..in_features {
+            wt[i * out_features + o] = w[o * in_features + i];
+        }
+    }
+    let mut y = vec![0.0f32; in_s.n * out_features];
+    gemm.sgemm(in_s.n, in_features, out_features, x_nchw.as_slice(), &wt, &mut y);
+    if !bias.is_empty() {
+        for n in 0..in_s.n {
+            for (o, b) in bias.iter().enumerate() {
+                y[n * out_features + o] += b;
+            }
+        }
+    }
+    Tensor::from_vec(out_shape, DataLayout::Nchw, y).expect("shape volume matches")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsdnn_gemm::BlasBackend;
+
+    fn fixture(batch: usize) -> (Tensor, Vec<f32>, Vec<f32>, Shape) {
+        let in_s = Shape::new(batch, 3, 2, 2); // 12 features
+        let input = Tensor::random(in_s, DataLayout::Nchw, 31);
+        let w: Vec<f32> = (0..5 * 12).map(|i| ((i * 7 + 2) % 9) as f32 * 0.1 - 0.4).collect();
+        let bias: Vec<f32> = (0..5).map(|i| i as f32 * 0.1).collect();
+        (input, w, bias, Shape::vector(batch, 5))
+    }
+
+    #[test]
+    fn gemv_matches_vanilla() {
+        let (input, w, bias, os) = fixture(2);
+        let a = fc_vanilla(&input, &w, &bias, os);
+        let b = fc_gemv(&input, &w, &bias, os, Gemm::new(BlasBackend::AtlasLike));
+        assert!(a.approx_eq(&b, 1e-4).unwrap());
+    }
+
+    #[test]
+    fn gemm_matches_vanilla_batched() {
+        let (input, w, bias, os) = fixture(4);
+        let a = fc_vanilla(&input, &w, &bias, os);
+        let b = fc_gemm(&input, &w, &bias, os, Gemm::new(BlasBackend::OpenBlasLike));
+        assert!(a.approx_eq(&b, 1e-4).unwrap());
+    }
+
+    #[test]
+    fn nhwc_input_is_flattened_in_logical_order() {
+        // Flattening must be layout-independent (logical NCHW order), so an
+        // NHWC input gives the same result as its NCHW conversion.
+        let (input, w, bias, os) = fixture(1);
+        let a = fc_vanilla(&input, &w, &bias, os);
+        let b = fc_vanilla(&input.to_layout(DataLayout::Nhwc), &w, &bias, os);
+        assert!(a.approx_eq(&b, 1e-5).unwrap());
+    }
+
+    #[test]
+    fn known_values() {
+        let input =
+            Tensor::from_vec(Shape::vector(1, 2), DataLayout::Nchw, vec![2.0, 3.0]).unwrap();
+        let w = vec![1.0, 1.0, 10.0, -1.0];
+        let out = fc_vanilla(&input, &w, &[0.5, 0.0], Shape::vector(1, 2));
+        assert_eq!(out.as_slice(), &[5.5, 17.0]);
+    }
+}

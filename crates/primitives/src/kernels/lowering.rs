@@ -1,0 +1,328 @@
+//! GEMM-lowered convolutions: `im2col`, `im2row` and `kn2row`.
+
+use qsdnn_gemm::Gemm;
+use qsdnn_nn::ConvParams;
+use qsdnn_tensor::{DataLayout, Shape, Tensor};
+
+/// Lowers an NCHW input into the `im2col` patch matrix of shape
+/// `[C*KH*KW, OH*OW]` (patches as columns).
+///
+/// # Panics
+///
+/// Panics if `input` is not NCHW.
+pub fn im2col(input: &Tensor, p: &ConvParams, out_shape: Shape, n: usize) -> Vec<f32> {
+    assert_eq!(input.layout(), DataLayout::Nchw, "im2col requires NCHW input");
+    let in_s = input.shape();
+    let (kh, kw) = p.kernel;
+    let (sh, sw) = p.stride;
+    let (ph, pw) = p.pad;
+    let (oh, ow) = (out_shape.h, out_shape.w);
+    let cols = oh * ow;
+    let rows = in_s.c * kh * kw;
+    let x = input.as_slice();
+    let plane = in_s.h * in_s.w;
+    let batch_base = n * in_s.c * plane;
+    let mut m = vec![0.0f32; rows * cols];
+    for c in 0..in_s.c {
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = (c * kh + ky) * kw + kx;
+                for oy in 0..oh {
+                    let iy = (oy * sh + ky) as isize - ph as isize;
+                    if iy < 0 || iy >= in_s.h as isize {
+                        continue;
+                    }
+                    let src_row = batch_base + c * plane + iy as usize * in_s.w;
+                    for ox in 0..ow {
+                        let ix = (ox * sw + kx) as isize - pw as isize;
+                        if ix < 0 || ix >= in_s.w as isize {
+                            continue;
+                        }
+                        m[row * cols + oy * ow + ox] = x[src_row + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    m
+}
+
+/// Lowers an NHWC input into the `im2row` patch matrix of shape
+/// `[OH*OW, C*KH*KW]` (patches as rows, channel-innermost like the input).
+///
+/// # Panics
+///
+/// Panics if `input` is not NHWC.
+pub fn im2row(input: &Tensor, p: &ConvParams, out_shape: Shape, n: usize) -> Vec<f32> {
+    assert_eq!(input.layout(), DataLayout::Nhwc, "im2row requires NHWC input");
+    let in_s = input.shape();
+    let (kh, kw) = p.kernel;
+    let (sh, sw) = p.stride;
+    let (ph, pw) = p.pad;
+    let (oh, ow) = (out_shape.h, out_shape.w);
+    let patch = in_s.c * kh * kw;
+    let x = input.as_slice();
+    let batch_base = n * in_s.h * in_s.w * in_s.c;
+    let mut m = vec![0.0f32; oh * ow * patch];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let dst = (oy * ow + ox) * patch;
+            for ky in 0..kh {
+                let iy = (oy * sh + ky) as isize - ph as isize;
+                if iy < 0 || iy >= in_s.h as isize {
+                    continue;
+                }
+                for kx in 0..kw {
+                    let ix = (ox * sw + kx) as isize - pw as isize;
+                    if ix < 0 || ix >= in_s.w as isize {
+                        continue;
+                    }
+                    let src = batch_base + (iy as usize * in_s.w + ix as usize) * in_s.c;
+                    let d = dst + (ky * kw + kx) * in_s.c;
+                    m[d..d + in_s.c].copy_from_slice(&x[src..src + in_s.c]);
+                }
+            }
+        }
+    }
+    m
+}
+
+/// `im2col` + GEMM convolution. NCHW in, NCHW out.
+///
+/// Weights are `[OC][IC*KH*KW]` row-major, which is exactly the GEMM `A`
+/// operand; the patch matrix is `B`; the product is the output plane.
+pub fn conv_im2col_gemm(
+    input: &Tensor,
+    w: &[f32],
+    bias: &[f32],
+    p: &ConvParams,
+    out_shape: Shape,
+    gemm: Gemm,
+) -> Tensor {
+    let in_s = input.shape();
+    let patch = in_s.c * p.kernel.0 * p.kernel.1;
+    let cols = out_shape.h * out_shape.w;
+    let mut out = Tensor::zeros(out_shape, DataLayout::Nchw);
+    let oc = out_shape.c;
+    for n in 0..out_shape.n {
+        let m = im2col(input, p, out_shape, n);
+        let mut c = vec![0.0f32; oc * cols];
+        gemm.sgemm(oc, patch, cols, w, &m, &mut c);
+        let dst = &mut out.as_mut_slice()[n * oc * cols..(n + 1) * oc * cols];
+        dst.copy_from_slice(&c);
+        if !bias.is_empty() {
+            for ch in 0..oc {
+                for i in 0..cols {
+                    dst[ch * cols + i] += bias[ch];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `im2row` + GEMM convolution. NHWC in, NHWC out.
+///
+/// The patch matrix `[OH*OW, patch]` is `A`; the transposed weights
+/// `[patch, OC]` are `B`; the product is directly the NHWC output.
+pub fn conv_im2row_gemm(
+    input: &Tensor,
+    w: &[f32],
+    bias: &[f32],
+    p: &ConvParams,
+    out_shape: Shape,
+    gemm: Gemm,
+) -> Tensor {
+    let in_s = input.shape();
+    let (kh, kw) = p.kernel;
+    let patch = in_s.c * kh * kw;
+    let oc = out_shape.c;
+    // Repack weights [OC][IC][KH][KW] -> [KH*KW*IC(kernel-major patch order), OC].
+    // The im2row patch order is (ky, kx, c) innermost-c, so weights must match.
+    let mut wt = vec![0.0f32; patch * oc];
+    for o in 0..oc {
+        for c in 0..in_s.c {
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    let src = ((o * in_s.c + c) * kh + ky) * kw + kx;
+                    let row = (ky * kw + kx) * in_s.c + c;
+                    wt[row * oc + o] = w[src];
+                }
+            }
+        }
+    }
+    let rows = out_shape.h * out_shape.w;
+    let mut out = Tensor::zeros(out_shape, DataLayout::Nhwc);
+    for n in 0..out_shape.n {
+        let m = im2row(input, p, out_shape, n);
+        let mut c = vec![0.0f32; rows * oc];
+        gemm.sgemm(rows, patch, oc, &m, &wt, &mut c);
+        let dst = &mut out.as_mut_slice()[n * rows * oc..(n + 1) * rows * oc];
+        dst.copy_from_slice(&c);
+        if !bias.is_empty() {
+            for r in 0..rows {
+                for ch in 0..oc {
+                    dst[r * oc + ch] += bias[ch];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `kn2row` convolution: one shifted `[OC×IC] · [IC×H*W]` GEMM per kernel
+/// tap, accumulated into the output with spatial offset. NCHW in/out.
+///
+/// Only valid for stride-1 convolutions (the registry enforces this).
+///
+/// # Panics
+///
+/// Panics if the convolution stride is not 1 or `input` is not NCHW.
+pub fn conv_kn2row_gemm(
+    input: &Tensor,
+    w: &[f32],
+    bias: &[f32],
+    p: &ConvParams,
+    out_shape: Shape,
+    gemm: Gemm,
+) -> Tensor {
+    assert_eq!(p.stride, (1, 1), "kn2row requires stride 1");
+    assert_eq!(input.layout(), DataLayout::Nchw, "kn2row requires NCHW input");
+    let in_s = input.shape();
+    let (kh, kw) = p.kernel;
+    let (ph, pw) = p.pad;
+    let (ic, ih, iw) = (in_s.c, in_s.h, in_s.w);
+    let oc = out_shape.c;
+    let plane = ih * iw;
+    let mut out = Tensor::zeros(out_shape, DataLayout::Nchw);
+
+    // Tap-major weight views: w_k[oc][ic] for each (ky,kx).
+    let mut wk = vec![0.0f32; oc * ic];
+    let mut r = vec![0.0f32; oc * plane];
+    for n in 0..out_shape.n {
+        let x = &input.as_slice()[n * ic * plane..(n + 1) * ic * plane];
+        // Initialize with bias.
+        for ch in 0..oc {
+            let b = if bias.is_empty() { 0.0 } else { bias[ch] };
+            let dst = &mut out.as_mut_slice()[(n * oc + ch) * out_shape.h * out_shape.w..];
+            dst[..out_shape.h * out_shape.w].fill(b);
+        }
+        for ky in 0..kh {
+            for kx in 0..kw {
+                for o in 0..oc {
+                    for c in 0..ic {
+                        wk[o * ic + c] = w[((o * ic + c) * kh + ky) * kw + kx];
+                    }
+                }
+                gemm.sgemm(oc, ic, plane, &wk, x, &mut r);
+                // Accumulate shifted: out[y][x] += r[y + ky - ph][x + kx - pw].
+                let dy = ky as isize - ph as isize;
+                let dx = kx as isize - pw as isize;
+                let o_slice = out.as_mut_slice();
+                for ch in 0..oc {
+                    let r_plane = &r[ch * plane..(ch + 1) * plane];
+                    let out_plane = &mut o_slice[(n * oc + ch) * out_shape.h * out_shape.w..];
+                    for oy in 0..out_shape.h {
+                        let iy = oy as isize + dy;
+                        if iy < 0 || iy >= ih as isize {
+                            continue;
+                        }
+                        for ox in 0..out_shape.w {
+                            let ix = ox as isize + dx;
+                            if ix < 0 || ix >= iw as isize {
+                                continue;
+                            }
+                            out_plane[oy * out_shape.w + ox] +=
+                                r_plane[iy as usize * iw + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::conv_direct::conv_direct_vanilla;
+    use qsdnn_gemm::BlasBackend;
+
+    fn reference(input: &Tensor, w: &[f32], bias: &[f32], p: &ConvParams, os: Shape) -> Tensor {
+        conv_direct_vanilla(input, w, bias, p, os, DataLayout::Nchw)
+    }
+
+    fn fixture(k: usize, s: usize, pad: usize, oc: usize) -> (Tensor, Vec<f32>, Vec<f32>, ConvParams, Shape) {
+        let in_s = Shape::new(2, 3, 8, 6);
+        let input = Tensor::random(in_s, DataLayout::Nchw, 42);
+        let p = ConvParams::square(oc, k, s, pad);
+        let os = Shape::new(
+            in_s.n,
+            oc,
+            (in_s.h + 2 * pad - k) / s + 1,
+            (in_s.w + 2 * pad - k) / s + 1,
+        );
+        let w: Vec<f32> = (0..oc * 3 * k * k).map(|i| ((i * 17 + 3) % 11) as f32 * 0.1 - 0.5).collect();
+        let bias: Vec<f32> = (0..oc).map(|i| 0.05 * i as f32).collect();
+        (input, w, bias, p, os)
+    }
+
+    #[test]
+    fn im2col_gemm_matches_direct() {
+        for (k, s, pad) in [(3, 1, 1), (5, 2, 2), (1, 1, 0), (3, 2, 0)] {
+            let (input, w, bias, p, os) = fixture(k, s, pad, 5);
+            let expect = reference(&input, &w, &bias, &p, os);
+            let got = conv_im2col_gemm(&input, &w, &bias, &p, os, Gemm::new(BlasBackend::AtlasLike));
+            assert!(expect.approx_eq(&got, 1e-4).unwrap(), "k={k} s={s} pad={pad}");
+        }
+    }
+
+    #[test]
+    fn im2row_gemm_matches_direct() {
+        for (k, s, pad) in [(3, 1, 1), (5, 2, 2), (1, 1, 0)] {
+            let (input, w, bias, p, os) = fixture(k, s, pad, 4);
+            let expect = reference(&input, &w, &bias, &p, os);
+            let got = conv_im2row_gemm(
+                &input.to_layout(DataLayout::Nhwc),
+                &w,
+                &bias,
+                &p,
+                os,
+                Gemm::new(BlasBackend::OpenBlasLike),
+            );
+            assert!(expect.approx_eq(&got, 1e-4).unwrap(), "k={k} s={s} pad={pad}");
+        }
+    }
+
+    #[test]
+    fn kn2row_matches_direct_stride1() {
+        for (k, pad) in [(3, 1), (1, 0), (5, 2), (3, 0)] {
+            let (input, w, bias, p, os) = fixture(k, 1, pad, 6);
+            let expect = reference(&input, &w, &bias, &p, os);
+            let got =
+                conv_kn2row_gemm(&input, &w, &bias, &p, os, Gemm::new(BlasBackend::AtlasLike));
+            assert!(expect.approx_eq(&got, 1e-4).unwrap(), "k={k} pad={pad}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stride 1")]
+    fn kn2row_rejects_stride2() {
+        let (input, w, bias, p, os) = fixture(3, 2, 1, 2);
+        conv_kn2row_gemm(&input, &w, &bias, &p, os, Gemm::new(BlasBackend::AtlasLike));
+    }
+
+    #[test]
+    fn im2col_matrix_shape_and_content() {
+        let in_s = Shape::new(1, 1, 3, 3);
+        let input = Tensor::from_fn(in_s, DataLayout::Nchw, |_, _, h, w| (h * 3 + w) as f32);
+        let p = ConvParams::square(1, 2, 1, 0);
+        let os = Shape::new(1, 1, 2, 2);
+        let m = im2col(&input, &p, os, 0);
+        // rows = 4 taps, cols = 4 positions. First row: top-left values of
+        // each patch = [0, 1, 3, 4].
+        assert_eq!(m.len(), 16);
+        assert_eq!(&m[0..4], &[0.0, 1.0, 3.0, 4.0]);
+    }
+}

@@ -1,0 +1,15 @@
+//! Executable layer kernels behind every primitive in the registry.
+//!
+//! Each module implements one algorithm family; all variants of a layer are
+//! cross-checked against the Vanilla direct reference in unit and
+//! integration tests.
+
+pub mod activation;
+pub mod conv_direct;
+pub mod depthwise;
+pub mod eltwise;
+pub mod fc;
+pub mod lowering;
+pub mod pool;
+pub mod sparse;
+pub mod winograd;

@@ -1,0 +1,207 @@
+//! Pooling kernels (max / average / global, ceil or floor rounding).
+
+use qsdnn_nn::{PoolKind, PoolParams};
+use qsdnn_tensor::{DataLayout, Shape, Tensor};
+
+/// Generic pooling: accessor-based, any input layout, output in
+/// `out_layout`. Average pooling divides by the number of *valid* (inside
+/// the un-padded input) window elements, matching Caffe.
+pub fn pool_generic(
+    input: &Tensor,
+    p: &PoolParams,
+    out_shape: Shape,
+    out_layout: DataLayout,
+) -> Tensor {
+    let in_s = input.shape();
+    let mut out = Tensor::zeros(out_shape, out_layout);
+    if p.global {
+        let denom = (in_s.h * in_s.w) as f32;
+        for n in 0..in_s.n {
+            for c in 0..in_s.c {
+                let mut best = f32::NEG_INFINITY;
+                let mut sum = 0.0f32;
+                for y in 0..in_s.h {
+                    for x in 0..in_s.w {
+                        let v = input.at(n, c, y, x);
+                        best = best.max(v);
+                        sum += v;
+                    }
+                }
+                let v = match p.kind {
+                    PoolKind::Max => best,
+                    PoolKind::Avg => sum / denom,
+                };
+                out.set(n, c, 0, 0, v);
+            }
+        }
+        return out;
+    }
+    let (kh, kw) = p.kernel;
+    let (sh, sw) = p.stride;
+    let (ph, pw) = p.pad;
+    for n in 0..out_shape.n {
+        for c in 0..out_shape.c {
+            for oy in 0..out_shape.h {
+                for ox in 0..out_shape.w {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut sum = 0.0f32;
+                    let mut count = 0usize;
+                    for ky in 0..kh {
+                        let iy = (oy * sh + ky) as isize - ph as isize;
+                        if iy < 0 || iy >= in_s.h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * sw + kx) as isize - pw as isize;
+                            if ix < 0 || ix >= in_s.w as isize {
+                                continue;
+                            }
+                            let v = input.at(n, c, iy as usize, ix as usize);
+                            best = best.max(v);
+                            sum += v;
+                            count += 1;
+                        }
+                    }
+                    let v = match p.kind {
+                        PoolKind::Max => {
+                            if count == 0 {
+                                0.0
+                            } else {
+                                best
+                            }
+                        }
+                        PoolKind::Avg => {
+                            if count == 0 {
+                                0.0
+                            } else {
+                                sum / count as f32
+                            }
+                        }
+                    };
+                    out.set(n, c, oy, ox, v);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// NNPACK-style fast path: 2×2/stride-2 max pooling with raw NCHW indexing.
+///
+/// # Panics
+///
+/// Panics unless the parameters are exactly max/2×2/s2/no-pad and `input` is
+/// NCHW.
+pub fn maxpool_2x2_s2_nchw(input: &Tensor, out_shape: Shape) -> Tensor {
+    assert_eq!(input.layout(), DataLayout::Nchw, "fast maxpool requires NCHW input");
+    let in_s = input.shape();
+    let x = input.as_slice();
+    let mut out = Tensor::zeros(out_shape, DataLayout::Nchw);
+    let o = out.as_mut_slice();
+    let (ih, iw) = (in_s.h, in_s.w);
+    let (oh, ow) = (out_shape.h, out_shape.w);
+    for nc in 0..in_s.n * in_s.c {
+        let src = nc * ih * iw;
+        let dst = nc * oh * ow;
+        for oy in 0..oh {
+            let y0 = oy * 2;
+            for ox in 0..ow {
+                let x0 = ox * 2;
+                let mut best = x[src + y0 * iw + x0];
+                if x0 + 1 < iw {
+                    best = best.max(x[src + y0 * iw + x0 + 1]);
+                }
+                if y0 + 1 < ih {
+                    best = best.max(x[src + (y0 + 1) * iw + x0]);
+                    if x0 + 1 < iw {
+                        best = best.max(x[src + (y0 + 1) * iw + x0 + 1]);
+                    }
+                }
+                o[dst + oy * ow + ox] = best;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_known_values() {
+        let in_s = Shape::new(1, 1, 4, 4);
+        let input = Tensor::from_fn(in_s, DataLayout::Nchw, |_, _, h, w| (h * 4 + w) as f32);
+        let p = PoolParams::square(PoolKind::Max, 2, 2, 0);
+        let out = pool_generic(&input, &p, Shape::new(1, 1, 2, 2), DataLayout::Nchw);
+        assert_eq!(out.at(0, 0, 0, 0), 5.0);
+        assert_eq!(out.at(0, 0, 1, 1), 15.0);
+    }
+
+    #[test]
+    fn avg_pool_counts_valid_only() {
+        // With pad 1 the corner window has a single valid element.
+        let in_s = Shape::new(1, 1, 2, 2);
+        let input = Tensor::from_fn(in_s, DataLayout::Nchw, |_, _, _, _| 8.0);
+        let p = PoolParams::square(PoolKind::Avg, 2, 2, 1);
+        let out = pool_generic(&input, &p, Shape::new(1, 1, 2, 2), DataLayout::Nchw);
+        assert_eq!(out.at(0, 0, 0, 0), 8.0);
+    }
+
+    #[test]
+    fn global_avg_and_max() {
+        let in_s = Shape::new(1, 2, 3, 3);
+        let input = Tensor::from_fn(in_s, DataLayout::Nchw, |_, c, h, w| {
+            if c == 0 { (h * 3 + w) as f32 } else { 1.0 }
+        });
+        let avg = pool_generic(
+            &input,
+            &PoolParams::global(PoolKind::Avg),
+            Shape::new(1, 2, 1, 1),
+            DataLayout::Nchw,
+        );
+        assert_eq!(avg.at(0, 0, 0, 0), 4.0);
+        assert_eq!(avg.at(0, 1, 0, 0), 1.0);
+        let max = pool_generic(
+            &input,
+            &PoolParams::global(PoolKind::Max),
+            Shape::new(1, 2, 1, 1),
+            DataLayout::Nchw,
+        );
+        assert_eq!(max.at(0, 0, 0, 0), 8.0);
+    }
+
+    #[test]
+    fn fast_path_matches_generic() {
+        let in_s = Shape::new(2, 3, 8, 8);
+        let input = Tensor::random(in_s, DataLayout::Nchw, 17);
+        let p = PoolParams::square(PoolKind::Max, 2, 2, 0);
+        let os = Shape::new(2, 3, 4, 4);
+        let a = pool_generic(&input, &p, os, DataLayout::Nchw);
+        let b = maxpool_2x2_s2_nchw(&input, os);
+        assert!(a.approx_eq(&b, 0.0).unwrap());
+    }
+
+    #[test]
+    fn fast_path_handles_odd_extents() {
+        // 5x5 input with ceil-mode output 3x3: ragged bottom/right windows.
+        let in_s = Shape::new(1, 1, 5, 5);
+        let input = Tensor::random(in_s, DataLayout::Nchw, 23);
+        let p = PoolParams::square(PoolKind::Max, 2, 2, 0);
+        let os = Shape::new(1, 1, 3, 3);
+        let a = pool_generic(&input, &p, os, DataLayout::Nchw);
+        let b = maxpool_2x2_s2_nchw(&input, os);
+        assert!(a.approx_eq(&b, 0.0).unwrap());
+    }
+
+    #[test]
+    fn nhwc_output_layout_preserves_values() {
+        let in_s = Shape::new(1, 4, 6, 6);
+        let input = Tensor::random(in_s, DataLayout::Nchw, 29);
+        let p = PoolParams::square(PoolKind::Avg, 3, 2, 0);
+        let os = Shape::new(1, 4, 2, 2);
+        let a = pool_generic(&input, &p, os, DataLayout::Nchw);
+        let b = pool_generic(&input.to_layout(DataLayout::Nhwc), &p, os, DataLayout::Nhwc);
+        assert!(a.approx_eq(&b, 1e-6).unwrap());
+    }
+}

@@ -1,0 +1,238 @@
+//! Winograd `F(2×2, 3×3)` fast convolution (NCHW).
+//!
+//! Uses the standard minimal-filtering transforms:
+//!
+//! ```text
+//! Y = Aᵀ [ (G g Gᵀ) ⊙ (Bᵀ d B) ] A
+//! ```
+//!
+//! with 4×4 input tiles producing 2×2 output tiles, cutting the
+//! multiplication count per output from 9 to 4 (2.25×) for 3×3/stride-1
+//! convolutions — the algorithm behind the paper's ArmCL/NNPACK/cuDNN
+//! Winograd primitives.
+
+use qsdnn_nn::ConvParams;
+use qsdnn_tensor::{DataLayout, Shape, Tensor};
+
+/// Transforms one 3×3 filter: `U = G g Gᵀ` (4×4).
+fn filter_transform(g: &[f32; 9]) -> [f32; 16] {
+    // G = [1, 0, 0; 0.5, 0.5, 0.5; 0.5, -0.5, 0.5; 0, 0, 1]
+    let mut tmp = [0.0f32; 12]; // G·g: 4x3
+    for col in 0..3 {
+        let (g0, g1, g2) = (g[col], g[3 + col], g[6 + col]);
+        tmp[col] = g0;
+        tmp[3 + col] = 0.5 * (g0 + g1 + g2);
+        tmp[6 + col] = 0.5 * (g0 - g1 + g2);
+        tmp[9 + col] = g2;
+    }
+    let mut u = [0.0f32; 16]; // (G·g)·Gᵀ: 4x4
+    for row in 0..4 {
+        let (t0, t1, t2) = (tmp[row * 3], tmp[row * 3 + 1], tmp[row * 3 + 2]);
+        u[row * 4] = t0;
+        u[row * 4 + 1] = 0.5 * (t0 + t1 + t2);
+        u[row * 4 + 2] = 0.5 * (t0 - t1 + t2);
+        u[row * 4 + 3] = t2;
+    }
+    u
+}
+
+/// Transforms one 4×4 input tile: `V = Bᵀ d B`.
+fn input_transform(d: &[f32; 16]) -> [f32; 16] {
+    // Bᵀ = [1,0,-1,0; 0,1,1,0; 0,-1,1,0; 0,1,0,-1]
+    let mut tmp = [0.0f32; 16]; // Bᵀ·d
+    for col in 0..4 {
+        let (d0, d1, d2, d3) = (d[col], d[4 + col], d[8 + col], d[12 + col]);
+        tmp[col] = d0 - d2;
+        tmp[4 + col] = d1 + d2;
+        tmp[8 + col] = d2 - d1;
+        tmp[12 + col] = d1 - d3;
+    }
+    let mut v = [0.0f32; 16]; // (Bᵀ·d)·B
+    for row in 0..4 {
+        let (t0, t1, t2, t3) =
+            (tmp[row * 4], tmp[row * 4 + 1], tmp[row * 4 + 2], tmp[row * 4 + 3]);
+        v[row * 4] = t0 - t2;
+        v[row * 4 + 1] = t1 + t2;
+        v[row * 4 + 2] = t2 - t1;
+        v[row * 4 + 3] = t1 - t3;
+    }
+    v
+}
+
+/// Inverse-transforms one 4×4 accumulator tile to the 2×2 output:
+/// `Y = Aᵀ m A`.
+fn output_transform(m: &[f32; 16]) -> [f32; 4] {
+    // Aᵀ = [1,1,1,0; 0,1,-1,-1]
+    let mut tmp = [0.0f32; 8]; // Aᵀ·m: 2x4
+    for col in 0..4 {
+        let (m0, m1, m2, m3) = (m[col], m[4 + col], m[8 + col], m[12 + col]);
+        tmp[col] = m0 + m1 + m2;
+        tmp[4 + col] = m1 - m2 - m3;
+    }
+    let mut y = [0.0f32; 4];
+    for row in 0..2 {
+        let (t0, t1, t2, t3) =
+            (tmp[row * 4], tmp[row * 4 + 1], tmp[row * 4 + 2], tmp[row * 4 + 3]);
+        y[row * 2] = t0 + t1 + t2;
+        y[row * 2 + 1] = t1 - t2 - t3;
+    }
+    y
+}
+
+/// Winograd `F(2×2, 3×3)` convolution. NCHW in/out; 3×3 kernel, stride 1,
+/// any padding.
+///
+/// # Panics
+///
+/// Panics if the kernel is not 3×3, the stride is not 1, or `input` is not
+/// NCHW.
+pub fn conv_winograd(
+    input: &Tensor,
+    w: &[f32],
+    bias: &[f32],
+    p: &ConvParams,
+    out_shape: Shape,
+) -> Tensor {
+    assert_eq!(p.kernel, (3, 3), "winograd F(2x2,3x3) requires a 3x3 kernel");
+    assert_eq!(p.stride, (1, 1), "winograd F(2x2,3x3) requires stride 1");
+    assert_eq!(input.layout(), DataLayout::Nchw, "winograd kernel requires NCHW input");
+    let in_s = input.shape();
+    let (ic, ih, iw) = (in_s.c, in_s.h, in_s.w);
+    let oc = out_shape.c;
+    let (ph, pw) = p.pad;
+    let x = input.as_slice();
+    let mut out = Tensor::zeros(out_shape, DataLayout::Nchw);
+
+    // Pre-transform all filters: U[oc][ic][16].
+    let mut u = vec![0.0f32; oc * ic * 16];
+    for o in 0..oc {
+        for c in 0..ic {
+            let base = (o * ic + c) * 9;
+            let g: [f32; 9] = w[base..base + 9].try_into().expect("9 taps");
+            u[(o * ic + c) * 16..(o * ic + c) * 16 + 16]
+                .copy_from_slice(&filter_transform(&g));
+        }
+    }
+
+    let tiles_y = out_shape.h.div_ceil(2);
+    let tiles_x = out_shape.w.div_ceil(2);
+    let mut v = vec![0.0f32; ic * 16];
+    for n in 0..out_shape.n {
+        let in_base = n * ic * ih * iw;
+        for ty in 0..tiles_y {
+            for tx in 0..tiles_x {
+                // Gather the 4x4 input tile for every channel (with padding).
+                let oy0 = ty * 2;
+                let ox0 = tx * 2;
+                for c in 0..ic {
+                    let mut d = [0.0f32; 16];
+                    for r in 0..4 {
+                        let iy = (oy0 + r) as isize - ph as isize;
+                        if iy < 0 || iy >= ih as isize {
+                            continue;
+                        }
+                        for col in 0..4 {
+                            let ix = (ox0 + col) as isize - pw as isize;
+                            if ix < 0 || ix >= iw as isize {
+                                continue;
+                            }
+                            d[r * 4 + col] =
+                                x[in_base + c * ih * iw + iy as usize * iw + ix as usize];
+                        }
+                    }
+                    v[c * 16..c * 16 + 16].copy_from_slice(&input_transform(&d));
+                }
+                // Per output channel: elementwise product + inverse transform.
+                for o in 0..oc {
+                    let mut m = [0.0f32; 16];
+                    for c in 0..ic {
+                        let uu = &u[(o * ic + c) * 16..(o * ic + c) * 16 + 16];
+                        let vv = &v[c * 16..c * 16 + 16];
+                        for i in 0..16 {
+                            m[i] += uu[i] * vv[i];
+                        }
+                    }
+                    let y = output_transform(&m);
+                    let b = if bias.is_empty() { 0.0 } else { bias[o] };
+                    for r in 0..2 {
+                        let oy = oy0 + r;
+                        if oy >= out_shape.h {
+                            continue;
+                        }
+                        for col in 0..2 {
+                            let ox = ox0 + col;
+                            if ox >= out_shape.w {
+                                continue;
+                            }
+                            out.set(n, o, oy, ox, y[r * 2 + col] + b);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::conv_direct::conv_direct_vanilla;
+
+    fn check(ih: usize, iw: usize, ic: usize, oc: usize, pad: usize, seed: u64) {
+        let in_s = Shape::new(1, ic, ih, iw);
+        let input = Tensor::random(in_s, DataLayout::Nchw, seed);
+        let p = ConvParams::square(oc, 3, 1, pad);
+        let os = Shape::new(1, oc, ih + 2 * pad - 2, iw + 2 * pad - 2);
+        let w: Vec<f32> = (0..oc * ic * 9).map(|i| ((i * 29 + 11) % 17) as f32 * 0.05 - 0.4).collect();
+        let bias: Vec<f32> = (0..oc).map(|i| i as f32 * 0.02).collect();
+        let expect = conv_direct_vanilla(&input, &w, &bias, &p, os, DataLayout::Nchw);
+        let got = conv_winograd(&input, &w, &bias, &p, os);
+        let d = expect.max_abs_diff(&got).unwrap();
+        assert!(d < 1e-3, "ih={ih} iw={iw} ic={ic} oc={oc} pad={pad}: diff {d}");
+    }
+
+    #[test]
+    fn matches_direct_same_padding() {
+        check(8, 8, 3, 4, 1, 1);
+    }
+
+    #[test]
+    fn matches_direct_valid_padding() {
+        check(10, 10, 2, 3, 0, 2);
+    }
+
+    #[test]
+    fn matches_direct_odd_output_extents() {
+        // 7x7 output forces ragged final tiles.
+        check(7, 9, 4, 2, 1, 3);
+    }
+
+    #[test]
+    fn matches_direct_many_channels() {
+        check(6, 6, 16, 8, 1, 4);
+    }
+
+    #[test]
+    fn filter_transform_of_identity_tap() {
+        // Delta filter at center: convolution = identity. U should reproduce
+        // a valid transform (sanity: output equals input under same pad).
+        let in_s = Shape::new(1, 1, 6, 6);
+        let input = Tensor::random(in_s, DataLayout::Nchw, 5);
+        let mut w = vec![0.0f32; 9];
+        w[4] = 1.0; // center tap
+        let p = ConvParams::square(1, 3, 1, 1);
+        let os = Shape::new(1, 1, 6, 6);
+        let got = conv_winograd(&input, &w, &[], &p, os);
+        assert!(input.approx_eq(&got, 1e-4).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "3x3 kernel")]
+    fn rejects_5x5() {
+        let in_s = Shape::new(1, 1, 8, 8);
+        let input = Tensor::zeros(in_s, DataLayout::Nchw);
+        let p = ConvParams::square(1, 5, 1, 2);
+        conv_winograd(&input, &[0.0; 25], &[], &p, in_s);
+    }
+}

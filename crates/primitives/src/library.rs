@@ -1,0 +1,289 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use qsdnn_gemm::BlasBackend;
+use qsdnn_tensor::DataLayout;
+
+/// The processor a primitive executes on (paper Table I, "Hardware
+/// processor").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Processor {
+    /// Single-thread ARM Cortex-A57 class CPU core.
+    Cpu,
+    /// 256-core Pascal-class embedded GPU.
+    Gpu,
+}
+
+impl Processor {
+    /// Short lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Processor::Cpu => "cpu",
+            Processor::Gpu => "gpu",
+        }
+    }
+}
+
+impl fmt::Display for Processor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Acceleration library (paper §III.B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Library {
+    /// Dependency-free ANSI-C-style reference functions; supports every
+    /// layer and is the paper's baseline.
+    Vanilla,
+    /// ATLAS/OpenBLAS GEMM/GEMV routines behind `im2col`/`im2row`/`kn2row`
+    /// lowerings.
+    Blas,
+    /// NNPACK-style low-level CPU performance primitives.
+    Nnpack,
+    /// ArmCL-style NHWC kernels: Winograd, GEMM convolutions and the
+    /// optimized depth-wise primitive.
+    ArmCl,
+    /// Sparse (CSR) implementations for convolution and FC layers.
+    Sparse,
+    /// cuDNN-style GPU primitives. **No FC primitive**, as the paper
+    /// emphasizes.
+    CuDnn,
+    /// cuBLAS-style GPU BLAS; only the GEMV routine is used (FC layers).
+    CuBlas,
+}
+
+impl Library {
+    /// All libraries, in paper presentation order.
+    pub const ALL: [Library; 7] = [
+        Library::Vanilla,
+        Library::Blas,
+        Library::Nnpack,
+        Library::ArmCl,
+        Library::Sparse,
+        Library::CuDnn,
+        Library::CuBlas,
+    ];
+
+    /// Short lowercase name (stable; used in report tables).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Library::Vanilla => "vanilla",
+            Library::Blas => "blas",
+            Library::Nnpack => "nnpack",
+            Library::ArmCl => "armcl",
+            Library::Sparse => "sparse",
+            Library::CuDnn => "cudnn",
+            Library::CuBlas => "cublas",
+        }
+    }
+
+    /// Whether any primitive of this library runs on the GPU.
+    pub fn is_gpu(&self) -> bool {
+        matches!(self, Library::CuDnn | Library::CuBlas)
+    }
+}
+
+impl fmt::Display for Library {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Routine family (paper Table I, "Algorithm").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Straightforward nested-loop implementation.
+    Direct,
+    /// Register-blocked / hand-optimized direct implementation.
+    DirectOpt,
+    /// Lowering to matrix multiplication.
+    Gemm,
+    /// Matrix-vector product (FC layers).
+    Gemv,
+    /// Winograd `F(2×2, 3×3)` fast convolution.
+    Winograd,
+    /// Compressed-sparse-row matrix kernels.
+    SparseCsr,
+}
+
+impl Algorithm {
+    /// Short lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Direct => "direct",
+            Algorithm::DirectOpt => "direct-opt",
+            Algorithm::Gemm => "gemm",
+            Algorithm::Gemv => "gemv",
+            Algorithm::Winograd => "winograd",
+            Algorithm::SparseCsr => "sparse-csr",
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Sub-routine / lowering method (paper Table I, "Algorithm impl").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Lowering {
+    /// No lowering (direct/Winograd/sparse kernels).
+    None,
+    /// Column-lowering: patches become matrix columns (NCHW-friendly).
+    Im2col,
+    /// Row-lowering: patches become matrix rows (NHWC-friendly).
+    Im2row,
+    /// Kernel lowering: one shifted 1×1 GEMM per kernel tap (stride-1 only).
+    Kn2row,
+}
+
+impl Lowering {
+    /// Short lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Lowering::None => "none",
+            Lowering::Im2col => "im2col",
+            Lowering::Im2row => "im2row",
+            Lowering::Kn2row => "kn2row",
+        }
+    }
+}
+
+impl fmt::Display for Lowering {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A concrete layer implementation choice — the *action* of the QS-DNN
+/// agent and the unit the Phase-1 profiler benchmarks.
+///
+/// Encodes the full paper Table I tuple minus layer identity: library,
+/// algorithm, algorithm impl (lowering), BLAS backend, processor, plus the
+/// data layout the kernel consumes and produces.
+///
+/// # Examples
+///
+/// ```
+/// use qsdnn_primitives::{Algorithm, Library, Lowering, Primitive, Processor};
+/// use qsdnn_tensor::DataLayout;
+///
+/// let p = Primitive::new(
+///     Library::ArmCl,
+///     Algorithm::Winograd,
+///     Lowering::None,
+///     None,
+///     Processor::Cpu,
+///     DataLayout::Nhwc,
+/// );
+/// assert_eq!(p.to_string(), "armcl/winograd[nhwc@cpu]");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Primitive {
+    /// Acceleration library.
+    pub library: Library,
+    /// Routine family.
+    pub algorithm: Algorithm,
+    /// Sub-routine / lowering method.
+    pub lowering: Lowering,
+    /// BLAS backend used by GEMM/GEMV lowerings (`None` otherwise).
+    pub blas: Option<BlasBackend>,
+    /// Executing processor.
+    pub processor: Processor,
+    /// Data layout consumed and produced.
+    pub layout: DataLayout,
+}
+
+impl Primitive {
+    /// Creates a primitive descriptor.
+    pub fn new(
+        library: Library,
+        algorithm: Algorithm,
+        lowering: Lowering,
+        blas: Option<BlasBackend>,
+        processor: Processor,
+        layout: DataLayout,
+    ) -> Self {
+        Primitive { library, algorithm, lowering, blas, processor, layout }
+    }
+
+    /// Convenience constructor for Vanilla direct CPU/NCHW primitives.
+    pub fn vanilla() -> Self {
+        Primitive::new(
+            Library::Vanilla,
+            Algorithm::Direct,
+            Lowering::None,
+            None,
+            Processor::Cpu,
+            DataLayout::Nchw,
+        )
+    }
+
+    /// Compact display label, e.g. `blas/gemm+im2col(openblas)[nchw@cpu]`.
+    pub fn label(&self) -> String {
+        let mut s = format!("{}/{}", self.library, self.algorithm);
+        if self.lowering != Lowering::None {
+            s.push('+');
+            s.push_str(self.lowering.name());
+        }
+        if let Some(b) = self.blas {
+            s.push('(');
+            s.push_str(b.name());
+            s.push(')');
+        }
+        s.push_str(&format!("[{}@{}]", self.layout, self.processor));
+        s
+    }
+}
+
+impl fmt::Display for Primitive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vanilla_constructor() {
+        let v = Primitive::vanilla();
+        assert_eq!(v.library, Library::Vanilla);
+        assert_eq!(v.processor, Processor::Cpu);
+        assert_eq!(v.layout, DataLayout::Nchw);
+    }
+
+    #[test]
+    fn labels_include_blas_backend() {
+        let p = Primitive::new(
+            Library::Blas,
+            Algorithm::Gemm,
+            Lowering::Im2col,
+            Some(BlasBackend::OpenBlasLike),
+            Processor::Cpu,
+            DataLayout::Nchw,
+        );
+        assert_eq!(p.to_string(), "blas/gemm+im2col(openblas)[nchw@cpu]");
+    }
+
+    #[test]
+    fn gpu_libraries_flagged() {
+        assert!(Library::CuDnn.is_gpu());
+        assert!(Library::CuBlas.is_gpu());
+        assert!(!Library::ArmCl.is_gpu());
+    }
+
+    #[test]
+    fn primitives_are_hashable_keys() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Primitive::vanilla());
+        set.insert(Primitive::vanilla());
+        assert_eq!(set.len(), 1);
+    }
+}

@@ -1,0 +1,308 @@
+//! Enumerates which primitives can implement which layer — the library
+//! capability matrix of paper §III.B.
+//!
+//! The capability holes are load-bearing for the paper's results:
+//!
+//! * cuDNN has **no FC primitive** (why cuDNN-only loses on AlexNet/VGG-19);
+//! * cuBLAS offers **only GEMV**, used for FC;
+//! * Winograd applies only to 3×3 stride-1 convolutions;
+//! * `kn2row` applies only to stride-1 convolutions;
+//! * NNPACK pooling supports only the 2×2/s2 max-pool fast path;
+//! * Sparse kernels cover FC and 1×1 (pointwise) convolutions.
+
+use qsdnn_gemm::BlasBackend;
+use qsdnn_nn::{LayerKind, Node, PoolKind};
+use qsdnn_tensor::DataLayout;
+
+use crate::{Algorithm, Library, Lowering, Primitive, Processor};
+
+use DataLayout::{Nchw, Nhwc};
+use Processor::{Cpu, Gpu};
+
+fn prim(
+    library: Library,
+    algorithm: Algorithm,
+    lowering: Lowering,
+    blas: Option<BlasBackend>,
+    processor: Processor,
+    layout: DataLayout,
+) -> Primitive {
+    Primitive::new(library, algorithm, lowering, blas, processor, layout)
+}
+
+/// All primitives able to implement `node`, Vanilla first.
+///
+/// The Vanilla fallback exists for every layer kind (paper §V.A: "it
+/// contains all layers that a DNN may use"), so the returned list is never
+/// empty. For a 3×3 stride-1 convolution the list has exactly 13 entries —
+/// the paper's quoted maximum.
+pub fn candidates(node: &Node) -> Vec<Primitive> {
+    let mut out = Vec::new();
+    match &node.desc.kind {
+        LayerKind::Input => {
+            // Pseudo-layer: network input arrives in host NCHW memory.
+            out.push(Primitive::vanilla());
+        }
+        LayerKind::Conv(p) => {
+            let is_3x3_s1 = p.kernel == (3, 3) && p.stride == (1, 1);
+            let is_s1 = p.stride == (1, 1);
+            let is_1x1 = p.kernel == (1, 1);
+            out.push(Primitive::vanilla());
+            for blas in BlasBackend::ALL {
+                out.push(prim(
+                    Library::Blas,
+                    Algorithm::Gemm,
+                    Lowering::Im2col,
+                    Some(blas),
+                    Cpu,
+                    Nchw,
+                ));
+                out.push(prim(
+                    Library::Blas,
+                    Algorithm::Gemm,
+                    Lowering::Im2row,
+                    Some(blas),
+                    Cpu,
+                    Nhwc,
+                ));
+                if is_s1 {
+                    out.push(prim(
+                        Library::Blas,
+                        Algorithm::Gemm,
+                        Lowering::Kn2row,
+                        Some(blas),
+                        Cpu,
+                        Nchw,
+                    ));
+                }
+            }
+            out.push(prim(Library::Nnpack, Algorithm::DirectOpt, Lowering::None, None, Cpu, Nchw));
+            if is_3x3_s1 {
+                out.push(prim(
+                    Library::Nnpack,
+                    Algorithm::Winograd,
+                    Lowering::None,
+                    None,
+                    Cpu,
+                    Nchw,
+                ));
+                out.push(prim(
+                    Library::ArmCl,
+                    Algorithm::Winograd,
+                    Lowering::None,
+                    None,
+                    Cpu,
+                    Nhwc,
+                ));
+            }
+            out.push(prim(
+                Library::ArmCl,
+                Algorithm::Gemm,
+                Lowering::Im2row,
+                None,
+                Cpu,
+                Nhwc,
+            ));
+            if is_1x1 {
+                out.push(prim(
+                    Library::Sparse,
+                    Algorithm::SparseCsr,
+                    Lowering::None,
+                    None,
+                    Cpu,
+                    Nchw,
+                ));
+            }
+            out.push(prim(Library::CuDnn, Algorithm::Gemm, Lowering::Im2col, None, Gpu, Nchw));
+            if is_3x3_s1 {
+                out.push(prim(
+                    Library::CuDnn,
+                    Algorithm::Winograd,
+                    Lowering::None,
+                    None,
+                    Gpu,
+                    Nchw,
+                ));
+            }
+        }
+        LayerKind::DepthwiseConv(_) => {
+            out.push(Primitive::vanilla());
+            out.push(prim(Library::ArmCl, Algorithm::DirectOpt, Lowering::None, None, Cpu, Nhwc));
+            out.push(prim(Library::CuDnn, Algorithm::Direct, Lowering::None, None, Gpu, Nchw));
+        }
+        LayerKind::Pool(p) => {
+            out.push(Primitive::vanilla());
+            let nnpack_fast_path =
+                p.kind == PoolKind::Max && p.kernel == (2, 2) && p.stride == (2, 2) && !p.global;
+            if nnpack_fast_path {
+                out.push(prim(
+                    Library::Nnpack,
+                    Algorithm::DirectOpt,
+                    Lowering::None,
+                    None,
+                    Cpu,
+                    Nchw,
+                ));
+            }
+            out.push(prim(Library::ArmCl, Algorithm::DirectOpt, Lowering::None, None, Cpu, Nhwc));
+            out.push(prim(Library::CuDnn, Algorithm::Direct, Lowering::None, None, Gpu, Nchw));
+        }
+        LayerKind::Relu => {
+            out.push(Primitive::vanilla());
+            out.push(prim(Library::Vanilla, Algorithm::Direct, Lowering::None, None, Cpu, Nhwc));
+            out.push(prim(Library::ArmCl, Algorithm::DirectOpt, Lowering::None, None, Cpu, Nhwc));
+            out.push(prim(Library::CuDnn, Algorithm::Direct, Lowering::None, None, Gpu, Nchw));
+        }
+        LayerKind::BatchNorm => {
+            out.push(Primitive::vanilla());
+            out.push(prim(Library::Vanilla, Algorithm::Direct, Lowering::None, None, Cpu, Nhwc));
+            out.push(prim(Library::ArmCl, Algorithm::DirectOpt, Lowering::None, None, Cpu, Nhwc));
+            out.push(prim(Library::CuDnn, Algorithm::Direct, Lowering::None, None, Gpu, Nchw));
+        }
+        LayerKind::Lrn(_) => {
+            out.push(Primitive::vanilla());
+            out.push(prim(Library::CuDnn, Algorithm::Direct, Lowering::None, None, Gpu, Nchw));
+        }
+        LayerKind::Fc(_) => {
+            out.push(prim(Library::Vanilla, Algorithm::Gemv, Lowering::None, None, Cpu, Nchw));
+            for blas in BlasBackend::ALL {
+                out.push(prim(
+                    Library::Blas,
+                    Algorithm::Gemv,
+                    Lowering::None,
+                    Some(blas),
+                    Cpu,
+                    Nchw,
+                ));
+                out.push(prim(
+                    Library::Blas,
+                    Algorithm::Gemm,
+                    Lowering::None,
+                    Some(blas),
+                    Cpu,
+                    Nchw,
+                ));
+            }
+            out.push(prim(Library::Sparse, Algorithm::SparseCsr, Lowering::None, None, Cpu, Nchw));
+            // Paper: cuDNN "does not include a specific implementation for
+            // FC layer"; cuBLAS GEMV is the only GPU option.
+            out.push(prim(Library::CuBlas, Algorithm::Gemv, Lowering::None, None, Gpu, Nchw));
+        }
+        LayerKind::Softmax => {
+            out.push(Primitive::vanilla());
+            out.push(prim(Library::CuDnn, Algorithm::Direct, Lowering::None, None, Gpu, Nchw));
+        }
+        LayerKind::Concat => {
+            out.push(Primitive::vanilla());
+            out.push(prim(Library::Vanilla, Algorithm::Direct, Lowering::None, None, Cpu, Nhwc));
+            out.push(prim(Library::CuDnn, Algorithm::Direct, Lowering::None, None, Gpu, Nchw));
+        }
+        LayerKind::Add => {
+            out.push(Primitive::vanilla());
+            out.push(prim(Library::Vanilla, Algorithm::Direct, Lowering::None, None, Cpu, Nhwc));
+            out.push(prim(Library::ArmCl, Algorithm::DirectOpt, Lowering::None, None, Cpu, Nhwc));
+            out.push(prim(Library::CuDnn, Algorithm::Direct, Lowering::None, None, Gpu, Nchw));
+        }
+    }
+    out
+}
+
+/// The subset of [`candidates`] belonging to `library`.
+///
+/// Used by the Phase-1 profiler's single-library sweeps ("substituting
+/// Vanilla for the chosen primitive type in all those layers where the
+/// acceleration library is able to implement such primitive").
+pub fn candidates_of_library(node: &Node, library: Library) -> Vec<Primitive> {
+    candidates(node).into_iter().filter(|p| p.library == library).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsdnn_nn::{ConvParams, FcParams, NetworkBuilder};
+    use qsdnn_tensor::Shape;
+
+    fn conv_node(k: usize, s: usize) -> qsdnn_nn::Network {
+        let mut b = NetworkBuilder::new("t");
+        let x = b.input(Shape::new(1, 8, 16, 16));
+        b.conv("c", x, ConvParams::square(8, k, s, k / 2)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn conv_3x3_s1_has_exactly_13_variants() {
+        let net = conv_node(3, 1);
+        assert_eq!(candidates(&net.layers()[1]).len(), 13);
+    }
+
+    #[test]
+    fn strided_conv_loses_winograd_and_kn2row() {
+        let net = conv_node(3, 2);
+        let c = candidates(&net.layers()[1]);
+        assert!(c.iter().all(|p| p.algorithm != Algorithm::Winograd));
+        assert!(c.iter().all(|p| p.lowering != Lowering::Kn2row));
+    }
+
+    #[test]
+    fn pointwise_conv_gains_sparse() {
+        let net = conv_node(1, 1);
+        let c = candidates(&net.layers()[1]);
+        assert!(c.iter().any(|p| p.library == Library::Sparse));
+    }
+
+    #[test]
+    fn fc_has_no_cudnn_but_has_cublas() {
+        let mut b = NetworkBuilder::new("t");
+        let x = b.input(Shape::new(1, 64, 4, 4));
+        b.fc("fc", x, FcParams::new(100)).unwrap();
+        let net = b.build().unwrap();
+        let c = candidates(&net.layers()[1]);
+        assert!(c.iter().all(|p| p.library != Library::CuDnn));
+        assert!(c.iter().any(|p| p.library == Library::CuBlas));
+    }
+
+    #[test]
+    fn every_layer_kind_has_vanilla_first() {
+        let net = qsdnn_nn::zoo::paper_roster(1);
+        for n in &net {
+            for node in n.layers() {
+                let c = candidates(node);
+                assert!(!c.is_empty(), "{}", node.desc.name);
+                assert_eq!(c[0].library, Library::Vanilla, "{}", node.desc.name);
+            }
+        }
+    }
+
+    #[test]
+    fn max_variants_over_roster_is_13() {
+        let max = qsdnn_nn::zoo::paper_roster(1)
+            .iter()
+            .flat_map(|n| n.layers().iter().map(|node| candidates(node).len()))
+            .max()
+            .unwrap();
+        assert_eq!(max, 13, "paper: maximum number of primitives per layer is 13");
+    }
+
+    #[test]
+    fn single_library_filter() {
+        let net = conv_node(3, 1);
+        let blas = candidates_of_library(&net.layers()[1], Library::Blas);
+        assert_eq!(blas.len(), 6);
+        assert!(blas.iter().all(|p| p.library == Library::Blas));
+    }
+
+    #[test]
+    fn nnpack_pool_only_on_2x2_s2_max() {
+        use qsdnn_nn::{PoolKind, PoolParams};
+        let mut b = NetworkBuilder::new("t");
+        let x = b.input(Shape::new(1, 8, 16, 16));
+        let fast = b.pool("fast", x, PoolParams::square(PoolKind::Max, 2, 2, 0)).unwrap();
+        let slow = b.pool("slow", x, PoolParams::square(PoolKind::Max, 3, 2, 0)).unwrap();
+        let net = b.build().unwrap();
+        let has_nnpack = |id: qsdnn_nn::LayerId| {
+            candidates(net.node(id)).iter().any(|p| p.library == Library::Nnpack)
+        };
+        assert!(has_nnpack(fast));
+        assert!(!has_nnpack(slow));
+    }
+}

@@ -1,0 +1,66 @@
+use std::fmt;
+
+use crate::{DataLayout, Shape};
+
+/// Error type for tensor construction and access.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// The provided buffer length does not match the shape's element count.
+    LengthMismatch {
+        /// Elements required by the shape.
+        expected: usize,
+        /// Elements actually provided.
+        got: usize,
+    },
+    /// Two tensors were expected to share a shape but do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Shape,
+        /// Shape of the right-hand operand.
+        right: Shape,
+    },
+    /// Two tensors were expected to share a layout but do not.
+    LayoutMismatch {
+        /// Layout of the left-hand operand.
+        left: DataLayout,
+        /// Layout of the right-hand operand.
+        right: DataLayout,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, got } => {
+                write!(f, "buffer length {got} does not match shape volume {expected}")
+            }
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left} vs {right}")
+            }
+            TensorError::LayoutMismatch { left, right } => {
+                write!(f, "layout mismatch: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let e = TensorError::LengthMismatch { expected: 4, got: 3 };
+        let s = e.to_string();
+        assert!(!s.is_empty());
+        assert!(s.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,121 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Shape;
+
+/// Memory layout of a 4-D tensor buffer.
+///
+/// The QS-DNN primitive libraries disagree on layout — e.g. the Vanilla and
+/// BLAS `im2col` paths consume `NCHW` while ArmCL-style kernels and the
+/// `im2row` lowering consume `NHWC`. Mixing primitives across layers forces
+/// layout-conversion *compatibility layers*, whose cost is what the search
+/// engine must learn to trade off.
+///
+/// # Examples
+///
+/// ```
+/// use qsdnn_tensor::{DataLayout, Shape};
+///
+/// let s = Shape::new(1, 3, 4, 4);
+/// // In NCHW the channel stride is the whole spatial plane...
+/// assert_eq!(DataLayout::Nchw.strides(&s), [48, 16, 4, 1]);
+/// // ...in NHWC channels are innermost.
+/// assert_eq!(DataLayout::Nhwc.strides(&s), [48, 1, 12, 3]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataLayout {
+    /// Batch, channel, height, width — channels outermost (Caffe/cuDNN
+    /// default).
+    Nchw,
+    /// Batch, height, width, channel — channels innermost (TensorFlow /
+    /// ArmCL default).
+    Nhwc,
+}
+
+impl DataLayout {
+    /// All supported layouts.
+    pub const ALL: [DataLayout; 2] = [DataLayout::Nchw, DataLayout::Nhwc];
+
+    /// Strides (in elements) for each *logical* dimension `(n, c, h, w)` of
+    /// a dense tensor with this layout.
+    pub fn strides(&self, shape: &Shape) -> [usize; 4] {
+        match self {
+            DataLayout::Nchw => [shape.c * shape.h * shape.w, shape.h * shape.w, shape.w, 1],
+            DataLayout::Nhwc => [shape.h * shape.w * shape.c, 1, shape.w * shape.c, shape.c],
+        }
+    }
+
+    /// Flat buffer offset of logical element `(n, c, h, w)`.
+    #[inline]
+    pub fn offset(&self, shape: &Shape, n: usize, c: usize, h: usize, w: usize) -> usize {
+        let s = self.strides(shape);
+        n * s[0] + c * s[1] + h * s[2] + w * s[3]
+    }
+
+    /// Short lowercase name (`"nchw"` / `"nhwc"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DataLayout::Nchw => "nchw",
+            DataLayout::Nhwc => "nhwc",
+        }
+    }
+}
+
+impl fmt::Display for DataLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nchw_offsets_are_row_major() {
+        let s = Shape::new(2, 3, 4, 5);
+        let l = DataLayout::Nchw;
+        assert_eq!(l.offset(&s, 0, 0, 0, 0), 0);
+        assert_eq!(l.offset(&s, 0, 0, 0, 1), 1);
+        assert_eq!(l.offset(&s, 0, 0, 1, 0), 5);
+        assert_eq!(l.offset(&s, 0, 1, 0, 0), 20);
+        assert_eq!(l.offset(&s, 1, 0, 0, 0), 60);
+    }
+
+    #[test]
+    fn nhwc_offsets_put_channels_innermost() {
+        let s = Shape::new(1, 3, 4, 5);
+        let l = DataLayout::Nhwc;
+        assert_eq!(l.offset(&s, 0, 0, 0, 0), 0);
+        assert_eq!(l.offset(&s, 0, 1, 0, 0), 1);
+        assert_eq!(l.offset(&s, 0, 0, 0, 1), 3);
+        assert_eq!(l.offset(&s, 0, 0, 1, 0), 15);
+    }
+
+    #[test]
+    fn offsets_cover_buffer_exactly_once() {
+        let s = Shape::new(2, 3, 2, 2);
+        for layout in DataLayout::ALL {
+            let mut seen = vec![false; s.volume()];
+            for n in 0..s.n {
+                for c in 0..s.c {
+                    for h in 0..s.h {
+                        for w in 0..s.w {
+                            let o = layout.offset(&s, n, c, h, w);
+                            assert!(!seen[o], "{layout} offset {o} repeated");
+                            seen[o] = true;
+                        }
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&b| b));
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DataLayout::Nchw.to_string(), "nchw");
+        assert_eq!(DataLayout::Nhwc.to_string(), "nhwc");
+    }
+}

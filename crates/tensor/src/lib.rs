@@ -1,0 +1,31 @@
+//! 4-D `f32` tensors with explicit data layouts for the QS-DNN reproduction.
+//!
+//! Every activation and weight tensor in the inference engine is a dense,
+//! contiguous 4-D `f32` array tagged with a [`DataLayout`] (`NCHW` or
+//! `NHWC`). Primitive implementations in `qsdnn-primitives` declare which
+//! layout they consume/produce; the engine inserts *compatibility layers*
+//! ([`Tensor::to_layout`]) whenever two consecutive primitives disagree —
+//! the very conversions whose cost the QS-DNN search learns to avoid.
+//!
+//! # Examples
+//!
+//! ```
+//! use qsdnn_tensor::{DataLayout, Shape, Tensor};
+//!
+//! let shape = Shape::new(1, 3, 2, 2);
+//! let t = Tensor::from_fn(shape, DataLayout::Nchw, |n, c, h, w| {
+//!     (c * 4 + h * 2 + w) as f32
+//! });
+//! let u = t.to_layout(DataLayout::Nhwc);
+//! assert_eq!(t.at(0, 2, 1, 0), u.at(0, 2, 1, 0));
+//! ```
+
+mod error;
+mod layout;
+mod shape;
+mod tensor;
+
+pub use error::TensorError;
+pub use layout::DataLayout;
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,114 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Logical shape of a 4-D tensor in `(N, C, H, W)` order.
+///
+/// The shape is *layout independent*: it always names dimensions logically
+/// (batch, channels, height, width) regardless of how the underlying buffer
+/// is laid out. Vectors (e.g. fully-connected activations) are represented
+/// as `N × C × 1 × 1`.
+///
+/// # Examples
+///
+/// ```
+/// use qsdnn_tensor::Shape;
+///
+/// let s = Shape::new(1, 64, 56, 56);
+/// assert_eq!(s.volume(), 64 * 56 * 56);
+/// assert_eq!(s.spatial(), 56 * 56);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    /// Batch size.
+    pub n: usize,
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+}
+
+impl Shape {
+    /// Creates a new shape from `(N, C, H, W)` extents.
+    pub fn new(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Shape { n, c, h, w }
+    }
+
+    /// Shape of a feature vector (`N × C × 1 × 1`), as produced by
+    /// fully-connected layers.
+    pub fn vector(n: usize, c: usize) -> Self {
+        Shape { n, c, h: 1, w: 1 }
+    }
+
+    /// Total number of elements.
+    pub fn volume(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// Number of spatial positions (`H × W`).
+    pub fn spatial(&self) -> usize {
+        self.h * self.w
+    }
+
+    /// Number of bytes occupied by an `f32` tensor of this shape.
+    pub fn bytes(&self) -> usize {
+        self.volume() * std::mem::size_of::<f32>()
+    }
+
+    /// Returns `true` if any extent is zero.
+    pub fn is_empty(&self) -> bool {
+        self.volume() == 0
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}x{}", self.n, self.c, self.h, self.w)
+    }
+}
+
+impl From<(usize, usize, usize, usize)> for Shape {
+    fn from((n, c, h, w): (usize, usize, usize, usize)) -> Self {
+        Shape::new(n, c, h, w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_bytes() {
+        let s = Shape::new(2, 3, 4, 5);
+        assert_eq!(s.volume(), 120);
+        assert_eq!(s.bytes(), 480);
+        assert_eq!(s.spatial(), 20);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn vector_shape_has_unit_spatial() {
+        let s = Shape::vector(1, 1000);
+        assert_eq!(s.h, 1);
+        assert_eq!(s.w, 1);
+        assert_eq!(s.volume(), 1000);
+    }
+
+    #[test]
+    fn zero_extent_is_empty() {
+        assert!(Shape::new(1, 0, 3, 3).is_empty());
+    }
+
+    #[test]
+    fn display_formats_all_dims() {
+        assert_eq!(Shape::new(1, 2, 3, 4).to_string(), "1x2x3x4");
+    }
+
+    #[test]
+    fn from_tuple() {
+        let s: Shape = (1, 2, 3, 4).into();
+        assert_eq!(s, Shape::new(1, 2, 3, 4));
+    }
+}

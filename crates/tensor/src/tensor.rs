@@ -1,0 +1,274 @@
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{DataLayout, Shape, TensorError};
+
+/// Dense 4-D `f32` tensor with an explicit [`DataLayout`].
+///
+/// # Examples
+///
+/// ```
+/// use qsdnn_tensor::{DataLayout, Shape, Tensor};
+///
+/// let mut t = Tensor::zeros(Shape::new(1, 2, 2, 2), DataLayout::Nchw);
+/// t.set(0, 1, 0, 1, 7.0);
+/// assert_eq!(t.at(0, 1, 0, 1), 7.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    layout: DataLayout,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor.
+    pub fn zeros(shape: Shape, layout: DataLayout) -> Self {
+        Tensor { shape, layout, data: vec![0.0; shape.volume()] }
+    }
+
+    /// Creates a tensor from an existing buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` differs from
+    /// `shape.volume()`.
+    pub fn from_vec(
+        shape: Shape,
+        layout: DataLayout,
+        data: Vec<f32>,
+    ) -> Result<Self, TensorError> {
+        if data.len() != shape.volume() {
+            return Err(TensorError::LengthMismatch { expected: shape.volume(), got: data.len() });
+        }
+        Ok(Tensor { shape, layout, data })
+    }
+
+    /// Creates a tensor whose element at logical position `(n, c, h, w)` is
+    /// `f(n, c, h, w)`.
+    pub fn from_fn<F>(shape: Shape, layout: DataLayout, mut f: F) -> Self
+    where
+        F: FnMut(usize, usize, usize, usize) -> f32,
+    {
+        let mut t = Tensor::zeros(shape, layout);
+        for n in 0..shape.n {
+            for c in 0..shape.c {
+                for h in 0..shape.h {
+                    for w in 0..shape.w {
+                        t.set(n, c, h, w, f(n, c, h, w));
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Creates a tensor filled with deterministic pseudo-random values in
+    /// `[-1, 1)` from `seed`.
+    pub fn random(shape: Shape, layout: DataLayout, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let data = (0..shape.volume()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        Tensor { shape, layout, data }
+    }
+
+    /// Logical shape.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Memory layout.
+    pub fn layout(&self) -> DataLayout {
+        self.layout
+    }
+
+    /// Immutable view of the underlying buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at logical position `(n, c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    #[inline]
+    pub fn at(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        self.data[self.layout.offset(&self.shape, n, c, h, w)]
+    }
+
+    /// Sets the element at logical position `(n, c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    #[inline]
+    pub fn set(&mut self, n: usize, c: usize, h: usize, w: usize, value: f32) {
+        let off = self.layout.offset(&self.shape, n, c, h, w);
+        self.data[off] = value;
+    }
+
+    /// Returns a copy of this tensor converted to `layout`.
+    ///
+    /// If the layout already matches, this is a plain clone. Otherwise every
+    /// element is permuted — exactly the work a *compatibility layer*
+    /// performs at inference time.
+    pub fn to_layout(&self, layout: DataLayout) -> Tensor {
+        if layout == self.layout {
+            return self.clone();
+        }
+        let mut out = Tensor::zeros(self.shape, layout);
+        let s = self.shape;
+        for n in 0..s.n {
+            for c in 0..s.c {
+                for h in 0..s.h {
+                    for w in 0..s.w {
+                        out.set(n, c, h, w, self.at(n, c, h, w));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Largest absolute element-wise difference between two tensors of the
+    /// same shape (layouts may differ).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32, TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch { left: self.shape, right: other.shape });
+        }
+        let s = self.shape;
+        let mut max = 0.0f32;
+        for n in 0..s.n {
+            for c in 0..s.c {
+                for h in 0..s.h {
+                    for w in 0..s.w {
+                        let d = (self.at(n, c, h, w) - other.at(n, c, h, w)).abs();
+                        if d > max {
+                            max = d;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(max)
+    }
+
+    /// Whether every element of `self` is within `tol` of the corresponding
+    /// element of `other` (layout-agnostic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn approx_eq(&self, other: &Tensor, tol: f32) -> Result<bool, TensorError> {
+        Ok(self.max_abs_diff(other)? <= tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zeros_and_set_get() {
+        let mut t = Tensor::zeros(Shape::new(1, 2, 3, 4), DataLayout::Nchw);
+        assert_eq!(t.at(0, 1, 2, 3), 0.0);
+        t.set(0, 1, 2, 3, 42.0);
+        assert_eq!(t.at(0, 1, 2, 3), 42.0);
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        let err = Tensor::from_vec(Shape::new(1, 1, 2, 2), DataLayout::Nchw, vec![0.0; 3]);
+        assert!(matches!(err, Err(TensorError::LengthMismatch { expected: 4, got: 3 })));
+    }
+
+    #[test]
+    fn from_fn_respects_layout() {
+        let shape = Shape::new(1, 2, 2, 2);
+        let f = |_n: usize, c: usize, h: usize, w: usize| (c * 100 + h * 10 + w) as f32;
+        let a = Tensor::from_fn(shape, DataLayout::Nchw, f);
+        let b = Tensor::from_fn(shape, DataLayout::Nhwc, f);
+        // Logical view identical, buffers permuted.
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 0.0);
+        assert_ne!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn layout_conversion_roundtrip_exact() {
+        let t = Tensor::random(Shape::new(2, 3, 5, 4), DataLayout::Nchw, 7);
+        let back = t.to_layout(DataLayout::Nhwc).to_layout(DataLayout::Nchw);
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn to_same_layout_is_identity() {
+        let t = Tensor::random(Shape::new(1, 4, 3, 3), DataLayout::Nhwc, 3);
+        assert_eq!(t, t.to_layout(DataLayout::Nhwc));
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let shape = Shape::new(1, 3, 8, 8);
+        let a = Tensor::random(shape, DataLayout::Nchw, 11);
+        let b = Tensor::random(shape, DataLayout::Nchw, 11);
+        let c = Tensor::random(shape, DataLayout::Nchw, 12);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn max_abs_diff_shape_mismatch() {
+        let a = Tensor::zeros(Shape::new(1, 1, 2, 2), DataLayout::Nchw);
+        let b = Tensor::zeros(Shape::new(1, 1, 2, 3), DataLayout::Nchw);
+        assert!(a.max_abs_diff(&b).is_err());
+    }
+
+    #[test]
+    fn approx_eq_across_layouts() {
+        let a = Tensor::random(Shape::new(1, 5, 4, 4), DataLayout::Nchw, 1);
+        let b = a.to_layout(DataLayout::Nhwc);
+        assert!(a.approx_eq(&b, 0.0).unwrap());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_layout_roundtrip(
+            n in 1usize..3, c in 1usize..6, h in 1usize..6, w in 1usize..6, seed in 0u64..1000
+        ) {
+            let t = Tensor::random(Shape::new(n, c, h, w), DataLayout::Nchw, seed);
+            let rt = t.to_layout(DataLayout::Nhwc).to_layout(DataLayout::Nchw);
+            prop_assert_eq!(t, rt);
+        }
+
+        #[test]
+        fn prop_conversion_preserves_logical_view(
+            c in 1usize..5, h in 1usize..5, w in 1usize..5, seed in 0u64..1000
+        ) {
+            let t = Tensor::random(Shape::new(1, c, h, w), DataLayout::Nchw, seed);
+            let u = t.to_layout(DataLayout::Nhwc);
+            for ci in 0..c {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        prop_assert_eq!(t.at(0, ci, hi, wi), u.at(0, ci, hi, wi));
+                    }
+                }
+            }
+        }
+    }
+}

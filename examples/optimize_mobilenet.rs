@@ -1,0 +1,55 @@
+//! The paper's marquee GPGPU case: MobileNet-v1.
+//!
+//! QS-DNN learns to mix ArmCL's optimized depth-wise kernels (CPU), cuDNN
+//! pointwise convolutions (GPU) and Vanilla/ArmCL ReLU+BatchNorm to avoid
+//! costly extra copies to the GPU — beating the best single library by
+//! >1.4× (paper §VI.A). Run with:
+//!
+//! ```sh
+//! cargo run --release -p qsdnn --example optimize_mobilenet
+//! ```
+
+use std::collections::BTreeMap;
+
+use qsdnn::engine::{AnalyticalPlatform, Mode, Profiler};
+use qsdnn::nn::zoo;
+use qsdnn::primitives::Library;
+use qsdnn::{QsDnnConfig, QsDnnSearch};
+
+fn main() {
+    let net = zoo::mobilenet_v1(1);
+    println!("network: {} ({} layers)", net.name(), net.len());
+
+    let mut profiler = Profiler::new(AnalyticalPlatform::tx2());
+    let lut = profiler.profile(&net, Mode::Gpgpu);
+
+    // Best Single Library: the strongest of the per-library global
+    // implementations.
+    let mut bsl = (Library::Vanilla, f64::INFINITY);
+    for lib in Library::ALL {
+        let cost = lut.cost(&lut.single_library_assignment(lib));
+        println!("{:<9}: {:>8.3} ms", lib.name(), cost);
+        if cost < bsl.1 {
+            bsl = (lib, cost);
+        }
+    }
+
+    let report = QsDnnSearch::new(QsDnnConfig::default()).run(&lut);
+    println!(
+        "\nqs-dnn   : {:>8.3} ms  ({:.2}x over BSL = {})",
+        report.best_cost_ms,
+        bsl.1 / report.best_cost_ms,
+        bsl.0.name()
+    );
+
+    // Which libraries did the agent pick?
+    let mut mix: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for (l, &ci) in report.best_assignment.iter().enumerate() {
+        let prim = lut.candidates(l)[ci];
+        *mix.entry(prim.library.name()).or_default() += 1;
+    }
+    println!("\nlearned library mix (layers per library):");
+    for (lib, count) in mix {
+        println!("  {lib:<9} {count}");
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: the full QS-DNN pipeline on LeNet-5 in ~30 lines.
+//!
+//! Phase 1 profiles every primitive on the simulated Jetson TX-2 and builds
+//! the cost LUT; Phase 2 runs the Q-learning search. Run with:
+//!
+//! ```sh
+//! cargo run --release -p qsdnn --example quickstart
+//! ```
+
+use qsdnn::engine::{AnalyticalPlatform, Mode, Profiler};
+use qsdnn::nn::zoo;
+use qsdnn::primitives::Library;
+use qsdnn::{QsDnnConfig, QsDnnSearch};
+
+fn main() {
+    let net = zoo::lenet5(1);
+    println!(
+        "network: {} ({} layers, {:.1} MMACs)",
+        net.name(),
+        net.len(),
+        net.total_macs() as f64 / 1e6
+    );
+
+    // Phase 1: inference on the (simulated) embedded system.
+    let mut profiler = Profiler::new(AnalyticalPlatform::tx2());
+    let lut = profiler.profile(&net, Mode::Gpgpu);
+    println!("design space: {:.2e} implementations", lut.design_space_size());
+
+    // Phase 2: RL-based search (paper schedule, 1000 episodes).
+    let report = QsDnnSearch::new(QsDnnConfig::with_episodes(1000)).run(&lut);
+
+    let vanilla = lut.cost(&lut.vanilla_assignment());
+    println!("\nvanilla baseline : {:>9.3} ms", vanilla);
+    for lib in [Library::Blas, Library::Nnpack, Library::ArmCl, Library::CuDnn] {
+        let cost = lut.cost(&lut.single_library_assignment(lib));
+        println!("{:<17}: {:>9.3} ms ({:.1}x)", lib.name(), cost, vanilla / cost);
+    }
+    println!(
+        "qs-dnn           : {:>9.3} ms ({:.1}x)  [search took {:.0} ms]",
+        report.best_cost_ms,
+        vanilla / report.best_cost_ms,
+        report.wall_time_ms
+    );
+
+    println!("\nchosen primitives:");
+    for (l, &ci) in report.best_assignment.iter().enumerate() {
+        let entry = &lut.layers()[l];
+        println!("  {:<12} -> {}", entry.name, entry.candidates[ci]);
+    }
+}

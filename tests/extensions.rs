@@ -1,0 +1,91 @@
+//! Workspace integration test for the paper §VII future-work extensions:
+//! the multi-objective (energy) reward and the linear value-function
+//! approximation.
+
+use qsdnn::engine::{AnalyticalPlatform, Mode, Objective, Profiler};
+use qsdnn::nn::zoo;
+use qsdnn::primitives::Processor;
+use qsdnn::{ApproxQsDnnSearch, QsDnnConfig, QsDnnSearch};
+
+fn lut(name: &str, mode: Mode) -> qsdnn::engine::CostLut {
+    let net = zoo::by_name(name, 1).expect("known network");
+    Profiler::with_repeats(AnalyticalPlatform::tx2(), 5).profile(&net, mode)
+}
+
+#[test]
+fn energy_objective_moves_work_off_the_gpu() {
+    let base = lut("mobilenet_v1", Mode::Gpgpu);
+    let episodes = 40 * base.len();
+    let count_gpu = |lut: &qsdnn::engine::CostLut, assign: &[usize]| {
+        assign
+            .iter()
+            .enumerate()
+            .filter(|(l, &ci)| lut.candidates(*l)[ci].processor == Processor::Gpu)
+            .count()
+    };
+    let latency_best = QsDnnSearch::new(QsDnnConfig::with_episodes(episodes))
+        .run(&base.with_objective(Objective::Latency));
+    let energy_best = QsDnnSearch::new(QsDnnConfig::with_episodes(episodes))
+        .run(&base.with_objective(Objective::Energy));
+    let gpu_latency = count_gpu(&base, &latency_best.best_assignment);
+    let gpu_energy = count_gpu(&base, &energy_best.best_assignment);
+    assert!(
+        gpu_energy < gpu_latency,
+        "energy objective must shed GPU layers ({gpu_energy} vs {gpu_latency})"
+    );
+    // Each objective must win its own metric.
+    assert!(
+        base.energy_cost(&energy_best.best_assignment)
+            <= base.energy_cost(&latency_best.best_assignment) + 1e-9
+    );
+    assert!(
+        base.cost(&latency_best.best_assignment)
+            <= base.cost(&energy_best.best_assignment) + 1e-9
+    );
+}
+
+#[test]
+fn weighted_objective_interpolates() {
+    let base = lut("lenet5", Mode::Gpgpu);
+    let a = base.greedy_assignment();
+    let t = base.cost(&a);
+    let e = base.energy_cost(&a);
+    for lambda in [0.0, 0.5, 3.0] {
+        let s = base.with_objective(Objective::Weighted { lambda });
+        assert!((s.cost(&a) - (t + lambda * e)).abs() < 1e-9, "lambda {lambda}");
+    }
+}
+
+#[test]
+fn linear_q_beats_random_exploration_alone() {
+    use qsdnn::baselines::RandomSearch;
+    let base = lut("mobilenet_v1", Mode::Gpgpu);
+    let mut lin = 0.0;
+    let mut rnd = 0.0;
+    for seed in 0..3u64 {
+        lin += ApproxQsDnnSearch::new(QsDnnConfig::with_episodes(500).with_seed(seed))
+            .run(&base)
+            .best_cost_ms;
+        rnd += RandomSearch::new(500, seed).run(&base).best_cost_ms;
+    }
+    assert!(lin < rnd, "linear-Q {lin} must beat random search {rnd}");
+}
+
+#[test]
+fn linear_q_report_is_consistent() {
+    let base = lut("squeezenet_v11", Mode::Cpu);
+    let report = ApproxQsDnnSearch::new(QsDnnConfig::with_episodes(300)).run(&base);
+    assert_eq!(report.method, "qs-dnn-linear");
+    assert_eq!(report.best_assignment.len(), base.len());
+    assert!((base.cost(&report.best_assignment) - report.best_cost_ms).abs() < 1e-9);
+    assert!(report.best_cost_ms < base.cost(&base.vanilla_assignment()));
+}
+
+#[test]
+fn energy_survives_serde_roundtrip() {
+    let base = lut("tiny_cnn", Mode::Gpgpu);
+    let json = serde_json::to_string(&base).expect("serializes");
+    let back: qsdnn::engine::CostLut = serde_json::from_str(&json).expect("deserializes");
+    let a = base.vanilla_assignment();
+    assert_eq!(base.energy_cost(&a), back.energy_cost(&a));
+}

@@ -1,0 +1,147 @@
+//! Workspace integration test: the paper's §VI qualitative claims must hold
+//! on the simulated platform (shape reproduction, not absolute numbers —
+//! see DESIGN.md §4).
+
+use qsdnn::baselines::RandomSearch;
+use qsdnn::engine::{AnalyticalPlatform, CostLut, Mode, Profiler};
+use qsdnn::nn::zoo;
+use qsdnn::primitives::{Library, Processor};
+use qsdnn::{QsDnnConfig, QsDnnSearch};
+
+fn lut_for(name: &str, mode: Mode) -> CostLut {
+    let net = zoo::by_name(name, 1).expect("known network");
+    Profiler::with_repeats(AnalyticalPlatform::tx2(), 5).profile(&net, mode)
+}
+
+fn bsl(lut: &CostLut) -> (Library, f64) {
+    Library::ALL
+        .iter()
+        .map(|&lib| (lib, lut.cost(&lut.single_library_assignment(lib))))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("non-empty")
+}
+
+/// §VI.A / Table II: tens-of-× CPU speedup vs the dependency-free baseline
+/// on the conv-heavy ImageNet networks (the paper headline is 45×).
+#[test]
+fn cpu_speedup_vs_vanilla_is_tens_of_x() {
+    let lut = lut_for("vgg19", Mode::Cpu);
+    let vanilla = lut.cost(&lut.vanilla_assignment());
+    let qs = QsDnnSearch::new(QsDnnConfig::default()).run(&lut);
+    let speedup = vanilla / qs.best_cost_ms;
+    assert!(
+        (20.0..90.0).contains(&speedup),
+        "VGG-19 CPU speedup {speedup:.1}x should be tens of x (paper: 45x)"
+    );
+}
+
+/// §VI.A: ~2× average GPGPU speedup over the Best Single Library across the
+/// ImageNet networks.
+#[test]
+fn gpgpu_speedup_over_bsl_is_about_2x() {
+    let mut ratios = Vec::new();
+    for name in ["alexnet", "vgg19", "googlenet", "mobilenet_v1", "squeezenet_v11"] {
+        let lut = lut_for(name, Mode::Gpgpu);
+        let (_, bsl_cost) = bsl(&lut);
+        let qs = QsDnnSearch::new(QsDnnConfig::default()).run(&lut);
+        ratios.push(bsl_cost / qs.best_cost_ms);
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    assert!(
+        (1.3..4.0).contains(&mean),
+        "mean GPGPU speedup over BSL {mean:.2}x should be ~2x (got {ratios:?})"
+    );
+}
+
+/// §VI.A: "the fastest implementation for Lenet-5 in GPGPU mode is actually
+/// a pure CPU implementation" — transfers eat the GPU advantage.
+#[test]
+fn lenet_gpgpu_winner_is_pure_cpu() {
+    let lut = lut_for("lenet5", Mode::Gpgpu);
+    let qs = QsDnnSearch::new(QsDnnConfig::default()).run(&lut);
+    for (l, &ci) in qs.best_assignment.iter().enumerate() {
+        let prim = lut.candidates(l)[ci];
+        assert_eq!(
+            prim.processor,
+            Processor::Cpu,
+            "layer {} chose {prim}, expected pure-CPU solution",
+            lut.layers()[l].name
+        );
+    }
+}
+
+/// §VI.A: MobileNet GPGPU gains >1.4× over BSL by mixing ArmCL depth-wise
+/// (CPU) with cuDNN convolutions (GPU).
+#[test]
+fn mobilenet_learns_heterogeneous_mix() {
+    let lut = lut_for("mobilenet_v1", Mode::Gpgpu);
+    let (_, bsl_cost) = bsl(&lut);
+    let qs = QsDnnSearch::new(QsDnnConfig::default()).run(&lut);
+    let speedup = bsl_cost / qs.best_cost_ms;
+    assert!(speedup > 1.25, "MobileNet GPGPU vs BSL {speedup:.2}x (paper: >1.4x)");
+    // The solution must actually be heterogeneous: depthwise on ArmCL/CPU,
+    // at least some convolutions on cuDNN/GPU.
+    let mut armcl_dw = 0;
+    let mut gpu_layers = 0;
+    for (l, &ci) in qs.best_assignment.iter().enumerate() {
+        let prim = lut.candidates(l)[ci];
+        let entry = &lut.layers()[l];
+        if entry.tag == qsdnn::nn::LayerTag::DepthwiseConv && prim.library == Library::ArmCl {
+            armcl_dw += 1;
+        }
+        if prim.processor == Processor::Gpu {
+            gpu_layers += 1;
+        }
+    }
+    assert!(armcl_dw >= 8, "expected most depthwise layers on ArmCL, got {armcl_dw}/13");
+    assert!(gpu_layers > 0, "expected some layers on the GPU");
+}
+
+/// §VI.A: cuDNN-only is crippled on FC-heavy nets (no FC primitive), so
+/// QS-DNN's margin over cuDNN is biggest there.
+#[test]
+fn cudnn_fc_hole_drives_vgg_gain() {
+    let lut = lut_for("vgg19", Mode::Gpgpu);
+    let cudnn = lut.cost(&lut.single_library_assignment(Library::CuDnn));
+    let qs = QsDnnSearch::new(QsDnnConfig::default()).run(&lut);
+    assert!(
+        cudnn / qs.best_cost_ms > 1.5,
+        "VGG-19 gain over cuDNN-only {:.2}x should be large",
+        cudnn / qs.best_cost_ms
+    );
+    // And the learned FC layers must not be Vanilla.
+    for (l, &ci) in qs.best_assignment.iter().enumerate() {
+        let entry = &lut.layers()[l];
+        if entry.tag == qsdnn::nn::LayerTag::Fc {
+            assert_ne!(
+                entry.candidates[ci].library,
+                Library::Vanilla,
+                "{} should use an accelerated FC",
+                entry.name
+            );
+        }
+    }
+}
+
+/// §VI.B: RL beats RS consistently; the gap grows with design-space size.
+#[test]
+fn rl_beats_rs_with_larger_gap_on_bigger_spaces() {
+    let budget = 350;
+    let gap = |name: &str| {
+        let lut = lut_for(name, Mode::Gpgpu);
+        let mut qs = 0.0;
+        let mut rs = 0.0;
+        for seed in 0..3u64 {
+            qs += QsDnnSearch::new(QsDnnConfig::with_episodes(budget).with_seed(seed))
+                .run(&lut)
+                .best_cost_ms;
+            rs += RandomSearch::new(budget, seed).run(&lut).best_cost_ms;
+        }
+        rs / qs
+    };
+    let small = gap("lenet5");
+    let large = gap("googlenet");
+    assert!(small >= 0.99, "RL should not lose on LeNet (ratio {small:.2})");
+    assert!(large > 1.05, "RL should clearly win on GoogLeNet (ratio {large:.2})");
+    assert!(large > small * 0.9, "gap should not shrink dramatically with size");
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the search stack on randomly generated LUTs.
+
+use proptest::prelude::*;
+
+use qsdnn::baselines::{exhaustive_search, pbqp_search, solve_chain_dp, RandomSearch};
+use qsdnn::engine::{CostLut, IncomingEdge, LayerEntry, Mode};
+use qsdnn::nn::LayerTag;
+use qsdnn::primitives::Primitive;
+use qsdnn::{QsDnnConfig, QsDnnSearch};
+
+/// Builds a random chain LUT: `layers` layers with `arity` candidates each,
+/// times and penalties drawn from the given seeds.
+fn random_chain_lut(layers: usize, arity: usize, seed: u64) -> CostLut {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Candidate identity does not matter for the search; reuse Vanilla
+    // descriptors (the LUT's matrices carry the structure).
+    let cands = vec![Primitive::vanilla(); arity];
+    let mut entries = Vec::new();
+    for l in 0..layers {
+        let time_ms: Vec<f64> = (0..arity).map(|_| rng.gen_range(0.1..5.0)).collect();
+        let incoming = if l == 0 {
+            vec![]
+        } else {
+            let penalty: Vec<f64> = (0..arity * arity)
+                .map(|_| if rng.gen_bool(0.5) { 0.0 } else { rng.gen_range(0.0..2.0) })
+                .collect();
+            vec![IncomingEdge { from: l - 1, penalty, penalty_energy_mj: vec![] }]
+        };
+        entries.push(LayerEntry {
+            name: format!("l{l}"),
+            tag: LayerTag::Conv,
+            candidates: cands.clone(),
+            time_ms,
+            energy_mj: vec![],
+            incoming,
+        });
+    }
+    CostLut::from_parts("prop_chain", "prop", Mode::Cpu, entries)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// DP equals exhaustive search on every random chain.
+    #[test]
+    fn dp_is_exact_on_random_chains(
+        layers in 2usize..6, arity in 2usize..4, seed in 0u64..1000
+    ) {
+        let lut = random_chain_lut(layers, arity, seed);
+        let (_, dp) = solve_chain_dp(&lut).expect("chain");
+        let (_, ex) = exhaustive_search(&lut, 1e7).expect("small space");
+        prop_assert!((dp - ex).abs() < 1e-9, "dp {dp} vs exhaustive {ex}");
+    }
+
+    /// PBQP equals DP on every random chain (both exact there).
+    #[test]
+    fn pbqp_is_exact_on_random_chains(
+        layers in 2usize..7, arity in 2usize..4, seed in 0u64..1000
+    ) {
+        let lut = random_chain_lut(layers, arity, seed);
+        let (_, dp) = solve_chain_dp(&lut).expect("chain");
+        let pb = pbqp_search(&lut);
+        prop_assert!((pb.best_cost_ms - dp).abs() < 1e-9);
+    }
+
+    /// Any search's reported best must equal re-evaluating its assignment
+    /// and can never beat the exact optimum.
+    #[test]
+    fn search_reports_are_consistent_and_bounded(
+        layers in 2usize..5, arity in 2usize..4, seed in 0u64..500
+    ) {
+        let lut = random_chain_lut(layers, arity, seed);
+        let (_, opt) = solve_chain_dp(&lut).expect("chain");
+        let qs = QsDnnSearch::new(QsDnnConfig::with_episodes(150).with_seed(seed)).run(&lut);
+        let rs = RandomSearch::new(150, seed).run(&lut);
+        prop_assert!((lut.cost(&qs.best_assignment) - qs.best_cost_ms).abs() < 1e-9);
+        prop_assert!((lut.cost(&rs.best_assignment) - rs.best_cost_ms).abs() < 1e-9);
+        prop_assert!(qs.best_cost_ms >= opt - 1e-9, "no search may beat the optimum");
+        prop_assert!(rs.best_cost_ms >= opt - 1e-9);
+    }
+
+    /// Best-so-far curves are monotonically non-increasing.
+    #[test]
+    fn curves_are_monotone(
+        layers in 2usize..5, arity in 2usize..4, seed in 0u64..500
+    ) {
+        let lut = random_chain_lut(layers, arity, seed);
+        for report in [
+            QsDnnSearch::new(QsDnnConfig::with_episodes(100).with_seed(seed)).run(&lut),
+            RandomSearch::new(100, seed).run(&lut),
+        ] {
+            let mut prev = f64::INFINITY;
+            for r in &report.curve {
+                prop_assert!(r.best_so_far_ms <= prev + 1e-12);
+                prop_assert!(r.cost_ms >= r.best_so_far_ms - 1e-12);
+                prev = r.best_so_far_ms;
+            }
+        }
+    }
+
+    /// With enough episodes QS-DNN converges to the chain optimum.
+    #[test]
+    fn qsdnn_converges_on_small_random_chains(
+        layers in 2usize..4, arity in 2usize..3, seed in 0u64..200
+    ) {
+        let lut = random_chain_lut(layers, arity, seed);
+        let (_, opt) = solve_chain_dp(&lut).expect("chain");
+        let qs = QsDnnSearch::new(QsDnnConfig::with_episodes(400).with_seed(seed)).run(&lut);
+        prop_assert!(
+            qs.best_cost_ms <= opt * 1.01 + 1e-9,
+            "qs {} vs opt {opt}", qs.best_cost_ms
+        );
+    }
+}

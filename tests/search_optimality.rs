@@ -1,0 +1,86 @@
+//! Workspace integration test: QS-DNN must reach (or closely approach) the
+//! exact optimum where the optimum is computable, and must beat Random
+//! Search and the greedy trap.
+
+use qsdnn::baselines::{exhaustive_search, pbqp_search, solve_chain_dp, RandomSearch};
+use qsdnn::engine::{toy, AnalyticalPlatform, Mode, Profiler};
+use qsdnn::nn::zoo;
+use qsdnn::{QsDnnConfig, QsDnnSearch};
+
+#[test]
+fn qsdnn_matches_dp_on_lenet_chain() {
+    let net = zoo::lenet5(1);
+    let lut = Profiler::with_repeats(AnalyticalPlatform::tx2(), 5).profile(&net, Mode::Gpgpu);
+    let (_, dp) = solve_chain_dp(&lut).expect("LeNet-5 is a chain");
+    let qs = QsDnnSearch::new(QsDnnConfig::with_episodes(1000)).run(&lut);
+    assert!(
+        qs.best_cost_ms <= dp * 1.02 + 1e-9,
+        "QS-DNN {} must be within 2% of DP optimum {dp}",
+        qs.best_cost_ms
+    );
+}
+
+#[test]
+fn qsdnn_matches_exhaustive_on_branchy_toy() {
+    let net = zoo::toy_branchy(1);
+    let lut = Profiler::with_repeats(AnalyticalPlatform::tx2(), 5).profile(&net, Mode::Cpu);
+    let (_, opt) = exhaustive_search(&lut, 1e7).expect("toy space fits");
+    let qs = QsDnnSearch::new(QsDnnConfig::with_episodes(1500)).run(&lut);
+    assert!(
+        qs.best_cost_ms <= opt * 1.05 + 1e-9,
+        "QS-DNN {} vs exhaustive optimum {opt}",
+        qs.best_cost_ms
+    );
+}
+
+#[test]
+fn qsdnn_beats_random_search_on_equal_budget() {
+    // MobileNet GPGPU, 5 seeds each, 350 episodes (the paper's Fig. 5
+    // near-convergence point).
+    let net = zoo::mobilenet_v1(1);
+    let lut = Profiler::with_repeats(AnalyticalPlatform::tx2(), 3).profile(&net, Mode::Gpgpu);
+    let mut qs_mean = 0.0;
+    let mut rs_mean = 0.0;
+    for seed in 0..5u64 {
+        qs_mean += QsDnnSearch::new(QsDnnConfig::with_episodes(350).with_seed(seed))
+            .run(&lut)
+            .best_cost_ms;
+        rs_mean += RandomSearch::new(350, seed).run(&lut).best_cost_ms;
+    }
+    qs_mean /= 5.0;
+    rs_mean /= 5.0;
+    assert!(qs_mean < rs_mean, "QS-DNN mean {qs_mean} must beat RS mean {rs_mean}");
+}
+
+#[test]
+fn qsdnn_escapes_fig1_greedy_trap() {
+    let lut = toy::fig1_lut();
+    let greedy = lut.cost(&lut.greedy_assignment());
+    let qs = QsDnnSearch::new(QsDnnConfig::with_episodes(300)).run(&lut);
+    assert!(qs.best_cost_ms < greedy, "{} vs greedy {greedy}", qs.best_cost_ms);
+}
+
+#[test]
+fn pbqp_and_dp_agree_on_roster_chains() {
+    for name in ["lenet5", "alexnet", "vgg19"] {
+        let net = zoo::by_name(name, 1).unwrap();
+        let lut = Profiler::with_repeats(AnalyticalPlatform::tx2(), 2).profile(&net, Mode::Cpu);
+        let (_, dp) = solve_chain_dp(&lut).expect("classification chains");
+        let pb = pbqp_search(&lut);
+        assert!(
+            (pb.best_cost_ms - dp).abs() < 1e-6,
+            "{name}: pbqp {} vs dp {dp}",
+            pb.best_cost_ms
+        );
+    }
+}
+
+#[test]
+fn search_cost_matches_lut_reevaluation() {
+    // The reported best cost must equal re-evaluating the assignment.
+    let net = zoo::squeezenet_v11(1);
+    let lut = Profiler::with_repeats(AnalyticalPlatform::tx2(), 2).profile(&net, Mode::Gpgpu);
+    let qs = QsDnnSearch::new(QsDnnConfig::with_episodes(200)).run(&lut);
+    let re = lut.cost(&qs.best_assignment);
+    assert!((re - qs.best_cost_ms).abs() < 1e-9, "{re} vs {}", qs.best_cost_ms);
+}
