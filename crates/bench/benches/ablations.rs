@@ -18,8 +18,10 @@ const SEEDS: [u64; 5] = [7, 17, 27, 37, 47];
 const EPISODES: usize = 500;
 
 fn run(lut: &qsdnn::engine::CostLut, make: impl Fn(u64) -> QsDnnConfig) -> (f64, f64) {
-    let costs: Vec<f64> =
-        SEEDS.iter().map(|&s| QsDnnSearch::new(make(s)).run(lut).best_cost_ms).collect();
+    let costs: Vec<f64> = SEEDS
+        .iter()
+        .map(|&s| QsDnnSearch::new(make(s)).run(lut).best_cost_ms)
+        .collect();
     mean_std(&costs)
 }
 
@@ -32,16 +34,31 @@ fn main() {
 
         let base = |s: u64| QsDnnConfig::with_episodes(EPISODES).with_seed(s);
         let (m, sd) = run(&lut, base);
-        println!("{:<34} {m:>9.2} ± {sd:.2} ms", "paper config (shaping+replay)");
+        println!(
+            "{:<34} {m:>9.2} ± {sd:.2} ms",
+            "paper config (shaping+replay)"
+        );
 
-        let (m_ns, sd_ns) = run(&lut, |s| QsDnnConfig { reward_shaping: false, ..base(s) });
+        let (m_ns, sd_ns) = run(&lut, |s| QsDnnConfig {
+            reward_shaping: false,
+            ..base(s)
+        });
         println!("{:<34} {m_ns:>9.2} ± {sd_ns:.2} ms", "terminal reward only");
 
-        let (m_nr, sd_nr) = run(&lut, |s| QsDnnConfig { replay: false, ..base(s) });
+        let (m_nr, sd_nr) = run(&lut, |s| QsDnnConfig {
+            replay: false,
+            ..base(s)
+        });
         println!("{:<34} {m_nr:>9.2} ± {sd_nr:.2} ms", "no experience replay");
 
-        let (m_nj, sd_nj) = run(&lut, |s| QsDnnConfig { jumpstart: true, ..base(s) });
-        println!("{:<34} {m_nj:>9.2} ± {sd_nj:.2} ms", "decaying alpha (jumpstart)");
+        let (m_nj, sd_nj) = run(&lut, |s| QsDnnConfig {
+            jumpstart: true,
+            ..base(s)
+        });
+        println!(
+            "{:<34} {m_nj:>9.2} ± {sd_nj:.2} ms",
+            "decaying alpha (jumpstart)"
+        );
 
         let (m_c, sd_c) = run(&lut, |s| QsDnnConfig {
             schedule: EpsilonSchedule::constant(0.3, EPISODES),

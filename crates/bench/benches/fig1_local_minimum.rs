@@ -31,14 +31,21 @@ fn main() {
     let (optimal, opt_cost) = exhaustive_search(&lut, 1e6).expect("toy space");
     let report = QsDnnSearch::new(QsDnnConfig::with_episodes(300)).run(&lut);
 
-    println!("red path  (greedy per-layer) : {:?} = {:.1} ms", greedy, lut.cost(&greedy));
+    println!(
+        "red path  (greedy per-layer) : {:?} = {:.1} ms",
+        greedy,
+        lut.cost(&greedy)
+    );
     println!("blue path (global optimum)   : {optimal:?} = {opt_cost:.1} ms");
     println!(
         "QS-DNN agent                 : {:?} = {:.1} ms",
         report.best_assignment, report.best_cost_ms
     );
 
-    assert_eq!(report.best_assignment, optimal, "agent must find the blue path");
+    assert_eq!(
+        report.best_assignment, optimal,
+        "agent must find the blue path"
+    );
     assert!(lut.cost(&greedy) > opt_cost, "the trap must exist");
     println!("\nagent avoided the local minimum ✔");
 }

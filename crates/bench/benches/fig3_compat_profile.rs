@@ -21,8 +21,7 @@ fn main() {
 
         let graph_edges = net.edges().len();
         let lut_edges: usize = lut.layers().iter().map(|l| l.incoming.len()).sum();
-        let joins =
-            net.layers().iter().filter(|n| n.inputs.len() > 1).count();
+        let joins = net.layers().iter().filter(|n| n.inputs.len() > 1).count();
         let branches = net.consumers().iter().filter(|c| c.len() > 1).count();
 
         let mut pairs = 0usize;

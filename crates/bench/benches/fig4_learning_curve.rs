@@ -39,10 +39,19 @@ fn main() {
     rule(48);
     println!("exploration phase (ep 0-499)  : {m_explore:>9.2} ± {s_explore:.2} ms");
     println!("exploitation tail (ep 950-999): {m_exploit:>9.2} ± {s_exploit:.2} ms");
-    println!("best found                    : {:>9.2} ms", report.best_cost_ms);
-    println!("search wall time              : {:>9.0} ms", report.wall_time_ms);
+    println!(
+        "best found                    : {:>9.2} ms",
+        report.best_cost_ms
+    );
+    println!(
+        "search wall time              : {:>9.0} ms",
+        report.wall_time_ms
+    );
 
-    assert!(m_exploit < m_explore, "exploitation must sample far better paths");
+    assert!(
+        m_exploit < m_explore,
+        "exploitation must sample far better paths"
+    );
     assert!(s_exploit < s_explore, "variance must collapse as ε→0");
     assert!(report.curve[499].epsilon == 1.0 && report.curve[500].epsilon < 1.0);
     println!("\ncurve shape matches the paper's Fig. 4 ✔");

@@ -36,8 +36,10 @@ fn main() {
                     .best_cost_ms
             })
             .collect();
-        let rs: Vec<f64> =
-            SEEDS.iter().map(|&s| RandomSearch::new(budget, s).run(&lut).best_cost_ms).collect();
+        let rs: Vec<f64> = SEEDS
+            .iter()
+            .map(|&s| RandomSearch::new(budget, s).run(&lut).best_cost_ms)
+            .collect();
         let (rl_m, rl_s) = mean_std(&rl);
         let (rs_m, rs_s) = mean_std(&rs);
         ratio_at.insert(budget, rs_m / rl_m);
@@ -49,8 +51,14 @@ fn main() {
 
     rule(64);
     println!("§VI.B shape checks:");
-    println!("  RS/RL at   25 episodes: {:.2}x (paper: ~1.5x)", ratio_at[&25]);
-    println!("  RS/RL at  350 episodes: {:.2}x (paper: ~2x)", ratio_at[&350]);
+    println!(
+        "  RS/RL at   25 episodes: {:.2}x (paper: ~1.5x)",
+        ratio_at[&25]
+    );
+    println!(
+        "  RS/RL at  350 episodes: {:.2}x (paper: ~2x)",
+        ratio_at[&350]
+    );
     println!("  RS/RL at 1000 episodes: {:.2}x", ratio_at[&1000]);
     assert!(ratio_at[&350] > 1.0, "RL must lead at 350 episodes");
     assert!(ratio_at[&1000] > 1.0, "RL must lead at 1000 episodes");

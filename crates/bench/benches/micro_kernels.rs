@@ -42,7 +42,9 @@ fn bench_conv_algorithms(c: &mut Criterion) {
     let out_shape = Shape::new(1, 32, 32, 32);
     let input = Tensor::random(in_shape, DataLayout::Nchw, 3);
     let input_nhwc = input.to_layout(DataLayout::Nhwc);
-    let w: Vec<f32> = (0..32 * 16 * 9).map(|i| ((i % 11) as f32 - 5.0) * 0.05).collect();
+    let w: Vec<f32> = (0..32 * 16 * 9)
+        .map(|i| ((i % 11) as f32 - 5.0) * 0.05)
+        .collect();
     let bias = vec![0.1f32; 32];
     let gemm = Gemm::new(BlasBackend::OpenBlasLike);
 
@@ -64,9 +66,7 @@ fn bench_conv_algorithms(c: &mut Criterion) {
         bench.iter(|| conv_direct::conv_direct_opt(black_box(&input), &w, &bias, &p, out_shape))
     });
     g.bench_function("blas_im2col_gemm", |bench| {
-        bench.iter(|| {
-            lowering::conv_im2col_gemm(black_box(&input), &w, &bias, &p, out_shape, gemm)
-        })
+        bench.iter(|| lowering::conv_im2col_gemm(black_box(&input), &w, &bias, &p, out_shape, gemm))
     });
     g.bench_function("blas_im2row_gemm", |bench| {
         bench.iter(|| {
@@ -74,9 +74,7 @@ fn bench_conv_algorithms(c: &mut Criterion) {
         })
     });
     g.bench_function("blas_kn2row_gemm", |bench| {
-        bench.iter(|| {
-            lowering::conv_kn2row_gemm(black_box(&input), &w, &bias, &p, out_shape, gemm)
-        })
+        bench.iter(|| lowering::conv_kn2row_gemm(black_box(&input), &w, &bias, &p, out_shape, gemm))
     });
     g.bench_function("winograd_f2x2", |bench| {
         bench.iter(|| winograd::conv_winograd(black_box(&input), &w, &bias, &p, out_shape))
@@ -94,5 +92,10 @@ fn bench_layout_conversion(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_gemm, bench_conv_algorithms, bench_layout_conversion);
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_conv_algorithms,
+    bench_layout_conversion
+);
 criterion_main!(benches);

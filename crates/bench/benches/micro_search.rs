@@ -24,7 +24,9 @@ fn bench_search(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(5)).sample_size(10);
     g.bench_function("qsdnn_1000_episodes", |bench| {
         bench.iter(|| {
-            QsDnnSearch::new(QsDnnConfig::with_episodes(1000)).run(black_box(&lut)).best_cost_ms
+            QsDnnSearch::new(QsDnnConfig::with_episodes(1000))
+                .run(black_box(&lut))
+                .best_cost_ms
         })
     });
     g.bench_function("random_1000_episodes", |bench| {
@@ -33,7 +35,9 @@ fn bench_search(c: &mut Criterion) {
     g.bench_function("chain_dp_exact", |bench| {
         bench.iter(|| solve_chain_dp(black_box(&lut)))
     });
-    g.bench_function("pbqp", |bench| bench.iter(|| pbqp_search(black_box(&lut)).best_cost_ms));
+    g.bench_function("pbqp", |bench| {
+        bench.iter(|| pbqp_search(black_box(&lut)).best_cost_ms)
+    });
     g.finish();
 }
 

@@ -60,8 +60,14 @@ fn main() {
     let (_, en_latency, en_energy, en_gpu) = results[4];
     println!("latency-optimal solution : {lat_latency:.2} ms / {lat_energy:.2} mJ");
     println!("energy-optimal solution  : {en_latency:.2} ms / {en_energy:.2} mJ");
-    assert!(en_energy <= lat_energy + 1e-9, "energy objective must not raise energy");
-    assert!(lat_latency <= en_latency + 1e-9, "latency objective must not raise latency");
+    assert!(
+        en_energy <= lat_energy + 1e-9,
+        "energy objective must not raise energy"
+    );
+    assert!(
+        lat_latency <= en_latency + 1e-9,
+        "latency objective must not raise latency"
+    );
     let _ = en_gpu;
     println!("\ntrade-off front is consistent (each objective wins its own metric) ✔");
 }

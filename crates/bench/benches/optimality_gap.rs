@@ -7,8 +7,9 @@
 //! cargo bench -p qsdnn-bench --bench optimality_gap
 //! ```
 
-use qsdnn::baselines::{pbqp_search, solve_chain_dp, RandomSearch, SimulatedAnnealing,
-    SimulatedAnnealingConfig};
+use qsdnn::baselines::{
+    pbqp_search, solve_chain_dp, RandomSearch, SimulatedAnnealing, SimulatedAnnealingConfig,
+};
 use qsdnn::engine::Mode;
 use qsdnn::nn::zoo;
 use qsdnn::{QsDnnConfig, QsDnnSearch};
@@ -20,7 +21,14 @@ fn main() {
         println!("\n=== {mode} mode ===");
         println!(
             "{:<15} {:>12} {:>12} {:>12} {:>12} {:>12} {:>8} {:>8}",
-            "network", "bound(ms)", "bound-by", "QS-DNN(ms)", "RS(ms)", "SA(ms)", "QS gap", "BSL gap"
+            "network",
+            "bound(ms)",
+            "bound-by",
+            "QS-DNN(ms)",
+            "RS(ms)",
+            "SA(ms)",
+            "QS gap",
+            "BSL gap"
         );
         rule(100);
         for name in zoo::PAPER_ROSTER {
@@ -30,7 +38,14 @@ fn main() {
                 Some((_, c)) => (c, "chain-dp"),
                 None => {
                     let p = pbqp_search(&lut);
-                    (p.best_cost_ms, if p.method.contains("exact") { "pbqp*" } else { "pbqp-rn" })
+                    (
+                        p.best_cost_ms,
+                        if p.method.contains("exact") {
+                            "pbqp*"
+                        } else {
+                            "pbqp-rn"
+                        },
+                    )
                 }
             };
             let qs = QsDnnSearch::new(QsDnnConfig::with_episodes(episodes)).run(&lut);

@@ -34,7 +34,10 @@ fn run_mode(mode: Mode, libs: &[Library]) {
     for lib in libs {
         print!(" {:>9}", lib.name());
     }
-    println!(" {:>9} {:>9} {:>11} {:>11}", "BSL", "QS-DNN", "QS-DNN/BSL", "QS-DNN/RS");
+    println!(
+        " {:>9} {:>9} {:>11} {:>11}",
+        "BSL", "QS-DNN", "QS-DNN/BSL", "QS-DNN/RS"
+    );
     rule(15 + 10 + libs.len() * 10 + 10 + 10 + 12 + 12);
 
     for name in zoo::PAPER_ROSTER {
@@ -52,7 +55,11 @@ fn run_mode(mode: Mode, libs: &[Library]) {
                 .run(&lut)
                 .best_cost_ms
         }));
-        let rs = mean_best(SEEDS.iter().map(|&s| RandomSearch::new(1000, s).run(&lut).best_cost_ms));
+        let rs = mean_best(
+            SEEDS
+                .iter()
+                .map(|&s| RandomSearch::new(1000, s).run(&lut).best_cost_ms),
+        );
         println!(
             " {:>8.1}x {:>8.1}x {:>10.2}x {:>10.2}x",
             vanilla / bsl,
@@ -67,11 +74,21 @@ fn main() {
     println!("QS-DNN reproduction — Table II");
     println!("(5-seed means, paper schedule, 1000 episodes, sim-TX2 platform)");
 
-    let cpu_libs = [Library::Blas, Library::Nnpack, Library::ArmCl, Library::Sparse];
+    let cpu_libs = [
+        Library::Blas,
+        Library::Nnpack,
+        Library::ArmCl,
+        Library::Sparse,
+    ];
     run_mode(Mode::Cpu, &cpu_libs);
 
-    let gpu_libs =
-        [Library::Blas, Library::Nnpack, Library::ArmCl, Library::CuDnn, Library::CuBlas];
+    let gpu_libs = [
+        Library::Blas,
+        Library::Nnpack,
+        Library::ArmCl,
+        Library::CuDnn,
+        Library::CuBlas,
+    ];
     run_mode(Mode::Gpgpu, &gpu_libs);
 
     println!("\nPaper headline checks:");

@@ -61,7 +61,10 @@ mod tests {
         let lut = lut_for_quick("lenet5", Mode::Cpu);
         let (lib, cost) = best_single_library(&lut);
         for l in Library::ALL {
-            assert!(single_library_cost(&lut, l) >= cost, "{l} beats reported BSL {lib}");
+            assert!(
+                single_library_cost(&lut, l) >= cost,
+                "{l} beats reported BSL {lib}"
+            );
         }
     }
 

@@ -1,24 +1,30 @@
 //! Implementation of the `qsdnn-cli` command-line tool.
 //!
-//! Four subcommands drive the full pipeline from a shell:
+//! Six subcommands drive the full pipeline from a shell:
 //!
 //! ```text
 //! qsdnn-cli networks
 //! qsdnn-cli profile --network mobilenet_v1 --mode gpgpu --out lut.json
 //! qsdnn-cli search  --lut lut.json --episodes 2000 --out report.json
 //! qsdnn-cli report  --lut lut.json --report report.json
+//! qsdnn-cli serve   --addr 127.0.0.1:7878 --spill /var/cache/qsdnn
+//! qsdnn-cli submit  --addr 127.0.0.1:7878 --network mobilenet_v1
 //! ```
 //!
 //! Argument parsing is hand-rolled (no external CLI dependency) and kept in
-//! this library crate so it can be unit-tested.
+//! this library crate so it can be unit-tested. Unknown `--options` are
+//! rejected per subcommand rather than silently ignored.
 
 use std::collections::HashMap;
 
-use qsdnn::baselines::{pbqp_search, solve_chain_dp, RandomSearch, SimulatedAnnealing,
-    SimulatedAnnealingConfig};
+use qsdnn::baselines::{
+    pbqp_search, solve_chain_dp, RandomSearch, SimulatedAnnealing, SimulatedAnnealingConfig,
+};
 use qsdnn::engine::{AnalyticalPlatform, CostLut, MeasuredPlatform, Mode, Objective, Profiler};
 use qsdnn::nn::zoo;
 use qsdnn::{ApproxQsDnnSearch, QsDnnConfig, QsDnnSearch, SearchReport};
+use qsdnn_serve::protocol::{PlanRequest, PlanResponse, ProfileRequest};
+use qsdnn_serve::{PlanClient, PlanServer, ServerConfig};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,18 +42,72 @@ pub struct Args {
 /// Returns a usage message when the subcommand is missing or an option has
 /// no value.
 pub fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let help = || {
+        Ok(Args {
+            command: "help".to_string(),
+            options: HashMap::new(),
+        })
+    };
     let mut it = argv.iter();
     let command = it.next().ok_or_else(usage)?.clone();
+    if command == "--help" || command == "-h" {
+        return help();
+    }
     let mut options = HashMap::new();
     while let Some(key) = it.next() {
+        // `--help`/`-h` wins in any *key* position (`search --lut x --help`),
+        // but an option's value is consumed verbatim — `--out -h` names a
+        // file, it does not request help.
+        if key == "--help" || key == "-h" {
+            return help();
+        }
         let key = key
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --option, got `{key}`\n{}", usage()))?;
-        let value =
-            it.next().ok_or_else(|| format!("missing value for --{key}\n{}", usage()))?;
+        let value = it
+            .next()
+            .ok_or_else(|| format!("missing value for --{key}\n{}", usage()))?;
         options.insert(key.to_string(), value.clone());
     }
     Ok(Args { command, options })
+}
+
+/// Rejects any option key the subcommand does not understand — a silently
+/// ignored `--episods 2000` typo would otherwise run a misconfigured
+/// search.
+///
+/// # Errors
+///
+/// Returns a message naming every unknown key and the accepted set.
+pub fn reject_unknown_options(args: &Args, allowed: &[&str]) -> Result<(), String> {
+    let mut unknown: Vec<&str> = args
+        .options
+        .keys()
+        .filter(|k| !allowed.contains(&k.as_str()))
+        .map(String::as_str)
+        .collect();
+    if unknown.is_empty() {
+        return Ok(());
+    }
+    unknown.sort_unstable();
+    let mut accepted: Vec<&str> = allowed.to_vec();
+    accepted.sort_unstable();
+    Err(format!(
+        "unknown option{} for `{}`: {}\naccepted options: {}\n{}",
+        if unknown.len() == 1 { "" } else { "s" },
+        args.command,
+        unknown
+            .iter()
+            .map(|k| format!("--{k}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        accepted
+            .iter()
+            .map(|k| format!("--{k}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        usage()
+    ))
 }
 
 /// The tool's usage text.
@@ -58,7 +118,12 @@ pub fn usage() -> String {
      [--repeats N] [--batch N] --out <lut.json>\n  \
      qsdnn-cli search --lut <lut.json> [--method qsdnn|linear|random|annealing|pbqp|dp]\n            \
      [--episodes N] [--seed N] [--objective latency|energy|weighted:<lambda>] [--out <report.json>]\n  \
-     qsdnn-cli report --lut <lut.json> --report <report.json>"
+     qsdnn-cli report --lut <lut.json> --report <report.json>\n  \
+     qsdnn-cli serve [--addr host:port] [--threads N] [--spill <dir>] [--repeats N]\n  \
+     qsdnn-cli submit --addr <host:port> [--request plan|profile|search|stats]\n            \
+     [--network <name>] [--batch N] [--mode cpu|gpgpu] [--objective <obj>]\n            \
+     [--episodes N] [--seeds a,b,c] [--repeats N] [--lut <lut.json>]\n  \
+     qsdnn-cli help | --help | -h"
         .to_string()
 }
 
@@ -86,32 +151,36 @@ pub fn parse_objective(s: &str) -> Result<Objective, String> {
         "energy" => Ok(Objective::Energy),
         other => {
             if let Some(lambda) = other.strip_prefix("weighted:") {
-                let lambda: f64 =
-                    lambda.parse().map_err(|_| format!("bad lambda in `{other}`"))?;
+                let lambda: f64 = lambda
+                    .parse()
+                    .map_err(|_| format!("bad lambda in `{other}`"))?;
                 Ok(Objective::Weighted { lambda })
             } else {
-                Err(format!("unknown objective `{other}` (latency|energy|weighted:<l>)"))
+                Err(format!(
+                    "unknown objective `{other}` (latency|energy|weighted:<l>)"
+                ))
             }
         }
     }
 }
 
-fn opt_parse<T: std::str::FromStr>(
-    args: &Args,
-    key: &str,
-    default: T,
-) -> Result<T, String> {
+fn opt_parse<T: std::str::FromStr>(args: &Args, key: &str, default: T) -> Result<T, String> {
     match args.options.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: `{v}`")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad value for --{key}: `{v}`")),
     }
 }
 
 fn required<'a>(args: &'a Args, key: &str) -> Result<&'a String, String> {
-    args.options.get(key).ok_or_else(|| format!("missing --{key}\n{}", usage()))
+    args.options
+        .get(key)
+        .ok_or_else(|| format!("missing --{key}\n{}", usage()))
 }
 
-fn cmd_networks() -> Result<String, String> {
+fn cmd_networks(args: &Args) -> Result<String, String> {
+    reject_unknown_options(args, &[])?;
     let mut out = String::from("available networks:\n");
     for name in zoo::PAPER_ROSTER {
         let net = zoo::by_name(name, 1).expect("roster");
@@ -128,19 +197,24 @@ fn cmd_networks() -> Result<String, String> {
 }
 
 fn cmd_profile(args: &Args) -> Result<String, String> {
+    reject_unknown_options(
+        args,
+        &["network", "mode", "platform", "repeats", "batch", "out"],
+    )?;
     let name = required(args, "network")?;
     let batch = opt_parse(args, "batch", 1usize)?;
     let net = zoo::by_name(name, batch).ok_or_else(|| format!("unknown network `{name}`"))?;
     let mode = parse_mode(args.options.get("mode").map_or("gpgpu", String::as_str))?;
     let repeats = opt_parse(args, "repeats", 50usize)?;
-    let platform = args.options.get("platform").map_or("analytical", String::as_str);
+    let platform = args
+        .options
+        .get("platform")
+        .map_or("analytical", String::as_str);
     let lut = match platform {
         "analytical" => {
             Profiler::with_repeats(AnalyticalPlatform::tx2(), repeats).profile(&net, mode)
         }
-        "measured" => {
-            Profiler::with_repeats(MeasuredPlatform::new(7), repeats).profile(&net, mode)
-        }
+        "measured" => Profiler::with_repeats(MeasuredPlatform::new(7), repeats).profile(&net, mode),
         other => return Err(format!("unknown platform `{other}` (analytical|measured)")),
     };
     let out_path = required(args, "out")?;
@@ -160,24 +234,33 @@ fn cmd_profile(args: &Args) -> Result<String, String> {
 fn load_lut(args: &Args) -> Result<CostLut, String> {
     let path = required(args, "lut")?;
     let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    serde_json::from_str(&json).map_err(|e| format!("{path}: {e}"))
+    let lut: CostLut = serde_json::from_str(&json).map_err(|e| format!("{path}: {e}"))?;
+    // A hand-edited or truncated LUT file would otherwise panic deep in
+    // the search; surface a clean message instead.
+    lut.validate()
+        .map_err(|e| format!("{path}: invalid LUT: {e}"))?;
+    Ok(lut)
 }
 
 fn cmd_search(args: &Args) -> Result<String, String> {
+    reject_unknown_options(
+        args,
+        &["lut", "method", "episodes", "seed", "objective", "out"],
+    )?;
     let raw = load_lut(args)?;
-    let objective =
-        parse_objective(args.options.get("objective").map_or("latency", String::as_str))?;
+    let objective = parse_objective(
+        args.options
+            .get("objective")
+            .map_or("latency", String::as_str),
+    )?;
     let lut = raw.with_objective(objective);
     let episodes = opt_parse(args, "episodes", 1000usize.max(40 * lut.len()))?;
     let seed = opt_parse(args, "seed", 0x5EEDu64)?;
     let method = args.options.get("method").map_or("qsdnn", String::as_str);
     let report: SearchReport = match method {
-        "qsdnn" => {
-            QsDnnSearch::new(QsDnnConfig::with_episodes(episodes).with_seed(seed)).run(&lut)
-        }
+        "qsdnn" => QsDnnSearch::new(QsDnnConfig::with_episodes(episodes).with_seed(seed)).run(&lut),
         "linear" => {
-            ApproxQsDnnSearch::new(QsDnnConfig::with_episodes(episodes).with_seed(seed))
-                .run(&lut)
+            ApproxQsDnnSearch::new(QsDnnConfig::with_episodes(episodes).with_seed(seed)).run(&lut)
         }
         "random" => RandomSearch::new(episodes, seed).run(&lut),
         "annealing" => SimulatedAnnealing::new(SimulatedAnnealingConfig {
@@ -222,18 +305,17 @@ fn cmd_search(args: &Args) -> Result<String, String> {
 }
 
 fn cmd_report(args: &Args) -> Result<String, String> {
+    reject_unknown_options(args, &["lut", "report"])?;
     let lut = load_lut(args)?;
     let path = required(args, "report")?;
     let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let report: SearchReport =
-        serde_json::from_str(&json).map_err(|e| format!("{path}: {e}"))?;
+    let report: SearchReport = serde_json::from_str(&json).map_err(|e| format!("{path}: {e}"))?;
     if report.best_assignment.len() != lut.len() {
         return Err("report does not match this LUT".to_string());
     }
     let mut out = format!(
         "{} on {}: {:.3} ms ({} episodes, {:.1} ms wall time)\n\nper-layer primitives:\n",
-        report.method, report.network, report.best_cost_ms, report.episodes,
-        report.wall_time_ms
+        report.method, report.network, report.best_cost_ms, report.episodes, report.wall_time_ms
     );
     for (l, &ci) in report.best_assignment.iter().enumerate() {
         let entry = &lut.layers()[l];
@@ -247,6 +329,173 @@ fn cmd_report(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+fn parse_seeds(s: &str) -> Result<Vec<u64>, String> {
+    s.split(',')
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            part.trim()
+                .parse::<u64>()
+                .map_err(|_| format!("bad seed `{part}` in --seeds"))
+        })
+        .collect()
+}
+
+fn format_plan(plan: &PlanResponse) -> String {
+    let mut out = format!(
+        "plan {} for {}: {:.3} ms ({}; {:.2}x vs vanilla {:.3} ms){}\n\nportfolio:\n",
+        plan.plan_key,
+        plan.network,
+        plan.best.best_cost_ms,
+        plan.winner,
+        plan.speedup(),
+        plan.vanilla_cost_ms,
+        if plan.cache_hit { " [cache hit]" } else { "" },
+    );
+    for m in &plan.members {
+        match m.best_cost_ms {
+            Some(cost) => out.push_str(&format!(
+                "  {:<22} {:>10.3} ms  ({:>8.1} ms wall)\n",
+                m.label, cost, m.wall_time_ms
+            )),
+            None => out.push_str(&format!("  {:<22} inapplicable\n", m.label)),
+        }
+    }
+    out.push_str(&format!(
+        "\nassignment ({} layers): {:?}",
+        plan.best.best_assignment.len(),
+        plan.best.best_assignment
+    ));
+    out
+}
+
+fn cmd_serve(args: &Args) -> Result<String, String> {
+    reject_unknown_options(args, &["addr", "threads", "spill", "repeats"])?;
+    let addr = args
+        .options
+        .get("addr")
+        .map_or("127.0.0.1:7878", String::as_str)
+        .to_string();
+    let config = ServerConfig {
+        addr,
+        threads: opt_parse(args, "threads", 0usize)?,
+        spill_dir: args.options.get("spill").map(std::path::PathBuf::from),
+        profile_repeats: opt_parse(args, "repeats", 10usize)?,
+        ..ServerConfig::default()
+    };
+    let spill_note = config
+        .spill_dir
+        .as_ref()
+        .map(|d| format!(", spilling plans to {}", d.display()))
+        .unwrap_or_default();
+    let server = PlanServer::start(config).map_err(|e| e.to_string())?;
+    eprintln!(
+        "qsdnn-serve listening on {} (JSON-lines requests: profile/search/plan/stats){spill_note}",
+        server.local_addr()
+    );
+    // Serve until the process is killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn cmd_submit(args: &Args) -> Result<String, String> {
+    reject_unknown_options(
+        args,
+        &[
+            "addr",
+            "request",
+            "network",
+            "batch",
+            "mode",
+            "objective",
+            "episodes",
+            "seeds",
+            "repeats",
+            "lut",
+        ],
+    )?;
+    let addr = required(args, "addr")?;
+    let mut client = PlanClient::connect(addr.as_str()).map_err(|e| e.to_string())?;
+    let kind = args.options.get("request").map_or("plan", String::as_str);
+    let network = || required(args, "network").cloned();
+    let batch = opt_parse(args, "batch", 1usize)?;
+    let mode = parse_mode(args.options.get("mode").map_or("gpgpu", String::as_str))?;
+    let objective = parse_objective(
+        args.options
+            .get("objective")
+            .map_or("latency", String::as_str),
+    )?;
+    let episodes = opt_parse(args, "episodes", 0usize)?;
+    let seeds = parse_seeds(args.options.get("seeds").map_or("", String::as_str))?;
+    match kind {
+        "plan" => {
+            let plan = client
+                .plan(PlanRequest {
+                    network: network()?,
+                    batch,
+                    mode,
+                    objective,
+                    episodes,
+                    seeds,
+                })
+                .map_err(|e| e.to_string())?;
+            Ok(format_plan(&plan))
+        }
+        "profile" => {
+            let resp = client
+                .profile(ProfileRequest {
+                    network: network()?,
+                    batch,
+                    mode,
+                    repeats: opt_parse(args, "repeats", 0usize)?,
+                })
+                .map_err(|e| e.to_string())?;
+            let json = serde_json::to_string(&resp.lut).map_err(|e| e.to_string())?;
+            if let Some(out_path) = args.options.get("lut") {
+                std::fs::write(out_path, &json).map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "profiled {} ({} layers, fingerprint {}) -> {out_path}",
+                    resp.lut.network(),
+                    resp.lut.len(),
+                    resp.fingerprint
+                ))
+            } else {
+                Ok(json)
+            }
+        }
+        "search" => {
+            let lut = load_lut(args)?;
+            let plan = client
+                .search(lut, objective, episodes, seeds)
+                .map_err(|e| e.to_string())?;
+            Ok(format_plan(&plan))
+        }
+        "stats" => {
+            let stats = client.stats().map_err(|e| e.to_string())?;
+            Ok(format!(
+                "qsdnn-serve v{} up {:.1} s | {} requests, {} plans | plan cache: {} hits, \
+                 {} misses, {} coalesced, {} spill loads, {} entries ({:.0}% hit rate) | \
+                 profile cache: {} entries | {} workers",
+                stats.version,
+                stats.uptime_ms as f64 / 1e3,
+                stats.requests,
+                stats.plans,
+                stats.plan_cache.hits,
+                stats.plan_cache.misses,
+                stats.plan_cache.coalesced,
+                stats.plan_cache.spill_loads,
+                stats.plan_cache.entries,
+                stats.plan_cache.hit_rate() * 100.0,
+                stats.profile_cache.entries,
+                stats.workers
+            ))
+        }
+        other => Err(format!(
+            "unknown request `{other}` (plan|profile|search|stats)"
+        )),
+    }
+}
+
 /// Dispatches a parsed command line; returns the text to print.
 ///
 /// # Errors
@@ -255,10 +504,12 @@ fn cmd_report(args: &Args) -> Result<String, String> {
 /// unknown names).
 pub fn run(args: &Args) -> Result<String, String> {
     match args.command.as_str() {
-        "networks" => cmd_networks(),
+        "networks" => cmd_networks(args),
         "profile" => cmd_profile(args),
         "search" => cmd_search(args),
         "report" => cmd_report(args),
+        "serve" => cmd_serve(args),
+        "submit" => cmd_submit(args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
@@ -321,6 +572,88 @@ mod tests {
     }
 
     #[test]
+    fn unknown_options_are_rejected_not_ignored() {
+        let err = run(&parse_args(&argv(&["networks", "--frobnicate", "1"])).unwrap()).unwrap_err();
+        assert!(err.contains("unknown option"), "{err}");
+        assert!(err.contains("--frobnicate"), "{err}");
+        // A typo'd key on a real command names the accepted set.
+        let err =
+            run(&parse_args(&argv(&["search", "--lut", "x.json", "--episods", "50"])).unwrap())
+                .unwrap_err();
+        assert!(err.contains("--episods"), "{err}");
+        assert!(err.contains("accepted options"), "{err}");
+        assert!(err.contains("--episodes"), "{err}");
+    }
+
+    #[test]
+    fn help_flags_short_circuit_anywhere() {
+        for argvv in [
+            vec!["--help"],
+            vec!["-h"],
+            vec!["search", "--help"],
+            vec!["profile", "--network", "lenet5", "-h"],
+        ] {
+            let args = parse_args(&argv(&argvv)).unwrap();
+            assert_eq!(args.command, "help", "{argvv:?}");
+            assert!(run(&args).unwrap().contains("usage:"));
+        }
+        // In a *value* position, `-h` is data, not a help request.
+        let args = parse_args(&argv(&["profile", "--network", "lenet5", "--out", "-h"])).unwrap();
+        assert_eq!(args.command, "profile");
+        assert_eq!(args.options["out"], "-h");
+    }
+
+    #[test]
+    fn seeds_lists_parse() {
+        assert_eq!(parse_seeds("").unwrap(), Vec::<u64>::new());
+        assert_eq!(parse_seeds("1,2,3").unwrap(), vec![1, 2, 3]);
+        assert_eq!(parse_seeds("42").unwrap(), vec![42]);
+        assert!(parse_seeds("1,x").is_err());
+    }
+
+    #[test]
+    fn submit_round_trips_against_an_in_process_server() {
+        let server = qsdnn_serve::start_local().expect("server");
+        let addr = server.local_addr().to_string();
+        let out = run(&parse_args(&argv(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--network",
+            "tiny_cnn",
+            "--episodes",
+            "150",
+            "--seeds",
+            "7",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("plan"), "{out}");
+        assert!(out.contains("tiny_cnn"), "{out}");
+        assert!(out.contains("portfolio:"), "{out}");
+        // Second submission of the identical scenario hits the cache.
+        let out = run(&parse_args(&argv(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--network",
+            "tiny_cnn",
+            "--episodes",
+            "150",
+            "--seeds",
+            "7",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("[cache hit]"), "{out}");
+        let stats =
+            run(&parse_args(&argv(&["submit", "--addr", &addr, "--request", "stats"])).unwrap())
+                .unwrap();
+        assert!(stats.contains("plan cache: 1 hits"), "{stats}");
+        server.shutdown();
+    }
+
+    #[test]
     fn end_to_end_profile_search_report_via_tempfiles() {
         let dir = std::env::temp_dir().join("qsdnn_cli_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -330,7 +663,14 @@ mod tests {
         let report_s = report_path.to_str().unwrap();
 
         let out = run(&parse_args(&argv(&[
-            "profile", "--network", "lenet5", "--mode", "gpgpu", "--repeats", "2", "--out",
+            "profile",
+            "--network",
+            "lenet5",
+            "--mode",
+            "gpgpu",
+            "--repeats",
+            "2",
+            "--out",
             lut_s,
         ]))
         .unwrap())
@@ -338,15 +678,21 @@ mod tests {
         assert!(out.contains("profiled lenet5"));
 
         let out = run(&parse_args(&argv(&[
-            "search", "--lut", lut_s, "--episodes", "200", "--out", report_s,
+            "search",
+            "--lut",
+            lut_s,
+            "--episodes",
+            "200",
+            "--out",
+            report_s,
         ]))
         .unwrap())
         .unwrap();
         assert!(out.contains("qs-dnn on lenet5"));
 
-        let out = run(&parse_args(&argv(&["report", "--lut", lut_s, "--report", report_s]))
-            .unwrap())
-        .unwrap();
+        let out =
+            run(&parse_args(&argv(&["report", "--lut", lut_s, "--report", report_s])).unwrap())
+                .unwrap();
         assert!(out.contains("per-layer primitives"));
         assert!(out.contains("conv1"));
 

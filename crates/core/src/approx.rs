@@ -23,7 +23,10 @@ use crate::{EpisodeRecord, QsDnnConfig, SearchReport};
 pub const FEATURE_DIM: usize = 27;
 
 fn library_index(lib: Library) -> usize {
-    Library::ALL.iter().position(|&l| l == lib).expect("library in ALL")
+    Library::ALL
+        .iter()
+        .position(|&l| l == lib)
+        .expect("library in ALL")
 }
 
 fn algorithm_index(a: Algorithm) -> usize {
@@ -112,7 +115,9 @@ pub struct LinearQ {
 impl LinearQ {
     /// Zero-initialized model.
     pub fn new() -> Self {
-        LinearQ { weights: [0.0; FEATURE_DIM] }
+        LinearQ {
+            weights: [0.0; FEATURE_DIM],
+        }
     }
 
     /// `Q̂ = w · φ`.
@@ -190,8 +195,7 @@ impl ApproxQsDnnSearch {
             let mut assign: Vec<usize> = Vec::with_capacity(layers);
             let mut prev: Option<Primitive> = None;
             let mut episode_cost = 0.0;
-            let mut trajectory: Vec<([f64; FEATURE_DIM], f64, usize)> =
-                Vec::with_capacity(layers);
+            let mut trajectory: Vec<([f64; FEATURE_DIM], f64, usize)> = Vec::with_capacity(layers);
             for l in 0..layers {
                 let n = lut.candidates(l).len();
                 let a = if rng.gen::<f64>() < eps {
@@ -199,10 +203,8 @@ impl ApproxQsDnnSearch {
                 } else {
                     (0..n)
                         .max_by(|&x, &y| {
-                            let qx =
-                                q.predict(&featurize(lut, l, prev.as_ref(), x, time_scale));
-                            let qy =
-                                q.predict(&featurize(lut, l, prev.as_ref(), y, time_scale));
+                            let qx = q.predict(&featurize(lut, l, prev.as_ref(), x, time_scale));
+                            let qy = q.predict(&featurize(lut, l, prev.as_ref(), y, time_scale));
                             qx.partial_cmp(&qy).expect("finite")
                         })
                         .expect("non-empty")
@@ -292,7 +294,11 @@ mod tests {
     fn avoids_fig1_trap() {
         let lut = toy::fig1_lut();
         let report = ApproxQsDnnSearch::new(QsDnnConfig::with_episodes(500)).run(&lut);
-        assert!(report.best_cost_ms <= 2.9 + 1e-9, "found {}", report.best_cost_ms);
+        assert!(
+            report.best_cost_ms <= 2.9 + 1e-9,
+            "found {}",
+            report.best_cost_ms
+        );
     }
 
     #[test]

@@ -27,7 +27,12 @@ pub struct SimulatedAnnealingConfig {
 
 impl Default for SimulatedAnnealingConfig {
     fn default() -> Self {
-        SimulatedAnnealingConfig { evaluations: 1000, t_initial: 5.0, t_final: 0.01, seed: 0xA11 }
+        SimulatedAnnealingConfig {
+            evaluations: 1000,
+            t_initial: 5.0,
+            t_final: 0.01,
+            seed: 0xA11,
+        }
     }
 }
 
@@ -110,7 +115,11 @@ mod tests {
             ..Default::default()
         })
         .run(&lut);
-        assert!(report.best_cost_ms <= opt * 1.05 + 1e-9, "{} vs {opt}", report.best_cost_ms);
+        assert!(
+            report.best_cost_ms <= opt * 1.05 + 1e-9,
+            "{} vs {opt}",
+            report.best_cost_ms
+        );
     }
 
     #[test]

@@ -85,7 +85,10 @@ mod tests {
         let (dp_a, dp_c) = solve_chain_dp(&lut).unwrap();
         let (_, ex_c) = exhaustive_search(&lut, 1e6).unwrap();
         assert!((dp_c - ex_c).abs() < 1e-12);
-        assert!((lut.cost(&dp_a) - dp_c).abs() < 1e-12, "reported cost is consistent");
+        assert!(
+            (lut.cost(&dp_a) - dp_c).abs() < 1e-12,
+            "reported cost is consistent"
+        );
     }
 
     #[test]

@@ -24,13 +24,18 @@ pub fn pbqp_search(lut: &CostLut) -> SearchReport {
         for e in &entry.incoming {
             // Penalty matrix is stored [ci_from][ci_self] row-major, which
             // is exactly add_edge(from, l) orientation.
-            g.add_edge(e.from, l, e.penalty.clone()).expect("LUT edges are well-formed");
+            g.add_edge(e.from, l, e.penalty.clone())
+                .expect("LUT edges are well-formed");
         }
     }
     let sol = g.solve_with_cost();
     let cost = lut.cost(&sol.selection);
     SearchReport {
-        method: if sol.exact { "pbqp(exact)".into() } else { "pbqp(rn)".into() },
+        method: if sol.exact {
+            "pbqp(exact)".into()
+        } else {
+            "pbqp(rn)".into()
+        },
         network: lut.network().to_string(),
         best_assignment: sol.selection,
         best_cost_ms: cost,

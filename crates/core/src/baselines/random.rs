@@ -42,8 +42,9 @@ impl RandomSearch {
         let mut best_assign = Vec::new();
         let mut curve = Vec::with_capacity(self.episodes);
         for episode in 0..self.episodes {
-            let assign: Vec<usize> =
-                (0..lut.len()).map(|l| rng.gen_range(0..lut.candidates(l).len())).collect();
+            let assign: Vec<usize> = (0..lut.len())
+                .map(|l| rng.gen_range(0..lut.candidates(l).len()))
+                .collect();
             let cost = lut.cost(&assign);
             if cost < best_cost {
                 best_cost = cost;

@@ -42,6 +42,7 @@
 
 pub mod approx;
 pub mod baselines;
+pub mod portfolio;
 mod qtable;
 mod replay;
 mod report;
@@ -49,6 +50,7 @@ mod schedule;
 mod search;
 
 pub use approx::{ApproxQsDnnSearch, LinearQ};
+pub use portfolio::{MemberSummary, Portfolio, PortfolioMember, PortfolioOutcome};
 pub use qtable::QTable;
 pub use replay::{ReplayBuffer, Transition};
 pub use report::{EpisodeRecord, SearchReport};

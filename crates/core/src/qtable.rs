@@ -37,11 +37,18 @@ impl QTable {
     pub fn new(lut: &CostLut) -> Self {
         let dims: Vec<usize> = (0..lut.len()).map(|l| lut.candidates(l).len()).collect();
         let first = vec![0.0; dims[0]];
-        let q: Vec<Vec<f64>> =
-            (1..dims.len()).map(|l| vec![0.0; dims[l - 1] * dims[l]]).collect();
+        let q: Vec<Vec<f64>> = (1..dims.len())
+            .map(|l| vec![0.0; dims[l - 1] * dims[l]])
+            .collect();
         let first_seen = vec![0; dims[0]];
         let seen = q.iter().map(|row| vec![0; row.len()]).collect();
-        QTable { dims, first, q, first_seen, seen }
+        QTable {
+            dims,
+            first,
+            q,
+            first_seen,
+            seen,
+        }
     }
 
     /// Candidate count at layer `l`.

@@ -39,7 +39,11 @@ impl ReplayBuffer {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "replay buffer needs capacity");
-        ReplayBuffer { capacity, items: Vec::with_capacity(capacity), head: 0 }
+        ReplayBuffer {
+            capacity,
+            items: Vec::with_capacity(capacity),
+            head: 0,
+        }
     }
 
     /// Stores a transition, evicting the oldest when full.
@@ -76,7 +80,13 @@ mod tests {
     use rand::SeedableRng;
 
     fn t(layer: usize) -> Transition {
-        Transition { layer, prev: 0, action: 0, reward: -1.0, terminal: false }
+        Transition {
+            layer,
+            prev: 0,
+            action: 0,
+            reward: -1.0,
+            terminal: false,
+        }
     }
 
     #[test]

@@ -46,10 +46,12 @@ impl SearchReport {
         if episodes == 0 {
             return f64::INFINITY;
         }
-        self.curve
-            .get(episodes.min(self.curve.len()) - 1)
-            .map(|r| r.best_so_far_ms)
-            .unwrap_or(self.best_cost_ms)
+        // `checked_sub` guards the empty-curve case (e.g. chain-DP reports),
+        // which would otherwise underflow and panic in debug builds.
+        match episodes.min(self.curve.len()).checked_sub(1) {
+            Some(last) => self.curve[last].best_so_far_ms,
+            None => self.best_cost_ms,
+        }
     }
 }
 
@@ -65,9 +67,24 @@ mod tests {
             best_cost_ms: 1.0,
             episodes: 3,
             curve: vec![
-                EpisodeRecord { episode: 0, epsilon: 1.0, cost_ms: 5.0, best_so_far_ms: 5.0 },
-                EpisodeRecord { episode: 1, epsilon: 1.0, cost_ms: 2.0, best_so_far_ms: 2.0 },
-                EpisodeRecord { episode: 2, epsilon: 0.5, cost_ms: 3.0, best_so_far_ms: 2.0 },
+                EpisodeRecord {
+                    episode: 0,
+                    epsilon: 1.0,
+                    cost_ms: 5.0,
+                    best_so_far_ms: 5.0,
+                },
+                EpisodeRecord {
+                    episode: 1,
+                    epsilon: 1.0,
+                    cost_ms: 2.0,
+                    best_so_far_ms: 2.0,
+                },
+                EpisodeRecord {
+                    episode: 2,
+                    epsilon: 0.5,
+                    cost_ms: 3.0,
+                    best_so_far_ms: 2.0,
+                },
             ],
             wall_time_ms: 0.1,
         }

@@ -35,7 +35,9 @@ impl EpsilonSchedule {
 
     /// Constant ε for every episode (ablation).
     pub fn constant(eps: f64, total: usize) -> Self {
-        EpsilonSchedule { segments: vec![(eps, total)] }
+        EpsilonSchedule {
+            segments: vec![(eps, total)],
+        }
     }
 
     /// Linear decay from 1.0 to 0.0 over the budget, quantized to 20 steps
@@ -47,7 +49,11 @@ impl EpsilonSchedule {
         let mut used = 0;
         for i in 0..steps {
             let eps = 1.0 - i as f64 / (steps - 1) as f64;
-            let count = if i == steps - 1 { total.saturating_sub(used) } else { per };
+            let count = if i == steps - 1 {
+                total.saturating_sub(used)
+            } else {
+                per
+            };
             segments.push((eps, count));
             used += count;
             if used >= total {

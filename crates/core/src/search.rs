@@ -70,7 +70,10 @@ impl Default for QsDnnConfig {
 impl QsDnnConfig {
     /// Paper configuration with a custom episode budget.
     pub fn with_episodes(episodes: usize) -> Self {
-        QsDnnConfig { schedule: EpsilonSchedule::paper(episodes), ..QsDnnConfig::default() }
+        QsDnnConfig {
+            schedule: EpsilonSchedule::paper(episodes),
+            ..QsDnnConfig::default()
+        }
     }
 
     /// Returns a copy with a different seed (for repeated experiments).
@@ -111,7 +114,11 @@ impl QsDnnSearch {
     }
 
     fn q_update(&self, q: &mut QTable, t: &Transition) {
-        let future = if t.terminal { 0.0 } else { self.config.gamma * q.best(t.layer + 1, t.action).1 };
+        let future = if t.terminal {
+            0.0
+        } else {
+            self.config.gamma * q.best(t.layer + 1, t.action).1
+        };
         let target = t.reward + future;
         let alpha = if self.config.jumpstart {
             let n = q.visits(t.layer, t.prev, t.action) as f64;
@@ -120,7 +127,12 @@ impl QsDnnSearch {
             self.config.alpha
         };
         let old = q.get(t.layer, t.prev, t.action);
-        q.set(t.layer, t.prev, t.action, old * (1.0 - alpha) + alpha * target);
+        q.set(
+            t.layer,
+            t.prev,
+            t.action,
+            old * (1.0 - alpha) + alpha * target,
+        );
     }
 
     /// Runs the search against a Phase-1 LUT (Algorithm 1).
@@ -154,7 +166,11 @@ impl QsDnnSearch {
                 // step (layer time + penalties on resolved in-edges).
                 let step = lut.step_cost(l, a, &assign);
                 episode_cost += step;
-                let reward = if self.config.reward_shaping { -step } else { 0.0 };
+                let reward = if self.config.reward_shaping {
+                    -step
+                } else {
+                    0.0
+                };
                 transitions.push(Transition {
                     layer: l,
                     prev,
@@ -286,8 +302,13 @@ mod tests {
         let report = QsDnnSearch::new(QsDnnConfig::with_episodes(400)).run(&lut);
         // In the final ε=0 segment every episode follows argmax-Q, so the
         // sampled costs should have converged to the best found.
-        let tail: Vec<f64> =
-            report.curve.iter().rev().take(10).map(|r| r.cost_ms).collect();
+        let tail: Vec<f64> = report
+            .curve
+            .iter()
+            .rev()
+            .take(10)
+            .map(|r| r.cost_ms)
+            .collect();
         let spread = tail.iter().fold(0.0f64, |m, &c| m.max(c)) - report.best_cost_ms;
         assert!(spread < 0.5, "tail spread {spread}");
     }

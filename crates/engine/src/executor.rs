@@ -77,7 +77,10 @@ pub fn run_network(
     }
 
     ExecutionResult {
-        output: activations.pop().expect("non-empty network").to_layout(DataLayout::Nchw),
+        output: activations
+            .pop()
+            .expect("non-empty network")
+            .to_layout(DataLayout::Nchw),
         layout_conversions,
         processor_transfers,
     }
@@ -100,7 +103,10 @@ mod tests {
         let input = Tensor::random(net.layers()[0].output_shape, DataLayout::Nchw, 5);
         let r = run_network(&net, &lut, &lut.vanilla_assignment(), &input, 7);
         let sum: f32 = r.output.as_slice().iter().sum();
-        assert!((sum - 1.0).abs() < 1e-4, "softmax output sums to 1, got {sum}");
+        assert!(
+            (sum - 1.0).abs() < 1e-4,
+            "softmax output sums to 1, got {sum}"
+        );
     }
 
     #[test]
@@ -130,7 +136,10 @@ mod tests {
             .collect();
         let input = Tensor::random(net.layers()[0].output_shape, DataLayout::Nchw, 5);
         let r = run_network(&net, &lut, &assignment, &input, 7);
-        assert!(r.layout_conversions > 0, "NHWC/NCHW mix must insert conversions");
+        assert!(
+            r.layout_conversions > 0,
+            "NHWC/NCHW mix must insert conversions"
+        );
         // Function must still be preserved.
         let base = run_network(&net, &lut, &lut.vanilla_assignment(), &input, 7);
         assert!(base.output.approx_eq(&r.output, 1e-3).unwrap());
@@ -151,7 +160,10 @@ mod tests {
             .collect();
         let input = Tensor::random(net.layers()[0].output_shape, DataLayout::Nchw, 5);
         let r = run_network(&net, &lut, &assignment, &input, 7);
-        assert!(r.processor_transfers > 0, "CPU input must cross to GPU at least once");
+        assert!(
+            r.processor_transfers > 0,
+            "CPU input must cross to GPU at least once"
+        );
     }
 
     #[test]

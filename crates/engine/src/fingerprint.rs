@@ -1,0 +1,218 @@
+//! Stable content fingerprinting of Phase-1 artifacts.
+//!
+//! The plan-compilation service (`qsdnn-serve`) content-addresses its plan
+//! cache by a fingerprint of *(LUT, objective, search configuration)*. The
+//! hash must therefore be stable across processes and platforms — unlike
+//! `std::collections`' randomly-keyed `DefaultHasher` — and must be
+//! sensitive to every value that can change a search outcome: profiled
+//! times, penalty matrices, candidate identities, mode and network name.
+//!
+//! [`Fnv64`] is the 64-bit FNV-1a hash: tiny, dependency-free and
+//! well-distributed for this keying purpose (no adversarial inputs — cache
+//! keys come from the service's own profiler).
+
+use qsdnn_primitives::Primitive;
+
+use crate::{CostLut, Objective};
+
+/// 64-bit FNV-1a streaming hasher with typed feed helpers.
+///
+/// # Examples
+///
+/// ```
+/// use qsdnn_engine::Fnv64;
+///
+/// let mut h = Fnv64::new();
+/// h.write_str("qsdnn");
+/// h.write_u64(42);
+/// let a = h.finish();
+/// assert_eq!(a, {
+///     let mut h2 = Fnv64::new();
+///     h2.write_str("qsdnn");
+///     h2.write_u64(42);
+///     h2.finish()
+/// });
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+impl Fnv64 {
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds a `usize` as `u64`.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feeds an `f64` by bit pattern (exact, including -0.0 vs 0.0).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Feeds a length-prefixed string (prefix avoids concatenation
+    /// ambiguity between adjacent fields).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write(s.as_bytes());
+    }
+
+    /// Current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+fn write_primitive(h: &mut Fnv64, p: &Primitive) {
+    h.write_str(p.library.name());
+    h.write_str(p.algorithm.name());
+    h.write_str(p.lowering.name());
+    match p.blas {
+        Some(b) => h.write_str(b.name()),
+        None => h.write_str("-"),
+    }
+    h.write_str(p.processor.name());
+    h.write_str(p.layout.name());
+}
+
+impl CostLut {
+    /// Stable 64-bit content fingerprint of this LUT.
+    ///
+    /// Two LUTs fingerprint identically iff every searchable quantity
+    /// matches bit-for-bit: network/platform names, mode, per-layer
+    /// candidate identities, profiled times/energies and all edge penalty
+    /// matrices. Used by `qsdnn-serve` for content-addressed plan caching.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qsdnn_engine::toy;
+    ///
+    /// let a = toy::fig1_lut().fingerprint();
+    /// let b = toy::fig1_lut().fingerprint();
+    /// assert_eq!(a, b, "same content, same fingerprint");
+    /// assert_ne!(a, toy::small_chain_lut().fingerprint());
+    /// ```
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_str("qsdnn-lut-v1");
+        h.write_str(self.network());
+        h.write_str(self.platform());
+        h.write_str(self.mode().label());
+        h.write_usize(self.len());
+        for entry in self.layers() {
+            h.write_str(&entry.name);
+            h.write_str(entry.tag.name());
+            h.write_usize(entry.candidates.len());
+            for p in &entry.candidates {
+                write_primitive(&mut h, p);
+            }
+            h.write_usize(entry.time_ms.len());
+            for &t in &entry.time_ms {
+                h.write_f64(t);
+            }
+            h.write_usize(entry.energy_mj.len());
+            for &e in &entry.energy_mj {
+                h.write_f64(e);
+            }
+            h.write_usize(entry.incoming.len());
+            for edge in &entry.incoming {
+                h.write_usize(edge.from);
+                h.write_usize(edge.penalty.len());
+                for &p in &edge.penalty {
+                    h.write_f64(p);
+                }
+                h.write_usize(edge.penalty_energy_mj.len());
+                for &p in &edge.penalty_energy_mj {
+                    h.write_f64(p);
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+impl Objective {
+    /// Feeds this objective into a fingerprint hasher.
+    pub fn fingerprint_into(&self, h: &mut Fnv64) {
+        match self {
+            Objective::Latency => h.write_str("latency"),
+            Objective::Energy => h.write_str("energy"),
+            Objective::Weighted { lambda } => {
+                h.write_str("weighted");
+                h.write_f64(*lambda);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy;
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let lut = toy::fig1_lut();
+        assert_eq!(lut.fingerprint(), toy::fig1_lut().fingerprint());
+        assert_ne!(lut.fingerprint(), toy::small_chain_lut().fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_sees_single_time_changes() {
+        let base = toy::fig1_lut();
+        let mut layers: Vec<_> = base.layers().to_vec();
+        layers[1].time_ms[0] += 1e-9;
+        let tweaked = CostLut::from_parts(base.network(), base.platform(), base.mode(), layers);
+        assert_ne!(base.fingerprint(), tweaked.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_objectives() {
+        let tag = |o: &Objective| {
+            let mut h = Fnv64::new();
+            o.fingerprint_into(&mut h);
+            h.finish()
+        };
+        let a = tag(&Objective::Latency);
+        let b = tag(&Objective::Energy);
+        let c = tag(&Objective::Weighted { lambda: 0.5 });
+        let d = tag(&Objective::Weighted { lambda: 0.25 });
+        assert!(a != b && b != c && c != d && a != c);
+    }
+
+    #[test]
+    fn objective_rewrite_changes_lut_fingerprint() {
+        let lut = crate::toy::small_chain_lut();
+        let energy = lut.with_objective(Objective::Energy);
+        // The toy LUT has no energy profile, so costs become zero — but the
+        // fingerprint still must differ because the times changed.
+        assert_ne!(lut.fingerprint(), energy.fingerprint());
+    }
+}

@@ -33,12 +33,14 @@
 //! ```
 
 pub mod executor;
+mod fingerprint;
 mod lut;
 mod platform;
 mod profiler;
 pub mod toy;
 
 pub use executor::{run_network, ExecutionResult};
+pub use fingerprint::Fnv64;
 pub use lut::{Assignment, CostLut, IncomingEdge, LayerEntry};
 pub use platform::{
     AnalyticalPlatform, MeasuredPlatform, Mode, Objective, Platform, PlatformConfig,

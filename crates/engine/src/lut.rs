@@ -72,15 +72,28 @@ impl CostLut {
         layers: Vec<LayerEntry>,
     ) -> Self {
         for (li, l) in layers.iter().enumerate() {
-            assert!(!l.candidates.is_empty(), "layer {} has no candidates", l.name);
-            assert_eq!(l.candidates.len(), l.time_ms.len(), "layer {} arity", l.name);
+            assert!(
+                !l.candidates.is_empty(),
+                "layer {} has no candidates",
+                l.name
+            );
+            assert_eq!(
+                l.candidates.len(),
+                l.time_ms.len(),
+                "layer {} arity",
+                l.name
+            );
             assert!(
                 l.energy_mj.is_empty() || l.energy_mj.len() == l.candidates.len(),
                 "layer {} energy arity",
                 l.name
             );
             for e in &l.incoming {
-                assert!(e.from < li, "edge source must precede layer {} topologically", l.name);
+                assert!(
+                    e.from < li,
+                    "edge source must precede layer {} topologically",
+                    l.name
+                );
                 let n_from = layers[e.from].candidates.len();
                 assert_eq!(
                     e.penalty.len(),
@@ -90,15 +103,84 @@ impl CostLut {
                     li
                 );
                 assert!(
-                    e.penalty_energy_mj.is_empty()
-                        || e.penalty_energy_mj.len() == e.penalty.len(),
+                    e.penalty_energy_mj.is_empty() || e.penalty_energy_mj.len() == e.penalty.len(),
                     "energy penalty extent on edge {} -> {}",
                     e.from,
                     li
                 );
             }
         }
-        CostLut { network: network.into(), platform: platform.into(), mode, layers }
+        CostLut {
+            network: network.into(),
+            platform: platform.into(),
+            mode,
+            layers,
+        }
+    }
+
+    /// Non-panicking check of every structural invariant the cost and
+    /// search code relies on: non-empty candidate lists with matching
+    /// time/energy arities, topologically-ordered edges with full penalty
+    /// matrices, and the Vanilla fallback present on every layer.
+    ///
+    /// `Deserialize` bypasses [`CostLut::from_parts`], so anything that
+    /// accepts a LUT from the wire or from disk (the `qsdnn-serve` search
+    /// endpoint, CLI file loads) must validate before searching — a
+    /// malformed LUT would otherwise panic deep in `cost`/`step_cost`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        for (li, l) in self.layers.iter().enumerate() {
+            if l.candidates.is_empty() {
+                return Err(format!("layer `{}` has no candidates", l.name));
+            }
+            if l.time_ms.len() != l.candidates.len() {
+                return Err(format!(
+                    "layer `{}`: {} candidates but {} times",
+                    l.name,
+                    l.candidates.len(),
+                    l.time_ms.len()
+                ));
+            }
+            if !l.energy_mj.is_empty() && l.energy_mj.len() != l.candidates.len() {
+                return Err(format!("layer `{}`: energy arity mismatch", l.name));
+            }
+            if !l
+                .candidates
+                .iter()
+                .any(|p| p.library == qsdnn_primitives::Library::Vanilla)
+            {
+                return Err(format!("layer `{}` lacks the Vanilla fallback", l.name));
+            }
+            if !l.time_ms.iter().all(|t| t.is_finite()) {
+                return Err(format!("layer `{}` has non-finite times", l.name));
+            }
+            for e in &l.incoming {
+                if e.from >= li {
+                    return Err(format!(
+                        "edge {} -> {li} is not topologically ordered",
+                        e.from
+                    ));
+                }
+                let expect = self.layers[e.from].candidates.len() * l.candidates.len();
+                if e.penalty.len() != expect {
+                    return Err(format!(
+                        "edge {} -> {li}: penalty matrix has {} entries, expected {expect}",
+                        e.from,
+                        e.penalty.len()
+                    ));
+                }
+                if !e.penalty_energy_mj.is_empty() && e.penalty_energy_mj.len() != e.penalty.len() {
+                    return Err(format!("edge {} -> {li}: energy penalty extent", e.from));
+                }
+                if !e.penalty.iter().all(|p| p.is_finite()) {
+                    return Err(format!("edge {} -> {li} has non-finite penalties", e.from));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Profiled network name.
@@ -190,7 +272,10 @@ impl CostLut {
 
     /// Total size of the design space, `Π_l |candidates(l)|`, saturating.
     pub fn design_space_size(&self) -> f64 {
-        self.layers.iter().map(|l| l.candidates.len() as f64).product()
+        self.layers
+            .iter()
+            .map(|l| l.candidates.len() as f64)
+            .product()
     }
 
     /// Incremental cost of choosing candidate `ci` at layer `l`, given the
@@ -247,7 +332,9 @@ impl CostLut {
                     .enumerate()
                     .filter(|(_, p)| p.library == lib)
                     .min_by(|a, b| {
-                        l.time_ms[a.0].partial_cmp(&l.time_ms[b.0]).expect("finite times")
+                        l.time_ms[a.0]
+                            .partial_cmp(&l.time_ms[b.0])
+                            .expect("finite times")
                     })
                     .map(|(i, _)| i);
                 best_of_lib.unwrap_or_else(|| {
@@ -296,8 +383,11 @@ mod tests {
         // Greedy picks the locally-fastest middle primitive, paying two
         // incompatibility penalties.
         let cost_greedy = lut.cost(&greedy);
-        let sum_times: f64 =
-            greedy.iter().enumerate().map(|(l, &ci)| lut.time(l, ci)).sum();
+        let sum_times: f64 = greedy
+            .iter()
+            .enumerate()
+            .map(|(l, &ci)| lut.time(l, ci))
+            .sum();
         assert!(cost_greedy > sum_times, "penalties must be charged");
     }
 
@@ -314,7 +404,10 @@ mod tests {
         let lut = toy::fig1_lut();
         let v = lut.vanilla_assignment();
         for (l, &ci) in v.iter().enumerate() {
-            assert_eq!(lut.candidates(l)[ci].library, qsdnn_primitives::Library::Vanilla);
+            assert_eq!(
+                lut.candidates(l)[ci].library,
+                qsdnn_primitives::Library::Vanilla
+            );
         }
     }
 

@@ -328,7 +328,11 @@ impl AnalyticalPlatform {
             ),
         };
         let util = macs / (macs + knee);
-        let compute_ms = if macs > 0.0 { macs / (gmacs * 1e6 * util.max(1e-9)) } else { 0.0 };
+        let compute_ms = if macs > 0.0 {
+            macs / (gmacs * 1e6 * util.max(1e-9))
+        } else {
+            0.0
+        };
 
         let in_bytes: f64 = in_shapes.iter().map(|s| s.bytes() as f64).sum();
         let mut weight_bytes = node.desc.param_count(&in_shapes) as f64 * 4.0;
@@ -415,17 +419,18 @@ mod tests {
     use qsdnn_primitives::registry;
     use qsdnn_tensor::DataLayout;
 
-    fn find_prim(
-        cands: &[Primitive],
-        f: impl Fn(&Primitive) -> bool,
-    ) -> Primitive {
+    fn find_prim(cands: &[Primitive], f: impl Fn(&Primitive) -> bool) -> Primitive {
         *cands.iter().find(|p| f(p)).expect("primitive present")
     }
 
     #[test]
     fn winograd_beats_vanilla_by_order_of_magnitude() {
         let net = zoo::vgg19(1);
-        let conv = net.layers().iter().find(|l| l.desc.name == "conv3_1").unwrap();
+        let conv = net
+            .layers()
+            .iter()
+            .find(|l| l.desc.name == "conv3_1")
+            .unwrap();
         let cands = registry::candidates(conv);
         let p = AnalyticalPlatform::tx2();
         let vanilla = p.base_layer_time_ms(&net, conv, &cands[0]);
@@ -433,7 +438,10 @@ mod tests {
             p.algorithm == Algorithm::Winograd && p.library == Library::ArmCl
         });
         let fast = p.base_layer_time_ms(&net, conv, &wino);
-        assert!(vanilla / fast > 20.0, "vanilla {vanilla} vs winograd {fast}");
+        assert!(
+            vanilla / fast > 20.0,
+            "vanilla {vanilla} vs winograd {fast}"
+        );
     }
 
     #[test]
@@ -454,21 +462,32 @@ mod tests {
         // LeNet pool1 does ~3K ops: the GPU primitive is launch/occupancy
         // bound and loses to the NNPACK fast path outright.
         let net = zoo::lenet5(1);
-        let pool1 = net.layers().iter().find(|l| l.desc.name == "pool1").unwrap();
+        let pool1 = net
+            .layers()
+            .iter()
+            .find(|l| l.desc.name == "pool1")
+            .unwrap();
         let cands = registry::candidates(pool1);
         let p = AnalyticalPlatform::tx2();
         let gpu = find_prim(&cands, |p| p.processor == Processor::Gpu);
         let cpu = find_prim(&cands, |p| p.library == Library::Nnpack);
         let t_gpu = p.base_layer_time_ms(&net, pool1, &gpu);
         let t_cpu = p.base_layer_time_ms(&net, pool1, &cpu);
-        assert!(t_gpu > t_cpu, "gpu {t_gpu} should lose to cpu {t_cpu} on LeNet pool1");
+        assert!(
+            t_gpu > t_cpu,
+            "gpu {t_gpu} should lose to cpu {t_cpu} on LeNet pool1"
+        );
         assert!(t_gpu >= p.config().gpu_launch_ms);
     }
 
     #[test]
     fn gpu_wins_big_convolutions() {
         let net = zoo::vgg19(1);
-        let conv = net.layers().iter().find(|l| l.desc.name == "conv2_1").unwrap();
+        let conv = net
+            .layers()
+            .iter()
+            .find(|l| l.desc.name == "conv2_1")
+            .unwrap();
         let cands = registry::candidates(conv);
         let p = AnalyticalPlatform::tx2();
         let gpu = find_prim(&cands, |p| p.library == Library::CuDnn);
@@ -489,7 +508,8 @@ mod tests {
         let p = AnalyticalPlatform::tx2();
         let sparse = find_prim(&cands, |p| p.library == Library::Sparse);
         let blas = find_prim(&cands, |p| {
-            p.library == Library::Blas && p.blas == Some(qsdnn_gemm::BlasBackend::OpenBlasLike)
+            p.library == Library::Blas
+                && p.blas == Some(qsdnn_gemm::BlasBackend::OpenBlasLike)
                 && p.algorithm == Algorithm::Gemv
         });
         let t_sparse = p.base_layer_time_ms(&net, fc6, &sparse);
@@ -517,13 +537,22 @@ mod tests {
     #[test]
     fn noise_averages_to_base() {
         let net = zoo::lenet5(1);
-        let conv1 = net.layers().iter().find(|l| l.desc.name == "conv1").unwrap();
+        let conv1 = net
+            .layers()
+            .iter()
+            .find(|l| l.desc.name == "conv1")
+            .unwrap();
         let prim = registry::candidates(conv1)[1];
         let mut p = AnalyticalPlatform::tx2();
         let base = p.base_layer_time_ms(&net, conv1, &prim);
-        let mean: f64 =
-            (0..500).map(|_| p.layer_time_ms(&net, conv1, &prim)).sum::<f64>() / 500.0;
-        assert!((mean - base).abs() / base < 0.01, "mean {mean} vs base {base}");
+        let mean: f64 = (0..500)
+            .map(|_| p.layer_time_ms(&net, conv1, &prim))
+            .sum::<f64>()
+            / 500.0;
+        assert!(
+            (mean - base).abs() / base < 0.01,
+            "mean {mean} vs base {base}"
+        );
     }
 
     #[test]
@@ -555,7 +584,10 @@ mod tests {
     fn input_layer_is_free() {
         let net = zoo::lenet5(1);
         let mut p = AnalyticalPlatform::tx2();
-        assert_eq!(p.layer_time_ms(&net, &net.layers()[0], &Primitive::vanilla()), 0.0);
+        assert_eq!(
+            p.layer_time_ms(&net, &net.layers()[0], &Primitive::vanilla()),
+            0.0
+        );
     }
 
     #[test]

@@ -116,7 +116,11 @@ mod tests {
     fn measures_positive_times_for_cpu_primitives() {
         let net = zoo::tiny_cnn(1);
         let mut p = MeasuredPlatform::new(3);
-        let conv = net.layers().iter().find(|l| l.desc.name == "conv1").unwrap();
+        let conv = net
+            .layers()
+            .iter()
+            .find(|l| l.desc.name == "conv1")
+            .unwrap();
         for prim in registry::candidates(conv) {
             if prim.processor == Processor::Cpu {
                 let t = p.layer_time_ms(&net, conv, &prim);
@@ -129,7 +133,11 @@ mod tests {
     fn vanilla_direct_is_slower_than_gemm_on_bigger_convs() {
         // Use a moderately sized conv so the ordering is reliable.
         let net = zoo::sphereface20(1);
-        let conv = net.layers().iter().find(|l| l.desc.name == "conv2_1").unwrap();
+        let conv = net
+            .layers()
+            .iter()
+            .find(|l| l.desc.name == "conv2_1")
+            .unwrap();
         let mut p = MeasuredPlatform::new(3);
         let cands = registry::candidates(conv);
         let vanilla = cands[0];
@@ -139,15 +147,23 @@ mod tests {
             .copied()
             .unwrap();
         // Warm up, then take the best of 3 to de-noise.
-        let tv = (0..3).map(|_| p.layer_time_ms(&net, conv, &vanilla)).fold(f64::MAX, f64::min);
-        let tg = (0..3).map(|_| p.layer_time_ms(&net, conv, &gemm)).fold(f64::MAX, f64::min);
+        let tv = (0..3)
+            .map(|_| p.layer_time_ms(&net, conv, &vanilla))
+            .fold(f64::MAX, f64::min);
+        let tg = (0..3)
+            .map(|_| p.layer_time_ms(&net, conv, &gemm))
+            .fold(f64::MAX, f64::min);
         assert!(tv > tg, "vanilla {tv} should be slower than blas gemm {tg}");
     }
 
     #[test]
     fn gpu_primitives_fall_back_to_analytical() {
         let net = zoo::tiny_cnn(1);
-        let conv = net.layers().iter().find(|l| l.desc.name == "conv1").unwrap();
+        let conv = net
+            .layers()
+            .iter()
+            .find(|l| l.desc.name == "conv1")
+            .unwrap();
         let gpu = registry::candidates(conv)
             .into_iter()
             .find(|c| c.processor == Processor::Gpu)
@@ -164,8 +180,11 @@ mod tests {
         nhwc.layout = qsdnn_tensor::DataLayout::Nhwc;
         let t = p.conversion_time_ms(Shape::new(1, 32, 32, 32), &Primitive::vanilla(), &nhwc);
         assert!(t > 0.0);
-        let zero =
-            p.conversion_time_ms(Shape::new(1, 32, 32, 32), &Primitive::vanilla(), &Primitive::vanilla());
+        let zero = p.conversion_time_ms(
+            Shape::new(1, 32, 32, 32),
+            &Primitive::vanilla(),
+            &Primitive::vanilla(),
+        );
         assert_eq!(zero, 0.0);
     }
 }

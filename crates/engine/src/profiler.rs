@@ -36,7 +36,10 @@ pub struct Profiler<P: Platform> {
 impl<P: Platform> Profiler<P> {
     /// Profiler with the paper's repeat count (50 inferences per primitive).
     pub fn new(platform: P) -> Self {
-        Profiler { platform, repeats: 50 }
+        Profiler {
+            platform,
+            repeats: 50,
+        }
     }
 
     /// Profiler with a custom repeat count (≥1).
@@ -82,8 +85,10 @@ impl<P: Platform> Profiler<P> {
         // 1) Per-primitive benchmarking, averaged over repeats.
         let mut all_candidates: Vec<Vec<Primitive>> = Vec::with_capacity(net.len());
         for node in net.layers() {
-            let candidates: Vec<Primitive> =
-                registry::candidates(node).into_iter().filter(|p| mode.admits(p)).collect();
+            let candidates: Vec<Primitive> = registry::candidates(node)
+                .into_iter()
+                .filter(|p| mode.admits(p))
+                .collect();
             let mut time_ms = Vec::with_capacity(candidates.len());
             let mut energy_mj = Vec::with_capacity(candidates.len());
             for prim in &candidates {
@@ -183,7 +188,10 @@ mod tests {
         let lut = Profiler::with_repeats(platform, 200).profile(&net, Mode::Cpu);
         let ci = lut.candidates(1).iter().position(|p| *p == prim).unwrap();
         let measured = lut.time(1, ci);
-        assert!((measured - base).abs() / base < 0.02, "{measured} vs {base}");
+        assert!(
+            (measured - base).abs() / base < 0.02,
+            "{measured} vs {base}"
+        );
     }
 
     #[test]
@@ -229,7 +237,10 @@ mod tests {
         let cpu = 0;
         let gpu_ratio = lut.energy(conv2, gpu) / lut.time(conv2, gpu);
         let cpu_ratio = lut.energy(conv2, cpu) / lut.time(conv2, cpu);
-        assert!(gpu_ratio > cpu_ratio * 2.0, "gpu {gpu_ratio} vs cpu {cpu_ratio}");
+        assert!(
+            gpu_ratio > cpu_ratio * 2.0,
+            "gpu {gpu_ratio} vs cpu {cpu_ratio}"
+        );
     }
 
     #[test]

@@ -8,7 +8,14 @@ use qsdnn_tensor::DataLayout;
 use crate::{CostLut, IncomingEdge, LayerEntry, Mode};
 
 fn nchw_cpu(lib: Library) -> Primitive {
-    Primitive::new(lib, Algorithm::Direct, Lowering::None, None, Processor::Cpu, DataLayout::Nchw)
+    Primitive::new(
+        lib,
+        Algorithm::Direct,
+        Lowering::None,
+        None,
+        Processor::Cpu,
+        DataLayout::Nchw,
+    )
 }
 
 fn nhwc_cpu(lib: Library) -> Primitive {
@@ -43,7 +50,11 @@ pub fn fig1_lut() -> CostLut {
         let mut m = Vec::new();
         for pf in from {
             for pt in to {
-                m.push(if pf.layout == pt.layout { 0.0 } else { penalty_flip });
+                m.push(if pf.layout == pt.layout {
+                    0.0
+                } else {
+                    penalty_flip
+                });
             }
         }
         m
@@ -66,7 +77,11 @@ pub fn fig1_lut() -> CostLut {
             candidates: l1.clone(),
             time_ms: vec![0.9, 0.5],
             energy_mj: vec![],
-            incoming: vec![IncomingEdge { from: 0, penalty: pen(&l0, &l1), penalty_energy_mj: vec![] }],
+            incoming: vec![IncomingEdge {
+                from: 0,
+                penalty: pen(&l0, &l1),
+                penalty_energy_mj: vec![],
+            }],
         },
         LayerEntry {
             name: "layer2".into(),
@@ -74,7 +89,11 @@ pub fn fig1_lut() -> CostLut {
             candidates: l2.clone(),
             time_ms: vec![1.0, 1.2],
             energy_mj: vec![],
-            incoming: vec![IncomingEdge { from: 1, penalty: pen(&l1, &l2), penalty_energy_mj: vec![] }],
+            incoming: vec![IncomingEdge {
+                from: 1,
+                penalty: pen(&l1, &l2),
+                penalty_energy_mj: vec![],
+            }],
         },
     ];
     CostLut::from_parts("fig1_toy", "hand-built", Mode::Cpu, layers)
@@ -117,7 +136,11 @@ pub fn small_chain_lut() -> CostLut {
         let incoming = if i == 0 {
             vec![]
         } else {
-            vec![IncomingEdge { from: i - 1, penalty: pen(&cands, &cands), penalty_energy_mj: vec![] }]
+            vec![IncomingEdge {
+                from: i - 1,
+                penalty: pen(&cands, &cands),
+                penalty_energy_mj: vec![],
+            }]
         };
         layers.push(LayerEntry {
             name: format!("layer{i}"),
@@ -139,7 +162,11 @@ mod tests {
     fn fig1_greedy_falls_into_local_minimum() {
         let lut = fig1_lut();
         let greedy = lut.greedy_assignment();
-        assert_eq!(greedy, vec![0, 1, 0], "greedy picks the fast NHWC middle layer");
+        assert_eq!(
+            greedy,
+            vec![0, 1, 0],
+            "greedy picks the fast NHWC middle layer"
+        );
         let optimal = vec![0, 0, 0];
         assert!(lut.cost(&optimal) < lut.cost(&greedy));
         assert!((lut.cost(&greedy) - 3.3).abs() < 1e-9);

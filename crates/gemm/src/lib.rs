@@ -49,11 +49,16 @@ mod tests {
 
     fn random_matrix(rows: usize, cols: usize, seed: u64) -> Vec<f32> {
         let mut rng = SmallRng::seed_from_u64(seed);
-        (0..rows * cols).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+        (0..rows * cols)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect()
     }
 
     fn max_diff(a: &[f32], b: &[f32]) -> f32 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max)
     }
 
     #[test]

@@ -47,8 +47,11 @@ fn pack_a(dst: &mut [f32], a: &[f32], i0: usize, ic: usize, p0: usize, pc: usize
         let rows = (ic - ir).min(MR);
         for p in 0..pc {
             for r in 0..MR {
-                dst[idx] =
-                    if r < rows { a[(i0 + ir + r) * k + p0 + p] } else { 0.0 };
+                dst[idx] = if r < rows {
+                    a[(i0 + ir + r) * k + p0 + p]
+                } else {
+                    0.0
+                };
                 idx += 1;
             }
         }
@@ -64,7 +67,11 @@ fn pack_b(dst: &mut [f32], b: &[f32], p0: usize, pc: usize, n: usize) {
         let cols = (n - jr).min(NR);
         for p in 0..pc {
             for col in 0..NR {
-                dst[idx] = if col < cols { b[(p0 + p) * n + jr + col] } else { 0.0 };
+                dst[idx] = if col < cols {
+                    b[(p0 + p) * n + jr + col]
+                } else {
+                    0.0
+                };
                 idx += 1;
             }
         }
@@ -132,13 +139,19 @@ mod tests {
     use crate::sgemm_naive;
 
     fn check(m: usize, k: usize, n: usize) {
-        let a: Vec<f32> = (0..m * k).map(|i| ((i * 13 + 5) % 11) as f32 - 5.0).collect();
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 13 + 5) % 11) as f32 - 5.0)
+            .collect();
         let b: Vec<f32> = (0..k * n).map(|i| ((i * 7 + 3) % 9) as f32 - 4.0).collect();
         let mut c0 = vec![0.0; m * n];
         let mut c1 = vec![0.0; m * n];
         sgemm_naive(m, k, n, &a, &b, &mut c0);
         sgemm_packed(m, k, n, &a, &b, &mut c1);
-        let d = c0.iter().zip(&c1).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max);
+        let d = c0
+            .iter()
+            .zip(&c1)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max);
         assert!(d < 1e-4, "m={m} k={k} n={n} diff={d}");
     }
 

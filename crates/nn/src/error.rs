@@ -36,7 +36,11 @@ impl fmt::Display for GraphError {
             GraphError::UnknownInput { layer, input } => {
                 write!(f, "layer `{layer}` references unknown input #{input}")
             }
-            GraphError::ArityMismatch { layer, expected, got } => {
+            GraphError::ArityMismatch {
+                layer,
+                expected,
+                got,
+            } => {
                 write!(f, "layer `{layer}` expects {expected} inputs, got {got}")
             }
             GraphError::ShapeError { layer, reason } => {
@@ -55,7 +59,10 @@ mod tests {
 
     #[test]
     fn display_mentions_layer_name() {
-        let e = GraphError::UnknownInput { layer: "conv1".into(), input: 9 };
+        let e = GraphError::UnknownInput {
+            layer: "conv1".into(),
+            input: 9,
+        };
         assert!(e.to_string().contains("conv1"));
     }
 

@@ -77,7 +77,11 @@ impl Network {
 
     /// Input shapes of `id` (producers' output shapes, in input order).
     pub fn input_shapes(&self, id: LayerId) -> Vec<Shape> {
-        self.nodes[id.0].inputs.iter().map(|&p| self.nodes[p.0].output_shape).collect()
+        self.nodes[id.0]
+            .inputs
+            .iter()
+            .map(|&p| self.nodes[p.0].output_shape)
+            .collect()
     }
 
     /// All producer → consumer edges.
@@ -112,7 +116,10 @@ impl Network {
 
     /// Total learned parameter count.
     pub fn total_params(&self) -> u64 {
-        self.nodes.iter().map(|n| n.desc.param_count(&self.input_shapes(n.id))).sum()
+        self.nodes
+            .iter()
+            .map(|n| n.desc.param_count(&self.input_shapes(n.id)))
+            .sum()
     }
 }
 
@@ -147,12 +154,20 @@ pub struct NetworkBuilder {
 impl NetworkBuilder {
     /// Starts a new network with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        NetworkBuilder { name: name.into(), nodes: Vec::new() }
+        NetworkBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+        }
     }
 
     fn push(&mut self, desc: LayerDesc, inputs: Vec<LayerId>, shape: Shape) -> LayerId {
         let id = LayerId(self.nodes.len());
-        self.nodes.push(Node { id, desc, inputs, output_shape: shape });
+        self.nodes.push(Node {
+            id,
+            desc,
+            inputs,
+            output_shape: shape,
+        });
         id
     }
 
@@ -160,7 +175,10 @@ impl NetworkBuilder {
         self.nodes
             .get(id.0)
             .map(|n| n.output_shape)
-            .ok_or(GraphError::UnknownInput { layer: layer.to_string(), input: id.0 })
+            .ok_or(GraphError::UnknownInput {
+                layer: layer.to_string(),
+                input: id.0,
+            })
     }
 
     /// Adds the input placeholder; its "output" is the network input.
@@ -182,7 +200,11 @@ impl NetworkBuilder {
         let in_shape = self.shape_of(from, name)?;
         let (oh, ow) = window_out(name, in_shape, params.kernel, params.stride, params.pad)?;
         let shape = Shape::new(in_shape.n, params.out_channels, oh, ow);
-        Ok(self.push(LayerDesc::new(name, LayerKind::Conv(params)), vec![from], shape))
+        Ok(self.push(
+            LayerDesc::new(name, LayerKind::Conv(params)),
+            vec![from],
+            shape,
+        ))
     }
 
     /// Adds a depth-wise convolution layer (`out_channels` is ignored; the
@@ -201,7 +223,11 @@ impl NetworkBuilder {
         params.out_channels = in_shape.c;
         let (oh, ow) = window_out(name, in_shape, params.kernel, params.stride, params.pad)?;
         let shape = Shape::new(in_shape.n, in_shape.c, oh, ow);
-        Ok(self.push(LayerDesc::new(name, LayerKind::DepthwiseConv(params)), vec![from], shape))
+        Ok(self.push(
+            LayerDesc::new(name, LayerKind::DepthwiseConv(params)),
+            vec![from],
+            shape,
+        ))
     }
 
     /// Adds a pooling layer.
@@ -226,7 +252,11 @@ impl NetworkBuilder {
             let (oh, ow) = window_out(name, in_shape, params.kernel, params.stride, params.pad)?;
             Shape::new(in_shape.n, in_shape.c, oh, ow)
         };
-        Ok(self.push(LayerDesc::new(name, LayerKind::Pool(params)), vec![from], shape))
+        Ok(self.push(
+            LayerDesc::new(name, LayerKind::Pool(params)),
+            vec![from],
+            shape,
+        ))
     }
 
     /// Adds a ReLU activation.
@@ -247,7 +277,11 @@ impl NetworkBuilder {
     /// Panics if `from` is unknown.
     pub fn batch_norm(&mut self, name: &str, from: LayerId) -> LayerId {
         let shape = self.nodes[from.0].output_shape;
-        self.push(LayerDesc::new(name, LayerKind::BatchNorm), vec![from], shape)
+        self.push(
+            LayerDesc::new(name, LayerKind::BatchNorm),
+            vec![from],
+            shape,
+        )
     }
 
     /// Adds a local response normalization layer.
@@ -257,7 +291,11 @@ impl NetworkBuilder {
     /// Panics if `from` is unknown.
     pub fn lrn(&mut self, name: &str, from: LayerId, params: LrnParams) -> LayerId {
         let shape = self.nodes[from.0].output_shape;
-        self.push(LayerDesc::new(name, LayerKind::Lrn(params)), vec![from], shape)
+        self.push(
+            LayerDesc::new(name, LayerKind::Lrn(params)),
+            vec![from],
+            shape,
+        )
     }
 
     /// Adds a fully-connected layer (input is implicitly flattened).
@@ -273,7 +311,11 @@ impl NetworkBuilder {
     ) -> Result<LayerId, GraphError> {
         let in_shape = self.shape_of(from, name)?;
         let shape = Shape::vector(in_shape.n, params.out_features);
-        Ok(self.push(LayerDesc::new(name, LayerKind::Fc(params)), vec![from], shape))
+        Ok(self.push(
+            LayerDesc::new(name, LayerKind::Fc(params)),
+            vec![from],
+            shape,
+        ))
     }
 
     /// Adds a softmax over channels.
@@ -313,7 +355,11 @@ impl NetworkBuilder {
             channels += s.c;
         }
         let shape = Shape::new(first.n, channels, first.h, first.w);
-        Ok(self.push(LayerDesc::new(name, LayerKind::Concat), from.to_vec(), shape))
+        Ok(self.push(
+            LayerDesc::new(name, LayerKind::Concat),
+            from.to_vec(),
+            shape,
+        ))
     }
 
     /// Adds an element-wise addition of exactly two inputs.
@@ -343,7 +389,10 @@ impl NetworkBuilder {
         if self.nodes.is_empty() {
             return Err(GraphError::Empty);
         }
-        Ok(Network { name: self.name, nodes: self.nodes })
+        Ok(Network {
+            name: self.name,
+            nodes: self.nodes,
+        })
     }
 }
 
@@ -366,10 +415,16 @@ fn window_out(
     if eh < kernel.0 || ew < kernel.1 {
         return Err(GraphError::ShapeError {
             layer: layer.to_string(),
-            reason: format!("window {}x{} exceeds padded input {eh}x{ew}", kernel.0, kernel.1),
+            reason: format!(
+                "window {}x{} exceeds padded input {eh}x{ew}",
+                kernel.0, kernel.1
+            ),
         });
     }
-    Ok(((eh - kernel.0) / stride.0 + 1, (ew - kernel.1) / stride.1 + 1))
+    Ok((
+        (eh - kernel.0) / stride.0 + 1,
+        (ew - kernel.1) / stride.1 + 1,
+    ))
 }
 
 /// Ceil-mode output extents (Caffe pooling semantics).
@@ -396,7 +451,9 @@ mod tests {
         let x = b.input(Shape::new(1, 3, 8, 8));
         let c = b.conv("c1", x, ConvParams::square(4, 3, 1, 1)).unwrap();
         let r = b.relu("r1", c);
-        let p = b.pool("p1", r, PoolParams::square(PoolKind::Max, 2, 2, 0)).unwrap();
+        let p = b
+            .pool("p1", r, PoolParams::square(PoolKind::Max, 2, 2, 0))
+            .unwrap();
         let f = b.fc("fc", p, FcParams::new(10)).unwrap();
         b.softmax("sm", f);
         b.build().unwrap()
@@ -433,7 +490,10 @@ mod tests {
         let x = b.input(Shape::new(1, 3, 227, 227));
         // AlexNet conv1: 96 kernels 11x11 stride 4 -> 55x55.
         let c = b.conv("c1", x, ConvParams::square(96, 11, 4, 0)).unwrap();
-        assert_eq!(b.build().unwrap().node(c).output_shape, Shape::new(1, 96, 55, 55));
+        assert_eq!(
+            b.build().unwrap().node(c).output_shape,
+            Shape::new(1, 96, 55, 55)
+        );
     }
 
     #[test]
@@ -442,11 +502,15 @@ mod tests {
         let x = b.input(Shape::new(1, 96, 55, 55));
         // AlexNet pool1: 3x3 stride 2 ceil -> 27x27 (floor would give 27 too);
         // GoogLeNet pool: 3x3 s2 on 28 -> ceil((28-3)/2)+1 = 14.
-        let p = b.pool("p", x, PoolParams::square(PoolKind::Max, 3, 2, 0)).unwrap();
+        let p = b
+            .pool("p", x, PoolParams::square(PoolKind::Max, 3, 2, 0))
+            .unwrap();
         assert_eq!(b.nodes[p.0].output_shape.h, 27);
         let mut b2 = NetworkBuilder::new("t2");
         let x2 = b2.input(Shape::new(1, 192, 28, 28));
-        let p2 = b2.pool("p", x2, PoolParams::square(PoolKind::Max, 3, 2, 0)).unwrap();
+        let p2 = b2
+            .pool("p", x2, PoolParams::square(PoolKind::Max, 3, 2, 0))
+            .unwrap();
         assert_eq!(b2.nodes[p2.0].output_shape.h, 14);
     }
 
@@ -454,7 +518,9 @@ mod tests {
     fn depthwise_keeps_channels() {
         let mut b = NetworkBuilder::new("t");
         let x = b.input(Shape::new(1, 32, 112, 112));
-        let d = b.depthwise_conv("dw", x, ConvParams::square(0, 3, 2, 1)).unwrap();
+        let d = b
+            .depthwise_conv("dw", x, ConvParams::square(0, 3, 2, 1))
+            .unwrap();
         assert_eq!(b.nodes[d.0].output_shape, Shape::new(1, 32, 56, 56));
     }
 
@@ -474,14 +540,20 @@ mod tests {
         let x = b.input(Shape::new(1, 8, 4, 4));
         let a = b.conv("a", x, ConvParams::square(4, 1, 1, 0)).unwrap();
         let c = b.conv("b", x, ConvParams::square(6, 3, 2, 1)).unwrap();
-        assert!(matches!(b.concat("cat", &[a, c]), Err(GraphError::ShapeError { .. })));
+        assert!(matches!(
+            b.concat("cat", &[a, c]),
+            Err(GraphError::ShapeError { .. })
+        ));
     }
 
     #[test]
     fn concat_requires_two_inputs() {
         let mut b = NetworkBuilder::new("t");
         let x = b.input(Shape::new(1, 8, 4, 4));
-        assert!(matches!(b.concat("cat", &[x]), Err(GraphError::ArityMismatch { .. })));
+        assert!(matches!(
+            b.concat("cat", &[x]),
+            Err(GraphError::ArityMismatch { .. })
+        ));
     }
 
     #[test]
@@ -499,7 +571,10 @@ mod tests {
     fn unknown_input_is_reported() {
         let mut b = NetworkBuilder::new("t");
         let err = b.conv("c", LayerId(42), ConvParams::square(8, 3, 1, 1));
-        assert!(matches!(err, Err(GraphError::UnknownInput { input: 42, .. })));
+        assert!(matches!(
+            err,
+            Err(GraphError::UnknownInput { input: 42, .. })
+        ));
     }
 
     #[test]
@@ -511,7 +586,10 @@ mod tests {
 
     #[test]
     fn empty_network_rejected() {
-        assert!(matches!(NetworkBuilder::new("e").build(), Err(GraphError::Empty)));
+        assert!(matches!(
+            NetworkBuilder::new("e").build(),
+            Err(GraphError::Empty)
+        ));
     }
 
     #[test]

@@ -69,7 +69,14 @@ pub struct PoolParams {
 impl PoolParams {
     /// Square local pooling window with Caffe ceil-mode rounding.
     pub fn square(kind: PoolKind, k: usize, s: usize, p: usize) -> Self {
-        PoolParams { kind, kernel: (k, k), stride: (s, s), pad: (p, p), global: false, ceil: true }
+        PoolParams {
+            kind,
+            kernel: (k, k),
+            stride: (s, s),
+            pad: (p, p),
+            global: false,
+            ceil: true,
+        }
     }
 
     /// Global pooling (whole spatial plane per channel).
@@ -105,7 +112,11 @@ pub struct FcParams {
 impl FcParams {
     /// Dense FC layer with bias.
     pub fn new(out_features: usize) -> Self {
-        FcParams { out_features, bias: true, weight_density: 1.0 }
+        FcParams {
+            out_features,
+            bias: true,
+            weight_density: 1.0,
+        }
     }
 
     /// Returns a copy with the given weight density (for the Sparse library).
@@ -130,7 +141,12 @@ pub struct LrnParams {
 
 impl Default for LrnParams {
     fn default() -> Self {
-        LrnParams { size: 5, alpha: 1e-4, beta: 0.75, k: 2.0 }
+        LrnParams {
+            size: 5,
+            alpha: 1e-4,
+            beta: 0.75,
+            k: 2.0,
+        }
     }
 }
 
@@ -229,7 +245,10 @@ pub struct LayerDesc {
 impl LayerDesc {
     /// Creates a named layer.
     pub fn new(name: impl Into<String>, kind: LayerKind) -> Self {
-        LayerDesc { name: name.into(), kind }
+        LayerDesc {
+            name: name.into(),
+            kind,
+        }
     }
 
     /// The layer's type discriminant.
@@ -327,7 +346,11 @@ mod tests {
             LayerTag::Conv
         );
         assert_eq!(
-            LayerDesc::new("d", LayerKind::DepthwiseConv(ConvParams::square(8, 3, 1, 1))).tag(),
+            LayerDesc::new(
+                "d",
+                LayerKind::DepthwiseConv(ConvParams::square(8, 3, 1, 1))
+            )
+            .tag(),
             LayerTag::DepthwiseConv
         );
     }
@@ -342,7 +365,10 @@ mod tests {
 
     #[test]
     fn depthwise_macs_independent_of_channels_count_product() {
-        let d = LayerDesc::new("d", LayerKind::DepthwiseConv(ConvParams::square(8, 3, 1, 1)));
+        let d = LayerDesc::new(
+            "d",
+            LayerKind::DepthwiseConv(ConvParams::square(8, 3, 1, 1)),
+        );
         let macs = d.macs(&[Shape::new(1, 8, 4, 4)], Shape::new(1, 8, 4, 4));
         assert_eq!(macs, 8 * 16 * 9);
     }

@@ -10,24 +10,44 @@ use crate::{ConvParams, FcParams, LrnParams, Network, NetworkBuilder, PoolKind, 
 pub fn alexnet(batch: usize) -> Network {
     let mut b = NetworkBuilder::new("alexnet");
     let x = b.input(Shape::new(batch, 3, 227, 227));
-    let c1 = b.conv("conv1", x, ConvParams::square(96, 11, 4, 0)).expect("static shapes");
+    let c1 = b
+        .conv("conv1", x, ConvParams::square(96, 11, 4, 0))
+        .expect("static shapes");
     let r1 = b.relu("relu1", c1);
     let n1 = b.lrn("norm1", r1, LrnParams::default());
-    let p1 = b.pool("pool1", n1, PoolParams::square(PoolKind::Max, 3, 2, 0)).expect("fits");
-    let c2 = b.conv("conv2", p1, ConvParams::square(256, 5, 1, 2)).expect("fits");
+    let p1 = b
+        .pool("pool1", n1, PoolParams::square(PoolKind::Max, 3, 2, 0))
+        .expect("fits");
+    let c2 = b
+        .conv("conv2", p1, ConvParams::square(256, 5, 1, 2))
+        .expect("fits");
     let r2 = b.relu("relu2", c2);
     let n2 = b.lrn("norm2", r2, LrnParams::default());
-    let p2 = b.pool("pool2", n2, PoolParams::square(PoolKind::Max, 3, 2, 0)).expect("fits");
-    let c3 = b.conv("conv3", p2, ConvParams::square(384, 3, 1, 1)).expect("fits");
+    let p2 = b
+        .pool("pool2", n2, PoolParams::square(PoolKind::Max, 3, 2, 0))
+        .expect("fits");
+    let c3 = b
+        .conv("conv3", p2, ConvParams::square(384, 3, 1, 1))
+        .expect("fits");
     let r3 = b.relu("relu3", c3);
-    let c4 = b.conv("conv4", r3, ConvParams::square(384, 3, 1, 1)).expect("fits");
+    let c4 = b
+        .conv("conv4", r3, ConvParams::square(384, 3, 1, 1))
+        .expect("fits");
     let r4 = b.relu("relu4", c4);
-    let c5 = b.conv("conv5", r4, ConvParams::square(256, 3, 1, 1)).expect("fits");
+    let c5 = b
+        .conv("conv5", r4, ConvParams::square(256, 3, 1, 1))
+        .expect("fits");
     let r5 = b.relu("relu5", c5);
-    let p5 = b.pool("pool5", r5, PoolParams::square(PoolKind::Max, 3, 2, 0)).expect("fits");
-    let f6 = b.fc("fc6", p5, FcParams::new(4096).with_density(0.25)).expect("fits");
+    let p5 = b
+        .pool("pool5", r5, PoolParams::square(PoolKind::Max, 3, 2, 0))
+        .expect("fits");
+    let f6 = b
+        .fc("fc6", p5, FcParams::new(4096).with_density(0.25))
+        .expect("fits");
     let r6 = b.relu("relu6", f6);
-    let f7 = b.fc("fc7", r6, FcParams::new(4096).with_density(0.25)).expect("fits");
+    let f7 = b
+        .fc("fc7", r6, FcParams::new(4096).with_density(0.25))
+        .expect("fits");
     let r7 = b.relu("relu7", f7);
     let f8 = b.fc("fc8", r7, FcParams::new(1000)).expect("fits");
     b.softmax("prob", f8);
@@ -44,14 +64,21 @@ mod tests {
         let net = alexnet(1);
         assert_eq!(net.node(LayerId(1)).output_shape, Shape::new(1, 96, 55, 55));
         assert_eq!(net.node(LayerId(4)).output_shape, Shape::new(1, 96, 27, 27));
-        assert_eq!(net.node(LayerId(8)).output_shape, Shape::new(1, 256, 13, 13));
+        assert_eq!(
+            net.node(LayerId(8)).output_shape,
+            Shape::new(1, 256, 13, 13)
+        );
         assert_eq!(net.node(LayerId(15)).output_shape, Shape::new(1, 256, 6, 6));
         assert_eq!(net.node(LayerId(16)).output_shape, Shape::vector(1, 4096));
     }
 
     #[test]
     fn has_two_lrn_layers() {
-        let n = alexnet(1).layers().iter().filter(|l| l.desc.tag() == LayerTag::Lrn).count();
+        let n = alexnet(1)
+            .layers()
+            .iter()
+            .filter(|l| l.desc.tag() == LayerTag::Lrn)
+            .count();
         assert_eq!(n, 2);
     }
 

@@ -19,34 +19,65 @@ fn inception(b: &mut NetworkBuilder, from: LayerId, cfg: &Inception) -> LayerId 
     let n = cfg.name;
     // Branch 1: 1x1.
     let c1 = b
-        .conv(&format!("{n}/1x1"), from, ConvParams::square(cfg.b1, 1, 1, 0))
+        .conv(
+            &format!("{n}/1x1"),
+            from,
+            ConvParams::square(cfg.b1, 1, 1, 0),
+        )
         .expect("static shapes");
     let r1 = b.relu(&format!("{n}/relu_1x1"), c1);
     // Branch 2: 1x1 reduce -> 3x3.
     let c2r = b
-        .conv(&format!("{n}/3x3_reduce"), from, ConvParams::square(cfg.b2_reduce, 1, 1, 0))
+        .conv(
+            &format!("{n}/3x3_reduce"),
+            from,
+            ConvParams::square(cfg.b2_reduce, 1, 1, 0),
+        )
         .expect("fits");
     let r2r = b.relu(&format!("{n}/relu_3x3_reduce"), c2r);
-    let c2 =
-        b.conv(&format!("{n}/3x3"), r2r, ConvParams::square(cfg.b2, 3, 1, 1)).expect("fits");
+    let c2 = b
+        .conv(
+            &format!("{n}/3x3"),
+            r2r,
+            ConvParams::square(cfg.b2, 3, 1, 1),
+        )
+        .expect("fits");
     let r2 = b.relu(&format!("{n}/relu_3x3"), c2);
     // Branch 3: 1x1 reduce -> 5x5.
     let c3r = b
-        .conv(&format!("{n}/5x5_reduce"), from, ConvParams::square(cfg.b3_reduce, 1, 1, 0))
+        .conv(
+            &format!("{n}/5x5_reduce"),
+            from,
+            ConvParams::square(cfg.b3_reduce, 1, 1, 0),
+        )
         .expect("fits");
     let r3r = b.relu(&format!("{n}/relu_5x5_reduce"), c3r);
-    let c3 =
-        b.conv(&format!("{n}/5x5"), r3r, ConvParams::square(cfg.b3, 5, 1, 2)).expect("fits");
+    let c3 = b
+        .conv(
+            &format!("{n}/5x5"),
+            r3r,
+            ConvParams::square(cfg.b3, 5, 1, 2),
+        )
+        .expect("fits");
     let r3 = b.relu(&format!("{n}/relu_5x5"), c3);
     // Branch 4: 3x3 maxpool (stride 1) -> 1x1 projection.
     let p4 = b
-        .pool(&format!("{n}/pool"), from, PoolParams::square(PoolKind::Max, 3, 1, 1))
+        .pool(
+            &format!("{n}/pool"),
+            from,
+            PoolParams::square(PoolKind::Max, 3, 1, 1),
+        )
         .expect("fits");
     let c4 = b
-        .conv(&format!("{n}/pool_proj"), p4, ConvParams::square(cfg.b4, 1, 1, 0))
+        .conv(
+            &format!("{n}/pool_proj"),
+            p4,
+            ConvParams::square(cfg.b4, 1, 1, 0),
+        )
         .expect("fits");
     let r4 = b.relu(&format!("{n}/relu_pool_proj"), c4);
-    b.concat(&format!("{n}/output"), &[r1, r2, r3, r4]).expect("branches agree")
+    b.concat(&format!("{n}/output"), &[r1, r2, r3, r4])
+        .expect("branches agree")
 }
 
 /// GoogLeNet (Inception-v1, 224×224 input, auxiliary heads omitted).
@@ -57,48 +88,154 @@ fn inception(b: &mut NetworkBuilder, from: LayerId, cfg: &Inception) -> LayerId 
 pub fn googlenet(batch: usize) -> Network {
     let mut b = NetworkBuilder::new("googlenet");
     let x = b.input(Shape::new(batch, 3, 224, 224));
-    let c1 = b.conv("conv1/7x7_s2", x, ConvParams::square(64, 7, 2, 3)).expect("static shapes");
+    let c1 = b
+        .conv("conv1/7x7_s2", x, ConvParams::square(64, 7, 2, 3))
+        .expect("static shapes");
     let r1 = b.relu("conv1/relu_7x7", c1);
-    let p1 = b.pool("pool1/3x3_s2", r1, PoolParams::square(PoolKind::Max, 3, 2, 0)).expect("fits");
+    let p1 = b
+        .pool(
+            "pool1/3x3_s2",
+            r1,
+            PoolParams::square(PoolKind::Max, 3, 2, 0),
+        )
+        .expect("fits");
     let n1 = b.lrn("pool1/norm1", p1, LrnParams::default());
-    let c2r = b.conv("conv2/3x3_reduce", n1, ConvParams::square(64, 1, 1, 0)).expect("fits");
+    let c2r = b
+        .conv("conv2/3x3_reduce", n1, ConvParams::square(64, 1, 1, 0))
+        .expect("fits");
     let r2r = b.relu("conv2/relu_3x3_reduce", c2r);
-    let c2 = b.conv("conv2/3x3", r2r, ConvParams::square(192, 3, 1, 1)).expect("fits");
+    let c2 = b
+        .conv("conv2/3x3", r2r, ConvParams::square(192, 3, 1, 1))
+        .expect("fits");
     let r2 = b.relu("conv2/relu_3x3", c2);
     let n2 = b.lrn("conv2/norm2", r2, LrnParams::default());
-    let p2 = b.pool("pool2/3x3_s2", n2, PoolParams::square(PoolKind::Max, 3, 2, 0)).expect("fits");
+    let p2 = b
+        .pool(
+            "pool2/3x3_s2",
+            n2,
+            PoolParams::square(PoolKind::Max, 3, 2, 0),
+        )
+        .expect("fits");
 
     let stage3 = [
-        Inception { name: "inception_3a", b1: 64, b2_reduce: 96, b2: 128, b3_reduce: 16, b3: 32, b4: 32 },
-        Inception { name: "inception_3b", b1: 128, b2_reduce: 128, b2: 192, b3_reduce: 32, b3: 96, b4: 64 },
+        Inception {
+            name: "inception_3a",
+            b1: 64,
+            b2_reduce: 96,
+            b2: 128,
+            b3_reduce: 16,
+            b3: 32,
+            b4: 32,
+        },
+        Inception {
+            name: "inception_3b",
+            b1: 128,
+            b2_reduce: 128,
+            b2: 192,
+            b3_reduce: 32,
+            b3: 96,
+            b4: 64,
+        },
     ];
     let mut cur = p2;
     for cfg in &stage3 {
         cur = inception(&mut b, cur, cfg);
     }
-    cur = b.pool("pool3/3x3_s2", cur, PoolParams::square(PoolKind::Max, 3, 2, 0)).expect("fits");
+    cur = b
+        .pool(
+            "pool3/3x3_s2",
+            cur,
+            PoolParams::square(PoolKind::Max, 3, 2, 0),
+        )
+        .expect("fits");
 
     let stage4 = [
-        Inception { name: "inception_4a", b1: 192, b2_reduce: 96, b2: 208, b3_reduce: 16, b3: 48, b4: 64 },
-        Inception { name: "inception_4b", b1: 160, b2_reduce: 112, b2: 224, b3_reduce: 24, b3: 64, b4: 64 },
-        Inception { name: "inception_4c", b1: 128, b2_reduce: 128, b2: 256, b3_reduce: 24, b3: 64, b4: 64 },
-        Inception { name: "inception_4d", b1: 112, b2_reduce: 144, b2: 288, b3_reduce: 32, b3: 64, b4: 64 },
-        Inception { name: "inception_4e", b1: 256, b2_reduce: 160, b2: 320, b3_reduce: 32, b3: 128, b4: 128 },
+        Inception {
+            name: "inception_4a",
+            b1: 192,
+            b2_reduce: 96,
+            b2: 208,
+            b3_reduce: 16,
+            b3: 48,
+            b4: 64,
+        },
+        Inception {
+            name: "inception_4b",
+            b1: 160,
+            b2_reduce: 112,
+            b2: 224,
+            b3_reduce: 24,
+            b3: 64,
+            b4: 64,
+        },
+        Inception {
+            name: "inception_4c",
+            b1: 128,
+            b2_reduce: 128,
+            b2: 256,
+            b3_reduce: 24,
+            b3: 64,
+            b4: 64,
+        },
+        Inception {
+            name: "inception_4d",
+            b1: 112,
+            b2_reduce: 144,
+            b2: 288,
+            b3_reduce: 32,
+            b3: 64,
+            b4: 64,
+        },
+        Inception {
+            name: "inception_4e",
+            b1: 256,
+            b2_reduce: 160,
+            b2: 320,
+            b3_reduce: 32,
+            b3: 128,
+            b4: 128,
+        },
     ];
     for cfg in &stage4 {
         cur = inception(&mut b, cur, cfg);
     }
-    cur = b.pool("pool4/3x3_s2", cur, PoolParams::square(PoolKind::Max, 3, 2, 0)).expect("fits");
+    cur = b
+        .pool(
+            "pool4/3x3_s2",
+            cur,
+            PoolParams::square(PoolKind::Max, 3, 2, 0),
+        )
+        .expect("fits");
 
     let stage5 = [
-        Inception { name: "inception_5a", b1: 256, b2_reduce: 160, b2: 320, b3_reduce: 32, b3: 128, b4: 128 },
-        Inception { name: "inception_5b", b1: 384, b2_reduce: 192, b2: 384, b3_reduce: 48, b3: 128, b4: 128 },
+        Inception {
+            name: "inception_5a",
+            b1: 256,
+            b2_reduce: 160,
+            b2: 320,
+            b3_reduce: 32,
+            b3: 128,
+            b4: 128,
+        },
+        Inception {
+            name: "inception_5b",
+            b1: 384,
+            b2_reduce: 192,
+            b2: 384,
+            b3_reduce: 48,
+            b3: 128,
+            b4: 128,
+        },
     ];
     for cfg in &stage5 {
         cur = inception(&mut b, cur, cfg);
     }
-    let gp = b.pool("pool5/global", cur, PoolParams::global(PoolKind::Avg)).expect("fits");
-    let fc = b.fc("loss3/classifier", gp, FcParams::new(1000)).expect("fits");
+    let gp = b
+        .pool("pool5/global", cur, PoolParams::global(PoolKind::Avg))
+        .expect("fits");
+    let fc = b
+        .fc("loss3/classifier", gp, FcParams::new(1000))
+        .expect("fits");
     b.softmax("prob", fc);
     b.build().expect("non-empty")
 }
@@ -111,7 +248,11 @@ mod tests {
     #[test]
     fn nine_inception_modules() {
         let net = googlenet(1);
-        let concats = net.layers().iter().filter(|l| l.desc.tag() == LayerTag::Concat).count();
+        let concats = net
+            .layers()
+            .iter()
+            .filter(|l| l.desc.tag() == LayerTag::Concat)
+            .count();
         assert_eq!(concats, 9);
     }
 
@@ -119,7 +260,11 @@ mod tests {
     fn canonical_stage_shapes() {
         let net = googlenet(1);
         let find = |name: &str| {
-            net.layers().iter().find(|l| l.desc.name == name).unwrap().output_shape
+            net.layers()
+                .iter()
+                .find(|l| l.desc.name == name)
+                .unwrap()
+                .output_shape
         };
         assert_eq!(find("pool2/3x3_s2"), Shape::new(1, 192, 28, 28));
         assert_eq!(find("inception_3a/output"), Shape::new(1, 256, 28, 28));

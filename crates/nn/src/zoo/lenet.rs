@@ -10,10 +10,18 @@ use crate::{ConvParams, FcParams, Network, NetworkBuilder, PoolKind, PoolParams}
 pub fn lenet5(batch: usize) -> Network {
     let mut b = NetworkBuilder::new("lenet5");
     let x = b.input(Shape::new(batch, 1, 28, 28));
-    let c1 = b.conv("conv1", x, ConvParams::square(20, 5, 1, 0)).expect("static shapes");
-    let p1 = b.pool("pool1", c1, PoolParams::square(PoolKind::Max, 2, 2, 0)).expect("fits");
-    let c2 = b.conv("conv2", p1, ConvParams::square(50, 5, 1, 0)).expect("fits");
-    let p2 = b.pool("pool2", c2, PoolParams::square(PoolKind::Max, 2, 2, 0)).expect("fits");
+    let c1 = b
+        .conv("conv1", x, ConvParams::square(20, 5, 1, 0))
+        .expect("static shapes");
+    let p1 = b
+        .pool("pool1", c1, PoolParams::square(PoolKind::Max, 2, 2, 0))
+        .expect("fits");
+    let c2 = b
+        .conv("conv2", p1, ConvParams::square(50, 5, 1, 0))
+        .expect("fits");
+    let p2 = b
+        .pool("pool2", c2, PoolParams::square(PoolKind::Max, 2, 2, 0))
+        .expect("fits");
     let f1 = b.fc("ip1", p2, FcParams::new(500)).expect("fits");
     let r1 = b.relu("relu1", f1);
     let f2 = b.fc("ip2", r1, FcParams::new(10)).expect("fits");

@@ -11,7 +11,9 @@ use crate::{ConvParams, FcParams, LayerId, Network, NetworkBuilder, PoolKind, Po
 pub fn mobilenet_v1(batch: usize) -> Network {
     let mut b = NetworkBuilder::new("mobilenet_v1");
     let x = b.input(Shape::new(batch, 3, 224, 224));
-    let c0 = b.conv("conv0", x, ConvParams::square(32, 3, 2, 1)).expect("static shapes");
+    let c0 = b
+        .conv("conv0", x, ConvParams::square(32, 3, 2, 1))
+        .expect("static shapes");
     let b0 = b.batch_norm("conv0/bn", c0);
     let mut cur: LayerId = b.relu("conv0/relu", b0);
 
@@ -43,13 +45,19 @@ pub fn mobilenet_v1(batch: usize) -> Network {
         let dwb = b.batch_norm(&format!("conv{n}/dw/bn"), dw);
         let dwr = b.relu(&format!("conv{n}/dw/relu"), dwb);
         let pw = b
-            .conv(&format!("conv{n}/pw"), dwr, ConvParams::square(*out, 1, 1, 0))
+            .conv(
+                &format!("conv{n}/pw"),
+                dwr,
+                ConvParams::square(*out, 1, 1, 0),
+            )
             .expect("fits");
         let pwb = b.batch_norm(&format!("conv{n}/pw/bn"), pw);
         cur = b.relu(&format!("conv{n}/pw/relu"), pwb);
     }
 
-    let gp = b.pool("pool6", cur, PoolParams::global(PoolKind::Avg)).expect("fits");
+    let gp = b
+        .pool("pool6", cur, PoolParams::global(PoolKind::Avg))
+        .expect("fits");
     let fc = b.fc("fc7", gp, FcParams::new(1000)).expect("fits");
     b.softmax("prob", fc);
     b.build().expect("non-empty")
@@ -63,26 +71,40 @@ mod tests {
     #[test]
     fn thirteen_depthwise_blocks() {
         let net = mobilenet_v1(1);
-        let dws =
-            net.layers().iter().filter(|l| l.desc.tag() == LayerTag::DepthwiseConv).count();
+        let dws = net
+            .layers()
+            .iter()
+            .filter(|l| l.desc.tag() == LayerTag::DepthwiseConv)
+            .count();
         assert_eq!(dws, 13);
         // 1 stem + 13 pointwise convolutions.
-        let convs = net.layers().iter().filter(|l| l.desc.tag() == LayerTag::Conv).count();
+        let convs = net
+            .layers()
+            .iter()
+            .filter(|l| l.desc.tag() == LayerTag::Conv)
+            .count();
         assert_eq!(convs, 14);
     }
 
     #[test]
     fn final_feature_map_is_7x7x1024() {
         let net = mobilenet_v1(1);
-        let last_relu =
-            net.layers().iter().find(|l| l.desc.name == "conv13/pw/relu").unwrap();
+        let last_relu = net
+            .layers()
+            .iter()
+            .find(|l| l.desc.name == "conv13/pw/relu")
+            .unwrap();
         assert_eq!(last_relu.output_shape, Shape::new(1, 1024, 7, 7));
     }
 
     #[test]
     fn batchnorm_follows_every_conv() {
         let net = mobilenet_v1(1);
-        let bns = net.layers().iter().filter(|l| l.desc.tag() == LayerTag::BatchNorm).count();
+        let bns = net
+            .layers()
+            .iter()
+            .filter(|l| l.desc.tag() == LayerTag::BatchNorm)
+            .count();
         assert_eq!(bns, 27); // stem + 13 * (dw + pw)
     }
 }

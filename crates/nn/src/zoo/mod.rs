@@ -53,7 +53,10 @@ pub const PAPER_ROSTER: [&str; 9] = [
 
 /// Builds every paper-roster network at the given batch size.
 pub fn paper_roster(batch: usize) -> Vec<Network> {
-    PAPER_ROSTER.iter().map(|n| by_name(n, batch).expect("roster name is valid")).collect()
+    PAPER_ROSTER
+        .iter()
+        .map(|n| by_name(n, batch).expect("roster name is valid"))
+        .collect()
 }
 
 /// Builds a network by name; returns `None` for unknown names.
@@ -102,10 +105,21 @@ mod tests {
 
     #[test]
     fn classification_nets_end_in_softmax() {
-        for name in ["lenet5", "alexnet", "vgg19", "googlenet", "mobilenet_v1", "squeezenet_v11", "resnet18"]
-        {
+        for name in [
+            "lenet5",
+            "alexnet",
+            "vgg19",
+            "googlenet",
+            "mobilenet_v1",
+            "squeezenet_v11",
+            "resnet18",
+        ] {
             let net = by_name(name, 1).unwrap();
-            assert_eq!(net.layers().last().unwrap().desc.tag(), LayerTag::Softmax, "{name}");
+            assert_eq!(
+                net.layers().last().unwrap().desc.tag(),
+                LayerTag::Softmax,
+                "{name}"
+            );
         }
     }
 
@@ -113,16 +127,19 @@ mod tests {
     fn known_macs_magnitudes() {
         // Sanity-check total MACs against published figures (±15%).
         let cases = [
-            ("alexnet", 1.14e9, 0.1),    // ungrouped single-tower variant
-            ("vgg19", 19.6e9, 0.15),     // ~19.6 GMACs
-            ("googlenet", 1.6e9, 0.25),  // ~1.5-2 GMACs with aux heads removed
+            ("alexnet", 1.14e9, 0.1),       // ungrouped single-tower variant
+            ("vgg19", 19.6e9, 0.15),        // ~19.6 GMACs
+            ("googlenet", 1.6e9, 0.25),     // ~1.5-2 GMACs with aux heads removed
             ("mobilenet_v1", 0.57e9, 0.15), // ~569 MMACs
-            ("resnet18", 1.8e9, 0.15),   // ~1.8 GMACs
+            ("resnet18", 1.8e9, 0.15),      // ~1.8 GMACs
         ];
         for (name, expect, tol) in cases {
             let macs = by_name(name, 1).unwrap().total_macs() as f64;
             let rel = (macs - expect).abs() / expect;
-            assert!(rel < tol, "{name}: {macs:.3e} vs {expect:.3e} (rel {rel:.2})");
+            assert!(
+                rel < tol,
+                "{name}: {macs:.3e} vs {expect:.3e} (rel {rel:.2})"
+            );
         }
     }
 
@@ -148,7 +165,10 @@ mod tests {
         for (name, expect, tol) in cases {
             let params = by_name(name, 1).unwrap().total_params() as f64;
             let rel = (params - expect).abs() / expect;
-            assert!(rel < tol, "{name}: {params:.3e} vs {expect:.3e} (rel {rel:.2})");
+            assert!(
+                rel < tol,
+                "{name}: {params:.3e} vs {expect:.3e} (rel {rel:.2})"
+            );
         }
     }
 }

@@ -12,23 +12,37 @@ fn basic_block(
     downsample: bool,
 ) -> LayerId {
     let c1 = b
-        .conv(&format!("{name}/conv1"), from, ConvParams::square(channels, 3, stride, 1))
+        .conv(
+            &format!("{name}/conv1"),
+            from,
+            ConvParams::square(channels, 3, stride, 1),
+        )
         .expect("static shapes");
     let b1 = b.batch_norm(&format!("{name}/bn1"), c1);
     let r1 = b.relu(&format!("{name}/relu1"), b1);
     let c2 = b
-        .conv(&format!("{name}/conv2"), r1, ConvParams::square(channels, 3, 1, 1))
+        .conv(
+            &format!("{name}/conv2"),
+            r1,
+            ConvParams::square(channels, 3, 1, 1),
+        )
         .expect("fits");
     let b2 = b.batch_norm(&format!("{name}/bn2"), c2);
     let shortcut = if downsample {
         let ds = b
-            .conv(&format!("{name}/downsample"), from, ConvParams::square(channels, 1, stride, 0))
+            .conv(
+                &format!("{name}/downsample"),
+                from,
+                ConvParams::square(channels, 1, stride, 0),
+            )
             .expect("fits");
         b.batch_norm(&format!("{name}/downsample_bn"), ds)
     } else {
         from
     };
-    let add = b.add(&format!("{name}/add"), b2, shortcut).expect("shapes match");
+    let add = b
+        .add(&format!("{name}/add"), b2, shortcut)
+        .expect("shapes match");
     b.relu(&format!("{name}/relu2"), add)
 }
 
@@ -51,11 +65,17 @@ pub fn resnet34(batch: usize) -> Network {
 fn resnet(name: &str, batch: usize, blocks_per_stage: [usize; 4]) -> Network {
     let mut b = NetworkBuilder::new(name);
     let x = b.input(Shape::new(batch, 3, 224, 224));
-    let c1 = b.conv("conv1", x, ConvParams::square(64, 7, 2, 3)).expect("static shapes");
+    let c1 = b
+        .conv("conv1", x, ConvParams::square(64, 7, 2, 3))
+        .expect("static shapes");
     let b1 = b.batch_norm("bn1", c1);
     let r1 = b.relu("relu1", b1);
     let p1 = b
-        .pool("maxpool", r1, PoolParams::square(PoolKind::Max, 3, 2, 1).with_floor())
+        .pool(
+            "maxpool",
+            r1,
+            PoolParams::square(PoolKind::Max, 3, 2, 1).with_floor(),
+        )
         .expect("fits");
 
     let mut cur = p1;
@@ -69,7 +89,9 @@ fn resnet(name: &str, batch: usize, blocks_per_stage: [usize; 4]) -> Network {
         }
     }
 
-    let gp = b.pool("avgpool", cur, PoolParams::global(PoolKind::Avg)).expect("fits");
+    let gp = b
+        .pool("avgpool", cur, PoolParams::global(PoolKind::Avg))
+        .expect("fits");
     let fc = b.fc("fc", gp, FcParams::new(1000)).expect("fits");
     b.softmax("prob", fc);
     b.build().expect("non-empty")
@@ -83,14 +105,22 @@ mod tests {
     #[test]
     fn eight_residual_adds() {
         let net = resnet18(1);
-        let adds = net.layers().iter().filter(|l| l.desc.tag() == LayerTag::Add).count();
+        let adds = net
+            .layers()
+            .iter()
+            .filter(|l| l.desc.tag() == LayerTag::Add)
+            .count();
         assert_eq!(adds, 8);
     }
 
     #[test]
     fn twenty_convs_including_downsamples() {
         let net = resnet18(1);
-        let convs = net.layers().iter().filter(|l| l.desc.tag() == LayerTag::Conv).count();
+        let convs = net
+            .layers()
+            .iter()
+            .filter(|l| l.desc.tag() == LayerTag::Conv)
+            .count();
         // 1 stem + 16 block convs + 3 downsamples.
         assert_eq!(convs, 20);
     }
@@ -99,7 +129,11 @@ mod tests {
     fn canonical_stage_shapes() {
         let net = resnet18(1);
         let find = |name: &str| {
-            net.layers().iter().find(|l| l.desc.name == name).unwrap().output_shape
+            net.layers()
+                .iter()
+                .find(|l| l.desc.name == name)
+                .unwrap()
+                .output_shape
         };
         assert_eq!(find("maxpool"), Shape::new(1, 64, 56, 56));
         assert_eq!(find("layer2_0/relu2"), Shape::new(1, 128, 28, 28));

@@ -5,14 +5,23 @@ use crate::{ConvParams, FcParams, LayerId, Network, NetworkBuilder};
 /// One SphereFace residual unit: two 3×3 convolutions plus identity add.
 fn res_unit(b: &mut NetworkBuilder, from: LayerId, name: &str, channels: usize) -> LayerId {
     let c1 = b
-        .conv(&format!("{name}/conv1"), from, ConvParams::square(channels, 3, 1, 1))
+        .conv(
+            &format!("{name}/conv1"),
+            from,
+            ConvParams::square(channels, 3, 1, 1),
+        )
         .expect("static shapes");
     let r1 = b.relu(&format!("{name}/relu1"), c1);
     let c2 = b
-        .conv(&format!("{name}/conv2"), r1, ConvParams::square(channels, 3, 1, 1))
+        .conv(
+            &format!("{name}/conv2"),
+            r1,
+            ConvParams::square(channels, 3, 1, 1),
+        )
         .expect("fits");
     let r2 = b.relu(&format!("{name}/relu2"), c2);
-    b.add(&format!("{name}/add"), r2, from).expect("shapes match")
+    b.add(&format!("{name}/add"), r2, from)
+        .expect("shapes match")
 }
 
 /// SphereFace-20-style face-recognition CNN (112×96 RGB face crops,
@@ -30,7 +39,11 @@ pub fn sphereface20(batch: usize) -> Network {
     let mut cur = x;
     for (si, (ch, units)) in stages.iter().enumerate() {
         let head = b
-            .conv(&format!("conv{}_1", si + 1), cur, ConvParams::square(*ch, 3, 2, 1))
+            .conv(
+                &format!("conv{}_1", si + 1),
+                cur,
+                ConvParams::square(*ch, 3, 2, 1),
+            )
             .expect("static shapes");
         cur = b.relu(&format!("relu{}_1", si + 1), head);
         for ui in 0..*units {
@@ -49,7 +62,11 @@ mod tests {
     #[test]
     fn twenty_convolutions() {
         let net = sphereface20(1);
-        let convs = net.layers().iter().filter(|l| l.desc.tag() == LayerTag::Conv).count();
+        let convs = net
+            .layers()
+            .iter()
+            .filter(|l| l.desc.tag() == LayerTag::Conv)
+            .count();
         assert_eq!(convs, 20);
     }
 
@@ -65,7 +82,11 @@ mod tests {
     fn stage_spatial_extents_halve() {
         let net = sphereface20(1);
         let find = |name: &str| {
-            net.layers().iter().find(|l| l.desc.name == name).unwrap().output_shape
+            net.layers()
+                .iter()
+                .find(|l| l.desc.name == name)
+                .unwrap()
+                .output_shape
         };
         assert_eq!(find("relu1_1"), Shape::new(1, 64, 56, 48));
         assert_eq!(find("relu4_1"), Shape::new(1, 512, 7, 6));

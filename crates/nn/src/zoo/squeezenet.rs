@@ -10,18 +10,31 @@ fn fire(
     expand: usize,
 ) -> LayerId {
     let s = b
-        .conv(&format!("{name}/squeeze1x1"), from, ConvParams::square(squeeze, 1, 1, 0))
+        .conv(
+            &format!("{name}/squeeze1x1"),
+            from,
+            ConvParams::square(squeeze, 1, 1, 0),
+        )
         .expect("static shapes");
     let sr = b.relu(&format!("{name}/relu_squeeze"), s);
     let e1 = b
-        .conv(&format!("{name}/expand1x1"), sr, ConvParams::square(expand, 1, 1, 0))
+        .conv(
+            &format!("{name}/expand1x1"),
+            sr,
+            ConvParams::square(expand, 1, 1, 0),
+        )
         .expect("fits");
     let e1r = b.relu(&format!("{name}/relu_expand1x1"), e1);
     let e3 = b
-        .conv(&format!("{name}/expand3x3"), sr, ConvParams::square(expand, 3, 1, 1))
+        .conv(
+            &format!("{name}/expand3x3"),
+            sr,
+            ConvParams::square(expand, 3, 1, 1),
+        )
         .expect("fits");
     let e3r = b.relu(&format!("{name}/relu_expand3x3"), e3);
-    b.concat(&format!("{name}/concat"), &[e1r, e3r]).expect("equal spatial extents")
+    b.concat(&format!("{name}/concat"), &[e1r, e3r])
+        .expect("equal spatial extents")
 }
 
 /// SqueezeNet v1.1 (227×227 input): eight fire modules, no FC layers.
@@ -31,22 +44,34 @@ fn fire(
 pub fn squeezenet_v11(batch: usize) -> Network {
     let mut b = NetworkBuilder::new("squeezenet_v11");
     let x = b.input(Shape::new(batch, 3, 227, 227));
-    let c1 = b.conv("conv1", x, ConvParams::square(64, 3, 2, 0)).expect("static shapes");
+    let c1 = b
+        .conv("conv1", x, ConvParams::square(64, 3, 2, 0))
+        .expect("static shapes");
     let r1 = b.relu("relu_conv1", c1);
-    let p1 = b.pool("pool1", r1, PoolParams::square(PoolKind::Max, 3, 2, 0)).expect("fits");
+    let p1 = b
+        .pool("pool1", r1, PoolParams::square(PoolKind::Max, 3, 2, 0))
+        .expect("fits");
     let f2 = fire(&mut b, p1, "fire2", 16, 64);
     let f3 = fire(&mut b, f2, "fire3", 16, 64);
-    let p3 = b.pool("pool3", f3, PoolParams::square(PoolKind::Max, 3, 2, 0)).expect("fits");
+    let p3 = b
+        .pool("pool3", f3, PoolParams::square(PoolKind::Max, 3, 2, 0))
+        .expect("fits");
     let f4 = fire(&mut b, p3, "fire4", 32, 128);
     let f5 = fire(&mut b, f4, "fire5", 32, 128);
-    let p5 = b.pool("pool5", f5, PoolParams::square(PoolKind::Max, 3, 2, 0)).expect("fits");
+    let p5 = b
+        .pool("pool5", f5, PoolParams::square(PoolKind::Max, 3, 2, 0))
+        .expect("fits");
     let f6 = fire(&mut b, p5, "fire6", 48, 192);
     let f7 = fire(&mut b, f6, "fire7", 48, 192);
     let f8 = fire(&mut b, f7, "fire8", 64, 256);
     let f9 = fire(&mut b, f8, "fire9", 64, 256);
-    let c10 = b.conv("conv10", f9, ConvParams::square(1000, 1, 1, 0)).expect("fits");
+    let c10 = b
+        .conv("conv10", f9, ConvParams::square(1000, 1, 1, 0))
+        .expect("fits");
     let r10 = b.relu("relu_conv10", c10);
-    let gp = b.pool("pool10", r10, PoolParams::global(PoolKind::Avg)).expect("fits");
+    let gp = b
+        .pool("pool10", r10, PoolParams::global(PoolKind::Avg))
+        .expect("fits");
     b.softmax("prob", gp);
     b.build().expect("non-empty")
 }
@@ -59,7 +84,11 @@ mod tests {
     #[test]
     fn eight_fire_modules() {
         let net = squeezenet_v11(1);
-        let concats = net.layers().iter().filter(|l| l.desc.tag() == LayerTag::Concat).count();
+        let concats = net
+            .layers()
+            .iter()
+            .filter(|l| l.desc.tag() == LayerTag::Concat)
+            .count();
         assert_eq!(concats, 8);
     }
 
@@ -73,7 +102,11 @@ mod tests {
     fn canonical_shapes() {
         let net = squeezenet_v11(1);
         let find = |name: &str| {
-            net.layers().iter().find(|l| l.desc.name == name).unwrap().output_shape
+            net.layers()
+                .iter()
+                .find(|l| l.desc.name == name)
+                .unwrap()
+                .output_shape
         };
         assert_eq!(find("pool1"), Shape::new(1, 64, 56, 56));
         assert_eq!(find("fire3/concat"), Shape::new(1, 128, 56, 56));

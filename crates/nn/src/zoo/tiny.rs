@@ -9,15 +9,25 @@ use crate::{ConvParams, FcParams, Network, NetworkBuilder, PoolKind, PoolParams}
 pub fn tiny_cnn(batch: usize) -> Network {
     let mut b = NetworkBuilder::new("tiny_cnn");
     let x = b.input(Shape::new(batch, 3, 16, 16));
-    let c1 = b.conv("conv1", x, ConvParams::square(8, 3, 1, 1)).expect("static shapes");
+    let c1 = b
+        .conv("conv1", x, ConvParams::square(8, 3, 1, 1))
+        .expect("static shapes");
     let b1 = b.batch_norm("bn1", c1);
     let r1 = b.relu("relu1", b1);
-    let p1 = b.pool("pool1", r1, PoolParams::square(PoolKind::Max, 2, 2, 0)).expect("fits");
-    let d1 = b.depthwise_conv("dw1", p1, ConvParams::square(0, 3, 1, 1)).expect("fits");
+    let p1 = b
+        .pool("pool1", r1, PoolParams::square(PoolKind::Max, 2, 2, 0))
+        .expect("fits");
+    let d1 = b
+        .depthwise_conv("dw1", p1, ConvParams::square(0, 3, 1, 1))
+        .expect("fits");
     let r2 = b.relu("relu2", d1);
-    let c2 = b.conv("conv2", r2, ConvParams::square(16, 1, 1, 0)).expect("fits");
+    let c2 = b
+        .conv("conv2", r2, ConvParams::square(16, 1, 1, 0))
+        .expect("fits");
     let r3 = b.relu("relu3", c2);
-    let p2 = b.pool("pool2", r3, PoolParams::square(PoolKind::Avg, 2, 2, 0)).expect("fits");
+    let p2 = b
+        .pool("pool2", r3, PoolParams::square(PoolKind::Avg, 2, 2, 0))
+        .expect("fits");
     let f = b.fc("fc", p2, FcParams::new(10)).expect("fits");
     b.softmax("prob", f);
     b.build().expect("non-empty")
@@ -31,10 +41,16 @@ pub fn tiny_cnn(batch: usize) -> Network {
 pub fn toy_branchy(batch: usize) -> Network {
     let mut b = NetworkBuilder::new("toy_branchy");
     let x = b.input(Shape::new(batch, 4, 8, 8));
-    let a = b.conv("branch_a", x, ConvParams::square(4, 1, 1, 0)).expect("static shapes");
-    let c = b.conv("branch_b", x, ConvParams::square(4, 3, 1, 1)).expect("fits");
+    let a = b
+        .conv("branch_a", x, ConvParams::square(4, 1, 1, 0))
+        .expect("static shapes");
+    let c = b
+        .conv("branch_b", x, ConvParams::square(4, 3, 1, 1))
+        .expect("fits");
     let cat = b.concat("concat", &[a, c]).expect("spatial extents match");
-    let c2 = b.conv("conv2", cat, ConvParams::square(8, 3, 1, 1)).expect("fits");
+    let c2 = b
+        .conv("conv2", cat, ConvParams::square(8, 3, 1, 1))
+        .expect("fits");
     let add = b.add("residual", c2, cat).expect("shapes match");
     let r = b.relu("relu", add);
     let f = b.fc("fc", r, FcParams::new(4)).expect("fits");
@@ -51,22 +67,35 @@ mod tests {
     fn tiny_cnn_is_small() {
         let net = tiny_cnn(1);
         assert!(net.total_macs() < 1_000_000);
-        assert_eq!(net.layers().last().unwrap().output_shape, Shape::vector(1, 10));
+        assert_eq!(
+            net.layers().last().unwrap().output_shape,
+            Shape::vector(1, 10)
+        );
     }
 
     #[test]
     fn tiny_cnn_has_depthwise() {
         let net = tiny_cnn(1);
-        assert!(net.layers().iter().any(|l| l.desc.tag() == LayerTag::DepthwiseConv));
+        assert!(net
+            .layers()
+            .iter()
+            .any(|l| l.desc.tag() == LayerTag::DepthwiseConv));
     }
 
     #[test]
     fn toy_branchy_has_joins() {
         let net = toy_branchy(1);
-        assert!(net.layers().iter().any(|l| l.desc.tag() == LayerTag::Concat));
+        assert!(net
+            .layers()
+            .iter()
+            .any(|l| l.desc.tag() == LayerTag::Concat));
         assert!(net.layers().iter().any(|l| l.desc.tag() == LayerTag::Add));
         // The concat output feeds two consumers: conv2 and the residual add.
-        let cat = net.layers().iter().find(|l| l.desc.tag() == LayerTag::Concat).unwrap();
+        let cat = net
+            .layers()
+            .iter()
+            .find(|l| l.desc.tag() == LayerTag::Concat)
+            .unwrap();
         assert_eq!(net.consumers()[cat.id.0].len(), 2);
     }
 }

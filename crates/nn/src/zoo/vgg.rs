@@ -9,14 +9,22 @@ use crate::{ConvParams, FcParams, LayerId, Network, NetworkBuilder, PoolKind, Po
 /// Winograd-capable libraries compete everywhere, and the 103 M-MAC `fc6`
 /// dominates any implementation that lacks a fast FC primitive (cuDNN).
 pub fn vgg19(batch: usize) -> Network {
-    vgg("vgg19", batch, [(64, 2), (128, 2), (256, 4), (512, 4), (512, 4)])
+    vgg(
+        "vgg19",
+        batch,
+        [(64, 2), (128, 2), (256, 4), (512, 4), (512, 4)],
+    )
 }
 
 /// VGG-16 (224×224 input): thirteen 3×3 convolutions in five blocks plus
 /// three FC layers. Not in the paper's Table II; included for roster
 /// breadth.
 pub fn vgg16(batch: usize) -> Network {
-    vgg("vgg16", batch, [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)])
+    vgg(
+        "vgg16",
+        batch,
+        [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)],
+    )
 }
 
 fn vgg(name: &str, batch: usize, blocks: [(usize, usize); 5]) -> Network {
@@ -27,16 +35,26 @@ fn vgg(name: &str, batch: usize, blocks: [(usize, usize); 5]) -> Network {
         for ri in 0..*reps {
             let cname = format!("conv{}_{}", bi + 1, ri + 1);
             let rname = format!("relu{}_{}", bi + 1, ri + 1);
-            cur = b.conv(&cname, cur, ConvParams::square(*ch, 3, 1, 1)).expect("static shapes");
+            cur = b
+                .conv(&cname, cur, ConvParams::square(*ch, 3, 1, 1))
+                .expect("static shapes");
             cur = b.relu(&rname, cur);
         }
         cur = b
-            .pool(&format!("pool{}", bi + 1), cur, PoolParams::square(PoolKind::Max, 2, 2, 0))
+            .pool(
+                &format!("pool{}", bi + 1),
+                cur,
+                PoolParams::square(PoolKind::Max, 2, 2, 0),
+            )
             .expect("fits");
     }
-    let f6 = b.fc("fc6", cur, FcParams::new(4096).with_density(0.25)).expect("fits");
+    let f6 = b
+        .fc("fc6", cur, FcParams::new(4096).with_density(0.25))
+        .expect("fits");
     let r6 = b.relu("relu6", f6);
-    let f7 = b.fc("fc7", r6, FcParams::new(4096).with_density(0.25)).expect("fits");
+    let f7 = b
+        .fc("fc7", r6, FcParams::new(4096).with_density(0.25))
+        .expect("fits");
     let r7 = b.relu("relu7", f7);
     let f8 = b.fc("fc8", r7, FcParams::new(1000)).expect("fits");
     b.softmax("prob", f8);
@@ -51,8 +69,16 @@ mod tests {
     #[test]
     fn sixteen_convs_five_pools() {
         let net = vgg19(1);
-        let convs = net.layers().iter().filter(|l| l.desc.tag() == LayerTag::Conv).count();
-        let pools = net.layers().iter().filter(|l| l.desc.tag() == LayerTag::Pool).count();
+        let convs = net
+            .layers()
+            .iter()
+            .filter(|l| l.desc.tag() == LayerTag::Conv)
+            .count();
+        let pools = net
+            .layers()
+            .iter()
+            .filter(|l| l.desc.tag() == LayerTag::Pool)
+            .count();
         assert_eq!(convs, 16);
         assert_eq!(pools, 5);
     }
@@ -60,7 +86,11 @@ mod tests {
     #[test]
     fn final_feature_map_is_7x7x512() {
         let net = vgg19(1);
-        let pool5 = net.layers().iter().find(|l| l.desc.name == "pool5").unwrap();
+        let pool5 = net
+            .layers()
+            .iter()
+            .find(|l| l.desc.name == "pool5")
+            .unwrap();
         assert_eq!(pool5.output_shape, Shape::new(1, 512, 7, 7));
     }
 

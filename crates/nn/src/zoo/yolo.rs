@@ -24,9 +24,17 @@ pub fn tiny_yolo_v2(batch: usize) -> Network {
         // The sixth pool in the Darknet config is stride-1; floor mode keeps
         // the 13x13 grid close (12x12 here, see DESIGN.md §5).
         let (stride, name) = if n == 6 { (1, "pool6") } else { (2, "poolx") };
-        let pname = if n == 6 { name.to_string() } else { format!("pool{n}") };
+        let pname = if n == 6 {
+            name.to_string()
+        } else {
+            format!("pool{n}")
+        };
         cur = b
-            .pool(&pname, r, PoolParams::square(PoolKind::Max, 2, stride, 0).with_floor())
+            .pool(
+                &pname,
+                r,
+                PoolParams::square(PoolKind::Max, 2, stride, 0).with_floor(),
+            )
             .expect("fits");
     }
 
@@ -38,7 +46,8 @@ pub fn tiny_yolo_v2(batch: usize) -> Network {
         let bn = b.batch_norm(&format!("bn{n}"), c);
         cur = b.relu(&format!("leaky{n}"), bn);
     }
-    b.conv("conv9", cur, ConvParams::square(125, 1, 1, 0)).expect("fits");
+    b.conv("conv9", cur, ConvParams::square(125, 1, 1, 0))
+        .expect("fits");
     b.build().expect("non-empty")
 }
 
@@ -50,8 +59,16 @@ mod tests {
     #[test]
     fn nine_convolutions_six_pools() {
         let net = tiny_yolo_v2(1);
-        let convs = net.layers().iter().filter(|l| l.desc.tag() == LayerTag::Conv).count();
-        let pools = net.layers().iter().filter(|l| l.desc.tag() == LayerTag::Pool).count();
+        let convs = net
+            .layers()
+            .iter()
+            .filter(|l| l.desc.tag() == LayerTag::Conv)
+            .count();
+        let pools = net
+            .layers()
+            .iter()
+            .filter(|l| l.desc.tag() == LayerTag::Pool)
+            .count();
         assert_eq!(convs, 9);
         assert_eq!(pools, 6);
     }
@@ -68,7 +85,11 @@ mod tests {
     #[test]
     fn early_layers_have_large_spatial_extent() {
         let net = tiny_yolo_v2(1);
-        let c1 = net.layers().iter().find(|l| l.desc.name == "conv1").unwrap();
+        let c1 = net
+            .layers()
+            .iter()
+            .find(|l| l.desc.name == "conv1")
+            .unwrap();
         assert_eq!(c1.output_shape, Shape::new(1, 16, 416, 416));
     }
 }

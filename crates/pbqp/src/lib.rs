@@ -134,7 +134,10 @@ impl PbqpGraph {
         }
         let (nu, nv) = (self.nodes[u].len(), self.nodes[v].len());
         if matrix.len() != nu * nv {
-            return Err(PbqpError::MatrixExtent { expected: nu * nv, got: matrix.len() });
+            return Err(PbqpError::MatrixExtent {
+                expected: nu * nv,
+                got: matrix.len(),
+            });
         }
         let (key, mat) = if u < v {
             ((u, v), matrix)
@@ -210,9 +213,19 @@ enum Elim {
     /// R0/RN: the node's choice was fixed outright.
     Fixed { node: usize, choice: usize },
     /// RI: `node`'s best choice depends on `neighbor`'s choice.
-    Dep1 { node: usize, neighbor: usize, best: Vec<usize> },
+    Dep1 {
+        node: usize,
+        neighbor: usize,
+        best: Vec<usize>,
+    },
     /// RII: `node`'s best choice depends on both neighbours.
-    Dep2 { node: usize, n1: usize, n2: usize, best: Vec<usize>, n2_len: usize },
+    Dep2 {
+        node: usize,
+        n1: usize,
+        n2: usize,
+        best: Vec<usize>,
+        n2_len: usize,
+    },
 }
 
 struct Solver {
@@ -232,7 +245,13 @@ impl Solver {
             adj[u].insert(v, g.matrix_oriented(u, v).expect("edge present"));
             adj[v].insert(u, g.matrix_oriented(v, u).expect("edge present"));
         }
-        Solver { costs: g.nodes.clone(), adj, alive: vec![true; n], trail: Vec::new(), exact: true }
+        Solver {
+            costs: g.nodes.clone(),
+            adj,
+            alive: vec![true; n],
+            trail: Vec::new(),
+            exact: true,
+        }
     }
 
     fn degree(&self, u: usize) -> usize {
@@ -294,7 +313,11 @@ impl Solver {
             *c += d;
         }
         self.remove_edge(u, nb);
-        self.trail.push(Elim::Dep1 { node: u, neighbor: nb, best });
+        self.trail.push(Elim::Dep1 {
+            node: u,
+            neighbor: nb,
+            best,
+        });
         self.alive[u] = false;
     }
 
@@ -326,7 +349,13 @@ impl Solver {
         self.remove_edge(u, n1);
         self.remove_edge(u, n2);
         self.add_matrix(n1, n2, &new_mat);
-        self.trail.push(Elim::Dep2 { node: u, n1, n2, best, n2_len: l2 });
+        self.trail.push(Elim::Dep2 {
+            node: u,
+            n1,
+            n2,
+            best,
+            n2_len: l2,
+        });
         self.alive[u] = false;
     }
 
@@ -344,8 +373,9 @@ impl Solver {
             for &nb in &neighbors {
                 let mat = &self.adj[u][&nb];
                 let lnb = self.costs[nb].len();
-                let row_min =
-                    (0..lnb).map(|j| mat[i * lnb + j]).fold(f64::INFINITY, f64::min);
+                let row_min = (0..lnb)
+                    .map(|j| mat[i * lnb + j])
+                    .fold(f64::INFINITY, f64::min);
                 c += row_min;
             }
             if c < bc {
@@ -361,7 +391,10 @@ impl Solver {
             }
             self.remove_edge(u, nb);
         }
-        self.trail.push(Elim::Fixed { node: u, choice: bi });
+        self.trail.push(Elim::Fixed {
+            node: u,
+            choice: bi,
+        });
         self.alive[u] = false;
     }
 
@@ -403,15 +436,29 @@ impl Solver {
         for elim in self.trail.iter().rev() {
             match elim {
                 Elim::Fixed { node, choice } => selection[*node] = *choice,
-                Elim::Dep1 { node, neighbor, best } => {
+                Elim::Dep1 {
+                    node,
+                    neighbor,
+                    best,
+                } => {
                     selection[*node] = best[selection[*neighbor]];
                 }
-                Elim::Dep2 { node, n1, n2, best, n2_len } => {
+                Elim::Dep2 {
+                    node,
+                    n1,
+                    n2,
+                    best,
+                    n2_len,
+                } => {
                     selection[*node] = best[selection[*n1] * n2_len + selection[*n2]];
                 }
             }
         }
-        PbqpSolution { cost: 0.0, exact: self.exact, selection }
+        PbqpSolution {
+            cost: 0.0,
+            exact: self.exact,
+            selection,
+        }
     }
 }
 
@@ -504,7 +551,11 @@ mod tests {
             let sol = g.solve_with_cost();
             let (_, opt) = brute_force(&g);
             assert!(sol.exact, "chains reduce with RI only");
-            assert!((sol.cost - opt).abs() < 1e-9, "seed {seed}: {} vs {opt}", sol.cost);
+            assert!(
+                (sol.cost - opt).abs() < 1e-9,
+                "seed {seed}: {} vs {opt}",
+                sol.cost
+            );
         }
     }
 
@@ -543,7 +594,8 @@ mod tests {
         let a = g.add_node(vec![0.0, 0.0]);
         let b = g.add_node(vec![0.0, 0.0, 0.0]);
         // Insert as (b, a): matrix [3x2].
-        g.add_edge(b, a, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        g.add_edge(b, a, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+            .unwrap();
         // cost(a=1, b=2) must read matrix[b=2][a=1] = 6.
         assert_eq!(g.cost_of(&[1, 2]), 6.0);
     }
@@ -562,12 +614,21 @@ mod tests {
     fn errors_are_reported() {
         let mut g = PbqpGraph::new();
         let a = g.add_node(vec![0.0]);
-        assert!(matches!(g.add_edge(a, 9, vec![0.0]), Err(PbqpError::UnknownNode(9))));
-        assert!(matches!(g.add_edge(a, a, vec![0.0]), Err(PbqpError::SelfLoop(_))));
+        assert!(matches!(
+            g.add_edge(a, 9, vec![0.0]),
+            Err(PbqpError::UnknownNode(9))
+        ));
+        assert!(matches!(
+            g.add_edge(a, a, vec![0.0]),
+            Err(PbqpError::SelfLoop(_))
+        ));
         let b = g.add_node(vec![0.0, 0.0]);
         assert!(matches!(
             g.add_edge(a, b, vec![0.0]),
-            Err(PbqpError::MatrixExtent { expected: 2, got: 1 })
+            Err(PbqpError::MatrixExtent {
+                expected: 2,
+                got: 1
+            })
         ));
     }
 }

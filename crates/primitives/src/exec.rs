@@ -122,8 +122,8 @@ pub fn execute_layer(
         }
         LayerKind::Pool(p) => {
             let x = inputs[0];
-            let nnpack_fast = primitive.library == Library::Nnpack
-                && primitive.algorithm == Algorithm::DirectOpt;
+            let nnpack_fast =
+                primitive.library == Library::Nnpack && primitive.algorithm == Algorithm::DirectOpt;
             if nnpack_fast {
                 let x = ensure_layout(x.clone(), DataLayout::Nchw);
                 pool::maxpool_2x2_s2_nchw(&x, out_shape)
@@ -132,9 +132,7 @@ pub fn execute_layer(
             }
         }
         LayerKind::Relu => activation::relu(inputs[0]),
-        LayerKind::BatchNorm => {
-            activation::batch_norm(inputs[0], &weights.scale, &weights.shift)
-        }
+        LayerKind::BatchNorm => activation::batch_norm(inputs[0], &weights.scale, &weights.shift),
         LayerKind::Lrn(p) => activation::lrn(inputs[0], p),
         LayerKind::Softmax => activation::softmax(inputs[0]),
         LayerKind::Fc(_) => {
@@ -187,8 +185,10 @@ mod tests {
             };
             // Inputs must be in each primitive's layout.
             let reference = {
-                let converted: Vec<Tensor> =
-                    parents.iter().map(|t| t.to_layout(vanilla.layout)).collect();
+                let converted: Vec<Tensor> = parents
+                    .iter()
+                    .map(|t| t.to_layout(vanilla.layout))
+                    .collect();
                 let refs: Vec<&Tensor> = converted.iter().collect();
                 execute_layer(node, &vanilla, &refs, &lw)
             };
@@ -216,7 +216,10 @@ mod tests {
                 let parents: Vec<Tensor> = if node.inputs.is_empty() {
                     vec![input.to_layout(prim.layout)]
                 } else {
-                    node.inputs.iter().map(|p| acts[p.0].to_layout(prim.layout)).collect()
+                    node.inputs
+                        .iter()
+                        .map(|p| acts[p.0].to_layout(prim.layout))
+                        .collect()
                 };
                 let refs: Vec<&Tensor> = parents.iter().collect();
                 let out = execute_layer(node, &prim, &refs, &lw);
@@ -228,7 +231,10 @@ mod tests {
             let parents: Vec<Tensor> = if node.inputs.is_empty() {
                 vec![input.to_layout(prim.layout)]
             } else {
-                node.inputs.iter().map(|p| acts[p.0].to_layout(prim.layout)).collect()
+                node.inputs
+                    .iter()
+                    .map(|p| acts[p.0].to_layout(prim.layout))
+                    .collect()
             };
             let refs: Vec<&Tensor> = parents.iter().collect();
             acts.push(execute_layer(node, &prim, &refs, &lw));

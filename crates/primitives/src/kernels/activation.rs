@@ -150,7 +150,12 @@ mod tests {
 
     #[test]
     fn lrn_normalizes_by_neighbourhood_energy() {
-        let p = LrnParams { size: 3, alpha: 1.0, beta: 1.0, k: 1.0 };
+        let p = LrnParams {
+            size: 3,
+            alpha: 1.0,
+            beta: 1.0,
+            k: 1.0,
+        };
         let t = Tensor::from_vec(
             Shape::new(1, 3, 1, 1),
             DataLayout::Nchw,
@@ -168,7 +173,12 @@ mod tests {
 
     #[test]
     fn lrn_identity_when_alpha_zero() {
-        let p = LrnParams { size: 5, alpha: 0.0, beta: 0.75, k: 1.0 };
+        let p = LrnParams {
+            size: 5,
+            alpha: 0.0,
+            beta: 0.75,
+            k: 1.0,
+        };
         let t = Tensor::random(Shape::new(1, 4, 2, 2), DataLayout::Nchw, 8);
         assert!(lrn(&t, &p).approx_eq(&t, 1e-6).unwrap());
     }

@@ -67,7 +67,11 @@ pub fn conv_direct_opt(
     p: &ConvParams,
     out_shape: Shape,
 ) -> Tensor {
-    assert_eq!(input.layout(), DataLayout::Nchw, "conv_direct_opt requires NCHW input");
+    assert_eq!(
+        input.layout(),
+        DataLayout::Nchw,
+        "conv_direct_opt requires NCHW input"
+    );
     let in_shape = input.shape();
     let (kh, kw) = p.kernel;
     let (sh, sw) = p.stride;
@@ -108,8 +112,7 @@ pub fn conv_direct_opt(
                                 }
                                 let xv = x[row + ix as usize];
                                 for (bi, a) in acc.iter_mut().enumerate().take(ocb) {
-                                    let wv =
-                                        w[(((oc0 + bi) * ic + c) * kh + ky) * kw + kx];
+                                    let wv = w[(((oc0 + bi) * ic + c) * kh + ky) * kw + kx];
                                     *a += wv * xv;
                                 }
                             }
@@ -170,8 +173,14 @@ mod tests {
         let in_s = Shape::new(1, 1, 2, 2);
         let input = Tensor::zeros(in_s, DataLayout::Nchw);
         let p = params(1, 1, 0, 1);
-        let out =
-            conv_direct_vanilla(&input, &[0.0], &[5.0], &p, out_shape(in_s, &p), DataLayout::Nchw);
+        let out = conv_direct_vanilla(
+            &input,
+            &[0.0],
+            &[5.0],
+            &p,
+            out_shape(in_s, &p),
+            DataLayout::Nchw,
+        );
         assert_eq!(out.at(0, 0, 1, 1), 5.0);
     }
 
@@ -182,8 +191,9 @@ mod tests {
         for (k, s, pad, oc) in [(3, 1, 1, 5), (5, 2, 2, 7), (1, 1, 0, 4), (3, 2, 1, 6)] {
             let p = params(k, s, pad, oc);
             let os = out_shape(in_s, &p);
-            let w: Vec<f32> =
-                (0..oc * 3 * k * k).map(|i| ((i * 31 + 7) % 13) as f32 * 0.1 - 0.6).collect();
+            let w: Vec<f32> = (0..oc * 3 * k * k)
+                .map(|i| ((i * 31 + 7) % 13) as f32 * 0.1 - 0.6)
+                .collect();
             let bias: Vec<f32> = (0..oc).map(|i| i as f32 * 0.01).collect();
             let a = conv_direct_vanilla(&input, &w, &bias, &p, os, DataLayout::Nchw);
             let b = conv_direct_opt(&input, &w, &bias, &p, os);

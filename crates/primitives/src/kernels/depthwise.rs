@@ -59,7 +59,11 @@ pub fn depthwise_opt_nhwc(
     p: &ConvParams,
     out_shape: Shape,
 ) -> Tensor {
-    assert_eq!(input.layout(), DataLayout::Nhwc, "depthwise_opt_nhwc requires NHWC input");
+    assert_eq!(
+        input.layout(),
+        DataLayout::Nhwc,
+        "depthwise_opt_nhwc requires NHWC input"
+    );
     let in_s = input.shape();
     let (kh, kw) = p.kernel;
     let (sh, sw) = p.stride;
@@ -115,7 +119,9 @@ mod tests {
             (in_s.h + 2 - 3) / stride + 1,
             (in_s.w + 2 - 3) / stride + 1,
         );
-        let w: Vec<f32> = (0..6 * 9).map(|i| ((i * 23 + 1) % 7) as f32 * 0.1 - 0.3).collect();
+        let w: Vec<f32> = (0..6 * 9)
+            .map(|i| ((i * 23 + 1) % 7) as f32 * 0.1 - 0.3)
+            .collect();
         let bias: Vec<f32> = (0..6).map(|i| i as f32 * 0.01).collect();
         (input, w, bias, p, os)
     }

@@ -98,7 +98,9 @@ mod tests {
 
     #[test]
     fn concat_stacks_channels_in_order() {
-        let a = Tensor::from_fn(Shape::new(1, 2, 2, 2), DataLayout::Nchw, |_, c, _, _| c as f32);
+        let a = Tensor::from_fn(Shape::new(1, 2, 2, 2), DataLayout::Nchw, |_, c, _, _| {
+            c as f32
+        });
         let b = Tensor::from_fn(Shape::new(1, 3, 2, 2), DataLayout::Nhwc, |_, c, _, _| {
             10.0 + c as f32
         });

@@ -64,7 +64,14 @@ pub fn fc_gemm(input: &Tensor, w: &[f32], bias: &[f32], out_shape: Shape, gemm: 
         }
     }
     let mut y = vec![0.0f32; in_s.n * out_features];
-    gemm.sgemm(in_s.n, in_features, out_features, x_nchw.as_slice(), &wt, &mut y);
+    gemm.sgemm(
+        in_s.n,
+        in_features,
+        out_features,
+        x_nchw.as_slice(),
+        &wt,
+        &mut y,
+    );
     if !bias.is_empty() {
         for n in 0..in_s.n {
             for (o, b) in bias.iter().enumerate() {
@@ -83,7 +90,9 @@ mod tests {
     fn fixture(batch: usize) -> (Tensor, Vec<f32>, Vec<f32>, Shape) {
         let in_s = Shape::new(batch, 3, 2, 2); // 12 features
         let input = Tensor::random(in_s, DataLayout::Nchw, 31);
-        let w: Vec<f32> = (0..5 * 12).map(|i| ((i * 7 + 2) % 9) as f32 * 0.1 - 0.4).collect();
+        let w: Vec<f32> = (0..5 * 12)
+            .map(|i| ((i * 7 + 2) % 9) as f32 * 0.1 - 0.4)
+            .collect();
         let bias: Vec<f32> = (0..5).map(|i| i as f32 * 0.1).collect();
         (input, w, bias, Shape::vector(batch, 5))
     }

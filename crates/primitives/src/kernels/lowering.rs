@@ -11,7 +11,11 @@ use qsdnn_tensor::{DataLayout, Shape, Tensor};
 ///
 /// Panics if `input` is not NCHW.
 pub fn im2col(input: &Tensor, p: &ConvParams, out_shape: Shape, n: usize) -> Vec<f32> {
-    assert_eq!(input.layout(), DataLayout::Nchw, "im2col requires NCHW input");
+    assert_eq!(
+        input.layout(),
+        DataLayout::Nchw,
+        "im2col requires NCHW input"
+    );
     let in_s = input.shape();
     let (kh, kw) = p.kernel;
     let (sh, sw) = p.stride;
@@ -54,7 +58,11 @@ pub fn im2col(input: &Tensor, p: &ConvParams, out_shape: Shape, n: usize) -> Vec
 ///
 /// Panics if `input` is not NHWC.
 pub fn im2row(input: &Tensor, p: &ConvParams, out_shape: Shape, n: usize) -> Vec<f32> {
-    assert_eq!(input.layout(), DataLayout::Nhwc, "im2row requires NHWC input");
+    assert_eq!(
+        input.layout(),
+        DataLayout::Nhwc,
+        "im2row requires NHWC input"
+    );
     let in_s = input.shape();
     let (kh, kw) = p.kernel;
     let (sh, sw) = p.stride;
@@ -187,7 +195,11 @@ pub fn conv_kn2row_gemm(
     gemm: Gemm,
 ) -> Tensor {
     assert_eq!(p.stride, (1, 1), "kn2row requires stride 1");
-    assert_eq!(input.layout(), DataLayout::Nchw, "kn2row requires NCHW input");
+    assert_eq!(
+        input.layout(),
+        DataLayout::Nchw,
+        "kn2row requires NCHW input"
+    );
     let in_s = input.shape();
     let (kh, kw) = p.kernel;
     let (ph, pw) = p.pad;
@@ -253,7 +265,12 @@ mod tests {
         conv_direct_vanilla(input, w, bias, p, os, DataLayout::Nchw)
     }
 
-    fn fixture(k: usize, s: usize, pad: usize, oc: usize) -> (Tensor, Vec<f32>, Vec<f32>, ConvParams, Shape) {
+    fn fixture(
+        k: usize,
+        s: usize,
+        pad: usize,
+        oc: usize,
+    ) -> (Tensor, Vec<f32>, Vec<f32>, ConvParams, Shape) {
         let in_s = Shape::new(2, 3, 8, 6);
         let input = Tensor::random(in_s, DataLayout::Nchw, 42);
         let p = ConvParams::square(oc, k, s, pad);
@@ -263,7 +280,9 @@ mod tests {
             (in_s.h + 2 * pad - k) / s + 1,
             (in_s.w + 2 * pad - k) / s + 1,
         );
-        let w: Vec<f32> = (0..oc * 3 * k * k).map(|i| ((i * 17 + 3) % 11) as f32 * 0.1 - 0.5).collect();
+        let w: Vec<f32> = (0..oc * 3 * k * k)
+            .map(|i| ((i * 17 + 3) % 11) as f32 * 0.1 - 0.5)
+            .collect();
         let bias: Vec<f32> = (0..oc).map(|i| 0.05 * i as f32).collect();
         (input, w, bias, p, os)
     }
@@ -273,8 +292,12 @@ mod tests {
         for (k, s, pad) in [(3, 1, 1), (5, 2, 2), (1, 1, 0), (3, 2, 0)] {
             let (input, w, bias, p, os) = fixture(k, s, pad, 5);
             let expect = reference(&input, &w, &bias, &p, os);
-            let got = conv_im2col_gemm(&input, &w, &bias, &p, os, Gemm::new(BlasBackend::AtlasLike));
-            assert!(expect.approx_eq(&got, 1e-4).unwrap(), "k={k} s={s} pad={pad}");
+            let got =
+                conv_im2col_gemm(&input, &w, &bias, &p, os, Gemm::new(BlasBackend::AtlasLike));
+            assert!(
+                expect.approx_eq(&got, 1e-4).unwrap(),
+                "k={k} s={s} pad={pad}"
+            );
         }
     }
 
@@ -291,7 +314,10 @@ mod tests {
                 os,
                 Gemm::new(BlasBackend::OpenBlasLike),
             );
-            assert!(expect.approx_eq(&got, 1e-4).unwrap(), "k={k} s={s} pad={pad}");
+            assert!(
+                expect.approx_eq(&got, 1e-4).unwrap(),
+                "k={k} s={s} pad={pad}"
+            );
         }
     }
 

@@ -93,7 +93,11 @@ pub fn pool_generic(
 /// Panics unless the parameters are exactly max/2×2/s2/no-pad and `input` is
 /// NCHW.
 pub fn maxpool_2x2_s2_nchw(input: &Tensor, out_shape: Shape) -> Tensor {
-    assert_eq!(input.layout(), DataLayout::Nchw, "fast maxpool requires NCHW input");
+    assert_eq!(
+        input.layout(),
+        DataLayout::Nchw,
+        "fast maxpool requires NCHW input"
+    );
     let in_s = input.shape();
     let x = input.as_slice();
     let mut out = Tensor::zeros(out_shape, DataLayout::Nchw);
@@ -152,7 +156,11 @@ mod tests {
     fn global_avg_and_max() {
         let in_s = Shape::new(1, 2, 3, 3);
         let input = Tensor::from_fn(in_s, DataLayout::Nchw, |_, c, h, w| {
-            if c == 0 { (h * 3 + w) as f32 } else { 1.0 }
+            if c == 0 {
+                (h * 3 + w) as f32
+            } else {
+                1.0
+            }
         });
         let avg = pool_generic(
             &input,

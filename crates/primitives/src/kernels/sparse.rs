@@ -33,7 +33,13 @@ impl CsrMatrix {
             }
             row_ptr.push(values.len());
         }
-        CsrMatrix { rows, cols, row_ptr, col_idx, values }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Number of stored non-zeros.
@@ -95,15 +101,18 @@ pub fn conv1x1_sparse(
 ) -> Tensor {
     assert_eq!(p.kernel, (1, 1), "sparse convolution covers 1x1 kernels");
     assert_eq!(p.stride, (1, 1), "sparse convolution requires stride 1");
-    assert_eq!(input.layout(), DataLayout::Nchw, "sparse convolution requires NCHW input");
+    assert_eq!(
+        input.layout(),
+        DataLayout::Nchw,
+        "sparse convolution requires NCHW input"
+    );
     let in_s = input.shape();
     let plane = in_s.h * in_s.w;
     let csr = CsrMatrix::from_dense(out_shape.c, in_s.c, w);
     let mut out = Tensor::zeros(out_shape, DataLayout::Nchw);
     for n in 0..out_shape.n {
         let x = &input.as_slice()[n * in_s.c * plane..(n + 1) * in_s.c * plane];
-        let dst =
-            &mut out.as_mut_slice()[n * out_shape.c * plane..(n + 1) * out_shape.c * plane];
+        let dst = &mut out.as_mut_slice()[n * out_shape.c * plane..(n + 1) * out_shape.c * plane];
         csr.spmm(x, plane, dst);
         if !bias.is_empty() {
             for ch in 0..out_shape.c {
@@ -169,8 +178,15 @@ mod tests {
         let p = ConvParams::square(6, 1, 1, 0).with_density(0.3);
         let os = Shape::new(1, 6, 5, 5);
         // Weights with actual zeros.
-        let w: Vec<f32> =
-            (0..48).map(|i| if i % 3 == 0 { (i % 7) as f32 * 0.2 - 0.5 } else { 0.0 }).collect();
+        let w: Vec<f32> = (0..48)
+            .map(|i| {
+                if i % 3 == 0 {
+                    (i % 7) as f32 * 0.2 - 0.5
+                } else {
+                    0.0
+                }
+            })
+            .collect();
         let bias = vec![0.1; 6];
         let expect = conv_direct_vanilla(&input, &w, &bias, &p, os, DataLayout::Nchw);
         let got = conv1x1_sparse(&input, &w, &bias, &p, os);
@@ -182,8 +198,15 @@ mod tests {
         let in_s = Shape::new(2, 4, 2, 2); // 16 features
         let input = Tensor::random(in_s, DataLayout::Nchw, 4);
         let os = Shape::vector(2, 5);
-        let w: Vec<f32> =
-            (0..80).map(|i| if i % 4 == 0 { (i % 9) as f32 * 0.1 } else { 0.0 }).collect();
+        let w: Vec<f32> = (0..80)
+            .map(|i| {
+                if i % 4 == 0 {
+                    (i % 9) as f32 * 0.1
+                } else {
+                    0.0
+                }
+            })
+            .collect();
         let bias = vec![0.5; 5];
         let got = fc_sparse(&input, &w, &bias, os);
         // Dense reference.

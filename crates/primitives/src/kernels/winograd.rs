@@ -49,8 +49,12 @@ fn input_transform(d: &[f32; 16]) -> [f32; 16] {
     }
     let mut v = [0.0f32; 16]; // (Bᵀ·d)·B
     for row in 0..4 {
-        let (t0, t1, t2, t3) =
-            (tmp[row * 4], tmp[row * 4 + 1], tmp[row * 4 + 2], tmp[row * 4 + 3]);
+        let (t0, t1, t2, t3) = (
+            tmp[row * 4],
+            tmp[row * 4 + 1],
+            tmp[row * 4 + 2],
+            tmp[row * 4 + 3],
+        );
         v[row * 4] = t0 - t2;
         v[row * 4 + 1] = t1 + t2;
         v[row * 4 + 2] = t2 - t1;
@@ -71,8 +75,12 @@ fn output_transform(m: &[f32; 16]) -> [f32; 4] {
     }
     let mut y = [0.0f32; 4];
     for row in 0..2 {
-        let (t0, t1, t2, t3) =
-            (tmp[row * 4], tmp[row * 4 + 1], tmp[row * 4 + 2], tmp[row * 4 + 3]);
+        let (t0, t1, t2, t3) = (
+            tmp[row * 4],
+            tmp[row * 4 + 1],
+            tmp[row * 4 + 2],
+            tmp[row * 4 + 3],
+        );
         y[row * 2] = t0 + t1 + t2;
         y[row * 2 + 1] = t1 - t2 - t3;
     }
@@ -93,9 +101,17 @@ pub fn conv_winograd(
     p: &ConvParams,
     out_shape: Shape,
 ) -> Tensor {
-    assert_eq!(p.kernel, (3, 3), "winograd F(2x2,3x3) requires a 3x3 kernel");
+    assert_eq!(
+        p.kernel,
+        (3, 3),
+        "winograd F(2x2,3x3) requires a 3x3 kernel"
+    );
     assert_eq!(p.stride, (1, 1), "winograd F(2x2,3x3) requires stride 1");
-    assert_eq!(input.layout(), DataLayout::Nchw, "winograd kernel requires NCHW input");
+    assert_eq!(
+        input.layout(),
+        DataLayout::Nchw,
+        "winograd kernel requires NCHW input"
+    );
     let in_s = input.shape();
     let (ic, ih, iw) = (in_s.c, in_s.h, in_s.w);
     let oc = out_shape.c;
@@ -109,8 +125,7 @@ pub fn conv_winograd(
         for c in 0..ic {
             let base = (o * ic + c) * 9;
             let g: [f32; 9] = w[base..base + 9].try_into().expect("9 taps");
-            u[(o * ic + c) * 16..(o * ic + c) * 16 + 16]
-                .copy_from_slice(&filter_transform(&g));
+            u[(o * ic + c) * 16..(o * ic + c) * 16 + 16].copy_from_slice(&filter_transform(&g));
         }
     }
 
@@ -184,12 +199,17 @@ mod tests {
         let input = Tensor::random(in_s, DataLayout::Nchw, seed);
         let p = ConvParams::square(oc, 3, 1, pad);
         let os = Shape::new(1, oc, ih + 2 * pad - 2, iw + 2 * pad - 2);
-        let w: Vec<f32> = (0..oc * ic * 9).map(|i| ((i * 29 + 11) % 17) as f32 * 0.05 - 0.4).collect();
+        let w: Vec<f32> = (0..oc * ic * 9)
+            .map(|i| ((i * 29 + 11) % 17) as f32 * 0.05 - 0.4)
+            .collect();
         let bias: Vec<f32> = (0..oc).map(|i| i as f32 * 0.02).collect();
         let expect = conv_direct_vanilla(&input, &w, &bias, &p, os, DataLayout::Nchw);
         let got = conv_winograd(&input, &w, &bias, &p, os);
         let d = expect.max_abs_diff(&got).unwrap();
-        assert!(d < 1e-3, "ih={ih} iw={iw} ic={ic} oc={oc} pad={pad}: diff {d}");
+        assert!(
+            d < 1e-3,
+            "ih={ih} iw={iw} ic={ic} oc={oc} pad={pad}: diff {d}"
+        );
     }
 
     #[test]

@@ -208,7 +208,14 @@ impl Primitive {
         processor: Processor,
         layout: DataLayout,
     ) -> Self {
-        Primitive { library, algorithm, lowering, blas, processor, layout }
+        Primitive {
+            library,
+            algorithm,
+            lowering,
+            blas,
+            processor,
+            layout,
+        }
     }
 
     /// Convenience constructor for Vanilla direct CPU/NCHW primitives.

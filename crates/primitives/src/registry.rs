@@ -76,7 +76,14 @@ pub fn candidates(node: &Node) -> Vec<Primitive> {
                     ));
                 }
             }
-            out.push(prim(Library::Nnpack, Algorithm::DirectOpt, Lowering::None, None, Cpu, Nchw));
+            out.push(prim(
+                Library::Nnpack,
+                Algorithm::DirectOpt,
+                Lowering::None,
+                None,
+                Cpu,
+                Nchw,
+            ));
             if is_3x3_s1 {
                 out.push(prim(
                     Library::Nnpack,
@@ -113,7 +120,14 @@ pub fn candidates(node: &Node) -> Vec<Primitive> {
                     Nchw,
                 ));
             }
-            out.push(prim(Library::CuDnn, Algorithm::Gemm, Lowering::Im2col, None, Gpu, Nchw));
+            out.push(prim(
+                Library::CuDnn,
+                Algorithm::Gemm,
+                Lowering::Im2col,
+                None,
+                Gpu,
+                Nchw,
+            ));
             if is_3x3_s1 {
                 out.push(prim(
                     Library::CuDnn,
@@ -127,8 +141,22 @@ pub fn candidates(node: &Node) -> Vec<Primitive> {
         }
         LayerKind::DepthwiseConv(_) => {
             out.push(Primitive::vanilla());
-            out.push(prim(Library::ArmCl, Algorithm::DirectOpt, Lowering::None, None, Cpu, Nhwc));
-            out.push(prim(Library::CuDnn, Algorithm::Direct, Lowering::None, None, Gpu, Nchw));
+            out.push(prim(
+                Library::ArmCl,
+                Algorithm::DirectOpt,
+                Lowering::None,
+                None,
+                Cpu,
+                Nhwc,
+            ));
+            out.push(prim(
+                Library::CuDnn,
+                Algorithm::Direct,
+                Lowering::None,
+                None,
+                Gpu,
+                Nchw,
+            ));
         }
         LayerKind::Pool(p) => {
             out.push(Primitive::vanilla());
@@ -144,27 +172,97 @@ pub fn candidates(node: &Node) -> Vec<Primitive> {
                     Nchw,
                 ));
             }
-            out.push(prim(Library::ArmCl, Algorithm::DirectOpt, Lowering::None, None, Cpu, Nhwc));
-            out.push(prim(Library::CuDnn, Algorithm::Direct, Lowering::None, None, Gpu, Nchw));
+            out.push(prim(
+                Library::ArmCl,
+                Algorithm::DirectOpt,
+                Lowering::None,
+                None,
+                Cpu,
+                Nhwc,
+            ));
+            out.push(prim(
+                Library::CuDnn,
+                Algorithm::Direct,
+                Lowering::None,
+                None,
+                Gpu,
+                Nchw,
+            ));
         }
         LayerKind::Relu => {
             out.push(Primitive::vanilla());
-            out.push(prim(Library::Vanilla, Algorithm::Direct, Lowering::None, None, Cpu, Nhwc));
-            out.push(prim(Library::ArmCl, Algorithm::DirectOpt, Lowering::None, None, Cpu, Nhwc));
-            out.push(prim(Library::CuDnn, Algorithm::Direct, Lowering::None, None, Gpu, Nchw));
+            out.push(prim(
+                Library::Vanilla,
+                Algorithm::Direct,
+                Lowering::None,
+                None,
+                Cpu,
+                Nhwc,
+            ));
+            out.push(prim(
+                Library::ArmCl,
+                Algorithm::DirectOpt,
+                Lowering::None,
+                None,
+                Cpu,
+                Nhwc,
+            ));
+            out.push(prim(
+                Library::CuDnn,
+                Algorithm::Direct,
+                Lowering::None,
+                None,
+                Gpu,
+                Nchw,
+            ));
         }
         LayerKind::BatchNorm => {
             out.push(Primitive::vanilla());
-            out.push(prim(Library::Vanilla, Algorithm::Direct, Lowering::None, None, Cpu, Nhwc));
-            out.push(prim(Library::ArmCl, Algorithm::DirectOpt, Lowering::None, None, Cpu, Nhwc));
-            out.push(prim(Library::CuDnn, Algorithm::Direct, Lowering::None, None, Gpu, Nchw));
+            out.push(prim(
+                Library::Vanilla,
+                Algorithm::Direct,
+                Lowering::None,
+                None,
+                Cpu,
+                Nhwc,
+            ));
+            out.push(prim(
+                Library::ArmCl,
+                Algorithm::DirectOpt,
+                Lowering::None,
+                None,
+                Cpu,
+                Nhwc,
+            ));
+            out.push(prim(
+                Library::CuDnn,
+                Algorithm::Direct,
+                Lowering::None,
+                None,
+                Gpu,
+                Nchw,
+            ));
         }
         LayerKind::Lrn(_) => {
             out.push(Primitive::vanilla());
-            out.push(prim(Library::CuDnn, Algorithm::Direct, Lowering::None, None, Gpu, Nchw));
+            out.push(prim(
+                Library::CuDnn,
+                Algorithm::Direct,
+                Lowering::None,
+                None,
+                Gpu,
+                Nchw,
+            ));
         }
         LayerKind::Fc(_) => {
-            out.push(prim(Library::Vanilla, Algorithm::Gemv, Lowering::None, None, Cpu, Nchw));
+            out.push(prim(
+                Library::Vanilla,
+                Algorithm::Gemv,
+                Lowering::None,
+                None,
+                Cpu,
+                Nchw,
+            ));
             for blas in BlasBackend::ALL {
                 out.push(prim(
                     Library::Blas,
@@ -183,25 +281,81 @@ pub fn candidates(node: &Node) -> Vec<Primitive> {
                     Nchw,
                 ));
             }
-            out.push(prim(Library::Sparse, Algorithm::SparseCsr, Lowering::None, None, Cpu, Nchw));
+            out.push(prim(
+                Library::Sparse,
+                Algorithm::SparseCsr,
+                Lowering::None,
+                None,
+                Cpu,
+                Nchw,
+            ));
             // Paper: cuDNN "does not include a specific implementation for
             // FC layer"; cuBLAS GEMV is the only GPU option.
-            out.push(prim(Library::CuBlas, Algorithm::Gemv, Lowering::None, None, Gpu, Nchw));
+            out.push(prim(
+                Library::CuBlas,
+                Algorithm::Gemv,
+                Lowering::None,
+                None,
+                Gpu,
+                Nchw,
+            ));
         }
         LayerKind::Softmax => {
             out.push(Primitive::vanilla());
-            out.push(prim(Library::CuDnn, Algorithm::Direct, Lowering::None, None, Gpu, Nchw));
+            out.push(prim(
+                Library::CuDnn,
+                Algorithm::Direct,
+                Lowering::None,
+                None,
+                Gpu,
+                Nchw,
+            ));
         }
         LayerKind::Concat => {
             out.push(Primitive::vanilla());
-            out.push(prim(Library::Vanilla, Algorithm::Direct, Lowering::None, None, Cpu, Nhwc));
-            out.push(prim(Library::CuDnn, Algorithm::Direct, Lowering::None, None, Gpu, Nchw));
+            out.push(prim(
+                Library::Vanilla,
+                Algorithm::Direct,
+                Lowering::None,
+                None,
+                Cpu,
+                Nhwc,
+            ));
+            out.push(prim(
+                Library::CuDnn,
+                Algorithm::Direct,
+                Lowering::None,
+                None,
+                Gpu,
+                Nchw,
+            ));
         }
         LayerKind::Add => {
             out.push(Primitive::vanilla());
-            out.push(prim(Library::Vanilla, Algorithm::Direct, Lowering::None, None, Cpu, Nhwc));
-            out.push(prim(Library::ArmCl, Algorithm::DirectOpt, Lowering::None, None, Cpu, Nhwc));
-            out.push(prim(Library::CuDnn, Algorithm::Direct, Lowering::None, None, Gpu, Nchw));
+            out.push(prim(
+                Library::Vanilla,
+                Algorithm::Direct,
+                Lowering::None,
+                None,
+                Cpu,
+                Nhwc,
+            ));
+            out.push(prim(
+                Library::ArmCl,
+                Algorithm::DirectOpt,
+                Lowering::None,
+                None,
+                Cpu,
+                Nhwc,
+            ));
+            out.push(prim(
+                Library::CuDnn,
+                Algorithm::Direct,
+                Lowering::None,
+                None,
+                Gpu,
+                Nchw,
+            ));
         }
     }
     out
@@ -213,7 +367,10 @@ pub fn candidates(node: &Node) -> Vec<Primitive> {
 /// Vanilla for the chosen primitive type in all those layers where the
 /// acceleration library is able to implement such primitive").
 pub fn candidates_of_library(node: &Node, library: Library) -> Vec<Primitive> {
-    candidates(node).into_iter().filter(|p| p.library == library).collect()
+    candidates(node)
+        .into_iter()
+        .filter(|p| p.library == library)
+        .collect()
 }
 
 #[cfg(test)]
@@ -280,7 +437,10 @@ mod tests {
             .flat_map(|n| n.layers().iter().map(|node| candidates(node).len()))
             .max()
             .unwrap();
-        assert_eq!(max, 13, "paper: maximum number of primitives per layer is 13");
+        assert_eq!(
+            max, 13,
+            "paper: maximum number of primitives per layer is 13"
+        );
     }
 
     #[test]
@@ -296,11 +456,17 @@ mod tests {
         use qsdnn_nn::{PoolKind, PoolParams};
         let mut b = NetworkBuilder::new("t");
         let x = b.input(Shape::new(1, 8, 16, 16));
-        let fast = b.pool("fast", x, PoolParams::square(PoolKind::Max, 2, 2, 0)).unwrap();
-        let slow = b.pool("slow", x, PoolParams::square(PoolKind::Max, 3, 2, 0)).unwrap();
+        let fast = b
+            .pool("fast", x, PoolParams::square(PoolKind::Max, 2, 2, 0))
+            .unwrap();
+        let slow = b
+            .pool("slow", x, PoolParams::square(PoolKind::Max, 3, 2, 0))
+            .unwrap();
         let net = b.build().unwrap();
         let has_nnpack = |id: qsdnn_nn::LayerId| {
-            candidates(net.node(id)).iter().any(|p| p.library == Library::Nnpack)
+            candidates(net.node(id))
+                .iter()
+                .any(|p| p.library == Library::Nnpack)
         };
         assert!(has_nnpack(fast));
         assert!(!has_nnpack(slow));

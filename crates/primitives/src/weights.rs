@@ -69,7 +69,11 @@ pub fn generate(node: &Node, in_shapes: &[Shape], seed: u64) -> LayerWeights {
             let len = p.out_channels * in_c * p.kernel.0 * p.kernel.1;
             LayerWeights {
                 w: sparse(&mut rng, len, scale, p.weight_density),
-                bias: if p.bias { dense(&mut rng, p.out_channels, 0.1) } else { Vec::new() },
+                bias: if p.bias {
+                    dense(&mut rng, p.out_channels, 0.1)
+                } else {
+                    Vec::new()
+                },
                 ..Default::default()
             }
         }
@@ -78,8 +82,17 @@ pub fn generate(node: &Node, in_shapes: &[Shape], seed: u64) -> LayerWeights {
             let fan_in = (p.kernel.0 * p.kernel.1) as f32;
             let scale = (2.0 / fan_in).sqrt();
             LayerWeights {
-                w: sparse(&mut rng, c * p.kernel.0 * p.kernel.1, scale, p.weight_density),
-                bias: if p.bias { dense(&mut rng, c, 0.1) } else { Vec::new() },
+                w: sparse(
+                    &mut rng,
+                    c * p.kernel.0 * p.kernel.1,
+                    scale,
+                    p.weight_density,
+                ),
+                bias: if p.bias {
+                    dense(&mut rng, c, 0.1)
+                } else {
+                    Vec::new()
+                },
                 ..Default::default()
             }
         }
@@ -87,8 +100,17 @@ pub fn generate(node: &Node, in_shapes: &[Shape], seed: u64) -> LayerWeights {
             let in_features = in_shapes[0].volume() / in_shapes[0].n.max(1);
             let scale = (2.0 / in_features as f32).sqrt();
             LayerWeights {
-                w: sparse(&mut rng, p.out_features * in_features, scale, p.weight_density),
-                bias: if p.bias { dense(&mut rng, p.out_features, 0.1) } else { Vec::new() },
+                w: sparse(
+                    &mut rng,
+                    p.out_features * in_features,
+                    scale,
+                    p.weight_density,
+                ),
+                bias: if p.bias {
+                    dense(&mut rng, p.out_features, 0.1)
+                } else {
+                    Vec::new()
+                },
                 ..Default::default()
             }
         }
@@ -113,7 +135,8 @@ mod tests {
     fn conv_net(density: f32) -> qsdnn_nn::Network {
         let mut b = NetworkBuilder::new("t");
         let x = b.input(Shape::new(1, 4, 8, 8));
-        b.conv("c", x, ConvParams::square(8, 3, 1, 1).with_density(density)).unwrap();
+        b.conv("c", x, ConvParams::square(8, 3, 1, 1).with_density(density))
+            .unwrap();
         b.build().unwrap()
     }
 

@@ -1,0 +1,110 @@
+//! Demo: drive 36 concurrent `plan` requests over three zoo networks
+//! through a real `qsdnn-serve` TCP server and verify that every plan is
+//! bit-identical to the single-threaded portfolio reference.
+//!
+//! Run with: `cargo run --release -p qsdnn-serve --example serve_demo`
+
+use std::time::Instant;
+
+use qsdnn::engine::{AnalyticalPlatform, Mode, Objective, Profiler};
+use qsdnn::nn::zoo;
+use qsdnn::Portfolio;
+use qsdnn_serve::protocol::PlanRequest;
+use qsdnn_serve::{PlanClient, PlanServer, ServerConfig};
+
+const NETWORKS: [&str; 3] = ["lenet5", "squeezenet_v11", "mobilenet_v1"];
+const CLIENTS_PER_NETWORK: usize = 12;
+const EPISODES: usize = 400;
+const SEEDS: [u64; 3] = [0x5EED, 7, 99];
+
+fn main() {
+    let config = ServerConfig::default();
+    let repeats = config.profile_repeats;
+    let server = PlanServer::start(config).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    println!("qsdnn-serve listening on {addr}");
+    println!(
+        "submitting {} concurrent plan requests ({} networks x {} clients)...\n",
+        NETWORKS.len() * CLIENTS_PER_NETWORK,
+        NETWORKS.len(),
+        CLIENTS_PER_NETWORK
+    );
+
+    let wall = Instant::now();
+    let mut handles = Vec::new();
+    for network in NETWORKS {
+        for client_id in 0..CLIENTS_PER_NETWORK {
+            handles.push(std::thread::spawn(move || {
+                let mut client = PlanClient::connect(addr).expect("connect");
+                let plan = client
+                    .plan(PlanRequest {
+                        network: network.to_string(),
+                        batch: 1,
+                        mode: Mode::Gpgpu,
+                        objective: Objective::Latency,
+                        episodes: EPISODES,
+                        seeds: SEEDS.to_vec(),
+                    })
+                    .expect("plan");
+                (network, client_id, plan)
+            }));
+        }
+    }
+    let responses: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let elapsed = wall.elapsed();
+
+    for network in NETWORKS {
+        let group: Vec<_> = responses.iter().filter(|(n, _, _)| *n == network).collect();
+        let (_, _, sample) = group[0];
+        println!(
+            "{network:<16} {:>9.3} ms  ({:.2}x vs vanilla, winner {}, key {})",
+            sample.best.best_cost_ms,
+            sample.speedup(),
+            sample.winner,
+            sample.plan_key
+        );
+
+        // Cross-check against the single-threaded reference.
+        let net = zoo::by_name(network, 1).expect("known");
+        let lut = Profiler::with_repeats(AnalyticalPlatform::tx2(), repeats)
+            .profile(&net, Mode::Gpgpu)
+            .with_objective(Objective::Latency);
+        let reference = Portfolio::paper_default(EPISODES, &SEEDS)
+            .run_sequential(&lut)
+            .expect("applicable");
+        for (_, id, plan) in &group {
+            assert_eq!(
+                plan.best.best_assignment, reference.best.best_assignment,
+                "{network} client {id}: plan differs from the sequential reference"
+            );
+            assert_eq!(
+                plan.best.best_cost_ms.to_bits(),
+                reference.best.best_cost_ms.to_bits()
+            );
+        }
+        println!(
+            "{:<16} all {} responses bit-identical to the sequential portfolio",
+            "",
+            group.len()
+        );
+    }
+
+    let mut client = PlanClient::connect(addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    println!(
+        "\nserved {} plans in {:.2} s | cache: {} misses (fresh searches), {} hits, \
+         {} coalesced -> {:.0}% hit rate | {} workers",
+        stats.plans,
+        elapsed.as_secs_f64(),
+        stats.plan_cache.misses,
+        stats.plan_cache.hits,
+        stats.plan_cache.coalesced,
+        stats.plan_cache.hit_rate() * 100.0,
+        stats.workers
+    );
+    assert!(
+        stats.plan_cache.hit_rate() > 0.0,
+        "cache must report a nonzero hit rate"
+    );
+    server.shutdown();
+}

@@ -1,0 +1,417 @@
+//! Content-addressed plan cache with single-flight coalescing and optional
+//! JSON spill-to-disk.
+//!
+//! Keys are stable fingerprints of *(LUT, objective, portfolio spec)* — see
+//! [`plan_key`] — so any two requests that could possibly produce different
+//! plans get different keys, and identical requests (even from different
+//! connections, even across process restarts via the spill directory) share
+//! one search.
+//!
+//! **Single-flight:** when several threads ask for the same missing key
+//! concurrently, exactly one runs the compute closure; the rest block on a
+//! condvar and receive the same `Arc`'d outcome. A panicking compute
+//! removes its in-flight marker on unwind so waiters retry rather than
+//! hang.
+//!
+//! **Bounded:** resident entries are capped ([`DEFAULT_MAX_ENTRIES`] by
+//! default, tunable via [`PlanCache::with_max_entries`]); inserting past
+//! the cap evicts an arbitrary ready entry. Spilled files are not evicted
+//! — the disk copy is the durable tier. Smarter (LRU / cost-weighted)
+//! eviction is a roadmap item.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use qsdnn::engine::{Fnv64, Objective};
+use serde::{Deserialize, Serialize};
+
+/// Builds the content address for one plan scenario.
+///
+/// The LUT fingerprint already covers network, platform, mode and every
+/// profiled number; the objective and portfolio fingerprints cover what the
+/// search will do with them.
+pub fn plan_key(lut_fingerprint: u64, objective: &Objective, portfolio_fingerprint: u64) -> String {
+    let mut h = Fnv64::new();
+    h.write_str("qsdnn-plan-v1");
+    h.write_u64(lut_fingerprint);
+    objective.fingerprint_into(&mut h);
+    h.write_u64(portfolio_fingerprint);
+    format!("{:016x}", h.finish())
+}
+
+/// Cache effectiveness counters (monotonic since construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Requests answered from memory.
+    pub hits: u64,
+    /// Requests that ran a fresh search.
+    pub misses: u64,
+    /// Requests that piggy-backed on another request's in-flight search.
+    pub coalesced: u64,
+    /// Requests answered from the spill directory.
+    pub spill_loads: u64,
+    /// Entries currently resident in memory.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Fraction of requests that avoided a fresh search.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.coalesced + self.spill_loads;
+        if total == 0 {
+            0.0
+        } else {
+            (self.hits + self.coalesced + self.spill_loads) as f64 / total as f64
+        }
+    }
+}
+
+enum Slot<T> {
+    InFlight,
+    Ready(Arc<T>),
+}
+
+/// Default cap on resident entries (a plan outcome with a 1000-episode
+/// learning curve is tens of kB; ~4k entries keeps the cache far from
+/// out-of-memory territory while covering thousands of hot scenarios).
+pub const DEFAULT_MAX_ENTRIES: usize = 4096;
+
+/// Content-addressed, single-flight cache. `T` is the cached artifact —
+/// `PortfolioOutcome` for plans, `CostLut` for Phase-1 profiles.
+pub struct PlanCache<T> {
+    slots: Mutex<HashMap<String, Slot<T>>>,
+    ready: Condvar,
+    spill_dir: Option<PathBuf>,
+    max_entries: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    spill_loads: AtomicU64,
+}
+
+/// Removes the in-flight marker if the computing thread unwinds, waking
+/// waiters so they can retry instead of blocking forever.
+struct InFlightGuard<'a, T: Serialize + Deserialize + Clone> {
+    cache: &'a PlanCache<T>,
+    key: &'a str,
+    completed: bool,
+}
+
+impl<T: Serialize + Deserialize + Clone> Drop for InFlightGuard<'_, T> {
+    fn drop(&mut self) {
+        if !self.completed {
+            let mut slots = self.cache.slots.lock().expect("cache lock");
+            if matches!(slots.get(self.key), Some(Slot::InFlight)) {
+                slots.remove(self.key);
+            }
+            drop(slots);
+            self.cache.ready.notify_all();
+        }
+    }
+}
+
+impl<T: Serialize + Deserialize + Clone> PlanCache<T> {
+    /// In-memory cache bounded at [`DEFAULT_MAX_ENTRIES`].
+    pub fn new() -> Self {
+        PlanCache {
+            slots: Mutex::new(HashMap::new()),
+            ready: Condvar::new(),
+            spill_dir: None,
+            max_entries: DEFAULT_MAX_ENTRIES,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            spill_loads: AtomicU64::new(0),
+        }
+    }
+
+    /// Cache that additionally persists every computed plan as
+    /// `<dir>/<key>.json` and warm-starts from such files on miss.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the directory cannot be created.
+    pub fn with_spill_dir(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut cache = PlanCache::new();
+        cache.spill_dir = Some(dir);
+        Ok(cache)
+    }
+
+    /// Returns the cache with a different resident-entry cap (min 1).
+    pub fn with_max_entries(mut self, max_entries: usize) -> Self {
+        self.max_entries = max_entries.max(1);
+        self
+    }
+
+    fn spill_path(&self, key: &str) -> Option<PathBuf> {
+        self.spill_dir
+            .as_ref()
+            .map(|d| d.join(format!("{key}.json")))
+    }
+
+    fn load_spilled(&self, key: &str) -> Option<T> {
+        let path = self.spill_path(key)?;
+        let json = std::fs::read_to_string(path).ok()?;
+        serde_json::from_str(&json).ok()
+    }
+
+    fn spill(&self, key: &str, outcome: &T) {
+        if let Some(path) = self.spill_path(key) {
+            if let Ok(json) = serde_json::to_string(outcome) {
+                // Write-then-rename so a crashed writer never leaves a
+                // half-written plan that a future load would reject.
+                let tmp = path.with_extension("json.tmp");
+                if std::fs::write(&tmp, json).is_ok() {
+                    let _ = std::fs::rename(&tmp, &path);
+                }
+            }
+        }
+    }
+
+    /// Looks up `key`, computing it with `compute` on a miss. Guarantees at
+    /// most one concurrent `compute` per key (single-flight). Returns the
+    /// outcome and whether it was served without running `compute` on this
+    /// call.
+    pub fn get_or_compute(&self, key: &str, compute: impl FnOnce() -> T) -> (Arc<T>, bool) {
+        {
+            let mut slots = self.slots.lock().expect("cache lock");
+            loop {
+                match slots.get(key) {
+                    Some(Slot::Ready(outcome)) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return (Arc::clone(outcome), true);
+                    }
+                    Some(Slot::InFlight) => {
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                        // Wait for the computing thread; loop because the
+                        // slot may have been abandoned on panic.
+                        slots = self.ready.wait(slots).expect("cache lock");
+                        // Correct the double count if we loop again.
+                        match slots.get(key) {
+                            Some(Slot::Ready(outcome)) => {
+                                return (Arc::clone(outcome), true);
+                            }
+                            Some(Slot::InFlight) => {
+                                self.coalesced.fetch_sub(1, Ordering::Relaxed);
+                                continue;
+                            }
+                            None => {
+                                // Abandoned: fall through to compute here.
+                                self.coalesced.fetch_sub(1, Ordering::Relaxed);
+                                slots.insert(key.to_string(), Slot::InFlight);
+                                break;
+                            }
+                        }
+                    }
+                    None => {
+                        slots.insert(key.to_string(), Slot::InFlight);
+                        break;
+                    }
+                }
+            }
+        }
+
+        // We own the in-flight slot. Check disk first, then compute.
+        let mut guard = InFlightGuard {
+            cache: self,
+            key,
+            completed: false,
+        };
+        let (outcome, from_spill) = match self.load_spilled(key) {
+            Some(o) => (o, true),
+            None => (compute(), false),
+        };
+        let outcome = Arc::new(outcome);
+        {
+            let mut slots = self.slots.lock().expect("cache lock");
+            // Keep the cache bounded: evict an arbitrary ready entry when
+            // at capacity (never an in-flight one — threads wait on those).
+            if slots.len() >= self.max_entries {
+                let victim = slots
+                    .iter()
+                    .find(|(k, v)| matches!(v, Slot::Ready(_)) && k.as_str() != key)
+                    .map(|(k, _)| k.clone());
+                if let Some(victim) = victim {
+                    slots.remove(&victim);
+                }
+            }
+            slots.insert(key.to_string(), Slot::Ready(Arc::clone(&outcome)));
+        }
+        guard.completed = true;
+        drop(guard);
+        self.ready.notify_all();
+        if from_spill {
+            self.spill_loads.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.spill(key, &outcome);
+        }
+        (outcome, from_spill)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            spill_loads: self.spill_loads.load(Ordering::Relaxed),
+            entries: self.slots.lock().expect("cache lock").len() as u64,
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T: Serialize + Deserialize + Clone> Default for PlanCache<T> {
+    fn default() -> Self {
+        PlanCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsdnn::engine::toy;
+    use qsdnn::Portfolio;
+    use std::sync::atomic::AtomicUsize;
+
+    use qsdnn::PortfolioOutcome;
+
+    fn outcome() -> PortfolioOutcome {
+        Portfolio::paper_default(60, &[1])
+            .run_sequential(&toy::fig1_lut())
+            .expect("applicable")
+    }
+
+    #[test]
+    fn hit_returns_identical_plan() {
+        let cache = PlanCache::<PortfolioOutcome>::new();
+        let (first, hit1) = cache.get_or_compute("k", outcome);
+        assert!(!hit1);
+        let (second, hit2) = cache.get_or_compute("k", || panic!("must not recompute"));
+        assert!(hit2);
+        assert_eq!(*first, *second, "cache hit must return the identical plan");
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_run_one_search() {
+        let cache = Arc::new(PlanCache::<PortfolioOutcome>::new());
+        let computes = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..16 {
+            let cache = Arc::clone(&cache);
+            let computes = Arc::clone(&computes);
+            handles.push(std::thread::spawn(move || {
+                let (out, _) = cache.get_or_compute("same-key", || {
+                    computes.fetch_add(1, Ordering::SeqCst);
+                    // Give the other threads time to pile up on the slot.
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    outcome()
+                });
+                out.best.best_cost_ms
+            }));
+        }
+        let costs: Vec<f64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "single-flight");
+        assert!(costs.windows(2).all(|w| w[0] == w[1]));
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits + stats.coalesced, 15);
+        assert!(stats.hit_rate() > 0.9);
+    }
+
+    #[test]
+    fn panicking_compute_releases_the_slot() {
+        let cache = PlanCache::<PortfolioOutcome>::new();
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_compute("k", || panic!("search exploded"));
+        }));
+        assert!(boom.is_err());
+        // The slot must be free again: a retry computes normally.
+        let (out, hit) = cache.get_or_compute("k", outcome);
+        assert!(!hit);
+        assert!(out.best.best_cost_ms.is_finite());
+    }
+
+    #[test]
+    fn spill_survives_a_new_cache_instance() {
+        let dir = std::env::temp_dir().join(format!("qsdnn_spill_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let cache = PlanCache::<PortfolioOutcome>::with_spill_dir(&dir).unwrap();
+            cache.get_or_compute("spilled", outcome);
+        }
+        let cache = PlanCache::<PortfolioOutcome>::with_spill_dir(&dir).unwrap();
+        let (out, served_without_compute) =
+            cache.get_or_compute("spilled", || panic!("must load from disk"));
+        assert!(served_without_compute);
+        assert_eq!(out.best.best_assignment, outcome().best.best_assignment);
+        assert_eq!(cache.stats().spill_loads, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn capacity_bound_evicts_but_keeps_the_newest_entry() {
+        let cache = PlanCache::<PortfolioOutcome>::new().with_max_entries(2);
+        for key in ["a", "b", "c", "d"] {
+            cache.get_or_compute(key, outcome);
+            assert!(cache.len() <= 2, "bound must hold after every insert");
+        }
+        // The most recent insertion always survives its own insert.
+        let (_, hit) = cache.get_or_compute("d", || panic!("d must be resident"));
+        assert!(hit);
+        // Misses on evicted keys recompute (and stay within the bound).
+        let recomputed = cache.stats().misses;
+        assert_eq!(
+            recomputed, 4,
+            "each distinct key computed exactly once so far"
+        );
+    }
+
+    #[test]
+    fn plan_keys_separate_scenarios() {
+        let lut = toy::fig1_lut();
+        let p = Portfolio::paper_default(100, &[1]);
+        let base = plan_key(lut.fingerprint(), &Objective::Latency, p.fingerprint());
+        assert_eq!(base.len(), 16);
+        assert_eq!(
+            base,
+            plan_key(lut.fingerprint(), &Objective::Latency, p.fingerprint())
+        );
+        assert_ne!(
+            base,
+            plan_key(lut.fingerprint(), &Objective::Energy, p.fingerprint())
+        );
+        assert_ne!(
+            base,
+            plan_key(
+                toy::small_chain_lut().fingerprint(),
+                &Objective::Latency,
+                p.fingerprint()
+            )
+        );
+        assert_ne!(
+            base,
+            plan_key(
+                lut.fingerprint(),
+                &Objective::Latency,
+                Portfolio::paper_default(101, &[1]).fingerprint()
+            )
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Typed client for the plan-compilation service.
+
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use qsdnn::engine::{CostLut, Objective};
+
+use crate::protocol::{
+    read_message, write_message, PlanRequest, PlanResponse, ProfileRequest, ProfileResponse,
+    Request, Response, SearchRequest, StatsResponse, PROTOCOL_VERSION,
+};
+use crate::ServeError;
+
+/// A connected client. One request is in flight at a time per client;
+/// open several clients for concurrency.
+pub struct PlanClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl PlanClient {
+    /// Connects and verifies the protocol revision with a ping.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection errors or a protocol-version mismatch.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        let mut client = PlanClient {
+            reader: BufReader::new(stream),
+            writer,
+        };
+        match client.request(&Request::Ping {
+            version: PROTOCOL_VERSION,
+        })? {
+            Response::Pong { .. } => Ok(client),
+            Response::Error { message } => Err(ServeError::Remote(message)),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected handshake reply {other:?}"
+            ))),
+        }
+    }
+
+    /// Sets read/write timeouts on the underlying socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket option failures.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> Result<(), ServeError> {
+        self.writer.set_read_timeout(timeout)?;
+        self.writer.set_write_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Sends one request and reads one response.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, malformed responses, or a server-side close.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ServeError> {
+        write_message(&mut self.writer, req)?;
+        read_message(&mut self.reader)?
+            .ok_or_else(|| ServeError::Protocol("server closed the connection".into()))
+    }
+
+    fn expect_plan(&mut self, req: &Request) -> Result<PlanResponse, ServeError> {
+        match self.request(req)? {
+            Response::Plan(plan) => Ok(plan),
+            Response::Error { message } => Err(ServeError::Remote(message)),
+            other => Err(ServeError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Profiles a zoo network on the server.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a server-side rejection.
+    pub fn profile(&mut self, req: ProfileRequest) -> Result<ProfileResponse, ServeError> {
+        match self.request(&Request::Profile(req))? {
+            Response::Profile(p) => Ok(p),
+            Response::Error { message } => Err(ServeError::Remote(message)),
+            other => Err(ServeError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Runs the search portfolio on a client-supplied LUT.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a server-side rejection.
+    pub fn search(
+        &mut self,
+        lut: CostLut,
+        objective: Objective,
+        episodes: usize,
+        seeds: Vec<u64>,
+    ) -> Result<PlanResponse, ServeError> {
+        self.expect_plan(&Request::Search(SearchRequest {
+            lut,
+            objective,
+            episodes,
+            seeds,
+        }))
+    }
+
+    /// Requests an end-to-end plan (profile + portfolio search, cached).
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a server-side rejection.
+    pub fn plan(&mut self, req: PlanRequest) -> Result<PlanResponse, ServeError> {
+        self.expect_plan(&Request::Plan(req))
+    }
+
+    /// Fetches service counters.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a server-side rejection.
+    pub fn stats(&mut self) -> Result<StatsResponse, ServeError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            Response::Error { message } => Err(ServeError::Remote(message)),
+            other => Err(ServeError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! # `qsdnn-serve` — the QS-DNN plan-compilation service
+//!
+//! The paper's pipeline (profile → Q-learning search) is a batch job; this
+//! crate turns it into a long-lived, concurrent service in the spirit of
+//! Marco et al.'s *Adaptive Model Selection* setting: many networks, many
+//! objectives, many clients, one warm server.
+//!
+//! Three mechanisms do the work:
+//!
+//! * **Search portfolio** ([`run_portfolio_parallel`]) — every request
+//!   races multi-seed QS-DNN against the baselines (random, annealing,
+//!   chain DP, PBQP) on a [`WorkerPool`] of `std::thread` workers with
+//!   channel fan-in. The reduction is deterministic (lowest cost, ties to
+//!   the lowest member index), so a parallel run is bit-identical to the
+//!   sequential reference [`qsdnn::Portfolio::run_sequential`].
+//! * **Content-addressed plan cache** ([`PlanCache`]) — plans are keyed by
+//!   a stable fingerprint of *(LUT, objective, portfolio spec)* with
+//!   single-flight coalescing (concurrent identical requests trigger one
+//!   search) and optional JSON spill-to-disk that survives restarts.
+//! * **JSON-lines TCP protocol** ([`protocol`]) — `profile`, `search`,
+//!   `plan` and `stats` requests over plain `std::net`, one JSON document
+//!   per line; [`PlanServer`] serves it, [`PlanClient`] speaks it.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use qsdnn_serve::{PlanClient, PlanServer, ServerConfig};
+//! use qsdnn_serve::protocol::PlanRequest;
+//!
+//! // Ephemeral port, worker pool sized to the machine.
+//! let server = PlanServer::start(ServerConfig::default()).unwrap();
+//! let mut client = PlanClient::connect(server.local_addr()).unwrap();
+//!
+//! let mut req = PlanRequest::latency("lenet5");
+//! req.episodes = 200; // small budget to keep the doctest fast
+//! let plan = client.plan(req.clone()).unwrap();
+//! assert!(plan.speedup() > 1.0, "the plan must beat all-Vanilla");
+//!
+//! // Same scenario again: served from the content-addressed cache.
+//! let again = client.plan(req).unwrap();
+//! assert!(again.cache_hit);
+//! assert_eq!(again.best.best_assignment, plan.best.best_assignment);
+//! server.shutdown();
+//! ```
+//!
+//! From the shell: `qsdnn-cli serve --addr 127.0.0.1:7878` and
+//! `qsdnn-cli submit --addr 127.0.0.1:7878 --network mobilenet_v1`.
+
+mod cache;
+mod client;
+mod pool;
+mod portfolio;
+pub mod protocol;
+mod server;
+
+pub use cache::{plan_key, CacheStats, PlanCache};
+pub use client::PlanClient;
+pub use pool::WorkerPool;
+pub use portfolio::run_portfolio_parallel;
+pub use server::{resolve, start_local, PlanServer, ServerConfig};
+
+use std::fmt;
+
+/// Service-level error.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// Malformed message or framing violation.
+    Protocol(String),
+    /// The peer reported an error.
+    Remote(String),
+    /// The request was invalid before any work started.
+    BadRequest(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ServeError::Remote(m) => write!(f, "server error: {m}"),
+            ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}

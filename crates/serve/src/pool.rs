@@ -1,0 +1,144 @@
+//! Fixed-size `std::thread` worker pool with channel-based job intake.
+//!
+//! Deliberately minimal: an `mpsc` job queue shared behind a mutex, one
+//! receiver loop per worker. Search jobs are CPU-bound and coarse (one
+//! portfolio member each), so queueing overhead is irrelevant next to job
+//! runtime; what matters is that the pool is `Sync`, drains fully on drop,
+//! and never unwinds across a worker (a panicking job poisons nothing —
+//! the panic is contained and the worker keeps serving).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size worker pool.
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Starts `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("qsdnn-worker-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Pool sized to the machine: one worker per available core, capped.
+    pub fn with_default_size() -> Self {
+        let cores = std::thread::available_parallelism().map_or(4, usize::from);
+        WorkerPool::new(cores.clamp(2, 32))
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job; it runs on the first free worker.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.tx
+            .as_ref()
+            .expect("pool is alive while owned")
+            .send(Box::new(job))
+            .expect("workers outlive the sender");
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the lock only to dequeue, never while running the job.
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        match job {
+            Ok(job) => {
+                // A panicking search job must not kill the worker; the
+                // submitting side observes the failure through its result
+                // channel hanging up.
+                let _ = catch_unwind(AssertUnwindSafe(job));
+            }
+            Err(_) => return, // all senders dropped: shut down
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc::channel;
+
+    #[test]
+    fn runs_all_jobs_across_workers() {
+        let pool = WorkerPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = channel();
+        for _ in 0..64 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            });
+        }
+        for _ in 0..64 {
+            rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn drop_drains_pending_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(2);
+            for _ in 0..32 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        } // drop joins
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_workers() {
+        let pool = WorkerPool::new(1);
+        pool.execute(|| panic!("boom"));
+        let (tx, rx) = channel();
+        pool.execute(move || tx.send(42).unwrap());
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap(),
+            42
+        );
+    }
+}

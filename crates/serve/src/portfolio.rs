@@ -1,0 +1,98 @@
+//! Parallel portfolio execution on the worker pool.
+//!
+//! Fans each [`PortfolioMember`](qsdnn::PortfolioMember) out as one pool
+//! job, fans results back in over an `mpsc` channel, and reduces with
+//! [`Portfolio::select_best`] — the same deterministic reduction the
+//! sequential reference uses, so for identical specs and seeds the
+//! parallel winner is bit-identical to
+//! [`Portfolio::run_sequential`](qsdnn::Portfolio::run_sequential)'s
+//! regardless of completion order.
+
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+
+use qsdnn::engine::CostLut;
+use qsdnn::{Portfolio, PortfolioOutcome};
+
+use crate::pool::WorkerPool;
+
+/// Runs every portfolio member concurrently on `pool` and reduces
+/// deterministically.
+///
+/// Returns `None` for an empty portfolio, when every member is
+/// inapplicable, or if a member panics (its result is dropped; the
+/// reduction then covers the surviving members — and returns `None` only
+/// if none survive).
+pub fn run_portfolio_parallel(
+    portfolio: &Portfolio,
+    lut: &Arc<CostLut>,
+    pool: &WorkerPool,
+) -> Option<PortfolioOutcome> {
+    let (tx, rx) = channel();
+    let mut submitted = 0usize;
+    for (index, member) in portfolio.members.iter().enumerate() {
+        let member = member.clone();
+        let lut = Arc::clone(lut);
+        let tx = tx.clone();
+        pool.execute(move || {
+            let report = member.run(&lut);
+            // A dropped receiver (submitter gone) is fine; ignore.
+            let _ = tx.send((index, report));
+        });
+        submitted += 1;
+    }
+    drop(tx);
+    // Fan-in: collect until every sender is done. A panicked job drops its
+    // sender without sending, so `rx` terminates regardless.
+    let mut results = Vec::with_capacity(submitted);
+    while let Ok(item) = rx.recv() {
+        results.push(item);
+    }
+    portfolio.select_best(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsdnn::engine::toy;
+
+    #[test]
+    fn parallel_matches_sequential_bit_for_bit() {
+        let pool = WorkerPool::new(4);
+        for lut in [toy::fig1_lut(), toy::small_chain_lut()] {
+            let portfolio = Portfolio::paper_default(200, &[0x5EED, 1, 2]);
+            let sequential = portfolio.run_sequential(&lut).expect("applicable");
+            let lut = Arc::new(lut);
+            for _ in 0..3 {
+                let parallel = run_portfolio_parallel(&portfolio, &lut, &pool).expect("applicable");
+                assert_eq!(parallel.winner_index, sequential.winner_index);
+                assert_eq!(parallel.winner, sequential.winner);
+                assert_eq!(
+                    parallel.best.best_assignment,
+                    sequential.best.best_assignment
+                );
+                assert_eq!(
+                    parallel.best.best_cost_ms.to_bits(),
+                    sequential.best.best_cost_ms.to_bits(),
+                    "costs must match bit-for-bit"
+                );
+                assert_eq!(parallel.best.curve, sequential.best.curve);
+                // Member summaries match except for wall time.
+                for (p, s) in parallel.members.iter().zip(&sequential.members) {
+                    assert_eq!(p.label, s.label);
+                    assert_eq!(p.best_cost_ms, s.best_cost_ms);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversubscribed_pool_still_completes() {
+        // More members than workers: jobs must queue, not deadlock.
+        let pool = WorkerPool::new(1);
+        let lut = Arc::new(toy::small_chain_lut());
+        let portfolio = Portfolio::paper_default(80, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let out = run_portfolio_parallel(&portfolio, &lut, &pool).expect("applicable");
+        assert_eq!(out.members.len(), 8 + 4);
+    }
+}

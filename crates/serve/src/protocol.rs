@@ -1,0 +1,332 @@
+//! Wire protocol of the plan-compilation service: JSON-lines over TCP.
+//!
+//! Every message is one JSON document on one `\n`-terminated line —
+//! trivially debuggable with `nc` and framing-safe without length
+//! prefixes (the serializer never emits raw newlines). Requests and
+//! responses are externally-tagged enums, so a `plan` request reads as
+//! `{"Plan":{...}}` on the wire.
+
+use std::io::{BufRead, Write};
+
+use qsdnn::engine::{CostLut, Mode, Objective};
+use qsdnn::{MemberSummary, SearchReport};
+use serde::{Deserialize, Serialize};
+
+use crate::cache::CacheStats;
+use crate::ServeError;
+
+/// Protocol revision; servers reject requests from a different major rev.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Default episode budget when a request passes `episodes == 0`.
+pub fn default_episodes(layers: usize) -> usize {
+    1000.max(40 * layers)
+}
+
+/// Phase-1 profiling of a zoo network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileRequest {
+    /// Zoo network name (e.g. `"mobilenet_v1"`).
+    pub network: String,
+    /// Batch size (≥1).
+    pub batch: usize,
+    /// Processor mode.
+    pub mode: Mode,
+    /// Profiling repeats (0 = server default).
+    pub repeats: usize,
+}
+
+/// Portfolio search over a client-supplied LUT.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchRequest {
+    /// The Phase-1 LUT to search (profiled anywhere, e.g. on-device).
+    pub lut: CostLut,
+    /// Objective to scalarize the LUT with.
+    pub objective: Objective,
+    /// Episode budget per stochastic member (0 = server default).
+    pub episodes: usize,
+    /// QS-DNN seeds (empty = server default seeds).
+    pub seeds: Vec<u64>,
+}
+
+/// End-to-end plan compilation: profile (server-side, cached) + portfolio
+/// search (cached).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanRequest {
+    /// Zoo network name.
+    pub network: String,
+    /// Batch size (≥1).
+    pub batch: usize,
+    /// Processor mode.
+    pub mode: Mode,
+    /// Objective to optimize.
+    pub objective: Objective,
+    /// Episode budget per stochastic member (0 = server default).
+    pub episodes: usize,
+    /// QS-DNN seeds (empty = server default seeds).
+    pub seeds: Vec<u64>,
+}
+
+impl PlanRequest {
+    /// Latency plan for a network at batch 1 in GPGPU mode with server
+    /// defaults — the common case.
+    pub fn latency(network: impl Into<String>) -> Self {
+        PlanRequest {
+            network: network.into(),
+            batch: 1,
+            mode: Mode::Gpgpu,
+            objective: Objective::Latency,
+            episodes: 0,
+            seeds: Vec::new(),
+        }
+    }
+}
+
+/// Client → server message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Protocol handshake / liveness probe.
+    Ping {
+        /// Client protocol revision.
+        version: u32,
+    },
+    /// Run Phase 1 on the server.
+    Profile(ProfileRequest),
+    /// Run the search portfolio on a supplied LUT.
+    Search(SearchRequest),
+    /// Profile + search, both cached.
+    Plan(PlanRequest),
+    /// Service counters.
+    Stats,
+}
+
+/// Result of a profile request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileResponse {
+    /// The assembled LUT.
+    pub lut: CostLut,
+    /// Stable content fingerprint of `lut` (hex).
+    pub fingerprint: String,
+}
+
+/// Result of a plan/search request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanResponse {
+    /// Network the plan is for.
+    pub network: String,
+    /// Content address of this plan in the cache.
+    pub plan_key: String,
+    /// Whether the plan was served without running a fresh search.
+    pub cache_hit: bool,
+    /// The winning report (assignment, cost, curve).
+    pub best: SearchReport,
+    /// Label of the winning portfolio member.
+    pub winner: String,
+    /// Every member's summary, in portfolio order.
+    pub members: Vec<MemberSummary>,
+    /// Cost of the all-Vanilla reference on the same objective.
+    pub vanilla_cost_ms: f64,
+}
+
+impl PlanResponse {
+    /// Speed-up of the plan over the all-Vanilla reference.
+    pub fn speedup(&self) -> f64 {
+        if self.best.best_cost_ms > 0.0 {
+            self.vanilla_cost_ms / self.best.best_cost_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Service counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsResponse {
+    /// Server protocol revision.
+    pub version: u32,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Requests handled (any kind).
+    pub requests: u64,
+    /// Plan/search requests handled.
+    pub plans: u64,
+    /// Plan-cache counters.
+    pub plan_cache: CacheStats,
+    /// Profile-cache counters.
+    pub profile_cache: CacheStats,
+    /// Worker threads in the search pool.
+    pub workers: u64,
+}
+
+/// Server → client message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Handshake answer.
+    Pong {
+        /// Server protocol revision.
+        version: u32,
+    },
+    /// Profile result.
+    Profile(ProfileResponse),
+    /// Plan/search result.
+    Plan(PlanResponse),
+    /// Counters.
+    Stats(StatsResponse),
+    /// Request-level failure (the connection stays usable).
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+/// Writes one message as a JSON line.
+///
+/// # Errors
+///
+/// Propagates serialization and I/O failures.
+pub fn write_message<T: Serialize>(w: &mut impl Write, msg: &T) -> Result<(), ServeError> {
+    let json = serde_json::to_string(msg).map_err(|e| ServeError::Protocol(e.to_string()))?;
+    debug_assert!(
+        !json.contains('\n'),
+        "JSON-lines framing requires single-line docs"
+    );
+    w.write_all(json.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one JSON-line message; `Ok(None)` on clean EOF. Blank lines are
+/// skipped rather than treated as EOF, so a stray keepalive newline never
+/// drops a live connection.
+///
+/// # Errors
+///
+/// Propagates I/O failures and malformed JSON.
+pub fn read_message<T: serde::Deserialize>(r: &mut impl BufRead) -> Result<Option<T>, ServeError> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = r.read_line(&mut line)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            // A stray keepalive newline is not EOF; keep the connection.
+            continue;
+        }
+        return serde_json::from_str(trimmed)
+            .map(Some)
+            .map_err(|e| ServeError::Protocol(e.to_string()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsdnn::engine::toy;
+
+    #[test]
+    fn request_roundtrip() {
+        let reqs = vec![
+            Request::Ping {
+                version: PROTOCOL_VERSION,
+            },
+            Request::Profile(ProfileRequest {
+                network: "lenet5".into(),
+                batch: 2,
+                mode: Mode::Cpu,
+                repeats: 5,
+            }),
+            Request::Search(SearchRequest {
+                lut: toy::fig1_lut(),
+                objective: Objective::Weighted { lambda: 0.5 },
+                episodes: 300,
+                seeds: vec![1, 2, 3],
+            }),
+            Request::Plan(PlanRequest::latency("mobilenet_v1")),
+            Request::Stats,
+        ];
+        for req in reqs {
+            let json = serde_json::to_string(&req).unwrap();
+            assert!(!json.contains('\n'));
+            let back: Request = serde_json::from_str(&json).unwrap();
+            assert_eq!(req, back);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = Response::Plan(PlanResponse {
+            network: "lenet5".into(),
+            plan_key: "00ff".into(),
+            cache_hit: true,
+            best: SearchReport {
+                method: "qs-dnn".into(),
+                network: "lenet5".into(),
+                best_assignment: vec![0, 1, 2],
+                best_cost_ms: 1.25,
+                episodes: 10,
+                curve: Vec::new(),
+                wall_time_ms: 3.5,
+            },
+            winner: "qs-dnn(seed=0x1)".into(),
+            members: vec![MemberSummary {
+                label: "pbqp".into(),
+                best_cost_ms: Some(1.5),
+                wall_time_ms: 0.1,
+            }],
+            vanilla_cost_ms: 5.0,
+        });
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(resp, back);
+        let err = Response::Error {
+            message: "unknown network".into(),
+        };
+        let back: Response = serde_json::from_str(&serde_json::to_string(&err).unwrap()).unwrap();
+        assert_eq!(err, back);
+    }
+
+    #[test]
+    fn framing_roundtrip_through_a_buffer() {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &Request::Stats).unwrap();
+        write_message(&mut buf, &Request::Ping { version: 1 }).unwrap();
+        buf.extend_from_slice(b"\n\n"); // stray blank lines must be skipped
+        write_message(&mut buf, &Request::Stats).unwrap();
+        let mut r = std::io::BufReader::new(buf.as_slice());
+        let a: Request = read_message(&mut r).unwrap().unwrap();
+        let b: Request = read_message(&mut r).unwrap().unwrap();
+        assert_eq!(a, Request::Stats);
+        assert_eq!(b, Request::Ping { version: 1 });
+        let c: Request = read_message(&mut r).unwrap().expect("blank lines skipped");
+        assert_eq!(c, Request::Stats);
+        assert!(read_message::<Request>(&mut r).unwrap().is_none(), "EOF");
+    }
+
+    #[test]
+    fn speedup_is_vanilla_relative() {
+        let mut resp = PlanResponse {
+            network: "x".into(),
+            plan_key: String::new(),
+            cache_hit: false,
+            best: SearchReport {
+                method: "m".into(),
+                network: "x".into(),
+                best_assignment: vec![],
+                best_cost_ms: 2.0,
+                episodes: 0,
+                curve: vec![],
+                wall_time_ms: 0.0,
+            },
+            winner: String::new(),
+            members: vec![],
+            vanilla_cost_ms: 6.0,
+        };
+        assert!((resp.speedup() - 3.0).abs() < 1e-12);
+        resp.best.best_cost_ms = 0.0;
+        assert!(resp.speedup().is_infinite());
+    }
+}

@@ -1,0 +1,365 @@
+//! The plan-compilation TCP server.
+//!
+//! One acceptor thread; one lightweight handler thread per connection
+//! (connections mostly block on I/O); all search work fans onto the shared
+//! [`WorkerPool`]. Plans and profiles are content-addressed in
+//! [`PlanCache`]s, so concurrent identical requests coalesce into one
+//! search regardless of which connection they arrive on.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use qsdnn::engine::{AnalyticalPlatform, CostLut, Objective, Profiler};
+use qsdnn::nn::zoo;
+use qsdnn::Portfolio;
+
+use crate::cache::{plan_key, PlanCache};
+use crate::pool::WorkerPool;
+use crate::portfolio::run_portfolio_parallel;
+use crate::protocol::{
+    default_episodes, read_message, write_message, PlanRequest, PlanResponse, ProfileRequest,
+    ProfileResponse, Request, Response, SearchRequest, StatsResponse, PROTOCOL_VERSION,
+};
+use crate::ServeError;
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Search worker threads (0 = one per core, clamped to [2, 32]).
+    pub threads: usize,
+    /// Optional plan spill directory (content-addressed JSON files).
+    pub spill_dir: Option<std::path::PathBuf>,
+    /// Profiling repeats used when a request passes `repeats == 0`.
+    pub profile_repeats: usize,
+    /// Default QS-DNN seeds when a request passes no seeds.
+    pub default_seeds: Vec<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 0,
+            spill_dir: None,
+            profile_repeats: 10,
+            default_seeds: vec![0x5EED, 0x5EED + 1, 0x5EED + 2],
+        }
+    }
+}
+
+struct ServiceState {
+    pool: WorkerPool,
+    plans: PlanCache<qsdnn::PortfolioOutcome>,
+    profiles: PlanCache<CostLut>,
+    config: ServerConfig,
+    started: Instant,
+    requests: AtomicU64,
+    plans_served: AtomicU64,
+    shutting_down: AtomicBool,
+}
+
+impl ServiceState {
+    fn episodes_for(&self, requested: usize, layers: usize) -> usize {
+        if requested == 0 {
+            default_episodes(layers)
+        } else {
+            requested
+        }
+    }
+
+    fn seeds_for(&self, requested: &[u64]) -> Vec<u64> {
+        if requested.is_empty() {
+            self.config.default_seeds.clone()
+        } else {
+            requested.to_vec()
+        }
+    }
+
+    /// Profiles a zoo network, content-addressed on the request parameters
+    /// (the analytical platform is deterministic, so equal parameters give
+    /// equal LUTs).
+    fn profile(&self, req: &ProfileRequest) -> Result<Arc<CostLut>, ServeError> {
+        if req.batch == 0 {
+            return Err(ServeError::BadRequest("batch must be >= 1".into()));
+        }
+        let net = zoo::by_name(&req.network, req.batch)
+            .ok_or_else(|| ServeError::BadRequest(format!("unknown network `{}`", req.network)))?;
+        let repeats = if req.repeats == 0 {
+            self.config.profile_repeats
+        } else {
+            req.repeats
+        };
+        let key = {
+            use qsdnn::engine::Fnv64;
+            let mut h = Fnv64::new();
+            h.write_str("qsdnn-profile-v1");
+            h.write_str(&req.network);
+            h.write_usize(req.batch);
+            h.write_str(req.mode.label());
+            h.write_usize(repeats);
+            format!("{:016x}", h.finish())
+        };
+        // Profiles are cheap relative to searches but heavily repeated in a
+        // busy service; single-flight them too.
+        let mode = req.mode;
+        let (lut, _) = self.profiles.get_or_compute(&key, || {
+            Profiler::with_repeats(AnalyticalPlatform::tx2(), repeats).profile(&net, mode)
+        });
+        Ok(lut)
+    }
+
+    fn run_search(
+        &self,
+        lut: CostLut,
+        objective: Objective,
+        episodes: usize,
+        seeds: &[u64],
+    ) -> Result<PlanResponse, ServeError> {
+        if lut.is_empty() {
+            return Err(ServeError::BadRequest("LUT has no layers".into()));
+        }
+        // Search requests carry client-supplied LUTs that bypassed
+        // `CostLut::from_parts`; a malformed one must become an error
+        // response, not a panicked connection thread.
+        lut.validate()
+            .map_err(|e| ServeError::BadRequest(format!("invalid LUT: {e}")))?;
+        let episodes = self.episodes_for(episodes, lut.len());
+        let seeds = self.seeds_for(seeds);
+        let portfolio = Portfolio::paper_default(episodes, &seeds);
+        let scalarized = lut.with_objective(objective);
+        let vanilla_cost_ms = scalarized.cost(&scalarized.vanilla_assignment());
+        let key = plan_key(lut.fingerprint(), &objective, portfolio.fingerprint());
+        let network = lut.network().to_string();
+        let shared = Arc::new(scalarized);
+        let (outcome, cache_hit) = {
+            let shared = Arc::clone(&shared);
+            let portfolio_ref = &portfolio;
+            let pool = &self.pool;
+            self.plans.get_or_compute(&key, move || {
+                run_portfolio_parallel(portfolio_ref, &shared, pool)
+                    .expect("portfolio always has applicable members")
+            })
+        };
+        self.plans_served.fetch_add(1, Ordering::Relaxed);
+        Ok(PlanResponse {
+            network,
+            plan_key: key,
+            cache_hit,
+            best: outcome.best.clone(),
+            winner: outcome.winner.clone(),
+            members: outcome.members.clone(),
+            vanilla_cost_ms,
+        })
+    }
+
+    fn handle(&self, req: Request) -> Response {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match req {
+            Request::Ping { version } => {
+                if version == PROTOCOL_VERSION {
+                    Response::Pong {
+                        version: PROTOCOL_VERSION,
+                    }
+                } else {
+                    Response::Error {
+                        message: format!(
+                            "protocol mismatch: client v{version}, server v{PROTOCOL_VERSION}"
+                        ),
+                    }
+                }
+            }
+            Request::Profile(req) => match self.profile(&req) {
+                Ok(lut) => Response::Profile(ProfileResponse {
+                    fingerprint: format!("{:016x}", lut.fingerprint()),
+                    lut: (*lut).clone(),
+                }),
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            },
+            Request::Search(SearchRequest {
+                lut,
+                objective,
+                episodes,
+                seeds,
+            }) => match self.run_search(lut, objective, episodes, &seeds) {
+                Ok(plan) => Response::Plan(plan),
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            },
+            Request::Plan(PlanRequest {
+                network,
+                batch,
+                mode,
+                objective,
+                episodes,
+                seeds,
+            }) => {
+                let profile_req = ProfileRequest {
+                    network,
+                    batch,
+                    mode,
+                    repeats: 0,
+                };
+                match self
+                    .profile(&profile_req)
+                    .and_then(|lut| self.run_search((*lut).clone(), objective, episodes, &seeds))
+                {
+                    Ok(plan) => Response::Plan(plan),
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                }
+            }
+            Request::Stats => Response::Stats(StatsResponse {
+                version: PROTOCOL_VERSION,
+                uptime_ms: self.started.elapsed().as_millis() as u64,
+                requests: self.requests.load(Ordering::Relaxed),
+                plans: self.plans_served.load(Ordering::Relaxed),
+                plan_cache: self.plans.stats(),
+                profile_cache: self.profiles.stats(),
+                workers: self.pool.threads() as u64,
+            }),
+        }
+    }
+}
+
+/// A running plan-compilation server.
+pub struct PlanServer {
+    state: Arc<ServiceState>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl PlanServer {
+    /// Binds and starts serving in background threads.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address cannot be bound or the spill directory cannot
+    /// be created.
+    pub fn start(config: ServerConfig) -> Result<PlanServer, ServeError> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let plans = match &config.spill_dir {
+            Some(dir) => PlanCache::with_spill_dir(dir)?,
+            None => PlanCache::new(),
+        };
+        let pool = if config.threads == 0 {
+            WorkerPool::with_default_size()
+        } else {
+            WorkerPool::new(config.threads)
+        };
+        let state = Arc::new(ServiceState {
+            pool,
+            plans,
+            profiles: PlanCache::new(),
+            config,
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            plans_served: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+        });
+        let acceptor_state = Arc::clone(&state);
+        let acceptor = std::thread::Builder::new()
+            .name("qsdnn-acceptor".into())
+            .spawn(move || accept_loop(&listener, &acceptor_state))
+            .expect("spawn acceptor");
+        Ok(PlanServer {
+            state,
+            addr,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, wakes the acceptor and joins it. Established
+    /// connections finish their in-flight request and close on next read.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if let Some(handle) = self.acceptor.take() {
+            self.state.shutting_down.store(true, Ordering::SeqCst);
+            // Poke the blocking accept() so the loop observes the flag.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PlanServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServiceState>) {
+    for stream in listener.incoming() {
+        if state.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let state = Arc::clone(state);
+        let _ = std::thread::Builder::new()
+            .name("qsdnn-conn".into())
+            .spawn(move || {
+                let _ = serve_connection(stream, &state);
+            });
+    }
+}
+
+fn serve_connection(stream: TcpStream, state: &Arc<ServiceState>) -> Result<(), ServeError> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        if state.shutting_down.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let req: Option<Request> = match read_message(&mut reader) {
+            Ok(r) => r,
+            Err(ServeError::Protocol(message)) => {
+                // Malformed line: report and keep the connection.
+                write_message(&mut writer, &Response::Error { message })?;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        let Some(req) = req else { return Ok(()) }; // clean EOF
+        let resp = state.handle(req);
+        write_message(&mut writer, &resp)?;
+    }
+}
+
+/// Convenience for tests and examples: a server on an ephemeral localhost
+/// port with default settings.
+///
+/// # Errors
+///
+/// See [`PlanServer::start`].
+pub fn start_local() -> Result<PlanServer, ServeError> {
+    PlanServer::start(ServerConfig::default())
+}
+
+/// Resolves an address string, preferring the first result.
+///
+/// # Errors
+///
+/// Fails when resolution produces no addresses.
+pub fn resolve(addr: &str) -> Result<SocketAddr, ServeError> {
+    addr.to_socket_addrs()?
+        .next()
+        .ok_or_else(|| ServeError::BadRequest(format!("cannot resolve `{addr}`")))
+}

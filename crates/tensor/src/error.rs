@@ -32,7 +32,10 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::LengthMismatch { expected, got } => {
-                write!(f, "buffer length {got} does not match shape volume {expected}")
+                write!(
+                    f,
+                    "buffer length {got} does not match shape volume {expected}"
+                )
             }
             TensorError::ShapeMismatch { left, right } => {
                 write!(f, "shape mismatch: {left} vs {right}")
@@ -52,7 +55,10 @@ mod tests {
 
     #[test]
     fn display_is_nonempty_and_lowercase() {
-        let e = TensorError::LengthMismatch { expected: 4, got: 3 };
+        let e = TensorError::LengthMismatch {
+            expected: 4,
+            got: 3,
+        };
         let s = e.to_string();
         assert!(!s.is_empty());
         assert!(s.starts_with(char::is_lowercase));

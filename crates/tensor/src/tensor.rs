@@ -25,7 +25,11 @@ pub struct Tensor {
 impl Tensor {
     /// Creates a zero-filled tensor.
     pub fn zeros(shape: Shape, layout: DataLayout) -> Self {
-        Tensor { shape, layout, data: vec![0.0; shape.volume()] }
+        Tensor {
+            shape,
+            layout,
+            data: vec![0.0; shape.volume()],
+        }
     }
 
     /// Creates a tensor from an existing buffer.
@@ -34,15 +38,18 @@ impl Tensor {
     ///
     /// Returns [`TensorError::LengthMismatch`] if `data.len()` differs from
     /// `shape.volume()`.
-    pub fn from_vec(
-        shape: Shape,
-        layout: DataLayout,
-        data: Vec<f32>,
-    ) -> Result<Self, TensorError> {
+    pub fn from_vec(shape: Shape, layout: DataLayout, data: Vec<f32>) -> Result<Self, TensorError> {
         if data.len() != shape.volume() {
-            return Err(TensorError::LengthMismatch { expected: shape.volume(), got: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                got: data.len(),
+            });
         }
-        Ok(Tensor { shape, layout, data })
+        Ok(Tensor {
+            shape,
+            layout,
+            data,
+        })
     }
 
     /// Creates a tensor whose element at logical position `(n, c, h, w)` is
@@ -68,8 +75,14 @@ impl Tensor {
     /// `[-1, 1)` from `seed`.
     pub fn random(shape: Shape, layout: DataLayout, seed: u64) -> Self {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let data = (0..shape.volume()).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        Tensor { shape, layout, data }
+        let data = (0..shape.volume())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        Tensor {
+            shape,
+            layout,
+            data,
+        }
     }
 
     /// Logical shape.
@@ -149,7 +162,10 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32, TensorError> {
         if self.shape != other.shape {
-            return Err(TensorError::ShapeMismatch { left: self.shape, right: other.shape });
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape,
+                right: other.shape,
+            });
         }
         let s = self.shape;
         let mut max = 0.0f32;
@@ -195,7 +211,13 @@ mod tests {
     #[test]
     fn from_vec_checks_length() {
         let err = Tensor::from_vec(Shape::new(1, 1, 2, 2), DataLayout::Nchw, vec![0.0; 3]);
-        assert!(matches!(err, Err(TensorError::LengthMismatch { expected: 4, got: 3 })));
+        assert!(matches!(
+            err,
+            Err(TensorError::LengthMismatch {
+                expected: 4,
+                got: 3
+            })
+        ));
     }
 
     #[test]

@@ -15,14 +15,22 @@ fn main() {
     // A small edge-vision backbone with a residual connection.
     let mut b = NetworkBuilder::new("my_edge_net");
     let x = b.input(Shape::new(1, 3, 32, 32));
-    let c1 = b.conv("stem", x, ConvParams::square(16, 3, 1, 1)).expect("shapes fit");
+    let c1 = b
+        .conv("stem", x, ConvParams::square(16, 3, 1, 1))
+        .expect("shapes fit");
     let r1 = b.relu("stem_relu", c1);
-    let c2 = b.conv("body_a", r1, ConvParams::square(16, 3, 1, 1)).expect("shapes fit");
+    let c2 = b
+        .conv("body_a", r1, ConvParams::square(16, 3, 1, 1))
+        .expect("shapes fit");
     let r2 = b.relu("body_a_relu", c2);
-    let c3 = b.conv("body_b", r2, ConvParams::square(16, 3, 1, 1)).expect("shapes fit");
+    let c3 = b
+        .conv("body_b", r2, ConvParams::square(16, 3, 1, 1))
+        .expect("shapes fit");
     let res = b.add("residual", c3, r1).expect("equal shapes");
     let r3 = b.relu("body_relu", res);
-    let p = b.pool("pool", r3, PoolParams::square(PoolKind::Max, 2, 2, 0)).expect("fits");
+    let p = b
+        .pool("pool", r3, PoolParams::square(PoolKind::Max, 2, 2, 0))
+        .expect("fits");
     let f = b.fc("head", p, FcParams::new(10)).expect("fits");
     b.softmax("prob", f);
     let net = b.build().expect("non-empty");
@@ -52,6 +60,9 @@ fn main() {
         "\noptimized run: {} layout conversions, max output diff vs vanilla = {diff:.2e}",
         fast.layout_conversions
     );
-    assert!(diff < 1e-3, "optimized implementation must compute the same function");
+    assert!(
+        diff < 1e-3,
+        "optimized implementation must compute the same function"
+    );
     println!("verification passed ✔");
 }

@@ -9,8 +9,9 @@
 //! cargo run --release -p qsdnn --example heterogeneous_vgg
 //! ```
 
-use qsdnn::baselines::{pbqp_search, solve_chain_dp, RandomSearch, SimulatedAnnealing,
-    SimulatedAnnealingConfig};
+use qsdnn::baselines::{
+    pbqp_search, solve_chain_dp, RandomSearch, SimulatedAnnealing, SimulatedAnnealingConfig,
+};
 use qsdnn::engine::{AnalyticalPlatform, Mode, Profiler};
 use qsdnn::nn::zoo;
 use qsdnn::primitives::Library;
@@ -18,7 +19,12 @@ use qsdnn::{QsDnnConfig, QsDnnSearch};
 
 fn main() {
     let net = zoo::vgg19(1);
-    println!("network: {} ({} layers, {:.1} GMACs)", net.name(), net.len(), net.total_macs() as f64 / 1e9);
+    println!(
+        "network: {} ({} layers, {:.1} GMACs)",
+        net.name(),
+        net.len(),
+        net.total_macs() as f64 / 1e9
+    );
 
     let mut profiler = Profiler::new(AnalyticalPlatform::tx2());
     let lut = profiler.profile(&net, Mode::Gpgpu);

@@ -24,16 +24,29 @@ fn main() {
     // Phase 1: inference on the (simulated) embedded system.
     let mut profiler = Profiler::new(AnalyticalPlatform::tx2());
     let lut = profiler.profile(&net, Mode::Gpgpu);
-    println!("design space: {:.2e} implementations", lut.design_space_size());
+    println!(
+        "design space: {:.2e} implementations",
+        lut.design_space_size()
+    );
 
     // Phase 2: RL-based search (paper schedule, 1000 episodes).
     let report = QsDnnSearch::new(QsDnnConfig::with_episodes(1000)).run(&lut);
 
     let vanilla = lut.cost(&lut.vanilla_assignment());
     println!("\nvanilla baseline : {:>9.3} ms", vanilla);
-    for lib in [Library::Blas, Library::Nnpack, Library::ArmCl, Library::CuDnn] {
+    for lib in [
+        Library::Blas,
+        Library::Nnpack,
+        Library::ArmCl,
+        Library::CuDnn,
+    ] {
         let cost = lut.cost(&lut.single_library_assignment(lib));
-        println!("{:<17}: {:>9.3} ms ({:.1}x)", lib.name(), cost, vanilla / cost);
+        println!(
+            "{:<17}: {:>9.3} ms ({:.1}x)",
+            lib.name(),
+            cost,
+            vanilla / cost
+        );
     }
     println!(
         "qs-dnn           : {:>9.3} ms ({:.1}x)  [search took {:.0} ms]",

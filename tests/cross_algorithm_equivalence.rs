@@ -22,7 +22,10 @@ fn check_network(name: &str, tol: f32) {
             node.inputs.iter().map(|p| &acts[p.0]).collect()
         };
         let reference = {
-            let conv: Vec<Tensor> = parents.iter().map(|t| t.to_layout(cands[0].layout)).collect();
+            let conv: Vec<Tensor> = parents
+                .iter()
+                .map(|t| t.to_layout(cands[0].layout))
+                .collect();
             let refs: Vec<&Tensor> = conv.iter().collect();
             execute_layer(node, &cands[0], &refs, &weights)
         };
@@ -73,7 +76,10 @@ fn sphereface_first_stage_primitives_agree() {
             node.inputs.iter().map(|p| &acts[p.0]).collect()
         };
         let reference = {
-            let conv: Vec<Tensor> = parents.iter().map(|t| t.to_layout(cands[0].layout)).collect();
+            let conv: Vec<Tensor> = parents
+                .iter()
+                .map(|t| t.to_layout(cands[0].layout))
+                .collect();
             let refs: Vec<&Tensor> = conv.iter().collect();
             execute_layer(node, &cands[0], &refs, &weights)
         };

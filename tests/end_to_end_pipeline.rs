@@ -2,9 +2,7 @@
 //! execute — on both platforms, verifying functional equivalence of the
 //! optimized implementation.
 
-use qsdnn::engine::{
-    run_network, AnalyticalPlatform, MeasuredPlatform, Mode, Platform, Profiler,
-};
+use qsdnn::engine::{run_network, AnalyticalPlatform, MeasuredPlatform, Mode, Platform, Profiler};
 use qsdnn::nn::zoo;
 use qsdnn::tensor::{DataLayout, Tensor};
 use qsdnn::{QsDnnConfig, QsDnnSearch};
@@ -19,7 +17,10 @@ fn analytical_pipeline_tiny_cnn() {
     let input = Tensor::random(net.layers()[0].output_shape, DataLayout::Nchw, 1);
     let base = run_network(&net, &lut, &lut.vanilla_assignment(), &input, 2);
     let fast = run_network(&net, &lut, &report.best_assignment, &input, 2);
-    assert!(base.output.approx_eq(&fast.output, 1e-3).expect("same shape"));
+    assert!(base
+        .output
+        .approx_eq(&fast.output, 1e-3)
+        .expect("same shape"));
 }
 
 #[test]
@@ -36,7 +37,10 @@ fn measured_pipeline_tiny_cnn() {
     let input = Tensor::random(net.layers()[0].output_shape, DataLayout::Nchw, 5);
     let base = run_network(&net, &lut, &lut.vanilla_assignment(), &input, 9);
     let fast = run_network(&net, &lut, &report.best_assignment, &input, 9);
-    assert!(base.output.approx_eq(&fast.output, 1e-3).expect("same shape"));
+    assert!(base
+        .output
+        .approx_eq(&fast.output, 1e-3)
+        .expect("same shape"));
 }
 
 #[test]
@@ -44,7 +48,11 @@ fn platforms_agree_on_vanilla_being_slowest_conv() {
     // Both cost sources must rank Vanilla as the slowest conv option on a
     // conv big enough to be compute-bound.
     let net = zoo::sphereface20(1);
-    let conv = net.layers().iter().find(|l| l.desc.name == "conv2_1").unwrap();
+    let conv = net
+        .layers()
+        .iter()
+        .find(|l| l.desc.name == "conv2_1")
+        .unwrap();
     let cands = qsdnn::primitives::registry::candidates(conv);
     let cpu_cands: Vec<_> = cands
         .iter()
@@ -60,13 +68,21 @@ fn platforms_agree_on_vanilla_being_slowest_conv() {
     assert!(ana_vanilla > ana_best);
 
     let mut meas = MeasuredPlatform::new(1);
-    let m_vanilla =
-        (0..3).map(|_| meas.layer_time_ms(&net, conv, cpu_cands[0])).fold(f64::MAX, f64::min);
+    let m_vanilla = (0..3)
+        .map(|_| meas.layer_time_ms(&net, conv, cpu_cands[0]))
+        .fold(f64::MAX, f64::min);
     let m_best = cpu_cands[1..]
         .iter()
-        .map(|p| (0..3).map(|_| meas.layer_time_ms(&net, conv, p)).fold(f64::MAX, f64::min))
+        .map(|p| {
+            (0..3)
+                .map(|_| meas.layer_time_ms(&net, conv, p))
+                .fold(f64::MAX, f64::min)
+        })
         .fold(f64::INFINITY, f64::min);
-    assert!(m_vanilla > m_best, "measured vanilla {m_vanilla} vs best {m_best}");
+    assert!(
+        m_vanilla > m_best,
+        "measured vanilla {m_vanilla} vs best {m_best}"
+    );
 }
 
 #[test]
@@ -80,7 +96,10 @@ fn branchy_network_pipeline_handles_joins() {
     let input = Tensor::random(net.layers()[0].output_shape, DataLayout::Nchw, 13);
     let base = run_network(&net, &lut, &lut.vanilla_assignment(), &input, 21);
     let fast = run_network(&net, &lut, &report.best_assignment, &input, 21);
-    assert!(base.output.approx_eq(&fast.output, 1e-3).expect("same shape"));
+    assert!(base
+        .output
+        .approx_eq(&fast.output, 1e-3)
+        .expect("same shape"));
 }
 
 #[test]

@@ -39,8 +39,7 @@ fn energy_objective_moves_work_off_the_gpu() {
             <= base.energy_cost(&latency_best.best_assignment) + 1e-9
     );
     assert!(
-        base.cost(&latency_best.best_assignment)
-            <= base.cost(&energy_best.best_assignment) + 1e-9
+        base.cost(&latency_best.best_assignment) <= base.cost(&energy_best.best_assignment) + 1e-9
     );
 }
 
@@ -52,7 +51,10 @@ fn weighted_objective_interpolates() {
     let e = base.energy_cost(&a);
     for lambda in [0.0, 0.5, 3.0] {
         let s = base.with_objective(Objective::Weighted { lambda });
-        assert!((s.cost(&a) - (t + lambda * e)).abs() < 1e-9, "lambda {lambda}");
+        assert!(
+            (s.cost(&a) - (t + lambda * e)).abs() < 1e-9,
+            "lambda {lambda}"
+        );
     }
 }
 

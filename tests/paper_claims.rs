@@ -40,7 +40,13 @@ fn cpu_speedup_vs_vanilla_is_tens_of_x() {
 #[test]
 fn gpgpu_speedup_over_bsl_is_about_2x() {
     let mut ratios = Vec::new();
-    for name in ["alexnet", "vgg19", "googlenet", "mobilenet_v1", "squeezenet_v11"] {
+    for name in [
+        "alexnet",
+        "vgg19",
+        "googlenet",
+        "mobilenet_v1",
+        "squeezenet_v11",
+    ] {
         let lut = lut_for(name, Mode::Gpgpu);
         let (_, bsl_cost) = bsl(&lut);
         let qs = QsDnnSearch::new(QsDnnConfig::default()).run(&lut);
@@ -78,7 +84,10 @@ fn mobilenet_learns_heterogeneous_mix() {
     let (_, bsl_cost) = bsl(&lut);
     let qs = QsDnnSearch::new(QsDnnConfig::default()).run(&lut);
     let speedup = bsl_cost / qs.best_cost_ms;
-    assert!(speedup > 1.25, "MobileNet GPGPU vs BSL {speedup:.2}x (paper: >1.4x)");
+    assert!(
+        speedup > 1.25,
+        "MobileNet GPGPU vs BSL {speedup:.2}x (paper: >1.4x)"
+    );
     // The solution must actually be heterogeneous: depthwise on ArmCL/CPU,
     // at least some convolutions on cuDNN/GPU.
     let mut armcl_dw = 0;
@@ -93,7 +102,10 @@ fn mobilenet_learns_heterogeneous_mix() {
             gpu_layers += 1;
         }
     }
-    assert!(armcl_dw >= 8, "expected most depthwise layers on ArmCL, got {armcl_dw}/13");
+    assert!(
+        armcl_dw >= 8,
+        "expected most depthwise layers on ArmCL, got {armcl_dw}/13"
+    );
     assert!(gpu_layers > 0, "expected some layers on the GPU");
 }
 
@@ -141,7 +153,16 @@ fn rl_beats_rs_with_larger_gap_on_bigger_spaces() {
     };
     let small = gap("lenet5");
     let large = gap("googlenet");
-    assert!(small >= 0.99, "RL should not lose on LeNet (ratio {small:.2})");
-    assert!(large > 1.05, "RL should clearly win on GoogLeNet (ratio {large:.2})");
-    assert!(large > small * 0.9, "gap should not shrink dramatically with size");
+    assert!(
+        small >= 0.99,
+        "RL should not lose on LeNet (ratio {small:.2})"
+    );
+    assert!(
+        large > 1.05,
+        "RL should clearly win on GoogLeNet (ratio {large:.2})"
+    );
+    assert!(
+        large > small * 0.9,
+        "gap should not shrink dramatically with size"
+    );
 }

@@ -24,9 +24,19 @@ fn random_chain_lut(layers: usize, arity: usize, seed: u64) -> CostLut {
             vec![]
         } else {
             let penalty: Vec<f64> = (0..arity * arity)
-                .map(|_| if rng.gen_bool(0.5) { 0.0 } else { rng.gen_range(0.0..2.0) })
+                .map(|_| {
+                    if rng.gen_bool(0.5) {
+                        0.0
+                    } else {
+                        rng.gen_range(0.0..2.0)
+                    }
+                })
                 .collect();
-            vec![IncomingEdge { from: l - 1, penalty, penalty_energy_mj: vec![] }]
+            vec![IncomingEdge {
+                from: l - 1,
+                penalty,
+                penalty_energy_mj: vec![],
+            }]
         };
         entries.push(LayerEntry {
             name: format!("l{l}"),

@@ -49,7 +49,10 @@ fn qsdnn_beats_random_search_on_equal_budget() {
     }
     qs_mean /= 5.0;
     rs_mean /= 5.0;
-    assert!(qs_mean < rs_mean, "QS-DNN mean {qs_mean} must beat RS mean {rs_mean}");
+    assert!(
+        qs_mean < rs_mean,
+        "QS-DNN mean {qs_mean} must beat RS mean {rs_mean}"
+    );
 }
 
 #[test]
@@ -57,7 +60,11 @@ fn qsdnn_escapes_fig1_greedy_trap() {
     let lut = toy::fig1_lut();
     let greedy = lut.cost(&lut.greedy_assignment());
     let qs = QsDnnSearch::new(QsDnnConfig::with_episodes(300)).run(&lut);
-    assert!(qs.best_cost_ms < greedy, "{} vs greedy {greedy}", qs.best_cost_ms);
+    assert!(
+        qs.best_cost_ms < greedy,
+        "{} vs greedy {greedy}",
+        qs.best_cost_ms
+    );
 }
 
 #[test]
@@ -82,5 +89,9 @@ fn search_cost_matches_lut_reevaluation() {
     let lut = Profiler::with_repeats(AnalyticalPlatform::tx2(), 2).profile(&net, Mode::Gpgpu);
     let qs = QsDnnSearch::new(QsDnnConfig::with_episodes(200)).run(&lut);
     let re = lut.cost(&qs.best_assignment);
-    assert!((re - qs.best_cost_ms).abs() < 1e-9, "{re} vs {}", qs.best_cost_ms);
+    assert!(
+        (re - qs.best_cost_ms).abs() < 1e-9,
+        "{re} vs {}",
+        qs.best_cost_ms
+    );
 }

@@ -1,0 +1,141 @@
+//! Vendored minimal stand-in for `proptest` (offline build environment).
+//!
+//! Supports the subset the workspace's property tests use: the `proptest!`
+//! macro with an optional `#![proptest_config(..)]` header, integer-range
+//! strategies (`lo..hi`), and `prop_assert!`. Cases are sampled with a
+//! fixed-seed deterministic RNG, so failures reproduce; there is no
+//! shrinking — the failing inputs are printed instead.
+
+use std::ops::Range;
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A source of random values for one property argument.
+pub trait Strategy {
+    /// Value type produced.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut __rand::rngs::SmallRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut __rand::rngs::SmallRng) -> $t {
+                use __rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut __rand::rngs::SmallRng) -> f64 {
+        use __rand::Rng;
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Everything a property-test file normally imports.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Asserts a property-level condition (panics with the case's inputs in the
+/// surrounding harness output).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts property-level equality.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (
+        cfg = $cfg:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng =
+                    <$crate::__rand::rngs::SmallRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                        0x9E3779B97F4A7C15 ^ stringify!($name).len() as u64,
+                    );
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    let __inputs = format!(
+                        concat!("case ", "{}", $(", ", stringify!($arg), " = {:?}"),+),
+                        __case, $(&$arg),+
+                    );
+                    let __result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let Err(__panic) = __result {
+                        eprintln!("proptest failure with {__inputs}");
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Declares property tests over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_body! { cfg = $cfg; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_body! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}

@@ -1,0 +1,312 @@
+//! Vendored minimal stand-in for the `rand` crate (offline build
+//! environment).
+//!
+//! Implements exactly the API surface this workspace uses: a seedable
+//! [`rngs::SmallRng`] (xoshiro256++ seeded via SplitMix64), `Rng::gen`,
+//! `Rng::gen_range` over integer and float ranges, `Rng::gen_bool`, and
+//! `seq::SliceRandom::shuffle`. Sequences differ from upstream `rand`'s
+//! `SmallRng` — all workspace tests assert internal consistency per seed,
+//! never golden sequences, so any high-quality deterministic PRNG is
+//! admissible.
+
+use std::ops::Range;
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Uniform sampling of a `T` from its "standard" distribution
+/// (`[0, 1)` for floats).
+pub trait StandardSample {
+    /// Draws one value.
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// `[0, 1)` with 53 random mantissa bits.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl StandardSample for f64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng)
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for u64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for bool {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A range that can be sampled uniformly to produce a `T`.
+///
+/// `T` is a type parameter (not an associated type) so that float-literal
+/// ranges infer their element type from the call site, matching upstream
+/// `rand`'s `gen_range` inference behaviour.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased integer sampling on `[0, span)` by rejection.
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let z = rng.next_u64();
+        if z < zone {
+            return z % span;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = self.end.abs_diff(self.start) as u64;
+                let offset = uniform_u64(rng, span);
+                // Wrapping add in the unsigned domain handles negative starts.
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + (self.end - self.start) * unit_f64(rng)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + (self.end - self.start) * f32::standard(rng)
+    }
+}
+
+/// The user-facing sampling interface (blanket-implemented for every
+/// [`RngCore`]).
+pub trait Rng: RngCore {
+    /// Draws from the standard distribution of `T`.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::standard(self)
+    }
+
+    /// Draws uniformly from a range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of an RNG from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Builds the generator from OS entropy; here, from the system clock
+    /// (kept deterministic builds should always prefer `seed_from_u64`).
+    fn from_entropy() -> Self {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9E3779B97F4A7C15);
+        Self::seed_from_u64(nanos)
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Small, fast, deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Alias: the workspace treats `StdRng` and `SmallRng` identically.
+    pub type StdRng = SmallRng;
+}
+
+pub mod seq {
+    //! Sequence-related random operations.
+
+    use super::{Rng, RngCore};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+/// Convenience: a clock-seeded [`rngs::SmallRng`].
+pub fn thread_rng() -> rngs::SmallRng {
+    <rngs::SmallRng as SeedableRng>::from_entropy()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<f64>(), b.gen::<f64>());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.gen::<f64>(), c.gen::<f64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let f = rng.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let g = rng.gen_range(-2.0f32..0.5);
+            assert!((-2.0..0.5).contains(&g));
+            let u = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn range_sampling_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut counts = [0usize; 8];
+        for _ in 0..8000 {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements almost surely move");
+    }
+}

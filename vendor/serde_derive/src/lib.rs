@@ -1,0 +1,472 @@
+//! Minimal, dependency-free re-implementation of serde's `Serialize` /
+//! `Deserialize` derive macros, vendored because this build environment has
+//! no access to crates.io.
+//!
+//! Supports the subset of shapes this workspace uses:
+//!
+//! * structs with named fields (honouring `#[serde(default)]`),
+//! * tuple structs (newtype structs serialize transparently),
+//! * unit structs,
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   real serde's JSON representation).
+//!
+//! Generics, lifetimes and the remaining `#[serde(...)]` attributes are not
+//! supported and produce a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn ident_of(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Returns true when the attribute token group (the `[...]` contents) is
+/// `serde(default)` (possibly among other serde flags, which we reject).
+fn attr_is_serde_default(group: &proc_macro::Group) -> bool {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    if toks.is_empty() || ident_of(&toks[0]).as_deref() != Some("serde") {
+        return false;
+    }
+    if let Some(TokenTree::Group(inner)) = toks.get(1) {
+        let flags: Vec<String> = inner
+            .stream()
+            .into_iter()
+            .filter_map(|t| ident_of(&t))
+            .collect();
+        for f in &flags {
+            if f != "default" {
+                panic!("vendored serde_derive: unsupported attribute #[serde({f})]");
+            }
+        }
+        flags.iter().any(|f| f == "default")
+    } else {
+        false
+    }
+}
+
+/// Skips attributes at `i`, returning whether one of them was
+/// `#[serde(default)]`.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
+    while let Some(TokenTree::Punct(p)) = toks.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1;
+        // Inner attributes (`#![..]`) cannot appear here.
+        if let Some(TokenTree::Group(g)) = toks.get(*i) {
+            if g.delimiter() == Delimiter::Bracket && attr_is_serde_default(g) {
+                has_default = true;
+            }
+            *i += 1;
+        } else {
+            panic!("vendored serde_derive: malformed attribute");
+        }
+    }
+    has_default
+}
+
+/// Skips a `pub` / `pub(..)` visibility marker.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if ident_of(&toks[*i]).as_deref() == Some("pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = toks.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+/// Skips a type (field type), stopping at a top-level `,`. Tracks `<`/`>`
+/// nesting so commas inside generic arguments are not terminators.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while let Some(t) = toks.get(*i) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Parses `{ name: Type, .. }` contents into named fields.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let default = skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_vis(&toks, &mut i);
+        let name = ident_of(&toks[i])
+            .unwrap_or_else(|| panic!("vendored serde_derive: expected field name"));
+        i += 1;
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            _ => panic!("vendored serde_derive: expected `:` after field `{name}`"),
+        }
+        skip_type(&toks, &mut i);
+        // Consume the trailing comma if present.
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple-struct / tuple-variant `( .. )` group.
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut count = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_vis(&toks, &mut i);
+        skip_type(&toks, &mut i);
+        count += 1;
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_of(&toks[i])
+            .unwrap_or_else(|| panic!("vendored serde_derive: expected variant name"));
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the comma.
+        while let Some(t) = toks.get(i) {
+            if let TokenTree::Punct(p) = t {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kind =
+        ident_of(&toks[i]).unwrap_or_else(|| panic!("vendored serde_derive: expected struct/enum"));
+    i += 1;
+    let name =
+        ident_of(&toks[i]).unwrap_or_else(|| panic!("vendored serde_derive: expected type name"));
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive: generic type `{name}` is not supported");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g),
+            },
+            _ => panic!("vendored serde_derive: malformed enum `{name}`"),
+        },
+        other => panic!("vendored serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n    fn serialize(&self) -> ::serde::Value {{\n"
+            ));
+            match fields {
+                Fields::Named(fs) => {
+                    out.push_str(
+                        "        let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                    );
+                    for f in fs {
+                        out.push_str(&format!(
+                            "        fields.push((String::from(\"{0}\"), ::serde::Serialize::serialize(&self.{0})));\n",
+                            f.name
+                        ));
+                    }
+                    out.push_str("        ::serde::Value::Object(fields)\n");
+                }
+                Fields::Tuple(1) => {
+                    out.push_str("        ::serde::Serialize::serialize(&self.0)\n");
+                }
+                Fields::Tuple(n) => {
+                    out.push_str("        ::serde::Value::Array(vec![\n");
+                    for idx in 0..*n {
+                        out.push_str(&format!(
+                            "            ::serde::Serialize::serialize(&self.{idx}),\n"
+                        ));
+                    }
+                    out.push_str("        ])\n");
+                }
+                Fields::Unit => out.push_str("        ::serde::Value::Null\n"),
+            }
+            out.push_str("    }\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n    fn serialize(&self) -> ::serde::Value {{\n        match self {{\n"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => out.push_str(&format!(
+                        "            {name}::{vn} => ::serde::Value::String(String::from(\"{vn}\")),\n"
+                    )),
+                    Fields::Tuple(1) => out.push_str(&format!(
+                        "            {name}::{vn}(__f0) => ::serde::Value::Object(vec![(String::from(\"{vn}\"), ::serde::Serialize::serialize(__f0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> =
+                            (0..*n).map(|k| format!("__f{k}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        out.push_str(&format!(
+                            "            {name}::{vn}({}) => ::serde::Value::Object(vec![(String::from(\"{vn}\"), ::serde::Value::Array(vec![{}]))]),\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let binders: Vec<String> =
+                            fs.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(String::from(\"{0}\"), ::serde::Serialize::serialize({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        out.push_str(&format!(
+                            "            {name}::{vn} {{ {} }} => ::serde::Value::Object(vec![(String::from(\"{vn}\"), ::serde::Value::Object(vec![{}]))]),\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str("        }\n    }\n}\n");
+        }
+    }
+    out
+}
+
+fn gen_named_field_reads(type_name: &str, fs: &[Field], obj: &str) -> String {
+    let mut out = String::new();
+    for f in fs {
+        let fname = &f.name;
+        if f.default {
+            out.push_str(&format!(
+                "            {fname}: match ::serde::Value::get_field({obj}, \"{fname}\") {{\n                Some(__v) => ::serde::Deserialize::deserialize(__v)?,\n                None => ::std::default::Default::default(),\n            }},\n"
+            ));
+        } else {
+            out.push_str(&format!(
+                "            {fname}: match ::serde::Value::get_field({obj}, \"{fname}\") {{\n                Some(__v) => ::serde::Deserialize::deserialize(__v)?,\n                None => return Err(::serde::Error::custom(\"missing field `{fname}` in {type_name}\")),\n            }},\n"
+            ));
+        }
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn deserialize(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n"
+            ));
+            match fields {
+                Fields::Named(fs) => {
+                    out.push_str(&format!(
+                        "        let __obj = __value.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}\"))?;\n        Ok({name} {{\n"
+                    ));
+                    out.push_str(&gen_named_field_reads(name, fs, "__obj"));
+                    out.push_str("        })\n");
+                }
+                Fields::Tuple(1) => {
+                    out.push_str(&format!(
+                        "        Ok({name}(::serde::Deserialize::deserialize(__value)?))\n"
+                    ));
+                }
+                Fields::Tuple(n) => {
+                    out.push_str(&format!(
+                        "        let __arr = __value.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}\"))?;\n        if __arr.len() != {n} {{ return Err(::serde::Error::custom(\"wrong tuple arity for {name}\")); }}\n        Ok({name}(\n"
+                    ));
+                    for idx in 0..*n {
+                        out.push_str(&format!(
+                            "            ::serde::Deserialize::deserialize(&__arr[{idx}])?,\n"
+                        ));
+                    }
+                    out.push_str("        ))\n");
+                }
+                Fields::Unit => out.push_str(&format!("        Ok({name})\n")),
+            }
+            out.push_str("    }\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn deserialize(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n        match __value {{\n"
+            ));
+            // Unit variants arrive as plain strings.
+            out.push_str("            ::serde::Value::String(__s) => match __s.as_str() {\n");
+            for v in variants {
+                if matches!(v.fields, Fields::Unit) {
+                    out.push_str(&format!(
+                        "                \"{0}\" => Ok({name}::{0}),\n",
+                        v.name
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "                __other => Err(::serde::Error::custom(&format!(\"unknown {name} variant `{{__other}}`\"))),\n            }},\n"
+            ));
+            // Data variants arrive as single-entry objects.
+            out.push_str("            ::serde::Value::Object(__m) if __m.len() == 1 => {\n                let (__tag, __inner) = &__m[0];\n                match __tag.as_str() {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => out.push_str(&format!(
+                        "                    \"{vn}\" => Ok({name}::{vn}),\n"
+                    )),
+                    Fields::Tuple(1) => out.push_str(&format!(
+                        "                    \"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::deserialize(__inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let mut reads = String::new();
+                        for idx in 0..*n {
+                            reads.push_str(&format!(
+                                "::serde::Deserialize::deserialize(&__arr[{idx}])?, "
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "                    \"{vn}\" => {{\n                        let __arr = __inner.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}::{vn}\"))?;\n                        if __arr.len() != {n} {{ return Err(::serde::Error::custom(\"wrong arity for {name}::{vn}\")); }}\n                        Ok({name}::{vn}({reads}))\n                    }}\n"
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        out.push_str(&format!(
+                            "                    \"{vn}\" => {{\n                        let __obj = __inner.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}::{vn}\"))?;\n                        Ok({name}::{vn} {{\n"
+                        ));
+                        out.push_str(&gen_named_field_reads(name, fs, "__obj"));
+                        out.push_str("                        })\n                    }\n");
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "                    __other => Err(::serde::Error::custom(&format!(\"unknown {name} variant `{{__other}}`\"))),\n                }}\n            }},\n            _ => Err(::serde::Error::custom(\"expected string or single-key object for enum {name}\")),\n        }}\n    }}\n}}\n"
+            ));
+        }
+    }
+    out
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("vendored serde_derive: generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("vendored serde_derive: generated invalid Rust")
+}

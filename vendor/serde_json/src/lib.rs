@@ -1,0 +1,517 @@
+//! Vendored minimal stand-in for `serde_json` (offline build environment).
+//!
+//! Maps the vendored [`serde::Value`] data model to and from JSON text:
+//! strict recursive-descent parsing (with a nesting-depth guard, since the
+//! plan server feeds it bytes off a socket) and deterministic writing.
+//! Floats are written with Rust's shortest-roundtrip formatting, so
+//! `to_string` → `from_str` reproduces every finite `f64` bit-exactly —
+//! the LUT/report serde roundtrip tests and the plan cache's
+//! content-addressing both rely on that.
+
+use serde::{Deserialize, Serialize, Value};
+
+pub use serde::Error;
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Maximum nesting depth accepted by the parser.
+const MAX_DEPTH: usize = 128;
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(f: f64, out: &mut String) {
+    if !f.is_finite() {
+        // Real serde_json writes null for non-finite floats.
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{f}");
+    out.push_str(&s);
+    // Keep the number recognizably floating-point (serde_json prints 1.0,
+    // not 1); this also preserves the Float/Int distinction on re-parse.
+    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+        out.push_str(".0");
+    }
+}
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_f64(*f, out),
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_value_pretty(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_inner = "  ".repeat(indent + 1);
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_inner);
+                write_value_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_inner);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_value_pretty(val, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => write_value(other, out),
+    }
+}
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Infallible for the supported data model; kept fallible to match the real
+/// `serde_json` signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.serialize(), &mut out);
+    Ok(out)
+}
+
+/// Serializes a value to human-readable, two-space-indented JSON.
+///
+/// # Errors
+///
+/// Infallible for the supported data model (see [`to_string`]).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value_pretty(&value.serialize(), 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes a value to compact JSON bytes.
+///
+/// # Errors
+///
+/// Infallible for the supported data model (see [`to_string`]).
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Converts a value into the [`Value`] data model.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize()
+}
+
+/// Reconstructs a typed value from the [`Value`] data model.
+///
+/// # Errors
+///
+/// Returns an error naming the first shape mismatch.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T> {
+    T::deserialize(value)
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error::custom(format!("JSON parse error at byte {}: {msg}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'u' => {
+                            let cp = self.parse_hex4()?;
+                            if (0xD800..0xDC00).contains(&cp) {
+                                // High surrogate: require the low half.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.parse_hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    out.push(
+                                        char::from_u32(c)
+                                            .ok_or_else(|| self.err("bad surrogate pair"))?,
+                                    );
+                                } else {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                            } else if (0xDC00..0xE000).contains(&cp) {
+                                return Err(self.err("lone low surrogate"));
+                            } else {
+                                out.push(
+                                    char::from_u32(cp).ok_or_else(|| self.err("bad \\u escape"))?,
+                                );
+                            }
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                b if b < 0x20 => return Err(self.err("control character in string")),
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Multi-byte UTF-8: the input is a valid &str, so decode
+                    // the full character from the source slice.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().ok_or_else(|| self.err("invalid UTF-8"))?;
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("bad \\u escape"))?;
+        let cp = u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(cp)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err(&format!("bad number `{text}`")))
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.skip_ws();
+        match self
+            .peek()
+            .ok_or_else(|| self.err("unexpected end of input"))?
+        {
+            b'n' => self.parse_literal("null", Value::Null),
+            b't' => self.parse_literal("true", Value::Bool(true)),
+            b'f' => self.parse_literal("false", Value::Bool(false)),
+            b'"' => self.parse_string().map(Value::String),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.parse_value(depth + 1)?;
+                    fields.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(fields));
+                        }
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+            }
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            other => Err(self.err(&format!("unexpected byte `{}`", other as char))),
+        }
+    }
+}
+
+/// Parses JSON text into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns an error describing the first syntax problem (with byte offset).
+pub fn parse(s: &str) -> Result<Value> {
+    let mut p = Parser::new(s);
+    let v = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+/// Deserializes a typed value from JSON text.
+///
+/// # Errors
+///
+/// Returns an error for malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    T::deserialize(&parse(s)?)
+}
+
+/// Deserializes a typed value from JSON bytes.
+///
+/// # Errors
+///
+/// Returns an error for non-UTF-8 input, malformed JSON or a shape mismatch.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::custom(e.to_string()))?;
+    from_str(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_scalars() {
+        assert_eq!(to_string(&42usize).unwrap(), "42");
+        assert_eq!(from_str::<usize>("42").unwrap(), 42);
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(from_str::<f64>("2.0").unwrap(), 2.0);
+        assert_eq!(to_string("a\"b\n").unwrap(), "\"a\\\"b\\n\"");
+        assert_eq!(from_str::<String>("\"a\\\"b\\n\"").unwrap(), "a\"b\n");
+    }
+
+    #[test]
+    fn f64_roundtrip_is_bit_exact() {
+        for &x in &[
+            0.1,
+            1.0 / 3.0,
+            1e-300,
+            2.225e-308,
+            12345.678901234567,
+            f64::MAX,
+        ] {
+            let json = to_string(&x).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(x.to_bits(), back.to_bits(), "{x} via {json}");
+        }
+    }
+
+    #[test]
+    fn nested_containers() {
+        let v: Vec<Vec<f64>> = vec![vec![1.0, 2.5], vec![]];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[[1.0,2.5],[]]");
+        let back: Vec<Vec<f64>> = from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn options_and_tuples() {
+        let v: Vec<Option<(f64, usize)>> = vec![Some((0.5, 3)), None];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[[0.5,3],null]");
+        let back: Vec<Option<(f64, usize)>> = from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str::<f64>("").is_err());
+        assert!(from_str::<f64>("1.0 trailing").is_err());
+        assert!(from_str::<Vec<f64>>("[1.0,").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(parse(&deep).is_err(), "depth guard");
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(from_str::<String>("\"\\u00e9\"").unwrap(), "é");
+        assert_eq!(from_str::<String>("\"\\ud83d\\ude00\"").unwrap(), "😀");
+        assert_eq!(from_str::<String>("\"héllo\"").unwrap(), "héllo");
+    }
+
+    #[test]
+    fn pretty_printing_is_reparseable() {
+        let v: Vec<(f64, usize)> = vec![(1.5, 2), (3.0, 4)];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Vec<(f64, usize)> = from_str(&pretty).unwrap();
+        assert_eq!(v, back);
+    }
+}
