@@ -1,0 +1,177 @@
+//! Plan-cache contention micro-benchmark: throughput under a 16-thread
+//! fan-out, sharded vs the seed's single-mutex layout (reproduced with
+//! `--cache-shards 1`).
+//!
+//! Sixteen persistent worker threads are released in barrier-gated rounds;
+//! one timed iteration is one round across all 16 threads. Keys are
+//! pre-formatted so the timed region is lock + lookup, nothing else.
+//!
+//! Two workloads:
+//!
+//! * `hit_path` — every access hits a warm, pre-populated cache. On a
+//!   many-core box this is where the single mutex becomes the hot path
+//!   (every hit serializes on one lock / one cache line); on a single-core
+//!   runner the lock is rarely truly contended and the configurations tie.
+//! * `churn` — the keyspace is 4× the resident bound, so most accesses
+//!   miss, claim a slot and evict an LRU victim. The victim scan runs
+//!   under the shard lock and is O(resident/shards), so sharding wins
+//!   even without parallel hardware.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qsdnn::engine::{toy, CostLut};
+use qsdnn_serve::{EvictionPolicy, PlanCache};
+
+const THREADS: usize = 16;
+const HITS_PER_THREAD: usize = 512;
+const HIT_KEYSPACE: usize = 256;
+
+const CHURN_PER_THREAD: usize = 64;
+const CHURN_KEYSPACE: usize = 2048;
+const CHURN_RESIDENT: usize = 512;
+
+fn keys(n: usize) -> Arc<Vec<String>> {
+    Arc::new((0..n).map(|k| format!("{k:016x}")).collect())
+}
+
+fn cache(shards: usize, max_entries: usize) -> Arc<PlanCache<CostLut>> {
+    Arc::new(
+        PlanCache::<CostLut>::new()
+            .with_shards(shards)
+            .with_max_entries(max_entries)
+            .with_eviction(EvictionPolicy::Lru),
+    )
+}
+
+/// Sixteen persistent workers that each run `work(tid)` once per barrier
+/// round, so the timed region contains no thread spawns.
+struct FanOut {
+    start: Arc<Barrier>,
+    done: Arc<Barrier>,
+    stop: Arc<AtomicBool>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl FanOut {
+    fn launch(work: impl Fn(usize) + Send + Sync + 'static) -> FanOut {
+        let start = Arc::new(Barrier::new(THREADS + 1));
+        let done = Arc::new(Barrier::new(THREADS + 1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let work = Arc::new(work);
+        let workers = (0..THREADS)
+            .map(|tid| {
+                let start = Arc::clone(&start);
+                let done = Arc::clone(&done);
+                let stop = Arc::clone(&stop);
+                let work = Arc::clone(&work);
+                std::thread::spawn(move || loop {
+                    start.wait();
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    work(tid);
+                    done.wait();
+                })
+            })
+            .collect();
+        FanOut {
+            start,
+            done,
+            stop,
+            workers,
+        }
+    }
+
+    /// One timed round: every worker completes its batch.
+    fn round(&self) {
+        self.start.wait();
+        self.done.wait();
+    }
+}
+
+impl Drop for FanOut {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.start.wait();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn bench_hit_path(c: &mut Criterion) {
+    let keys = keys(HIT_KEYSPACE);
+    let mut group = c.benchmark_group("cache_contention");
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2));
+    for (label, shards) in [
+        ("hit_path_16thr/single_mutex_1shard", 1),
+        ("hit_path_16thr/sharded_8", 8),
+        ("hit_path_16thr/sharded_16", 16),
+    ] {
+        let cache = cache(shards, 4096);
+        let lut = toy::fig1_lut();
+        for key in keys.iter() {
+            cache.get_or_compute(key, || lut.clone());
+        }
+        let fan_out = {
+            let cache = Arc::clone(&cache);
+            let keys = Arc::clone(&keys);
+            FanOut::launch(move |tid| {
+                // A fixed per-thread stride decorrelates the threads' key
+                // sequences without an RNG in the timed loop.
+                let mut k = tid * 37;
+                for _ in 0..HITS_PER_THREAD {
+                    k = (k + 97) % HIT_KEYSPACE;
+                    let (out, hit) = cache.get_or_compute(&keys[k], || panic!("warm cache"));
+                    debug_assert!(hit);
+                    black_box(out);
+                }
+            })
+        };
+        group.bench_function(label, |b| b.iter(|| fan_out.round()));
+    }
+    group.finish();
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let keys = keys(CHURN_KEYSPACE);
+    let mut group = c.benchmark_group("cache_contention");
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2));
+    for (label, shards) in [
+        ("churn_16thr/single_mutex_1shard", 1),
+        ("churn_16thr/sharded_8", 8),
+        ("churn_16thr/sharded_16", 16),
+    ] {
+        let cache = cache(shards, CHURN_RESIDENT);
+        let lut = toy::fig1_lut();
+        let fan_out = {
+            let cache = Arc::clone(&cache);
+            let keys = Arc::clone(&keys);
+            let lut = lut.clone();
+            FanOut::launch(move |tid| {
+                let mut k = tid * 151;
+                for _ in 0..CHURN_PER_THREAD {
+                    k = (k + 127) % CHURN_KEYSPACE;
+                    let (out, _) = cache.get_or_compute(&keys[k], || lut.clone());
+                    black_box(out);
+                }
+            })
+        };
+        group.bench_function(label, |b| b.iter(|| fan_out.round()));
+    }
+    group.finish();
+}
+
+fn bench_cache_contention(c: &mut Criterion) {
+    bench_hit_path(c);
+    bench_churn(c);
+}
+
+criterion_group!(benches, bench_cache_contention);
+criterion_main!(benches);

@@ -24,7 +24,7 @@ use qsdnn::engine::{AnalyticalPlatform, CostLut, MeasuredPlatform, Mode, Objecti
 use qsdnn::nn::zoo;
 use qsdnn::{ApproxQsDnnSearch, QsDnnConfig, QsDnnSearch, SearchReport};
 use qsdnn_serve::protocol::{PlanRequest, PlanResponse, ProfileRequest};
-use qsdnn_serve::{PlanClient, PlanServer, ServerConfig};
+use qsdnn_serve::{EvictionPolicy, PlanClient, PlanServer, ServerConfig};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -119,7 +119,8 @@ pub fn usage() -> String {
      qsdnn-cli search --lut <lut.json> [--method qsdnn|linear|random|annealing|pbqp|dp]\n            \
      [--episodes N] [--seed N] [--objective latency|energy|weighted:<lambda>] [--out <report.json>]\n  \
      qsdnn-cli report --lut <lut.json> --report <report.json>\n  \
-     qsdnn-cli serve [--addr host:port] [--threads N] [--spill <dir>] [--repeats N]\n  \
+     qsdnn-cli serve [--addr host:port] [--threads N] [--spill <dir>] [--repeats N]\n            \
+     [--cache-shards N] [--eviction lru|cost] [--cache-entries N]\n  \
      qsdnn-cli submit --addr <host:port> [--request plan|profile|search|stats]\n            \
      [--network <name>] [--batch N] [--mode cpu|gpgpu] [--objective <obj>]\n            \
      [--episodes N] [--seeds a,b,c] [--repeats N] [--lut <lut.json>]\n  \
@@ -162,6 +163,15 @@ pub fn parse_objective(s: &str) -> Result<Objective, String> {
             }
         }
     }
+}
+
+/// Parses the `--eviction` option (`lru`, `cost`/`cost-weighted`).
+///
+/// # Errors
+///
+/// Returns a message for unknown policies.
+pub fn parse_eviction(s: &str) -> Result<EvictionPolicy, String> {
+    s.parse()
 }
 
 fn opt_parse<T: std::str::FromStr>(args: &Args, key: &str, default: T) -> Result<T, String> {
@@ -369,7 +379,18 @@ fn format_plan(plan: &PlanResponse) -> String {
 }
 
 fn cmd_serve(args: &Args) -> Result<String, String> {
-    reject_unknown_options(args, &["addr", "threads", "spill", "repeats"])?;
+    reject_unknown_options(
+        args,
+        &[
+            "addr",
+            "threads",
+            "spill",
+            "repeats",
+            "cache-shards",
+            "eviction",
+            "cache-entries",
+        ],
+    )?;
     let addr = args
         .options
         .get("addr")
@@ -380,6 +401,9 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
         threads: opt_parse(args, "threads", 0usize)?,
         spill_dir: args.options.get("spill").map(std::path::PathBuf::from),
         profile_repeats: opt_parse(args, "repeats", 10usize)?,
+        cache_shards: opt_parse(args, "cache-shards", 0usize)?,
+        eviction: parse_eviction(args.options.get("eviction").map_or("lru", String::as_str))?,
+        cache_max_entries: opt_parse(args, "cache-entries", 0usize)?,
         ..ServerConfig::default()
     };
     let spill_note = config
@@ -472,10 +496,10 @@ fn cmd_submit(args: &Args) -> Result<String, String> {
         }
         "stats" => {
             let stats = client.stats().map_err(|e| e.to_string())?;
-            Ok(format!(
+            let mut out = format!(
                 "qsdnn-serve v{} up {:.1} s | {} requests, {} plans | plan cache: {} hits, \
-                 {} misses, {} coalesced, {} spill loads, {} entries ({:.0}% hit rate) | \
-                 profile cache: {} entries | {} workers",
+                 {} misses, {} coalesced, {} spill loads, {} entries ({:.0}% hit rate), \
+                 {} evictions, {} stalls over {} shards | profile cache: {} entries | {} workers",
                 stats.version,
                 stats.uptime_ms as f64 / 1e3,
                 stats.requests,
@@ -486,9 +510,26 @@ fn cmd_submit(args: &Args) -> Result<String, String> {
                 stats.plan_cache.spill_loads,
                 stats.plan_cache.entries,
                 stats.plan_cache.hit_rate() * 100.0,
+                stats.plan_cache.evictions,
+                stats.plan_cache.capacity_stalls,
+                stats.plan_cache.shards,
                 stats.profile_cache.entries,
                 stats.workers
-            ))
+            );
+            for (i, s) in stats.plan_cache_shards.iter().enumerate() {
+                out.push_str(&format!(
+                    "\n  plan shard {i}: {}/{} resident ({} in flight), {} hits, {} misses, \
+                     {} coalesced, {} evictions",
+                    s.entries + s.in_flight,
+                    s.capacity,
+                    s.in_flight,
+                    s.hits,
+                    s.misses,
+                    s.coalesced,
+                    s.evictions
+                ));
+            }
+            Ok(out)
         }
         other => Err(format!(
             "unknown request `{other}` (plan|profile|search|stats)"
@@ -601,6 +642,33 @@ mod tests {
         let args = parse_args(&argv(&["profile", "--network", "lenet5", "--out", "-h"])).unwrap();
         assert_eq!(args.command, "profile");
         assert_eq!(args.options["out"], "-h");
+    }
+
+    #[test]
+    fn eviction_parsing() {
+        assert_eq!(parse_eviction("lru").unwrap(), EvictionPolicy::Lru);
+        assert_eq!(
+            parse_eviction("cost").unwrap(),
+            EvictionPolicy::CostWeighted
+        );
+        assert_eq!(
+            parse_eviction("cost-weighted").unwrap(),
+            EvictionPolicy::CostWeighted
+        );
+        assert!(parse_eviction("fifo").is_err());
+    }
+
+    #[test]
+    fn serve_rejects_unknown_cache_flags_and_accepts_real_ones() {
+        // A typo'd cache flag must be rejected, naming the accepted set.
+        let err = run(&parse_args(&argv(&["serve", "--cache-shard", "4", "--addr", "x"])).unwrap())
+            .unwrap_err();
+        assert!(err.contains("--cache-shard"), "{err}");
+        assert!(err.contains("--cache-shards"), "{err}");
+        assert!(err.contains("--eviction"), "{err}");
+        // A bad eviction policy is a clean error, not a started server.
+        let err = run(&parse_args(&argv(&["serve", "--eviction", "fifo"])).unwrap()).unwrap_err();
+        assert!(err.contains("unknown eviction policy"), "{err}");
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! Content-addressed plan cache with single-flight coalescing and optional
-//! JSON spill-to-disk.
+//! Content-addressed, sharded plan cache with single-flight coalescing,
+//! a hard per-shard capacity invariant, real eviction policies and a
+//! bounded, crash-safe JSON spill tier.
 //!
 //! Keys are stable fingerprints of *(LUT, objective, portfolio spec)* — see
 //! [`plan_key`] — so any two requests that could possibly produce different
@@ -7,24 +8,45 @@
 //! connections, even across process restarts via the spill directory) share
 //! one search.
 //!
-//! **Single-flight:** when several threads ask for the same missing key
-//! concurrently, exactly one runs the compute closure; the rest block on a
-//! condvar and receive the same `Arc`'d outcome. A panicking compute
-//! removes its in-flight marker on unwind so waiters retry rather than
-//! hang.
+//! **Sharding:** the cache is split into N independent shards (selected by
+//! a stable hash of the key), each its own `Mutex` + `Condvar`, so lookups
+//! for different keys never contend on one lock. Single-flight, eviction
+//! and the capacity bound are all per-shard.
 //!
-//! **Bounded:** resident entries are capped ([`DEFAULT_MAX_ENTRIES`] by
-//! default, tunable via [`PlanCache::with_max_entries`]); inserting past
-//! the cap evicts an arbitrary ready entry. Spilled files are not evicted
-//! — the disk copy is the durable tier. Smarter (LRU / cost-weighted)
-//! eviction is a roadmap item.
+//! **Single-flight:** when several threads ask for the same missing key
+//! concurrently, exactly one runs the compute closure; the rest block on
+//! the shard's condvar and receive the same `Arc`'d outcome. A panicking
+//! compute removes its in-flight marker on unwind so waiters retry rather
+//! than hang.
+//!
+//! **Bounded — a hard invariant:** every shard holds at most
+//! `max_entries / shards` slots, *counting in-flight markers*. A claim on
+//! a full shard first evicts a ready victim (per the configured
+//! [`EvictionPolicy`]); when every slot is an in-flight compute, the
+//! claimer blocks on the condvar until one publishes or unwinds — it never
+//! overruns the bound and never runs a duplicate search for a key someone
+//! else owns.
+//!
+//! **Eviction:** [`EvictionPolicy::Lru`] evicts the least-recently-used
+//! ready entry (true LRU via a per-shard generation counter);
+//! [`EvictionPolicy::CostWeighted`] prefers evicting entries that are
+//! cheap to recompute (per [`CacheValue::recompute_cost_ms`]), breaking
+//! ties by recency.
+//!
+//! **Spill tier:** computed artifacts persist as `<dir>/<key>.json`. The
+//! writer fsyncs before the atomic rename, so a crash never leaves a torn
+//! file behind the durable name; construction sweeps the directory,
+//! garbage-collecting orphaned `.json.tmp` files and trimming the on-disk
+//! entry count (oldest first) to its own bound.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::Write as _;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::UNIX_EPOCH;
 
-use qsdnn::engine::{Fnv64, Objective};
+use qsdnn::engine::{CostLut, Fnv64, Objective};
+use qsdnn::PortfolioOutcome;
 use serde::{Deserialize, Serialize};
 
 /// Builds the content address for one plan scenario.
@@ -41,10 +63,75 @@ pub fn plan_key(lut_fingerprint: u64, objective: &Objective, portfolio_fingerpri
     format!("{:016x}", h.finish())
 }
 
-/// Cache effectiveness counters (monotonic since construction).
+/// What the cache can hold: serializable (for the spill tier), cloneable,
+/// and able to estimate its own recompute cost for cost-weighted eviction.
+pub trait CacheValue: Serialize + Deserialize + Clone {
+    /// Estimated cost (ms of search/profile work) to recompute this
+    /// artifact from scratch. Cost-weighted eviction keeps expensive
+    /// artifacts resident longer. The default makes cost-weighted eviction
+    /// degrade to LRU.
+    fn recompute_cost_ms(&self) -> f64 {
+        0.0
+    }
+}
+
+impl CacheValue for PortfolioOutcome {
+    /// The wall time the portfolio actually spent across all members.
+    fn recompute_cost_ms(&self) -> f64 {
+        self.members.iter().map(|m| m.wall_time_ms).sum()
+    }
+}
+
+impl CacheValue for CostLut {
+    /// Profiling cost scales with the number of profiled implementations.
+    fn recompute_cost_ms(&self) -> f64 {
+        self.layers()
+            .iter()
+            .map(|l| l.candidates.len())
+            .sum::<usize>() as f64
+    }
+}
+
+/// Which resident entry a full shard sacrifices to admit a new compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EvictionPolicy {
+    /// Evict the least-recently-used ready entry.
+    #[default]
+    Lru,
+    /// Evict the ready entry that is cheapest to recompute
+    /// ([`CacheValue::recompute_cost_ms`]), ties broken by recency.
+    CostWeighted,
+}
+
+impl std::str::FromStr for EvictionPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "lru" => Ok(EvictionPolicy::Lru),
+            "cost" | "cost-weighted" => Ok(EvictionPolicy::CostWeighted),
+            other => Err(format!("unknown eviction policy `{other}` (lru|cost)")),
+        }
+    }
+}
+
+impl std::fmt::Display for EvictionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvictionPolicy::Lru => write!(f, "lru"),
+            EvictionPolicy::CostWeighted => write!(f, "cost-weighted"),
+        }
+    }
+}
+
+/// Aggregate cache counters (monotonic since construction).
+///
+/// Every completed `get_or_compute` call lands in exactly one of `hits`,
+/// `misses`, `coalesced` or `spill_loads`, so the four always sum to the
+/// number of requests the cache has answered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
-    /// Requests answered from memory.
+    /// Requests answered from memory without waiting.
     pub hits: u64,
     /// Requests that ran a fresh search.
     pub misses: u64,
@@ -52,8 +139,17 @@ pub struct CacheStats {
     pub coalesced: u64,
     /// Requests answered from the spill directory.
     pub spill_loads: u64,
-    /// Entries currently resident in memory.
+    /// Ready entries currently resident in memory (all shards).
     pub entries: u64,
+    /// In-flight computes currently holding slots (all shards).
+    pub in_flight: u64,
+    /// Ready entries evicted to make room (all shards).
+    pub evictions: u64,
+    /// Times a claim had to block because its shard was full of in-flight
+    /// computes (the bound held instead of overrunning).
+    pub capacity_stalls: u64,
+    /// Number of shards the cache is split into.
+    pub shards: u64,
 }
 
 impl CacheStats {
@@ -68,148 +164,407 @@ impl CacheStats {
     }
 }
 
-enum Slot<T> {
-    InFlight,
-    Ready(Arc<T>),
+/// One shard's counters and occupancy, as reported over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Ready entries resident in this shard.
+    pub entries: u64,
+    /// In-flight computes holding slots in this shard.
+    pub in_flight: u64,
+    /// The shard's slot capacity (ready + in-flight never exceeds it).
+    pub capacity: u64,
+    /// Requests answered from this shard without waiting.
+    pub hits: u64,
+    /// Requests that ran a fresh search in this shard.
+    pub misses: u64,
+    /// Requests that piggy-backed on an in-flight search in this shard.
+    pub coalesced: u64,
+    /// Requests answered from the spill directory via this shard.
+    pub spill_loads: u64,
+    /// Ready entries evicted from this shard.
+    pub evictions: u64,
+    /// Claims that blocked on a shard full of in-flight computes.
+    pub capacity_stalls: u64,
 }
 
-/// Default cap on resident entries (a plan outcome with a 1000-episode
-/// learning curve is tens of kB; ~4k entries keeps the cache far from
-/// out-of-memory territory while covering thousands of hot scenarios).
+/// Default cap on resident entries across all shards (a plan outcome with
+/// a 1000-episode learning curve is tens of kB; ~4k entries keeps the
+/// cache far from out-of-memory territory while covering thousands of hot
+/// scenarios).
 pub const DEFAULT_MAX_ENTRIES: usize = 4096;
 
-/// Content-addressed, single-flight cache. `T` is the cached artifact —
-/// `PortfolioOutcome` for plans, `CostLut` for Phase-1 profiles.
-pub struct PlanCache<T> {
-    slots: Mutex<HashMap<String, Slot<T>>>,
+/// Default shard count — enough to keep 16-ish connection threads off each
+/// other's locks without fragmenting the capacity budget.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Default cap on spilled `.json` files (the durable tier is cheap but not
+/// free; oldest entries are garbage-collected past this).
+pub const DEFAULT_MAX_DISK_ENTRIES: usize = 16384;
+
+struct ReadyEntry<T> {
+    value: Arc<T>,
+    /// Shard generation at last access — larger is more recent.
+    last_used: u64,
+    /// Snapshot of [`CacheValue::recompute_cost_ms`] at insert time.
+    cost_ms: f64,
+}
+
+enum Slot<T> {
+    InFlight,
+    Ready(ReadyEntry<T>),
+}
+
+#[derive(Default, Clone, Copy)]
+struct ShardCounters {
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+    spill_loads: u64,
+    evictions: u64,
+    capacity_stalls: u64,
+}
+
+struct ShardState<T> {
+    map: HashMap<String, Slot<T>>,
+    /// Generation counter backing true-LRU recency.
+    tick: u64,
+    counters: ShardCounters,
+}
+
+struct Shard<T> {
+    state: Mutex<ShardState<T>>,
     ready: Condvar,
-    spill_dir: Option<PathBuf>,
+}
+
+impl<T> Default for Shard<T> {
+    fn default() -> Self {
+        Shard {
+            state: Mutex::new(ShardState {
+                map: HashMap::new(),
+                tick: 0,
+                counters: ShardCounters::default(),
+            }),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+/// The bounded durable tier: an index of spilled keys in age order, used
+/// to garbage-collect the oldest files past the on-disk bound.
+struct SpillTier {
+    dir: PathBuf,
+    max_disk_entries: usize,
+    index: Mutex<DiskIndex>,
+}
+
+#[derive(Default)]
+struct DiskIndex {
+    /// Keys in eviction order, oldest first.
+    order: VecDeque<String>,
+    present: HashSet<String>,
+}
+
+impl SpillTier {
+    /// Opens the tier: creates the directory, deletes orphaned `.json.tmp`
+    /// files left by a crashed writer, indexes the surviving `.json`
+    /// entries by age and trims them to the bound.
+    fn open(dir: PathBuf, max_disk_entries: usize) -> std::io::Result<SpillTier> {
+        std::fs::create_dir_all(&dir)?;
+        let tier = SpillTier {
+            dir,
+            max_disk_entries,
+            index: Mutex::new(DiskIndex::default()),
+        };
+        tier.sweep()?;
+        Ok(tier)
+    }
+
+    fn sweep(&self) -> std::io::Result<()> {
+        let mut files: Vec<(String, std::time::SystemTime)> = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.ends_with(".json.tmp") {
+                // Orphan from a writer that died between create and
+                // rename; it was never part of the durable tier.
+                let _ = std::fs::remove_file(entry.path());
+            } else if let Some(key) = name.strip_suffix(".json") {
+                let mtime = entry
+                    .metadata()
+                    .and_then(|m| m.modified())
+                    .unwrap_or(UNIX_EPOCH);
+                files.push((key.to_string(), mtime));
+            }
+        }
+        files.sort_by_key(|f| f.1);
+        let excess = files.len().saturating_sub(self.max_disk_entries);
+        let mut index = self.index.lock().expect("spill index lock");
+        *index = DiskIndex::default();
+        for (key, _) in files.drain(..excess) {
+            let _ = std::fs::remove_file(self.path_for(&key));
+        }
+        for (key, _) in files {
+            index.present.insert(key.clone());
+            index.order.push_back(key);
+        }
+        Ok(())
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    fn load(&self, key: &str) -> Option<String> {
+        std::fs::read_to_string(self.path_for(key)).ok()
+    }
+
+    fn store(&self, key: &str, json: &str) {
+        let path = self.path_for(key);
+        let tmp = path.with_extension("json.tmp");
+        let durable = (|| -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(json.as_bytes())?;
+            // fsync *before* the rename: the rename is what makes the
+            // entry durable, so the bytes must already be on disk.
+            f.sync_all()?;
+            std::fs::rename(&tmp, &path)
+        })();
+        if durable.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return;
+        }
+        let mut index = self.index.lock().expect("spill index lock");
+        if index.present.insert(key.to_string()) {
+            index.order.push_back(key.to_string());
+        }
+        while index.order.len() > self.max_disk_entries {
+            let victim = index.order.pop_front().expect("non-empty order");
+            index.present.remove(&victim);
+            let _ = std::fs::remove_file(self.path_for(&victim));
+        }
+    }
+
+    /// Spilled entries currently indexed.
+    fn len(&self) -> usize {
+        self.index.lock().expect("spill index lock").order.len()
+    }
+}
+
+/// Content-addressed, sharded, single-flight cache. `T` is the cached
+/// artifact — `PortfolioOutcome` for plans, `CostLut` for Phase-1
+/// profiles.
+pub struct PlanCache<T> {
+    shards: Vec<Shard<T>>,
+    /// Total resident bound requested via [`PlanCache::with_max_entries`].
     max_entries: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    coalesced: AtomicU64,
-    spill_loads: AtomicU64,
+    /// Shard count requested via [`PlanCache::with_shards`] (the effective
+    /// count is clamped so every shard gets at least one slot).
+    requested_shards: usize,
+    policy: EvictionPolicy,
+    spill: Option<SpillTier>,
 }
 
 /// Removes the in-flight marker if the computing thread unwinds, waking
 /// waiters so they can retry instead of blocking forever.
-struct InFlightGuard<'a, T: Serialize + Deserialize + Clone> {
-    cache: &'a PlanCache<T>,
+struct InFlightGuard<'a, T> {
+    shard: &'a Shard<T>,
     key: &'a str,
     completed: bool,
 }
 
-impl<T: Serialize + Deserialize + Clone> Drop for InFlightGuard<'_, T> {
+impl<T> Drop for InFlightGuard<'_, T> {
     fn drop(&mut self) {
         if !self.completed {
-            let mut slots = self.cache.slots.lock().expect("cache lock");
-            if matches!(slots.get(self.key), Some(Slot::InFlight)) {
-                slots.remove(self.key);
+            let mut state = self.shard.state.lock().expect("cache lock");
+            if matches!(state.map.get(self.key), Some(Slot::InFlight)) {
+                state.map.remove(self.key);
             }
-            drop(slots);
-            self.cache.ready.notify_all();
+            drop(state);
+            self.shard.ready.notify_all();
         }
     }
 }
 
-impl<T: Serialize + Deserialize + Clone> PlanCache<T> {
-    /// In-memory cache bounded at [`DEFAULT_MAX_ENTRIES`].
+impl<T: CacheValue> PlanCache<T> {
+    /// In-memory cache: [`DEFAULT_SHARDS`] shards sharing
+    /// [`DEFAULT_MAX_ENTRIES`] resident slots, LRU eviction.
     pub fn new() -> Self {
-        PlanCache {
-            slots: Mutex::new(HashMap::new()),
-            ready: Condvar::new(),
-            spill_dir: None,
+        let mut cache = PlanCache {
+            shards: Vec::new(),
             max_entries: DEFAULT_MAX_ENTRIES,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            coalesced: AtomicU64::new(0),
-            spill_loads: AtomicU64::new(0),
-        }
+            requested_shards: DEFAULT_SHARDS,
+            policy: EvictionPolicy::Lru,
+            spill: None,
+        };
+        cache.rebuild_shards();
+        cache
     }
 
-    /// Cache that additionally persists every computed plan as
-    /// `<dir>/<key>.json` and warm-starts from such files on miss.
+    /// Cache that additionally persists every computed artifact as
+    /// `<dir>/<key>.json` and warm-starts from such files on miss. Opening
+    /// sweeps the directory: orphaned `.json.tmp` files are deleted and
+    /// the on-disk entry count is trimmed (oldest first) to
+    /// [`DEFAULT_MAX_DISK_ENTRIES`].
     ///
     /// # Errors
     ///
-    /// Fails when the directory cannot be created.
+    /// Fails when the directory cannot be created or swept.
     pub fn with_spill_dir(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
-        let dir = dir.into();
-        std::fs::create_dir_all(&dir)?;
         let mut cache = PlanCache::new();
-        cache.spill_dir = Some(dir);
+        cache.spill = Some(SpillTier::open(dir.into(), DEFAULT_MAX_DISK_ENTRIES)?);
         Ok(cache)
     }
 
-    /// Returns the cache with a different resident-entry cap (min 1).
+    /// Returns the cache with a different total resident bound (min 1).
+    /// The bound is divided across shards and holds per shard as a hard
+    /// invariant, in-flight computes included. Resets resident entries.
     pub fn with_max_entries(mut self, max_entries: usize) -> Self {
         self.max_entries = max_entries.max(1);
+        self.rebuild_shards();
         self
     }
 
-    fn spill_path(&self, key: &str) -> Option<PathBuf> {
-        self.spill_dir
-            .as_ref()
-            .map(|d| d.join(format!("{key}.json")))
+    /// Returns the cache with a different shard count (min 1; clamped to
+    /// the resident bound so every shard owns at least one slot). Resets
+    /// resident entries.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.requested_shards = shards.max(1);
+        self.rebuild_shards();
+        self
+    }
+
+    /// Returns the cache with a different eviction policy.
+    pub fn with_eviction(mut self, policy: EvictionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Returns the cache with a different bound on spilled `.json` files
+    /// (min 1); trims the directory immediately if it is over. No effect
+    /// without a spill directory.
+    pub fn with_max_disk_entries(mut self, max_disk_entries: usize) -> Self {
+        if let Some(spill) = self.spill.as_mut() {
+            spill.max_disk_entries = max_disk_entries.max(1);
+            let _ = spill.sweep();
+        }
+        self
+    }
+
+    fn rebuild_shards(&mut self) {
+        let n = self.requested_shards.min(self.max_entries).max(1);
+        self.shards = (0..n).map(|_| Shard::default()).collect();
+    }
+
+    /// Slots each shard may hold (ready + in-flight). The floor division
+    /// guarantees the total never exceeds `max_entries`.
+    fn per_shard_cap(&self) -> usize {
+        (self.max_entries / self.shards.len()).max(1)
+    }
+
+    /// Selects the shard from a stable hash of the whole key. Hashing
+    /// every byte (not just a prefix) keeps the distribution uniform even
+    /// for key families that share long common prefixes, e.g. zero-padded
+    /// counters or namespaced keys.
+    fn shard_for(&self, key: &str) -> &Shard<T> {
+        let mut h = Fnv64::new();
+        h.write_str(key);
+        &self.shards[(h.finish() % self.shards.len() as u64) as usize]
     }
 
     fn load_spilled(&self, key: &str) -> Option<T> {
-        let path = self.spill_path(key)?;
-        let json = std::fs::read_to_string(path).ok()?;
+        let json = self.spill.as_ref()?.load(key)?;
         serde_json::from_str(&json).ok()
     }
 
     fn spill(&self, key: &str, outcome: &T) {
-        if let Some(path) = self.spill_path(key) {
+        if let Some(spill) = &self.spill {
             if let Ok(json) = serde_json::to_string(outcome) {
-                // Write-then-rename so a crashed writer never leaves a
-                // half-written plan that a future load would reject.
-                let tmp = path.with_extension("json.tmp");
-                if std::fs::write(&tmp, json).is_ok() {
-                    let _ = std::fs::rename(&tmp, &path);
-                }
+                spill.store(key, &json);
             }
         }
     }
 
+    /// Evicts one ready victim per the policy; `false` when every slot is
+    /// an in-flight compute (nothing is safely removable — threads wait on
+    /// those slots).
+    fn evict_one(&self, state: &mut ShardState<T>) -> bool {
+        let victim = state
+            .map
+            .iter()
+            .filter_map(|(k, slot)| match slot {
+                Slot::Ready(e) => Some((k, e)),
+                Slot::InFlight => None,
+            })
+            .min_by(|a, b| match self.policy {
+                EvictionPolicy::Lru => a.1.last_used.cmp(&b.1.last_used),
+                EvictionPolicy::CostWeighted => {
+                    a.1.cost_ms
+                        .partial_cmp(&b.1.cost_ms)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.1.last_used.cmp(&b.1.last_used))
+                }
+            })
+            .map(|(k, _)| k.clone());
+        match victim {
+            Some(k) => {
+                state.map.remove(&k);
+                state.counters.evictions += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Looks up `key`, computing it with `compute` on a miss. Guarantees at
-    /// most one concurrent `compute` per key (single-flight). Returns the
-    /// outcome and whether it was served without running `compute` on this
-    /// call.
+    /// most one concurrent `compute` per key (single-flight) and never more
+    /// than the shard's capacity in resident slots, in-flight included.
+    /// Returns the outcome and whether it was served without running
+    /// `compute` on this call.
     pub fn get_or_compute(&self, key: &str, compute: impl FnOnce() -> T) -> (Arc<T>, bool) {
+        let cap = self.per_shard_cap();
+        let shard = self.shard_for(key);
+        let mut waited = false;
         {
-            let mut slots = self.slots.lock().expect("cache lock");
+            let mut state = shard.state.lock().expect("cache lock");
             loop {
-                match slots.get(key) {
-                    Some(Slot::Ready(outcome)) => {
-                        self.hits.fetch_add(1, Ordering::Relaxed);
-                        return (Arc::clone(outcome), true);
+                match state.map.get(key) {
+                    Some(Slot::Ready(_)) => {
+                        state.tick += 1;
+                        let tick = state.tick;
+                        if waited {
+                            state.counters.coalesced += 1;
+                        } else {
+                            state.counters.hits += 1;
+                        }
+                        let Some(Slot::Ready(entry)) = state.map.get_mut(key) else {
+                            unreachable!("slot checked above");
+                        };
+                        entry.last_used = tick;
+                        return (Arc::clone(&entry.value), true);
                     }
                     Some(Slot::InFlight) => {
-                        self.coalesced.fetch_add(1, Ordering::Relaxed);
-                        // Wait for the computing thread; loop because the
-                        // slot may have been abandoned on panic.
-                        slots = self.ready.wait(slots).expect("cache lock");
-                        // Correct the double count if we loop again.
-                        match slots.get(key) {
-                            Some(Slot::Ready(outcome)) => {
-                                return (Arc::clone(outcome), true);
-                            }
-                            Some(Slot::InFlight) => {
-                                self.coalesced.fetch_sub(1, Ordering::Relaxed);
-                                continue;
-                            }
-                            None => {
-                                // Abandoned: fall through to compute here.
-                                self.coalesced.fetch_sub(1, Ordering::Relaxed);
-                                slots.insert(key.to_string(), Slot::InFlight);
-                                break;
-                            }
-                        }
+                        // Someone else owns the compute; wait for it to
+                        // publish or unwind. Counted once per request at
+                        // the end, not once per wakeup.
+                        waited = true;
+                        state = shard.ready.wait(state).expect("cache lock");
                     }
                     None => {
-                        slots.insert(key.to_string(), Slot::InFlight);
-                        break;
+                        // Claim the key — but only if the shard has room.
+                        // The in-flight marker counts toward the bound, so
+                        // the capacity invariant holds from claim to
+                        // publish.
+                        if state.map.len() < cap || self.evict_one(&mut state) {
+                            state.map.insert(key.to_string(), Slot::InFlight);
+                            break;
+                        }
+                        // Every slot is an in-flight compute: wait for one
+                        // to publish (then evictable) or unwind — never
+                        // overrun the bound.
+                        state.counters.capacity_stalls += 1;
+                        waited = true;
+                        state = shard.ready.wait(state).expect("cache lock");
                     }
                 }
             }
@@ -217,7 +572,7 @@ impl<T: Serialize + Deserialize + Clone> PlanCache<T> {
 
         // We own the in-flight slot. Check disk first, then compute.
         let mut guard = InFlightGuard {
-            cache: self,
+            shard,
             key,
             completed: false,
         };
@@ -227,55 +582,106 @@ impl<T: Serialize + Deserialize + Clone> PlanCache<T> {
         };
         let outcome = Arc::new(outcome);
         {
-            let mut slots = self.slots.lock().expect("cache lock");
-            // Keep the cache bounded: evict an arbitrary ready entry when
-            // at capacity (never an in-flight one — threads wait on those).
-            if slots.len() >= self.max_entries {
-                let victim = slots
-                    .iter()
-                    .find(|(k, v)| matches!(v, Slot::Ready(_)) && k.as_str() != key)
-                    .map(|(k, _)| k.clone());
-                if let Some(victim) = victim {
-                    slots.remove(&victim);
-                }
+            let mut state = shard.state.lock().expect("cache lock");
+            state.tick += 1;
+            let entry = ReadyEntry {
+                value: Arc::clone(&outcome),
+                last_used: state.tick,
+                cost_ms: outcome.recompute_cost_ms(),
+            };
+            // Replaces our own in-flight marker: occupancy is unchanged,
+            // so the bound established at claim time still holds.
+            state.map.insert(key.to_string(), Slot::Ready(entry));
+            if from_spill {
+                state.counters.spill_loads += 1;
+            } else {
+                state.counters.misses += 1;
             }
-            slots.insert(key.to_string(), Slot::Ready(Arc::clone(&outcome)));
         }
         guard.completed = true;
         drop(guard);
-        self.ready.notify_all();
-        if from_spill {
-            self.spill_loads.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+        shard.ready.notify_all();
+        if !from_spill {
             self.spill(key, &outcome);
         }
         (outcome, from_spill)
     }
 
-    /// Current counters.
-    pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            coalesced: self.coalesced.load(Ordering::Relaxed),
-            spill_loads: self.spill_loads.load(Ordering::Relaxed),
-            entries: self.slots.lock().expect("cache lock").len() as u64,
+    fn shard_stats_locked(state: &MutexGuard<'_, ShardState<T>>, cap: usize) -> ShardStats {
+        let in_flight = state
+            .map
+            .values()
+            .filter(|s| matches!(s, Slot::InFlight))
+            .count() as u64;
+        ShardStats {
+            entries: state.map.len() as u64 - in_flight,
+            in_flight,
+            capacity: cap as u64,
+            hits: state.counters.hits,
+            misses: state.counters.misses,
+            coalesced: state.counters.coalesced,
+            spill_loads: state.counters.spill_loads,
+            evictions: state.counters.evictions,
+            capacity_stalls: state.counters.capacity_stalls,
         }
     }
 
-    /// Number of resident entries.
+    /// Per-shard occupancy and counters (one consistent snapshot per
+    /// shard; shards are sampled in order, not atomically together).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        let cap = self.per_shard_cap();
+        self.shards
+            .iter()
+            .map(|s| Self::shard_stats_locked(&s.state.lock().expect("cache lock"), cap))
+            .collect()
+    }
+
+    /// Aggregate counters across all shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats {
+            hits: 0,
+            misses: 0,
+            coalesced: 0,
+            spill_loads: 0,
+            entries: 0,
+            in_flight: 0,
+            evictions: 0,
+            capacity_stalls: 0,
+            shards: self.shards.len() as u64,
+        };
+        for s in self.shard_stats() {
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.coalesced += s.coalesced;
+            total.spill_loads += s.spill_loads;
+            total.entries += s.entries;
+            total.in_flight += s.in_flight;
+            total.evictions += s.evictions;
+            total.capacity_stalls += s.capacity_stalls;
+        }
+        total
+    }
+
+    /// Resident slots (ready + in-flight) across all shards.
     pub fn len(&self) -> usize {
-        self.slots.lock().expect("cache lock").len()
+        self.shards
+            .iter()
+            .map(|s| s.state.lock().expect("cache lock").map.len())
+            .sum()
     }
 
     /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Spilled `.json` entries currently on disk (0 without a spill dir).
+    pub fn spilled_entries(&self) -> usize {
+        self.spill.as_ref().map_or(0, SpillTier::len)
+    }
 }
 
-impl<T: Serialize + Deserialize + Clone> Default for PlanCache<T> {
+impl<T: CacheValue> Default for PlanCache<T> {
     fn default() -> Self {
         PlanCache::new()
     }
@@ -286,7 +692,7 @@ mod tests {
     use super::*;
     use qsdnn::engine::toy;
     use qsdnn::Portfolio;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     use qsdnn::PortfolioOutcome;
 
@@ -381,6 +787,253 @@ mod tests {
             recomputed, 4,
             "each distinct key computed exactly once so far"
         );
+    }
+
+    /// Regression for the seed bug: the bound check counted in-flight
+    /// slots as evictable, so a shard whose slots were all in-flight
+    /// overran `max_entries`. Now the extra claim stalls until a compute
+    /// publishes, and the bound holds at every instant.
+    #[test]
+    fn bound_holds_with_all_slots_in_flight() {
+        let cache = Arc::new(
+            PlanCache::<PortfolioOutcome>::new()
+                .with_shards(1)
+                .with_max_entries(2),
+        );
+        let mut slow = Vec::new();
+        for key in ["a", "b"] {
+            let cache = Arc::clone(&cache);
+            slow.push(std::thread::spawn(move || {
+                cache.get_or_compute(key, || {
+                    std::thread::sleep(std::time::Duration::from_millis(150));
+                    outcome()
+                });
+            }));
+        }
+        // Let both slow computes claim their slots.
+        while cache.len() < 2 {
+            std::thread::yield_now();
+        }
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let extra = {
+            let cache = Arc::clone(&cache);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                cache.get_or_compute("c", outcome);
+                done.store(true, Ordering::SeqCst);
+            })
+        };
+        // The third insert must wait for room, never overrun the bound.
+        while !done.load(Ordering::SeqCst) {
+            assert!(cache.len() <= 2, "bound violated under in-flight pressure");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        extra.join().unwrap();
+        for h in slow {
+            h.join().unwrap();
+        }
+        assert!(cache.len() <= 2);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 3, "all three keys computed exactly once");
+        assert!(
+            stats.capacity_stalls >= 1,
+            "the extra claim must have stalled at the full shard"
+        );
+    }
+
+    /// Regression for the coalesced-counter bug: a request that waits
+    /// through several panic-retry wakeups must be accounted exactly once,
+    /// so the four request counters always sum to the number of completed
+    /// requests and `hit_rate` stays within [0, 1].
+    #[test]
+    fn coalesced_counts_once_per_request_across_panic_retries() {
+        let cache = Arc::new(PlanCache::<PortfolioOutcome>::new().with_shards(1));
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..16 {
+            let cache = Arc::clone(&cache);
+            let attempts = Arc::clone(&attempts);
+            handles.push(std::thread::spawn(move || {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    cache.get_or_compute("k", || {
+                        let n = attempts.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        // The first two claimed computes explode; waiters
+                        // wake, one re-claims, and the third succeeds.
+                        assert!(n >= 2, "search exploded");
+                        outcome()
+                    });
+                }))
+                .is_ok()
+            }));
+        }
+        let succeeded = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|ok| *ok)
+            .count() as u64;
+        assert_eq!(succeeded, 14, "exactly the two panicking requests fail");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "one successful fresh search");
+        assert_eq!(
+            stats.hits + stats.misses + stats.coalesced + stats.spill_loads,
+            succeeded,
+            "every completed request is accounted exactly once"
+        );
+        let rate = stats.hit_rate();
+        assert!((0.0..=1.0).contains(&rate), "hit rate {rate} out of range");
+        assert!(rate >= 13.0 / 14.0 - 1e-9, "13 of 14 served without search");
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        let cache = PlanCache::<PortfolioOutcome>::new()
+            .with_shards(1)
+            .with_max_entries(2)
+            .with_eviction(EvictionPolicy::Lru);
+        cache.get_or_compute("a", outcome);
+        cache.get_or_compute("b", outcome);
+        // Touch "a" so "b" becomes the LRU victim.
+        cache.get_or_compute("a", || panic!("a is resident"));
+        cache.get_or_compute("c", outcome);
+        let (_, a_hit) = cache.get_or_compute("a", || panic!("a must survive"));
+        assert!(a_hit, "recently used entry survives eviction");
+        let (_, b_hit) = cache.get_or_compute("b", outcome);
+        assert!(!b_hit, "LRU victim was evicted");
+    }
+
+    #[test]
+    fn cost_weighted_eviction_prefers_cheap_entries() {
+        // Two outcomes with different wall times: the cheap one goes first.
+        let cheap = || {
+            let mut o = outcome();
+            for m in &mut o.members {
+                m.wall_time_ms = 0.001;
+            }
+            o
+        };
+        let expensive = || {
+            let mut o = outcome();
+            for m in &mut o.members {
+                m.wall_time_ms = 1000.0;
+            }
+            o
+        };
+        let cache = PlanCache::<PortfolioOutcome>::new()
+            .with_shards(1)
+            .with_max_entries(2)
+            .with_eviction(EvictionPolicy::CostWeighted);
+        cache.get_or_compute("expensive", expensive);
+        cache.get_or_compute("cheap", cheap);
+        // Touch "cheap" — under LRU "expensive" would now be the victim,
+        // but cost-weighted still sacrifices the cheap entry.
+        cache.get_or_compute("cheap", || panic!("resident"));
+        cache.get_or_compute("new", outcome);
+        let (_, kept) = cache.get_or_compute("expensive", || panic!("must survive"));
+        assert!(kept, "expensive-to-recompute entry survives");
+        let (_, evicted_hit) = cache.get_or_compute("cheap", cheap);
+        assert!(!evicted_hit, "cheap entry was the victim");
+    }
+
+    #[test]
+    fn startup_sweep_removes_orphaned_tmp_files() {
+        let dir = std::env::temp_dir().join(format!("qsdnn_sweep_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // A crashed writer's orphan and a valid spilled entry.
+        std::fs::write(dir.join("deadbeef.json.tmp"), "{half a pla").unwrap();
+        {
+            let cache = PlanCache::<PortfolioOutcome>::with_spill_dir(&dir).unwrap();
+            cache.get_or_compute("valid", outcome);
+        }
+        let cache = PlanCache::<PortfolioOutcome>::with_spill_dir(&dir).unwrap();
+        assert!(
+            !dir.join("deadbeef.json.tmp").exists(),
+            "orphaned tmp file must be garbage-collected"
+        );
+        assert_eq!(cache.spilled_entries(), 1, "valid entry survives the sweep");
+        let (_, loaded) = cache.get_or_compute("valid", || panic!("must load from disk"));
+        assert!(loaded);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_tier_is_bounded_and_gcs_oldest_first() {
+        let dir = std::env::temp_dir().join(format!("qsdnn_diskgc_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = PlanCache::<PortfolioOutcome>::with_spill_dir(&dir)
+            .unwrap()
+            .with_max_disk_entries(2);
+        for key in ["a", "b", "c", "d"] {
+            cache.get_or_compute(key, outcome);
+        }
+        assert_eq!(cache.spilled_entries(), 2, "disk bound enforced");
+        let on_disk: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(on_disk.len(), 2);
+        assert!(on_disk.contains(&"d.json".to_string()), "newest survives");
+        assert!(!on_disk.contains(&"a.json".to_string()), "oldest GC'd");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_stats_cover_every_shard_and_sum_to_totals() {
+        let cache = PlanCache::<PortfolioOutcome>::new()
+            .with_shards(4)
+            .with_max_entries(64);
+        for key in ["a", "b", "c", "d", "e", "f"] {
+            cache.get_or_compute(key, outcome);
+        }
+        let shards = cache.shard_stats();
+        assert_eq!(shards.len(), 4);
+        assert!(shards.iter().all(|s| s.capacity == 16));
+        let stats = cache.stats();
+        assert_eq!(stats.shards, 4);
+        assert_eq!(shards.iter().map(|s| s.entries).sum::<u64>(), stats.entries);
+        assert_eq!(shards.iter().map(|s| s.misses).sum::<u64>(), 6);
+        assert!(
+            shards.iter().filter(|s| s.entries > 0).count() >= 2,
+            "keys spread over shards"
+        );
+    }
+
+    /// Regression: shard selection once hashed only the key's first 8
+    /// bytes, so zero-padded key families (shared long prefix) collapsed
+    /// into one shard, silently shrinking capacity and re-serializing
+    /// every lookup on one lock.
+    #[test]
+    fn shared_prefix_keys_spread_over_shards() {
+        let cache = PlanCache::<PortfolioOutcome>::new()
+            .with_shards(8)
+            .with_max_entries(4096);
+        for k in 0..32 {
+            cache.get_or_compute(&format!("{k:016x}"), outcome);
+        }
+        let occupied = cache.shard_stats().iter().filter(|s| s.entries > 0).count();
+        assert!(
+            occupied >= 4,
+            "32 zero-padded keys must spread over shards, occupied only {occupied}"
+        );
+    }
+
+    #[test]
+    fn eviction_policy_parses_from_cli_strings() {
+        assert_eq!(
+            "lru".parse::<EvictionPolicy>().unwrap(),
+            EvictionPolicy::Lru
+        );
+        assert_eq!(
+            "cost".parse::<EvictionPolicy>().unwrap(),
+            EvictionPolicy::CostWeighted
+        );
+        assert_eq!(
+            "cost-weighted".parse::<EvictionPolicy>().unwrap(),
+            EvictionPolicy::CostWeighted
+        );
+        assert!("mru".parse::<EvictionPolicy>().is_err());
+        assert_eq!(EvictionPolicy::Lru.to_string(), "lru");
     }
 
     #[test]

@@ -14,9 +14,11 @@
 //!   the lowest member index), so a parallel run is bit-identical to the
 //!   sequential reference [`qsdnn::Portfolio::run_sequential`].
 //! * **Content-addressed plan cache** ([`PlanCache`]) — plans are keyed by
-//!   a stable fingerprint of *(LUT, objective, portfolio spec)* with
-//!   single-flight coalescing (concurrent identical requests trigger one
-//!   search) and optional JSON spill-to-disk that survives restarts.
+//!   a stable fingerprint of *(LUT, objective, portfolio spec)*, split over
+//!   N independent shards (each its own lock, single-flight coalescing and
+//!   hard capacity bound — in-flight computes included), evicted LRU or
+//!   cost-weighted ([`EvictionPolicy`]), with a bounded, crash-safe JSON
+//!   spill tier that survives restarts.
 //! * **JSON-lines TCP protocol** ([`protocol`]) — `profile`, `search`,
 //!   `plan` and `stats` requests over plain `std::net`, one JSON document
 //!   per line; [`PlanServer`] serves it, [`PlanClient`] speaks it.
@@ -53,7 +55,7 @@ mod portfolio;
 pub mod protocol;
 mod server;
 
-pub use cache::{plan_key, CacheStats, PlanCache};
+pub use cache::{plan_key, CacheStats, CacheValue, EvictionPolicy, PlanCache, ShardStats};
 pub use client::PlanClient;
 pub use pool::WorkerPool;
 pub use portfolio::run_portfolio_parallel;

@@ -12,7 +12,7 @@ use qsdnn::engine::{CostLut, Mode, Objective};
 use qsdnn::{MemberSummary, SearchReport};
 use serde::{Deserialize, Serialize};
 
-use crate::cache::CacheStats;
+use crate::cache::{CacheStats, ShardStats};
 use crate::ServeError;
 
 /// Protocol revision; servers reject requests from a different major rev.
@@ -150,10 +150,14 @@ pub struct StatsResponse {
     pub requests: u64,
     /// Plan/search requests handled.
     pub plans: u64,
-    /// Plan-cache counters.
+    /// Plan-cache counters, aggregated over shards.
     pub plan_cache: CacheStats,
-    /// Profile-cache counters.
+    /// Per-shard plan-cache occupancy and counters, in shard order.
+    pub plan_cache_shards: Vec<ShardStats>,
+    /// Profile-cache counters, aggregated over shards.
     pub profile_cache: CacheStats,
+    /// Per-shard profile-cache occupancy and counters, in shard order.
+    pub profile_cache_shards: Vec<ShardStats>,
     /// Worker threads in the search pool.
     pub workers: u64,
 }
@@ -217,6 +221,43 @@ pub fn read_message<T: serde::Deserialize>(r: &mut impl BufRead) -> Result<Optio
             continue;
         }
         return serde_json::from_str(trimmed)
+            .map(Some)
+            .map_err(|e| ServeError::Protocol(e.to_string()));
+    }
+}
+
+/// Like [`read_message`], but safe to call on a socket with a read
+/// timeout: when the read times out mid-line, the bytes received so far
+/// stay in `partial` and the next call resumes the same line, so framing
+/// survives `WouldBlock`/`TimedOut` errors. Used by server connection
+/// handlers, which poll a shutdown flag between timeouts.
+///
+/// # Errors
+///
+/// Propagates I/O failures (timeouts included — `partial` stays valid) and
+/// malformed JSON (`partial` is consumed).
+pub fn read_message_resumable<T: serde::Deserialize>(
+    r: &mut impl BufRead,
+    partial: &mut String,
+) -> Result<Option<T>, ServeError> {
+    loop {
+        match r.read_line(partial) {
+            Err(e) => return Err(ServeError::Io(e)),
+            Ok(0) if partial.trim().is_empty() => {
+                partial.clear();
+                return Ok(None); // clean EOF
+            }
+            Ok(n) if n > 0 && partial.ends_with('\n') && partial.trim().is_empty() => {
+                // A stray keepalive newline is not EOF or a message.
+                partial.clear();
+                continue;
+            }
+            // A complete line — or EOF mid-line (`read_line` only stops
+            // short of a newline at EOF): parse what arrived.
+            Ok(_) => {}
+        }
+        let line = std::mem::take(partial);
+        return serde_json::from_str(line.trim())
             .map(Some)
             .map_err(|e| ServeError::Protocol(e.to_string()));
     }
@@ -290,6 +331,56 @@ mod tests {
     }
 
     #[test]
+    fn stats_response_roundtrips_with_shard_breakdown() {
+        let shard = ShardStats {
+            entries: 3,
+            in_flight: 1,
+            capacity: 512,
+            hits: 10,
+            misses: 4,
+            coalesced: 2,
+            spill_loads: 1,
+            evictions: 5,
+            capacity_stalls: 1,
+        };
+        let resp = Response::Stats(StatsResponse {
+            version: PROTOCOL_VERSION,
+            uptime_ms: 12,
+            requests: 20,
+            plans: 17,
+            plan_cache: CacheStats {
+                hits: 10,
+                misses: 4,
+                coalesced: 2,
+                spill_loads: 1,
+                entries: 3,
+                in_flight: 1,
+                evictions: 5,
+                capacity_stalls: 1,
+                shards: 2,
+            },
+            plan_cache_shards: vec![shard, shard],
+            profile_cache: CacheStats {
+                hits: 0,
+                misses: 0,
+                coalesced: 0,
+                spill_loads: 0,
+                entries: 0,
+                in_flight: 0,
+                evictions: 0,
+                capacity_stalls: 0,
+                shards: 2,
+            },
+            profile_cache_shards: Vec::new(),
+            workers: 8,
+        });
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(!json.contains('\n'));
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(resp, back);
+    }
+
+    #[test]
     fn framing_roundtrip_through_a_buffer() {
         let mut buf = Vec::new();
         write_message(&mut buf, &Request::Stats).unwrap();
@@ -304,6 +395,58 @@ mod tests {
         let c: Request = read_message(&mut r).unwrap().expect("blank lines skipped");
         assert_eq!(c, Request::Stats);
         assert!(read_message::<Request>(&mut r).unwrap().is_none(), "EOF");
+    }
+
+    /// A reader that yields its chunks one `read` at a time, with a
+    /// `WouldBlock` wherever a chunk is empty — the shape of a socket
+    /// read timeout firing mid-line.
+    struct Stutter(std::collections::VecDeque<Vec<u8>>);
+
+    impl std::io::Read for Stutter {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            match self.0.pop_front() {
+                Some(c) if c.is_empty() => {
+                    Err(std::io::Error::from(std::io::ErrorKind::WouldBlock))
+                }
+                Some(c) => {
+                    buf[..c.len()].copy_from_slice(&c);
+                    Ok(c.len())
+                }
+                None => Ok(0),
+            }
+        }
+    }
+
+    #[test]
+    fn resumable_read_survives_a_timeout_mid_line() {
+        let mut line = Vec::new();
+        write_message(&mut line, &Request::Stats).unwrap();
+        let (head, tail) = line.split_at(line.len() / 2);
+        let mut r = std::io::BufReader::new(Stutter(
+            [head.to_vec(), Vec::new(), tail.to_vec()]
+                .into_iter()
+                .collect(),
+        ));
+        let mut partial = String::new();
+        // First call: half the line arrives, then the timeout fires. The
+        // half-line must survive in `partial`.
+        let err = read_message_resumable::<Request>(&mut r, &mut partial)
+            .expect_err("timeout propagates");
+        assert!(matches!(
+            err,
+            ServeError::Io(ref e) if e.kind() == std::io::ErrorKind::WouldBlock
+        ));
+        assert!(!partial.is_empty(), "partial line must be preserved");
+        // Second call: the rest of the line completes the message.
+        let msg = read_message_resumable::<Request>(&mut r, &mut partial)
+            .unwrap()
+            .unwrap();
+        assert_eq!(msg, Request::Stats);
+        assert!(partial.is_empty());
+        // Clean EOF afterwards.
+        assert!(read_message_resumable::<Request>(&mut r, &mut partial)
+            .unwrap()
+            .is_none());
     }
 
     #[test]

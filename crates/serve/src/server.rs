@@ -9,22 +9,28 @@
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use qsdnn::engine::{AnalyticalPlatform, CostLut, Objective, Profiler};
 use qsdnn::nn::zoo;
 use qsdnn::Portfolio;
 
-use crate::cache::{plan_key, PlanCache};
+use crate::cache::{plan_key, CacheValue, EvictionPolicy, PlanCache};
 use crate::pool::WorkerPool;
 use crate::portfolio::run_portfolio_parallel;
 use crate::protocol::{
-    default_episodes, read_message, write_message, PlanRequest, PlanResponse, ProfileRequest,
-    ProfileResponse, Request, Response, SearchRequest, StatsResponse, PROTOCOL_VERSION,
+    default_episodes, read_message_resumable, write_message, PlanRequest, PlanResponse,
+    ProfileRequest, ProfileResponse, Request, Response, SearchRequest, StatsResponse,
+    PROTOCOL_VERSION,
 };
 use crate::ServeError;
+
+/// How long a connection handler blocks in `read` before re-checking the
+/// shutdown flag. Bounds both shutdown latency and the join in
+/// [`PlanServer::shutdown`].
+const HANDLER_READ_TIMEOUT: Duration = Duration::from_millis(100);
 
 /// Server construction parameters.
 #[derive(Debug, Clone)]
@@ -39,6 +45,13 @@ pub struct ServerConfig {
     pub profile_repeats: usize,
     /// Default QS-DNN seeds when a request passes no seeds.
     pub default_seeds: Vec<u64>,
+    /// Plan/profile cache shards (0 = cache default).
+    pub cache_shards: usize,
+    /// Eviction policy for both the plan and profile caches.
+    pub eviction: EvictionPolicy,
+    /// Total resident entries for *each* of the plan and profile caches
+    /// (0 = cache default).
+    pub cache_max_entries: usize,
 }
 
 impl Default for ServerConfig {
@@ -49,7 +62,24 @@ impl Default for ServerConfig {
             spill_dir: None,
             profile_repeats: 10,
             default_seeds: vec![0x5EED, 0x5EED + 1, 0x5EED + 2],
+            cache_shards: 0,
+            eviction: EvictionPolicy::Lru,
+            cache_max_entries: 0,
         }
+    }
+}
+
+impl ServerConfig {
+    /// Applies the config's shard/eviction/bound knobs to a cache.
+    fn configure_cache<T: CacheValue>(&self, mut cache: PlanCache<T>) -> PlanCache<T> {
+        cache = cache.with_eviction(self.eviction);
+        if self.cache_max_entries > 0 {
+            cache = cache.with_max_entries(self.cache_max_entries);
+        }
+        if self.cache_shards > 0 {
+            cache = cache.with_shards(self.cache_shards);
+        }
+        cache
     }
 }
 
@@ -62,6 +92,10 @@ struct ServiceState {
     requests: AtomicU64,
     plans_served: AtomicU64,
     shutting_down: AtomicBool,
+    /// Live connection-handler threads, joined on shutdown so no handler
+    /// outlives the server (each observes `shutting_down` within
+    /// [`HANDLER_READ_TIMEOUT`]).
+    handlers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl ServiceState {
@@ -224,7 +258,9 @@ impl ServiceState {
                 requests: self.requests.load(Ordering::Relaxed),
                 plans: self.plans_served.load(Ordering::Relaxed),
                 plan_cache: self.plans.stats(),
+                plan_cache_shards: self.plans.shard_stats(),
                 profile_cache: self.profiles.stats(),
+                profile_cache_shards: self.profiles.shard_stats(),
                 workers: self.pool.threads() as u64,
             }),
         }
@@ -248,10 +284,11 @@ impl PlanServer {
     pub fn start(config: ServerConfig) -> Result<PlanServer, ServeError> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let plans = match &config.spill_dir {
+        let plans = config.configure_cache(match &config.spill_dir {
             Some(dir) => PlanCache::with_spill_dir(dir)?,
             None => PlanCache::new(),
-        };
+        });
+        let profiles = config.configure_cache(PlanCache::new());
         let pool = if config.threads == 0 {
             WorkerPool::with_default_size()
         } else {
@@ -260,12 +297,13 @@ impl PlanServer {
         let state = Arc::new(ServiceState {
             pool,
             plans,
-            profiles: PlanCache::new(),
+            profiles,
             config,
             started: Instant::now(),
             requests: AtomicU64::new(0),
             plans_served: AtomicU64::new(0),
             shutting_down: AtomicBool::new(false),
+            handlers: Mutex::new(Vec::new()),
         });
         let acceptor_state = Arc::clone(&state);
         let acceptor = std::thread::Builder::new()
@@ -284,8 +322,10 @@ impl PlanServer {
         self.addr
     }
 
-    /// Stops accepting, wakes the acceptor and joins it. Established
-    /// connections finish their in-flight request and close on next read.
+    /// Stops accepting, wakes the acceptor and joins it, then joins every
+    /// connection handler. Handlers blocked in `read` observe the flag
+    /// within [`HANDLER_READ_TIMEOUT`], finish any in-flight request and
+    /// exit — none outlive this call.
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -296,6 +336,10 @@ impl PlanServer {
             // Poke the blocking accept() so the loop observes the flag.
             let _ = TcpStream::connect(self.addr);
             let _ = handle.join();
+            let handlers = std::mem::take(&mut *self.state.handlers.lock().expect("handlers lock"));
+            for h in handlers {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -312,27 +356,56 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServiceState>) {
             return;
         }
         let Ok(stream) = stream else { continue };
-        let state = Arc::clone(state);
-        let _ = std::thread::Builder::new()
+        let conn_state = Arc::clone(state);
+        let spawned = std::thread::Builder::new()
             .name("qsdnn-conn".into())
             .spawn(move || {
-                let _ = serve_connection(stream, &state);
+                let _ = serve_connection(stream, &conn_state);
             });
+        let Ok(handle) = spawned else { continue };
+        let mut handlers = state.handlers.lock().expect("handlers lock");
+        // Reap handlers whose connections already closed so a long-lived
+        // server doesn't accumulate one JoinHandle per past connection.
+        let mut live = Vec::with_capacity(handlers.len() + 1);
+        for h in handlers.drain(..) {
+            if h.is_finished() {
+                let _ = h.join();
+            } else {
+                live.push(h);
+            }
+        }
+        live.push(handle);
+        *handlers = live;
     }
 }
 
 fn serve_connection(stream: TcpStream, state: &Arc<ServiceState>) -> Result<(), ServeError> {
+    // A bounded read timeout lets the handler re-check `shutting_down`
+    // while idle, so `PlanServer::shutdown` can join it instead of leaking
+    // a thread blocked in `read` forever.
+    stream.set_read_timeout(Some(HANDLER_READ_TIMEOUT))?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
+    let mut partial = String::new();
     loop {
         if state.shutting_down.load(Ordering::SeqCst) {
             return Ok(());
         }
-        let req: Option<Request> = match read_message(&mut reader) {
+        let req: Option<Request> = match read_message_resumable(&mut reader, &mut partial) {
             Ok(r) => r,
             Err(ServeError::Protocol(message)) => {
                 // Malformed line: report and keep the connection.
                 write_message(&mut writer, &Response::Error { message })?;
+                continue;
+            }
+            Err(ServeError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle timeout: any half-received line stays in `partial`;
+                // loop around to re-check the shutdown flag.
                 continue;
             }
             Err(e) => return Err(e),

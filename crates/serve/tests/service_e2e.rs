@@ -213,6 +213,57 @@ fn malformed_lut_in_search_request_is_rejected_cleanly() {
 }
 
 #[test]
+fn shutdown_joins_idle_connection_handlers() {
+    // Regression: handler threads used to be detached, so `shutdown`
+    // returned while handlers sat blocked in `read` forever. Now an idle
+    // open connection must be wound down — its handler observes the flag
+    // via the read timeout, exits, and the socket closes.
+    let server = PlanServer::start(ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let mut idle = PlanClient::connect(addr).expect("connect");
+    idle.set_timeout(Some(std::time::Duration::from_secs(5)))
+        .expect("client timeout");
+    let started = std::time::Instant::now();
+    server.shutdown();
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(2),
+        "shutdown must not hang on the idle connection"
+    );
+    // The handler is gone, so the next request fails (EOF or reset)
+    // instead of being silently served by a leaked thread.
+    let after = idle.stats();
+    assert!(after.is_err(), "handler must not outlive the server");
+}
+
+#[test]
+fn stats_expose_per_shard_cache_breakdown() {
+    let server = PlanServer::start(ServerConfig {
+        cache_shards: 4,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let mut client = PlanClient::connect(server.local_addr()).expect("connect");
+    for network in NETWORKS {
+        client.plan(request_for(network)).expect("plan");
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.plan_cache.shards, 4);
+    assert_eq!(stats.plan_cache_shards.len(), 4);
+    assert_eq!(stats.profile_cache_shards.len(), 4);
+    // The per-shard breakdown must sum to the aggregate counters.
+    let shard_entries: u64 = stats.plan_cache_shards.iter().map(|s| s.entries).sum();
+    assert_eq!(shard_entries, stats.plan_cache.entries);
+    assert_eq!(shard_entries, NETWORKS.len() as u64);
+    let shard_misses: u64 = stats.plan_cache_shards.iter().map(|s| s.misses).sum();
+    assert_eq!(shard_misses, stats.plan_cache.misses);
+    for s in &stats.plan_cache_shards {
+        assert!(s.entries + s.in_flight <= s.capacity, "bound per shard");
+        assert!(s.capacity >= 1);
+    }
+    server.shutdown();
+}
+
+#[test]
 fn spill_directory_survives_a_server_restart() {
     let dir = std::env::temp_dir().join(format!("qsdnn_e2e_spill_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
