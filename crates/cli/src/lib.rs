@@ -120,10 +120,11 @@ pub fn usage() -> String {
      [--episodes N] [--seed N] [--objective latency|energy|weighted:<lambda>] [--out <report.json>]\n  \
      qsdnn-cli report --lut <lut.json> --report <report.json>\n  \
      qsdnn-cli serve [--addr host:port] [--threads N] [--spill <dir>] [--repeats N]\n            \
-     [--cache-shards N] [--eviction lru|cost] [--cache-entries N]\n  \
+     [--cache-shards N] [--eviction lru|cost] [--cache-entries N] [--max-in-flight N]\n  \
      qsdnn-cli submit --addr <host:port> [--request plan|profile|search|stats]\n            \
-     [--network <name>] [--batch N] [--mode cpu|gpgpu] [--objective <obj>]\n            \
-     [--episodes N] [--seeds a,b,c] [--repeats N] [--lut <lut.json>]\n  \
+     [--network <name> | --networks a,b,c] [--batch N] [--mode cpu|gpgpu]\n            \
+     [--objective <obj>] [--episodes N] [--seeds a,b,c] [--repeats N] [--lut <lut.json>]\n            \
+     (--networks pipelines the whole batch over one connection)\n  \
      qsdnn-cli help | --help | -h"
         .to_string()
 }
@@ -389,6 +390,7 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
             "cache-shards",
             "eviction",
             "cache-entries",
+            "max-in-flight",
         ],
     )?;
     let addr = args
@@ -404,6 +406,7 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
         cache_shards: opt_parse(args, "cache-shards", 0usize)?,
         eviction: parse_eviction(args.options.get("eviction").map_or("lru", String::as_str))?,
         cache_max_entries: opt_parse(args, "cache-entries", 0usize)?,
+        max_in_flight: opt_parse(args, "max-in-flight", 0usize)?,
         ..ServerConfig::default()
     };
     let spill_note = config
@@ -429,6 +432,7 @@ fn cmd_submit(args: &Args) -> Result<String, String> {
             "addr",
             "request",
             "network",
+            "networks",
             "batch",
             "mode",
             "objective",
@@ -453,6 +457,48 @@ fn cmd_submit(args: &Args) -> Result<String, String> {
     let seeds = parse_seeds(args.options.get("seeds").map_or("", String::as_str))?;
     match kind {
         "plan" => {
+            // `--networks a,b,c` pipelines the whole batch over this one
+            // connection (tagged protocol-v2 requests): the server works
+            // all plans concurrently and replies as each finishes.
+            if let Some(list) = args.options.get("networks") {
+                if args.options.contains_key("network") {
+                    return Err("--network and --networks are mutually exclusive; \
+                         fold the single network into --networks"
+                        .to_string());
+                }
+                let names: Vec<&str> = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if names.is_empty() {
+                    return Err("--networks needs at least one name".to_string());
+                }
+                let reqs: Vec<PlanRequest> = names
+                    .iter()
+                    .map(|name| PlanRequest {
+                        network: (*name).to_string(),
+                        batch,
+                        mode,
+                        objective,
+                        episodes,
+                        seeds: seeds.clone(),
+                    })
+                    .collect();
+                let started = std::time::Instant::now();
+                let plans = client.plan_many(&reqs).map_err(|e| e.to_string())?;
+                let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+                let mut out = String::new();
+                for plan in &plans {
+                    out.push_str(&format_plan(plan));
+                    out.push_str("\n\n");
+                }
+                out.push_str(&format!(
+                    "{} plans pipelined over one connection in {wall_ms:.0} ms",
+                    plans.len()
+                ));
+                return Ok(out);
+            }
             let plan = client
                 .plan(PlanRequest {
                     network: network()?,
@@ -497,13 +543,17 @@ fn cmd_submit(args: &Args) -> Result<String, String> {
         "stats" => {
             let stats = client.stats().map_err(|e| e.to_string())?;
             let mut out = format!(
-                "qsdnn-serve v{} up {:.1} s | {} requests, {} plans | plan cache: {} hits, \
+                "qsdnn-serve v{} up {:.1} s | {} requests, {} plans, {} pipelined \
+                 (peak {} in flight, cap {}) | plan cache: {} hits, \
                  {} misses, {} coalesced, {} spill loads, {} entries ({:.0}% hit rate), \
                  {} evictions, {} stalls over {} shards | profile cache: {} entries | {} workers",
                 stats.version,
                 stats.uptime_ms as f64 / 1e3,
                 stats.requests,
                 stats.plans,
+                stats.pipelined,
+                stats.in_flight_peak,
+                stats.max_in_flight,
                 stats.plan_cache.hits,
                 stats.plan_cache.misses,
                 stats.plan_cache.coalesced,
@@ -718,6 +768,54 @@ mod tests {
             run(&parse_args(&argv(&["submit", "--addr", &addr, "--request", "stats"])).unwrap())
                 .unwrap();
         assert!(stats.contains("plan cache: 1 hits"), "{stats}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn submit_networks_pipelines_a_batch_over_one_connection() {
+        let server = qsdnn_serve::start_local().expect("server");
+        let addr = server.local_addr().to_string();
+        let out = run(&parse_args(&argv(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--networks",
+            "tiny_cnn, toy_branchy",
+            "--episodes",
+            "120",
+            "--seeds",
+            "3",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(
+            out.contains("2 plans pipelined over one connection"),
+            "{out}"
+        );
+        assert!(out.contains("for tiny_cnn"), "{out}");
+        assert!(out.contains("for toy_branchy"), "{out}");
+        // The server really saw tagged (v2) requests.
+        let stats =
+            run(&parse_args(&argv(&["submit", "--addr", &addr, "--request", "stats"])).unwrap())
+                .unwrap();
+        assert!(stats.contains("2 pipelined"), "{stats}");
+        // An empty list is rejected before touching the server.
+        let err = run(&parse_args(&argv(&["submit", "--addr", &addr, "--networks", ","])).unwrap())
+            .unwrap_err();
+        assert!(err.contains("at least one name"), "{err}");
+        // Conflicting --network/--networks is an error, not a silent drop.
+        let err = run(&parse_args(&argv(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--network",
+            "vgg16",
+            "--networks",
+            "lenet5,tiny_cnn",
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
         server.shutdown();
     }
 

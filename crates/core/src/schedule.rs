@@ -40,25 +40,30 @@ impl EpsilonSchedule {
         }
     }
 
-    /// Linear decay from 1.0 to 0.0 over the budget, quantized to 20 steps
-    /// (ablation).
+    /// Linear decay from 1.0 to 0.0 over the budget, quantized to at most
+    /// 20 steps (ablation). The final segment always pins ε = 0 and
+    /// absorbs the rounding remainder, so every budget — including
+    /// `total < 20`, which gets one step per episode — ends in full
+    /// exploitation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is zero.
     pub fn linear(total: usize) -> Self {
-        let steps = 20usize;
-        let per = (total / steps).max(1);
-        let mut segments = Vec::new();
+        assert!(total > 0, "schedule needs at least one episode");
+        let steps = 20usize.min(total);
+        let per = total / steps;
+        let mut segments = Vec::with_capacity(steps);
         let mut used = 0;
         for i in 0..steps {
-            let eps = 1.0 - i as f64 / (steps - 1) as f64;
-            let count = if i == steps - 1 {
-                total.saturating_sub(used)
+            let eps = if steps == 1 {
+                0.0
             } else {
-                per
+                1.0 - i as f64 / (steps - 1) as f64
             };
+            let count = if i == steps - 1 { total - used } else { per };
             segments.push((eps, count));
             used += count;
-            if used >= total {
-                break;
-            }
         }
         EpsilonSchedule { segments }
     }
@@ -94,6 +99,7 @@ impl EpsilonSchedule {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn paper_schedule_for_1000_matches_fig4() {
@@ -138,5 +144,42 @@ mod tests {
         assert_eq!(s.total_episodes(), 200);
         assert!(s.epsilon_for(0) > s.epsilon_for(100));
         assert!(s.epsilon_for(100) > s.epsilon_for(199));
+    }
+
+    /// Regression: `linear(total)` for `total < 20` used to break out of
+    /// the segment loop before reaching the ε = 0 step — `linear(15)`
+    /// ended at ε ≈ 0.26 and never exploited greedily.
+    #[test]
+    fn linear_small_budgets_reach_zero_epsilon() {
+        for total in [1, 2, 3, 7, 15, 19] {
+            let s = EpsilonSchedule::linear(total);
+            assert_eq!(s.total_episodes(), total, "budget {total}");
+            assert_eq!(
+                s.epsilon_for(total - 1),
+                0.0,
+                "budget {total} must end fully greedy"
+            );
+        }
+        // The exact shape that motivated the fix.
+        let s = EpsilonSchedule::linear(15);
+        assert_eq!(s.segments().len(), 15);
+        assert_eq!(s.segments().last().unwrap().0, 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+        fn linear_sums_to_budget_and_ends_at_zero(total in 1usize..2500) {
+            let s = EpsilonSchedule::linear(total);
+            prop_assert_eq!(s.total_episodes(), total, "sums to the budget");
+            let segments = s.segments();
+            let (last_eps, last_count) = *segments.last().unwrap();
+            prop_assert_eq!(last_eps, 0.0, "final segment pins eps = 0");
+            prop_assert!(last_count >= 1, "final segment is never empty");
+            prop_assert_eq!(s.epsilon_for(total - 1), 0.0);
+            prop_assert_eq!(segments[0].0, if total == 1 { 0.0 } else { 1.0 });
+            for w in segments.windows(2) {
+                prop_assert!(w[1].0 < w[0].0, "eps strictly decays: {segments:?}");
+            }
+        }
     }
 }

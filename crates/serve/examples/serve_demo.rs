@@ -1,6 +1,8 @@
 //! Demo: drive 36 concurrent `plan` requests over three zoo networks
 //! through a real `qsdnn-serve` TCP server and verify that every plan is
-//! bit-identical to the single-threaded portfolio reference.
+//! bit-identical to the single-threaded portfolio reference — then run
+//! the same scenarios as a protocol-v2 pipelined batch over a single
+//! connection and show it matches.
 //!
 //! Run with: `cargo run --release -p qsdnn-serve --example serve_demo`
 
@@ -105,6 +107,37 @@ fn main() {
     assert!(
         stats.plan_cache.hit_rate() > 0.0,
         "cache must report a nonzero hit rate"
+    );
+
+    // The same scenarios again, this time pipelined over ONE connection
+    // (tagged protocol-v2 requests). Everything is cached now, so this
+    // also shows a single client draining the cache at wire speed.
+    let reqs: Vec<PlanRequest> = NETWORKS
+        .iter()
+        .map(|network| PlanRequest {
+            network: (*network).to_string(),
+            batch: 1,
+            mode: Mode::Gpgpu,
+            objective: Objective::Latency,
+            episodes: EPISODES,
+            seeds: SEEDS.to_vec(),
+        })
+        .collect();
+    let wall = Instant::now();
+    let pipelined = client.plan_many(&reqs).expect("pipelined batch");
+    println!(
+        "\npipelined {} plans over one connection in {:.1} ms (all cache hits: {})",
+        pipelined.len(),
+        wall.elapsed().as_secs_f64() * 1e3,
+        pipelined.iter().all(|p| p.cache_hit)
+    );
+    for (req, plan) in reqs.iter().zip(&pipelined) {
+        assert_eq!(req.network, plan.network, "replies in request order");
+    }
+    let stats = client.stats().expect("stats");
+    println!(
+        "server counters: {} pipelined requests, in-flight peak {}, cap {}",
+        stats.pipelined, stats.in_flight_peak, stats.max_in_flight
     );
     server.shutdown();
 }

@@ -522,6 +522,25 @@ impl<T: CacheValue> PlanCache<T> {
     /// Returns the outcome and whether it was served without running
     /// `compute` on this call.
     pub fn get_or_compute(&self, key: &str, compute: impl FnOnce() -> T) -> (Arc<T>, bool) {
+        match self.try_get_or_compute(key, || Ok::<T, std::convert::Infallible>(compute())) {
+            Ok(served) => served,
+            Err(never) => match never {},
+        }
+    }
+
+    /// Fallible [`PlanCache::get_or_compute`]: when `compute` fails, the
+    /// in-flight slot is released, waiters are woken (the next one retries
+    /// the compute), nothing is cached or spilled, and the error is
+    /// returned to this caller only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute`'s error verbatim.
+    pub fn try_get_or_compute<E>(
+        &self,
+        key: &str,
+        compute: impl FnOnce() -> Result<T, E>,
+    ) -> Result<(Arc<T>, bool), E> {
         let cap = self.per_shard_cap();
         let shard = self.shard_for(key);
         let mut waited = false;
@@ -541,7 +560,7 @@ impl<T: CacheValue> PlanCache<T> {
                             unreachable!("slot checked above");
                         };
                         entry.last_used = tick;
-                        return (Arc::clone(&entry.value), true);
+                        return Ok((Arc::clone(&entry.value), true));
                     }
                     Some(Slot::InFlight) => {
                         // Someone else owns the compute; wait for it to
@@ -570,7 +589,8 @@ impl<T: CacheValue> PlanCache<T> {
             }
         }
 
-        // We own the in-flight slot. Check disk first, then compute.
+        // We own the in-flight slot. Check disk first, then compute. The
+        // guard releases the slot if `compute` fails or unwinds.
         let mut guard = InFlightGuard {
             shard,
             key,
@@ -578,7 +598,7 @@ impl<T: CacheValue> PlanCache<T> {
         };
         let (outcome, from_spill) = match self.load_spilled(key) {
             Some(o) => (o, true),
-            None => (compute(), false),
+            None => (compute()?, false),
         };
         let outcome = Arc::new(outcome);
         {
@@ -604,7 +624,7 @@ impl<T: CacheValue> PlanCache<T> {
         if !from_spill {
             self.spill(key, &outcome);
         }
-        (outcome, from_spill)
+        Ok((outcome, from_spill))
     }
 
     fn shard_stats_locked(state: &MutexGuard<'_, ShardState<T>>, cap: usize) -> ShardStats {
@@ -752,6 +772,26 @@ mod tests {
         let (out, hit) = cache.get_or_compute("k", outcome);
         assert!(!hit);
         assert!(out.best.best_cost_ms.is_finite());
+    }
+
+    #[test]
+    fn failing_compute_releases_the_slot_and_caches_nothing() {
+        let cache = PlanCache::<PortfolioOutcome>::new();
+        let err = cache
+            .try_get_or_compute("k", || Err::<PortfolioOutcome, String>("no member".into()))
+            .expect_err("compute failure propagates");
+        assert_eq!(err, "no member");
+        let stats = cache.stats();
+        assert_eq!(stats.in_flight, 0, "failed compute must release its slot");
+        assert_eq!(stats.entries, 0, "errors are never cached");
+        // A retry on the same key computes normally (no poisoned slot, no
+        // cached error) and is accounted as an ordinary miss.
+        let (out, served_without_compute) = cache
+            .try_get_or_compute("k", || Ok::<_, String>(outcome()))
+            .unwrap();
+        assert!(!served_without_compute);
+        assert!(out.best.best_cost_ms.is_finite());
+        assert_eq!(cache.stats().misses, 1);
     }
 
     #[test]

@@ -1,5 +1,24 @@
 //! Typed client for the plan-compilation service.
+//!
+//! Two ways to talk to the server share one connection:
+//!
+//! * **Synchronous (v1)** — [`PlanClient::request`] and the typed wrappers
+//!   ([`PlanClient::plan`], [`PlanClient::profile`], …) send a bare
+//!   request and block for its reply, strictly one at a time.
+//! * **Pipelined (v2)** — [`PlanClient::submit`] tags a request with a
+//!   connection-scoped id and returns a [`Ticket`] immediately;
+//!   [`PlanClient::wait`] / [`PlanClient::wait_any`] collect replies,
+//!   which the server sends **out of order** as searches finish. Replies
+//!   for tickets other than the awaited one are stashed and handed out
+//!   when their ticket is waited on. [`PlanClient::plan_many`] pipelines a
+//!   whole batch over the connection with a sliding submission window.
+//!
+//! All reads go through a persistent resumable line buffer, so a read
+//! timeout mid-response (after [`PlanClient::set_timeout`]) never drops
+//! received bytes or desyncs the framing — the next read resumes the same
+//! line.
 
+use std::collections::{HashMap, HashSet};
 use std::io::BufReader;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -7,16 +26,45 @@ use std::time::Duration;
 use qsdnn::engine::{CostLut, Objective};
 
 use crate::protocol::{
-    read_message, write_message, PlanRequest, PlanResponse, ProfileRequest, ProfileResponse,
-    Request, Response, SearchRequest, StatsResponse, PROTOCOL_VERSION,
+    parse_response_frame, read_line_resumable, write_message, PlanRequest, PlanResponse,
+    ProfileRequest, ProfileResponse, Request, Response, ResponseFrame, SearchRequest,
+    StatsResponse, TaggedRequest, PROTOCOL_VERSION,
 };
 use crate::ServeError;
 
-/// A connected client. One request is in flight at a time per client;
-/// open several clients for concurrency.
+/// Default sliding-window size for [`PlanClient::plan_many`]: how many
+/// submitted-but-unanswered requests the client keeps on the wire. Equals
+/// the server's default per-connection in-flight cap
+/// ([`crate::DEFAULT_MAX_IN_FLIGHT`]) so a defaulted client never stalls
+/// the server's reader — a stalled reader plus a client that writes
+/// without reading is the classic pipelining deadlock.
+pub const DEFAULT_CLIENT_WINDOW: usize = 32;
+
+/// Handle to one in-flight pipelined request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket(u64);
+
+impl Ticket {
+    /// The wire id this ticket correlates with.
+    pub fn id(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A connected client. Synchronous requests run one at a time; pipelined
+/// requests ([`PlanClient::submit`]) multiplex over the same connection.
 pub struct PlanClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Resumable framing buffer: a half-read line survives read timeouts
+    /// here instead of being dropped.
+    partial: String,
+    next_id: u64,
+    /// Tickets submitted but not yet returned to the caller.
+    outstanding: HashSet<u64>,
+    /// Replies received while waiting for a different ticket.
+    stashed: HashMap<u64, Response>,
+    window: usize,
 }
 
 impl PlanClient {
@@ -32,6 +80,11 @@ impl PlanClient {
         let mut client = PlanClient {
             reader: BufReader::new(stream),
             writer,
+            partial: String::new(),
+            next_id: 0,
+            outstanding: HashSet::new(),
+            stashed: HashMap::new(),
+            window: DEFAULT_CLIENT_WINDOW,
         };
         match client.request(&Request::Ping {
             version: PROTOCOL_VERSION,
@@ -44,7 +97,14 @@ impl PlanClient {
         }
     }
 
-    /// Sets read/write timeouts on the underlying socket.
+    /// Sets read/write timeouts on the underlying socket. A timeout
+    /// surfacing mid-response keeps the received bytes, so framing never
+    /// desyncs. On the pipelined path the interrupted read is fully
+    /// recoverable — call [`PlanClient::wait`] on the same ticket again.
+    /// The synchronous wrappers ([`PlanClient::plan`] etc.) have no
+    /// read-only retry: re-calling one *resends* the request, and the
+    /// connection then carries one unconsumed reply — prefer
+    /// [`PlanClient::submit`]/[`PlanClient::wait`] when using timeouts.
     ///
     /// # Errors
     ///
@@ -55,15 +115,221 @@ impl PlanClient {
         Ok(())
     }
 
-    /// Sends one request and reads one response.
+    /// Sets the sliding-window size used by [`PlanClient::plan_many`]
+    /// (clamped to ≥ 1). Keep it at or below the server's per-connection
+    /// in-flight cap; a larger window can stall the server's reader.
+    pub fn set_window(&mut self, window: usize) {
+        self.window = window.max(1);
+    }
+
+    /// Reads the next response frame off the connection, whatever its
+    /// framing.
+    fn read_frame(&mut self) -> Result<ResponseFrame, ServeError> {
+        match read_line_resumable(&mut self.reader, &mut self.partial)? {
+            Some(line) => parse_response_frame(&line),
+            None => Err(ServeError::Protocol("server closed the connection".into())),
+        }
+    }
+
+    /// Sends one bare request and reads its reply. Tagged replies to
+    /// earlier [`PlanClient::submit`] calls that arrive first are stashed
+    /// for their tickets, not lost.
     ///
     /// # Errors
     ///
     /// Fails on I/O errors, malformed responses, or a server-side close.
     pub fn request(&mut self, req: &Request) -> Result<Response, ServeError> {
         write_message(&mut self.writer, req)?;
-        read_message(&mut self.reader)?
-            .ok_or_else(|| ServeError::Protocol("server closed the connection".into()))
+        loop {
+            match self.read_frame()? {
+                ResponseFrame::Untagged(resp) => return Ok(resp),
+                ResponseFrame::Tagged(tagged) => {
+                    self.stashed.insert(tagged.id, tagged.resp);
+                }
+            }
+        }
+    }
+
+    /// Pipelines a request: writes it inside a tagged envelope and returns
+    /// a ticket without waiting for the reply. The server answers tickets
+    /// out of order as their searches finish; collect replies with
+    /// [`PlanClient::wait`] or [`PlanClient::wait_any`]. Takes the request
+    /// by value — a `search` request carries a whole LUT, which would
+    /// otherwise be deep-cloned per submit.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors (the write side).
+    pub fn submit(&mut self, req: Request) -> Result<Ticket, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_message(&mut self.writer, &TaggedRequest { id, req })?;
+        self.outstanding.insert(id);
+        Ok(Ticket(id))
+    }
+
+    /// Blocks for a specific ticket's reply. Replies for other tickets
+    /// that arrive first are stashed.
+    ///
+    /// On an I/O error (including a read timeout), the ticket stays
+    /// outstanding and any half-received line is preserved — call `wait`
+    /// again to resume exactly where the read stopped.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, for a ticket that was never submitted (or
+    /// already waited on), or when the server breaks framing.
+    pub fn wait(&mut self, ticket: Ticket) -> Result<Response, ServeError> {
+        if let Some(resp) = self.stashed.remove(&ticket.0) {
+            self.outstanding.remove(&ticket.0);
+            return Ok(resp);
+        }
+        if !self.outstanding.contains(&ticket.0) {
+            return Err(ServeError::Protocol(format!(
+                "ticket {} is not in flight",
+                ticket.0
+            )));
+        }
+        loop {
+            match self.read_frame()? {
+                ResponseFrame::Tagged(tagged) if tagged.id == ticket.0 => {
+                    self.outstanding.remove(&ticket.0);
+                    return Ok(tagged.resp);
+                }
+                ResponseFrame::Tagged(tagged) => {
+                    self.stashed.insert(tagged.id, tagged.resp);
+                }
+                ResponseFrame::Untagged(Response::Error { message }) => {
+                    // Framing-level server error (no id survived on the
+                    // server side); surface it to the waiter.
+                    return Err(ServeError::Remote(message));
+                }
+                ResponseFrame::Untagged(other) => {
+                    return Err(ServeError::Protocol(format!(
+                        "untagged reply {other:?} while waiting for ticket {}",
+                        ticket.0
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Blocks for whichever in-flight ticket completes next — the way to
+    /// observe the server's out-of-order completion order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, when nothing is in flight, or when the server
+    /// breaks framing.
+    pub fn wait_any(&mut self) -> Result<(Ticket, Response), ServeError> {
+        if let Some(&id) = self.stashed.keys().next() {
+            let resp = self.stashed.remove(&id).expect("key just seen");
+            self.outstanding.remove(&id);
+            return Ok((Ticket(id), resp));
+        }
+        if self.outstanding.is_empty() {
+            return Err(ServeError::Protocol("no requests in flight".into()));
+        }
+        loop {
+            match self.read_frame()? {
+                ResponseFrame::Tagged(tagged) if self.outstanding.remove(&tagged.id) => {
+                    return Ok((Ticket(tagged.id), tagged.resp));
+                }
+                ResponseFrame::Tagged(tagged) => {
+                    // Unknown id: keep it — a caller may have leaked the
+                    // ticket, and dropping bytes desyncs nothing.
+                    self.stashed.insert(tagged.id, tagged.resp);
+                }
+                ResponseFrame::Untagged(Response::Error { message }) => {
+                    return Err(ServeError::Remote(message));
+                }
+                ResponseFrame::Untagged(other) => {
+                    return Err(ServeError::Protocol(format!(
+                        "untagged reply {other:?} while waiting for any ticket"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// [`PlanClient::submit`] for a plan request.
+    ///
+    /// # Errors
+    ///
+    /// See [`PlanClient::submit`].
+    pub fn submit_plan(&mut self, req: PlanRequest) -> Result<Ticket, ServeError> {
+        self.submit(Request::Plan(req))
+    }
+
+    /// [`PlanClient::wait`] narrowed to a plan reply.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a server-side rejection.
+    pub fn wait_plan(&mut self, ticket: Ticket) -> Result<PlanResponse, ServeError> {
+        match self.wait(ticket)? {
+            Response::Plan(plan) => Ok(plan),
+            Response::Error { message } => Err(ServeError::Remote(message)),
+            other => Err(ServeError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Pipelines a batch of plan requests over this one connection and
+    /// returns the responses in request order. At most
+    /// [`PlanClient::set_window`] requests ride the wire unanswered at a
+    /// time, so a defaulted client stays under the server's in-flight cap
+    /// while still keeping the server's whole worker pool busy.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or the first server-side rejection. On a
+    /// rejection, the batch's already-submitted tickets are drained before
+    /// returning, so their late replies never leak into a later
+    /// [`PlanClient::wait_any`] or pile up in the stash.
+    pub fn plan_many(&mut self, reqs: &[PlanRequest]) -> Result<Vec<PlanResponse>, ServeError> {
+        let mut tickets = Vec::with_capacity(reqs.len());
+        let result = self.plan_many_windowed(reqs, &mut tickets);
+        if result.is_err() {
+            self.discard(&tickets);
+        }
+        result
+    }
+
+    fn plan_many_windowed(
+        &mut self,
+        reqs: &[PlanRequest],
+        tickets: &mut Vec<Ticket>,
+    ) -> Result<Vec<PlanResponse>, ServeError> {
+        let head = self.window.min(reqs.len());
+        for req in &reqs[..head] {
+            tickets.push(self.submit_plan(req.clone())?);
+        }
+        let mut out = Vec::with_capacity(reqs.len());
+        for i in 0..reqs.len() {
+            out.push(self.wait_plan(tickets[i])?);
+            // One answered, one submitted: the window slides.
+            if tickets.len() < reqs.len() {
+                let next = tickets.len();
+                tickets.push(self.submit_plan(reqs[next].clone())?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Blocks until each ticket's reply has arrived and discards it.
+    /// Stops at the first transport or framing failure — the connection
+    /// is unusable at that point anyway.
+    fn discard(&mut self, tickets: &[Ticket]) {
+        for &ticket in tickets {
+            let pending = self.outstanding.contains(&ticket.0);
+            if !pending && !self.stashed.contains_key(&ticket.0) {
+                continue; // already delivered to the caller
+            }
+            match self.wait(ticket) {
+                Ok(_) | Err(ServeError::Remote(_)) => {}
+                Err(_) => return,
+            }
+        }
     }
 
     fn expect_plan(&mut self, req: &Request) -> Result<PlanResponse, ServeError> {

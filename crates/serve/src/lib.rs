@@ -21,7 +21,12 @@
 //!   spill tier that survives restarts.
 //! * **JSON-lines TCP protocol** ([`protocol`]) — `profile`, `search`,
 //!   `plan` and `stats` requests over plain `std::net`, one JSON document
-//!   per line; [`PlanServer`] serves it, [`PlanClient`] speaks it.
+//!   per line; [`PlanServer`] serves it, [`PlanClient`] speaks it. Since
+//!   protocol v2 a client may wrap requests in tagged envelopes
+//!   (`{"id":N,"req":{...}}`) to pipeline up to the server's in-flight cap
+//!   over one connection; the server replies out of order as searches
+//!   finish, so a single connection can saturate the whole worker pool
+//!   ([`PlanClient::submit`]/[`PlanClient::wait`]/[`PlanClient::plan_many`]).
 //!
 //! # Quickstart
 //!
@@ -42,6 +47,17 @@
 //! let again = client.plan(req).unwrap();
 //! assert!(again.cache_hit);
 //! assert_eq!(again.best.best_assignment, plan.best.best_assignment);
+//!
+//! // Pipeline a batch over the same connection (protocol v2): the server
+//! // answers out of order as searches finish; `plan_many` hands the
+//! // responses back in request order.
+//! let mut a = PlanRequest::latency("tiny_cnn");
+//! a.episodes = 150;
+//! let mut b = PlanRequest::latency("toy_branchy");
+//! b.episodes = 150;
+//! let plans = client.plan_many(&[a, b]).unwrap();
+//! assert_eq!(plans[0].network, "tiny_cnn");
+//! assert_eq!(plans[1].network, "toy_branchy");
 //! server.shutdown();
 //! ```
 //!
@@ -56,10 +72,10 @@ pub mod protocol;
 mod server;
 
 pub use cache::{plan_key, CacheStats, CacheValue, EvictionPolicy, PlanCache, ShardStats};
-pub use client::PlanClient;
+pub use client::{PlanClient, Ticket, DEFAULT_CLIENT_WINDOW};
 pub use pool::WorkerPool;
 pub use portfolio::run_portfolio_parallel;
-pub use server::{resolve, start_local, PlanServer, ServerConfig};
+pub use server::{resolve, start_local, PlanServer, ServerConfig, DEFAULT_MAX_IN_FLIGHT};
 
 use std::fmt;
 
@@ -74,6 +90,9 @@ pub enum ServeError {
     Remote(String),
     /// The request was invalid before any work started.
     BadRequest(String),
+    /// The request was valid but the search produced no plan (e.g. no
+    /// portfolio member was applicable, or every member failed).
+    Search(String),
 }
 
 impl fmt::Display for ServeError {
@@ -83,6 +102,7 @@ impl fmt::Display for ServeError {
             ServeError::Protocol(m) => write!(f, "protocol error: {m}"),
             ServeError::Remote(m) => write!(f, "server error: {m}"),
             ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServeError::Search(m) => write!(f, "search failed: {m}"),
         }
     }
 }

@@ -6,6 +6,14 @@
 //! runtime; what matters is that the pool is `Sync`, drains fully on drop,
 //! and never unwinds across a worker (a panicking job poisons nothing —
 //! the panic is contained and the worker keeps serving).
+//!
+//! **Do not submit jobs that block on other pool jobs.** The pool has a
+//! fixed worker count and no work stealing, so a job that waits for a
+//! later-queued job can occupy every worker with blocked parents and
+//! deadlock the queue. This is why the server's pipelined request
+//! dispatchers are dedicated threads (bounded by the per-connection
+//! in-flight cap) that *fan onto* the pool, never pool jobs themselves —
+//! only leaf work (individual portfolio members) runs here.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};

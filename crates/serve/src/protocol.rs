@@ -5,18 +5,35 @@
 //! prefixes (the serializer never emits raw newlines). Requests and
 //! responses are externally-tagged enums, so a `plan` request reads as
 //! `{"Plan":{...}}` on the wire.
+//!
+//! # Multiplexing (protocol v2)
+//!
+//! A bare request line keeps the v1 contract: the server answers it
+//! in order, one at a time per connection. Wrapping a request in a
+//! tagged envelope — `{"id":7,"req":{"Plan":{...}}}` — opts that request
+//! into pipelining: the connection may hold up to the server's in-flight
+//! cap of tagged requests at once, and the server replies
+//! `{"id":7,"resp":{...}}` **as each search finishes**, out of order.
+//! The two framings share a connection freely; framing-level errors
+//! (malformed JSON) are answered with an untagged [`Response::Error`]
+//! because no id could be recovered from the broken line.
 
 use std::io::{BufRead, Write};
 
 use qsdnn::engine::{CostLut, Mode, Objective};
 use qsdnn::{MemberSummary, SearchReport};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 use crate::cache::{CacheStats, ShardStats};
 use crate::ServeError;
 
-/// Protocol revision; servers reject requests from a different major rev.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Protocol revision; servers accept handshakes from
+/// [`MIN_PROTOCOL_VERSION`] up to this revision.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Oldest client revision the server still speaks. v1 clients never send
+/// tagged envelopes, so serving them needs no translation.
+pub const MIN_PROTOCOL_VERSION: u32 = 1;
 
 /// Default episode budget when a request passes `episodes == 0`.
 pub fn default_episodes(layers: usize) -> usize {
@@ -100,6 +117,87 @@ pub enum Request {
     Stats,
 }
 
+/// Protocol-v2 envelope: a request tagged with a connection-scoped id so
+/// the server may answer out of order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaggedRequest {
+    /// Client-chosen correlation id, echoed verbatim in the reply. Ids are
+    /// scoped to the connection; reusing an id while its request is still
+    /// in flight makes the two replies indistinguishable.
+    pub id: u64,
+    /// The request itself.
+    pub req: Request,
+}
+
+/// Protocol-v2 envelope: the reply to a [`TaggedRequest`] with the same id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaggedResponse {
+    /// Correlation id copied from the request.
+    pub id: u64,
+    /// The response itself.
+    pub resp: Response,
+}
+
+/// One parsed client → server line: either a bare v1 request or a v2
+/// envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestFrame {
+    /// Bare request — answered in order, one at a time (v1 semantics).
+    Untagged(Request),
+    /// Tagged request — pipelined, answered out of order (v2 semantics).
+    Tagged(TaggedRequest),
+}
+
+/// One parsed server → client line: either a bare v1 response or a v2
+/// envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseFrame {
+    /// Reply to a bare request (or a framing-level error).
+    Untagged(Response),
+    /// Reply to a tagged request.
+    Tagged(TaggedResponse),
+}
+
+/// An envelope is any JSON object carrying an `id` field; bare requests
+/// and responses are externally-tagged enums whose single key is a variant
+/// name, so the two framings can never collide.
+fn is_envelope(v: &Value) -> bool {
+    v.as_object()
+        .is_some_and(|obj| Value::get_field(obj, "id").is_some())
+}
+
+/// Parses one wire line from a client into a [`RequestFrame`].
+///
+/// # Errors
+///
+/// Returns [`ServeError::Protocol`] for malformed JSON or an unknown
+/// shape.
+pub fn parse_request_frame(line: &str) -> Result<RequestFrame, ServeError> {
+    let v = serde_json::parse(line.trim()).map_err(|e| ServeError::Protocol(e.to_string()))?;
+    if is_envelope(&v) {
+        serde_json::from_value::<TaggedRequest>(&v).map(RequestFrame::Tagged)
+    } else {
+        serde_json::from_value::<Request>(&v).map(RequestFrame::Untagged)
+    }
+    .map_err(|e| ServeError::Protocol(e.to_string()))
+}
+
+/// Parses one wire line from a server into a [`ResponseFrame`].
+///
+/// # Errors
+///
+/// Returns [`ServeError::Protocol`] for malformed JSON or an unknown
+/// shape.
+pub fn parse_response_frame(line: &str) -> Result<ResponseFrame, ServeError> {
+    let v = serde_json::parse(line.trim()).map_err(|e| ServeError::Protocol(e.to_string()))?;
+    if is_envelope(&v) {
+        serde_json::from_value::<TaggedResponse>(&v).map(ResponseFrame::Tagged)
+    } else {
+        serde_json::from_value::<Response>(&v).map(ResponseFrame::Untagged)
+    }
+    .map_err(|e| ServeError::Protocol(e.to_string()))
+}
+
 /// Result of a profile request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ProfileResponse {
@@ -160,6 +258,14 @@ pub struct StatsResponse {
     pub profile_cache_shards: Vec<ShardStats>,
     /// Worker threads in the search pool.
     pub workers: u64,
+    /// Tagged (protocol-v2) requests handled.
+    pub pipelined: u64,
+    /// Highest per-connection in-flight depth observed since start.
+    pub in_flight_peak: u64,
+    /// Per-connection cap on tagged requests in flight (the reader stops
+    /// parsing once a connection reaches it, so TCP flow control
+    /// backpressures the client).
+    pub max_in_flight: u64,
 }
 
 /// Server → client message.
@@ -226,20 +332,20 @@ pub fn read_message<T: serde::Deserialize>(r: &mut impl BufRead) -> Result<Optio
     }
 }
 
-/// Like [`read_message`], but safe to call on a socket with a read
-/// timeout: when the read times out mid-line, the bytes received so far
-/// stay in `partial` and the next call resumes the same line, so framing
-/// survives `WouldBlock`/`TimedOut` errors. Used by server connection
-/// handlers, which poll a shutdown flag between timeouts.
+/// Reads one raw line, surviving socket read timeouts: when the read times
+/// out mid-line, the bytes received so far stay in `partial` and the next
+/// call resumes the same line, so framing survives `WouldBlock`/`TimedOut`
+/// errors. Blank keepalive lines are skipped; `Ok(None)` is a clean EOF.
+/// Both the server's connection handlers and [`crate::PlanClient`] frame
+/// their reads through this.
 ///
 /// # Errors
 ///
-/// Propagates I/O failures (timeouts included — `partial` stays valid) and
-/// malformed JSON (`partial` is consumed).
-pub fn read_message_resumable<T: serde::Deserialize>(
+/// Propagates I/O failures (timeouts included — `partial` stays valid).
+pub fn read_line_resumable(
     r: &mut impl BufRead,
     partial: &mut String,
-) -> Result<Option<T>, ServeError> {
+) -> Result<Option<String>, ServeError> {
     loop {
         match r.read_line(partial) {
             Err(e) => return Err(ServeError::Io(e)),
@@ -253,13 +359,32 @@ pub fn read_message_resumable<T: serde::Deserialize>(
                 continue;
             }
             // A complete line — or EOF mid-line (`read_line` only stops
-            // short of a newline at EOF): parse what arrived.
+            // short of a newline at EOF): hand over what arrived.
             Ok(_) => {}
         }
-        let line = std::mem::take(partial);
-        return serde_json::from_str(line.trim())
+        return Ok(Some(std::mem::take(partial)));
+    }
+}
+
+/// Like [`read_message`], but built on [`read_line_resumable`]: safe to
+/// call on a socket with a read timeout. The server and [`crate::PlanClient`]
+/// now frame reads themselves (they must tell envelopes from bare
+/// messages), so this is a convenience for single-type wire consumers —
+/// e.g. a hand-rolled v1 client polling with a timeout.
+///
+/// # Errors
+///
+/// Propagates I/O failures (timeouts included — `partial` stays valid) and
+/// malformed JSON (`partial` is consumed).
+pub fn read_message_resumable<T: serde::Deserialize>(
+    r: &mut impl BufRead,
+    partial: &mut String,
+) -> Result<Option<T>, ServeError> {
+    match read_line_resumable(r, partial)? {
+        None => Ok(None),
+        Some(line) => serde_json::from_str(line.trim())
             .map(Some)
-            .map_err(|e| ServeError::Protocol(e.to_string()));
+            .map_err(|e| ServeError::Protocol(e.to_string())),
     }
 }
 
@@ -373,11 +498,65 @@ mod tests {
             },
             profile_cache_shards: Vec::new(),
             workers: 8,
+            pipelined: 9,
+            in_flight_peak: 5,
+            max_in_flight: 32,
         });
         let json = serde_json::to_string(&resp).unwrap();
         assert!(!json.contains('\n'));
         let back: Response = serde_json::from_str(&json).unwrap();
         assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn tagged_envelope_roundtrips_and_is_distinguishable() {
+        let tagged = TaggedRequest {
+            id: 41,
+            req: Request::Plan(PlanRequest::latency("lenet5")),
+        };
+        let json = serde_json::to_string(&tagged).unwrap();
+        assert!(json.starts_with("{\"id\":41,"), "{json}");
+        match parse_request_frame(&json).unwrap() {
+            RequestFrame::Tagged(back) => assert_eq!(back, tagged),
+            other => panic!("envelope parsed as {other:?}"),
+        }
+        // The same request without the envelope parses as a v1 frame.
+        let bare = serde_json::to_string(&tagged.req).unwrap();
+        match parse_request_frame(&bare).unwrap() {
+            RequestFrame::Untagged(back) => assert_eq!(back, tagged.req),
+            other => panic!("bare request parsed as {other:?}"),
+        }
+        // Unit-variant requests serialize as strings, not objects; they
+        // must still parse as v1 frames.
+        match parse_request_frame("\"Stats\"").unwrap() {
+            RequestFrame::Untagged(Request::Stats) => {}
+            other => panic!("stats parsed as {other:?}"),
+        }
+        assert!(
+            parse_request_frame("{\"id\":1}").is_err(),
+            "envelope needs req"
+        );
+        assert!(parse_request_frame("{nope").is_err());
+    }
+
+    #[test]
+    fn tagged_response_roundtrips() {
+        let tagged = TaggedResponse {
+            id: 7,
+            resp: Response::Error {
+                message: "nope".into(),
+            },
+        };
+        let json = serde_json::to_string(&tagged).unwrap();
+        match parse_response_frame(&json).unwrap() {
+            ResponseFrame::Tagged(back) => assert_eq!(back, tagged),
+            other => panic!("envelope parsed as {other:?}"),
+        }
+        let bare = serde_json::to_string(&tagged.resp).unwrap();
+        match parse_response_frame(&bare).unwrap() {
+            ResponseFrame::Untagged(back) => assert_eq!(back, tagged.resp),
+            other => panic!("bare response parsed as {other:?}"),
+        }
     }
 
     #[test]

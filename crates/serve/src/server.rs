@@ -5,11 +5,29 @@
 //! [`WorkerPool`]. Plans and profiles are content-addressed in
 //! [`PlanCache`]s, so concurrent identical requests coalesce into one
 //! search regardless of which connection they arrive on.
+//!
+//! # Pipelining
+//!
+//! A connection handler is a *reader*: it parses frames continuously.
+//! Bare (v1) requests are handled inline, one at a time, so their replies
+//! stay in order. Tagged (v2) requests are dispatched to a bounded
+//! dispatcher thread each, which runs the request — fanning its portfolio
+//! onto the shared [`WorkerPool`] — and writes the tagged reply under the
+//! connection's write-side mutex whenever it finishes, out of order. The
+//! per-connection in-flight cap bounds dispatcher threads and provides
+//! backpressure: at the cap the reader simply stops parsing, so TCP flow
+//! control pushes back on the client.
+//!
+//! Dispatchers deliberately do **not** run as [`WorkerPool`] jobs: a
+//! request job blocks on its portfolio members, which are themselves pool
+//! jobs, so enough concurrent requests would occupy every worker with
+//! blocked parents and deadlock the pool (the classic nested-pool trap).
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -21,9 +39,9 @@ use crate::cache::{plan_key, CacheValue, EvictionPolicy, PlanCache};
 use crate::pool::WorkerPool;
 use crate::portfolio::run_portfolio_parallel;
 use crate::protocol::{
-    default_episodes, read_message_resumable, write_message, PlanRequest, PlanResponse,
-    ProfileRequest, ProfileResponse, Request, Response, SearchRequest, StatsResponse,
-    PROTOCOL_VERSION,
+    default_episodes, parse_request_frame, read_line_resumable, write_message, PlanRequest,
+    PlanResponse, ProfileRequest, ProfileResponse, Request, RequestFrame, Response, SearchRequest,
+    StatsResponse, TaggedResponse, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use crate::ServeError;
 
@@ -31,6 +49,13 @@ use crate::ServeError;
 /// shutdown flag. Bounds both shutdown latency and the join in
 /// [`PlanServer::shutdown`].
 const HANDLER_READ_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Default per-connection cap on tagged requests in flight. Matches
+/// [`crate::PlanClient`]'s default submission window so a defaulted client
+/// never saturates the cap (which would stall the server's reader and,
+/// with both TCP buffers full, deadlock a client that writes without
+/// reading).
+pub const DEFAULT_MAX_IN_FLIGHT: usize = 32;
 
 /// Server construction parameters.
 #[derive(Debug, Clone)]
@@ -52,6 +77,9 @@ pub struct ServerConfig {
     /// Total resident entries for *each* of the plan and profile caches
     /// (0 = cache default).
     pub cache_max_entries: usize,
+    /// Per-connection cap on tagged (v2) requests in flight
+    /// (0 = [`DEFAULT_MAX_IN_FLIGHT`]).
+    pub max_in_flight: usize,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +93,7 @@ impl Default for ServerConfig {
             cache_shards: 0,
             eviction: EvictionPolicy::Lru,
             cache_max_entries: 0,
+            max_in_flight: 0,
         }
     }
 }
@@ -81,6 +110,15 @@ impl ServerConfig {
         }
         cache
     }
+
+    /// The effective per-connection in-flight cap (always ≥ 1).
+    fn in_flight_cap(&self) -> usize {
+        if self.max_in_flight == 0 {
+            DEFAULT_MAX_IN_FLIGHT
+        } else {
+            self.max_in_flight
+        }
+    }
 }
 
 struct ServiceState {
@@ -91,6 +129,10 @@ struct ServiceState {
     started: Instant,
     requests: AtomicU64,
     plans_served: AtomicU64,
+    /// Tagged (v2) requests dispatched.
+    pipelined: AtomicU64,
+    /// Highest per-connection in-flight depth observed.
+    in_flight_peak: AtomicU64,
     shutting_down: AtomicBool,
     /// Live connection-handler threads, joined on shutdown so no handler
     /// outlives the server (each observes `shutting_down` within
@@ -99,6 +141,32 @@ struct ServiceState {
 }
 
 impl ServiceState {
+    fn new(config: ServerConfig) -> Result<Arc<ServiceState>, ServeError> {
+        let plans = config.configure_cache(match &config.spill_dir {
+            Some(dir) => PlanCache::with_spill_dir(dir)?,
+            None => PlanCache::new(),
+        });
+        let profiles = config.configure_cache(PlanCache::new());
+        let pool = if config.threads == 0 {
+            WorkerPool::with_default_size()
+        } else {
+            WorkerPool::new(config.threads)
+        };
+        Ok(Arc::new(ServiceState {
+            pool,
+            plans,
+            profiles,
+            config,
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            plans_served: AtomicU64::new(0),
+            pipelined: AtomicU64::new(0),
+            in_flight_peak: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+            handlers: Mutex::new(Vec::new()),
+        }))
+    }
+
     fn episodes_for(&self, requested: usize, layers: usize) -> usize {
         if requested == 0 {
             default_episodes(layers)
@@ -166,6 +234,19 @@ impl ServiceState {
         let episodes = self.episodes_for(episodes, lut.len());
         let seeds = self.seeds_for(seeds);
         let portfolio = Portfolio::paper_default(episodes, &seeds);
+        self.search_with(&portfolio, lut, objective)
+    }
+
+    /// Runs `portfolio` on a validated LUT, content-addressed in the plan
+    /// cache. A portfolio with no applicable member (or whose every member
+    /// panicked) is a request-level error — it must answer the request,
+    /// not unwind through the connection handler — and is never cached.
+    fn search_with(
+        &self,
+        portfolio: &Portfolio,
+        lut: CostLut,
+        objective: Objective,
+    ) -> Result<PlanResponse, ServeError> {
         let scalarized = lut.with_objective(objective);
         let vanilla_cost_ms = scalarized.cost(&scalarized.vanilla_assignment());
         let key = plan_key(lut.fingerprint(), &objective, portfolio.fingerprint());
@@ -173,16 +254,19 @@ impl ServiceState {
         let shared = Arc::new(scalarized);
         let (outcome, cache_hit) = {
             let shared = Arc::clone(&shared);
-            let portfolio_ref = &portfolio;
             let pool = &self.pool;
-            self.plans.get_or_compute(&key, move || {
-                run_portfolio_parallel(portfolio_ref, &shared, pool)
-                    .expect("portfolio always has applicable members")
-            })
+            self.plans.try_get_or_compute(&key, move || {
+                run_portfolio_parallel(portfolio, &shared, pool).ok_or_else(|| {
+                    ServeError::Search(format!(
+                        "no portfolio member produced a plan for `{network}` \
+                         (every member was inapplicable or failed)"
+                    ))
+                })
+            })?
         };
         self.plans_served.fetch_add(1, Ordering::Relaxed);
         Ok(PlanResponse {
-            network,
+            network: lut.network().to_string(),
             plan_key: key,
             cache_hit,
             best: outcome.best.clone(),
@@ -196,14 +280,15 @@ impl ServiceState {
         self.requests.fetch_add(1, Ordering::Relaxed);
         match req {
             Request::Ping { version } => {
-                if version == PROTOCOL_VERSION {
+                if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
                     Response::Pong {
                         version: PROTOCOL_VERSION,
                     }
                 } else {
                     Response::Error {
                         message: format!(
-                            "protocol mismatch: client v{version}, server v{PROTOCOL_VERSION}"
+                            "protocol mismatch: client v{version}, server speaks \
+                             v{MIN_PROTOCOL_VERSION}..=v{PROTOCOL_VERSION}"
                         ),
                     }
                 }
@@ -262,8 +347,32 @@ impl ServiceState {
                 profile_cache: self.profiles.stats(),
                 profile_cache_shards: self.profiles.shard_stats(),
                 workers: self.pool.threads() as u64,
+                pipelined: self.pipelined.load(Ordering::Relaxed),
+                in_flight_peak: self.in_flight_peak.load(Ordering::Relaxed),
+                max_in_flight: self.config.in_flight_cap() as u64,
             }),
         }
+    }
+
+    /// [`ServiceState::handle`] with a panic firewall: a handler bug
+    /// answers the request with an error instead of unwinding through the
+    /// connection (v1) or silently leaking an in-flight permit (v2).
+    fn dispatch(&self, req: Request) -> Response {
+        catch_unwind(AssertUnwindSafe(|| self.handle(req))).unwrap_or_else(|panic| {
+            let reason = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_string());
+            Response::Error {
+                message: format!("internal error: request handler panicked: {reason}"),
+            }
+        })
+    }
+
+    fn note_in_flight(&self, depth: usize) {
+        self.in_flight_peak
+            .fetch_max(depth as u64, Ordering::Relaxed);
     }
 }
 
@@ -284,27 +393,7 @@ impl PlanServer {
     pub fn start(config: ServerConfig) -> Result<PlanServer, ServeError> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let plans = config.configure_cache(match &config.spill_dir {
-            Some(dir) => PlanCache::with_spill_dir(dir)?,
-            None => PlanCache::new(),
-        });
-        let profiles = config.configure_cache(PlanCache::new());
-        let pool = if config.threads == 0 {
-            WorkerPool::with_default_size()
-        } else {
-            WorkerPool::new(config.threads)
-        };
-        let state = Arc::new(ServiceState {
-            pool,
-            plans,
-            profiles,
-            config,
-            started: Instant::now(),
-            requests: AtomicU64::new(0),
-            plans_served: AtomicU64::new(0),
-            shutting_down: AtomicBool::new(false),
-            handlers: Mutex::new(Vec::new()),
-        });
+        let state = ServiceState::new(config)?;
         let acceptor_state = Arc::clone(&state);
         let acceptor = std::thread::Builder::new()
             .name("qsdnn-acceptor".into())
@@ -379,25 +468,67 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServiceState>) {
     }
 }
 
+/// Per-connection state shared between the reader and its dispatcher
+/// threads: the write side (one mutex serializes interleaved tagged and
+/// untagged replies — `write_message` emits a whole line per call, so a
+/// reply is never torn) and the in-flight permit count.
+struct ConnShared {
+    writer: Mutex<TcpStream>,
+    in_flight: Mutex<usize>,
+    /// Signalled whenever a dispatcher finishes: wakes the reader blocked
+    /// at the cap and the drain wait at connection teardown.
+    done: Condvar,
+}
+
+impl ConnShared {
+    fn write(&self, resp: &impl serde::Serialize) -> Result<(), ServeError> {
+        let mut w = self.writer.lock().expect("writer lock");
+        write_message(&mut *w, resp)
+    }
+
+    /// Blocks until every dispatched request has written its reply.
+    fn drain(&self) {
+        let mut n = self.in_flight.lock().expect("in-flight lock");
+        while *n > 0 {
+            n = self.done.wait(n).expect("in-flight lock");
+        }
+    }
+}
+
 fn serve_connection(stream: TcpStream, state: &Arc<ServiceState>) -> Result<(), ServeError> {
     // A bounded read timeout lets the handler re-check `shutting_down`
     // while idle, so `PlanServer::shutdown` can join it instead of leaking
     // a thread blocked in `read` forever.
     stream.set_read_timeout(Some(HANDLER_READ_TIMEOUT))?;
-    let mut writer = stream.try_clone()?;
+    let shared = Arc::new(ConnShared {
+        writer: Mutex::new(stream.try_clone()?),
+        in_flight: Mutex::new(0),
+        done: Condvar::new(),
+    });
     let mut reader = BufReader::new(stream);
     let mut partial = String::new();
+    let result = read_loop(&mut reader, &mut partial, &shared, state);
+    // Whatever ended the read side (EOF, shutdown, I/O error), every
+    // dispatched request still in flight gets to write its reply before
+    // the handler exits — replies are never abandoned.
+    shared.drain();
+    result
+}
+
+fn read_loop(
+    reader: &mut BufReader<TcpStream>,
+    partial: &mut String,
+    shared: &Arc<ConnShared>,
+    state: &Arc<ServiceState>,
+) -> Result<(), ServeError> {
+    let cap = state.config.in_flight_cap();
     loop {
         if state.shutting_down.load(Ordering::SeqCst) {
             return Ok(());
         }
-        let req: Option<Request> = match read_message_resumable(&mut reader, &mut partial) {
-            Ok(r) => r,
-            Err(ServeError::Protocol(message)) => {
-                // Malformed line: report and keep the connection.
-                write_message(&mut writer, &Response::Error { message })?;
-                continue;
-            }
+        let line = match read_line_resumable(reader, partial) {
+            Ok(Some(line)) => line,
+            Ok(None) => return Ok(()), // clean EOF
             Err(ServeError::Io(e))
                 if matches!(
                     e.kind(),
@@ -410,9 +541,70 @@ fn serve_connection(stream: TcpStream, state: &Arc<ServiceState>) -> Result<(), 
             }
             Err(e) => return Err(e),
         };
-        let Some(req) = req else { return Ok(()) }; // clean EOF
-        let resp = state.handle(req);
-        write_message(&mut writer, &resp)?;
+        match parse_request_frame(&line) {
+            Err(ServeError::Protocol(message)) => {
+                // Malformed line: report (untagged — no id survived the
+                // wreckage) and keep the connection.
+                shared.write(&Response::Error { message })?;
+            }
+            Err(e) => return Err(e),
+            Ok(RequestFrame::Untagged(req)) => {
+                // v1 contract: handled inline, so replies on this
+                // connection stay in request order and at most one
+                // untagged request runs at a time.
+                let resp = state.dispatch(req);
+                shared.write(&resp)?;
+            }
+            Ok(RequestFrame::Tagged(tagged)) => {
+                // Backpressure: stop parsing while the connection is at
+                // its cap; dispatchers wake us as they finish.
+                let depth = {
+                    let mut n = shared.in_flight.lock().expect("in-flight lock");
+                    while *n >= cap {
+                        n = shared.done.wait(n).expect("in-flight lock");
+                    }
+                    *n += 1;
+                    *n
+                };
+                state.note_in_flight(depth);
+                state.pipelined.fetch_add(1, Ordering::Relaxed);
+                let id = tagged.id;
+                let conn = Arc::clone(shared);
+                let dispatch_state = Arc::clone(state);
+                let spawned = std::thread::Builder::new()
+                    .name("qsdnn-dispatch".into())
+                    .spawn(move || {
+                        let resp = dispatch_state.dispatch(tagged.req);
+                        // A failed write means the client is gone; the
+                        // reader will observe that on its side.
+                        let _ = conn.write(&TaggedResponse {
+                            id: tagged.id,
+                            resp,
+                        });
+                        let mut n = conn.in_flight.lock().expect("in-flight lock");
+                        *n -= 1;
+                        drop(n);
+                        conn.done.notify_all();
+                    });
+                if spawned.is_err() {
+                    // Could not spawn a dispatcher (the request was
+                    // consumed by the failed spawn): return the permit and
+                    // answer the id with an error so the client's ticket
+                    // resolves instead of hanging.
+                    {
+                        let mut n = shared.in_flight.lock().expect("in-flight lock");
+                        *n -= 1;
+                    }
+                    shared.done.notify_all();
+                    shared.write(&TaggedResponse {
+                        id,
+                        resp: Response::Error {
+                            message: "server out of dispatcher threads".into(),
+                        },
+                    })?;
+                }
+            }
+        }
     }
 }
 
@@ -435,4 +627,87 @@ pub fn resolve(addr: &str) -> Result<SocketAddr, ServeError> {
     addr.to_socket_addrs()?
         .next()
         .ok_or_else(|| ServeError::BadRequest(format!("cannot resolve `{addr}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsdnn::engine::Mode;
+    use qsdnn::PortfolioMember;
+
+    fn branchy_lut() -> CostLut {
+        let net = zoo::by_name("toy_branchy", 1).expect("zoo network");
+        Profiler::with_repeats(AnalyticalPlatform::tx2(), 2).profile(&net, Mode::Gpgpu)
+    }
+
+    /// Regression: a portfolio with no applicable member used to hit
+    /// `.expect("portfolio always has applicable members")` inside the
+    /// cache compute closure, unwinding through the connection handler and
+    /// silently dropping the connection. It must answer with an error.
+    #[test]
+    fn inapplicable_portfolio_is_an_error_not_a_panic() {
+        let state = ServiceState::new(ServerConfig::default()).expect("state");
+        // Chain DP is the only member and `toy_branchy` is not a chain, so
+        // no member produces a report.
+        let portfolio = Portfolio {
+            members: vec![PortfolioMember::ChainDp],
+        };
+        let err = state
+            .search_with(&portfolio, branchy_lut(), Objective::Latency)
+            .expect_err("no member applies");
+        assert!(
+            err.to_string().contains("no portfolio member"),
+            "unexpected error: {err}"
+        );
+        // The failure must not have cached anything or leaked the
+        // in-flight slot: an identical retry fails again promptly (a
+        // leaked slot would deadlock this call in single-flight wait).
+        let err = state
+            .search_with(&portfolio, branchy_lut(), Objective::Latency)
+            .expect_err("still no member");
+        assert!(matches!(err, ServeError::Search(_)));
+        let stats = state.plans.stats();
+        assert_eq!(stats.entries, 0, "failures are never cached");
+        assert_eq!(stats.in_flight, 0, "failures release their slot");
+        // The same state still serves a working portfolio afterwards.
+        let ok = state
+            .search_with(
+                &Portfolio::paper_default(60, &[1]),
+                branchy_lut(),
+                Objective::Latency,
+            )
+            .expect("full portfolio applies");
+        assert!(ok.best.best_cost_ms.is_finite());
+    }
+
+    /// The panic firewall answers rather than unwinding: a handler panic
+    /// becomes a `Response::Error` naming the reason, so the connection
+    /// (and a v2 in-flight permit) survives.
+    #[test]
+    fn dispatch_turns_panics_into_error_responses() {
+        // An empty default seed list makes `seeds_for` hand
+        // `Portfolio::paper_default` an empty slice, which asserts — a
+        // deterministic stand-in for any future handler bug.
+        let state = ServiceState::new(ServerConfig {
+            default_seeds: Vec::new(),
+            ..ServerConfig::default()
+        })
+        .expect("state");
+        let req = Request::Plan(PlanRequest {
+            network: "tiny_cnn".into(),
+            batch: 1,
+            mode: Mode::Gpgpu,
+            objective: Objective::Latency,
+            episodes: 40,
+            seeds: Vec::new(),
+        });
+        let resp =
+            catch_unwind(AssertUnwindSafe(|| state.dispatch(req))).expect("dispatch never unwinds");
+        match resp {
+            Response::Error { message } => {
+                assert!(message.contains("panicked"), "{message}");
+            }
+            other => panic!("expected an error response, got {other:?}"),
+        }
+    }
 }
