@@ -1,0 +1,181 @@
+//! **Scenario-transfer study**: how many episodes a QS-DNN search needs to
+//! get within 5% of the chain optimum, cold vs warm-started from the
+//! previous batch size's plan — the batch-sweep shape of
+//! `batch_sweep.rs`, now with transfer.
+//!
+//! Results are printed as a table *and* recorded as JSON under
+//! `crates/bench/results/transfer_warm_start.json`, so the repository
+//! carries a perf trajectory for the transfer subsystem.
+//!
+//! ```sh
+//! cargo bench -p qsdnn-bench --bench transfer_warm_start
+//! ```
+
+use serde::Serialize;
+
+use qsdnn::baselines::solve_chain_dp;
+use qsdnn::engine::{AnalyticalPlatform, CostLut, Mode, Profiler, ScenarioDescriptor};
+use qsdnn::nn::zoo;
+use qsdnn::{QTable, QsDnnConfig, QsDnnSearch, SearchReport, TransferMapping};
+use qsdnn_bench::rule;
+
+const BATCHES: [usize; 4] = [1, 2, 4, 8];
+
+#[derive(Serialize)]
+struct RunRecord {
+    episodes_total: usize,
+    episodes_to_5pct: usize,
+    best_ms: f64,
+}
+
+#[derive(Serialize)]
+struct SweepPoint {
+    batch: usize,
+    optimum_ms: f64,
+    cold: RunRecord,
+    /// `None` for the first batch (nothing to transfer from yet).
+    warm: Option<RunRecord>,
+    donor_distance: f64,
+}
+
+#[derive(Serialize)]
+struct NetworkSweep {
+    network: String,
+    points: Vec<SweepPoint>,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    bench: String,
+    mode: String,
+    sweeps: Vec<NetworkSweep>,
+}
+
+/// First episode count whose best-so-far is within 5% of the optimum
+/// (the whole budget if the run never gets there).
+fn episodes_to_5pct(report: &SearchReport, optimum: f64) -> usize {
+    report
+        .curve
+        .iter()
+        .position(|r| r.best_so_far_ms <= optimum * 1.05 + 1e-12)
+        .map_or(report.curve.len(), |i| i + 1)
+}
+
+fn record(report: &SearchReport, optimum: f64) -> RunRecord {
+    RunRecord {
+        episodes_total: report.episodes,
+        episodes_to_5pct: episodes_to_5pct(report, optimum),
+        best_ms: report.best_cost_ms,
+    }
+}
+
+/// Rebuilds the donor's policy-backbone table from its plan — the same
+/// reconstruction `qsdnn-serve` uses for cached donors: per-candidate
+/// mean times only (the descriptor carries no transition penalties), so
+/// the bench measures exactly what the served warm-start path achieves.
+fn backbone(lut: &CostLut, report: &SearchReport) -> QTable {
+    let dims: Vec<usize> = (0..lut.len()).map(|l| lut.candidates(l).len()).collect();
+    let costs: Vec<f64> = report
+        .best_assignment
+        .iter()
+        .enumerate()
+        .map(|(l, &ci)| lut.time(l, ci))
+        .collect();
+    QTable::from_best_path(&dims, &report.best_assignment, &costs).expect("consistent plan")
+}
+
+fn main() {
+    println!("QS-DNN reproduction — scenario transfer: cold vs warm batch sweep (CPU mode)");
+    let mut sweeps = Vec::new();
+    for name in ["lenet5", "alexnet"] {
+        println!("\nnetwork: {name}");
+        println!(
+            "{:>6} {:>12} {:>14} {:>14} {:>12} {:>12}",
+            "batch", "optimum(ms)", "cold to-5%", "warm to-5%", "cold best", "warm best"
+        );
+        rule(76);
+        let mut points: Vec<SweepPoint> = Vec::new();
+        let mut donor: Option<(CostLut, ScenarioDescriptor, SearchReport)> = None;
+        for batch in BATCHES {
+            let net = zoo::by_name(name, batch).expect("roster");
+            let lut =
+                Profiler::with_repeats(AnalyticalPlatform::tx2(), 10).profile(&net, Mode::Cpu);
+            let descriptor = ScenarioDescriptor::of(&lut).with_batch(batch);
+            let (_, optimum) = solve_chain_dp(&lut).expect("roster networks are chains");
+            let episodes = 1000usize.max(40 * lut.len());
+
+            let cold_cfg = QsDnnConfig::with_episodes(episodes);
+            let cold = QsDnnSearch::new(cold_cfg.clone()).run(&lut);
+
+            let (warm, donor_distance) = match &donor {
+                None => (None, 0.0),
+                Some((donor_lut, donor_desc, donor_report)) => {
+                    let mapping = TransferMapping::between(donor_desc, &descriptor);
+                    let table = backbone(donor_lut, donor_report);
+                    let mut cfg = cold_cfg.clone();
+                    cfg.warm_start = true;
+                    let report = QsDnnSearch::new(cfg).run_warm(&lut, &table, &mapping);
+                    (Some(report), donor_desc.distance(&descriptor))
+                }
+            };
+
+            let cold_rec = record(&cold, optimum);
+            let warm_rec = warm.as_ref().map(|r| record(r, optimum));
+            println!(
+                "{batch:>6} {optimum:>12.3} {:>9}/{:<4} {:>9}/{:<4} {:>12.3} {:>12}",
+                cold_rec.episodes_to_5pct,
+                cold_rec.episodes_total,
+                warm_rec.as_ref().map_or(0, |w| w.episodes_to_5pct),
+                warm_rec.as_ref().map_or(0, |w| w.episodes_total),
+                cold_rec.best_ms,
+                warm_rec
+                    .as_ref()
+                    .map_or("-".to_string(), |w| format!("{:.3}", w.best_ms)),
+            );
+            if let Some(w) = &warm_rec {
+                assert!(
+                    w.episodes_total < cold_rec.episodes_total,
+                    "warm runs a shortened schedule"
+                );
+                assert!(
+                    w.episodes_to_5pct <= cold_rec.episodes_to_5pct,
+                    "a batch neighbor's plan must not slow convergence \
+                     (warm {} vs cold {})",
+                    w.episodes_to_5pct,
+                    cold_rec.episodes_to_5pct
+                );
+                assert!(
+                    w.best_ms <= cold_rec.best_ms * 1.05 + 1e-9,
+                    "warm stays within 5% of the cold plan"
+                );
+            }
+            // Next batch warm-starts from this one, chaining the sweep.
+            donor = Some((lut, descriptor, cold));
+            points.push(SweepPoint {
+                batch,
+                optimum_ms: optimum,
+                cold: cold_rec,
+                warm: warm_rec,
+                donor_distance,
+            });
+        }
+        sweeps.push(NetworkSweep {
+            network: name.to_string(),
+            points,
+        });
+    }
+
+    let report = BenchReport {
+        bench: "transfer_warm_start".into(),
+        mode: "cpu".into(),
+        sweeps,
+    };
+    let json = serde_json::to_string(&report).expect("serializes");
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("results")
+        .join("transfer_warm_start.json");
+    std::fs::create_dir_all(out.parent().expect("has parent")).expect("create results dir");
+    std::fs::write(&out, &json).expect("write bench json");
+    println!("\nwarm starts converge in a fraction of the cold episode budget ✔");
+    println!("recorded {}", out.display());
+}

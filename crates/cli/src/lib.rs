@@ -23,7 +23,7 @@ use qsdnn::baselines::{
 use qsdnn::engine::{AnalyticalPlatform, CostLut, MeasuredPlatform, Mode, Objective, Profiler};
 use qsdnn::nn::zoo;
 use qsdnn::{ApproxQsDnnSearch, QsDnnConfig, QsDnnSearch, SearchReport};
-use qsdnn_serve::protocol::{PlanRequest, PlanResponse, ProfileRequest};
+use qsdnn_serve::protocol::{PlanRequest, PlanResponse, ProfileRequest, TransferMode};
 use qsdnn_serve::{EvictionPolicy, PlanClient, PlanServer, ServerConfig};
 
 /// A parsed command line.
@@ -120,11 +120,14 @@ pub fn usage() -> String {
      [--episodes N] [--seed N] [--objective latency|energy|weighted:<lambda>] [--out <report.json>]\n  \
      qsdnn-cli report --lut <lut.json> --report <report.json>\n  \
      qsdnn-cli serve [--addr host:port] [--threads N] [--spill <dir>] [--repeats N]\n            \
-     [--cache-shards N] [--eviction lru|cost] [--cache-entries N] [--max-in-flight N]\n  \
+     [--cache-shards N] [--eviction lru|cost] [--cache-entries N] [--max-in-flight N]\n            \
+     [--transfer auto|off] [--index-entries N]\n  \
      qsdnn-cli submit --addr <host:port> [--request plan|profile|search|stats]\n            \
-     [--network <name> | --networks a,b,c] [--batch N] [--mode cpu|gpgpu]\n            \
-     [--objective <obj>] [--episodes N] [--seeds a,b,c] [--repeats N] [--lut <lut.json>]\n            \
-     (--networks pipelines the whole batch over one connection)\n  \
+     [--network <name> | --networks a,b,c] [--batch N | --batches 1,2,4,8]\n            \
+     [--mode cpu|gpgpu] [--objective <obj>] [--episodes N] [--seeds a,b,c]\n            \
+     [--transfer auto|off] [--repeats N] [--lut <lut.json>]\n            \
+     (--networks pipelines a batch over one connection; --batches sweeps\n            \
+     batch sizes so each warm-starts from the previous one)\n  \
      qsdnn-cli help | --help | -h"
         .to_string()
 }
@@ -172,6 +175,15 @@ pub fn parse_objective(s: &str) -> Result<Objective, String> {
 ///
 /// Returns a message for unknown policies.
 pub fn parse_eviction(s: &str) -> Result<EvictionPolicy, String> {
+    s.parse()
+}
+
+/// Parses the `--transfer` option (`auto`, `off`).
+///
+/// # Errors
+///
+/// Returns a message for unknown modes.
+pub fn parse_transfer(s: &str) -> Result<TransferMode, String> {
     s.parse()
 }
 
@@ -340,6 +352,24 @@ fn cmd_report(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+fn parse_batches(s: &str) -> Result<Vec<usize>, String> {
+    let batches: Vec<usize> = s
+        .split(',')
+        .map(str::trim)
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            part.parse::<usize>()
+                .ok()
+                .filter(|&b| b >= 1)
+                .ok_or_else(|| format!("bad batch `{part}` in --batches (need integers >= 1)"))
+        })
+        .collect::<Result<_, _>>()?;
+    if batches.is_empty() {
+        return Err("--batches needs at least one batch size".to_string());
+    }
+    Ok(batches)
+}
+
 fn parse_seeds(s: &str) -> Result<Vec<u64>, String> {
     s.split(',')
         .filter(|part| !part.is_empty())
@@ -353,7 +383,7 @@ fn parse_seeds(s: &str) -> Result<Vec<u64>, String> {
 
 fn format_plan(plan: &PlanResponse) -> String {
     let mut out = format!(
-        "plan {} for {}: {:.3} ms ({}; {:.2}x vs vanilla {:.3} ms){}\n\nportfolio:\n",
+        "plan {} for {}: {:.3} ms ({}; {:.2}x vs vanilla {:.3} ms){}\n",
         plan.plan_key,
         plan.network,
         plan.best.best_cost_ms,
@@ -362,6 +392,15 @@ fn format_plan(plan: &PlanResponse) -> String {
         plan.vanilla_cost_ms,
         if plan.cache_hit { " [cache hit]" } else { "" },
     );
+    match &plan.warm_start {
+        Some(w) => out.push_str(&format!(
+            "warm start: donor {} ({}, distance {:.3}), {} states transferred, \
+             {} episodes\n",
+            w.donor_key, w.donor_network, w.donor_distance, w.transferred_states, w.episodes
+        )),
+        None => out.push_str("cold start\n"),
+    }
+    out.push_str("\nportfolio:\n");
     for m in &plan.members {
         match m.best_cost_ms {
             Some(cost) => out.push_str(&format!(
@@ -391,6 +430,8 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
             "eviction",
             "cache-entries",
             "max-in-flight",
+            "transfer",
+            "index-entries",
         ],
     )?;
     let addr = args
@@ -407,6 +448,8 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
         eviction: parse_eviction(args.options.get("eviction").map_or("lru", String::as_str))?,
         cache_max_entries: opt_parse(args, "cache-entries", 0usize)?,
         max_in_flight: opt_parse(args, "max-in-flight", 0usize)?,
+        transfer: parse_transfer(args.options.get("transfer").map_or("auto", String::as_str))?,
+        index_entries: opt_parse(args, "index-entries", 0usize)?,
         ..ServerConfig::default()
     };
     let spill_note = config
@@ -434,10 +477,12 @@ fn cmd_submit(args: &Args) -> Result<String, String> {
             "network",
             "networks",
             "batch",
+            "batches",
             "mode",
             "objective",
             "episodes",
             "seeds",
+            "transfer",
             "repeats",
             "lut",
         ],
@@ -455,8 +500,52 @@ fn cmd_submit(args: &Args) -> Result<String, String> {
     )?;
     let episodes = opt_parse(args, "episodes", 0usize)?;
     let seeds = parse_seeds(args.options.get("seeds").map_or("", String::as_str))?;
+    let transfer = parse_transfer(args.options.get("transfer").map_or("auto", String::as_str))?;
     match kind {
         "plan" => {
+            // `--batches 1,2,4,8` sweeps batch sizes for one network over
+            // one pipelined (protocol-v2) connection. The sweep submits
+            // strictly in order — each plan lands in the scenario index
+            // before the next batch is requested, so every step
+            // warm-starts from the previous one (the natural transfer
+            // demo); concurrent submission would race all batches cold.
+            if let Some(list) = args.options.get("batches") {
+                if args.options.contains_key("batch") {
+                    return Err("--batch and --batches are mutually exclusive; \
+                         fold the single batch into --batches"
+                        .to_string());
+                }
+                if args.options.contains_key("networks") {
+                    return Err("--batches sweeps one --network, not --networks".to_string());
+                }
+                let batches = parse_batches(list)?;
+                let network = network()?;
+                let started = std::time::Instant::now();
+                let mut out = String::new();
+                for &batch in &batches {
+                    let ticket = client
+                        .submit_plan(PlanRequest {
+                            network: network.clone(),
+                            batch,
+                            mode,
+                            objective,
+                            episodes,
+                            seeds: seeds.clone(),
+                            transfer,
+                        })
+                        .map_err(|e| e.to_string())?;
+                    let plan = client.wait_plan(ticket).map_err(|e| e.to_string())?;
+                    out.push_str(&format!("batch {batch}: "));
+                    out.push_str(&format_plan(&plan));
+                    out.push_str("\n\n");
+                }
+                let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+                out.push_str(&format!(
+                    "{} batch sizes swept over one connection in {wall_ms:.0} ms",
+                    batches.len()
+                ));
+                return Ok(out);
+            }
             // `--networks a,b,c` pipelines the whole batch over this one
             // connection (tagged protocol-v2 requests): the server works
             // all plans concurrently and replies as each finishes.
@@ -483,6 +572,7 @@ fn cmd_submit(args: &Args) -> Result<String, String> {
                         objective,
                         episodes,
                         seeds: seeds.clone(),
+                        transfer,
                     })
                     .collect();
                 let started = std::time::Instant::now();
@@ -507,6 +597,7 @@ fn cmd_submit(args: &Args) -> Result<String, String> {
                     objective,
                     episodes,
                     seeds,
+                    transfer,
                 })
                 .map_err(|e| e.to_string())?;
             Ok(format_plan(&plan))
@@ -566,6 +657,15 @@ fn cmd_submit(args: &Args) -> Result<String, String> {
                 stats.profile_cache.entries,
                 stats.workers
             );
+            out.push_str(&format!(
+                "\ntransfer ({}): {} hits, {} warm starts, mean donor distance {:.3}, \
+                 {} indexed scenarios",
+                stats.transfer,
+                stats.transfer_hits,
+                stats.warm_starts,
+                stats.mean_donor_distance,
+                stats.index_entries
+            ));
             for (i, s) in stats.plan_cache_shards.iter().enumerate() {
                 out.push_str(&format!(
                     "\n  plan shard {i}: {}/{} resident ({} in flight), {} hits, {} misses, \
@@ -816,6 +916,88 @@ mod tests {
         .unwrap())
         .unwrap_err();
         assert!(err.contains("mutually exclusive"), "{err}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn transfer_and_batches_parsing() {
+        assert_eq!(parse_transfer("auto").unwrap(), TransferMode::Auto);
+        assert_eq!(parse_transfer("off").unwrap(), TransferMode::Off);
+        assert!(parse_transfer("on").is_err());
+        assert_eq!(parse_batches("1,2,4,8").unwrap(), vec![1, 2, 4, 8]);
+        assert_eq!(parse_batches(" 2 , 16 ").unwrap(), vec![2, 16]);
+        assert!(parse_batches("").is_err());
+        assert!(parse_batches("1,0").is_err(), "batch 0 is invalid");
+        assert!(parse_batches("1,x").is_err());
+        // A bad serve transfer flag is a clean error, not a started server.
+        let err = run(&parse_args(&argv(&["serve", "--transfer", "on"])).unwrap()).unwrap_err();
+        assert!(err.contains("unknown transfer mode"), "{err}");
+    }
+
+    #[test]
+    fn submit_batches_sweeps_warm_starts_over_one_connection() {
+        let server = qsdnn_serve::start_local().expect("server");
+        let addr = server.local_addr().to_string();
+        let out = run(&parse_args(&argv(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--network",
+            "tiny_cnn",
+            "--batches",
+            "1,2,4",
+            "--episodes",
+            "150",
+            "--seeds",
+            "7",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(
+            out.contains("3 batch sizes swept over one connection"),
+            "{out}"
+        );
+        assert!(out.contains("batch 1: "), "{out}");
+        assert!(out.contains("batch 4: "), "{out}");
+        // The first batch is a cold start; every later one prints its
+        // warm-start provenance (donor key + distance + episode budget).
+        assert!(out.contains("cold start"), "{out}");
+        assert!(out.contains("warm start: donor "), "{out}");
+        let warm_lines = out.matches("warm start: donor ").count();
+        assert_eq!(warm_lines, 2, "batches 2 and 4 warm-start: {out}");
+        // Stats confirm the server really transferred.
+        let stats =
+            run(&parse_args(&argv(&["submit", "--addr", &addr, "--request", "stats"])).unwrap())
+                .unwrap();
+        assert!(stats.contains("transfer (auto):"), "{stats}");
+        assert!(!stats.contains("transfer (auto): 0 hits"), "{stats}");
+        // Conflicting flags are rejected before touching the server.
+        let err = run(&parse_args(&argv(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--network",
+            "x",
+            "--batch",
+            "2",
+            "--batches",
+            "1,2",
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err = run(&parse_args(&argv(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--networks",
+            "a,b",
+            "--batches",
+            "1,2",
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.contains("one --network"), "{err}");
         server.shutdown();
     }
 

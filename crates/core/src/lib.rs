@@ -48,6 +48,7 @@ mod replay;
 mod report;
 mod schedule;
 mod search;
+mod transfer;
 
 pub use approx::{ApproxQsDnnSearch, LinearQ};
 pub use portfolio::{MemberSummary, Portfolio, PortfolioMember, PortfolioOutcome};
@@ -56,6 +57,7 @@ pub use replay::{ReplayBuffer, Transition};
 pub use report::{EpisodeRecord, SearchReport};
 pub use schedule::EpsilonSchedule;
 pub use search::{QsDnnConfig, QsDnnSearch};
+pub use transfer::TransferMapping;
 
 // Re-export the sibling crates so downstream users (and the examples) can
 // drive the whole pipeline through one dependency.

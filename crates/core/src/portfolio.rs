@@ -55,6 +55,24 @@ impl PortfolioMember {
         }
     }
 
+    /// Runs this member with a transfer donor available: QS-DNN members in
+    /// warm-start mode seed from the donor ([`QsDnnSearch::run_warm`],
+    /// falling back to cold when the mapping transfers nothing); every
+    /// other member ignores the donor and runs normally.
+    pub fn run_warm(
+        &self,
+        lut: &CostLut,
+        donor: &crate::QTable,
+        mapping: &crate::TransferMapping,
+    ) -> Option<SearchReport> {
+        match self {
+            PortfolioMember::QsDnn(cfg) => {
+                Some(QsDnnSearch::new(cfg.clone()).run_warm(lut, donor, mapping))
+            }
+            other => other.run(lut),
+        }
+    }
+
     /// Runs this member against a LUT. Returns `None` when the member is
     /// inapplicable (chain DP on a branchy network).
     pub fn run(&self, lut: &CostLut) -> Option<SearchReport> {
@@ -97,6 +115,12 @@ impl PortfolioMember {
                 h.write_u64(cfg.replay as u64);
                 h.write_u64(cfg.reward_shaping as u64);
                 h.write_u64(cfg.jumpstart as u64);
+                // Written only when set so every pre-transfer fingerprint
+                // (and thus every existing cache key and spilled plan)
+                // stays byte-identical.
+                if cfg.warm_start {
+                    h.write_str("warm-start");
+                }
                 h.write_u64(cfg.seed);
             }
             PortfolioMember::Random { episodes, seed } => {
@@ -125,6 +149,11 @@ pub struct MemberSummary {
     pub label: String,
     /// Best cost found, `None` when the member was inapplicable.
     pub best_cost_ms: Option<f64>,
+    /// Episodes the member actually ran (0 for exact solvers and members
+    /// without a result) — how warm-started searches surface their
+    /// shortened budgets to service clients.
+    #[serde(default)]
+    pub episodes: usize,
     /// Member wall time (ms). Informational only — never part of the
     /// deterministic reduction or any cache key.
     pub wall_time_ms: f64,
@@ -183,6 +212,26 @@ impl Portfolio {
         Portfolio { members }
     }
 
+    /// The transfer variant of this portfolio: every QS-DNN member flips
+    /// into warm-start mode (shortened schedule when seeded), the
+    /// baselines stay untouched. The fingerprint changes — a warm plan
+    /// never shares a cache key with the cold plan it approximates.
+    pub fn warmed(&self) -> Portfolio {
+        Portfolio {
+            members: self
+                .members
+                .iter()
+                .map(|m| match m {
+                    PortfolioMember::QsDnn(cfg) => PortfolioMember::QsDnn(QsDnnConfig {
+                        warm_start: true,
+                        ..cfg.clone()
+                    }),
+                    other => other.clone(),
+                })
+                .collect(),
+        }
+    }
+
     /// Stable fingerprint of the member specifications (order-sensitive:
     /// the reduction tie-breaks by index).
     pub fn fingerprint(&self) -> u64 {
@@ -217,6 +266,7 @@ impl Portfolio {
             .map(|m| MemberSummary {
                 label: m.label(),
                 best_cost_ms: None,
+                episodes: 0,
                 wall_time_ms: 0.0,
             })
             .collect();
@@ -226,6 +276,7 @@ impl Portfolio {
                 continue;
             };
             summary.best_cost_ms = Some(report.best_cost_ms);
+            summary.episodes = report.episodes;
             summary.wall_time_ms = report.wall_time_ms;
             let wins = match &best {
                 None => true,
@@ -259,6 +310,26 @@ impl Portfolio {
             .iter()
             .enumerate()
             .map(|(i, m)| (i, m.run(lut)))
+            .collect();
+        self.select_best(results)
+    }
+
+    /// [`Portfolio::run_sequential`] with a transfer donor: the reference
+    /// semantics for the warm parallel executor in `qsdnn-serve`.
+    ///
+    /// Returns `None` for an empty portfolio or when every member is
+    /// inapplicable.
+    pub fn run_sequential_warm(
+        &self,
+        lut: &CostLut,
+        donor: &crate::QTable,
+        mapping: &crate::TransferMapping,
+    ) -> Option<PortfolioOutcome> {
+        let results = self
+            .members
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (i, m.run_warm(lut, donor, mapping)))
             .collect();
         self.select_best(results)
     }

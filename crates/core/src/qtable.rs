@@ -35,7 +35,19 @@ pub struct QTable {
 impl QTable {
     /// Zero-initialized table matching `lut`'s candidate structure.
     pub fn new(lut: &CostLut) -> Self {
-        let dims: Vec<usize> = (0..lut.len()).map(|l| lut.candidates(l).len()).collect();
+        QTable::with_dims((0..lut.len()).map(|l| lut.candidates(l).len()).collect())
+    }
+
+    /// Zero-initialized table with explicit per-layer candidate counts —
+    /// used to rebuild donor policy tables from cached scenario artifacts
+    /// whose LUT is no longer at hand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or any layer has zero candidates.
+    pub fn with_dims(dims: Vec<usize>) -> Self {
+        assert!(!dims.is_empty(), "Q-table needs at least one layer");
+        assert!(dims.iter().all(|&n| n > 0), "every layer needs candidates");
         let first = vec![0.0; dims[0]];
         let q: Vec<Vec<f64>> = (1..dims.len())
             .map(|l| vec![0.0; dims[l - 1] * dims[l]])
@@ -84,6 +96,20 @@ impl QTable {
             let idx = prev * self.dims[l] + a;
             self.q[l - 1][idx] = value;
             self.seen[l - 1][idx] += 1;
+        }
+    }
+
+    /// Overwrites `Q[(l, prev), a]` *and* its visit count in one step —
+    /// transfer seeding, where the value comes from a donor table rather
+    /// than a Bellman update.
+    pub(crate) fn seed(&mut self, l: usize, prev: usize, a: usize, value: f64, visits: u32) {
+        if l == 0 {
+            self.first[a] = value;
+            self.first_seen[a] = visits;
+        } else {
+            let idx = prev * self.dims[l] + a;
+            self.q[l - 1][idx] = value;
+            self.seen[l - 1][idx] = visits;
         }
     }
 

@@ -68,6 +68,32 @@ impl EpsilonSchedule {
         EpsilonSchedule { segments }
     }
 
+    /// Shortened schedule for *warm-started* (transfer-seeded) searches.
+    ///
+    /// A seeded Q-table already encodes a near-policy, so the paper
+    /// schedule's long ε = 1 exploration half would mostly re-learn what
+    /// the donor knew. The warm schedule keeps a quarter of the cold
+    /// budget and explores moderately around the seeded policy: 0.5 →
+    /// 0.25 → 0.1 → 0, ending (like every schedule here) in full
+    /// exploitation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cold_total` is zero.
+    pub fn warm(cold_total: usize) -> Self {
+        assert!(cold_total > 0, "schedule needs at least one episode");
+        let total = (cold_total / 4).max(1);
+        let step = total / 4;
+        EpsilonSchedule {
+            segments: vec![
+                (0.5, step),
+                (0.25, step),
+                (0.1, step),
+                (0.0, total - 3 * step),
+            ],
+        }
+    }
+
     /// Custom segments.
     pub fn from_segments(segments: Vec<(f64, usize)>) -> Self {
         EpsilonSchedule { segments }
@@ -164,6 +190,22 @@ mod tests {
         let s = EpsilonSchedule::linear(15);
         assert_eq!(s.segments().len(), 15);
         assert_eq!(s.segments().last().unwrap().0, 0.0);
+    }
+
+    #[test]
+    fn warm_schedule_is_shorter_and_ends_greedy() {
+        for cold in [2usize, 7, 40, 100, 1000] {
+            let s = EpsilonSchedule::warm(cold);
+            assert!(
+                s.total_episodes() < cold,
+                "warm({cold}) = {} episodes must undercut the cold budget",
+                s.total_episodes()
+            );
+            assert_eq!(s.epsilon_for(s.total_episodes() - 1), 0.0);
+            assert!(s.epsilon_for(0) <= 0.5, "no full-exploration phase");
+        }
+        // The degenerate budget still yields a valid one-episode schedule.
+        assert_eq!(EpsilonSchedule::warm(1).total_episodes(), 1);
     }
 
     proptest! {

@@ -22,7 +22,9 @@ use serde::{Deserialize, Serialize};
 
 use qsdnn_engine::CostLut;
 
-use crate::{EpisodeRecord, EpsilonSchedule, QTable, ReplayBuffer, SearchReport, Transition};
+use crate::{
+    EpisodeRecord, EpsilonSchedule, QTable, ReplayBuffer, SearchReport, TransferMapping, Transition,
+};
 
 /// Hyper-parameters of the QS-DNN search. `Default` reproduces the paper:
 /// 1000 episodes with the 50%/5%-steps schedule, α = 0.05, γ = 0.9, replay
@@ -48,6 +50,14 @@ pub struct QsDnnConfig {
     /// on heterogeneous design spaces (GPU/CPU spreads of ~50×), because
     /// overestimates from empty successors persist under the max operator.
     pub jumpstart: bool,
+    /// Warm-start mode: when enabled *and* [`QsDnnSearch::run_warm`] is
+    /// handed a donor table with a non-empty transfer mapping, the search
+    /// seeds its Q-table from the donor and runs the shortened
+    /// [`EpsilonSchedule::warm`] instead of the full cold schedule. Off by
+    /// default; with no donor (or an empty mapping) the search is exactly
+    /// the cold search.
+    #[serde(default)]
+    pub warm_start: bool,
     /// RNG seed (exploration).
     pub seed: u64,
 }
@@ -62,6 +72,7 @@ impl Default for QsDnnConfig {
             replay: true,
             reward_shaping: true,
             jumpstart: false,
+            warm_start: false,
             seed: 0x5EED,
         }
     }
@@ -137,19 +148,60 @@ impl QsDnnSearch {
 
     /// Runs the search against a Phase-1 LUT (Algorithm 1).
     pub fn run(&self, lut: &CostLut) -> SearchReport {
-        let start = Instant::now();
-        let total = self.config.schedule.total_episodes();
-        let layers = lut.len();
+        self.run_from(lut, QTable::new(lut), &self.config.schedule, false)
+    }
+
+    /// Warm-started run: seeds a fresh Q-table from `donor` via `mapping`
+    /// ([`QTable::transfer_from`]) and searches with the shortened
+    /// [`EpsilonSchedule::warm`] schedule. Falls back to the exact cold
+    /// [`QsDnnSearch::run`] whenever warm-start is disabled in the config,
+    /// the mapping is empty, or nothing actually transfers — a mismatched
+    /// donor can cost nothing, only fail to help.
+    pub fn run_warm(
+        &self,
+        lut: &CostLut,
+        donor: &QTable,
+        mapping: &TransferMapping,
+    ) -> SearchReport {
+        if !self.config.warm_start || mapping.is_empty() {
+            return self.run(lut);
+        }
         let mut q = QTable::new(lut);
+        if q.transfer_from(donor, mapping) == 0 {
+            return self.run(lut);
+        }
+        let schedule = EpsilonSchedule::warm(self.config.schedule.total_episodes());
+        self.run_from(lut, q, &schedule, true)
+    }
+
+    /// The shared episode loop. With `seeded` the initial best is the
+    /// seeded table's greedy rollout (the mapped donor policy), so even a
+    /// zero-episode-improvement warm run returns a valid, donor-informed
+    /// plan; cold runs start from an empty best exactly as before.
+    fn run_from(
+        &self,
+        lut: &CostLut,
+        mut q: QTable,
+        schedule: &EpsilonSchedule,
+        seeded: bool,
+    ) -> SearchReport {
+        let start = Instant::now();
+        let total = schedule.total_episodes();
+        let layers = lut.len();
         let mut replay = ReplayBuffer::new(self.config.replay_capacity.max(1));
         let mut rng = SmallRng::seed_from_u64(self.config.seed);
 
         let mut best_cost = f64::INFINITY;
         let mut best_assign: Vec<usize> = Vec::new();
+        if seeded {
+            let rollout = q.greedy_rollout();
+            best_cost = lut.cost(&rollout);
+            best_assign = rollout;
+        }
         let mut curve = Vec::with_capacity(total);
 
         for episode in 0..total {
-            let eps = self.config.schedule.epsilon_for(episode);
+            let eps = schedule.epsilon_for(episode);
             // Reset path; sample layer by layer.
             let mut assign: Vec<usize> = Vec::with_capacity(layers);
             let mut transitions: Vec<Transition> = Vec::with_capacity(layers);
@@ -223,7 +275,7 @@ impl QsDnnSearch {
         }
 
         SearchReport {
-            method: "qs-dnn".into(),
+            method: if seeded { "qs-dnn-warm" } else { "qs-dnn" }.into(),
             network: lut.network().to_string(),
             best_assignment: best_assign,
             best_cost_ms: best_cost,
@@ -311,6 +363,70 @@ mod tests {
             .collect();
         let spread = tail.iter().fold(0.0f64, |m, &c| m.max(c)) - report.best_cost_ms;
         assert!(spread < 0.5, "tail spread {spread}");
+    }
+
+    #[test]
+    fn warm_run_uses_fewer_episodes_and_still_finds_the_optimum() {
+        use qsdnn_engine::ScenarioDescriptor;
+
+        let lut = toy::small_chain_lut();
+        let cold = QsDnnSearch::new(QsDnnConfig::with_episodes(500)).run(&lut);
+
+        // Donor: the cold run's own backbone, mapped through identity.
+        let desc = ScenarioDescriptor::of(&lut);
+        let mapping = crate::TransferMapping::between(&desc, &desc);
+        let dims: Vec<usize> = (0..lut.len()).map(|l| lut.candidates(l).len()).collect();
+        let costs: Vec<f64> = cold
+            .best_assignment
+            .iter()
+            .enumerate()
+            .map(|(l, &ci)| lut.step_cost(l, ci, &cold.best_assignment))
+            .collect();
+        let donor =
+            QTable::from_best_path(&dims, &cold.best_assignment, &costs).expect("consistent");
+
+        let mut cfg = QsDnnConfig::with_episodes(500);
+        cfg.warm_start = true;
+        let warm = QsDnnSearch::new(cfg).run_warm(&lut, &donor, &mapping);
+        assert_eq!(warm.method, "qs-dnn-warm");
+        assert!(
+            warm.episodes < cold.episodes,
+            "warm {} episodes vs cold {}",
+            warm.episodes,
+            cold.episodes
+        );
+        assert!(
+            warm.best_cost_ms <= cold.best_cost_ms + 1e-9,
+            "warm {} must not lose to cold {} when seeded from cold's plan",
+            warm.best_cost_ms,
+            cold.best_cost_ms
+        );
+    }
+
+    #[test]
+    fn warm_run_without_usable_donor_is_exactly_cold() {
+        use qsdnn_engine::ScenarioDescriptor;
+
+        let lut = toy::small_chain_lut();
+        // A donor whose every layer type differs maps to nothing.
+        let recipient = ScenarioDescriptor::of(&lut);
+        let mut donor_desc = recipient.clone();
+        for l in &mut donor_desc.layers {
+            l.tag = "softmax".into();
+        }
+        let mapping = crate::TransferMapping::between(&donor_desc, &recipient);
+        assert!(mapping.is_empty());
+
+        let mut cfg = QsDnnConfig::with_episodes(200);
+        cfg.warm_start = true;
+        let donor = QTable::new(&lut);
+        let warm = QsDnnSearch::new(cfg.clone()).run_warm(&lut, &donor, &mapping);
+        cfg.warm_start = false;
+        let cold = QsDnnSearch::new(cfg).run(&lut);
+        assert_eq!(warm.method, "qs-dnn", "fallback is the cold search");
+        assert_eq!(warm.best_assignment, cold.best_assignment);
+        assert_eq!(warm.best_cost_ms.to_bits(), cold.best_cost_ms.to_bits());
+        assert_eq!(warm.curve.len(), cold.curve.len());
     }
 
     #[test]

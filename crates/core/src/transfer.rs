@@ -1,0 +1,393 @@
+//! Cross-scenario Q-table transfer.
+//!
+//! A Q-table learned for one scenario encodes which primitive chains are
+//! cheap; a *similar* scenario (same network at another batch size, a
+//! platform variant, a re-profiled LUT) shares most of that structure.
+//! This module maps a donor table onto a recipient LUT's candidate
+//! structure so a new search starts from the donor's knowledge instead of
+//! from zero:
+//!
+//! 1. [`TransferMapping::between`] aligns the two scenarios' layers by
+//!    type and depth and their candidates by primitive identity, and
+//!    derives a Q-value rescale factor from the cost ratio of the shared
+//!    candidates;
+//! 2. [`QTable::transfer_from`] copies every donor-visited, mapped
+//!    state-action value across (rescaled, with decayed visit counts so
+//!    transferred knowledge yields to fresh evidence);
+//! 3. [`QTable::from_best_path`] rebuilds a donor *policy-backbone* table
+//!    from a cached plan — the service stores plans, not tables, so the
+//!    donor's best assignment plus its per-layer costs reconstruct the
+//!    interesting slice of the donor's Q-function (cost-to-go along the
+//!    winning path).
+//!
+//! Every entry point is total: a mismatched donor (different depth,
+//! disjoint candidate sets, stale artifacts) degrades to an empty mapping
+//! or a zero-entry transfer, never a panic — callers fall back to a cold
+//! search.
+
+use qsdnn_engine::ScenarioDescriptor;
+
+use crate::QTable;
+
+/// Visit-count divisor applied to transferred entries: donor experience
+/// arrives "decayed" so the recipient's own updates quickly dominate.
+const VISIT_DECAY: u32 = 4;
+
+/// Visit count assigned to entries rebuilt from a cached plan (see
+/// [`QTable::from_best_path`]); decays to ≥ 1 under [`VISIT_DECAY`].
+const BACKBONE_VISITS: u32 = 8;
+
+/// Bounds on the Q rescale factor; a ratio outside this range means the
+/// scenarios' cost scales are incomparable and rescaling would produce
+/// garbage magnitudes.
+const SCALE_BOUNDS: (f64, f64) = (1e-3, 1e3);
+
+/// A structural alignment from a donor scenario onto a recipient: which
+/// donor layer backs each recipient layer, which donor candidate backs
+/// each recipient candidate, and how to rescale donor Q-values into the
+/// recipient's cost units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferMapping {
+    /// For each recipient layer, the aligned donor layer (monotone in
+    /// depth, matched by layer type).
+    pub layer_map: Vec<Option<usize>>,
+    /// For each recipient layer, recipient-candidate → donor-candidate
+    /// (matched by primitive identity).
+    pub candidate_map: Vec<Vec<Option<usize>>>,
+    /// Multiplier taking donor Q-values (negated donor costs) to recipient
+    /// cost units: the recipient/donor cost ratio over shared candidates.
+    pub scale: f64,
+}
+
+impl TransferMapping {
+    /// Aligns `donor` onto `recipient`.
+    ///
+    /// Layers align greedily in topological order: each recipient layer
+    /// takes the next unconsumed donor layer of the same type, so
+    /// same-network scenarios (the common batch-sweep case) align
+    /// perfectly and an extra block in either network skips cleanly.
+    /// Candidates align by exact primitive identity.
+    pub fn between(donor: &ScenarioDescriptor, recipient: &ScenarioDescriptor) -> Self {
+        let mut layer_map = Vec::with_capacity(recipient.layers.len());
+        let mut candidate_map = Vec::with_capacity(recipient.layers.len());
+        let mut cursor = 0usize;
+        let mut shared_recipient_cost = 0.0;
+        let mut shared_donor_cost = 0.0;
+        for rl in &recipient.layers {
+            let found = donor.layers[cursor..]
+                .iter()
+                .position(|dl| dl.tag == rl.tag)
+                .map(|off| cursor + off);
+            match found {
+                Some(dl_idx) => {
+                    cursor = dl_idx + 1;
+                    let dl = &donor.layers[dl_idx];
+                    let mut cands = Vec::with_capacity(rl.candidates.len());
+                    for (ci, cand) in rl.candidates.iter().enumerate() {
+                        let di = dl.candidates.iter().position(|d| d == cand);
+                        if let Some(di) = di {
+                            let (rc, dc) = (
+                                rl.cost.get(ci).copied().unwrap_or(0.0),
+                                dl.cost.get(di).copied().unwrap_or(0.0),
+                            );
+                            if rc.is_finite() && dc.is_finite() {
+                                shared_recipient_cost += rc;
+                                shared_donor_cost += dc;
+                            }
+                        }
+                        cands.push(di);
+                    }
+                    layer_map.push(Some(dl_idx));
+                    candidate_map.push(cands);
+                }
+                None => {
+                    layer_map.push(None);
+                    candidate_map.push(vec![None; rl.candidates.len()]);
+                }
+            }
+        }
+        let raw = if shared_donor_cost > 0.0 {
+            shared_recipient_cost / shared_donor_cost
+        } else {
+            1.0
+        };
+        let scale = if raw.is_finite() && raw >= SCALE_BOUNDS.0 && raw <= SCALE_BOUNDS.1 {
+            raw
+        } else {
+            1.0
+        };
+        TransferMapping {
+            layer_map,
+            candidate_map,
+            scale,
+        }
+    }
+
+    /// Upper bound on transferable Q-entries: mapped first-layer actions
+    /// plus, for every *consecutively* aligned layer pair, the product of
+    /// their mapped candidate counts. Zero means the mapping carries
+    /// nothing and callers should search cold.
+    pub fn mapped_states(&self) -> usize {
+        let mapped = |l: usize| self.candidate_map[l].iter().flatten().count();
+        let mut total = 0;
+        for l in 0..self.layer_map.len() {
+            let (Some(dl), here) = (self.layer_map[l], mapped(l)) else {
+                continue;
+            };
+            if l == 0 {
+                if dl == 0 {
+                    total += here;
+                }
+            } else if self.layer_map[l - 1] == Some(dl.wrapping_sub(1)) && dl >= 1 {
+                total += mapped(l - 1) * here;
+            }
+        }
+        total
+    }
+
+    /// Whether the mapping transfers nothing (see
+    /// [`TransferMapping::mapped_states`]).
+    pub fn is_empty(&self) -> bool {
+        self.mapped_states() == 0
+    }
+}
+
+impl QTable {
+    /// Rebuilds a donor *policy-backbone* table from a cached plan: along
+    /// `assignment`, each `Q[(l, assignment[l-1]), assignment[l]]` is set
+    /// to the negated cost-to-go `−Σ_{j≥l} step_cost[j]` — exactly the
+    /// converged Q-value of the winning path under γ = 1 — with a modest
+    /// visit count. Off-path entries stay unvisited.
+    ///
+    /// Returns `None` when the artifacts disagree (assignment length or
+    /// candidate index out of range for `dims`, non-finite costs) — the
+    /// stale-index case; callers then skip this donor.
+    pub fn from_best_path(
+        dims: &[usize],
+        assignment: &[usize],
+        step_costs: &[f64],
+    ) -> Option<QTable> {
+        if dims.is_empty()
+            || assignment.len() != dims.len()
+            || step_costs.len() != dims.len()
+            || assignment.iter().zip(dims).any(|(&a, &n)| a >= n)
+            || step_costs.iter().any(|c| !c.is_finite())
+        {
+            return None;
+        }
+        let mut q = QTable::with_dims(dims.to_vec());
+        let mut cost_to_go = 0.0;
+        for l in (0..dims.len()).rev() {
+            cost_to_go += step_costs[l];
+            let prev = if l == 0 { 0 } else { assignment[l - 1] };
+            q.seed(l, prev, assignment[l], -cost_to_go, BACKBONE_VISITS);
+        }
+        Some(q)
+    }
+
+    /// Seeds this table from a donor via `mapping`: every donor-visited
+    /// state-action pair whose layer *and* candidates map (with the
+    /// previous layer aligned consecutively, so the donor transition is
+    /// meaningful) is copied across, rescaled by `mapping.scale` and
+    /// marked visited with a decayed count. Returns the number of entries
+    /// transferred — 0 (e.g. for a fully mismatched donor) means the
+    /// table is untouched and the caller should run cold.
+    ///
+    /// Total for arbitrary inputs: any index disagreement between `self`,
+    /// `donor` and `mapping` skips the entry rather than panicking.
+    pub fn transfer_from(&mut self, donor: &QTable, mapping: &TransferMapping) -> usize {
+        if mapping.layer_map.len() != self.len() || mapping.candidate_map.len() != self.len() {
+            return 0;
+        }
+        let mut transferred = 0usize;
+        for l in 0..self.len() {
+            let Some(dl) = mapping.layer_map[l] else {
+                continue;
+            };
+            if dl >= donor.len() {
+                continue;
+            }
+            let cands = &mapping.candidate_map[l];
+            if cands.len() != self.arity(l) {
+                continue;
+            }
+            if l == 0 {
+                if dl != 0 {
+                    continue;
+                }
+                for (a, da) in cands.iter().enumerate() {
+                    let Some(da) = *da else { continue };
+                    if da >= donor.arity(0) || !donor.visited(0, 0, da) {
+                        continue;
+                    }
+                    let visits = (donor.visits(0, 0, da) / VISIT_DECAY).max(1);
+                    self.seed(0, 0, a, donor.get(0, 0, da) * mapping.scale, visits);
+                    transferred += 1;
+                }
+                continue;
+            }
+            // A donor transition (dl−1 → dl) only matches when the
+            // recipient's previous layer aligns to exactly dl−1.
+            if dl == 0 || mapping.layer_map[l - 1] != Some(dl - 1) {
+                continue;
+            }
+            let prev_cands = &mapping.candidate_map[l - 1];
+            if prev_cands.len() != self.arity(l - 1) {
+                continue;
+            }
+            for (p, dp) in prev_cands.iter().enumerate() {
+                let Some(dp) = *dp else { continue };
+                if dp >= donor.arity(dl - 1) {
+                    continue;
+                }
+                for (a, da) in cands.iter().enumerate() {
+                    let Some(da) = *da else { continue };
+                    if da >= donor.arity(dl) || !donor.visited(dl, dp, da) {
+                        continue;
+                    }
+                    let visits = (donor.visits(dl, dp, da) / VISIT_DECAY).max(1);
+                    self.seed(l, p, a, donor.get(dl, dp, da) * mapping.scale, visits);
+                    transferred += 1;
+                }
+            }
+        }
+        transferred
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsdnn_engine::{toy, ScenarioDescriptor};
+
+    #[test]
+    fn identity_mapping_is_total_with_unit_scale() {
+        let desc = ScenarioDescriptor::of(&toy::small_chain_lut());
+        let m = TransferMapping::between(&desc, &desc);
+        assert!(m.layer_map.iter().enumerate().all(|(i, d)| *d == Some(i)));
+        for row in &m.candidate_map {
+            assert!(row.iter().enumerate().all(|(i, d)| *d == Some(i)));
+        }
+        assert!((m.scale - 1.0).abs() < 1e-12);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn unrelated_structures_map_to_nothing_useful() {
+        // fig1's layers are all conv; a descriptor with disjoint candidate
+        // sets still aligns layers by tag but maps no candidates.
+        let donor = ScenarioDescriptor::of(&toy::fig1_lut());
+        let mut recipient = donor.clone();
+        for layer in &mut recipient.layers {
+            for cand in &mut layer.candidates {
+                cand.library = qsdnn_primitives::Library::Sparse;
+            }
+        }
+        let m = TransferMapping::between(&donor, &recipient);
+        assert!(m.is_empty(), "disjoint candidate sets transfer nothing");
+    }
+
+    #[test]
+    fn scale_tracks_the_cost_ratio() {
+        let donor = ScenarioDescriptor::of(&toy::small_chain_lut());
+        let mut recipient = donor.clone();
+        for layer in &mut recipient.layers {
+            for c in &mut layer.cost {
+                *c *= 3.0;
+            }
+        }
+        let m = TransferMapping::between(&donor, &recipient);
+        assert!((m.scale - 3.0).abs() < 1e-9, "scale {} != 3", m.scale);
+    }
+
+    #[test]
+    fn transfer_round_trips_through_identity() {
+        let lut = toy::small_chain_lut();
+        let desc = ScenarioDescriptor::of(&lut);
+        let mapping = TransferMapping::between(&desc, &desc);
+        let mut donor = QTable::new(&lut);
+        donor.set(0, 0, 2, -1.5);
+        donor.set(1, 2, 1, -4.0);
+        donor.set(4, 0, 0, -0.25);
+        let mut recipient = QTable::new(&lut);
+        let n = recipient.transfer_from(&donor, &mapping);
+        assert_eq!(n, 3);
+        assert_eq!(recipient.get(0, 0, 2), -1.5);
+        assert_eq!(recipient.get(1, 2, 1), -4.0);
+        assert_eq!(recipient.get(4, 0, 0), -0.25);
+        assert!(recipient.visited(1, 2, 1));
+        assert!(
+            !recipient.visited(1, 0, 1),
+            "unvisited donor states stay cold"
+        );
+    }
+
+    #[test]
+    fn transfer_never_panics_on_corrupt_mappings() {
+        let lut = toy::small_chain_lut();
+        let mut recipient = QTable::new(&lut);
+        let donor = QTable::new(&toy::fig1_lut());
+        // Wrong arities, out-of-range layers and candidates everywhere.
+        let corrupt = TransferMapping {
+            layer_map: vec![Some(7), None, Some(0), Some(1), Some(99)],
+            candidate_map: vec![
+                vec![Some(42); 3],
+                vec![],
+                vec![Some(0), None, Some(9)],
+                vec![Some(1); 3],
+                vec![Some(0); 17],
+            ],
+            scale: 1.0,
+        };
+        assert_eq!(recipient.transfer_from(&donor, &corrupt), 0);
+        // Length-mismatched mapping is rejected wholesale.
+        let short = TransferMapping {
+            layer_map: vec![Some(0)],
+            candidate_map: vec![vec![Some(0); 3]],
+            scale: 1.0,
+        };
+        assert_eq!(recipient.transfer_from(&donor, &short), 0);
+    }
+
+    #[test]
+    fn best_path_backbone_rolls_out_the_assignment() {
+        let lut = toy::small_chain_lut();
+        let dims: Vec<usize> = (0..lut.len()).map(|l| lut.candidates(l).len()).collect();
+        let assignment = vec![2, 1, 0, 2, 1];
+        let costs = vec![1.0, 2.0, 0.5, 0.25, 4.0];
+        let q = QTable::from_best_path(&dims, &assignment, &costs).expect("consistent");
+        assert_eq!(q.greedy_rollout(), assignment);
+        // Q at the path head is the full negated cost.
+        assert!((q.get(0, 0, 2) + 7.75).abs() < 1e-12);
+        // Terminal Q is just the last step.
+        assert!((q.get(4, 2, 1) + 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_path_rejects_inconsistent_artifacts() {
+        assert!(QTable::from_best_path(&[3, 3], &[0, 1, 2], &[1.0, 1.0]).is_none());
+        assert!(QTable::from_best_path(&[3, 3], &[0, 5], &[1.0, 1.0]).is_none());
+        assert!(QTable::from_best_path(&[3, 3], &[0, 1], &[1.0, f64::NAN]).is_none());
+        assert!(QTable::from_best_path(&[], &[], &[]).is_none());
+    }
+
+    #[test]
+    fn batch_variant_descriptors_transfer_fully() {
+        // Same structure, scaled costs — the batch-sweep shape.
+        let donor_lut = toy::small_chain_lut();
+        let donor = ScenarioDescriptor::of(&donor_lut).with_batch(1);
+        let mut recipient = ScenarioDescriptor::of(&donor_lut).with_batch(4);
+        for layer in &mut recipient.layers {
+            for c in &mut layer.cost {
+                *c *= 4.0;
+            }
+        }
+        let m = TransferMapping::between(&donor, &recipient);
+        let dims: Vec<usize> = (0..donor_lut.len())
+            .map(|l| donor_lut.candidates(l).len())
+            .collect();
+        let full: usize = dims[0] + dims.windows(2).map(|w| w[0] * w[1]).sum::<usize>();
+        assert_eq!(m.mapped_states(), full, "every state maps");
+        assert!((m.scale - 4.0).abs() < 1e-9);
+    }
+}

@@ -89,7 +89,7 @@ impl Default for Fnv64 {
     }
 }
 
-fn write_primitive(h: &mut Fnv64, p: &Primitive) {
+pub(crate) fn write_primitive(h: &mut Fnv64, p: &Primitive) {
     h.write_str(p.library.name());
     h.write_str(p.algorithm.name());
     h.write_str(p.lowering.name());

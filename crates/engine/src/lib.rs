@@ -37,6 +37,7 @@ mod fingerprint;
 mod lut;
 mod platform;
 mod profiler;
+mod scenario;
 pub mod toy;
 
 pub use executor::{run_network, ExecutionResult};
@@ -46,3 +47,4 @@ pub use platform::{
     AnalyticalPlatform, MeasuredPlatform, Mode, Objective, Platform, PlatformConfig,
 };
 pub use profiler::Profiler;
+pub use scenario::{LayerSummary, ScenarioDescriptor};

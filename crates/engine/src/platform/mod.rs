@@ -82,6 +82,17 @@ impl Objective {
             Objective::Weighted { lambda } => time_ms + lambda * energy_mj,
         }
     }
+
+    /// Stable lowercase tag of the objective, λ included
+    /// (`"latency"`, `"energy"`, `"weighted:0.5"`) — used by scenario
+    /// descriptors and report tables.
+    pub fn tag(&self) -> String {
+        match self {
+            Objective::Latency => "latency".to_string(),
+            Objective::Energy => "energy".to_string(),
+            Objective::Weighted { lambda } => format!("weighted:{lambda}"),
+        }
+    }
 }
 
 /// Which processors the search may use — Table II's "CPU" vs "GPGPU" modes.

@@ -1,0 +1,319 @@
+//! Structured scenario descriptors for cross-scenario transfer.
+//!
+//! The plan cache's content addressing is deliberately exact: one bit of
+//! difference in a profiled time produces a different fingerprint and a
+//! cold search. A [`ScenarioDescriptor`] is the *similarity* counterpart —
+//! a compact structural summary of one search scenario (network, per-layer
+//! type and candidate-set summary, batch, platform configuration and
+//! objective) with a [`ScenarioDescriptor::distance`] premetric, so a
+//! service can find the *nearest* previously-solved scenario and
+//! warm-start a new search from its plan instead of starting from scratch
+//! (Mulder et al.'s transfer observation, ROADMAP "cross-scenario
+//! transfer").
+//!
+//! Descriptors never replace fingerprints as cache keys; they are the
+//! index key that maps "similar enough" scenarios onto each other.
+
+use serde::{Deserialize, Serialize};
+
+use qsdnn_primitives::Primitive;
+
+use crate::fingerprint::write_primitive;
+use crate::{CostLut, Fnv64, Objective};
+
+/// Structural summary of one layer of a scenario: its type, its candidate
+/// primitives and their profiled costs (in the scenario's objective units).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerSummary {
+    /// Layer type discriminant (stable lowercase [`LayerTag`] name).
+    ///
+    /// [`LayerTag`]: qsdnn_nn::LayerTag
+    pub tag: String,
+    /// The layer's admissible primitives, in LUT candidate order.
+    pub candidates: Vec<Primitive>,
+    /// Mean profiled cost per candidate, parallel to `candidates`.
+    pub cost: Vec<f64>,
+    /// Stable hash of the candidate identities (order-sensitive) — two
+    /// layers with equal signatures offer the exact same choice set.
+    pub candidate_sig: u64,
+}
+
+/// A compact, structured description of one *(network, batch, platform,
+/// objective)* search scenario, extracted from its Phase-1 LUT.
+///
+/// Equality of descriptors is looser than equality of LUT fingerprints:
+/// two profiling runs with slightly different measured times produce
+/// different fingerprints but (time scale aside) nearby descriptors. The
+/// [`ScenarioDescriptor::distance`] premetric quantifies that proximity.
+///
+/// # Examples
+///
+/// ```
+/// use qsdnn_engine::{toy, ScenarioDescriptor};
+///
+/// let a = ScenarioDescriptor::of(&toy::fig1_lut());
+/// let b = ScenarioDescriptor::of(&toy::small_chain_lut());
+/// assert_eq!(a.distance(&a), 0.0, "a scenario is zero-distance from itself");
+/// assert_eq!(a.distance(&b), b.distance(&a), "distance is symmetric");
+/// assert!(a.distance(&b) > 0.0, "different scenarios are apart");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioDescriptor {
+    /// Network name the LUT was profiled from.
+    pub network: String,
+    /// Platform name the profile came from.
+    pub platform: String,
+    /// Processor mode label (`"cpu"` / `"gpgpu"`).
+    pub mode: String,
+    /// Batch size of the scenario; 0 when unknown (e.g. a client-supplied
+    /// LUT whose request did not carry one).
+    #[serde(default)]
+    pub batch: usize,
+    /// Objective tag (see [`Objective::tag`]); empty when unknown.
+    #[serde(default)]
+    pub objective: String,
+    /// Per-layer structural summaries, in topological order.
+    pub layers: Vec<LayerSummary>,
+}
+
+/// Distance contributed by a differing platform or mode (either makes
+/// profiled numbers incomparable in scale, though structure still maps).
+const PLATFORM_MISMATCH: f64 = 2.0;
+/// Distance contributed by a differing network name (structure may still
+/// align layer by layer; the name mismatch keeps same-network donors
+/// preferred).
+const NETWORK_MISMATCH: f64 = 1.0;
+/// Distance contributed by a differing objective: a latency-optimal donor
+/// plan says little about an energy-optimal one.
+const OBJECTIVE_MISMATCH: f64 = 4.0;
+/// Weight of one doubling of the batch size.
+const PER_BATCH_DOUBLING: f64 = 0.25;
+/// Weight of one e-fold difference in total profiled cost.
+const PER_SCALE_EFOLD: f64 = 0.1;
+
+impl ScenarioDescriptor {
+    /// Extracts the descriptor of a LUT. Pure and deterministic: equal LUTs
+    /// always yield equal descriptors (and equal
+    /// [`ScenarioDescriptor::fingerprint`]s), like [`CostLut::fingerprint`].
+    ///
+    /// Batch and objective are not recorded in the LUT; use
+    /// [`ScenarioDescriptor::with_batch`] / [`ScenarioDescriptor::with_objective`]
+    /// to attach them when known.
+    pub fn of(lut: &CostLut) -> Self {
+        let layers = lut
+            .layers()
+            .iter()
+            .map(|l| {
+                let mut h = Fnv64::new();
+                for p in &l.candidates {
+                    write_primitive(&mut h, p);
+                }
+                LayerSummary {
+                    tag: l.tag.name().to_string(),
+                    candidates: l.candidates.clone(),
+                    cost: l.time_ms.clone(),
+                    candidate_sig: h.finish(),
+                }
+            })
+            .collect();
+        ScenarioDescriptor {
+            network: lut.network().to_string(),
+            platform: lut.platform().to_string(),
+            mode: lut.mode().label().to_string(),
+            batch: 0,
+            objective: String::new(),
+            layers,
+        }
+    }
+
+    /// Returns the descriptor with the scenario's batch size attached.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Returns the descriptor with the scenario's objective attached.
+    pub fn with_objective(mut self, objective: &Objective) -> Self {
+        self.objective = objective.tag();
+        self
+    }
+
+    /// Stable 64-bit content fingerprint of the descriptor — the identity
+    /// under which a scenario index stores it.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_str("qsdnn-scenario-v1");
+        h.write_str(&self.network);
+        h.write_str(&self.platform);
+        h.write_str(&self.mode);
+        h.write_usize(self.batch);
+        h.write_str(&self.objective);
+        h.write_usize(self.layers.len());
+        for l in &self.layers {
+            h.write_str(&l.tag);
+            h.write_u64(l.candidate_sig);
+            h.write_usize(l.cost.len());
+            for &t in &l.cost {
+                h.write_f64(t);
+            }
+        }
+        h.finish()
+    }
+
+    /// Sum of all per-candidate costs — the scenario's overall cost scale.
+    fn total_cost(&self) -> f64 {
+        self.layers.iter().map(|l| l.cost.iter().sum::<f64>()).sum()
+    }
+
+    /// Scenario similarity: layer-structure edit cost plus parameter
+    /// deltas. This is a *premetric* — `d(a, a) == 0`, `d(a, b) == d(b, a)`
+    /// and `d(a, b) >= 0` for all descriptors (the triangle inequality is
+    /// not guaranteed and not needed for nearest-neighbor ranking).
+    ///
+    /// Lower is more transferable: 0 is the same scenario; a batch
+    /// neighbor of the same network scores fractions of 1; a different
+    /// network, platform or objective adds whole units.
+    pub fn distance(&self, other: &ScenarioDescriptor) -> f64 {
+        let mut d = 0.0;
+        if self.network != other.network {
+            d += NETWORK_MISMATCH;
+        }
+        if self.platform != other.platform {
+            d += PLATFORM_MISMATCH;
+        }
+        if self.mode != other.mode {
+            d += PLATFORM_MISMATCH;
+        }
+        if self.objective != other.objective {
+            d += OBJECTIVE_MISMATCH;
+        }
+        let (ba, bb) = (self.batch.max(1) as f64, other.batch.max(1) as f64);
+        d += PER_BATCH_DOUBLING * (ba.log2() - bb.log2()).abs();
+        let longest = self.layers.len().max(other.layers.len());
+        if longest > 0 {
+            d += layer_edit_cost(&self.layers, &other.layers) / longest as f64;
+        }
+        let (ta, tb) = (self.total_cost(), other.total_cost());
+        if ta > 0.0 && tb > 0.0 && ta.is_finite() && tb.is_finite() {
+            d += PER_SCALE_EFOLD * (ta.ln() - tb.ln()).abs();
+        }
+        d
+    }
+}
+
+/// Substitution cost between two layer summaries: free for an identical
+/// choice set, half for the same layer type with a different candidate
+/// set, full for a type change. Symmetric by construction.
+fn substitution_cost(a: &LayerSummary, b: &LayerSummary) -> f64 {
+    if a.tag != b.tag {
+        1.0
+    } else if a.candidate_sig != b.candidate_sig {
+        0.5
+    } else {
+        0.0
+    }
+}
+
+/// Levenshtein-style edit cost over the two layer sequences (insert/delete
+/// cost 1, substitution per [`substitution_cost`]). `O(n·m)` — fine for
+/// network depths in the hundreds.
+fn layer_edit_cost(a: &[LayerSummary], b: &[LayerSummary]) -> f64 {
+    let (n, m) = (a.len(), b.len());
+    let mut prev: Vec<f64> = (0..=m).map(|j| j as f64).collect();
+    let mut row = vec![0.0; m + 1];
+    for i in 1..=n {
+        row[0] = i as f64;
+        for j in 1..=m {
+            let sub = prev[j - 1] + substitution_cost(&a[i - 1], &b[j - 1]);
+            let del = prev[j] + 1.0;
+            let ins = row[j - 1] + 1.0;
+            row[j] = sub.min(del).min(ins);
+        }
+        std::mem::swap(&mut prev, &mut row);
+    }
+    prev[m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy;
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let lut = toy::small_chain_lut();
+        let a = ScenarioDescriptor::of(&lut);
+        let b = ScenarioDescriptor::of(&lut);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn batch_and_objective_separate_fingerprints() {
+        let base = ScenarioDescriptor::of(&toy::fig1_lut());
+        let batched = base.clone().with_batch(4);
+        let energetic = base.clone().with_objective(&Objective::Energy);
+        assert_ne!(base.fingerprint(), batched.fingerprint());
+        assert_ne!(base.fingerprint(), energetic.fingerprint());
+        assert_ne!(batched.fingerprint(), energetic.fingerprint());
+    }
+
+    #[test]
+    fn distance_is_a_premetric_on_toys() {
+        let a = ScenarioDescriptor::of(&toy::fig1_lut()).with_batch(1);
+        let b = ScenarioDescriptor::of(&toy::small_chain_lut()).with_batch(4);
+        assert_eq!(a.distance(&a), 0.0);
+        assert_eq!(b.distance(&b), 0.0);
+        assert_eq!(a.distance(&b), b.distance(&a));
+        assert!(a.distance(&b) >= 0.0);
+    }
+
+    #[test]
+    fn batch_neighbors_are_closer_than_other_networks() {
+        let base = ScenarioDescriptor::of(&toy::small_chain_lut()).with_batch(1);
+        let batch2 = ScenarioDescriptor::of(&toy::small_chain_lut()).with_batch(2);
+        let other = ScenarioDescriptor::of(&toy::fig1_lut()).with_batch(1);
+        let near = base.distance(&batch2);
+        let far = base.distance(&other);
+        assert!(
+            near < far,
+            "batch neighbor ({near}) must beat a different network ({far})"
+        );
+        assert!(near <= PER_BATCH_DOUBLING + 1e-12, "only the batch differs");
+    }
+
+    #[test]
+    fn objective_mismatch_dominates_batch_deltas() {
+        let lat = ScenarioDescriptor::of(&toy::small_chain_lut())
+            .with_batch(1)
+            .with_objective(&Objective::Latency);
+        let nrg = ScenarioDescriptor::of(&toy::small_chain_lut())
+            .with_batch(1)
+            .with_objective(&Objective::Energy);
+        let batch8 = ScenarioDescriptor::of(&toy::small_chain_lut())
+            .with_batch(8)
+            .with_objective(&Objective::Latency);
+        assert!(lat.distance(&nrg) > lat.distance(&batch8));
+    }
+
+    #[test]
+    fn edit_cost_sees_structure() {
+        let chain = ScenarioDescriptor::of(&toy::small_chain_lut());
+        let mut shorter = chain.clone();
+        shorter.layers.pop();
+        // One deletion over max-length layers.
+        let d = chain.distance(&shorter);
+        assert!(d > 0.0 && d <= 1.0, "structural delta is bounded: {d}");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let desc = ScenarioDescriptor::of(&toy::fig1_lut())
+            .with_batch(2)
+            .with_objective(&Objective::Weighted { lambda: 0.5 });
+        let json = serde_json::to_string(&desc).expect("serializes");
+        let back: ScenarioDescriptor = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(desc, back);
+        assert_eq!(desc.fingerprint(), back.fingerprint());
+    }
+}

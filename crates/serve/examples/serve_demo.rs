@@ -11,7 +11,7 @@ use std::time::Instant;
 use qsdnn::engine::{AnalyticalPlatform, Mode, Objective, Profiler};
 use qsdnn::nn::zoo;
 use qsdnn::Portfolio;
-use qsdnn_serve::protocol::PlanRequest;
+use qsdnn_serve::protocol::{PlanRequest, TransferMode};
 use qsdnn_serve::{PlanClient, PlanServer, ServerConfig};
 
 const NETWORKS: [&str; 3] = ["lenet5", "squeezenet_v11", "mobilenet_v1"];
@@ -46,6 +46,9 @@ fn main() {
                         objective: Objective::Latency,
                         episodes: EPISODES,
                         seeds: SEEDS.to_vec(),
+                        // The demo asserts bit-identity with the cold
+                        // sequential reference, so transfer stays off.
+                        transfer: TransferMode::Off,
                     })
                     .expect("plan");
                 (network, client_id, plan)
@@ -121,6 +124,7 @@ fn main() {
             objective: Objective::Latency,
             episodes: EPISODES,
             seeds: SEEDS.to_vec(),
+            transfer: TransferMode::Off,
         })
         .collect();
     let wall = Instant::now();

@@ -63,6 +63,27 @@ pub fn plan_key(lut_fingerprint: u64, objective: &Objective, portfolio_fingerpri
     format!("{:016x}", h.finish())
 }
 
+/// Content address of a *warm-started* plan: the scenario identity plus
+/// the donor plan's key. A warm search's outcome depends on which donor
+/// seeded it, so warm plans never share a key with the cold plan for the
+/// same scenario (or with a warm plan seeded by a different donor) — a
+/// later `transfer: "off"` request therefore can never be served a
+/// transferred result.
+pub fn warm_plan_key(
+    lut_fingerprint: u64,
+    objective: &Objective,
+    portfolio_fingerprint: u64,
+    donor_key: &str,
+) -> String {
+    let mut h = Fnv64::new();
+    h.write_str("qsdnn-plan-warm-v1");
+    h.write_u64(lut_fingerprint);
+    objective.fingerprint_into(&mut h);
+    h.write_u64(portfolio_fingerprint);
+    h.write_str(donor_key);
+    format!("{:016x}", h.finish())
+}
+
 /// What the cache can hold: serializable (for the spill tier), cloneable,
 /// and able to estimate its own recompute cost for cost-weighted eviction.
 pub trait CacheValue: Serialize + Deserialize + Clone {
@@ -514,6 +535,82 @@ impl<T: CacheValue> PlanCache<T> {
             }
             None => false,
         }
+    }
+
+    /// Looks up `key` without ever computing: a resident hit refreshes
+    /// recency and counts as a cache hit; a spill-tier hit counts as a
+    /// spill load and becomes resident when the shard has room (it is
+    /// dropped from memory, not blocked on, when every slot is in
+    /// flight). A miss touches no counter — callers use `peek` to decide
+    /// *which* key to compute under (exact vs warm-started), and the
+    /// follow-up `get_or_compute` accounts that request.
+    ///
+    /// An in-flight slot reads as a miss: peek never waits on another
+    /// thread's compute. Use [`PlanCache::is_pending`] to tell "being
+    /// computed right now" apart from "gone from both tiers".
+    pub fn peek(&self, key: &str) -> Option<Arc<T>> {
+        self.peek_inner(key, true)
+    }
+
+    /// [`PlanCache::peek`] for *internal* fetches (e.g. transfer donors):
+    /// refreshes recency and loads from spill exactly like `peek`, but
+    /// touches none of the request counters, preserving the invariant
+    /// that `hits + misses + coalesced + spill_loads` counts only
+    /// requests the cache answered for callers.
+    pub fn peek_quiet(&self, key: &str) -> Option<Arc<T>> {
+        self.peek_inner(key, false)
+    }
+
+    /// Whether `key` currently holds an in-flight compute — some other
+    /// request owns the slot via `get_or_compute` and will publish (or
+    /// unwind) soon. `peek` reports such slots as misses.
+    pub fn is_pending(&self, key: &str) -> bool {
+        let state = self.shard_for(key).state.lock().expect("cache lock");
+        matches!(state.map.get(key), Some(Slot::InFlight))
+    }
+
+    fn peek_inner(&self, key: &str, counted: bool) -> Option<Arc<T>> {
+        let shard = self.shard_for(key);
+        {
+            let mut state = shard.state.lock().expect("cache lock");
+            if matches!(state.map.get(key), Some(Slot::Ready(_))) {
+                state.tick += 1;
+                let tick = state.tick;
+                if counted {
+                    state.counters.hits += 1;
+                }
+                let Some(Slot::Ready(entry)) = state.map.get_mut(key) else {
+                    unreachable!("slot checked above");
+                };
+                entry.last_used = tick;
+                return Some(Arc::clone(&entry.value));
+            }
+        }
+        // Not resident: try the durable tier (outside the lock — disk I/O
+        // must not serialize the shard).
+        let value = Arc::new(self.load_spilled(key)?);
+        let cap = self.per_shard_cap();
+        let mut state = shard.state.lock().expect("cache lock");
+        if counted {
+            state.counters.spill_loads += 1;
+        }
+        match state.map.get(key) {
+            // Someone published or claimed the key meanwhile; leave their
+            // slot alone and serve our loaded copy.
+            Some(_) => {}
+            None => {
+                if state.map.len() < cap || self.evict_one(&mut state) {
+                    state.tick += 1;
+                    let entry = ReadyEntry {
+                        value: Arc::clone(&value),
+                        last_used: state.tick,
+                        cost_ms: value.recompute_cost_ms(),
+                    };
+                    state.map.insert(key.to_string(), Slot::Ready(entry));
+                }
+            }
+        }
+        Some(value)
     }
 
     /// Looks up `key`, computing it with `compute` on a miss. Guarantees at
@@ -1074,6 +1171,92 @@ mod tests {
         );
         assert!("mru".parse::<EvictionPolicy>().is_err());
         assert_eq!(EvictionPolicy::Lru.to_string(), "lru");
+    }
+
+    #[test]
+    fn peek_serves_memory_and_spill_without_computing() {
+        let dir = std::env::temp_dir().join(format!("qsdnn_peek_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let cache = PlanCache::<PortfolioOutcome>::with_spill_dir(&dir).unwrap();
+            assert!(cache.peek("k").is_none(), "cold peek is a miss");
+            cache.get_or_compute("k", outcome);
+            let hit = cache.peek("k").expect("resident");
+            assert_eq!(hit.best.best_assignment, outcome().best.best_assignment);
+            assert_eq!(cache.stats().hits, 1, "peek hit is accounted");
+        }
+        // A fresh instance only has the spill tier; peek must load it.
+        let cache = PlanCache::<PortfolioOutcome>::with_spill_dir(&dir).unwrap();
+        let loaded = cache.peek("k").expect("spilled");
+        assert_eq!(loaded.best.best_assignment, outcome().best.best_assignment);
+        assert_eq!(cache.stats().spill_loads, 1);
+        // …and the entry is resident afterwards: the next peek is a hit.
+        cache.peek("k").expect("now resident");
+        assert_eq!(cache.stats().hits, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression: donor fetches on the transfer path must not inflate
+    /// the request counters (the four buckets count answered requests
+    /// only), and an in-flight slot must be distinguishable from a key
+    /// that is gone from both tiers.
+    #[test]
+    fn quiet_peek_counts_nothing_and_pending_is_visible() {
+        let cache = Arc::new(PlanCache::<PortfolioOutcome>::new());
+        cache.get_or_compute("k", outcome);
+        let before = cache.stats();
+        assert!(cache.peek_quiet("k").is_some());
+        assert!(cache.peek_quiet("missing").is_none());
+        let after = cache.stats();
+        assert_eq!(before.hits, after.hits, "quiet peeks are uncounted");
+        assert_eq!(before.spill_loads, after.spill_loads);
+
+        assert!(!cache.is_pending("k"), "ready slots are not pending");
+        assert!(!cache.is_pending("missing"));
+        // While a compute holds the slot, the key is pending and peek
+        // reports a miss instead of waiting.
+        let slow = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                cache.get_or_compute("inflight", || {
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                    outcome()
+                });
+            })
+        };
+        while !cache.is_pending("inflight") {
+            std::thread::yield_now();
+        }
+        assert!(cache.peek("inflight").is_none(), "peek never waits");
+        slow.join().unwrap();
+        assert!(!cache.is_pending("inflight"));
+        assert!(cache.peek_quiet("inflight").is_some());
+    }
+
+    #[test]
+    fn warm_keys_never_collide_with_cold_keys() {
+        let lut = toy::fig1_lut();
+        let p = Portfolio::paper_default(100, &[1]);
+        let cold = plan_key(lut.fingerprint(), &Objective::Latency, p.fingerprint());
+        let warm_a = warm_plan_key(
+            lut.fingerprint(),
+            &Objective::Latency,
+            p.warmed().fingerprint(),
+            "donor-a",
+        );
+        let warm_b = warm_plan_key(
+            lut.fingerprint(),
+            &Objective::Latency,
+            p.warmed().fingerprint(),
+            "donor-b",
+        );
+        assert_ne!(cold, warm_a, "cold and warm plans are separate artifacts");
+        assert_ne!(warm_a, warm_b, "the donor is part of the warm identity");
+        assert_ne!(
+            p.fingerprint(),
+            p.warmed().fingerprint(),
+            "warm-start mode changes the portfolio fingerprint"
+        );
     }
 
     #[test]

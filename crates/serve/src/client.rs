@@ -353,7 +353,9 @@ impl PlanClient {
         }
     }
 
-    /// Runs the search portfolio on a client-supplied LUT.
+    /// Runs the search portfolio on a client-supplied LUT (scenario
+    /// transfer left to the server's policy; pass a [`SearchRequest`] via
+    /// [`PlanClient::request`] to control it per request).
     ///
     /// # Errors
     ///
@@ -370,6 +372,7 @@ impl PlanClient {
             objective,
             episodes,
             seeds,
+            transfer: crate::protocol::TransferMode::Auto,
         }))
     }
 

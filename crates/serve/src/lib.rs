@@ -5,7 +5,7 @@
 //! Marco et al.'s *Adaptive Model Selection* setting: many networks, many
 //! objectives, many clients, one warm server.
 //!
-//! Three mechanisms do the work:
+//! Four mechanisms do the work:
 //!
 //! * **Search portfolio** ([`run_portfolio_parallel`]) — every request
 //!   races multi-seed QS-DNN against the baselines (random, annealing,
@@ -19,6 +19,13 @@
 //!   hard capacity bound — in-flight computes included), evicted LRU or
 //!   cost-weighted ([`EvictionPolicy`]), with a bounded, crash-safe JSON
 //!   spill tier that survives restarts.
+//! * **Scenario transfer** ([`ScenarioIndex`]) — every cached plan
+//!   registers a structural [`ScenarioDescriptor`](qsdnn::engine::ScenarioDescriptor);
+//!   a plan-cache miss warm-starts its search from the nearest cached
+//!   scenario's plan (Q-table transfer with a shortened ε-schedule), so a
+//!   batch sweep or platform variant stops being a cold start. Requests
+//!   opt out with `transfer: "off"`, which is byte-identical to a
+//!   transfer-free server.
 //! * **JSON-lines TCP protocol** ([`protocol`]) — `profile`, `search`,
 //!   `plan` and `stats` requests over plain `std::net`, one JSON document
 //!   per line; [`PlanServer`] serves it, [`PlanClient`] speaks it. Since
@@ -70,12 +77,17 @@ mod pool;
 mod portfolio;
 pub mod protocol;
 mod server;
+pub mod transfer;
 
-pub use cache::{plan_key, CacheStats, CacheValue, EvictionPolicy, PlanCache, ShardStats};
+pub use cache::{
+    plan_key, warm_plan_key, CacheStats, CacheValue, EvictionPolicy, PlanCache, ShardStats,
+    DEFAULT_MAX_DISK_ENTRIES, DEFAULT_MAX_ENTRIES, DEFAULT_SHARDS,
+};
 pub use client::{PlanClient, Ticket, DEFAULT_CLIENT_WINDOW};
 pub use pool::WorkerPool;
-pub use portfolio::run_portfolio_parallel;
+pub use portfolio::{run_portfolio_parallel, run_portfolio_parallel_with, WarmStart};
 pub use server::{resolve, start_local, PlanServer, ServerConfig, DEFAULT_MAX_IN_FLIGHT};
+pub use transfer::{ScenarioEntry, ScenarioIndex, DEFAULT_INDEX_ENTRIES};
 
 use std::fmt;
 

@@ -12,9 +12,20 @@ use std::sync::mpsc::channel;
 use std::sync::Arc;
 
 use qsdnn::engine::CostLut;
-use qsdnn::{Portfolio, PortfolioOutcome};
+use qsdnn::{Portfolio, PortfolioOutcome, QTable, TransferMapping};
 
 use crate::pool::WorkerPool;
+
+/// A transfer donor shared by every warm-started member of one portfolio
+/// run: the donor's (rebuilt) Q-table and the structural mapping onto the
+/// recipient scenario.
+pub struct WarmStart {
+    /// Donor Q-table (typically a policy backbone rebuilt from a cached
+    /// plan via `QTable::from_best_path`).
+    pub donor: QTable,
+    /// Alignment of the donor scenario onto the recipient LUT.
+    pub mapping: TransferMapping,
+}
 
 /// Runs every portfolio member concurrently on `pool` and reduces
 /// deterministically.
@@ -28,14 +39,33 @@ pub fn run_portfolio_parallel(
     lut: &Arc<CostLut>,
     pool: &WorkerPool,
 ) -> Option<PortfolioOutcome> {
+    run_portfolio_parallel_with(portfolio, lut, pool, None)
+}
+
+/// [`run_portfolio_parallel`] with an optional transfer donor: when
+/// `warm` is set, QS-DNN members in warm-start mode seed from the donor
+/// (`PortfolioMember::run_warm`); baselines and cold members are
+/// unaffected. Reduction semantics are identical to
+/// [`Portfolio::run_sequential_warm`](qsdnn::Portfolio::run_sequential_warm),
+/// bit for bit.
+pub fn run_portfolio_parallel_with(
+    portfolio: &Portfolio,
+    lut: &Arc<CostLut>,
+    pool: &WorkerPool,
+    warm: Option<&Arc<WarmStart>>,
+) -> Option<PortfolioOutcome> {
     let (tx, rx) = channel();
     let mut submitted = 0usize;
     for (index, member) in portfolio.members.iter().enumerate() {
         let member = member.clone();
         let lut = Arc::clone(lut);
+        let warm = warm.map(Arc::clone);
         let tx = tx.clone();
         pool.execute(move || {
-            let report = member.run(&lut);
+            let report = match &warm {
+                Some(w) => member.run_warm(&lut, &w.donor, &w.mapping),
+                None => member.run(&lut),
+            };
             // A dropped receiver (submitter gone) is fine; ignore.
             let _ = tx.send((index, report));
         });
@@ -84,6 +114,68 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn warm_parallel_matches_warm_sequential_bit_for_bit() {
+        use qsdnn::engine::ScenarioDescriptor;
+
+        let pool = WorkerPool::new(4);
+        let lut = toy::small_chain_lut();
+        let cold = Portfolio::paper_default(200, &[0x5EED, 1])
+            .run_sequential(&lut)
+            .expect("applicable");
+        let desc = ScenarioDescriptor::of(&lut);
+        let mapping = TransferMapping::between(&desc, &desc);
+        let dims: Vec<usize> = (0..lut.len()).map(|l| lut.candidates(l).len()).collect();
+        let costs: Vec<f64> = cold
+            .best
+            .best_assignment
+            .iter()
+            .enumerate()
+            .map(|(l, &ci)| lut.step_cost(l, ci, &cold.best.best_assignment))
+            .collect();
+        let donor = QTable::from_best_path(&dims, &cold.best.best_assignment, &costs)
+            .expect("consistent plan");
+
+        let warm_portfolio = Portfolio::paper_default(200, &[0x5EED, 1]).warmed();
+        let sequential = warm_portfolio
+            .run_sequential_warm(&lut, &donor, &mapping)
+            .expect("applicable");
+        let warm = Arc::new(WarmStart { donor, mapping });
+        let shared = Arc::new(lut);
+        for _ in 0..3 {
+            let parallel =
+                run_portfolio_parallel_with(&warm_portfolio, &shared, &pool, Some(&warm))
+                    .expect("applicable");
+            assert_eq!(parallel.winner_index, sequential.winner_index);
+            assert_eq!(
+                parallel.best.best_assignment,
+                sequential.best.best_assignment
+            );
+            assert_eq!(
+                parallel.best.best_cost_ms.to_bits(),
+                sequential.best.best_cost_ms.to_bits()
+            );
+            for (p, s) in parallel.members.iter().zip(&sequential.members) {
+                assert_eq!(p.best_cost_ms, s.best_cost_ms);
+                assert_eq!(p.episodes, s.episodes, "warm budgets surface identically");
+            }
+        }
+        // The warm QS-DNN members really ran the shortened schedule.
+        let warm_eps = sequential
+            .members
+            .iter()
+            .find(|m| m.label.starts_with("qs-dnn"))
+            .expect("qs-dnn member")
+            .episodes;
+        let cold_eps = cold
+            .members
+            .iter()
+            .find(|m| m.label.starts_with("qs-dnn"))
+            .expect("qs-dnn member")
+            .episodes;
+        assert!(warm_eps < cold_eps, "warm {warm_eps} vs cold {cold_eps}");
     }
 
     #[test]

@@ -40,6 +40,69 @@ pub fn default_episodes(layers: usize) -> usize {
     1000.max(40 * layers)
 }
 
+/// Per-request scenario-transfer policy.
+///
+/// `Auto` lets the server warm-start the search from the nearest cached
+/// scenario when the exact plan is not cached (and the server has transfer
+/// enabled); `Off` forces the exact cold path — byte-identical requests
+/// and responses to a server without the transfer subsystem.
+///
+/// On the wire this is the lowercase string `"auto"` / `"off"`; an absent
+/// field means `Auto`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransferMode {
+    /// Warm-start from the nearest cached scenario on a plan-cache miss.
+    #[default]
+    Auto,
+    /// Never consult the scenario index; search cold on every miss.
+    Off,
+}
+
+impl TransferMode {
+    /// Stable lowercase wire/CLI label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TransferMode::Auto => "auto",
+            TransferMode::Off => "off",
+        }
+    }
+}
+
+// Hand-written serde: the vendored derive would emit the variant names
+// (`"Auto"`), but the protocol promises lowercase `"auto"`/`"off"`.
+impl Serialize for TransferMode {
+    fn serialize(&self) -> Value {
+        Value::String(self.label().to_string())
+    }
+}
+
+impl Deserialize for TransferMode {
+    fn deserialize(value: &Value) -> Result<Self, serde::Error> {
+        match value {
+            Value::String(s) => s.parse().map_err(|e: String| serde::Error::custom(&e)),
+            _ => Err(serde::Error::custom("expected \"auto\" or \"off\"")),
+        }
+    }
+}
+
+impl std::str::FromStr for TransferMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(TransferMode::Auto),
+            "off" => Ok(TransferMode::Off),
+            other => Err(format!("unknown transfer mode `{other}` (auto|off)")),
+        }
+    }
+}
+
+impl std::fmt::Display for TransferMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Phase-1 profiling of a zoo network.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ProfileRequest {
@@ -64,6 +127,9 @@ pub struct SearchRequest {
     pub episodes: usize,
     /// QS-DNN seeds (empty = server default seeds).
     pub seeds: Vec<u64>,
+    /// Scenario-transfer policy for this request (absent = `"auto"`).
+    #[serde(default)]
+    pub transfer: TransferMode,
 }
 
 /// End-to-end plan compilation: profile (server-side, cached) + portfolio
@@ -82,6 +148,9 @@ pub struct PlanRequest {
     pub episodes: usize,
     /// QS-DNN seeds (empty = server default seeds).
     pub seeds: Vec<u64>,
+    /// Scenario-transfer policy for this request (absent = `"auto"`).
+    #[serde(default)]
+    pub transfer: TransferMode,
 }
 
 impl PlanRequest {
@@ -95,6 +164,7 @@ impl PlanRequest {
             objective: Objective::Latency,
             episodes: 0,
             seeds: Vec::new(),
+            transfer: TransferMode::Auto,
         }
     }
 }
@@ -207,6 +277,24 @@ pub struct ProfileResponse {
     pub fingerprint: String,
 }
 
+/// Provenance of a warm-started plan: which cached scenario seeded the
+/// search and how much it carried over.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WarmStartInfo {
+    /// Cache key of the donor plan the Q-tables were seeded from.
+    pub donor_key: String,
+    /// Network name of the donor scenario.
+    pub donor_network: String,
+    /// Scenario distance between donor and this request (0 = identical
+    /// descriptors; batch neighbors score fractions of 1).
+    pub donor_distance: f64,
+    /// Upper bound on Q-entries the transfer mapping covers.
+    pub transferred_states: usize,
+    /// Episode budget of the warm-started QS-DNN members (shorter than the
+    /// cold budget — the point of warm-starting).
+    pub episodes: usize,
+}
+
 /// Result of a plan/search request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlanResponse {
@@ -224,6 +312,10 @@ pub struct PlanResponse {
     pub members: Vec<MemberSummary>,
     /// Cost of the all-Vanilla reference on the same objective.
     pub vanilla_cost_ms: f64,
+    /// Set when this plan came from a warm-started (scenario-transfer)
+    /// search; `None` for cold searches and `transfer: "off"` requests.
+    #[serde(default)]
+    pub warm_start: Option<WarmStartInfo>,
 }
 
 impl PlanResponse {
@@ -266,6 +358,22 @@ pub struct StatsResponse {
     /// parsing once a connection reaches it, so TCP flow control
     /// backpressures the client).
     pub max_in_flight: u64,
+    /// Server-wide scenario-transfer policy (`"auto"` or `"off"`).
+    #[serde(default)]
+    pub transfer: TransferMode,
+    /// Plan requests answered via scenario transfer (a warm-started search
+    /// or a cached warm plan) since start.
+    #[serde(default)]
+    pub transfer_hits: u64,
+    /// Fresh warm-started portfolio searches executed since start.
+    #[serde(default)]
+    pub warm_starts: u64,
+    /// Mean donor distance over all transfer hits (0 when none yet).
+    #[serde(default)]
+    pub mean_donor_distance: f64,
+    /// Scenarios currently held in the transfer index.
+    #[serde(default)]
+    pub index_entries: u64,
 }
 
 /// Server → client message.
@@ -410,6 +518,7 @@ mod tests {
                 objective: Objective::Weighted { lambda: 0.5 },
                 episodes: 300,
                 seeds: vec![1, 2, 3],
+                transfer: TransferMode::Off,
             }),
             Request::Plan(PlanRequest::latency("mobilenet_v1")),
             Request::Stats,
@@ -441,9 +550,17 @@ mod tests {
             members: vec![MemberSummary {
                 label: "pbqp".into(),
                 best_cost_ms: Some(1.5),
+                episodes: 0,
                 wall_time_ms: 0.1,
             }],
             vanilla_cost_ms: 5.0,
+            warm_start: Some(WarmStartInfo {
+                donor_key: "00aa".into(),
+                donor_network: "lenet5".into(),
+                donor_distance: 0.5,
+                transferred_states: 42,
+                episodes: 250,
+            }),
         });
         let json = serde_json::to_string(&resp).unwrap();
         let back: Response = serde_json::from_str(&json).unwrap();
@@ -501,6 +618,11 @@ mod tests {
             pipelined: 9,
             in_flight_peak: 5,
             max_in_flight: 32,
+            transfer: TransferMode::Auto,
+            transfer_hits: 3,
+            warm_starts: 2,
+            mean_donor_distance: 0.25,
+            index_entries: 7,
         });
         let json = serde_json::to_string(&resp).unwrap();
         assert!(!json.contains('\n'));
@@ -629,6 +751,57 @@ mod tests {
     }
 
     #[test]
+    fn transfer_mode_is_lowercase_on_the_wire_and_defaults_to_auto() {
+        assert_eq!(
+            serde_json::to_string(&TransferMode::Auto).unwrap(),
+            "\"auto\""
+        );
+        assert_eq!(
+            serde_json::to_string(&TransferMode::Off).unwrap(),
+            "\"off\""
+        );
+        let back: TransferMode = serde_json::from_str("\"off\"").unwrap();
+        assert_eq!(back, TransferMode::Off);
+        assert!(serde_json::from_str::<TransferMode>("\"maybe\"").is_err());
+        assert_eq!("auto".parse::<TransferMode>().unwrap(), TransferMode::Auto);
+        assert!("on".parse::<TransferMode>().is_err());
+
+        // A v1 request without the field (old clients) parses as Auto, so
+        // the wire stays backward compatible.
+        let req = PlanRequest::latency("lenet5");
+        let mut json = serde_json::to_string(&req).unwrap();
+        assert!(json.contains("\"transfer\":\"auto\""), "{json}");
+        json = json.replace(",\"transfer\":\"auto\"", "");
+        let back: PlanRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, req);
+
+        // Likewise a pre-transfer response without `warm_start` parses.
+        let resp = PlanResponse {
+            network: "x".into(),
+            plan_key: "k".into(),
+            cache_hit: false,
+            best: SearchReport {
+                method: "m".into(),
+                network: "x".into(),
+                best_assignment: vec![0],
+                best_cost_ms: 1.0,
+                episodes: 1,
+                curve: Vec::new(),
+                wall_time_ms: 0.0,
+            },
+            winner: "m".into(),
+            members: Vec::new(),
+            vanilla_cost_ms: 2.0,
+            warm_start: None,
+        };
+        let json = serde_json::to_string(&resp)
+            .unwrap()
+            .replace(",\"warm_start\":null", "");
+        let back: PlanResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
     fn speedup_is_vanilla_relative() {
         let mut resp = PlanResponse {
             network: "x".into(),
@@ -646,6 +819,7 @@ mod tests {
             winner: String::new(),
             members: vec![],
             vanilla_cost_ms: 6.0,
+            warm_start: None,
         };
         assert!((resp.speedup() - 3.0).abs() < 1e-12);
         resp.best.best_cost_ms = 0.0;

@@ -31,18 +31,20 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use qsdnn::engine::{AnalyticalPlatform, CostLut, Objective, Profiler};
+use qsdnn::engine::{AnalyticalPlatform, CostLut, Objective, Profiler, ScenarioDescriptor};
 use qsdnn::nn::zoo;
-use qsdnn::Portfolio;
+use qsdnn::{Portfolio, PortfolioOutcome, QTable, TransferMapping};
 
-use crate::cache::{plan_key, CacheValue, EvictionPolicy, PlanCache};
+use crate::cache::{plan_key, warm_plan_key, CacheValue, EvictionPolicy, PlanCache};
 use crate::pool::WorkerPool;
-use crate::portfolio::run_portfolio_parallel;
+use crate::portfolio::{run_portfolio_parallel, run_portfolio_parallel_with, WarmStart};
 use crate::protocol::{
     default_episodes, parse_request_frame, read_line_resumable, write_message, PlanRequest,
     PlanResponse, ProfileRequest, ProfileResponse, Request, RequestFrame, Response, SearchRequest,
-    StatsResponse, TaggedResponse, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+    StatsResponse, TaggedResponse, TransferMode, WarmStartInfo, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
 };
+use crate::transfer::{ScenarioEntry, ScenarioIndex, DEFAULT_DONOR_CANDIDATES};
 use crate::ServeError;
 
 /// How long a connection handler blocks in `read` before re-checking the
@@ -80,6 +82,13 @@ pub struct ServerConfig {
     /// Per-connection cap on tagged (v2) requests in flight
     /// (0 = [`DEFAULT_MAX_IN_FLIGHT`]).
     pub max_in_flight: usize,
+    /// Server-wide scenario-transfer policy. `Off` disables the transfer
+    /// index entirely (requests cannot opt back in); `Auto` honors each
+    /// request's own `transfer` field.
+    pub transfer: TransferMode,
+    /// Bound on the scenario-transfer index
+    /// (0 = [`crate::transfer::DEFAULT_INDEX_ENTRIES`]).
+    pub index_entries: usize,
 }
 
 impl Default for ServerConfig {
@@ -94,6 +103,8 @@ impl Default for ServerConfig {
             eviction: EvictionPolicy::Lru,
             cache_max_entries: 0,
             max_in_flight: 0,
+            transfer: TransferMode::Auto,
+            index_entries: 0,
         }
     }
 }
@@ -125,10 +136,19 @@ struct ServiceState {
     pool: WorkerPool,
     plans: PlanCache<qsdnn::PortfolioOutcome>,
     profiles: PlanCache<CostLut>,
+    /// Scenario-transfer index, maintained alongside plan-cache inserts
+    /// and consulted on plan-cache misses (unless transfer is off).
+    index: ScenarioIndex,
     config: ServerConfig,
     started: Instant,
     requests: AtomicU64,
     plans_served: AtomicU64,
+    /// Plan requests answered via scenario transfer (fresh or cached warm).
+    transfer_hits: AtomicU64,
+    /// Fresh warm-started portfolio searches executed.
+    warm_starts: AtomicU64,
+    /// `(sum, count)` of donor distances over transfer hits.
+    donor_distance: Mutex<(f64, u64)>,
     /// Tagged (v2) requests dispatched.
     pipelined: AtomicU64,
     /// Highest per-connection in-flight depth observed.
@@ -147,6 +167,22 @@ impl ServiceState {
             None => PlanCache::new(),
         });
         let profiles = config.configure_cache(PlanCache::new());
+        let index_entries = if config.index_entries == 0 {
+            crate::transfer::DEFAULT_INDEX_ENTRIES
+        } else {
+            config.index_entries
+        };
+        // The index nests inside the spill dir so scenario knowledge has
+        // the same lifetime as the plans it points at. A transfer-disabled
+        // server never consults or populates it, so it skips the disk
+        // reload entirely (any `scenarios/` dir from a previous
+        // transfer-enabled life is left untouched for the next one).
+        let index = match &config.spill_dir {
+            Some(dir) if config.transfer == TransferMode::Auto => {
+                ScenarioIndex::with_dir(dir.join("scenarios"), index_entries)?
+            }
+            _ => ScenarioIndex::new(index_entries),
+        };
         let pool = if config.threads == 0 {
             WorkerPool::with_default_size()
         } else {
@@ -156,10 +192,14 @@ impl ServiceState {
             pool,
             plans,
             profiles,
+            index,
             config,
             started: Instant::now(),
             requests: AtomicU64::new(0),
             plans_served: AtomicU64::new(0),
+            transfer_hits: AtomicU64::new(0),
+            warm_starts: AtomicU64::new(0),
+            donor_distance: Mutex::new((0.0, 0)),
             pipelined: AtomicU64::new(0),
             in_flight_peak: AtomicU64::new(0),
             shutting_down: AtomicBool::new(false),
@@ -222,6 +262,8 @@ impl ServiceState {
         objective: Objective,
         episodes: usize,
         seeds: &[u64],
+        transfer: TransferMode,
+        batch: usize,
     ) -> Result<PlanResponse, ServeError> {
         if lut.is_empty() {
             return Err(ServeError::BadRequest("LUT has no layers".into()));
@@ -234,26 +276,52 @@ impl ServiceState {
         let episodes = self.episodes_for(episodes, lut.len());
         let seeds = self.seeds_for(seeds);
         let portfolio = Portfolio::paper_default(episodes, &seeds);
-        self.search_with(&portfolio, lut, objective)
+        // Transfer needs both opt-ins: the server policy and the request.
+        if self.config.transfer == TransferMode::Auto && transfer == TransferMode::Auto {
+            self.search_with_transfer(&portfolio, lut, objective, batch)
+        } else {
+            self.search_with(&portfolio, lut, objective)
+        }
     }
 
-    /// Runs `portfolio` on a validated LUT, content-addressed in the plan
-    /// cache. A portfolio with no applicable member (or whose every member
-    /// panicked) is a request-level error — it must answer the request,
-    /// not unwind through the connection handler — and is never cached.
-    fn search_with(
+    fn plan_response(
+        &self,
+        lut: &CostLut,
+        plan_key: String,
+        cache_hit: bool,
+        outcome: &PortfolioOutcome,
+        vanilla_cost_ms: f64,
+        warm_start: Option<WarmStartInfo>,
+    ) -> PlanResponse {
+        self.plans_served.fetch_add(1, Ordering::Relaxed);
+        PlanResponse {
+            network: lut.network().to_string(),
+            plan_key,
+            cache_hit,
+            best: outcome.best.clone(),
+            winner: outcome.winner.clone(),
+            members: outcome.members.clone(),
+            vanilla_cost_ms,
+            warm_start,
+        }
+    }
+
+    /// The cold compute: `portfolio` on `shared` under `key`, single-flight
+    /// in the plan cache. A portfolio with no applicable member (or whose
+    /// every member panicked) is a request-level error — it must answer
+    /// the request, not unwind through the connection handler — and is
+    /// never cached.
+    fn compute_cold(
         &self,
         portfolio: &Portfolio,
-        lut: CostLut,
-        objective: Objective,
+        lut: &CostLut,
+        shared: &Arc<CostLut>,
+        vanilla_cost_ms: f64,
+        key: String,
     ) -> Result<PlanResponse, ServeError> {
-        let scalarized = lut.with_objective(objective);
-        let vanilla_cost_ms = scalarized.cost(&scalarized.vanilla_assignment());
-        let key = plan_key(lut.fingerprint(), &objective, portfolio.fingerprint());
         let network = lut.network().to_string();
-        let shared = Arc::new(scalarized);
         let (outcome, cache_hit) = {
-            let shared = Arc::clone(&shared);
+            let shared = Arc::clone(shared);
             let pool = &self.pool;
             self.plans.try_get_or_compute(&key, move || {
                 run_portfolio_parallel(portfolio, &shared, pool).ok_or_else(|| {
@@ -264,16 +332,230 @@ impl ServiceState {
                 })
             })?
         };
-        self.plans_served.fetch_add(1, Ordering::Relaxed);
-        Ok(PlanResponse {
-            network: lut.network().to_string(),
-            plan_key: key,
+        Ok(self.plan_response(lut, key, cache_hit, &outcome, vanilla_cost_ms, None))
+    }
+
+    /// Runs `portfolio` on a validated LUT with transfer off — the exact
+    /// pre-transfer code path: byte-identical keys, cache behavior and
+    /// responses.
+    fn search_with(
+        &self,
+        portfolio: &Portfolio,
+        lut: CostLut,
+        objective: Objective,
+    ) -> Result<PlanResponse, ServeError> {
+        let scalarized = lut.with_objective(objective);
+        let vanilla_cost_ms = scalarized.cost(&scalarized.vanilla_assignment());
+        let key = plan_key(lut.fingerprint(), &objective, portfolio.fingerprint());
+        let shared = Arc::new(scalarized);
+        self.compute_cold(portfolio, &lut, &shared, vanilla_cost_ms, key)
+    }
+
+    /// The transfer-aware plan path:
+    ///
+    /// 1. exact content-address hit (same key as the transfer-off path);
+    /// 2. same-scenario hit via the index — a repeated warm scenario's
+    ///    plan lives under a warm key only the index knows;
+    /// 3. plan-cache miss: warm-start from the nearest usable cached
+    ///    scenario (fetchable plan, non-empty transfer mapping);
+    /// 4. no usable donor: cold search under the exact key, identical to
+    ///    the transfer-off path.
+    ///
+    /// Every successful outcome (re-)registers this scenario in the index
+    /// so future neighbors can warm-start from it.
+    fn search_with_transfer(
+        &self,
+        portfolio: &Portfolio,
+        lut: CostLut,
+        objective: Objective,
+        batch: usize,
+    ) -> Result<PlanResponse, ServeError> {
+        let scalarized = lut.with_objective(objective);
+        let vanilla_cost_ms = scalarized.cost(&scalarized.vanilla_assignment());
+        let base_key = plan_key(lut.fingerprint(), &objective, portfolio.fingerprint());
+
+        if let Some(outcome) = self.plans.peek(&base_key) {
+            // Register the scenario on *first* sight only: re-inserting on
+            // every repeated hit would re-extract the descriptor and
+            // re-serialize it to the index's disk file per request.
+            if self.index.lookup(&base_key).is_none() {
+                let descriptor = ScenarioDescriptor::of(&scalarized)
+                    .with_batch(batch)
+                    .with_objective(&objective);
+                self.index
+                    .insert(descriptor, base_key.clone(), base_key.clone(), None);
+            }
+            return Ok(self.plan_response(&lut, base_key, true, &outcome, vanilla_cost_ms, None));
+        }
+        let descriptor = ScenarioDescriptor::of(&scalarized)
+            .with_batch(batch)
+            .with_objective(&objective);
+        if let Some(entry) = self.index.lookup(&base_key) {
+            // The exact-key peek above already failed, so a plan_key equal
+            // to base_key means the plan is not fetchable right now.
+            let cached = if entry.plan_key == base_key {
+                None
+            } else {
+                self.plans.peek(&entry.plan_key)
+            };
+            match cached {
+                Some(outcome) => {
+                    if let Some(info) = &entry.warm_start {
+                        self.note_transfer(info.donor_distance);
+                    }
+                    return Ok(self.plan_response(
+                        &lut,
+                        entry.plan_key.clone(),
+                        true,
+                        &outcome,
+                        vanilla_cost_ms,
+                        entry.warm_start,
+                    ));
+                }
+                // Drop the entry only when its plan is definitively gone
+                // from both tiers — a plan merely being recomputed (an
+                // in-flight slot reads as a peek miss) keeps its index
+                // entry for future donors.
+                None if !self.plans.is_pending(&entry.plan_key) => {
+                    self.index.remove(&entry.plan_key);
+                }
+                None => {}
+            }
+        }
+        let shared = Arc::new(scalarized);
+        for (entry, distance) in
+            self.index
+                .nearest(&descriptor, &base_key, DEFAULT_DONOR_CANDIDATES)
+        {
+            // Donor fetches are internal work, not answered requests:
+            // `peek_quiet` keeps the cache's request counters honest.
+            let Some(donor_outcome) = self.plans.peek_quiet(&entry.plan_key) else {
+                if self.plans.is_pending(&entry.plan_key) {
+                    // Mid-recompute; unusable this round but not stale.
+                    continue;
+                }
+                // Gone from memory *and* disk: the index entry is stale
+                // (eviction coupling with the cache).
+                self.index.remove(&entry.plan_key);
+                continue;
+            };
+            let mapping = TransferMapping::between(&entry.descriptor, &descriptor);
+            if mapping.is_empty() {
+                continue;
+            }
+            let Some(donor) = donor_qtable(&entry, &donor_outcome) else {
+                continue;
+            };
+            // A structurally non-empty mapping can still transfer nothing
+            // when the donor's *visited* states (its best path) miss the
+            // mapped candidates; the members would then silently fall
+            // back to the full cold search and the warm key, counters and
+            // provenance would all lie. Replicate the members'
+            // deterministic seeding once up front and skip such donors.
+            if QTable::new(&shared).transfer_from(&donor, &mapping) == 0 {
+                continue;
+            }
+            return self.compute_warm(
+                portfolio,
+                &lut,
+                &objective,
+                &shared,
+                vanilla_cost_ms,
+                descriptor,
+                base_key,
+                entry,
+                distance,
+                donor,
+                mapping,
+            );
+        }
+        let response =
+            self.compute_cold(portfolio, &lut, &shared, vanilla_cost_ms, base_key.clone())?;
+        self.index
+            .insert(descriptor, base_key, response.plan_key.clone(), None);
+        Ok(response)
+    }
+
+    /// Warm-started compute under a donor-specific warm key — a warm plan
+    /// never shares a cache key with the cold plan for the same scenario.
+    #[allow(clippy::too_many_arguments)]
+    fn compute_warm(
+        &self,
+        portfolio: &Portfolio,
+        lut: &CostLut,
+        objective: &Objective,
+        shared: &Arc<CostLut>,
+        vanilla_cost_ms: f64,
+        descriptor: ScenarioDescriptor,
+        base_key: String,
+        entry: ScenarioEntry,
+        distance: f64,
+        donor: QTable,
+        mapping: TransferMapping,
+    ) -> Result<PlanResponse, ServeError> {
+        let warm_portfolio = portfolio.warmed();
+        let warm_key = warm_plan_key(
+            lut.fingerprint(),
+            objective,
+            warm_portfolio.fingerprint(),
+            &entry.plan_key,
+        );
+        let transferred_states = mapping.mapped_states();
+        let warm = Arc::new(WarmStart { donor, mapping });
+        let network = lut.network().to_string();
+        let (outcome, cache_hit) = {
+            let shared = Arc::clone(shared);
+            let warm = Arc::clone(&warm);
+            let pool = &self.pool;
+            self.plans.try_get_or_compute(&warm_key, move || {
+                run_portfolio_parallel_with(&warm_portfolio, &shared, pool, Some(&warm)).ok_or_else(
+                    || {
+                        ServeError::Search(format!(
+                            "no portfolio member produced a plan for `{network}` \
+                             (every member was inapplicable or failed)"
+                        ))
+                    },
+                )
+            })?
+        };
+        if !cache_hit {
+            self.warm_starts.fetch_add(1, Ordering::Relaxed);
+        }
+        self.note_transfer(distance);
+        // Report the episodes the warm QS-DNN members actually ran — they
+        // fall back to the cold budget when the donor's visited states do
+        // not reach this scenario's candidates.
+        let episodes = outcome
+            .members
+            .iter()
+            .filter(|m| m.label.starts_with("qs-dnn"))
+            .map(|m| m.episodes)
+            .max()
+            .unwrap_or(0);
+        let info = WarmStartInfo {
+            donor_key: entry.plan_key,
+            donor_network: entry.descriptor.network.clone(),
+            donor_distance: distance,
+            transferred_states,
+            episodes,
+        };
+        self.index
+            .insert(descriptor, base_key, warm_key.clone(), Some(info.clone()));
+        Ok(self.plan_response(
+            lut,
+            warm_key,
             cache_hit,
-            best: outcome.best.clone(),
-            winner: outcome.winner.clone(),
-            members: outcome.members.clone(),
+            &outcome,
             vanilla_cost_ms,
-        })
+            Some(info),
+        ))
+    }
+
+    fn note_transfer(&self, distance: f64) {
+        self.transfer_hits.fetch_add(1, Ordering::Relaxed);
+        let mut acc = self.donor_distance.lock().expect("distance lock");
+        acc.0 += distance;
+        acc.1 += 1;
     }
 
     fn handle(&self, req: Request) -> Response {
@@ -307,12 +589,17 @@ impl ServiceState {
                 objective,
                 episodes,
                 seeds,
-            }) => match self.run_search(lut, objective, episodes, &seeds) {
-                Ok(plan) => Response::Plan(plan),
-                Err(e) => Response::Error {
-                    message: e.to_string(),
-                },
-            },
+                transfer,
+            }) => {
+                // A client-supplied LUT carries no batch; the descriptor
+                // records it as unknown.
+                match self.run_search(lut, objective, episodes, &seeds, transfer, 0) {
+                    Ok(plan) => Response::Plan(plan),
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                }
+            }
             Request::Plan(PlanRequest {
                 network,
                 batch,
@@ -320,6 +607,7 @@ impl ServiceState {
                 objective,
                 episodes,
                 seeds,
+                transfer,
             }) => {
                 let profile_req = ProfileRequest {
                     network,
@@ -327,10 +615,9 @@ impl ServiceState {
                     mode,
                     repeats: 0,
                 };
-                match self
-                    .profile(&profile_req)
-                    .and_then(|lut| self.run_search((*lut).clone(), objective, episodes, &seeds))
-                {
+                match self.profile(&profile_req).and_then(|lut| {
+                    self.run_search((*lut).clone(), objective, episodes, &seeds, transfer, batch)
+                }) {
                     Ok(plan) => Response::Plan(plan),
                     Err(e) => Response::Error {
                         message: e.to_string(),
@@ -350,6 +637,18 @@ impl ServiceState {
                 pipelined: self.pipelined.load(Ordering::Relaxed),
                 in_flight_peak: self.in_flight_peak.load(Ordering::Relaxed),
                 max_in_flight: self.config.in_flight_cap() as u64,
+                transfer: self.config.transfer,
+                transfer_hits: self.transfer_hits.load(Ordering::Relaxed),
+                warm_starts: self.warm_starts.load(Ordering::Relaxed),
+                mean_donor_distance: {
+                    let (sum, n) = *self.donor_distance.lock().expect("distance lock");
+                    if n == 0 {
+                        0.0
+                    } else {
+                        sum / n as f64
+                    }
+                },
+                index_entries: self.index.len() as u64,
             }),
         }
     }
@@ -374,6 +673,38 @@ impl ServiceState {
         self.in_flight_peak
             .fetch_max(depth as u64, Ordering::Relaxed);
     }
+}
+
+/// Rebuilds a donor *policy-backbone* Q-table from an indexed scenario and
+/// its cached plan: the cache stores plans, not learned tables, so the
+/// donor's best assignment plus the descriptor's per-candidate costs
+/// reconstruct the winning path's Q-values (cost-to-go, see
+/// [`QTable::from_best_path`]). Returns `None` when the two artifacts
+/// disagree — a stale index entry pointing at a plan for a different
+/// structure — in which case the caller skips this donor.
+fn donor_qtable(entry: &ScenarioEntry, outcome: &PortfolioOutcome) -> Option<QTable> {
+    let dims: Vec<usize> = entry
+        .descriptor
+        .layers
+        .iter()
+        .map(|l| l.candidates.len())
+        .collect();
+    let assignment = &outcome.best.best_assignment;
+    if assignment.len() != dims.len() {
+        return None;
+    }
+    let costs: Vec<f64> = assignment
+        .iter()
+        .enumerate()
+        .map(|(l, &ci)| {
+            entry.descriptor.layers[l]
+                .cost
+                .get(ci)
+                .copied()
+                .unwrap_or(f64::NAN)
+        })
+        .collect();
+    QTable::from_best_path(&dims, assignment, &costs)
 }
 
 /// A running plan-compilation server.
@@ -413,8 +744,8 @@ impl PlanServer {
 
     /// Stops accepting, wakes the acceptor and joins it, then joins every
     /// connection handler. Handlers blocked in `read` observe the flag
-    /// within [`HANDLER_READ_TIMEOUT`], finish any in-flight request and
-    /// exit — none outlive this call.
+    /// within `HANDLER_READ_TIMEOUT` (100 ms), finish any in-flight
+    /// request and exit — none outlive this call.
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -700,6 +1031,7 @@ mod tests {
             objective: Objective::Latency,
             episodes: 40,
             seeds: Vec::new(),
+            transfer: TransferMode::Auto,
         });
         let resp =
             catch_unwind(AssertUnwindSafe(|| state.dispatch(req))).expect("dispatch never unwinds");

@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 use qsdnn::engine::{Mode, Objective};
 use qsdnn_serve::protocol::{
     read_line_resumable, read_message, write_message, PlanRequest, Request, Response,
-    TaggedResponse, PROTOCOL_VERSION,
+    TaggedResponse, TransferMode, PROTOCOL_VERSION,
 };
 use qsdnn_serve::{PlanClient, PlanServer, ServerConfig};
 
@@ -28,6 +28,10 @@ fn batch(n: usize, base_episodes: usize, step: usize) -> Vec<PlanRequest> {
             objective: Objective::Latency,
             episodes: base_episodes + i * step,
             seeds: vec![0x5EED],
+            // This suite pins the cold-path pipelining contract (replies
+            // bit-identical to v1 references); scenario transfer would let
+            // earlier-finishing budgets seed later ones.
+            transfer: TransferMode::Off,
         })
         .collect()
 }

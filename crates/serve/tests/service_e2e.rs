@@ -9,7 +9,7 @@ use std::collections::HashMap;
 use qsdnn::engine::{AnalyticalPlatform, Mode, Objective, Profiler};
 use qsdnn::nn::zoo;
 use qsdnn::Portfolio;
-use qsdnn_serve::protocol::{PlanRequest, PlanResponse};
+use qsdnn_serve::protocol::{PlanRequest, PlanResponse, TransferMode};
 use qsdnn_serve::{PlanClient, PlanServer, ServerConfig};
 
 const NETWORKS: [&str; 3] = ["lenet5", "tiny_cnn", "toy_branchy"];
@@ -25,6 +25,11 @@ fn request_for(network: &str) -> PlanRequest {
         objective: Objective::Latency,
         episodes: EPISODES,
         seeds: SEEDS.to_vec(),
+        // This suite pins the *cold-path* contract: every plan
+        // bit-identical to the sequential reference regardless of arrival
+        // order. Scenario transfer (tested in transfer_e2e.rs) would let
+        // whichever network finishes first donate to the others.
+        transfer: TransferMode::Off,
     }
 }
 

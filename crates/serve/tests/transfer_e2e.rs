@@ -1,0 +1,223 @@
+//! End-to-end acceptance of the scenario-transfer subsystem (ISSUE 4):
+//! serve a plan for `(net, batch=1)`, then request `(net, batch=4)` — the
+//! second search must warm-start from the first (stats show a transfer
+//! hit), run fewer episodes than a cold search, and return a plan no
+//! worse than the cold plan for the same seed. With `transfer: "off"` the
+//! server must behave exactly like a server without the subsystem.
+
+use qsdnn::engine::Mode;
+use qsdnn::engine::Objective;
+use qsdnn_serve::protocol::{PlanRequest, PlanResponse, TransferMode};
+use qsdnn_serve::{PlanClient, PlanServer, ServerConfig};
+
+const NETWORK: &str = "tiny_cnn";
+const EPISODES: usize = 200;
+const SEEDS: [u64; 1] = [7];
+
+fn request(batch: usize, transfer: TransferMode) -> PlanRequest {
+    PlanRequest {
+        network: NETWORK.to_string(),
+        batch,
+        mode: Mode::Gpgpu,
+        objective: Objective::Latency,
+        episodes: EPISODES,
+        seeds: SEEDS.to_vec(),
+        transfer,
+    }
+}
+
+fn qsdnn_episodes(plan: &PlanResponse) -> usize {
+    plan.members
+        .iter()
+        .filter(|m| m.label.starts_with("qs-dnn"))
+        .map(|m| m.episodes)
+        .max()
+        .expect("portfolio has qs-dnn members")
+}
+
+#[test]
+fn batch_sweep_warm_starts_from_the_previous_batch() {
+    let server = PlanServer::start(ServerConfig::default()).expect("bind");
+    let mut client = PlanClient::connect(server.local_addr()).expect("connect");
+
+    // Cold start: nothing cached, nothing indexed.
+    let b1 = client
+        .plan(request(1, TransferMode::Auto))
+        .expect("batch 1");
+    assert!(!b1.cache_hit);
+    assert!(b1.warm_start.is_none(), "first scenario has no donor");
+    let cold_episodes = qsdnn_episodes(&b1);
+    assert_eq!(cold_episodes, EPISODES);
+
+    // batch=4 misses the plan cache but finds batch=1 in the index.
+    let b4 = client
+        .plan(request(4, TransferMode::Auto))
+        .expect("batch 4");
+    assert!(!b4.cache_hit, "a fresh scenario still searches");
+    let warm = b4.warm_start.as_ref().expect("warm-start provenance");
+    assert_eq!(warm.donor_key, b1.plan_key, "batch 1 is the donor");
+    assert_eq!(warm.donor_network, NETWORK);
+    assert!(
+        warm.donor_distance > 0.0,
+        "batch neighbors are near, not identical"
+    );
+    assert!(warm.donor_distance < 1.0, "same network stays sub-unit");
+    assert!(warm.transferred_states > 0);
+
+    // The warm search ran a shortened schedule (asserted via the member
+    // SearchReport episodes surfaced in the summaries).
+    let warm_episodes = qsdnn_episodes(&b4);
+    assert!(
+        warm_episodes < cold_episodes,
+        "warm {warm_episodes} episodes must undercut cold {cold_episodes}"
+    );
+    assert_eq!(warm.episodes, warm_episodes, "provenance reports the truth");
+
+    // A repeat of the warm scenario is a cache hit onto the warm plan,
+    // provenance included (no exact cold plan exists yet, so the index
+    // routes the repeat to its warm key).
+    let b4_again = client.plan(request(4, TransferMode::Auto)).expect("again");
+    assert!(b4_again.cache_hit);
+    assert_eq!(b4_again.plan_key, b4.plan_key);
+    assert_eq!(b4_again.best.best_assignment, b4.best.best_assignment);
+    assert_eq!(
+        b4_again.warm_start.as_ref().map(|w| &w.donor_key),
+        Some(&b1.plan_key)
+    );
+
+    // Same scenario, same seed, transfer off: the cold plan for batch=4.
+    // The warm plan must not be worse (the portfolio keeps the exact
+    // baselines, so on this chain network both reach the optimum).
+    let b4_cold = client.plan(request(4, TransferMode::Off)).expect("cold 4");
+    assert!(b4_cold.warm_start.is_none());
+    assert_ne!(
+        b4.plan_key, b4_cold.plan_key,
+        "warm plans live under donor-specific keys, never the cold key"
+    );
+    assert!(
+        b4.best.best_cost_ms <= b4_cold.best.best_cost_ms + 1e-9,
+        "warm plan {} must be no worse than cold {}",
+        b4.best.best_cost_ms,
+        b4_cold.best.best_cost_ms
+    );
+
+    // Stats surface the transfer counters.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.transfer, TransferMode::Auto);
+    assert!(stats.transfer_hits >= 1, "stats: {stats:?}");
+    assert!(stats.warm_starts >= 1);
+    assert!(stats.mean_donor_distance > 0.0);
+    assert!(stats.index_entries >= 2, "both scenarios are indexed");
+
+    // Once the exact cold plan exists (the off-request above computed
+    // it), an auto repeat prefers the exact content address — transferred
+    // plans never shadow exact artifacts.
+    let b4_exact = client.plan(request(4, TransferMode::Auto)).expect("exact");
+    assert!(b4_exact.cache_hit);
+    assert_eq!(b4_exact.plan_key, b4_cold.plan_key);
+    assert!(b4_exact.warm_start.is_none());
+
+    server.shutdown();
+}
+
+/// `transfer: "off"` must be byte-identical to a server that never had
+/// the subsystem: same plan keys, same plans, no index writes — even on a
+/// server whose cache is full of warm artifacts.
+#[test]
+fn transfer_off_is_bit_identical_to_a_transfer_free_server() {
+    let dir = std::env::temp_dir().join(format!("qsdnn_transfer_off_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Server A: transfer on with a spill dir, warmed up with a batch
+    // sweep — it leaves plans *and* a populated scenarios/ index behind.
+    let server_a = PlanServer::start(ServerConfig {
+        spill_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let mut client_a = PlanClient::connect(server_a.local_addr()).expect("connect");
+    client_a.plan(request(1, TransferMode::Auto)).expect("b1");
+    client_a
+        .plan(request(4, TransferMode::Auto))
+        .expect("b4 warm");
+    let off_a = client_a
+        .plan(request(4, TransferMode::Off))
+        .expect("b4 off");
+    server_a.shutdown();
+
+    // Server B: transfer disabled wholesale, on the *same* spill dir —
+    // the previous life's scenarios/ directory must be ignored entirely.
+    let server_b = PlanServer::start(ServerConfig {
+        transfer: TransferMode::Off,
+        spill_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let mut client_b = PlanClient::connect(server_b.local_addr()).expect("connect");
+    // Even an `auto` request cannot opt in past a disabled server.
+    let off_b = client_b.plan(request(4, TransferMode::Auto)).expect("b4");
+
+    assert_eq!(
+        off_a.plan_key, off_b.plan_key,
+        "identical content addresses"
+    );
+    assert_eq!(off_a.best.best_assignment, off_b.best.best_assignment);
+    assert_eq!(
+        off_a.best.best_cost_ms.to_bits(),
+        off_b.best.best_cost_ms.to_bits(),
+        "bit-identical costs"
+    );
+    assert_eq!(off_a.warm_start, None);
+    assert_eq!(off_b.warm_start, None);
+    for (a, b) in off_a.members.iter().zip(&off_b.members) {
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.best_cost_ms, b.best_cost_ms);
+        assert_eq!(a.episodes, b.episodes);
+    }
+    let stats_b = client_b.stats().expect("stats");
+    assert_eq!(stats_b.transfer, TransferMode::Off);
+    assert_eq!(stats_b.transfer_hits, 0);
+    assert_eq!(stats_b.warm_starts, 0);
+    assert_eq!(
+        stats_b.index_entries, 0,
+        "a disabled server indexes nothing — not even a previous \
+         transfer-enabled life's scenarios directory"
+    );
+
+    server_b.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The index reloads from the spill directory on startup, so a restarted
+/// server keeps warm-starting from its previous life's scenarios.
+#[test]
+fn index_survives_a_server_restart_via_the_spill_tier() {
+    let dir = std::env::temp_dir().join(format!("qsdnn_transfer_e2e_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let first = PlanServer::start(ServerConfig {
+        spill_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let mut client = PlanClient::connect(first.local_addr()).expect("connect");
+    let b1 = client.plan(request(1, TransferMode::Auto)).expect("b1");
+    first.shutdown();
+
+    let second = PlanServer::start(ServerConfig {
+        spill_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("rebind");
+    let mut client = PlanClient::connect(second.local_addr()).expect("reconnect");
+    let stats = client.stats().expect("stats");
+    assert!(stats.index_entries >= 1, "index reloaded from disk");
+
+    // A new batch on the fresh process warm-starts from the spilled donor.
+    let b2 = client.plan(request(2, TransferMode::Auto)).expect("b2");
+    let warm = b2.warm_start.expect("warm-started across the restart");
+    assert_eq!(warm.donor_key, b1.plan_key);
+    second.shutdown();
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,188 @@
+//! Property tests of the scenario-transfer stack: the descriptor distance
+//! is a premetric, descriptor extraction is deterministic (stable like
+//! `Fnv64`), and warm-starting from *mismatched* donors never panics and
+//! never yields a worse plan than the cold search on the same seed.
+
+use proptest::prelude::*;
+
+use qsdnn::baselines::solve_chain_dp;
+use qsdnn::engine::{CostLut, IncomingEdge, LayerEntry, Mode, Objective, ScenarioDescriptor};
+use qsdnn::nn::LayerTag;
+use qsdnn::primitives::{Library, Primitive};
+use qsdnn::{Portfolio, QTable, TransferMapping};
+
+/// Builds a random chain LUT with varied layer tags and candidate sets —
+/// richer than `property_search`'s, because transfer alignment keys on
+/// exactly those.
+fn random_lut(seed: u64) -> CostLut {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let tags = [LayerTag::Conv, LayerTag::Fc, LayerTag::Pool, LayerTag::Relu];
+    let layers = rng.gen_range(1..6);
+    let mut built: Vec<LayerEntry> = Vec::new();
+    for l in 0..layers {
+        let arity = rng.gen_range(1..4);
+        // Candidate 0 stays the Vanilla fallback (a LUT invariant the
+        // baselines rely on); later candidates vary by library.
+        let candidates: Vec<Primitive> = (0..arity)
+            .map(|ci| {
+                let mut p = Primitive::vanilla();
+                if ci > 0 {
+                    p.library = Library::ALL[rng.gen_range(0..Library::ALL.len())];
+                }
+                p
+            })
+            .collect();
+        let time_ms: Vec<f64> = (0..arity).map(|_| rng.gen_range(0.1..9.0)).collect();
+        let incoming = if l == 0 {
+            vec![]
+        } else {
+            let n_prev = built[l - 1].candidates.len();
+            vec![IncomingEdge {
+                from: l - 1,
+                penalty: (0..n_prev * arity)
+                    .map(|_| rng.gen_range(0.0..1.0))
+                    .collect(),
+                penalty_energy_mj: vec![],
+            }]
+        };
+        built.push(LayerEntry {
+            name: format!("l{l}"),
+            tag: tags[rng.gen_range(0..tags.len())],
+            candidates,
+            time_ms,
+            energy_mj: vec![],
+            incoming,
+        });
+    }
+    CostLut::from_parts(format!("net{}", seed % 3), "prop", Mode::Cpu, built)
+}
+
+fn random_descriptor(seed: u64) -> ScenarioDescriptor {
+    let objectives = [
+        Objective::Latency,
+        Objective::Energy,
+        Objective::Weighted { lambda: 0.5 },
+    ];
+    ScenarioDescriptor::of(&random_lut(seed))
+        .with_batch(1 << (seed % 5))
+        .with_objective(&objectives[(seed % 3) as usize])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `distance` is a premetric: identity at zero, symmetric,
+    /// non-negative — over arbitrary descriptor pairs.
+    #[test]
+    fn distance_is_a_premetric(sa in 0u64..100_000, sb in 0u64..100_000) {
+        let a = random_descriptor(sa);
+        let b = random_descriptor(sb);
+        prop_assert_eq!(a.distance(&a), 0.0, "d(a,a) == 0");
+        prop_assert_eq!(b.distance(&b), 0.0, "d(b,b) == 0");
+        let ab = a.distance(&b);
+        let ba = b.distance(&a);
+        prop_assert!(ab >= 0.0, "non-negative: {}", ab);
+        prop_assert!(ab.is_finite());
+        prop_assert_eq!(ab, ba, "symmetric");
+    }
+
+    /// Descriptor extraction is pure and deterministic across runs —
+    /// equal LUTs give equal descriptors and equal fingerprints, like
+    /// `Fnv64`-based LUT fingerprinting.
+    #[test]
+    fn extraction_is_deterministic(seed in 0u64..100_000) {
+        let lut_a = random_lut(seed);
+        let lut_b = random_lut(seed);
+        prop_assert_eq!(&lut_a, &lut_b, "generator is deterministic");
+        let da = ScenarioDescriptor::of(&lut_a).with_batch(2).with_objective(&Objective::Latency);
+        let db = ScenarioDescriptor::of(&lut_b).with_batch(2).with_objective(&Objective::Latency);
+        prop_assert_eq!(&da, &db);
+        prop_assert_eq!(da.fingerprint(), db.fingerprint());
+        // And distinct scenarios get distinct fingerprints (collision
+        // smoke check, not a guarantee).
+        let other = random_descriptor(seed.wrapping_add(1));
+        if da != other {
+            prop_assert!(da.fingerprint() != other.fingerprint()
+                || da.distance(&other) == 0.0);
+        }
+    }
+
+    /// Warm-starting from an arbitrary (usually mismatched) donor never
+    /// panics and never produces a worse final plan than the cold search
+    /// on the same seed: the transfer either maps something useful or
+    /// falls back to cold, and the portfolio keeps its exact chain-DP
+    /// member, which pins both runs to the chain optimum.
+    #[test]
+    fn mismatched_donors_never_hurt_the_portfolio(
+        recipient_seed in 0u64..10_000,
+        donor_seed in 0u64..10_000,
+    ) {
+        let recipient = random_lut(recipient_seed);
+        let donor_lut = random_lut(donor_seed);
+        let recipient_desc = ScenarioDescriptor::of(&recipient);
+        let donor_desc = ScenarioDescriptor::of(&donor_lut);
+        let mapping = TransferMapping::between(&donor_desc, &recipient_desc);
+
+        // Donor table: the donor's greedy assignment backbone (a plan the
+        // service could have cached for the donor scenario).
+        let dims: Vec<usize> = (0..donor_lut.len())
+            .map(|l| donor_lut.candidates(l).len())
+            .collect();
+        let assignment = donor_lut.greedy_assignment();
+        let costs: Vec<f64> = assignment
+            .iter()
+            .enumerate()
+            .map(|(l, &ci)| donor_lut.time(l, ci))
+            .collect();
+        let donor = QTable::from_best_path(&dims, &assignment, &costs)
+            .expect("greedy assignment is consistent with its own LUT");
+
+        let portfolio = Portfolio::paper_default(120, &[recipient_seed + 1]);
+        let cold = portfolio.run_sequential(&recipient).expect("applicable");
+        let warm = portfolio
+            .warmed()
+            .run_sequential_warm(&recipient, &donor, &mapping)
+            .expect("warm portfolio stays applicable");
+
+        prop_assert!(
+            warm.best.best_cost_ms <= cold.best.best_cost_ms + 1e-9,
+            "warm {} must not lose to cold {} (mapping states: {})",
+            warm.best.best_cost_ms,
+            cold.best.best_cost_ms,
+            mapping.mapped_states()
+        );
+        // Both are pinned to the exact optimum by the chain-DP member.
+        let (_, opt) = solve_chain_dp(&recipient).expect("chain");
+        prop_assert!((warm.best.best_cost_ms - opt).abs() < 1e-9);
+        prop_assert!((cold.best.best_cost_ms - opt).abs() < 1e-9);
+    }
+}
+
+/// Deterministic spot-check of the fallback contract: an empty transfer
+/// mapping must leave the warm run literally identical to the cold run.
+#[test]
+fn empty_mapping_falls_back_to_the_exact_cold_search() {
+    let recipient = random_lut(7);
+    let mut donor_desc = ScenarioDescriptor::of(&recipient);
+    for l in &mut donor_desc.layers {
+        l.tag = "input".into(); // no recipient layer aligns
+    }
+    let mapping = TransferMapping::between(&donor_desc, &ScenarioDescriptor::of(&recipient));
+    assert!(mapping.is_empty());
+    let donor = QTable::with_dims(vec![1; recipient.len()]);
+    let portfolio = Portfolio::paper_default(100, &[3]);
+    let cold = portfolio.run_sequential(&recipient).expect("applicable");
+    let warm = portfolio
+        .warmed()
+        .run_sequential_warm(&recipient, &donor, &mapping)
+        .expect("applicable");
+    assert_eq!(warm.best.best_assignment, cold.best.best_assignment);
+    assert_eq!(
+        warm.best.best_cost_ms.to_bits(),
+        cold.best.best_cost_ms.to_bits()
+    );
+    assert_eq!(warm.best.episodes, cold.best.episodes, "full cold budget");
+    assert_eq!(warm.winner_index, cold.winner_index);
+}

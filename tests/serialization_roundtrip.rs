@@ -47,6 +47,7 @@ fn config_roundtrip() {
         replay: false,
         reward_shaping: false,
         jumpstart: false,
+        warm_start: true,
         seed: 99,
     };
     let json = serde_json::to_string(&cfg).unwrap();
