@@ -24,7 +24,7 @@ use qsdnn::engine::{AnalyticalPlatform, CostLut, MeasuredPlatform, Mode, Objecti
 use qsdnn::nn::zoo;
 use qsdnn::{ApproxQsDnnSearch, QsDnnConfig, QsDnnSearch, SearchReport};
 use qsdnn_serve::protocol::{PlanRequest, PlanResponse, ProfileRequest, TransferMode};
-use qsdnn_serve::{EvictionPolicy, PlanClient, PlanServer, ServerConfig};
+use qsdnn_serve::{EvictionPolicy, IoModel, PlanClient, PlanServer, ServerConfig};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -121,7 +121,9 @@ pub fn usage() -> String {
      qsdnn-cli report --lut <lut.json> --report <report.json>\n  \
      qsdnn-cli serve [--addr host:port] [--threads N] [--spill <dir>] [--repeats N]\n            \
      [--cache-shards N] [--eviction lru|cost] [--cache-entries N] [--max-in-flight N]\n            \
-     [--transfer auto|off] [--index-entries N]\n  \
+     [--transfer auto|off] [--index-entries N] [--io threads|epoll] [--dispatchers N]\n            \
+     (--io defaults to epoll on Linux: one readiness loop serves thousands of\n            \
+     connections; threads elsewhere)\n  \
      qsdnn-cli submit --addr <host:port> [--request plan|profile|search|stats]\n            \
      [--network <name> | --networks a,b,c] [--batch N | --batches 1,2,4,8]\n            \
      [--mode cpu|gpgpu] [--objective <obj>] [--episodes N] [--seeds a,b,c]\n            \
@@ -184,6 +186,15 @@ pub fn parse_eviction(s: &str) -> Result<EvictionPolicy, String> {
 ///
 /// Returns a message for unknown modes.
 pub fn parse_transfer(s: &str) -> Result<TransferMode, String> {
+    s.parse()
+}
+
+/// Parses the `--io` option (`threads`, `epoll`).
+///
+/// # Errors
+///
+/// Returns a message for unknown connection layers.
+pub fn parse_io(s: &str) -> Result<IoModel, String> {
     s.parse()
 }
 
@@ -432,6 +443,8 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
             "max-in-flight",
             "transfer",
             "index-entries",
+            "io",
+            "dispatchers",
         ],
     )?;
     let addr = args
@@ -439,6 +452,7 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
         .get("addr")
         .map_or("127.0.0.1:7878", String::as_str)
         .to_string();
+    let default_io = IoModel::platform_default();
     let config = ServerConfig {
         addr,
         threads: opt_parse(args, "threads", 0usize)?,
@@ -450,6 +464,11 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
         max_in_flight: opt_parse(args, "max-in-flight", 0usize)?,
         transfer: parse_transfer(args.options.get("transfer").map_or("auto", String::as_str))?,
         index_entries: opt_parse(args, "index-entries", 0usize)?,
+        io: match args.options.get("io") {
+            Some(s) => parse_io(s)?,
+            None => default_io,
+        },
+        dispatchers: opt_parse(args, "dispatchers", 0usize)?,
         ..ServerConfig::default()
     };
     let spill_note = config
@@ -457,9 +476,11 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
         .as_ref()
         .map(|d| format!(", spilling plans to {}", d.display()))
         .unwrap_or_default();
+    let io = config.io;
     let server = PlanServer::start(config).map_err(|e| e.to_string())?;
     eprintln!(
-        "qsdnn-serve listening on {} (JSON-lines requests: profile/search/plan/stats){spill_note}",
+        "qsdnn-serve listening on {} ({io} connection layer; JSON-lines requests: \
+         profile/search/plan/stats){spill_note}",
         server.local_addr()
     );
     // Serve until the process is killed.
@@ -637,7 +658,8 @@ fn cmd_submit(args: &Args) -> Result<String, String> {
                 "qsdnn-serve v{} up {:.1} s | {} requests, {} plans, {} pipelined \
                  (peak {} in flight, cap {}) | plan cache: {} hits, \
                  {} misses, {} coalesced, {} spill loads, {} entries ({:.0}% hit rate), \
-                 {} evictions, {} stalls over {} shards | profile cache: {} entries | {} workers",
+                 {} evictions, {} stalls over {} shards | profile cache: {} entries | \
+                 {} workers | {} accept errors",
                 stats.version,
                 stats.uptime_ms as f64 / 1e3,
                 stats.requests,
@@ -655,7 +677,8 @@ fn cmd_submit(args: &Args) -> Result<String, String> {
                 stats.plan_cache.capacity_stalls,
                 stats.plan_cache.shards,
                 stats.profile_cache.entries,
-                stats.workers
+                stats.workers,
+                stats.accept_errors
             );
             out.push_str(&format!(
                 "\ntransfer ({}): {} hits, {} warm starts, mean donor distance {:.3}, \
@@ -819,6 +842,16 @@ mod tests {
         // A bad eviction policy is a clean error, not a started server.
         let err = run(&parse_args(&argv(&["serve", "--eviction", "fifo"])).unwrap()).unwrap_err();
         assert!(err.contains("unknown eviction policy"), "{err}");
+    }
+
+    #[test]
+    fn io_model_parsing() {
+        assert_eq!(parse_io("threads").unwrap(), IoModel::Threads);
+        assert_eq!(parse_io("epoll").unwrap(), IoModel::Epoll);
+        assert!(parse_io("uring").is_err());
+        // A bad io model is a clean error, not a started server.
+        let err = run(&parse_args(&argv(&["serve", "--io", "uring"])).unwrap()).unwrap_err();
+        assert!(err.contains("unknown io model"), "{err}");
     }
 
     #[test]

@@ -34,6 +34,15 @@
 //!   over one connection; the server replies out of order as searches
 //!   finish, so a single connection can saturate the whole worker pool
 //!   ([`PlanClient::submit`]/[`PlanClient::wait`]/[`PlanClient::plan_many`]).
+//! * **Epoll connection layer** ([`IoModel`]) — on Linux (the default),
+//!   one reactor thread holds *every* connection through a readiness
+//!   loop (direct `extern "C"` epoll FFI over `std::os::fd`): nonblocking
+//!   reads feed per-connection frame buffers, replies queue in outboxes
+//!   with partial-write resumption, and a bounded dispatcher pool runs
+//!   the requests — thousands of pipelined clients cost
+//!   O(workers + dispatchers) threads, not O(connections). The
+//!   thread-per-connection layer survives behind `--io threads` and
+//!   answers byte-identically.
 //!
 //! # Quickstart
 //!
@@ -76,6 +85,8 @@ mod client;
 mod pool;
 mod portfolio;
 pub mod protocol;
+#[cfg(target_os = "linux")]
+mod reactor;
 mod server;
 pub mod transfer;
 
@@ -86,7 +97,7 @@ pub use cache::{
 pub use client::{PlanClient, Ticket, DEFAULT_CLIENT_WINDOW};
 pub use pool::WorkerPool;
 pub use portfolio::{run_portfolio_parallel, run_portfolio_parallel_with, WarmStart};
-pub use server::{resolve, start_local, PlanServer, ServerConfig, DEFAULT_MAX_IN_FLIGHT};
+pub use server::{resolve, start_local, IoModel, PlanServer, ServerConfig, DEFAULT_MAX_IN_FLIGHT};
 pub use transfer::{ScenarioEntry, ScenarioIndex, DEFAULT_INDEX_ENTRIES};
 
 use std::fmt;

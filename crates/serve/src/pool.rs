@@ -31,6 +31,13 @@ pub struct WorkerPool {
 impl WorkerPool {
     /// Starts `threads` workers (at least one).
     pub fn new(threads: usize) -> Self {
+        WorkerPool::named("qsdnn-worker", threads)
+    }
+
+    /// Starts `threads` workers (at least one) named `<prefix>-<i>`, so a
+    /// second pool with a different role (e.g. the epoll server's request
+    /// dispatchers) is tellable apart in thread listings.
+    pub fn named(prefix: &str, threads: usize) -> Self {
         let threads = threads.max(1);
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
@@ -38,7 +45,7 @@ impl WorkerPool {
             .map(|i| {
                 let rx = Arc::clone(&rx);
                 std::thread::Builder::new()
-                    .name(format!("qsdnn-worker-{i}"))
+                    .name(format!("{prefix}-{i}"))
                     .spawn(move || worker_loop(&rx))
                     .expect("spawn worker thread")
             })

@@ -374,6 +374,10 @@ pub struct StatsResponse {
     /// Scenarios currently held in the transfer index.
     #[serde(default)]
     pub index_entries: u64,
+    /// Transient `accept()` failures (e.g. fd exhaustion) since start.
+    /// Each one triggers an acceptor back-off instead of a hot retry loop.
+    #[serde(default)]
+    pub accept_errors: u64,
 }
 
 /// Server → client message.
@@ -471,6 +475,98 @@ pub fn read_line_resumable(
             Ok(_) => {}
         }
         return Ok(Some(std::mem::take(partial)));
+    }
+}
+
+/// Incremental JSON-lines splitter for nonblocking readers.
+///
+/// The epoll connection layer reads whatever bytes the socket has and
+/// pushes them here; [`FrameBuffer::next_frame`] hands back complete
+/// `\n`-terminated lines one at a time, whatever the fragmentation — a
+/// frame split mid-byte of a UTF-8 multibyte sequence, or right across the
+/// terminator, reassembles identically because splitting happens on raw
+/// bytes and UTF-8 validation happens per complete frame. Blank
+/// (whitespace-only) lines are skipped, matching
+/// [`read_line_resumable`]'s keepalive behavior on the threaded path.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted lazily so `next_frame` never
+    /// memmoves per frame.
+    start: usize,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        FrameBuffer::default()
+    }
+
+    /// Appends freshly read bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact before growing, so a long-lived connection's buffer does
+        // not accumulate an unbounded consumed prefix. The prefix must
+        // also cover at least half the buffer: compacting a fixed-size
+        // prefix off a large parse backlog would memmove the whole tail
+        // over and over (O(n²) on the reactor thread); halving keeps the
+        // copy amortized O(1) per byte.
+        let compact = self.start == self.buf.len()
+            || (self.start >= 64 * 1024 && self.start * 2 >= self.buf.len());
+        if self.start > 0 && compact {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes received but not yet consumed as frames — the length of the
+    /// (possibly still incomplete) data after the last extracted frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Whether the unconsumed bytes contain at least one line terminator
+    /// (i.e. whether [`FrameBuffer::buffered`] growth is a single frame
+    /// still in flight rather than a parse backlog).
+    pub fn has_terminator(&self) -> bool {
+        self.buf[self.start..].contains(&b'\n')
+    }
+
+    /// Extracts the next complete, non-blank line (terminator stripped).
+    /// Returns `None` when no complete line is buffered yet.
+    pub fn next_frame(&mut self) -> Option<Vec<u8>> {
+        loop {
+            let rel = self.buf[self.start..].iter().position(|&b| b == b'\n')?;
+            let line = &self.buf[self.start..self.start + rel];
+            // Strip an optional carriage return so `nc -C`-style clients
+            // work, mirroring the `trim()` on the threaded path.
+            let line = line.strip_suffix(b"\r").unwrap_or(line);
+            let blank = line.iter().all(|b| b.is_ascii_whitespace());
+            let frame = if blank { None } else { Some(line.to_vec()) };
+            self.start += rel + 1;
+            if let Some(frame) = frame {
+                return Some(frame);
+            }
+            // Blank keepalive line: skip it and keep scanning.
+        }
+    }
+
+    /// At EOF: takes a trailing unterminated line, if any. The threaded
+    /// path's [`read_line_resumable`] hands over a partial line when the
+    /// peer closes without a final `\n`; this is the nonblocking
+    /// equivalent, so half-close clients get their last request answered
+    /// on either connection layer.
+    pub fn take_partial(&mut self) -> Option<Vec<u8>> {
+        let tail = &self.buf[self.start..];
+        let tail = tail.strip_suffix(b"\r").unwrap_or(tail);
+        let frame = if tail.iter().all(|b| b.is_ascii_whitespace()) {
+            None
+        } else {
+            Some(tail.to_vec())
+        };
+        self.buf.clear();
+        self.start = 0;
+        frame
     }
 }
 
@@ -623,6 +719,7 @@ mod tests {
             warm_starts: 2,
             mean_donor_distance: 0.25,
             index_entries: 7,
+            accept_errors: 1,
         });
         let json = serde_json::to_string(&resp).unwrap();
         assert!(!json.contains('\n'));
@@ -799,6 +896,59 @@ mod tests {
             .replace(",\"warm_start\":null", "");
         let back: PlanResponse = serde_json::from_str(&json).unwrap();
         assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn frame_buffer_splits_on_newlines_whatever_the_fragmentation() {
+        let mut fb = FrameBuffer::new();
+        assert!(fb.next_frame().is_none());
+        // One frame arriving a byte at a time.
+        for b in b"{\"a\":1}" {
+            fb.push(&[*b]);
+            assert!(fb.next_frame().is_none(), "no terminator yet");
+        }
+        fb.push(b"\n");
+        assert_eq!(fb.next_frame().as_deref(), Some(&b"{\"a\":1}"[..]));
+        assert!(fb.next_frame().is_none());
+        // Several frames in one push, blank keepalives interleaved, CRLF
+        // tolerated, and a trailing partial kept for later.
+        fb.push(b"one\n\n  \r\ntwo\r\nthree");
+        assert_eq!(fb.next_frame().as_deref(), Some(&b"one"[..]));
+        assert_eq!(fb.next_frame().as_deref(), Some(&b"two"[..]));
+        assert!(fb.next_frame().is_none(), "`three` has no terminator");
+        assert_eq!(fb.buffered(), 5);
+        assert!(!fb.has_terminator());
+        fb.push(b"!\n");
+        assert_eq!(fb.next_frame().as_deref(), Some(&b"three!"[..]));
+        assert_eq!(fb.buffered(), 0);
+    }
+
+    #[test]
+    fn frame_buffer_survives_splits_inside_multibyte_utf8() {
+        let line = "{\"net\":\"mobilé🔥\"}\n".as_bytes();
+        for cut in 0..line.len() {
+            let mut fb = FrameBuffer::new();
+            fb.push(&line[..cut]);
+            fb.push(&line[cut..]);
+            let frame = fb.next_frame().expect("complete frame");
+            assert_eq!(
+                String::from_utf8(frame).expect("valid UTF-8"),
+                "{\"net\":\"mobilé🔥\"}",
+                "split at byte {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_buffer_hands_over_a_partial_line_at_eof() {
+        let mut fb = FrameBuffer::new();
+        fb.push(b"done\nhalf-a-request");
+        assert_eq!(fb.next_frame().as_deref(), Some(&b"done"[..]));
+        assert_eq!(fb.take_partial().as_deref(), Some(&b"half-a-request"[..]));
+        assert_eq!(fb.buffered(), 0);
+        // Whitespace-only tails are keepalive noise, not a frame.
+        fb.push(b"  \t ");
+        assert!(fb.take_partial().is_none());
     }
 
     #[test]

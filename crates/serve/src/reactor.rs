@@ -1,0 +1,797 @@
+//! The epoll connection layer: one readiness loop owns every socket.
+//!
+//! The threaded layer spends a thread per connection; this layer spends
+//! one — a reactor thread running `epoll_wait` over the listener, a
+//! wakeup pipe and every client socket (all nonblocking). Connections are
+//! per-socket state machines:
+//!
+//! * **read** — readable bytes land in a [`FrameBuffer`], which splits
+//!   them into JSON lines whatever the fragmentation; complete frames are
+//!   parsed and handed to a bounded dispatcher pool.
+//! * **dispatch** — dispatchers run the request (fanning portfolio members
+//!   onto the shared search [`WorkerPool`]), serialize the reply and push
+//!   it onto a completion queue, then write one byte into the wakeup pipe
+//!   so the loop picks it up. Dispatchers never touch sockets.
+//! * **write** — replies queue in a per-connection outbox; the loop writes
+//!   as much as the socket accepts, resumes partial writes on `EPOLLOUT`,
+//!   and never blocks on a slow reader.
+//!
+//! Backpressure falls out of interest management: a connection at its
+//! tagged in-flight cap, mid-v1-request, or with an over-full outbox
+//! simply stops being registered for `EPOLLIN`, so TCP flow control
+//! pushes back on the client while every other connection proceeds.
+//!
+//! Protocol semantics are identical to the threaded layer: bare (v1)
+//! requests are answered in order one at a time (the state machine pauses
+//! frame parsing until the reply is queued), tagged (v2) requests pipeline
+//! up to the per-connection cap and complete out of order.
+//!
+//! The epoll binding is direct `extern "C"` FFI over `std::os::fd` — this
+//! build is offline, and the four syscalls involved don't justify a
+//! vendored libc.
+
+#![allow(unsafe_code)]
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::pool::WorkerPool;
+use crate::protocol::{
+    parse_request_frame, write_message, FrameBuffer, RequestFrame, Response, TaggedResponse,
+};
+use crate::server::{ServiceState, ACCEPT_BACKOFF_MAX, ACCEPT_BACKOFF_MIN};
+use crate::ServeError;
+
+/// Raw Linux epoll/pipe bindings. Constants match the kernel UAPI headers
+/// for every Linux target this workspace builds on.
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const O_NONBLOCK: c_int = 0o4000;
+    pub const O_CLOEXEC: c_int = 0o2000000;
+
+    /// `struct epoll_event`. The x86-64 kernel ABI packs it to 12 bytes;
+    /// every other architecture uses natural alignment — same split libc
+    /// makes.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout_ms: c_int,
+        ) -> c_int;
+        pub fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    }
+}
+
+/// Hard bound on one request line. A line that exceeds this without a
+/// terminator is hostile (or a broken client); the connection gets one
+/// untagged error reply and is closed — there is no way to resync framing
+/// inside an unbounded line. The threaded layer reads lines unboundedly;
+/// this bound exists exactly because the epoll layer is the
+/// thousands-of-untrusted-clients layer.
+pub(crate) const MAX_FRAME_BYTES: usize = 8 * 1024 * 1024;
+
+/// Outbox high-water mark: a connection whose peer refuses to read its
+/// replies stops being read once this many reply bytes queue, so its
+/// memory footprint is bounded and nothing else stalls.
+pub(crate) const MAX_OUTBOX_BYTES: usize = 8 * 1024 * 1024;
+
+/// Bytes read from a socket per `read` call.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Idle `epoll_wait` tick: bounds how stale the accept back-off and
+/// shutdown checks can get even if a wakeup is lost.
+const TICK: Duration = Duration::from_millis(100);
+
+/// How long shutdown waits for in-flight requests to finish and queued
+/// replies to flush before abandoning the remaining connections. Keeps a
+/// never-reading client from wedging [`crate::PlanServer::shutdown`].
+const SHUTDOWN_DRAIN: Duration = Duration::from_secs(5);
+
+/// `epoll_wait` data tokens for the two non-connection fds.
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const TOKEN_FIRST_CONN: u64 = 2;
+
+fn last_os_error() -> io::Error {
+    io::Error::last_os_error()
+}
+
+/// Thin safe wrapper over one epoll instance.
+struct Epoll {
+    fd: OwnedFd,
+}
+
+impl Epoll {
+    fn new() -> io::Result<Epoll> {
+        let fd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(last_os_error());
+        }
+        Ok(Epoll {
+            fd: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events,
+            data: token,
+        };
+        let rc = unsafe { sys::epoll_ctl(self.fd.as_raw_fd(), op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(last_os_error());
+        }
+        Ok(())
+    }
+
+    fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    fn wait(&self, events: &mut [sys::EpollEvent], timeout: Duration) -> io::Result<usize> {
+        let ms = timeout.as_millis().min(i32::MAX as u128) as i32;
+        let n = unsafe {
+            sys::epoll_wait(
+                self.fd.as_raw_fd(),
+                events.as_mut_ptr(),
+                events.len() as i32,
+                ms,
+            )
+        };
+        if n < 0 {
+            let e = last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(e);
+        }
+        Ok(n as usize)
+    }
+}
+
+/// Write end of the reactor's wakeup pipe. Cloneable and cheap: one byte
+/// per wake, and a full pipe means a wakeup is already pending, so every
+/// error is ignorable.
+#[derive(Clone)]
+pub(crate) struct Waker {
+    fd: Arc<OwnedFd>,
+}
+
+impl Waker {
+    pub(crate) fn wake(&self) {
+        let byte = [1u8];
+        // EAGAIN: the pipe already holds a pending wakeup. EPIPE: the
+        // reactor is gone and nothing needs waking. Both are fine.
+        unsafe {
+            sys::write(
+                self.fd.as_raw_fd(),
+                byte.as_ptr() as *const std::os::raw::c_void,
+                1,
+            );
+        }
+    }
+}
+
+/// One finished request on its way back from a dispatcher to the loop.
+struct Completion {
+    token: u64,
+    /// `true` for a bare (v1) reply: delivery unblocks the connection's
+    /// frame parser. `false` decrements the tagged in-flight count.
+    untagged: bool,
+    line: Vec<u8>,
+}
+
+/// Dispatcher → reactor handoff: a locked queue plus the wakeup pipe.
+pub(crate) struct Completions {
+    queue: Mutex<Vec<Completion>>,
+    waker: Waker,
+}
+
+impl Completions {
+    fn push(&self, completion: Completion) {
+        self.queue
+            .lock()
+            .expect("completion queue")
+            .push(completion);
+        self.waker.wake();
+    }
+
+    fn drain(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.queue.lock().expect("completion queue"))
+    }
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    frames: FrameBuffer,
+    /// Serialized reply lines awaiting the socket; `front_written` bytes
+    /// of the front line are already on the wire (partial-write resume).
+    outbox: VecDeque<Vec<u8>>,
+    front_written: usize,
+    outbox_bytes: usize,
+    /// Tagged (v2) requests dispatched but not yet completed.
+    in_flight: usize,
+    /// A bare (v1) request is being handled; parsing is paused so its
+    /// reply stays in order, exactly like the threaded layer's inline
+    /// handling.
+    v1_busy: bool,
+    /// EOF (or half-close) observed on the read side.
+    read_closed: bool,
+    /// Fatal framing violation: flush the outbox, then close.
+    closing: bool,
+    /// Interest mask currently installed in the epoll set.
+    registered: u32,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, registered: u32) -> Conn {
+        Conn {
+            stream,
+            frames: FrameBuffer::new(),
+            outbox: VecDeque::new(),
+            front_written: 0,
+            outbox_bytes: 0,
+            in_flight: 0,
+            v1_busy: false,
+            read_closed: false,
+            closing: false,
+            registered,
+        }
+    }
+
+    fn queue_line(&mut self, line: Vec<u8>) {
+        self.outbox_bytes += line.len();
+        self.outbox.push_back(line);
+    }
+
+    /// No request in any stage — safe to close once the read side is done
+    /// (or the server is draining).
+    fn idle(&self) -> bool {
+        self.in_flight == 0 && !self.v1_busy && self.outbox.is_empty()
+    }
+}
+
+/// Starts the epoll connection layer on `listener`. Returns the reactor's
+/// join handle, a waker for shutdown, and the dispatcher pool (the caller
+/// holds one `Arc` so it can drain the pool after joining the reactor).
+pub(crate) fn start(
+    listener: TcpListener,
+    state: Arc<ServiceState>,
+) -> Result<(JoinHandle<()>, Waker, Arc<WorkerPool>), ServeError> {
+    listener.set_nonblocking(true)?;
+    let epoll = Epoll::new()?;
+    let mut pipe_fds = [0i32; 2];
+    let rc = unsafe { sys::pipe2(pipe_fds.as_mut_ptr(), sys::O_NONBLOCK | sys::O_CLOEXEC) };
+    if rc < 0 {
+        return Err(ServeError::Io(last_os_error()));
+    }
+    let wake_rx = unsafe { OwnedFd::from_raw_fd(pipe_fds[0]) };
+    let waker = Waker {
+        fd: Arc::new(unsafe { OwnedFd::from_raw_fd(pipe_fds[1]) }),
+    };
+    epoll.add(listener.as_raw_fd(), sys::EPOLLIN, TOKEN_LISTENER)?;
+    epoll.add(wake_rx.as_raw_fd(), sys::EPOLLIN, TOKEN_WAKER)?;
+    let dispatchers = Arc::new(WorkerPool::named(
+        "qsdnn-dispatch",
+        state.config.dispatcher_count(state.pool.threads()),
+    ));
+    let completions = Arc::new(Completions {
+        queue: Mutex::new(Vec::new()),
+        waker: waker.clone(),
+    });
+    let mut reactor = Reactor {
+        epoll,
+        listener,
+        listener_armed: true,
+        accept_backoff: ACCEPT_BACKOFF_MIN,
+        accept_resume: None,
+        wake_rx,
+        conns: HashMap::new(),
+        next_token: TOKEN_FIRST_CONN,
+        state,
+        dispatchers: Arc::clone(&dispatchers),
+        completions,
+        drain_deadline: None,
+    };
+    let handle = std::thread::Builder::new()
+        .name("qsdnn-reactor".into())
+        .spawn(move || reactor.run())
+        .expect("spawn reactor");
+    Ok((handle, waker, dispatchers))
+}
+
+struct Reactor {
+    epoll: Epoll,
+    listener: TcpListener,
+    /// Whether the listener is currently registered for `EPOLLIN`
+    /// (disarmed during accept back-off and shutdown).
+    listener_armed: bool,
+    accept_backoff: Duration,
+    /// When a backed-off listener re-arms.
+    accept_resume: Option<Instant>,
+    wake_rx: OwnedFd,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    state: Arc<ServiceState>,
+    dispatchers: Arc<WorkerPool>,
+    completions: Arc<Completions>,
+    /// Set when shutdown begins: how long to keep flushing before
+    /// abandoning whatever is left.
+    drain_deadline: Option<Instant>,
+}
+
+impl Reactor {
+    fn run(&mut self) {
+        let mut events = vec![sys::EpollEvent { events: 0, data: 0 }; 256];
+        loop {
+            let timeout = self.wait_timeout();
+            let n = self.epoll.wait(&mut events, timeout).unwrap_or_default();
+            let mut accept_ready = false;
+            for ev in &events[..n] {
+                // Copy out of the (possibly packed) event before use.
+                let token = ev.data;
+                let bits = ev.events;
+                match token {
+                    TOKEN_LISTENER => accept_ready = true,
+                    TOKEN_WAKER => self.drain_wake_pipe(),
+                    token => self.on_conn_event(token, bits),
+                }
+            }
+            // Completions are drained every turn, not only on waker
+            // readiness: a wake can coalesce with one already pending.
+            for completion in self.completions.drain() {
+                self.deliver(completion);
+            }
+            if self.state.shutting_down.load(Ordering::SeqCst) {
+                if self.begin_or_check_drain() {
+                    return;
+                }
+                continue;
+            }
+            if accept_ready {
+                self.do_accept();
+            }
+            if let Some(resume) = self.accept_resume {
+                if Instant::now() >= resume {
+                    self.accept_resume = None;
+                    self.arm_listener(true);
+                    // Connections queued during the back-off are still
+                    // pending; try them now rather than next readiness.
+                    self.do_accept();
+                }
+            }
+        }
+    }
+
+    fn wait_timeout(&self) -> Duration {
+        let mut timeout = TICK;
+        if let Some(resume) = self.accept_resume {
+            timeout = timeout.min(resume.saturating_duration_since(Instant::now()));
+        }
+        timeout.max(Duration::from_millis(1))
+    }
+
+    /// First call: stop accepting and reading, close idle connections,
+    /// start the drain clock. Later calls: report whether the drain is
+    /// done (everything idle-and-closed, or deadline passed).
+    fn begin_or_check_drain(&mut self) -> bool {
+        if self.drain_deadline.is_none() {
+            self.drain_deadline = Some(Instant::now() + SHUTDOWN_DRAIN);
+            self.arm_listener(false);
+            let tokens: Vec<u64> = self.conns.keys().copied().collect();
+            for token in tokens {
+                self.update_interest(token);
+                self.maybe_close(token);
+            }
+        }
+        let deadline = self.drain_deadline.expect("drain deadline set above");
+        self.conns.is_empty() || Instant::now() >= deadline
+    }
+
+    fn arm_listener(&mut self, armed: bool) {
+        if self.listener_armed == armed {
+            return;
+        }
+        let events = if armed { sys::EPOLLIN } else { 0 };
+        if self
+            .epoll
+            .modify(self.listener.as_raw_fd(), events, TOKEN_LISTENER)
+            .is_ok()
+        {
+            self.listener_armed = armed;
+        }
+    }
+
+    fn drain_wake_pipe(&mut self) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n = unsafe {
+                sys::read(
+                    self.wake_rx.as_raw_fd(),
+                    buf.as_mut_ptr() as *mut std::os::raw::c_void,
+                    buf.len(),
+                )
+            };
+            if n < buf.len() as isize {
+                return; // drained (or EAGAIN / error — nothing more to read)
+            }
+        }
+    }
+
+    fn do_accept(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.accept_backoff = ACCEPT_BACKOFF_MIN;
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    stream.set_nodelay(true).ok();
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    let interest = sys::EPOLLIN | sys::EPOLLRDHUP;
+                    if self.epoll.add(stream.as_raw_fd(), interest, token).is_err() {
+                        continue;
+                    }
+                    self.conns.insert(token, Conn::new(stream, interest));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // One queued connection died before we accepted it; the
+                // queue behind it is healthy — retry immediately.
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+                Err(_) => {
+                    // Resource exhaustion (EMFILE, ENFILE, ENOMEM…): with a
+                    // level-triggered listener, retrying instantly would
+                    // spin the whole loop at 100% CPU. Disarm the
+                    // listener and re-arm after an exponential back-off;
+                    // pending connections stay queued in the kernel.
+                    self.state.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    self.arm_listener(false);
+                    self.accept_resume = Some(Instant::now() + self.accept_backoff);
+                    self.accept_backoff = (self.accept_backoff * 2).min(ACCEPT_BACKOFF_MAX);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn on_conn_event(&mut self, token: u64, bits: u32) {
+        if bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0 {
+            self.close(token);
+            return;
+        }
+        if bits & sys::EPOLLOUT != 0 && !self.flush(token) {
+            return;
+        }
+        if bits & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0 {
+            self.read_ready(token);
+            return;
+        }
+        // EPOLLOUT-only wakeup: draining the outbox below its high-water
+        // mark is one of the conditions that unpauses parsing, and the
+        // unparsed frames already sit in the FrameBuffer — no further
+        // EPOLLIN will announce them, so parse here or never.
+        self.process_frames(token);
+        self.update_interest(token);
+        self.maybe_close(token);
+    }
+
+    fn read_ready(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.frames.push(&chunk[..n]);
+                    if n < chunk.len() {
+                        break;
+                    }
+                    // Bound the bytes taken per readiness round so one
+                    // firehose connection cannot starve the loop; level
+                    // triggering re-reports the rest next turn.
+                    if conn.frames.buffered() >= MAX_FRAME_BYTES {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(token);
+                    return;
+                }
+            }
+        }
+        self.process_frames(token);
+        self.update_interest(token);
+        self.maybe_close(token);
+    }
+
+    /// Parses as many buffered frames as the connection's state machine
+    /// allows and dispatches them. Called after reads and after every
+    /// completion delivery (a completion can unpause parsing with bytes
+    /// already buffered and no new readiness coming).
+    fn process_frames(&mut self, token: u64) {
+        // Once shutdown draining starts, no new requests are accepted —
+        // buffered-but-unparsed bytes are dropped, exactly like the
+        // threaded reader returning on the shutdown flag.
+        if self.drain_deadline.is_some() {
+            return;
+        }
+        loop {
+            let cap = self.state.config.in_flight_cap();
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.closing
+                || conn.v1_busy
+                || conn.in_flight >= cap
+                || conn.outbox_bytes > MAX_OUTBOX_BYTES
+            {
+                return;
+            }
+            let line = match conn.frames.next_frame() {
+                Some(line) => line,
+                // `>=`, matching the read cutoff exactly: reading stops at
+                // the bound, so a line that *reaches* it can never grow a
+                // terminator — treating only `>` as hostile would strand
+                // an exactly-at-the-bound connection unreadable forever.
+                None if conn.frames.buffered() >= MAX_FRAME_BYTES => {
+                    // A single line at the frame bound: hostile. One
+                    // untagged error, then close — framing cannot be
+                    // resynced inside an unbounded line.
+                    let resp = Response::Error {
+                        message: format!(
+                            "protocol error: request line exceeds the \
+                             {MAX_FRAME_BYTES}-byte frame bound"
+                        ),
+                    };
+                    conn.queue_line(serialize_line(&resp));
+                    conn.closing = true;
+                    self.flush(token);
+                    return;
+                }
+                None if conn.read_closed => {
+                    // EOF with a trailing unterminated line: answer it,
+                    // matching the threaded layer's `read_line_resumable`.
+                    match conn.frames.take_partial() {
+                        Some(tail) => tail,
+                        None => return,
+                    }
+                }
+                None => return,
+            };
+            self.handle_frame(token, line);
+        }
+    }
+
+    fn handle_frame(&mut self, token: u64, line: Vec<u8>) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let text = match String::from_utf8(line) {
+            Ok(text) => text,
+            Err(_) => {
+                // Same reply, same contract as the threaded layer's
+                // `InvalidData` arm: answer and keep the connection.
+                let resp = Response::Error {
+                    message: "request line is not valid UTF-8".to_string(),
+                };
+                conn.queue_line(serialize_line(&resp));
+                return;
+            }
+        };
+        match parse_request_frame(&text) {
+            Err(e) => {
+                // Malformed line: report (untagged — no id survived the
+                // wreckage) and keep the connection, like the threaded
+                // layer.
+                let resp = Response::Error {
+                    message: match e {
+                        ServeError::Protocol(message) => message,
+                        other => other.to_string(),
+                    },
+                };
+                conn.queue_line(serialize_line(&resp));
+            }
+            Ok(RequestFrame::Untagged(req)) => {
+                // v1 contract: at most one bare request runs at a time and
+                // its reply stays in order — parsing pauses until the
+                // completion comes back.
+                conn.v1_busy = true;
+                let state = Arc::clone(&self.state);
+                let completions = Arc::clone(&self.completions);
+                self.dispatchers.execute(move || {
+                    let resp = state.dispatch(req);
+                    completions.push(Completion {
+                        token,
+                        untagged: true,
+                        line: serialize_line(&resp),
+                    });
+                });
+            }
+            Ok(RequestFrame::Tagged(tagged)) => {
+                conn.in_flight += 1;
+                let depth = conn.in_flight;
+                self.state.note_in_flight(depth);
+                self.state.pipelined.fetch_add(1, Ordering::Relaxed);
+                let state = Arc::clone(&self.state);
+                let completions = Arc::clone(&self.completions);
+                self.dispatchers.execute(move || {
+                    let resp = state.dispatch(tagged.req);
+                    completions.push(Completion {
+                        token,
+                        untagged: false,
+                        line: serialize_line(&TaggedResponse {
+                            id: tagged.id,
+                            resp,
+                        }),
+                    });
+                });
+            }
+        }
+    }
+
+    fn deliver(&mut self, completion: Completion) {
+        let Some(conn) = self.conns.get_mut(&completion.token) else {
+            return; // the connection died while its request ran
+        };
+        if completion.untagged {
+            conn.v1_busy = false;
+        } else {
+            conn.in_flight = conn.in_flight.saturating_sub(1);
+        }
+        conn.queue_line(completion.line);
+        let token = completion.token;
+        if !self.flush(token) {
+            return;
+        }
+        self.process_frames(token);
+        self.update_interest(token);
+        self.maybe_close(token);
+    }
+
+    /// Writes as much of the outbox as the socket accepts. Returns `false`
+    /// when the connection was closed by a write failure.
+    fn flush(&mut self, token: u64) -> bool {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return false;
+        };
+        while let Some(front) = conn.outbox.front() {
+            match conn.stream.write(&front[conn.front_written..]) {
+                Ok(n) => {
+                    conn.front_written += n;
+                    conn.outbox_bytes -= n;
+                    if conn.front_written == front.len() {
+                        conn.outbox.pop_front();
+                        conn.front_written = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // The peer is gone; in-flight replies for this token
+                    // will be discarded at delivery.
+                    self.close(token);
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Reconciles the epoll interest mask with the connection's state:
+    /// `EPOLLIN` while the state machine is willing to parse, `EPOLLOUT`
+    /// while the outbox holds unflushed bytes.
+    fn update_interest(&mut self, token: u64) {
+        let cap = self.state.config.in_flight_cap();
+        let draining = self.drain_deadline.is_some();
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let readable = !conn.read_closed
+            && !conn.closing
+            && !draining
+            && !conn.v1_busy
+            && conn.in_flight < cap
+            && conn.outbox_bytes <= MAX_OUTBOX_BYTES
+            && conn.frames.buffered() < MAX_FRAME_BYTES;
+        // EPOLLRDHUP rides with EPOLLIN, never alone: once the read side
+        // is done (or paused), a half-closed socket would otherwise
+        // re-report RDHUP on every single epoll_wait — a busy loop that
+        // burns the core until the connection drains.
+        let mut want = 0;
+        if readable {
+            want |= sys::EPOLLIN | sys::EPOLLRDHUP;
+        }
+        if !conn.outbox.is_empty() {
+            want |= sys::EPOLLOUT;
+        }
+        if want != conn.registered
+            && self
+                .epoll
+                .modify(conn.stream.as_raw_fd(), want, token)
+                .is_ok()
+        {
+            conn.registered = want;
+        }
+    }
+
+    /// Closes a connection whose useful life is over: the read side is
+    /// done (or the connection is condemned / the server draining) and no
+    /// request or reply remains in any stage.
+    fn maybe_close(&mut self, token: u64) {
+        let draining = self.drain_deadline.is_some();
+        let Some(conn) = self.conns.get(&token) else {
+            return;
+        };
+        if (conn.read_closed || conn.closing || draining) && conn.idle() {
+            self.close(token);
+        }
+    }
+
+    fn close(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.epoll.delete(conn.stream.as_raw_fd());
+            // Dropping the stream closes the fd.
+        }
+    }
+}
+
+/// Serializes one reply as a JSON line. Serialization of our own response
+/// types cannot fail in practice; if it ever does, the client still gets
+/// a well-formed error line rather than silence or a torn frame.
+fn serialize_line(resp: &impl serde::Serialize) -> Vec<u8> {
+    let mut line = Vec::new();
+    if write_message(&mut line, resp).is_err() {
+        line.clear();
+        line.extend_from_slice(
+            b"{\"Error\":{\"message\":\"internal error: reply serialization failed\"}}\n",
+        );
+    }
+    line
+}

@@ -52,6 +52,85 @@ use crate::ServeError;
 /// [`PlanServer::shutdown`].
 const HANDLER_READ_TIMEOUT: Duration = Duration::from_millis(100);
 
+/// First back-off after a transient `accept()` failure (EMFILE & friends).
+/// Doubles per consecutive failure up to [`ACCEPT_BACKOFF_MAX`], resets on
+/// the next successful accept. Without this, an fd-exhausted acceptor spins
+/// at 100% CPU retrying the same doomed `accept()`.
+pub(crate) const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(10);
+
+/// Ceiling on the acceptor back-off; also bounds the extra shutdown
+/// latency a backed-off threaded acceptor can add.
+pub(crate) const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(500);
+
+/// Which connection layer carries accept/read/write traffic. Search work
+/// always runs on the synchronous [`WorkerPool`] either way — the I/O
+/// model only decides how bytes move between sockets and dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoModel {
+    /// One handler thread per connection (the original layer). Fine for
+    /// dozens of clients; threads scale O(connections).
+    Threads,
+    /// A single epoll readiness loop owns every socket (Linux only):
+    /// nonblocking reads into per-connection frame buffers, write queues
+    /// with partial-write resumption, requests fanned onto a bounded
+    /// dispatcher pool. Threads scale O(workers + dispatchers), so
+    /// thousands of idle-ish connections cost one loop.
+    Epoll,
+}
+
+impl IoModel {
+    /// Stable lowercase CLI label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IoModel::Threads => "threads",
+            IoModel::Epoll => "epoll",
+        }
+    }
+
+    /// The default for this build target: `epoll` on Linux, `threads`
+    /// elsewhere. The `QSDNN_SERVE_IO` environment variable (values
+    /// `threads`/`epoll`) overrides it, which is how CI runs the whole
+    /// e2e suite once per connection layer without touching every test.
+    ///
+    /// # Panics
+    ///
+    /// On an unparseable `QSDNN_SERVE_IO` value. The variable exists
+    /// solely to select the layer under test; silently falling back to
+    /// the platform default would run one layer twice while claiming
+    /// both-layer coverage.
+    pub fn platform_default() -> IoModel {
+        if let Ok(v) = std::env::var("QSDNN_SERVE_IO") {
+            match v.parse() {
+                Ok(io) => return io,
+                Err(e) => panic!("invalid QSDNN_SERVE_IO: {e}"),
+            }
+        }
+        if cfg!(target_os = "linux") {
+            IoModel::Epoll
+        } else {
+            IoModel::Threads
+        }
+    }
+}
+
+impl std::str::FromStr for IoModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "threads" => Ok(IoModel::Threads),
+            "epoll" => Ok(IoModel::Epoll),
+            other => Err(format!("unknown io model `{other}` (threads|epoll)")),
+        }
+    }
+}
+
+impl std::fmt::Display for IoModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Default per-connection cap on tagged requests in flight. Matches
 /// [`crate::PlanClient`]'s default submission window so a defaulted client
 /// never saturates the cap (which would stall the server's reader and,
@@ -89,6 +168,16 @@ pub struct ServerConfig {
     /// Bound on the scenario-transfer index
     /// (0 = [`crate::transfer::DEFAULT_INDEX_ENTRIES`]).
     pub index_entries: usize,
+    /// Connection layer ([`IoModel::platform_default`] by default:
+    /// `epoll` on Linux, `threads` elsewhere, `QSDNN_SERVE_IO` overrides).
+    pub io: IoModel,
+    /// Dispatcher threads for the epoll layer (0 = one per search worker,
+    /// at least 4). Dispatchers run whole requests — blocking on cache
+    /// single-flight waits and portfolio fan-in — and are deliberately a
+    /// *separate* pool from the search workers (the nested-pool trap).
+    /// Unused by the threaded layer, which spawns dispatchers per tagged
+    /// request.
+    pub dispatchers: usize,
 }
 
 impl Default for ServerConfig {
@@ -105,6 +194,8 @@ impl Default for ServerConfig {
             max_in_flight: 0,
             transfer: TransferMode::Auto,
             index_entries: 0,
+            io: IoModel::platform_default(),
+            dispatchers: 0,
         }
     }
 }
@@ -123,23 +214,32 @@ impl ServerConfig {
     }
 
     /// The effective per-connection in-flight cap (always ≥ 1).
-    fn in_flight_cap(&self) -> usize {
+    pub(crate) fn in_flight_cap(&self) -> usize {
         if self.max_in_flight == 0 {
             DEFAULT_MAX_IN_FLIGHT
         } else {
             self.max_in_flight
         }
     }
+
+    /// The effective epoll dispatcher-pool size, given the search pool.
+    pub(crate) fn dispatcher_count(&self, workers: usize) -> usize {
+        if self.dispatchers == 0 {
+            workers.max(4)
+        } else {
+            self.dispatchers
+        }
+    }
 }
 
-struct ServiceState {
-    pool: WorkerPool,
+pub(crate) struct ServiceState {
+    pub(crate) pool: WorkerPool,
     plans: PlanCache<qsdnn::PortfolioOutcome>,
     profiles: PlanCache<CostLut>,
     /// Scenario-transfer index, maintained alongside plan-cache inserts
     /// and consulted on plan-cache misses (unless transfer is off).
     index: ScenarioIndex,
-    config: ServerConfig,
+    pub(crate) config: ServerConfig,
     started: Instant,
     requests: AtomicU64,
     plans_served: AtomicU64,
@@ -150,10 +250,12 @@ struct ServiceState {
     /// `(sum, count)` of donor distances over transfer hits.
     donor_distance: Mutex<(f64, u64)>,
     /// Tagged (v2) requests dispatched.
-    pipelined: AtomicU64,
+    pub(crate) pipelined: AtomicU64,
     /// Highest per-connection in-flight depth observed.
     in_flight_peak: AtomicU64,
-    shutting_down: AtomicBool,
+    /// Transient `accept()` failures; each one backs the acceptor off.
+    pub(crate) accept_errors: AtomicU64,
+    pub(crate) shutting_down: AtomicBool,
     /// Live connection-handler threads, joined on shutdown so no handler
     /// outlives the server (each observes `shutting_down` within
     /// [`HANDLER_READ_TIMEOUT`]).
@@ -161,7 +263,7 @@ struct ServiceState {
 }
 
 impl ServiceState {
-    fn new(config: ServerConfig) -> Result<Arc<ServiceState>, ServeError> {
+    pub(crate) fn new(config: ServerConfig) -> Result<Arc<ServiceState>, ServeError> {
         let plans = config.configure_cache(match &config.spill_dir {
             Some(dir) => PlanCache::with_spill_dir(dir)?,
             None => PlanCache::new(),
@@ -202,6 +304,7 @@ impl ServiceState {
             donor_distance: Mutex::new((0.0, 0)),
             pipelined: AtomicU64::new(0),
             in_flight_peak: AtomicU64::new(0),
+            accept_errors: AtomicU64::new(0),
             shutting_down: AtomicBool::new(false),
             handlers: Mutex::new(Vec::new()),
         }))
@@ -649,6 +752,7 @@ impl ServiceState {
                     }
                 },
                 index_entries: self.index.len() as u64,
+                accept_errors: self.accept_errors.load(Ordering::Relaxed),
             }),
         }
     }
@@ -656,7 +760,7 @@ impl ServiceState {
     /// [`ServiceState::handle`] with a panic firewall: a handler bug
     /// answers the request with an error instead of unwinding through the
     /// connection (v1) or silently leaking an in-flight permit (v2).
-    fn dispatch(&self, req: Request) -> Response {
+    pub(crate) fn dispatch(&self, req: Request) -> Response {
         catch_unwind(AssertUnwindSafe(|| self.handle(req))).unwrap_or_else(|panic| {
             let reason = panic
                 .downcast_ref::<&str>()
@@ -669,7 +773,7 @@ impl ServiceState {
         })
     }
 
-    fn note_in_flight(&self, depth: usize) {
+    pub(crate) fn note_in_flight(&self, depth: usize) {
         self.in_flight_peak
             .fetch_max(depth as u64, Ordering::Relaxed);
     }
@@ -707,11 +811,27 @@ fn donor_qtable(entry: &ScenarioEntry, outcome: &PortfolioOutcome) -> Option<QTa
     QTable::from_best_path(&dims, assignment, &costs)
 }
 
+/// The connection layer actually running behind a [`PlanServer`].
+enum IoRuntime {
+    /// Threaded layer: one acceptor thread; per-connection handlers are
+    /// tracked in [`ServiceState::handlers`].
+    Threads { acceptor: JoinHandle<()> },
+    /// Epoll layer: one reactor thread owns every socket; `waker` pokes
+    /// its wakeup pipe; `dispatchers` is the bounded request pool, drained
+    /// on shutdown after the reactor joins.
+    #[cfg(target_os = "linux")]
+    Epoll {
+        reactor: JoinHandle<()>,
+        waker: crate::reactor::Waker,
+        dispatchers: Arc<WorkerPool>,
+    },
+}
+
 /// A running plan-compilation server.
 pub struct PlanServer {
     state: Arc<ServiceState>,
     addr: SocketAddr,
-    acceptor: Option<JoinHandle<()>>,
+    runtime: Option<IoRuntime>,
 }
 
 impl PlanServer {
@@ -719,21 +839,43 @@ impl PlanServer {
     ///
     /// # Errors
     ///
-    /// Fails when the address cannot be bound or the spill directory cannot
-    /// be created.
+    /// Fails when the address cannot be bound, the spill directory cannot
+    /// be created, or `io: epoll` is requested off Linux.
     pub fn start(config: ServerConfig) -> Result<PlanServer, ServeError> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let io = config.io;
         let state = ServiceState::new(config)?;
-        let acceptor_state = Arc::clone(&state);
-        let acceptor = std::thread::Builder::new()
-            .name("qsdnn-acceptor".into())
-            .spawn(move || accept_loop(&listener, &acceptor_state))
-            .expect("spawn acceptor");
+        let runtime = match io {
+            IoModel::Threads => {
+                let acceptor_state = Arc::clone(&state);
+                let acceptor = std::thread::Builder::new()
+                    .name("qsdnn-acceptor".into())
+                    .spawn(move || accept_loop(&listener, &acceptor_state))
+                    .expect("spawn acceptor");
+                IoRuntime::Threads { acceptor }
+            }
+            #[cfg(target_os = "linux")]
+            IoModel::Epoll => {
+                let (reactor, waker, dispatchers) =
+                    crate::reactor::start(listener, Arc::clone(&state))?;
+                IoRuntime::Epoll {
+                    reactor,
+                    waker,
+                    dispatchers,
+                }
+            }
+            #[cfg(not(target_os = "linux"))]
+            IoModel::Epoll => {
+                return Err(ServeError::BadRequest(
+                    "io model `epoll` is only available on Linux; use `threads`".into(),
+                ))
+            }
+        };
         Ok(PlanServer {
             state,
             addr,
-            acceptor: Some(acceptor),
+            runtime: Some(runtime),
         })
     }
 
@@ -742,23 +884,51 @@ impl PlanServer {
         self.addr
     }
 
-    /// Stops accepting, wakes the acceptor and joins it, then joins every
-    /// connection handler. Handlers blocked in `read` observe the flag
+    /// The connection layer this server runs on.
+    pub fn io_model(&self) -> IoModel {
+        self.state.config.io
+    }
+
+    /// Stops accepting and joins the connection layer.
+    ///
+    /// Threaded layer: wakes the acceptor, joins it, then joins every
+    /// connection handler — handlers blocked in `read` observe the flag
     /// within `HANDLER_READ_TIMEOUT` (100 ms), finish any in-flight
-    /// request and exit — none outlive this call.
+    /// request and exit. Epoll layer: wakes the reactor, which drains
+    /// in-flight requests and queued replies (bounded by its drain
+    /// deadline), joins it, then drains the dispatcher pool. Either way,
+    /// no server thread outlives this call.
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     fn stop(&mut self) {
-        if let Some(handle) = self.acceptor.take() {
-            self.state.shutting_down.store(true, Ordering::SeqCst);
-            // Poke the blocking accept() so the loop observes the flag.
-            let _ = TcpStream::connect(self.addr);
-            let _ = handle.join();
-            let handlers = std::mem::take(&mut *self.state.handlers.lock().expect("handlers lock"));
-            for h in handlers {
-                let _ = h.join();
+        let Some(runtime) = self.runtime.take() else {
+            return;
+        };
+        self.state.shutting_down.store(true, Ordering::SeqCst);
+        match runtime {
+            IoRuntime::Threads { acceptor } => {
+                // Poke the blocking accept() so the loop observes the flag.
+                let _ = TcpStream::connect(self.addr);
+                let _ = acceptor.join();
+                let handlers =
+                    std::mem::take(&mut *self.state.handlers.lock().expect("handlers lock"));
+                for h in handlers {
+                    let _ = h.join();
+                }
+            }
+            #[cfg(target_os = "linux")]
+            IoRuntime::Epoll {
+                reactor,
+                waker,
+                dispatchers,
+            } => {
+                waker.wake();
+                let _ = reactor.join();
+                // The reactor's own Arc dropped when its thread ended;
+                // dropping ours drains and joins the dispatcher threads.
+                drop(dispatchers);
             }
         }
     }
@@ -771,11 +941,32 @@ impl Drop for PlanServer {
 }
 
 fn accept_loop(listener: &TcpListener, state: &Arc<ServiceState>) {
-    for stream in listener.incoming() {
+    let mut backoff = ACCEPT_BACKOFF_MIN;
+    loop {
+        let stream = listener.accept();
         if state.shutting_down.load(Ordering::SeqCst) {
             return;
         }
-        let Ok(stream) = stream else { continue };
+        let stream = match stream {
+            Ok((stream, _)) => {
+                backoff = ACCEPT_BACKOFF_MIN;
+                stream
+            }
+            // A peer that completed the handshake and reset before we
+            // accepted killed one queued connection, nothing more — the
+            // conventional response is an immediate retry, not a pause
+            // that delays every legitimate client behind it.
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionAborted => continue,
+            Err(_) => {
+                // Resource exhaustion (EMFILE, ENFILE, ENOBUFS, ENOMEM…):
+                // count it and back off instead of spinning — retrying
+                // instantly fails the same way and pins a core.
+                state.accept_errors.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
+                continue;
+            }
+        };
         let conn_state = Arc::clone(state);
         let spawned = std::thread::Builder::new()
             .name("qsdnn-conn".into())
@@ -868,6 +1059,23 @@ fn read_loop(
             {
                 // Idle timeout: any half-received line stays in `partial`;
                 // loop around to re-check the shutdown flag.
+                continue;
+            }
+            Err(ServeError::Io(e)) if e.kind() == std::io::ErrorKind::InvalidData => {
+                // A line that is not valid UTF-8 cannot be parsed, but
+                // `read_line` consumed it through its terminator, so
+                // framing resyncs at the next line. `read_line` only
+                // truncates the *newly appended* bytes on failure — a
+                // valid prefix carried in `partial` across an earlier
+                // read timeout would otherwise prepend itself to the next
+                // request, so the whole offending line is discarded here.
+                // Answer and keep the connection — the identical contract
+                // (and message) as the epoll layer, pinned by the
+                // io-equivalence test.
+                partial.clear();
+                shared.write(&Response::Error {
+                    message: "request line is not valid UTF-8".to_string(),
+                })?;
                 continue;
             }
             Err(e) => return Err(e),

@@ -1,0 +1,171 @@
+//! Acceptance: the epoll connection layer is a transport swap, not a
+//! semantics change. One request script runs against a threaded server
+//! and an epoll server with identical configs; every response must match
+//! bit for bit — modulo wall-clock fields (`wall_time_ms`, `uptime_ms`),
+//! which no transport can reproduce deterministically and which are
+//! zeroed before comparison.
+
+#![cfg(target_os = "linux")]
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use qsdnn::engine::{AnalyticalPlatform, Mode, Objective, Profiler};
+use qsdnn::nn::zoo;
+use qsdnn_serve::protocol::{
+    write_message, PlanRequest, PlanResponse, Request, Response, SearchRequest, StatsResponse,
+    TransferMode,
+};
+use qsdnn_serve::{IoModel, PlanClient, PlanServer, ServerConfig};
+
+fn config(io: IoModel) -> ServerConfig {
+    ServerConfig {
+        io,
+        threads: 2,
+        max_in_flight: 4,
+        ..ServerConfig::default()
+    }
+}
+
+fn plan_request(network: &str, episodes: usize) -> PlanRequest {
+    PlanRequest {
+        network: network.to_string(),
+        batch: 1,
+        mode: Mode::Gpgpu,
+        objective: Objective::Latency,
+        episodes,
+        seeds: vec![0x5EED, 7],
+        transfer: TransferMode::Off,
+    }
+}
+
+/// Zeroes the only nondeterministic fields a plan response carries.
+fn normalize(mut plan: PlanResponse) -> PlanResponse {
+    plan.best.wall_time_ms = 0.0;
+    for member in &mut plan.members {
+        member.wall_time_ms = 0.0;
+    }
+    plan
+}
+
+/// The counters a transport must not change. Timing (`uptime_ms`) and
+/// sizing that tracks the host (`workers`) are excluded.
+fn stat_fingerprint(stats: &StatsResponse) -> Vec<u64> {
+    vec![
+        stats.version as u64,
+        stats.requests,
+        stats.plans,
+        stats.pipelined,
+        stats.max_in_flight,
+        stats.plan_cache.hits,
+        stats.plan_cache.misses,
+        stats.plan_cache.coalesced,
+        stats.plan_cache.entries,
+        stats.profile_cache.entries,
+        stats.accept_errors,
+        stats.index_entries,
+    ]
+}
+
+/// Runs the whole script against one server and returns every observation
+/// in a deterministic order, normalized for comparison.
+fn run_script(io: IoModel) -> Vec<String> {
+    let server = PlanServer::start(config(io)).expect("start server");
+    let addr = server.local_addr();
+    let mut out = Vec::new();
+
+    // 1. Raw framing: handshake, version rejection, a blank keepalive
+    //    line, a malformed line, and a wrong-shape envelope.
+    let mut raw = TcpStream::connect(addr).expect("raw connect");
+    let mut reader = BufReader::new(raw.try_clone().expect("clone"));
+    let send_recv = |conn: &mut TcpStream, reader: &mut BufReader<TcpStream>, bytes: &[u8]| {
+        conn.write_all(bytes).expect("write");
+        conn.flush().expect("flush");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("reply");
+        line
+    };
+    let mut ping = Vec::new();
+    write_message(&mut ping, &Request::Ping { version: 1 }).expect("serialize");
+    out.push(send_recv(&mut raw, &mut reader, &ping));
+    let mut bad_ping = Vec::new();
+    write_message(&mut bad_ping, &Request::Ping { version: 99 }).expect("serialize");
+    out.push(send_recv(&mut raw, &mut reader, &bad_ping));
+    // A keepalive newline produces no reply; prepend it to a real request
+    // to show both layers skip it identically.
+    let mut with_keepalive = b"\n  \n".to_vec();
+    with_keepalive.extend_from_slice(&ping);
+    out.push(send_recv(&mut raw, &mut reader, &with_keepalive));
+    out.push(send_recv(&mut raw, &mut reader, b"{totally not json\n"));
+    out.push(send_recv(&mut raw, &mut reader, b"{\"id\":3}\n"));
+    // Invalid UTF-8: both layers must answer the same error and keep the
+    // connection usable (the next step reuses it).
+    out.push(send_recv(&mut raw, &mut reader, b"\"Stats\xff\xfe\"\n"));
+    out.push(send_recv(&mut raw, &mut reader, &ping));
+    // The same, but with a valid prefix stalled across the threaded
+    // layer's 100 ms read timeout before the invalid bytes arrive: the
+    // whole line must be discarded — a stale prefix must not prepend
+    // itself to the next (valid) request on either layer.
+    raw.write_all(b"\"Sta").expect("valid prefix");
+    raw.flush().expect("flush");
+    std::thread::sleep(std::time::Duration::from_millis(250));
+    out.push(send_recv(&mut raw, &mut reader, b"ts\xff\xfe\"\n"));
+    out.push(send_recv(&mut raw, &mut reader, &ping));
+    drop(raw);
+
+    // 2. Typed client: cold plan, cached repeat, a search over a
+    //    client-supplied LUT, and a rejected request.
+    let mut client = PlanClient::connect(addr).expect("connect");
+    let cold = client.plan(plan_request("tiny_cnn", 140)).expect("cold");
+    assert!(!cold.cache_hit, "first plan must be a fresh search");
+    out.push(format!("{:?}", normalize(cold)));
+    let warm = client.plan(plan_request("tiny_cnn", 140)).expect("hit");
+    assert!(warm.cache_hit, "repeat must be cache-served");
+    out.push(format!("{:?}", normalize(warm)));
+    let lut = Profiler::with_repeats(AnalyticalPlatform::tx2(), 3)
+        .profile(&zoo::by_name("toy_branchy", 1).expect("zoo"), Mode::Gpgpu);
+    match client
+        .request(&Request::Search(SearchRequest {
+            lut,
+            objective: Objective::Latency,
+            episodes: 120,
+            seeds: vec![11],
+            transfer: TransferMode::Off,
+        }))
+        .expect("search")
+    {
+        Response::Plan(plan) => out.push(format!("{:?}", normalize(plan))),
+        other => panic!("search answered with {other:?}"),
+    }
+    let err = client
+        .plan(plan_request("no_such_network", 10))
+        .expect_err("unknown network");
+    out.push(err.to_string());
+
+    // 3. Pipelined batch (tagged envelopes through the cap), collected in
+    //    request order.
+    let reqs: Vec<PlanRequest> = (0..6)
+        .map(|i| plan_request(["tiny_cnn", "toy_branchy"][i % 2], 150 + i))
+        .collect();
+    for plan in client.plan_many(&reqs).expect("pipelined batch") {
+        out.push(format!("{:?}", normalize(plan)));
+    }
+
+    // 4. Final counters: both transports must have counted the same
+    //    requests, plans, pipelined envelopes, hits and misses.
+    let stats = client.stats().expect("stats");
+    out.push(format!("{:?}", stat_fingerprint(&stats)));
+
+    server.shutdown();
+    out
+}
+
+#[test]
+fn threaded_and_epoll_servers_answer_the_same_script_bit_identically() {
+    let threaded = run_script(IoModel::Threads);
+    let epoll = run_script(IoModel::Epoll);
+    assert_eq!(threaded.len(), epoll.len());
+    for (i, (t, e)) in threaded.iter().zip(&epoll).enumerate() {
+        assert_eq!(t, e, "script step {i} diverged between threads and epoll");
+    }
+}
