@@ -1,0 +1,151 @@
+//! Observability overhead on the hot path: cached plan requests (the
+//! fastest thing the server does end to end) against two identically
+//! configured servers, one with instrumentation on (spans, histograms,
+//! gauges — the default) and one with `instrument: false`. The run
+//! fails if spans cost more than 5% of hot-hit-path throughput, and
+//! records the measurement in `crates/bench/results/obs_overhead.json`.
+//!
+//! Method: one pipelined (protocol-v2) connection per server replays the
+//! same warm plan batch for `ROUNDS` rounds per trial; the best of
+//! `TRIALS` interleaved trials is kept per server, which suppresses
+//! scheduler noise the way min-of-N does in the micro benches.
+
+use serde::Serialize;
+
+use qsdnn::engine::{Mode, Objective};
+use qsdnn_serve::protocol::{PlanRequest, TransferMode};
+use qsdnn_serve::{PlanClient, PlanServer, ServerConfig};
+
+const TRIALS: usize = 7;
+const ROUNDS: usize = 200;
+const BATCH: usize = 32;
+const MAX_OVERHEAD_PCT: f64 = 5.0;
+
+#[derive(Serialize)]
+struct SideReport {
+    instrument: bool,
+    best_round_trip_s: f64,
+    requests_per_s: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    bench: String,
+    trials: usize,
+    rounds: usize,
+    requests_per_round: usize,
+    off: SideReport,
+    on: SideReport,
+    overhead_pct: f64,
+}
+
+fn config(instrument: bool) -> ServerConfig {
+    ServerConfig {
+        threads: 2,
+        max_in_flight: BATCH,
+        instrument,
+        ..ServerConfig::default()
+    }
+}
+
+fn requests() -> Vec<PlanRequest> {
+    (0..BATCH)
+        .map(|i| PlanRequest {
+            network: ["tiny_cnn", "toy_branchy"][i % 2].to_string(),
+            batch: 1,
+            mode: Mode::Gpgpu,
+            objective: Objective::Latency,
+            episodes: 120 + i % 4,
+            seeds: vec![0x5EED],
+            transfer: TransferMode::Off,
+            trace: false,
+        })
+        .collect()
+}
+
+/// One trial: `ROUNDS` pipelined replays of the warm batch; returns the
+/// wall seconds for the whole trial.
+fn trial(client: &mut PlanClient, reqs: &[PlanRequest]) -> f64 {
+    let started = std::time::Instant::now();
+    for _ in 0..ROUNDS {
+        let plans = client.plan_many(reqs).expect("pipelined batch");
+        for plan in &plans {
+            assert!(plan.cache_hit, "hot path must stay cache-served");
+        }
+    }
+    started.elapsed().as_secs_f64()
+}
+
+fn main() {
+    println!("QS-DNN reproduction — observability overhead on the cached-plan hot path");
+    let reqs = requests();
+
+    let mut servers = Vec::new();
+    let mut clients = Vec::new();
+    for instrument in [false, true] {
+        let server = PlanServer::start(config(instrument)).expect("start server");
+        let mut client = PlanClient::connect(server.local_addr()).expect("connect");
+        // Populate the cache (cold searches) and fault in every code
+        // path once before anything is timed.
+        let warmup = client.plan_many(&reqs).expect("warmup batch");
+        assert_eq!(warmup.len(), reqs.len());
+        trial(&mut client, &reqs);
+        servers.push(server);
+        clients.push(client);
+    }
+
+    // Interleave trials so slow drift (thermal, noisy neighbors) hits
+    // both sides equally; keep the best trial per side.
+    let mut best = [f64::INFINITY; 2];
+    for t in 0..TRIALS {
+        for (side, client) in clients.iter_mut().enumerate() {
+            let s = trial(client, &reqs);
+            best[side] = best[side].min(s);
+            println!(
+                "trial {}/{TRIALS} instrument={} {s:.4} s (best {:.4} s)",
+                t + 1,
+                side == 1,
+                best[side]
+            );
+        }
+    }
+
+    let per_trial = (ROUNDS * BATCH) as f64;
+    let side = |i: usize| SideReport {
+        instrument: i == 1,
+        best_round_trip_s: best[i],
+        requests_per_s: per_trial / best[i],
+    };
+    let overhead_pct = (best[1] - best[0]) / best[0] * 100.0;
+    println!(
+        "\nhot hit path: {:.0} req/s uninstrumented, {:.0} req/s instrumented \
+         -> {overhead_pct:+.2}% overhead",
+        per_trial / best[0],
+        per_trial / best[1]
+    );
+    assert!(
+        overhead_pct < MAX_OVERHEAD_PCT,
+        "instrumentation costs {overhead_pct:.2}% on the hot path (budget {MAX_OVERHEAD_PCT}%)"
+    );
+
+    let report = BenchReport {
+        bench: "obs_overhead".into(),
+        trials: TRIALS,
+        rounds: ROUNDS,
+        requests_per_round: BATCH,
+        off: side(0),
+        on: side(1),
+        overhead_pct,
+    };
+    let json = serde_json::to_string(&report).expect("serializes");
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("results")
+        .join("obs_overhead.json");
+    std::fs::create_dir_all(out.parent().expect("has parent")).expect("create results dir");
+    std::fs::write(&out, &json).expect("write bench json");
+    for server in servers {
+        server.shutdown();
+    }
+    println!("instrumentation stays under the {MAX_OVERHEAD_PCT}% budget ✔");
+    println!("recorded {}", out.display());
+}

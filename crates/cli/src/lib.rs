@@ -23,7 +23,10 @@ use qsdnn::baselines::{
 use qsdnn::engine::{AnalyticalPlatform, CostLut, MeasuredPlatform, Mode, Objective, Profiler};
 use qsdnn::nn::zoo;
 use qsdnn::{ApproxQsDnnSearch, QsDnnConfig, QsDnnSearch, SearchReport};
-use qsdnn_serve::protocol::{PlanRequest, PlanResponse, ProfileRequest, TransferMode};
+use qsdnn_serve::protocol::{
+    MetricValue, MetricsResponse, PlanRequest, PlanResponse, ProfileRequest, TraceInfo,
+    TransferMode,
+};
 use qsdnn_serve::{EvictionPolicy, IoModel, PlanClient, PlanServer, ServerConfig};
 
 /// A parsed command line.
@@ -122,14 +125,18 @@ pub fn usage() -> String {
      qsdnn-cli serve [--addr host:port] [--threads N] [--spill <dir>] [--repeats N]\n            \
      [--cache-shards N] [--eviction lru|cost] [--cache-entries N] [--max-in-flight N]\n            \
      [--transfer auto|off] [--index-entries N] [--io threads|epoll] [--dispatchers N]\n            \
+     [--metrics-addr host:port] [--slow-ms N]\n            \
      (--io defaults to epoll on Linux: one readiness loop serves thousands of\n            \
-     connections; threads elsewhere)\n  \
-     qsdnn-cli submit --addr <host:port> [--request plan|profile|search|stats]\n            \
+     connections; threads elsewhere. --metrics-addr serves Prometheus text at\n            \
+     /metrics; requests slower than --slow-ms are logged with a stage breakdown)\n  \
+     qsdnn-cli submit --addr <host:port> [--request plan|profile|search|stats|metrics]\n            \
      [--network <name> | --networks a,b,c] [--batch N | --batches 1,2,4,8]\n            \
      [--mode cpu|gpgpu] [--objective <obj>] [--episodes N] [--seeds a,b,c]\n            \
-     [--transfer auto|off] [--repeats N] [--lut <lut.json>]\n            \
+     [--transfer auto|off] [--repeats N] [--lut <lut.json>] [--trace true]\n            \
+     [--histograms true]\n            \
      (--networks pipelines a batch over one connection; --batches sweeps\n            \
-     batch sizes so each warm-starts from the previous one)\n  \
+     batch sizes so each warm-starts from the previous one; --trace echoes\n            \
+     per-stage server timings; --histograms adds latency quantiles to stats)\n  \
      qsdnn-cli help | --help | -h"
         .to_string()
 }
@@ -426,6 +433,80 @@ fn format_plan(plan: &PlanResponse) -> String {
         plan.best.best_assignment.len(),
         plan.best.best_assignment
     ));
+    if let Some(trace) = &plan.trace {
+        out.push('\n');
+        out.push_str(&format_trace(trace));
+    }
+    out
+}
+
+/// Renders a `trace: true` stage breakdown as one line per stage.
+fn format_trace(trace: &TraceInfo) -> String {
+    let mut out = format!("server span ({:.3} ms total):", trace.total_ms);
+    for s in &trace.stages {
+        out.push_str(&format!("\n  {:<10} {:>10.3} ms", s.stage, s.ms));
+    }
+    out
+}
+
+/// Renders a metrics snapshot: histogram quantile tables first, then
+/// counters and gauges, one labeled sample per line.
+fn format_metrics(metrics: &MetricsResponse) -> String {
+    let label = |labels: &[(String, String)]| -> String {
+        if labels.is_empty() {
+            String::new()
+        } else {
+            format!(
+                "{{{}}}",
+                labels
+                    .iter()
+                    .map(|(k, v)| format!("{k}=\"{v}\""))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )
+        }
+    };
+    let mut out = format!(
+        "server metrics (up {:.1} s)\n\n{:<46} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        metrics.uptime_ms as f64 / 1e3,
+        "histogram",
+        "count",
+        "p50_us",
+        "p90_us",
+        "p99_us",
+        "p999_us"
+    );
+    for family in &metrics.families {
+        for sample in &family.samples {
+            if let MetricValue::Histogram(h) = &sample.value {
+                out.push_str(&format!(
+                    "\n{:<46} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                    format!("{}{}", family.name, label(&sample.labels)),
+                    h.count,
+                    h.p50_us,
+                    h.p90_us,
+                    h.p99_us,
+                    h.p999_us
+                ));
+            }
+        }
+    }
+    out.push_str("\n\ncounters & gauges:");
+    for family in &metrics.families {
+        for sample in &family.samples {
+            match &sample.value {
+                MetricValue::Counter(v) => out.push_str(&format!(
+                    "\n  {:<46} {v}",
+                    format!("{}{}", family.name, label(&sample.labels))
+                )),
+                MetricValue::Gauge(v) => out.push_str(&format!(
+                    "\n  {:<46} {v}",
+                    format!("{}{}", family.name, label(&sample.labels))
+                )),
+                MetricValue::Histogram(_) => {}
+            }
+        }
+    }
     out
 }
 
@@ -445,6 +526,8 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
             "index-entries",
             "io",
             "dispatchers",
+            "metrics-addr",
+            "slow-ms",
         ],
     )?;
     let addr = args
@@ -469,6 +552,8 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
             None => default_io,
         },
         dispatchers: opt_parse(args, "dispatchers", 0usize)?,
+        metrics_addr: args.options.get("metrics-addr").cloned(),
+        slow_ms: opt_parse(args, "slow-ms", qsdnn_serve::DEFAULT_SLOW_MS)?,
         ..ServerConfig::default()
     };
     let spill_note = config
@@ -478,9 +563,13 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
         .unwrap_or_default();
     let io = config.io;
     let server = PlanServer::start(config).map_err(|e| e.to_string())?;
+    let metrics_note = server
+        .metrics_addr()
+        .map(|a| format!(", Prometheus metrics on http://{a}/metrics"))
+        .unwrap_or_default();
     eprintln!(
         "qsdnn-serve listening on {} ({io} connection layer; JSON-lines requests: \
-         profile/search/plan/stats){spill_note}",
+         profile/search/plan/stats/metrics){spill_note}{metrics_note}",
         server.local_addr()
     );
     // Serve until the process is killed.
@@ -506,6 +595,8 @@ fn cmd_submit(args: &Args) -> Result<String, String> {
             "transfer",
             "repeats",
             "lut",
+            "trace",
+            "histograms",
         ],
     )?;
     let addr = required(args, "addr")?;
@@ -522,6 +613,7 @@ fn cmd_submit(args: &Args) -> Result<String, String> {
     let episodes = opt_parse(args, "episodes", 0usize)?;
     let seeds = parse_seeds(args.options.get("seeds").map_or("", String::as_str))?;
     let transfer = parse_transfer(args.options.get("transfer").map_or("auto", String::as_str))?;
+    let trace = opt_parse(args, "trace", false)?;
     match kind {
         "plan" => {
             // `--batches 1,2,4,8` sweeps batch sizes for one network over
@@ -553,6 +645,7 @@ fn cmd_submit(args: &Args) -> Result<String, String> {
                             episodes,
                             seeds: seeds.clone(),
                             transfer,
+                            trace,
                         })
                         .map_err(|e| e.to_string())?;
                     let plan = client.wait_plan(ticket).map_err(|e| e.to_string())?;
@@ -594,6 +687,7 @@ fn cmd_submit(args: &Args) -> Result<String, String> {
                         episodes,
                         seeds: seeds.clone(),
                         transfer,
+                        trace,
                     })
                     .collect();
                 let started = std::time::Instant::now();
@@ -619,6 +713,7 @@ fn cmd_submit(args: &Args) -> Result<String, String> {
                     episodes,
                     seeds,
                     transfer,
+                    trace,
                 })
                 .map_err(|e| e.to_string())?;
             Ok(format_plan(&plan))
@@ -702,10 +797,19 @@ fn cmd_submit(args: &Args) -> Result<String, String> {
                     s.evictions
                 ));
             }
+            if opt_parse(args, "histograms", false)? {
+                let metrics = client.metrics().map_err(|e| e.to_string())?;
+                out.push_str("\n\n");
+                out.push_str(&format_metrics(&metrics));
+            }
             Ok(out)
         }
+        "metrics" => {
+            let metrics = client.metrics().map_err(|e| e.to_string())?;
+            Ok(format_metrics(&metrics))
+        }
         other => Err(format!(
-            "unknown request `{other}` (plan|profile|search|stats)"
+            "unknown request `{other}` (plan|profile|search|stats|metrics)"
         )),
     }
 }

@@ -13,6 +13,8 @@
 //! All entry points take `&self`/`&CostLut` and are `Send + Sync`, so
 //! members can be fanned out across threads without cloning the LUT.
 
+use std::time::Instant;
+
 use serde::{Deserialize, Serialize};
 
 use qsdnn_engine::{CostLut, Fnv64};
@@ -55,6 +57,20 @@ impl PortfolioMember {
         }
     }
 
+    /// Canonical method name — the low-cardinality form of [`label`]
+    /// (no seed), used as the observability histogram label.
+    ///
+    /// [`label`]: PortfolioMember::label
+    pub fn method(&self) -> &'static str {
+        match self {
+            PortfolioMember::QsDnn(_) => "qs-dnn",
+            PortfolioMember::Random { .. } => "random",
+            PortfolioMember::Annealing(_) => "annealing",
+            PortfolioMember::ChainDp => "chain-dp",
+            PortfolioMember::Pbqp => "pbqp",
+        }
+    }
+
     /// Runs this member with a transfer donor available: QS-DNN members in
     /// warm-start mode seed from the donor ([`QsDnnSearch::run_warm`],
     /// falling back to cold when the mapping transfers nothing); every
@@ -67,8 +83,12 @@ impl PortfolioMember {
     ) -> Option<SearchReport> {
         match self {
             PortfolioMember::QsDnn(cfg) => {
-                Some(QsDnnSearch::new(cfg.clone()).run_warm(lut, donor, mapping))
+                let start = Instant::now();
+                let report = QsDnnSearch::new(cfg.clone()).run_warm(lut, donor, mapping);
+                observe_member_wall(self.method(), start);
+                Some(report)
             }
+            // Delegation records the member's wall time in `run`.
             other => other.run(lut),
         }
     }
@@ -76,26 +96,26 @@ impl PortfolioMember {
     /// Runs this member against a LUT. Returns `None` when the member is
     /// inapplicable (chain DP on a branchy network).
     pub fn run(&self, lut: &CostLut) -> Option<SearchReport> {
-        match self {
+        let start = Instant::now();
+        let report = match self {
             PortfolioMember::QsDnn(cfg) => Some(QsDnnSearch::new(cfg.clone()).run(lut)),
             PortfolioMember::Random { episodes, seed } => {
                 Some(RandomSearch::new(*episodes, *seed).run(lut))
             }
             PortfolioMember::Annealing(cfg) => Some(SimulatedAnnealing::new(cfg.clone()).run(lut)),
-            PortfolioMember::ChainDp => {
-                let (assign, cost) = solve_chain_dp(lut)?;
-                Some(SearchReport {
-                    method: "chain-dp".into(),
-                    network: lut.network().to_string(),
-                    best_assignment: assign,
-                    best_cost_ms: cost,
-                    episodes: 0,
-                    curve: Vec::new(),
-                    wall_time_ms: 0.0,
-                })
-            }
+            PortfolioMember::ChainDp => solve_chain_dp(lut).map(|(assign, cost)| SearchReport {
+                method: "chain-dp".into(),
+                network: lut.network().to_string(),
+                best_assignment: assign,
+                best_cost_ms: cost,
+                episodes: 0,
+                curve: Vec::new(),
+                wall_time_ms: 0.0,
+            }),
             PortfolioMember::Pbqp => Some(pbqp_search(lut)),
-        }
+        };
+        observe_member_wall(self.method(), start);
+        report
     }
 
     /// Feeds everything that can change this member's outcome into a
@@ -139,6 +159,18 @@ impl PortfolioMember {
             PortfolioMember::Pbqp => h.write_str("pbqp"),
         }
     }
+}
+
+/// Records one member run's wall time into the process-global registry,
+/// labeled by canonical method name.
+fn observe_member_wall(method: &'static str, start: Instant) {
+    qsdnn_obs::global()
+        .histogram(
+            "qsdnn_portfolio_member_us",
+            "Wall time of one portfolio member run, by method",
+            &[("method", method)],
+        )
+        .record_duration(start.elapsed());
 }
 
 /// Per-member outcome summary (kept even for losing members, so service

@@ -199,6 +199,10 @@ impl QsDnnSearch {
             best_assign = rollout;
         }
         let mut curve = Vec::with_capacity(total);
+        // ε-greedy policy-arm tallies; plain locals in the hot loop, folded
+        // into the global observability registry once per run.
+        let mut explored = 0u64;
+        let mut exploited = 0u64;
 
         for episode in 0..total {
             let eps = schedule.epsilon_for(episode);
@@ -210,8 +214,10 @@ impl QsDnnSearch {
             for l in 0..layers {
                 let n = lut.candidates(l).len();
                 let a = if rng.gen::<f64>() < eps {
+                    explored += 1;
                     rng.gen_range(0..n)
                 } else {
+                    exploited += 1;
                     q.best(l, prev).0
                 };
                 // Check for incompatibility & compute inference time of the
@@ -273,6 +279,30 @@ impl QsDnnSearch {
             best_cost = rollout_cost;
             best_assign = rollout;
         }
+
+        let registry = qsdnn_obs::global();
+        registry
+            .counter(
+                "qsdnn_search_episodes_total",
+                "Q-learning episodes executed",
+                &[],
+            )
+            .add(total as u64);
+        let actions_help = "Per-layer action choices, by epsilon-greedy policy arm";
+        registry
+            .counter(
+                "qsdnn_search_actions_total",
+                actions_help,
+                &[("policy", "explore")],
+            )
+            .add(explored);
+        registry
+            .counter(
+                "qsdnn_search_actions_total",
+                actions_help,
+                &[("policy", "exploit")],
+            )
+            .add(exploited);
 
         SearchReport {
             method: if seeded { "qs-dnn-warm" } else { "qs-dnn" }.into(),

@@ -81,6 +81,7 @@ impl<P: Platform> Profiler<P> {
 
     /// Runs Phase 1 and assembles the LUT.
     pub fn profile(&mut self, net: &Network, mode: Mode) -> CostLut {
+        let profile_start = std::time::Instant::now();
         let mut entries: Vec<LayerEntry> = Vec::with_capacity(net.len());
         // 1) Per-primitive benchmarking, averaged over repeats.
         let mut all_candidates: Vec<Vec<Primitive>> = Vec::with_capacity(net.len());
@@ -133,6 +134,21 @@ impl<P: Platform> Profiler<P> {
                 });
             }
         }
+        let registry = qsdnn_obs::global();
+        registry
+            .histogram(
+                "qsdnn_profile_us",
+                "Wall time of one Phase-1 profiling run (full network)",
+                &[],
+            )
+            .record_duration(profile_start.elapsed());
+        registry
+            .counter(
+                "qsdnn_profile_layers_total",
+                "Network layers profiled in Phase-1 runs",
+                &[],
+            )
+            .add(net.len() as u64);
         CostLut::from_parts(net.name(), self.platform.name(), mode, entries)
     }
 }

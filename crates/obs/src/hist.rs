@@ -1,0 +1,344 @@
+//! Log-linear bucketed histogram for latency distributions.
+//!
+//! Values are `u64` (the serve stack records microseconds). The bucket
+//! layout is HdrHistogram-style log-linear: each power-of-two octave is
+//! split into 8 linear sub-buckets, so the relative quantile error is
+//! bounded by 1/8 = 12.5% at every magnitude, from 1 µs to `u64::MAX`,
+//! with a fixed 496-bucket table and no allocation on record.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Sub-buckets per octave as a power of two (2^3 = 8).
+const SUB_BUCKET_BITS: u32 = 3;
+/// Linear sub-buckets per power-of-two octave.
+const SUB_BUCKETS: u64 = 1 << SUB_BUCKET_BITS;
+
+/// Total buckets needed to cover the full `u64` range.
+///
+/// Values below 8 get one bucket each; every octave `[2^k, 2^(k+1))` for
+/// `k` in `3..=63` contributes 8 sub-buckets: `8 + 61 * 8 = 496`.
+pub const NUM_BUCKETS: usize = (SUB_BUCKETS + (64 - SUB_BUCKET_BITS as u64) * SUB_BUCKETS) as usize;
+
+/// Bucket index for a recorded value.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    let msb = 63 - u64::from(v.leading_zeros());
+    let shift = msb - u64::from(SUB_BUCKET_BITS);
+    // The top sub-bucket term `v >> shift` lands in [8, 16), so octaves
+    // tile contiguously after the 8 unit buckets.
+    ((shift * SUB_BUCKETS) + (v >> shift)) as usize
+}
+
+/// Inclusive lower bound of a bucket.
+fn bucket_lower(index: usize) -> u64 {
+    let i = index as u64;
+    if i < SUB_BUCKETS {
+        return i;
+    }
+    let block = (i - SUB_BUCKETS) / SUB_BUCKETS;
+    let sub = (i - SUB_BUCKETS) % SUB_BUCKETS;
+    (SUB_BUCKETS + sub) << block
+}
+
+/// Inclusive upper bound of a bucket (the last bucket saturates at
+/// `u64::MAX`).
+fn bucket_upper(index: usize) -> u64 {
+    if index + 1 >= NUM_BUCKETS {
+        return u64::MAX;
+    }
+    bucket_lower(index + 1) - 1
+}
+
+/// A concurrent latency histogram.
+///
+/// Recording is two relaxed atomic adds; readers take a [`Histogram::snapshot`]
+/// (`Histogram::snapshot`) and do all analysis on the immutable copy.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .field("sum", &self.sum.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in whole microseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current state for analysis.
+    ///
+    /// Concurrent recording makes the copy only approximately atomic —
+    /// `count` is re-derived from the bucket copy so the snapshot is
+    /// always internally consistent.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`], mergeable across shards or
+/// processes that share the bucket layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (identity element for [`merge`](Self::merge)).
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Rebuilds a snapshot from raw `(bucket_index, count)` pairs plus a
+    /// value sum — the wire format used by the serve protocol. Indices
+    /// outside the table are ignored.
+    pub fn from_raw(entries: &[(usize, u64)], sum: u64) -> Self {
+        let mut snap = HistogramSnapshot::empty();
+        for &(index, n) in entries {
+            if index < NUM_BUCKETS {
+                snap.buckets[index] += n;
+                snap.count += n;
+            }
+        }
+        snap.sum = sum;
+        snap
+    }
+
+    /// Folds another snapshot into this one. Merging is commutative and
+    /// associative, so shard snapshots can be combined in any order.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean of recorded values, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile value
+    /// (`0.0 <= q <= 1.0`), or 0 when empty.
+    ///
+    /// The estimate is within one bucket boundary of the exact order
+    /// statistic: at most 12.5% relative error by construction.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(NUM_BUCKETS - 1)
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile estimate.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Non-empty buckets as `(index, upper_bound, count)` triples, in
+    /// ascending bucket order — the compact form used for wire snapshots
+    /// and Prometheus bucket lines.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i, bucket_upper(i), n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_tiles_the_u64_range() {
+        assert_eq!(NUM_BUCKETS, 496);
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(7), 7);
+        assert_eq!(bucket_index(8), 8);
+        assert_eq!(bucket_index(15), 15);
+        assert_eq!(bucket_index(16), 16);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        // Boundaries are contiguous: each bucket starts right after the
+        // previous one ends.
+        for i in 1..NUM_BUCKETS {
+            assert_eq!(
+                bucket_lower(i),
+                bucket_upper(i - 1).wrapping_add(1),
+                "gap at bucket {i}"
+            );
+        }
+        assert_eq!(bucket_upper(NUM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn recorded_values_land_between_their_bucket_bounds() {
+        for v in [0, 1, 7, 8, 9, 100, 1_000, 123_456, u64::MAX / 2, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(bucket_lower(i) <= v && v <= bucket_upper(i), "value {v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_known_distribution() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.sum(), 500_500);
+        // Exact p50 is 500; the bucket [448, 511] holds it.
+        let p50 = s.p50();
+        assert!((448..=511).contains(&500));
+        assert!((500..=511).contains(&p50), "p50 estimate {p50}");
+        let p99 = s.p99();
+        assert!((990..=1023).contains(&p99), "p99 estimate {p99}");
+        assert!(s.p999() >= s.p99() && s.p99() >= s.p90() && s.p90() >= s.p50());
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let both = Histogram::new();
+        for v in [3u64, 9, 81, 6561] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [1u64, 27, 243, 1_000_000] {
+            b.record(v);
+            both.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, both.snapshot());
+    }
+
+    #[test]
+    fn raw_roundtrip_preserves_the_distribution() {
+        let h = Histogram::new();
+        for v in [0u64, 5, 80, 1300, 99_999] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let raw: Vec<(usize, u64)> = s
+            .nonzero_buckets()
+            .iter()
+            .map(|&(i, _, n)| (i, n))
+            .collect();
+        assert_eq!(HistogramSnapshot::from_raw(&raw, s.sum()), s);
+    }
+
+    #[test]
+    fn empty_snapshot_is_a_merge_identity() {
+        let h = Histogram::new();
+        h.record_duration(Duration::from_micros(250));
+        let s = h.snapshot();
+        let mut merged = HistogramSnapshot::empty();
+        merged.merge(&s);
+        assert_eq!(merged, s);
+        assert_eq!(HistogramSnapshot::empty().quantile(0.99), 0);
+        assert_eq!(HistogramSnapshot::empty().mean(), 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Observability core for the QS-DNN workspace.
+//!
+//! Three pieces, all dependency-free:
+//!
+//! - **Instruments** — [`Counter`] (monotonic `u64`), [`Gauge`] (signed
+//!   level), and [`Histogram`] (log-linear bucketed latency distribution
+//!   with mergeable [`HistogramSnapshot`]s and p50/p90/p99/p999
+//!   extraction). All are lock-free atomics, safe to share via `Arc`
+//!   across worker pools and the reactor thread.
+//! - **[`Registry`]** — a named catalog of instruments that renders
+//!   point-in-time [`Snapshot`]s, including Prometheus text exposition.
+//!   A process-global registry ([`global`]) serves library-level
+//!   instrumentation (search episode counters, profiler timings); anything
+//!   that needs isolation (one server per test) owns its own `Registry`.
+//! - **[`log`]** — leveled structured events as JSON lines on stderr,
+//!   gated by the `QSDNN_LOG` environment variable.
+//!
+//! Recording on the hot path is one relaxed atomic add (plus one for the
+//! histogram sum); snapshotting is the only operation that takes a lock.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+mod hist;
+pub mod log;
+mod registry;
+
+pub use hist::{Histogram, HistogramSnapshot, NUM_BUCKETS};
+pub use registry::{FamilySnapshot, Kind, Registry, SampleSnapshot, SampleValue, Snapshot};
+
+/// A monotonically increasing event count.
+///
+/// All operations use relaxed ordering: counters are statistics, not
+/// synchronization.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A level that can move both ways (queue depth, open connections,
+/// high-water marks via [`Gauge::set_max`]).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Replaces the level.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Moves the level by `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Raises the level to `v` if it is below (a high-water mark).
+    pub fn set_max(&self, v: i64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// The process-global registry for library-level instrumentation.
+///
+/// Servers and anything else that needs per-instance isolation should own
+/// a [`Registry`] instead and merge this one into their snapshot at scrape
+/// time.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways_and_tracks_high_water() {
+        let g = Gauge::new();
+        g.inc();
+        g.add(5);
+        g.dec();
+        assert_eq!(g.get(), 5);
+        g.set_max(3);
+        assert_eq!(g.get(), 5, "set_max never lowers");
+        g.set_max(9);
+        assert_eq!(g.get(), 9);
+        g.set(-2);
+        assert_eq!(g.get(), -2);
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let a = global().counter("qsdnn_obs_test_global_total", "test counter", &[]);
+        let b = global().counter("qsdnn_obs_test_global_total", "test counter", &[]);
+        a.inc();
+        assert!(b.get() >= 1, "same instrument behind both handles");
+    }
+}

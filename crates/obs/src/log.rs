@@ -1,0 +1,258 @@
+//! Leveled structured event logging: one JSON object per line.
+//!
+//! The default sink is stderr, so service logs interleave cleanly with
+//! whatever supervisor captures them. The level comes from the
+//! `QSDNN_LOG` environment variable (`error`, `warn`, `info`, `debug`,
+//! `trace`; default `warn`) and can be overridden at runtime with
+//! [`set_level`]. Tests can capture events in-process with
+//! [`capture_to`].
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Event severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The service is broken or dropping work.
+    Error = 0,
+    /// Something degraded that a human should eventually look at.
+    Warn = 1,
+    /// Lifecycle events (startup, shutdown, listener addresses).
+    Info = 2,
+    /// Per-request diagnostics.
+    Debug = 3,
+    /// Hot-path tracing; very chatty.
+    Trace = 4,
+}
+
+impl Level {
+    /// Lowercase name, as it appears in log lines and `QSDNN_LOG`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parses a `QSDNN_LOG` value; unknown strings disable nothing and
+    /// fall back to the default (`warn`).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+}
+
+fn level_cell() -> &'static AtomicU8 {
+    static LEVEL: OnceLock<AtomicU8> = OnceLock::new();
+    LEVEL.get_or_init(|| {
+        let initial = std::env::var("QSDNN_LOG")
+            .ok()
+            .and_then(|v| Level::parse(&v))
+            .unwrap_or(Level::Warn);
+        AtomicU8::new(initial as u8)
+    })
+}
+
+/// The current log level.
+pub fn level() -> Level {
+    match level_cell().load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        3 => Level::Debug,
+        _ => Level::Trace,
+    }
+}
+
+/// Overrides the log level at runtime (wins over `QSDNN_LOG`).
+pub fn set_level(l: Level) {
+    level_cell().store(l as u8, Ordering::Relaxed);
+}
+
+/// Whether events at `l` are currently emitted.
+pub fn enabled(l: Level) -> bool {
+    l <= level()
+}
+
+type Sink = Box<dyn Fn(&str) + Send>;
+
+fn sink_cell() -> &'static Mutex<Option<Sink>> {
+    static SINK: OnceLock<Mutex<Option<Sink>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+/// Redirects log lines to `f` instead of stderr (process-wide; used by
+/// tests to assert on emitted events). Pass-through ends when
+/// [`capture_to_stderr`] restores the default.
+pub fn capture_to(f: impl Fn(&str) + Send + 'static) {
+    *sink_cell().lock().expect("log sink poisoned") = Some(Box::new(f));
+}
+
+/// Restores the default stderr sink.
+pub fn capture_to_stderr() {
+    *sink_cell().lock().expect("log sink poisoned") = None;
+}
+
+/// A field value in a structured event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (rendered with up to 3 decimal places).
+    F64(f64),
+    /// String (JSON-escaped).
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Emits one structured event if `level` is enabled.
+///
+/// The line is a single JSON object: timestamp, level, event name, then
+/// the given fields in order.
+pub fn event(level: Level, name: &str, fields: &[(&str, FieldValue)]) {
+    if !enabled(level) {
+        return;
+    }
+    let ts_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let mut line = format!(
+        "{{\"ts_ms\":{ts_ms},\"level\":\"{}\",\"event\":\"{}\"",
+        level.as_str(),
+        escape_json(name)
+    );
+    for (key, value) in fields {
+        line.push_str(&format!(",\"{}\":", escape_json(key)));
+        match value {
+            FieldValue::U64(v) => line.push_str(&v.to_string()),
+            FieldValue::I64(v) => line.push_str(&v.to_string()),
+            FieldValue::F64(v) => line.push_str(&format!("{v:.3}")),
+            FieldValue::Str(v) => line.push_str(&format!("\"{}\"", escape_json(v))),
+            FieldValue::Bool(v) => line.push_str(&v.to_string()),
+        }
+    }
+    line.push('}');
+    let sink = sink_cell().lock().expect("log sink poisoned");
+    match sink.as_ref() {
+        Some(f) => f(&line),
+        None => eprintln!("{line}"),
+    }
+}
+
+/// Shorthand for a warn-level event.
+pub fn warn(name: &str, fields: &[(&str, FieldValue)]) {
+    event(Level::Warn, name, fields);
+}
+
+/// Shorthand for an info-level event.
+pub fn info(name: &str, fields: &[(&str, FieldValue)]) {
+    event(Level::Info, name, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Error < Level::Trace);
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("nope"), None);
+    }
+
+    #[test]
+    fn events_render_as_json_lines_and_respect_the_level() {
+        let (tx, rx) = mpsc::channel::<String>();
+        capture_to(move |line| {
+            let _ = tx.send(line.to_string());
+        });
+        set_level(Level::Info);
+        event(
+            Level::Info,
+            "test_event",
+            &[
+                ("count", FieldValue::from(3u64)),
+                ("name", FieldValue::from("say \"hi\"")),
+                ("ok", FieldValue::from(true)),
+            ],
+        );
+        event(Level::Debug, "suppressed", &[]);
+        capture_to_stderr();
+        set_level(Level::Warn);
+        let line = rx.recv().expect("captured event");
+        assert!(line.starts_with("{\"ts_ms\":"), "line: {line}");
+        assert!(line.contains("\"event\":\"test_event\""));
+        assert!(line.contains("\"count\":3"));
+        assert!(line.contains("\"name\":\"say \\\"hi\\\"\""));
+        assert!(line.ends_with("\"ok\":true}"));
+        assert!(rx.try_recv().is_err(), "debug event must be suppressed");
+    }
+}

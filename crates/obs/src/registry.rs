@@ -1,0 +1,383 @@
+//! Named instrument catalog and point-in-time snapshots.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::{Counter, Gauge};
+
+/// What kind of instrument a family holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Monotonic count.
+    Counter,
+    /// Signed level.
+    Gauge,
+    /// Latency distribution.
+    Histogram,
+}
+
+impl Kind {
+    /// Prometheus `# TYPE` keyword.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Sample {
+    labels: Vec<(String, String)>,
+    instrument: Instrument,
+}
+
+struct Family {
+    name: String,
+    help: String,
+    kind: Kind,
+    samples: Vec<Sample>,
+}
+
+/// A catalog of named instruments.
+///
+/// Register-or-reuse semantics: asking for the same `(name, labels)` pair
+/// twice returns the same underlying instrument, so call sites don't need
+/// to coordinate initialization. Registration takes a mutex; the returned
+/// `Arc` should be cached by anything on a hot path.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.families.lock().map(|fams| fams.len()).unwrap_or(0);
+        f.debug_struct("Registry").field("families", &n).finish()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn instrument<T, New, Pick>(
+        &self,
+        name: &str,
+        help: &str,
+        kind: Kind,
+        labels: &[(&str, &str)],
+        new: New,
+        pick: Pick,
+    ) -> Arc<T>
+    where
+        New: FnOnce() -> Instrument,
+        Pick: Fn(&Instrument) -> Option<Arc<T>>,
+    {
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let mut families = self.families.lock().expect("registry poisoned");
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(f) => {
+                assert_eq!(
+                    f.kind, kind,
+                    "metric family {name:?} re-registered as a different kind"
+                );
+                f
+            }
+            None => {
+                families.push(Family {
+                    name: name.to_string(),
+                    help: help.to_string(),
+                    kind,
+                    samples: Vec::new(),
+                });
+                families.last_mut().expect("just pushed")
+            }
+        };
+        if let Some(sample) = family.samples.iter().find(|s| s.labels == labels) {
+            return pick(&sample.instrument)
+                .expect("family kind already checked, sample kind matches");
+        }
+        let instrument = new();
+        let picked = pick(&instrument).expect("freshly built instrument matches its kind");
+        family.samples.push(Sample { labels, instrument });
+        picked
+    }
+
+    /// Registers (or fetches) a counter sample.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.instrument(
+            name,
+            help,
+            Kind::Counter,
+            labels,
+            || Instrument::Counter(Arc::new(Counter::new())),
+            |i| match i {
+                Instrument::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers (or fetches) a gauge sample.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.instrument(
+            name,
+            help,
+            Kind::Gauge,
+            labels,
+            || Instrument::Gauge(Arc::new(Gauge::new())),
+            |i| match i {
+                Instrument::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers (or fetches) a histogram sample.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.instrument(
+            name,
+            help,
+            Kind::Histogram,
+            labels,
+            || Instrument::Histogram(Arc::new(Histogram::new())),
+            |i| match i {
+                Instrument::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Copies every registered instrument's current value.
+    pub fn snapshot(&self) -> Snapshot {
+        let families = self.families.lock().expect("registry poisoned");
+        Snapshot {
+            families: families
+                .iter()
+                .map(|f| FamilySnapshot {
+                    name: f.name.clone(),
+                    help: f.help.clone(),
+                    kind: f.kind,
+                    samples: f
+                        .samples
+                        .iter()
+                        .map(|s| SampleSnapshot {
+                            labels: s.labels.clone(),
+                            value: match &s.instrument {
+                                Instrument::Counter(c) => SampleValue::Counter(c.get()),
+                                Instrument::Gauge(g) => SampleValue::Gauge(g.get()),
+                                Instrument::Histogram(h) => SampleValue::Histogram(h.snapshot()),
+                            },
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One sample's value at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge level.
+    Gauge(i64),
+    /// Full histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// One labeled sample inside a family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleSnapshot {
+    /// Label key/value pairs, in registration order.
+    pub labels: Vec<(String, String)>,
+    /// The recorded value.
+    pub value: SampleValue,
+}
+
+/// All samples of one named metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilySnapshot {
+    /// Metric family name (e.g. `qsdnn_request_us`).
+    pub name: String,
+    /// Human-readable description (`# HELP` line).
+    pub help: String,
+    /// Instrument kind (`# TYPE` line).
+    pub kind: Kind,
+    /// Every labeled sample registered under this name.
+    pub samples: Vec<SampleSnapshot>,
+}
+
+/// A point-in-time copy of a whole registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Families in registration order.
+    pub families: Vec<FamilySnapshot>,
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+impl Snapshot {
+    /// Appends another snapshot's families, merging same-name families by
+    /// concatenating their samples.
+    pub fn merge(&mut self, other: Snapshot) {
+        for family in other.families {
+            match self.families.iter_mut().find(|f| f.name == family.name) {
+                Some(mine) => mine.samples.extend(family.samples),
+                None => self.families.push(family),
+            }
+        }
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP`/`# TYPE` headers, one line per sample,
+    /// histograms as cumulative `_bucket{le=...}` series plus `_sum` and
+    /// `_count`. Empty histogram buckets are elided; the cumulative
+    /// counts stay correct.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for family in &self.families {
+            out.push_str(&format!("# HELP {} {}\n", family.name, family.help));
+            out.push_str(&format!(
+                "# TYPE {} {}\n",
+                family.name,
+                family.kind.as_str()
+            ));
+            for sample in &family.samples {
+                match &sample.value {
+                    SampleValue::Counter(v) => {
+                        let labels = render_labels(&sample.labels, None);
+                        out.push_str(&format!("{}{labels} {v}\n", family.name));
+                    }
+                    SampleValue::Gauge(v) => {
+                        let labels = render_labels(&sample.labels, None);
+                        out.push_str(&format!("{}{labels} {v}\n", family.name));
+                    }
+                    SampleValue::Histogram(h) => {
+                        let mut cumulative = 0u64;
+                        for (_, upper, n) in h.nonzero_buckets() {
+                            cumulative += n;
+                            let labels =
+                                render_labels(&sample.labels, Some(("le", &upper.to_string())));
+                            out.push_str(&format!("{}_bucket{labels} {cumulative}\n", family.name));
+                        }
+                        let inf = render_labels(&sample.labels, Some(("le", "+Inf")));
+                        out.push_str(&format!("{}_bucket{inf} {}\n", family.name, h.count()));
+                        let labels = render_labels(&sample.labels, None);
+                        out.push_str(&format!("{}_sum{labels} {}\n", family.name, h.sum()));
+                        out.push_str(&format!("{}_count{labels} {}\n", family.name, h.count()));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_or_reuse_returns_the_same_instrument() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "a thing", &[("kind", "plan")]);
+        let b = r.counter("x_total", "a thing", &[("kind", "plan")]);
+        let other = r.counter("x_total", "a thing", &[("kind", "ping")]);
+        a.add(3);
+        assert_eq!(b.get(), 3);
+        assert_eq!(other.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflict_panics() {
+        let r = Registry::new();
+        r.counter("y_total", "counts", &[]);
+        r.gauge("y_total", "levels", &[]);
+    }
+
+    #[test]
+    fn snapshot_carries_all_kinds() {
+        let r = Registry::new();
+        r.counter("c_total", "counts", &[]).add(7);
+        r.gauge("g", "level", &[("pool", "search")]).set(-4);
+        r.histogram("h_us", "latency", &[]).record(100);
+        let snap = r.snapshot();
+        assert_eq!(snap.families.len(), 3);
+        assert_eq!(snap.families[0].samples[0].value, SampleValue::Counter(7));
+        assert_eq!(snap.families[1].samples[0].value, SampleValue::Gauge(-4));
+        match &snap.families[2].samples[0].value {
+            SampleValue::Histogram(h) => assert_eq!(h.count(), 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prometheus_text_renders_every_kind() {
+        let r = Registry::new();
+        r.counter("req_total", "requests served", &[("kind", "plan")])
+            .add(2);
+        r.gauge("depth", "queue depth", &[]).set(5);
+        let h = r.histogram("lat_us", "latency micros", &[]);
+        h.record(3);
+        h.record(100);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# HELP req_total requests served\n"));
+        assert!(text.contains("# TYPE req_total counter\n"));
+        assert!(text.contains("req_total{kind=\"plan\"} 2\n"));
+        assert!(text.contains("# TYPE depth gauge\n"));
+        assert!(text.contains("depth 5\n"));
+        assert!(text.contains("# TYPE lat_us histogram\n"));
+        assert!(text.contains("lat_us_bucket{le=\"3\"} 1\n"));
+        assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("lat_us_sum 103\n"));
+        assert!(text.contains("lat_us_count 2\n"));
+    }
+
+    #[test]
+    fn merge_concatenates_and_groups_families() {
+        let a = Registry::new();
+        a.counter("shared_total", "shared", &[("src", "a")]).inc();
+        let b = Registry::new();
+        b.counter("shared_total", "shared", &[("src", "b")]).add(2);
+        b.gauge("only_b", "only in b", &[]).set(1);
+        let mut snap = a.snapshot();
+        snap.merge(b.snapshot());
+        assert_eq!(snap.families.len(), 2);
+        assert_eq!(snap.families[0].samples.len(), 2);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the log-linear histogram: bucket containment,
+//! associative merging, and quantile accuracy within one bucket boundary
+//! of the exact order statistic.
+
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+use qsdnn_obs::{Histogram, HistogramSnapshot};
+
+/// Draws a value spread across all magnitudes: a uniform 64-bit draw
+/// right-shifted by a uniform amount, so small and huge values are
+/// equally likely (a plain uniform u64 would almost never be small).
+fn magnitude_value(rng: &mut SmallRng) -> u64 {
+    let shift = rng.gen_range(0usize..64);
+    rng.gen::<u64>() >> shift
+}
+
+/// The bucket a value lands in, observed through the public API: record
+/// it alone and read back the single non-empty bucket.
+fn observed_bucket(v: u64) -> (usize, u64) {
+    let h = Histogram::new();
+    h.record(v);
+    let buckets = h.snapshot().nonzero_buckets();
+    assert_eq!(buckets.len(), 1, "one value must fill exactly one bucket");
+    let (index, upper, n) = buckets[0];
+    assert_eq!(n, 1);
+    (index, upper)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every value lands in a bucket whose inclusive upper bound is at
+    /// least the value and whose width bounds the relative error by
+    /// 12.5%: the estimate a quantile returns for this value can be off
+    /// by at most `v / 8`.
+    #[test]
+    fn values_land_in_the_right_bucket(seed in 0u64..1_000_000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let v = magnitude_value(&mut rng);
+        let (index, upper) = observed_bucket(v);
+        prop_assert!(upper >= v, "upper bound {upper} below value {v}");
+        prop_assert!(
+            upper - v <= v / 8,
+            "bucket too wide for {v}: upper {upper}"
+        );
+        // The upper bound itself is in the same bucket (inclusive), and
+        // the next integer starts a later bucket.
+        prop_assert_eq!(observed_bucket(upper).0, index);
+        if upper < u64::MAX {
+            prop_assert!(observed_bucket(upper + 1).0 > index);
+        }
+    }
+
+    /// Merging is associative and commutative: shard snapshots can be
+    /// folded in any order.
+    #[test]
+    fn snapshot_merge_is_associative(seed in 0u64..1_000_000, n in 1usize..60) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let parts: Vec<HistogramSnapshot> = (0..3)
+            .map(|_| {
+                let h = Histogram::new();
+                for _ in 0..n {
+                    h.record(magnitude_value(&mut rng));
+                }
+                h.snapshot()
+            })
+            .collect();
+        // (a ⊕ b) ⊕ c
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        // a ⊕ (b ⊕ c)
+        let mut bc = parts[1].clone();
+        bc.merge(&parts[2]);
+        let mut right = parts[0].clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        // b ⊕ a == a ⊕ b
+        let mut ab = parts[0].clone();
+        ab.merge(&parts[1]);
+        let mut ba = parts[1].clone();
+        ba.merge(&parts[0]);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// A quantile estimate is the upper bound of the bucket holding the
+    /// exact order statistic — "within one bucket boundary of exact".
+    #[test]
+    fn quantiles_stay_within_one_bucket_of_exact(
+        seed in 0u64..1_000_000,
+        n in 1usize..200,
+        q in 0.0f64..1.0,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut values: Vec<u64> = (0..n).map(|_| magnitude_value(&mut rng)).collect();
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        let exact = values[rank - 1];
+        let estimate = h.snapshot().quantile(q);
+        prop_assert!(estimate >= exact, "estimate {estimate} under exact {exact}");
+        prop_assert_eq!(
+            observed_bucket(estimate).0,
+            observed_bucket(exact).0,
+            "estimate {} left the exact value's bucket ({})",
+            estimate,
+            exact
+        );
+    }
+
+    /// Count and sum survive any merge split: recording a value set into
+    /// two histograms and merging equals recording it into one.
+    #[test]
+    fn merge_matches_single_histogram(seed in 0u64..1_000_000, n in 2usize..80) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let values: Vec<u64> = (0..n).map(|_| magnitude_value(&mut rng) >> 8).collect();
+        let whole = Histogram::new();
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            whole.record(v);
+            if i % 2 == 0 { a.record(v) } else { b.record(v) }
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        prop_assert_eq!(merged, whole.snapshot());
+    }
+}

@@ -49,6 +49,7 @@ fn main() {
                         // The demo asserts bit-identity with the cold
                         // sequential reference, so transfer stays off.
                         transfer: TransferMode::Off,
+                        trace: false,
                     })
                     .expect("plan");
                 (network, client_id, plan)
@@ -125,6 +126,7 @@ fn main() {
             episodes: EPISODES,
             seeds: SEEDS.to_vec(),
             transfer: TransferMode::Off,
+            trace: false,
         })
         .collect();
     let wall = Instant::now();

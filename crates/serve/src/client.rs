@@ -373,6 +373,7 @@ impl PlanClient {
             episodes,
             seeds,
             transfer: crate::protocol::TransferMode::Auto,
+            trace: false,
         }))
     }
 
@@ -393,6 +394,20 @@ impl PlanClient {
     pub fn stats(&mut self) -> Result<StatsResponse, ServeError> {
         match self.request(&Request::Stats)? {
             Response::Stats(s) => Ok(s),
+            Response::Error { message } => Err(ServeError::Remote(message)),
+            other => Err(ServeError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Fetches the full observability snapshot: every metric family with
+    /// histogram quantiles — the wire twin of the Prometheus endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a server-side rejection.
+    pub fn metrics(&mut self) -> Result<crate::protocol::MetricsResponse, ServeError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics(m) => Ok(m),
             Response::Error { message } => Err(ServeError::Remote(message)),
             other => Err(ServeError::Protocol(format!("unexpected reply {other:?}"))),
         }

@@ -82,6 +82,8 @@
 
 mod cache;
 mod client;
+mod exposition;
+mod metrics;
 mod pool;
 mod portfolio;
 pub mod protocol;
@@ -95,9 +97,11 @@ pub use cache::{
     DEFAULT_MAX_DISK_ENTRIES, DEFAULT_MAX_ENTRIES, DEFAULT_SHARDS,
 };
 pub use client::{PlanClient, Ticket, DEFAULT_CLIENT_WINDOW};
-pub use pool::WorkerPool;
+pub use pool::{PoolGauges, WorkerPool};
 pub use portfolio::{run_portfolio_parallel, run_portfolio_parallel_with, WarmStart};
-pub use server::{resolve, start_local, IoModel, PlanServer, ServerConfig, DEFAULT_MAX_IN_FLIGHT};
+pub use server::{
+    resolve, start_local, IoModel, PlanServer, ServerConfig, DEFAULT_MAX_IN_FLIGHT, DEFAULT_SLOW_MS,
+};
 pub use transfer::{ScenarioEntry, ScenarioIndex, DEFAULT_INDEX_ENTRIES};
 
 use std::fmt;

@@ -20,12 +20,25 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+use qsdnn_obs::Gauge;
+
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Health gauges a pool maintains: how many jobs are queued and how many
+/// workers are mid-job. Cloned into every worker.
+#[derive(Debug, Clone)]
+pub struct PoolGauges {
+    /// Jobs submitted but not yet picked up by a worker.
+    pub queue_depth: Arc<Gauge>,
+    /// Workers currently running a job.
+    pub busy: Arc<Gauge>,
+}
 
 /// A fixed-size worker pool.
 pub struct WorkerPool {
     tx: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    gauges: Option<PoolGauges>,
 }
 
 impl WorkerPool {
@@ -38,21 +51,29 @@ impl WorkerPool {
     /// second pool with a different role (e.g. the epoll server's request
     /// dispatchers) is tellable apart in thread listings.
     pub fn named(prefix: &str, threads: usize) -> Self {
+        WorkerPool::named_with_gauges(prefix, threads, None)
+    }
+
+    /// [`named`](WorkerPool::named), additionally exporting queue-depth
+    /// and busy-worker gauges.
+    pub fn named_with_gauges(prefix: &str, threads: usize, gauges: Option<PoolGauges>) -> Self {
         let threads = threads.max(1);
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..threads)
             .map(|i| {
                 let rx = Arc::clone(&rx);
+                let gauges = gauges.clone();
                 std::thread::Builder::new()
                     .name(format!("{prefix}-{i}"))
-                    .spawn(move || worker_loop(&rx))
+                    .spawn(move || worker_loop(&rx, gauges.as_ref()))
                     .expect("spawn worker thread")
             })
             .collect();
         WorkerPool {
             tx: Some(tx),
             workers,
+            gauges,
         }
     }
 
@@ -69,6 +90,9 @@ impl WorkerPool {
 
     /// Enqueues a job; it runs on the first free worker.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        if let Some(g) = &self.gauges {
+            g.queue_depth.inc();
+        }
         self.tx
             .as_ref()
             .expect("pool is alive while owned")
@@ -77,7 +101,7 @@ impl WorkerPool {
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+fn worker_loop(rx: &Mutex<Receiver<Job>>, gauges: Option<&PoolGauges>) {
     loop {
         // Hold the lock only to dequeue, never while running the job.
         let job = match rx.lock() {
@@ -86,10 +110,17 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>) {
         };
         match job {
             Ok(job) => {
+                if let Some(g) = gauges {
+                    g.queue_depth.dec();
+                    g.busy.inc();
+                }
                 // A panicking search job must not kill the worker; the
                 // submitting side observes the failure through its result
                 // channel hanging up.
                 let _ = catch_unwind(AssertUnwindSafe(job));
+                if let Some(g) = gauges {
+                    g.busy.dec();
+                }
             }
             Err(_) => return, // all senders dropped: shut down
         }

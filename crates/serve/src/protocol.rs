@@ -130,6 +130,10 @@ pub struct SearchRequest {
     /// Scenario-transfer policy for this request (absent = `"auto"`).
     #[serde(default)]
     pub transfer: TransferMode,
+    /// Echo this request's span timings in the response (absent = off).
+    /// Tracing never changes the plan — only the response's `trace` field.
+    #[serde(default)]
+    pub trace: bool,
 }
 
 /// End-to-end plan compilation: profile (server-side, cached) + portfolio
@@ -151,6 +155,10 @@ pub struct PlanRequest {
     /// Scenario-transfer policy for this request (absent = `"auto"`).
     #[serde(default)]
     pub transfer: TransferMode,
+    /// Echo this request's span timings in the response (absent = off).
+    /// Tracing never changes the plan — only the response's `trace` field.
+    #[serde(default)]
+    pub trace: bool,
 }
 
 impl PlanRequest {
@@ -165,6 +173,7 @@ impl PlanRequest {
             episodes: 0,
             seeds: Vec::new(),
             transfer: TransferMode::Auto,
+            trace: false,
         }
     }
 }
@@ -185,6 +194,9 @@ pub enum Request {
     Plan(PlanRequest),
     /// Service counters.
     Stats,
+    /// Full observability snapshot: every metric family with histogram
+    /// quantiles (the wire twin of the Prometheus exposition endpoint).
+    Metrics,
 }
 
 /// Protocol-v2 envelope: a request tagged with a connection-scoped id so
@@ -295,6 +307,28 @@ pub struct WarmStartInfo {
     pub episodes: usize,
 }
 
+/// One stage's share of a traced request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Stage name (`parse`, `queue`, `profile`, `cache`, `search`).
+    pub stage: String,
+    /// Time spent in the stage, milliseconds.
+    pub ms: f64,
+}
+
+/// Echoed span timings for a `trace: true` request.
+///
+/// Only stages that complete before the response is built can appear;
+/// `serialize` and `write` happen afterwards and land in the server's
+/// histograms (and the slow-request log) instead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceInfo {
+    /// Stages with nonzero time, in pipeline order.
+    pub stages: Vec<StageTiming>,
+    /// Total span age when the response was built, milliseconds.
+    pub total_ms: f64,
+}
+
 /// Result of a plan/search request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlanResponse {
@@ -316,6 +350,11 @@ pub struct PlanResponse {
     /// search; `None` for cold searches and `transfer: "off"` requests.
     #[serde(default)]
     pub warm_start: Option<WarmStartInfo>,
+    /// Span timings, echoed only for `trace: true` requests. Never part
+    /// of the cached plan — two requests for the same plan differing only
+    /// in `trace` get bit-identical plan content.
+    #[serde(default)]
+    pub trace: Option<TraceInfo>,
 }
 
 impl PlanResponse {
@@ -380,6 +419,106 @@ pub struct StatsResponse {
     pub accept_errors: u64,
 }
 
+/// One latency histogram on the wire: pre-computed quantiles plus the
+/// sparse bucket table, so clients can merge and re-quantile snapshots
+/// (`qsdnn_obs::HistogramSnapshot::from_raw`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramMsg {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values, microseconds.
+    pub sum_us: u64,
+    /// Median estimate, microseconds.
+    pub p50_us: u64,
+    /// 90th percentile estimate, microseconds.
+    pub p90_us: u64,
+    /// 99th percentile estimate, microseconds.
+    pub p99_us: u64,
+    /// 99.9th percentile estimate, microseconds.
+    pub p999_us: u64,
+    /// Non-empty buckets as `(bucket_index, upper_bound_us, count)`
+    /// triples in ascending order.
+    pub buckets: Vec<(u64, u64, u64)>,
+}
+
+impl HistogramMsg {
+    /// Builds the wire form of a histogram snapshot.
+    pub fn from_snapshot(snap: &qsdnn_obs::HistogramSnapshot) -> Self {
+        HistogramMsg {
+            count: snap.count(),
+            sum_us: snap.sum(),
+            p50_us: snap.p50(),
+            p90_us: snap.p90(),
+            p99_us: snap.p99(),
+            p999_us: snap.p999(),
+            buckets: snap
+                .nonzero_buckets()
+                .into_iter()
+                .map(|(i, upper, n)| (i as u64, upper, n))
+                .collect(),
+        }
+    }
+
+    /// Reconstructs a mergeable snapshot from the wire form.
+    pub fn to_snapshot(&self) -> qsdnn_obs::HistogramSnapshot {
+        let entries: Vec<(usize, u64)> = self
+            .buckets
+            .iter()
+            .map(|&(i, _, n)| (i as usize, n))
+            .collect();
+        qsdnn_obs::HistogramSnapshot::from_raw(&entries, self.sum_us)
+    }
+}
+
+/// One labeled sample's value in a metrics snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MetricValue {
+    /// Monotonic counter total.
+    Counter(u64),
+    /// Gauge level.
+    Gauge(i64),
+    /// Latency distribution.
+    Histogram(HistogramMsg),
+}
+
+/// One labeled sample inside a metric family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricSample {
+    /// Label key/value pairs.
+    pub labels: Vec<(String, String)>,
+    /// The sample's value.
+    pub value: MetricValue,
+}
+
+/// One named metric with all its labeled samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricFamily {
+    /// Family name (e.g. `qsdnn_request_us`).
+    pub name: String,
+    /// Human-readable description.
+    pub help: String,
+    /// `"counter"`, `"gauge"` or `"histogram"`.
+    pub kind: String,
+    /// Samples in registration order.
+    pub samples: Vec<MetricSample>,
+}
+
+/// Full observability snapshot (the `metrics` request's answer).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsResponse {
+    /// Milliseconds since the server started (monotonic, ≥ 1).
+    pub uptime_ms: u64,
+    /// Every metric family the server exports.
+    pub families: Vec<MetricFamily>,
+}
+
+impl MetricsResponse {
+    /// Finds a family by name.
+    pub fn family(&self, name: &str) -> Option<&MetricFamily> {
+        self.families.iter().find(|f| f.name == name)
+    }
+}
+
 /// Server → client message.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Response {
@@ -394,6 +533,8 @@ pub enum Response {
     Plan(PlanResponse),
     /// Counters.
     Stats(StatsResponse),
+    /// Observability snapshot.
+    Metrics(MetricsResponse),
     /// Request-level failure (the connection stays usable).
     Error {
         /// Human-readable reason.
@@ -615,9 +756,11 @@ mod tests {
                 episodes: 300,
                 seeds: vec![1, 2, 3],
                 transfer: TransferMode::Off,
+                trace: true,
             }),
             Request::Plan(PlanRequest::latency("mobilenet_v1")),
             Request::Stats,
+            Request::Metrics,
         ];
         for req in reqs {
             let json = serde_json::to_string(&req).unwrap();
@@ -656,6 +799,13 @@ mod tests {
                 donor_distance: 0.5,
                 transferred_states: 42,
                 episodes: 250,
+            }),
+            trace: Some(TraceInfo {
+                stages: vec![StageTiming {
+                    stage: "search".into(),
+                    ms: 12.5,
+                }],
+                total_ms: 13.0,
             }),
         });
         let json = serde_json::to_string(&resp).unwrap();
@@ -890,10 +1040,12 @@ mod tests {
             members: Vec::new(),
             vanilla_cost_ms: 2.0,
             warm_start: None,
+            trace: None,
         };
         let json = serde_json::to_string(&resp)
             .unwrap()
-            .replace(",\"warm_start\":null", "");
+            .replace(",\"warm_start\":null", "")
+            .replace(",\"trace\":null", "");
         let back: PlanResponse = serde_json::from_str(&json).unwrap();
         assert_eq!(back, resp);
     }
@@ -970,6 +1122,7 @@ mod tests {
             members: vec![],
             vanilla_cost_ms: 6.0,
             warm_start: None,
+            trace: None,
         };
         assert!((resp.speedup() - 3.0).abs() < 1e-12);
         resp.best.best_cost_ms = 0.0;

@@ -41,6 +41,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::metrics::{RequestSpan, Stage};
 use crate::pool::WorkerPool;
 use crate::protocol::{
     parse_request_frame, write_message, FrameBuffer, RequestFrame, Response, TaggedResponse,
@@ -216,6 +217,10 @@ struct Completion {
     /// frame parser. `false` decrements the tagged in-flight count.
     untagged: bool,
     line: Vec<u8>,
+    /// The request's span (parse/queue/handler/serialize recorded by the
+    /// dispatcher); the loop adds the write stage and observes it once the
+    /// reply is fully on the wire.
+    span: Option<RequestSpan>,
 }
 
 /// Dispatcher → reactor handoff: a locked queue plus the wakeup pipe.
@@ -238,13 +243,23 @@ impl Completions {
     }
 }
 
+/// One reply line queued for a connection's socket, with the span it
+/// closes (observed when its last byte is handed to the kernel).
+struct OutLine {
+    line: Vec<u8>,
+    span: Option<RequestSpan>,
+    /// When the line entered the outbox: the write stage measures
+    /// queue-to-last-byte.
+    queued: Instant,
+}
+
 /// Per-connection state machine.
 struct Conn {
     stream: TcpStream,
     frames: FrameBuffer,
     /// Serialized reply lines awaiting the socket; `front_written` bytes
     /// of the front line are already on the wire (partial-write resume).
-    outbox: VecDeque<Vec<u8>>,
+    outbox: VecDeque<OutLine>,
     front_written: usize,
     outbox_bytes: usize,
     /// Tagged (v2) requests dispatched but not yet completed.
@@ -277,9 +292,13 @@ impl Conn {
         }
     }
 
-    fn queue_line(&mut self, line: Vec<u8>) {
+    fn queue_line(&mut self, line: Vec<u8>, span: Option<RequestSpan>) {
         self.outbox_bytes += line.len();
-        self.outbox.push_back(line);
+        self.outbox.push_back(OutLine {
+            line,
+            span,
+            queued: Instant::now(),
+        });
     }
 
     /// No request in any stage — safe to close once the read side is done
@@ -309,9 +328,13 @@ pub(crate) fn start(
     };
     epoll.add(listener.as_raw_fd(), sys::EPOLLIN, TOKEN_LISTENER)?;
     epoll.add(wake_rx.as_raw_fd(), sys::EPOLLIN, TOKEN_WAKER)?;
-    let dispatchers = Arc::new(WorkerPool::named(
+    let dispatchers = Arc::new(WorkerPool::named_with_gauges(
         "qsdnn-dispatch",
         state.config.dispatcher_count(state.pool.threads()),
+        state
+            .config
+            .instrument
+            .then(|| state.metrics.dispatch_pool.clone()),
     ));
     let completions = Arc::new(Completions {
         queue: Mutex::new(Vec::new()),
@@ -361,9 +384,21 @@ struct Reactor {
 impl Reactor {
     fn run(&mut self) {
         let mut events = vec![sys::EpollEvent { events: 0, data: 0 }; 256];
+        let instrumented = self.state.metrics.enabled();
         loop {
             let timeout = self.wait_timeout();
+            let wait_start = Instant::now();
             let n = self.epoll.wait(&mut events, timeout).unwrap_or_default();
+            let work_start = Instant::now();
+            if instrumented {
+                // Event-loop health: how long the loop sat blocked, and how
+                // much readiness one wakeup delivered.
+                self.state
+                    .metrics
+                    .reactor_wait_stall_us
+                    .set(work_start.duration_since(wait_start).as_micros() as i64);
+                self.state.metrics.reactor_ready_events.set(n as i64);
+            }
             let mut accept_ready = false;
             for ev in &events[..n] {
                 // Copy out of the (possibly packed) event before use.
@@ -379,6 +414,12 @@ impl Reactor {
             // readiness: a wake can coalesce with one already pending.
             for completion in self.completions.drain() {
                 self.deliver(completion);
+            }
+            if instrumented {
+                self.state
+                    .metrics
+                    .reactor_loop_us
+                    .record_duration(work_start.elapsed());
             }
             if self.state.shutting_down.load(Ordering::SeqCst) {
                 if self.begin_or_check_drain() {
@@ -471,6 +512,7 @@ impl Reactor {
                     if self.epoll.add(stream.as_raw_fd(), interest, token).is_err() {
                         continue;
                     }
+                    self.state.metrics.connections.inc();
                     self.conns.insert(token, Conn::new(stream, interest));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
@@ -590,7 +632,7 @@ impl Reactor {
                              {MAX_FRAME_BYTES}-byte frame bound"
                         ),
                     };
-                    conn.queue_line(serialize_line(&resp));
+                    conn.queue_line(serialize_line(&resp), None);
                     conn.closing = true;
                     self.flush(token);
                     return;
@@ -610,33 +652,29 @@ impl Reactor {
     }
 
     fn handle_frame(&mut self, token: u64, line: Vec<u8>) {
+        // The span opens at frame receipt as kind `error`; a parsed
+        // request re-labels it in `dispatch_spanned`.
+        let mut span = self.state.metrics.span("error");
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
-        let text = match String::from_utf8(line) {
-            Ok(text) => text,
-            Err(_) => {
-                // Same reply, same contract as the threaded layer's
-                // `InvalidData` arm: answer and keep the connection.
-                let resp = Response::Error {
-                    message: "request line is not valid UTF-8".to_string(),
-                };
-                conn.queue_line(serialize_line(&resp));
-                return;
-            }
-        };
-        match parse_request_frame(&text) {
-            Err(e) => {
-                // Malformed line: report (untagged — no id survived the
-                // wreckage) and keep the connection, like the threaded
-                // layer.
-                let resp = Response::Error {
-                    message: match e {
+        let parsed = span.time(Stage::Parse, || {
+            String::from_utf8(line)
+                .map_err(|_| "request line is not valid UTF-8".to_string())
+                .and_then(|text| {
+                    parse_request_frame(&text).map_err(|e| match e {
                         ServeError::Protocol(message) => message,
                         other => other.to_string(),
-                    },
-                };
-                conn.queue_line(serialize_line(&resp));
+                    })
+                })
+        });
+        match parsed {
+            Err(message) => {
+                // Malformed line (or not UTF-8): report (untagged — no id
+                // survived the wreckage) and keep the connection, exactly
+                // like the threaded layer.
+                let resp = Response::Error { message };
+                conn.queue_line(serialize_line(&resp), Some(span));
             }
             Ok(RequestFrame::Untagged(req)) => {
                 // v1 contract: at most one bare request runs at a time and
@@ -645,12 +683,16 @@ impl Reactor {
                 conn.v1_busy = true;
                 let state = Arc::clone(&self.state);
                 let completions = Arc::clone(&self.completions);
+                let enqueued = Instant::now();
                 self.dispatchers.execute(move || {
-                    let resp = state.dispatch(req);
+                    span.record(Stage::Queue, enqueued.elapsed());
+                    let resp = state.dispatch_spanned(req, &mut span);
+                    let line = span.time(Stage::Serialize, || serialize_line(&resp));
                     completions.push(Completion {
                         token,
                         untagged: true,
-                        line: serialize_line(&resp),
+                        line,
+                        span: Some(span),
                     });
                 });
             }
@@ -661,15 +703,21 @@ impl Reactor {
                 self.state.pipelined.fetch_add(1, Ordering::Relaxed);
                 let state = Arc::clone(&self.state);
                 let completions = Arc::clone(&self.completions);
+                let enqueued = Instant::now();
                 self.dispatchers.execute(move || {
-                    let resp = state.dispatch(tagged.req);
+                    span.record(Stage::Queue, enqueued.elapsed());
+                    let resp = state.dispatch_spanned(tagged.req, &mut span);
+                    let line = span.time(Stage::Serialize, || {
+                        serialize_line(&TaggedResponse {
+                            id: tagged.id,
+                            resp,
+                        })
+                    });
                     completions.push(Completion {
                         token,
                         untagged: false,
-                        line: serialize_line(&TaggedResponse {
-                            id: tagged.id,
-                            resp,
-                        }),
+                        line,
+                        span: Some(span),
                     });
                 });
             }
@@ -678,14 +726,24 @@ impl Reactor {
 
     fn deliver(&mut self, completion: Completion) {
         let Some(conn) = self.conns.get_mut(&completion.token) else {
-            return; // the connection died while its request ran
+            // The connection died while its request ran: the reply is
+            // undeliverable, but the work still happened — observe the
+            // span without a write stage.
+            if let Some(span) = &completion.span {
+                self.state.metrics.observe(span);
+            }
+            return;
         };
         if completion.untagged {
             conn.v1_busy = false;
         } else {
             conn.in_flight = conn.in_flight.saturating_sub(1);
         }
-        conn.queue_line(completion.line);
+        conn.queue_line(completion.line, completion.span);
+        self.state
+            .metrics
+            .outbox_high_water_bytes
+            .set_max(conn.outbox_bytes as i64);
         let token = completion.token;
         if !self.flush(token) {
             return;
@@ -702,13 +760,19 @@ impl Reactor {
             return false;
         };
         while let Some(front) = conn.outbox.front() {
-            match conn.stream.write(&front[conn.front_written..]) {
+            match conn.stream.write(&front.line[conn.front_written..]) {
                 Ok(n) => {
                     conn.front_written += n;
                     conn.outbox_bytes -= n;
-                    if conn.front_written == front.len() {
-                        conn.outbox.pop_front();
+                    if conn.front_written == front.line.len() {
+                        let done = conn.outbox.pop_front().expect("front exists");
                         conn.front_written = 0;
+                        // The reply is fully handed to the kernel: close
+                        // out its span with the write stage.
+                        if let Some(mut span) = done.span {
+                            span.record(Stage::Write, done.queued.elapsed());
+                            self.state.metrics.observe(&span);
+                        }
                     }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -777,6 +841,14 @@ impl Reactor {
     fn close(&mut self, token: u64) {
         if let Some(conn) = self.conns.remove(&token) {
             let _ = self.epoll.delete(conn.stream.as_raw_fd());
+            self.state.metrics.connections.dec();
+            // Replies stranded in the outbox never reach the wire, but
+            // their requests did run — observe their spans sans write.
+            for entry in conn.outbox {
+                if let Some(span) = entry.span {
+                    self.state.metrics.observe(&span);
+                }
+            }
             // Dropping the stream closes the fd.
         }
     }

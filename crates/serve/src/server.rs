@@ -36,13 +36,15 @@ use qsdnn::nn::zoo;
 use qsdnn::{Portfolio, PortfolioOutcome, QTable, TransferMapping};
 
 use crate::cache::{plan_key, warm_plan_key, CacheValue, EvictionPolicy, PlanCache};
+use crate::exposition::MetricsExposition;
+use crate::metrics::{families_from_snapshot, request_kind, trace_requested, RequestSpan, Stage};
 use crate::pool::WorkerPool;
 use crate::portfolio::{run_portfolio_parallel, run_portfolio_parallel_with, WarmStart};
 use crate::protocol::{
-    default_episodes, parse_request_frame, read_line_resumable, write_message, PlanRequest,
-    PlanResponse, ProfileRequest, ProfileResponse, Request, RequestFrame, Response, SearchRequest,
-    StatsResponse, TaggedResponse, TransferMode, WarmStartInfo, MIN_PROTOCOL_VERSION,
-    PROTOCOL_VERSION,
+    default_episodes, parse_request_frame, read_line_resumable, write_message, MetricsResponse,
+    PlanRequest, PlanResponse, ProfileRequest, ProfileResponse, Request, RequestFrame, Response,
+    SearchRequest, StatsResponse, TaggedResponse, TransferMode, WarmStartInfo,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use crate::transfer::{ScenarioEntry, ScenarioIndex, DEFAULT_DONOR_CANDIDATES};
 use crate::ServeError;
@@ -138,6 +140,11 @@ impl std::fmt::Display for IoModel {
 /// reading).
 pub const DEFAULT_MAX_IN_FLIGHT: usize = 32;
 
+/// Default slow-request threshold: a request whose end-to-end span
+/// exceeds this emits one structured `slow_request` warn event with its
+/// per-stage breakdown. `slow_ms: 0` disables the slow log.
+pub const DEFAULT_SLOW_MS: u64 = 1000;
+
 /// Server construction parameters.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -178,6 +185,21 @@ pub struct ServerConfig {
     /// Unused by the threaded layer, which spawns dispatchers per tagged
     /// request.
     pub dispatchers: usize,
+    /// Optional Prometheus text-exposition endpoint: `Some(addr)` binds a
+    /// tiny HTTP listener serving `GET /metrics` (port 0 picks an
+    /// ephemeral port, see [`PlanServer::metrics_addr`]).
+    pub metrics_addr: Option<String>,
+    /// Slow-request threshold in milliseconds
+    /// ([`DEFAULT_SLOW_MS`] by default; 0 disables the slow log).
+    pub slow_ms: u64,
+    /// Whether per-request instrumentation (spans, histograms, gauges)
+    /// is recorded at all. On by default; off reduces the hot path to one
+    /// branch per stage, for overhead benchmarks.
+    pub instrument: bool,
+    /// Metrics registry for this server's instruments. `None` gives the
+    /// server a private registry (the default — concurrent servers in one
+    /// process never mix counters); inject one to aggregate or inspect.
+    pub registry: Option<Arc<qsdnn_obs::Registry>>,
 }
 
 impl Default for ServerConfig {
@@ -196,6 +218,10 @@ impl Default for ServerConfig {
             index_entries: 0,
             io: IoModel::platform_default(),
             dispatchers: 0,
+            metrics_addr: None,
+            slow_ms: DEFAULT_SLOW_MS,
+            instrument: true,
+            registry: None,
         }
     }
 }
@@ -234,6 +260,8 @@ impl ServerConfig {
 
 pub(crate) struct ServiceState {
     pub(crate) pool: WorkerPool,
+    /// Spans, histograms and gauges for this server (its own registry).
+    pub(crate) metrics: crate::metrics::ServeMetrics,
     plans: PlanCache<qsdnn::PortfolioOutcome>,
     profiles: PlanCache<CostLut>,
     /// Scenario-transfer index, maintained alongside plan-cache inserts
@@ -285,13 +313,30 @@ impl ServiceState {
             }
             _ => ScenarioIndex::new(index_entries),
         };
-        let pool = if config.threads == 0 {
-            WorkerPool::with_default_size()
+        // Instruments exist before the pool so the search workers can
+        // carry the pool gauges from their first job.
+        let registry = config
+            .registry
+            .clone()
+            .unwrap_or_else(|| Arc::new(qsdnn_obs::Registry::new()));
+        let metrics =
+            crate::metrics::ServeMetrics::new(config.instrument, config.slow_ms, registry);
+        let threads = if config.threads == 0 {
+            // Mirrors `WorkerPool::with_default_size`.
+            std::thread::available_parallelism()
+                .map_or(4, usize::from)
+                .clamp(2, 32)
         } else {
-            WorkerPool::new(config.threads)
+            config.threads
         };
+        let pool = WorkerPool::named_with_gauges(
+            "qsdnn-worker",
+            threads,
+            config.instrument.then(|| metrics.search_pool.clone()),
+        );
         Ok(Arc::new(ServiceState {
             pool,
+            metrics,
             plans,
             profiles,
             index,
@@ -359,6 +404,7 @@ impl ServiceState {
         Ok(lut)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_search(
         &self,
         lut: CostLut,
@@ -367,6 +413,7 @@ impl ServiceState {
         seeds: &[u64],
         transfer: TransferMode,
         batch: usize,
+        span: &mut RequestSpan,
     ) -> Result<PlanResponse, ServeError> {
         if lut.is_empty() {
             return Err(ServeError::BadRequest("LUT has no layers".into()));
@@ -379,12 +426,23 @@ impl ServiceState {
         let episodes = self.episodes_for(episodes, lut.len());
         let seeds = self.seeds_for(seeds);
         let portfolio = Portfolio::paper_default(episodes, &seeds);
+        // Everything below is cache/index work except the portfolio runs
+        // inside `compute_cold`/`compute_warm`, which record the `search`
+        // stage themselves; the remainder is the `cache` stage.
+        let cache_start = Instant::now();
+        let search_before = span.stage_total(Stage::Search);
         // Transfer needs both opt-ins: the server policy and the request.
-        if self.config.transfer == TransferMode::Auto && transfer == TransferMode::Auto {
-            self.search_with_transfer(&portfolio, lut, objective, batch)
+        let result = if self.config.transfer == TransferMode::Auto && transfer == TransferMode::Auto
+        {
+            self.search_with_transfer(&portfolio, lut, objective, batch, span)
         } else {
-            self.search_with(&portfolio, lut, objective)
+            self.search_with(&portfolio, lut, objective, span)
+        };
+        if span.is_active() {
+            let searched = span.stage_total(Stage::Search) - search_before;
+            span.record(Stage::Cache, cache_start.elapsed().saturating_sub(searched));
         }
+        result
     }
 
     fn plan_response(
@@ -406,6 +464,7 @@ impl ServiceState {
             members: outcome.members.clone(),
             vanilla_cost_ms,
             warm_start,
+            trace: None,
         }
     }
 
@@ -421,13 +480,22 @@ impl ServiceState {
         shared: &Arc<CostLut>,
         vanilla_cost_ms: f64,
         key: String,
+        span: &mut RequestSpan,
     ) -> Result<PlanResponse, ServeError> {
         let network = lut.network().to_string();
+        // The compute closure runs on this thread (single-flight), so a
+        // Cell smuggles the search wall time out to the span; a cache hit
+        // never runs it and records zero search.
+        let search_time = std::cell::Cell::new(Duration::ZERO);
         let (outcome, cache_hit) = {
             let shared = Arc::clone(shared);
             let pool = &self.pool;
+            let search_time = &search_time;
             self.plans.try_get_or_compute(&key, move || {
-                run_portfolio_parallel(portfolio, &shared, pool).ok_or_else(|| {
+                let search_start = Instant::now();
+                let outcome = run_portfolio_parallel(portfolio, &shared, pool);
+                search_time.set(search_start.elapsed());
+                outcome.ok_or_else(|| {
                     ServeError::Search(format!(
                         "no portfolio member produced a plan for `{network}` \
                          (every member was inapplicable or failed)"
@@ -435,6 +503,7 @@ impl ServiceState {
                 })
             })?
         };
+        span.record(Stage::Search, search_time.get());
         Ok(self.plan_response(lut, key, cache_hit, &outcome, vanilla_cost_ms, None))
     }
 
@@ -446,12 +515,13 @@ impl ServiceState {
         portfolio: &Portfolio,
         lut: CostLut,
         objective: Objective,
+        span: &mut RequestSpan,
     ) -> Result<PlanResponse, ServeError> {
         let scalarized = lut.with_objective(objective);
         let vanilla_cost_ms = scalarized.cost(&scalarized.vanilla_assignment());
         let key = plan_key(lut.fingerprint(), &objective, portfolio.fingerprint());
         let shared = Arc::new(scalarized);
-        self.compute_cold(portfolio, &lut, &shared, vanilla_cost_ms, key)
+        self.compute_cold(portfolio, &lut, &shared, vanilla_cost_ms, key, span)
     }
 
     /// The transfer-aware plan path:
@@ -472,6 +542,7 @@ impl ServiceState {
         lut: CostLut,
         objective: Objective,
         batch: usize,
+        span: &mut RequestSpan,
     ) -> Result<PlanResponse, ServeError> {
         let scalarized = lut.with_objective(objective);
         let vanilla_cost_ms = scalarized.cost(&scalarized.vanilla_assignment());
@@ -570,10 +641,17 @@ impl ServiceState {
                 distance,
                 donor,
                 mapping,
+                span,
             );
         }
-        let response =
-            self.compute_cold(portfolio, &lut, &shared, vanilla_cost_ms, base_key.clone())?;
+        let response = self.compute_cold(
+            portfolio,
+            &lut,
+            &shared,
+            vanilla_cost_ms,
+            base_key.clone(),
+            span,
+        )?;
         self.index
             .insert(descriptor, base_key, response.plan_key.clone(), None);
         Ok(response)
@@ -595,6 +673,7 @@ impl ServiceState {
         distance: f64,
         donor: QTable,
         mapping: TransferMapping,
+        span: &mut RequestSpan,
     ) -> Result<PlanResponse, ServeError> {
         let warm_portfolio = portfolio.warmed();
         let warm_key = warm_plan_key(
@@ -606,21 +685,26 @@ impl ServiceState {
         let transferred_states = mapping.mapped_states();
         let warm = Arc::new(WarmStart { donor, mapping });
         let network = lut.network().to_string();
+        let search_time = std::cell::Cell::new(Duration::ZERO);
         let (outcome, cache_hit) = {
             let shared = Arc::clone(shared);
             let warm = Arc::clone(&warm);
             let pool = &self.pool;
+            let search_time = &search_time;
             self.plans.try_get_or_compute(&warm_key, move || {
-                run_portfolio_parallel_with(&warm_portfolio, &shared, pool, Some(&warm)).ok_or_else(
-                    || {
-                        ServeError::Search(format!(
-                            "no portfolio member produced a plan for `{network}` \
-                             (every member was inapplicable or failed)"
-                        ))
-                    },
-                )
+                let search_start = Instant::now();
+                let outcome =
+                    run_portfolio_parallel_with(&warm_portfolio, &shared, pool, Some(&warm));
+                search_time.set(search_start.elapsed());
+                outcome.ok_or_else(|| {
+                    ServeError::Search(format!(
+                        "no portfolio member produced a plan for `{network}` \
+                         (every member was inapplicable or failed)"
+                    ))
+                })
             })?
         };
+        span.record(Stage::Search, search_time.get());
         if !cache_hit {
             self.warm_starts.fetch_add(1, Ordering::Relaxed);
         }
@@ -661,7 +745,7 @@ impl ServiceState {
         acc.1 += 1;
     }
 
-    fn handle(&self, req: Request) -> Response {
+    fn handle(&self, req: Request, span: &mut RequestSpan) -> Response {
         self.requests.fetch_add(1, Ordering::Relaxed);
         match req {
             Request::Ping { version } => {
@@ -678,7 +762,7 @@ impl ServiceState {
                     }
                 }
             }
-            Request::Profile(req) => match self.profile(&req) {
+            Request::Profile(req) => match span.time(Stage::Profile, || self.profile(&req)) {
                 Ok(lut) => Response::Profile(ProfileResponse {
                     fingerprint: format!("{:016x}", lut.fingerprint()),
                     lut: (*lut).clone(),
@@ -693,10 +777,11 @@ impl ServiceState {
                 episodes,
                 seeds,
                 transfer,
+                trace: _,
             }) => {
                 // A client-supplied LUT carries no batch; the descriptor
                 // records it as unknown.
-                match self.run_search(lut, objective, episodes, &seeds, transfer, 0) {
+                match self.run_search(lut, objective, episodes, &seeds, transfer, 0, span) {
                     Ok(plan) => Response::Plan(plan),
                     Err(e) => Response::Error {
                         message: e.to_string(),
@@ -711,6 +796,7 @@ impl ServiceState {
                 episodes,
                 seeds,
                 transfer,
+                trace: _,
             }) => {
                 let profile_req = ProfileRequest {
                     network,
@@ -718,18 +804,29 @@ impl ServiceState {
                     mode,
                     repeats: 0,
                 };
-                match self.profile(&profile_req).and_then(|lut| {
-                    self.run_search((*lut).clone(), objective, episodes, &seeds, transfer, batch)
-                }) {
+                match span
+                    .time(Stage::Profile, || self.profile(&profile_req))
+                    .and_then(|lut| {
+                        self.run_search(
+                            (*lut).clone(),
+                            objective,
+                            episodes,
+                            &seeds,
+                            transfer,
+                            batch,
+                            span,
+                        )
+                    }) {
                     Ok(plan) => Response::Plan(plan),
                     Err(e) => Response::Error {
                         message: e.to_string(),
                     },
                 }
             }
+            Request::Metrics => Response::Metrics(self.metrics_response()),
             Request::Stats => Response::Stats(StatsResponse {
                 version: PROTOCOL_VERSION,
-                uptime_ms: self.started.elapsed().as_millis() as u64,
+                uptime_ms: self.uptime_ms(),
                 requests: self.requests.load(Ordering::Relaxed),
                 plans: self.plans_served.load(Ordering::Relaxed),
                 plan_cache: self.plans.stats(),
@@ -760,17 +857,180 @@ impl ServiceState {
     /// [`ServiceState::handle`] with a panic firewall: a handler bug
     /// answers the request with an error instead of unwinding through the
     /// connection (v1) or silently leaking an in-flight permit (v2).
+    /// Opens, observes and closes its own span; the connection layers
+    /// carry a span across threads via [`ServiceState::dispatch_spanned`],
+    /// so this wrapper serves direct callers (tests).
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn dispatch(&self, req: Request) -> Response {
-        catch_unwind(AssertUnwindSafe(|| self.handle(req))).unwrap_or_else(|panic| {
-            let reason = panic
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_string())
-                .or_else(|| panic.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "unknown panic".to_string());
-            Response::Error {
-                message: format!("internal error: request handler panicked: {reason}"),
+        let mut span = self.metrics.span(request_kind(&req));
+        let resp = self.dispatch_spanned(req, &mut span);
+        self.metrics.observe(&span);
+        resp
+    }
+
+    /// [`ServiceState::dispatch`] recording into a caller-owned span; the
+    /// caller keeps timing serialize/write stages and observes the span.
+    /// When the request asked for a trace echo, the plan response carries
+    /// the stages recorded so far.
+    pub(crate) fn dispatch_spanned(&self, req: Request, span: &mut RequestSpan) -> Response {
+        span.set_kind(request_kind(&req));
+        span.set_trace(trace_requested(&req));
+        let mut resp = {
+            let span = &mut *span;
+            catch_unwind(AssertUnwindSafe(move || self.handle(req, span))).unwrap_or_else(|panic| {
+                let reason = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".to_string());
+                Response::Error {
+                    message: format!("internal error: request handler panicked: {reason}"),
+                }
+            })
+        };
+        if span.trace_requested() {
+            if let Response::Plan(plan) = &mut resp {
+                plan.trace = Some(span.trace_info());
             }
-        })
+        }
+        resp
+    }
+
+    /// Monotonic uptime; always at least 1 ms so "the server is up" reads
+    /// as a nonzero value on both I/O layers.
+    fn uptime_ms(&self) -> u64 {
+        (self.started.elapsed().as_millis() as u64).max(1)
+    }
+
+    pub(crate) fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// One coherent observability snapshot: this server's registry, the
+    /// process-global registry (search/profile internals), and families
+    /// synthesized from existing service counters (uptime, request/plan
+    /// totals, per-shard cache traffic, index size).
+    fn metrics_snapshot(&self) -> qsdnn_obs::Snapshot {
+        use qsdnn_obs::{FamilySnapshot, Kind, SampleSnapshot, SampleValue};
+        let mut snap = self.metrics.registry().snapshot();
+        snap.merge(qsdnn_obs::global().snapshot());
+        let gauge = |name: &str, help: &str, v: i64| FamilySnapshot {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind: Kind::Gauge,
+            samples: vec![SampleSnapshot {
+                labels: Vec::new(),
+                value: SampleValue::Gauge(v),
+            }],
+        };
+        let counter = |name: &str, help: &str, v: u64| FamilySnapshot {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind: Kind::Counter,
+            samples: vec![SampleSnapshot {
+                labels: Vec::new(),
+                value: SampleValue::Counter(v),
+            }],
+        };
+        snap.families.push(gauge(
+            "qsdnn_uptime_ms",
+            "Milliseconds since the server started",
+            self.uptime_ms() as i64,
+        ));
+        snap.families.push(counter(
+            "qsdnn_requests_total",
+            "Requests handled",
+            self.requests.load(Ordering::Relaxed),
+        ));
+        snap.families.push(counter(
+            "qsdnn_plans_total",
+            "Plan responses served",
+            self.plans_served.load(Ordering::Relaxed),
+        ));
+        snap.families.push(gauge(
+            "qsdnn_index_entries",
+            "Scenarios registered in the transfer index",
+            self.index.len() as i64,
+        ));
+        for (cache, shards) in [
+            ("plan", self.plans.shard_stats()),
+            ("profile", self.profiles.shard_stats()),
+        ] {
+            let mut entries = Vec::new();
+            let mut requests = Vec::new();
+            let mut evictions = Vec::new();
+            for (i, s) in shards.iter().enumerate() {
+                let base = vec![
+                    ("cache".to_string(), cache.to_string()),
+                    ("shard".to_string(), i.to_string()),
+                ];
+                entries.push(SampleSnapshot {
+                    labels: base.clone(),
+                    value: SampleValue::Gauge(s.entries as i64),
+                });
+                for (outcome, v) in [
+                    ("hit", s.hits),
+                    ("miss", s.misses),
+                    ("coalesced", s.coalesced),
+                    ("spill_load", s.spill_loads),
+                ] {
+                    let mut labels = base.clone();
+                    labels.push(("outcome".to_string(), outcome.to_string()));
+                    requests.push(SampleSnapshot {
+                        labels,
+                        value: SampleValue::Counter(v),
+                    });
+                }
+                evictions.push(SampleSnapshot {
+                    labels: base,
+                    value: SampleValue::Counter(s.evictions),
+                });
+            }
+            for (name, help, kind, samples) in [
+                (
+                    "qsdnn_cache_entries",
+                    "Ready entries resident, by cache and shard",
+                    Kind::Gauge,
+                    entries,
+                ),
+                (
+                    "qsdnn_cache_requests_total",
+                    "Cache lookups, by cache, shard and outcome",
+                    Kind::Counter,
+                    requests,
+                ),
+                (
+                    "qsdnn_cache_evictions_total",
+                    "Entries evicted, by cache and shard",
+                    Kind::Counter,
+                    evictions,
+                ),
+            ] {
+                snap.merge(qsdnn_obs::Snapshot {
+                    families: vec![FamilySnapshot {
+                        name: name.to_string(),
+                        help: help.to_string(),
+                        kind,
+                        samples,
+                    }],
+                });
+            }
+        }
+        snap
+    }
+
+    /// The `metrics` wire reply: the same snapshot the Prometheus endpoint
+    /// renders, as typed families.
+    fn metrics_response(&self) -> MetricsResponse {
+        MetricsResponse {
+            uptime_ms: self.uptime_ms(),
+            families: families_from_snapshot(&self.metrics_snapshot()),
+        }
+    }
+
+    /// Prometheus text exposition of [`ServiceState::metrics_snapshot`].
+    pub(crate) fn metrics_text(&self) -> String {
+        self.metrics_snapshot().to_prometheus()
     }
 
     pub(crate) fn note_in_flight(&self, depth: usize) {
@@ -832,6 +1092,7 @@ pub struct PlanServer {
     state: Arc<ServiceState>,
     addr: SocketAddr,
     runtime: Option<IoRuntime>,
+    exposition: Option<MetricsExposition>,
 }
 
 impl PlanServer {
@@ -872,16 +1133,32 @@ impl PlanServer {
                 ))
             }
         };
-        Ok(PlanServer {
+        let mut server = PlanServer {
             state,
             addr,
             runtime: Some(runtime),
-        })
+            exposition: None,
+        };
+        // After the runtime so a bind failure tears the server down via
+        // the normal stop path (Drop) instead of leaking threads.
+        if let Some(metrics_addr) = server.state.config.metrics_addr.clone() {
+            server.exposition = Some(MetricsExposition::start(
+                &metrics_addr,
+                Arc::clone(&server.state),
+            )?);
+        }
+        Ok(server)
     }
 
     /// The bound address (resolves ephemeral ports).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The Prometheus exposition endpoint's bound address, when
+    /// [`ServerConfig::metrics_addr`] asked for one (resolves `:0` binds).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.exposition.as_ref().map(MetricsExposition::addr)
     }
 
     /// The connection layer this server runs on.
@@ -907,6 +1184,10 @@ impl PlanServer {
             return;
         };
         self.state.shutting_down.store(true, Ordering::SeqCst);
+        // The exposition accept loop re-checks the flag every tick.
+        if let Some(mut exposition) = self.exposition.take() {
+            exposition.join();
+        }
         match runtime {
             IoRuntime::Threads { acceptor } => {
                 // Poke the blocking accept() so the loop observes the flag.
@@ -1008,6 +1289,17 @@ impl ConnShared {
         write_message(&mut *w, resp)
     }
 
+    /// Writes an already-serialized single-line JSON document, so the
+    /// caller can time serialization and the socket write separately.
+    fn write_rendered(&self, json: &str) -> Result<(), ServeError> {
+        use std::io::Write;
+        let mut w = self.writer.lock().expect("writer lock");
+        w.write_all(json.as_bytes())?;
+        w.write_all(b"\n")?;
+        w.flush()?;
+        Ok(())
+    }
+
     /// Blocks until every dispatched request has written its reply.
     fn drain(&self) {
         let mut n = self.in_flight.lock().expect("in-flight lock");
@@ -1029,11 +1321,13 @@ fn serve_connection(stream: TcpStream, state: &Arc<ServiceState>) -> Result<(), 
     });
     let mut reader = BufReader::new(stream);
     let mut partial = String::new();
+    state.metrics.connections.inc();
     let result = read_loop(&mut reader, &mut partial, &shared, state);
     // Whatever ended the read side (EOF, shutdown, I/O error), every
     // dispatched request still in flight gets to write its reply before
     // the handler exits — replies are never abandoned.
     shared.drain();
+    state.metrics.connections.dec();
     result
 }
 
@@ -1080,19 +1374,27 @@ fn read_loop(
             }
             Err(e) => return Err(e),
         };
-        match parse_request_frame(&line) {
+        // The span opens at frame receipt as kind `error`; parsing a
+        // request re-labels it.
+        let mut span = state.metrics.span("error");
+        match span.time(Stage::Parse, || parse_request_frame(&line)) {
             Err(ServeError::Protocol(message)) => {
                 // Malformed line: report (untagged — no id survived the
                 // wreckage) and keep the connection.
                 shared.write(&Response::Error { message })?;
+                state.metrics.observe(&span);
             }
             Err(e) => return Err(e),
             Ok(RequestFrame::Untagged(req)) => {
                 // v1 contract: handled inline, so replies on this
                 // connection stay in request order and at most one
                 // untagged request runs at a time.
-                let resp = state.dispatch(req);
-                shared.write(&resp)?;
+                let resp = state.dispatch_spanned(req, &mut span);
+                let json = span
+                    .time(Stage::Serialize, || serde_json::to_string(&resp))
+                    .map_err(|e| ServeError::Protocol(e.to_string()))?;
+                span.time(Stage::Write, || shared.write_rendered(&json))?;
+                state.metrics.observe(&span);
             }
             Ok(RequestFrame::Tagged(tagged)) => {
                 // Backpressure: stop parsing while the connection is at
@@ -1110,22 +1412,39 @@ fn read_loop(
                 let id = tagged.id;
                 let conn = Arc::clone(shared);
                 let dispatch_state = Arc::clone(state);
+                // The queue stage covers spawn-to-start: how long the
+                // request waited for a dispatcher to pick it up.
+                dispatch_state.metrics.dispatch_pool.queue_depth.inc();
+                let queued = Instant::now();
+                let mut span = span;
                 let spawned = std::thread::Builder::new()
                     .name("qsdnn-dispatch".into())
                     .spawn(move || {
-                        let resp = dispatch_state.dispatch(tagged.req);
-                        // A failed write means the client is gone; the
-                        // reader will observe that on its side.
-                        let _ = conn.write(&TaggedResponse {
+                        let metrics = &dispatch_state.metrics;
+                        metrics.dispatch_pool.queue_depth.dec();
+                        metrics.dispatch_pool.busy.inc();
+                        span.record(Stage::Queue, queued.elapsed());
+                        let resp = dispatch_state.dispatch_spanned(tagged.req, &mut span);
+                        let reply = TaggedResponse {
                             id: tagged.id,
                             resp,
-                        });
+                        };
+                        // A failed write means the client is gone; the
+                        // reader will observe that on its side.
+                        if let Ok(json) =
+                            span.time(Stage::Serialize, || serde_json::to_string(&reply))
+                        {
+                            let _ = span.time(Stage::Write, || conn.write_rendered(&json));
+                        }
+                        metrics.observe(&span);
+                        metrics.dispatch_pool.busy.dec();
                         let mut n = conn.in_flight.lock().expect("in-flight lock");
                         *n -= 1;
                         drop(n);
                         conn.done.notify_all();
                     });
                 if spawned.is_err() {
+                    state.metrics.dispatch_pool.queue_depth.dec();
                     // Could not spawn a dispatcher (the request was
                     // consumed by the failed spawn): return the permit and
                     // answer the id with an error so the client's ticket
@@ -1192,7 +1511,12 @@ mod tests {
             members: vec![PortfolioMember::ChainDp],
         };
         let err = state
-            .search_with(&portfolio, branchy_lut(), Objective::Latency)
+            .search_with(
+                &portfolio,
+                branchy_lut(),
+                Objective::Latency,
+                &mut state.metrics.span("plan"),
+            )
             .expect_err("no member applies");
         assert!(
             err.to_string().contains("no portfolio member"),
@@ -1202,7 +1526,12 @@ mod tests {
         // in-flight slot: an identical retry fails again promptly (a
         // leaked slot would deadlock this call in single-flight wait).
         let err = state
-            .search_with(&portfolio, branchy_lut(), Objective::Latency)
+            .search_with(
+                &portfolio,
+                branchy_lut(),
+                Objective::Latency,
+                &mut state.metrics.span("plan"),
+            )
             .expect_err("still no member");
         assert!(matches!(err, ServeError::Search(_)));
         let stats = state.plans.stats();
@@ -1214,6 +1543,7 @@ mod tests {
                 &Portfolio::paper_default(60, &[1]),
                 branchy_lut(),
                 Objective::Latency,
+                &mut state.metrics.span("plan"),
             )
             .expect("full portfolio applies");
         assert!(ok.best.best_cost_ms.is_finite());
@@ -1240,6 +1570,7 @@ mod tests {
             episodes: 40,
             seeds: Vec::new(),
             transfer: TransferMode::Auto,
+            trace: false,
         });
         let resp =
             catch_unwind(AssertUnwindSafe(|| state.dispatch(req))).expect("dispatch never unwinds");

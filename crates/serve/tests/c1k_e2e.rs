@@ -80,6 +80,7 @@ fn request_for(i: usize) -> PlanRequest {
         episodes: EPISODES,
         seeds: SEEDS.to_vec(),
         transfer: TransferMode::Off,
+        trace: false,
     }
 }
 

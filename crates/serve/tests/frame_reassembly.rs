@@ -52,6 +52,7 @@ fn random_request(rng: &mut SmallRng) -> Request {
             } else {
                 TransferMode::Off
             },
+            trace: false,
         }),
     }
 }

@@ -67,6 +67,7 @@ fn plan_request(episodes: usize) -> PlanRequest {
         episodes,
         seeds: vec![0x5EED],
         transfer: TransferMode::Off,
+        trace: false,
     }
 }
 

@@ -32,6 +32,7 @@ fn batch(n: usize, base_episodes: usize, step: usize) -> Vec<PlanRequest> {
             // bit-identical to v1 references); scenario transfer would let
             // earlier-finishing budgets seed later ones.
             transfer: TransferMode::Off,
+            trace: false,
         })
         .collect()
 }

@@ -30,6 +30,7 @@ fn request_for(network: &str) -> PlanRequest {
         // order. Scenario transfer (tested in transfer_e2e.rs) would let
         // whichever network finishes first donate to the others.
         transfer: TransferMode::Off,
+        trace: false,
     }
 }
 

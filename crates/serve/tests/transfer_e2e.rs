@@ -23,6 +23,7 @@ fn request(batch: usize, transfer: TransferMode) -> PlanRequest {
         episodes: EPISODES,
         seeds: SEEDS.to_vec(),
         transfer,
+        trace: false,
     }
 }
 
