@@ -1,0 +1,153 @@
+//! The committed baseline: grandfathered findings CI tolerates.
+//!
+//! Entries are keyed by `(file, rule, normalized snippet)` with a count —
+//! deliberately *not* by line number, so edits elsewhere in a file don't
+//! invalidate the baseline. Comparing against it yields two failure
+//! classes: **new** findings (more occurrences of a key than the baseline
+//! allows) and **stale** entries (fewer — the code was fixed, so the entry
+//! must be removed to keep the ratchet tight). Both fail CI;
+//! `--update-baseline` rewrites the file from the current tree.
+
+use std::collections::BTreeMap;
+
+use crate::Finding;
+
+/// The header written at the top of every generated baseline file.
+const HEADER: &str = "\
+# qsdnn-lint baseline: grandfathered findings, keyed by (file, rule, snippet).
+# Regenerate with: cargo run -p qsdnn-lint -- --update-baseline
+# Format: count<TAB>file<TAB>rule<TAB>normalized source line
+";
+
+type Key = (String, String, String);
+
+/// Parses baseline text into a count per key. Unparseable lines are
+/// ignored (comments, blanks).
+pub fn parse(text: &str) -> BTreeMap<Key, usize> {
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(4, '\t');
+        let (Some(count), Some(file), Some(rule), Some(snippet)) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        let Ok(count) = count.trim().parse::<usize>() else {
+            continue;
+        };
+        *map.entry((file.to_owned(), rule.to_owned(), snippet.to_owned()))
+            .or_insert(0) += count;
+    }
+    map
+}
+
+/// Renders findings as baseline text, sorted and counted by key.
+pub fn render(findings: &[Finding]) -> String {
+    let mut counts: BTreeMap<Key, usize> = BTreeMap::new();
+    for f in findings {
+        *counts
+            .entry((f.file.clone(), f.rule.to_owned(), f.snippet.clone()))
+            .or_insert(0) += 1;
+    }
+    let mut out = String::from(HEADER);
+    for ((file, rule, snippet), count) in counts {
+        out.push_str(&format!("{count}\t{file}\t{rule}\t{snippet}\n"));
+    }
+    out
+}
+
+/// The verdict of comparing current findings against the baseline.
+pub struct Diff {
+    /// Findings not covered by the baseline — fail.
+    pub new: Vec<Finding>,
+    /// Baseline keys with more grandfathered occurrences than the tree
+    /// now has (rendered `file: rule: snippet`) — fixed code whose entry
+    /// must be dropped; also fail, to keep the ratchet moving.
+    pub stale: Vec<String>,
+}
+
+/// Compares `findings` against `baseline` counts.
+pub fn diff(findings: &[Finding], baseline: &BTreeMap<Key, usize>) -> Diff {
+    let mut remaining = baseline.clone();
+    let mut new = Vec::new();
+    for f in findings {
+        let key = (f.file.clone(), f.rule.to_owned(), f.snippet.clone());
+        match remaining.get_mut(&key) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => new.push(f.clone()),
+        }
+    }
+    let stale = remaining
+        .into_iter()
+        .filter(|&(_, n)| n > 0)
+        .map(|((file, rule, snippet), n)| format!("{file}: {rule}: {snippet} (x{n})"))
+        .collect();
+    Diff { new, stale }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: u32, rule: &'static str, snippet: &str) -> Finding {
+        Finding {
+            file: file.to_owned(),
+            line,
+            rule,
+            message: String::new(),
+            snippet: snippet.to_owned(),
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let findings = vec![
+            finding("a.rs", 3, "panic-path", "x.unwrap();"),
+            finding("a.rs", 9, "panic-path", "x.unwrap();"),
+            finding("b.rs", 1, "unsafe-audit", "unsafe { y() }"),
+        ];
+        let text = render(&findings);
+        let parsed = parse(&text);
+        assert_eq!(
+            parsed.get(&("a.rs".into(), "panic-path".into(), "x.unwrap();".into())),
+            Some(&2)
+        );
+        assert_eq!(
+            parsed.get(&(
+                "b.rs".into(),
+                "unsafe-audit".into(),
+                "unsafe { y() }".into()
+            )),
+            Some(&1)
+        );
+    }
+
+    #[test]
+    fn diff_classifies_new_covered_and_stale() {
+        let baseline =
+            parse("2\ta.rs\tpanic-path\tx.unwrap();\n1\tb.rs\twire-compat\tpub id: u64,\n");
+        let findings = vec![
+            finding("a.rs", 3, "panic-path", "x.unwrap();"),
+            finding("a.rs", 9, "panic-path", "x.unwrap();"),
+            finding("c.rs", 5, "panic-path", "y.expect(\"m\");"),
+        ];
+        let d = diff(&findings, &baseline);
+        assert_eq!(d.new.len(), 1);
+        assert_eq!(d.new[0].file, "c.rs");
+        assert_eq!(d.stale.len(), 1);
+        assert!(d.stale[0].contains("b.rs"));
+    }
+
+    #[test]
+    fn line_moves_do_not_invalidate_the_baseline() {
+        let baseline = parse("1\ta.rs\tpanic-path\tx.unwrap();\n");
+        let moved = vec![finding("a.rs", 400, "panic-path", "x.unwrap();")];
+        let d = diff(&moved, &baseline);
+        assert!(d.new.is_empty());
+        assert!(d.stale.is_empty());
+    }
+}

@@ -1,0 +1,596 @@
+//! A hand-rolled Rust lexer, total over arbitrary input.
+//!
+//! The linter's rules only need a token stream with line numbers plus the
+//! comment text the compiler throws away — so this lexer keeps comments as
+//! first-class trivia and never fails: unterminated strings and comments
+//! run to end of input, unknown bytes become one-character punctuation
+//! tokens. What it must get exactly right is *where literals and comments
+//! end*, because every rule would otherwise fire on `"unsafe {"` inside a
+//! string or `.unwrap()` inside a doc comment. That means: nested block
+//! comments, raw strings with arbitrary `#` fences (`r##"…"##`), byte and
+//! byte-raw strings, char literals vs lifetimes, and raw identifiers.
+
+/// What a significant (non-trivia) token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (keywords are not distinguished).
+    Ident,
+    /// Lifetime such as `'a` (quote included in the text).
+    Lifetime,
+    /// Integer literal, suffix included.
+    Int,
+    /// Float literal, suffix included.
+    Float,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`), quotes and
+    /// fences included.
+    Str,
+    /// Character or byte-character literal.
+    Char,
+    /// Single punctuation character (multi-character operators arrive as
+    /// consecutive tokens: `::` is `:`, `:`).
+    Punct,
+}
+
+/// One significant token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Exact source text.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+/// One comment (line or block), with `//`/`/*` markers kept in the text.
+/// Consecutive `//` lines are merged into one run, so a rule asking "does
+/// the comment immediately above line N say SAFETY:" sees the whole run.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment run starts on.
+    pub start_line: u32,
+    /// 1-based line the comment run ends on.
+    pub end_line: u32,
+    /// Full text, marker included.
+    pub text: String,
+}
+
+/// A lexed source file: significant tokens plus comment trivia.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Significant tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comment runs in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    chars: Vec<char>,
+    src: std::marker::PhantomData<&'a str>,
+    pos: usize,
+    line: u32,
+}
+
+impl Cursor<'_> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into tokens and comments. Total: any input produces a
+/// token stream, never a panic.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        src: std::marker::PhantomData,
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+    while let Some(c) = cur.peek() {
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' && cur.peek_at(1) == Some('/') {
+            lex_line_comment(&mut cur, &mut out);
+            continue;
+        }
+        if c == '/' && cur.peek_at(1) == Some('*') {
+            lex_block_comment(&mut cur, &mut out);
+            continue;
+        }
+        if let Some(tok) = lex_raw_or_byte(&mut cur) {
+            out.tokens.push(tok);
+            continue;
+        }
+        if c == '"' {
+            out.tokens.push(lex_string(&mut cur, String::new()));
+            continue;
+        }
+        if c == '\'' {
+            out.tokens.push(lex_char_or_lifetime(&mut cur));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            out.tokens.push(lex_number(&mut cur));
+            continue;
+        }
+        if is_ident_start(c) {
+            out.tokens.push(lex_ident(&mut cur));
+            continue;
+        }
+        let line = cur.line;
+        cur.bump();
+        out.tokens.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+    }
+    out
+}
+
+fn lex_line_comment(cur: &mut Cursor, out: &mut Lexed) {
+    let start_line = cur.line;
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    // Merge with a directly preceding `//` run that ended on the previous
+    // line, so multi-line comment paragraphs read as one unit — but only
+    // when no code token sits on any line of the run (including this
+    // one): a trailing comment must stay its own single-line run, or the
+    // adjacency rules would let it annotate the line below it.
+    let code_since_run_start =
+        |run_start: u32, tokens: &[Token]| tokens.last().is_some_and(|t| t.line >= run_start);
+    if let Some(prev) = out.comments.last_mut() {
+        if prev.end_line + 1 == start_line
+            && prev.text.starts_with("//")
+            && text.starts_with("//")
+            && !code_since_run_start(prev.start_line, &out.tokens)
+        {
+            prev.text.push('\n');
+            prev.text.push_str(&text);
+            prev.end_line = start_line;
+            return;
+        }
+    }
+    out.comments.push(Comment {
+        start_line,
+        end_line: start_line,
+        text,
+    });
+}
+
+fn lex_block_comment(cur: &mut Cursor, out: &mut Lexed) {
+    let start_line = cur.line;
+    let mut text = String::new();
+    let mut depth = 0usize;
+    // Line of the last comment character — NOT `cur.line` after the loop,
+    // which sits one line further when the comment's final consumed
+    // character is a newline (an unterminated comment at EOF).
+    let mut end_line = start_line;
+    while let Some(c) = cur.peek() {
+        end_line = cur.line;
+        if c == '/' && cur.peek_at(1) == Some('*') {
+            depth += 1;
+            text.push_str("/*");
+            cur.bump();
+            cur.bump();
+            continue;
+        }
+        if c == '*' && cur.peek_at(1) == Some('/') {
+            depth = depth.saturating_sub(1);
+            text.push_str("*/");
+            cur.bump();
+            cur.bump();
+            if depth == 0 {
+                break;
+            }
+            continue;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    out.comments.push(Comment {
+        start_line,
+        end_line,
+        text,
+    });
+}
+
+/// Raw strings (`r"…"`, `r#"…"#`), byte strings (`b"…"`, `br#"…"#`), byte
+/// chars (`b'x'`) and raw identifiers (`r#ident`). Returns `None` when the
+/// cursor is not on one of these, leaving it untouched.
+fn lex_raw_or_byte(cur: &mut Cursor) -> Option<Token> {
+    let c = cur.peek()?;
+    if c != 'r' && c != 'b' {
+        return None;
+    }
+    let line = cur.line;
+    // Count the shape ahead without consuming.
+    let mut ahead = 1;
+    let mut prefix = String::from(c);
+    if c == 'b' && cur.peek_at(1) == Some('r') {
+        prefix.push('r');
+        ahead = 2;
+    }
+    // `r#...` — fence hashes, then a quote (raw string) or an identifier
+    // start (raw identifier).
+    let mut hashes = 0usize;
+    while cur.peek_at(ahead + hashes) == Some('#') {
+        hashes += 1;
+    }
+    match cur.peek_at(ahead + hashes) {
+        Some('"') => {
+            // Raw (or byte-raw) string: consume prefix + fence + quote.
+            for _ in 0..(ahead + hashes + 1) {
+                cur.bump();
+            }
+            let mut text = prefix;
+            text.push_str(&"#".repeat(hashes));
+            text.push('"');
+            while let Some(ch) = cur.bump() {
+                text.push(ch);
+                if ch == '"' {
+                    // Check for the closing fence.
+                    let mut matched = 0usize;
+                    while matched < hashes && cur.peek_at(matched) == Some('#') {
+                        matched += 1;
+                    }
+                    if matched == hashes {
+                        for _ in 0..hashes {
+                            cur.bump();
+                            text.push('#');
+                        }
+                        break;
+                    }
+                }
+            }
+            Some(Token {
+                kind: TokKind::Str,
+                text,
+                line,
+            })
+        }
+        Some('\'') if c == 'b' && hashes == 0 && ahead == 1 => {
+            // Byte char b'x'.
+            cur.bump(); // b
+            let mut text = String::from("b");
+            text.push_str(&lex_char_body(cur));
+            Some(Token {
+                kind: TokKind::Char,
+                text,
+                line,
+            })
+        }
+        Some(id) if c == 'r' && ahead == 1 && hashes == 1 && is_ident_start(id) => {
+            // Raw identifier r#ident.
+            cur.bump(); // r
+            cur.bump(); // #
+            let mut text = String::from("r#");
+            while let Some(ch) = cur.peek() {
+                if !is_ident_continue(ch) {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            Some(Token {
+                kind: TokKind::Ident,
+                text,
+                line,
+            })
+        }
+        _ => None, // plain identifier starting with r/b; lex_ident handles it
+    }
+}
+
+/// Consumes a quoted char literal starting at `'`, escapes handled;
+/// returns its text (quotes included). The caller decided it *is* a char.
+fn lex_char_body(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    if let Some(q) = cur.bump() {
+        text.push(q); // opening '
+    }
+    match cur.peek() {
+        Some('\\') => {
+            text.push('\\');
+            cur.bump();
+            if let Some(e) = cur.bump() {
+                text.push(e);
+                if e == 'u' && cur.peek() == Some('{') {
+                    while let Some(ch) = cur.bump() {
+                        text.push(ch);
+                        if ch == '}' {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        Some(ch) => {
+            text.push(ch);
+            cur.bump();
+        }
+        None => return text,
+    }
+    if cur.peek() == Some('\'') {
+        text.push('\'');
+        cur.bump();
+    }
+    text
+}
+
+/// `'` is a char literal or a lifetime. `'a'` is a char, `'a` is a
+/// lifetime; `'\n'` is a char; `'static` is a lifetime.
+fn lex_char_or_lifetime(cur: &mut Cursor) -> Token {
+    let line = cur.line;
+    // Escaped → always a char literal.
+    if cur.peek_at(1) == Some('\\') {
+        return Token {
+            kind: TokKind::Char,
+            text: lex_char_body(cur),
+            line,
+        };
+    }
+    // `'x'` (one char then a closing quote) → char literal. Note the
+    // payload char may be multibyte.
+    if cur.peek_at(2) == Some('\'') && cur.peek_at(1).is_some_and(|c| c != '\'') {
+        return Token {
+            kind: TokKind::Char,
+            text: lex_char_body(cur),
+            line,
+        };
+    }
+    // Otherwise a lifetime (or a stray quote, which becomes a one-char
+    // lifetime-ish token — total, never a panic).
+    let mut text = String::new();
+    if let Some(q) = cur.bump() {
+        text.push(q);
+    }
+    while let Some(c) = cur.peek() {
+        if !is_ident_continue(c) {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    Token {
+        kind: TokKind::Lifetime,
+        text,
+        line,
+    }
+}
+
+fn lex_string(cur: &mut Cursor, prefix: String) -> Token {
+    let line = cur.line;
+    let mut text = prefix;
+    if let Some(q) = cur.bump() {
+        text.push(q); // opening "
+    }
+    while let Some(c) = cur.bump() {
+        text.push(c);
+        match c {
+            '\\' => {
+                if let Some(e) = cur.bump() {
+                    text.push(e);
+                }
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+    Token {
+        kind: TokKind::Str,
+        text,
+        line,
+    }
+}
+
+fn lex_number(cur: &mut Cursor) -> Token {
+    let line = cur.line;
+    let mut text = String::new();
+    let mut float = false;
+    // Radix prefix?
+    if cur.peek() == Some('0') && matches!(cur.peek_at(1), Some('x' | 'o' | 'b' | 'X' | 'O' | 'B'))
+    {
+        text.push('0');
+        cur.bump();
+        if let Some(r) = cur.bump() {
+            text.push(r);
+        }
+        while let Some(c) = cur.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return Token {
+            kind: TokKind::Int,
+            text,
+            line,
+        };
+    }
+    while let Some(c) = cur.peek() {
+        if c.is_ascii_digit() || c == '_' {
+            text.push(c);
+            cur.bump();
+        } else if c == '.' && !float && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+            // `1.5` is a float; `1..5` is a range and `1.method()` a call.
+            float = true;
+            text.push('.');
+            cur.bump();
+        } else if (c == 'e' || c == 'E')
+            && cur.peek_at(1).is_some_and(|d| {
+                d.is_ascii_digit()
+                    || ((d == '+' || d == '-')
+                        && cur.peek_at(2).is_some_and(|e| e.is_ascii_digit()))
+            })
+        {
+            float = true;
+            text.push(c);
+            cur.bump();
+            if let Some(s) = cur.peek() {
+                if s == '+' || s == '-' {
+                    text.push(s);
+                    cur.bump();
+                }
+            }
+        } else if c.is_ascii_alphabetic() {
+            // Type suffix (u64, f32, usize…).
+            if c == 'f' {
+                float = true;
+            }
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    Token {
+        kind: if float { TokKind::Float } else { TokKind::Int },
+        text,
+        line,
+    }
+}
+
+fn lex_ident(cur: &mut Cursor) -> Token {
+    let line = cur.line;
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if !is_ident_continue(c) {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    Token {
+        kind: TokKind::Ident,
+        text,
+        line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        assert_eq!(
+            texts("let x = a.unwrap();"),
+            ["let", "x", "=", "a", ".", "unwrap", "(", ")", ";"]
+        );
+        assert_eq!(
+            texts("0xFF_u32 1_000 1.5e-3 1..2"),
+            ["0xFF_u32", "1_000", "1.5e-3", "1", ".", ".", "2"]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let lexed = lex("let s = \"unsafe { .unwrap() }\";");
+        assert_eq!(
+            lexed.tokens.iter().filter(|t| t.text == "unsafe").count(),
+            0
+        );
+        assert_eq!(lexed.tokens[3].kind, TokKind::Str);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let lexed = lex("let s = r##\"a \"# unsafe\"##; next");
+        assert_eq!(lexed.tokens[3].kind, TokKind::Str);
+        assert_eq!(lexed.tokens[3].text, "r##\"a \"# unsafe\"##");
+        assert_eq!(lexed.tokens[5].text, "next");
+    }
+
+    #[test]
+    fn byte_strings_and_chars() {
+        let lexed = lex(r#"b"bytes" b'x' 'y' '\n' 'a"#);
+        assert_eq!(lexed.tokens[0].kind, TokKind::Str);
+        assert_eq!(lexed.tokens[1].kind, TokKind::Char);
+        assert_eq!(lexed.tokens[2].kind, TokKind::Char);
+        assert_eq!(lexed.tokens[3].kind, TokKind::Char);
+        assert_eq!(lexed.tokens[4].kind, TokKind::Lifetime);
+        assert_eq!(lexed.tokens[4].text, "'a");
+    }
+
+    #[test]
+    fn nested_block_comments_and_runs() {
+        let lexed = lex("/* outer /* inner */ still */ x\n// one\n// two\ny");
+        assert_eq!(lexed.tokens.len(), 2);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("inner"));
+        assert_eq!(lexed.comments[1].text, "// one\n// two");
+        assert_eq!(lexed.comments[1].start_line, 2);
+        assert_eq!(lexed.comments[1].end_line, 3);
+    }
+
+    #[test]
+    fn trailing_comment_does_not_absorb_the_next_standalone_run() {
+        let lexed = lex("x(); // trailing\n// standalone\ny");
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].text, "// trailing");
+        assert_eq!(lexed.comments[1].start_line, 2);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(texts("r#fn r#type normal"), ["r#fn", "r#type", "normal"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let lexed = lex("a\n\"multi\nline\"\nb");
+        assert_eq!(lexed.tokens[0].line, 1);
+        assert_eq!(lexed.tokens[1].line, 2);
+        assert_eq!(lexed.tokens[2].line, 4);
+    }
+
+    #[test]
+    fn never_panics_on_garbage() {
+        for src in [
+            "\"unterminated",
+            "/* unterminated",
+            "r#\"open",
+            "'",
+            "\\ \u{7f}\u{0}",
+        ] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! **atomic-ordering** — orderings must be deliberate, not incidental.
+//! Two checks, per module (≈ per file):
+//!
+//! 1. Every atomic receiver must use a *coherent* ordering scheme across
+//!    all its load/store/RMW sites: either one ordering everywhere
+//!    (`Relaxed` counters, `SeqCst` flags), or the classic handoff
+//!    pairing (`Acquire` loads, `Release` stores, `AcqRel` RMWs). A
+//!    receiver mixing, say, `Relaxed` and `SeqCst` is either a perf bug
+//!    the <5% obs-overhead bench won't localize or a synchronization bug.
+//! 2. Every `SeqCst` site needs an adjacent `// SeqCst:` comment
+//!    justifying the total order — accidental `SeqCst` is the common way
+//!    hot counters regress.
+//!
+//! `#[cfg(test)]` code is exempt.
+
+use crate::lexer::{TokKind, Token};
+use crate::{Finding, SourceFile};
+
+const RULE: &str = "atomic-ordering";
+
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+const ATOMIC_METHODS: [&str; 13] = [
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+struct Site {
+    receiver: String,
+    method: String,
+    ordering: String,
+    line: u32,
+}
+
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    let tokens = &file.lexed.tokens;
+    let mut sites: Vec<Site> = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if file.in_test(i) || tok.text != "Ordering" {
+            continue;
+        }
+        let is_path = tokens
+            .get(i + 1)
+            .zip(tokens.get(i + 2))
+            .is_some_and(|(a, b)| a.text == ":" && b.text == ":");
+        if !is_path {
+            continue;
+        }
+        let Some(ord) = tokens
+            .get(i + 3)
+            .filter(|t| ORDERINGS.contains(&t.text.as_str()))
+        else {
+            continue;
+        };
+        let Some((receiver, method)) = enclosing_atomic_call(tokens, i) else {
+            continue;
+        };
+        if ord.text == "SeqCst"
+            && !file.adjacent_comment(tok.line, "SeqCst:")
+            && !file.waived(RULE, tok.line)
+        {
+            out.push(file.finding(
+                tok.line,
+                RULE,
+                format!(
+                    "`SeqCst` on `{receiver}.{method}` without a `// SeqCst:` justification \
+                     comment"
+                ),
+            ));
+        }
+        sites.push(Site {
+            receiver,
+            method,
+            ordering: ord.text.clone(),
+            line: tok.line,
+        });
+    }
+    check_coherence(file, &sites, out);
+}
+
+/// Walks back from the `Ordering` token to the call it is an argument of:
+/// the nearest unmatched `(` whose preceding token is an atomic method
+/// ident, with the receiver ident before the `.` before that.
+fn enclosing_atomic_call(tokens: &[Token], ord_idx: usize) -> Option<(String, String)> {
+    let mut depth = 0i64;
+    let mut j = ord_idx;
+    while j > 0 {
+        j -= 1;
+        match tokens[j].text.as_str() {
+            ")" | "]" | "}" => depth += 1,
+            "(" | "[" | "{" => {
+                if depth == 0 {
+                    if tokens[j].text != "(" {
+                        return None;
+                    }
+                    break;
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+    }
+    let method = tokens.get(j.checked_sub(1)?)?;
+    if method.kind != TokKind::Ident || !ATOMIC_METHODS.contains(&method.text.as_str()) {
+        return None;
+    }
+    let dot = tokens.get(j.checked_sub(2)?)?;
+    if dot.text != "." {
+        return None;
+    }
+    let receiver = tokens.get(j.checked_sub(3)?)?;
+    if receiver.kind != TokKind::Ident {
+        return None;
+    }
+    Some((receiver.text.clone(), method.text.clone()))
+}
+
+/// A receiver's sites are coherent when they all share one ordering, or
+/// follow the Acquire-load / Release-store / AcqRel-RMW handoff pairing.
+fn check_coherence(file: &SourceFile, sites: &[Site], out: &mut Vec<Finding>) {
+    let mut receivers: Vec<&str> = sites.iter().map(|s| s.receiver.as_str()).collect();
+    receivers.sort_unstable();
+    receivers.dedup();
+    for recv in receivers {
+        let group: Vec<&Site> = sites.iter().filter(|s| s.receiver == recv).collect();
+        let uniform = group.iter().all(|s| s.ordering == group[0].ordering);
+        if uniform || is_handoff_pairing(&group) {
+            continue;
+        }
+        let mut orderings: Vec<String> = group
+            .iter()
+            .map(|s| format!("{} at line {}", s.ordering, s.line))
+            .collect();
+        orderings.sort();
+        let Some(first) = group.iter().min_by_key(|s| s.line) else {
+            continue;
+        };
+        if file.waived(RULE, first.line) {
+            continue;
+        }
+        out.push(file.finding(
+            first.line,
+            RULE,
+            format!(
+                "atomic `{recv}` mixes orderings in this module ({}); pick one scheme",
+                orderings.join(", ")
+            ),
+        ));
+    }
+}
+
+fn is_handoff_pairing(group: &[&Site]) -> bool {
+    group.iter().all(|s| match s.method.as_str() {
+        "load" => s.ordering == "Acquire",
+        "store" => s.ordering == "Release",
+        _ => s.ordering == "AcqRel",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse("crates/x/src/lib.rs".into(), src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn uniform_relaxed_counter_is_fine() {
+        let src = "fn f(c: &AtomicU64) {\n    c.fetch_add(1, Ordering::Relaxed);\n    c.load(Ordering::Relaxed);\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn acquire_release_handoff_is_fine() {
+        let src = "fn f(flag: &AtomicBool) {\n    flag.store(true, Ordering::Release);\n    flag.load(Ordering::Acquire);\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn mixed_orderings_are_flagged_once_per_receiver() {
+        let src = "fn f(c: &AtomicU64) {\n    c.fetch_add(1, Ordering::Relaxed);\n    c.load(Ordering::Acquire);\n}\n";
+        let out = run(src);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("`c`"));
+    }
+
+    #[test]
+    fn seqcst_needs_a_justification_comment() {
+        let bad = "fn f(s: &AtomicBool) { s.store(true, Ordering::SeqCst); }\n";
+        let out = run(bad);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("SeqCst"));
+        let good = "fn f(s: &AtomicBool) {\n    // SeqCst: shutdown must totally order against in-flight work\n    s.store(true, Ordering::SeqCst);\n}\n";
+        assert!(run(good).is_empty());
+    }
+
+    #[test]
+    fn distinct_receivers_do_not_interfere() {
+        let src = "fn f(a: &AtomicU64, b: &AtomicU64) {\n    a.load(Ordering::Relaxed);\n    // SeqCst: cross-thread epoch fence\n    b.load(Ordering::SeqCst);\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(s: &AtomicBool) { s.store(true, Ordering::SeqCst); }\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn bare_ordering_import_is_not_a_site() {
+        assert!(run("use std::sync::atomic::Ordering;\n").is_empty());
+    }
+}

@@ -1,0 +1,283 @@
+//! **lock-discipline** — a `MutexGuard` bound to a name and still live
+//! across a blocking call (`recv`, `join`, a second `lock`, socket
+//! `write`/`read`/`flush`, `accept`) stalls every other thread contending
+//! for that mutex for the duration of the block — or deadlocks outright
+//! when the blocked-on party needs the same lock. The rule finds `let
+//! [mut] name = ...lock()...;` bindings and flags blocking calls between
+//! the binding and the end of its enclosing block (or an explicit
+//! `drop(name)`). Deliberate designs (serve's per-connection writer lock
+//! serializes writes *on purpose*) carry `// LINT-ALLOW(lock-discipline)`
+//! waivers at the call site. `Condvar::wait` is not blocking *with* the
+//! lock — it releases the guard — so it is not in the set.
+
+use crate::lexer::{TokKind, Token};
+use crate::{Finding, SourceFile};
+
+const RULE: &str = "lock-discipline";
+
+const BLOCKING_METHODS: [&str; 11] = [
+    "recv",
+    "recv_timeout",
+    "join",
+    "lock",
+    "write",
+    "write_all",
+    "flush",
+    "read",
+    "read_exact",
+    "read_to_end",
+    "accept",
+];
+
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    let tokens = &file.lexed.tokens;
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].text != "let" || file.in_test(i) {
+            i += 1;
+            continue;
+        }
+        let Some(binding) = parse_guard_binding(tokens, i) else {
+            i += 1;
+            continue;
+        };
+        scan_live_range(file, tokens, &binding, out);
+        i = binding.stmt_end + 1;
+    }
+}
+
+struct GuardBinding {
+    name: String,
+    line: u32,
+    /// Index of the statement's terminating `;`.
+    stmt_end: usize,
+}
+
+/// Matches `let [mut] name = <chain ending in .lock()>;` starting at the
+/// `let` token. Returns `None` for any other `let` — including
+/// initializers that merely *contain* a `.lock()` whose guard dies inside
+/// the expression (`std::mem::take(&mut *m.lock().unwrap())`, a block
+/// that returns a copied value, a spawned closure): the binding is only a
+/// guard when the chain *ends* at `.lock()`, allowing the usual
+/// poison-recovery adapters (`unwrap`, `expect`, `unwrap_or_else`,
+/// `map_err`, `?`) after it.
+fn parse_guard_binding(tokens: &[Token], let_idx: usize) -> Option<GuardBinding> {
+    let mut k = let_idx + 1;
+    if tokens.get(k).is_some_and(|t| t.text == "mut") {
+        k += 1;
+    }
+    let name_tok = tokens.get(k)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    if tokens.get(k + 1).map(|t| t.text.as_str()) != Some("=") {
+        return None;
+    }
+    // Scan the initializer to its depth-0 `;`, remembering the last
+    // `.lock(` call in it.
+    let mut depth = 0i64;
+    let mut last_lock = None;
+    let mut j = k + 2;
+    while let Some(t) = tokens.get(j) {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            ";" if depth == 0 => break,
+            "lock"
+                if tokens.get(j.wrapping_sub(1)).is_some_and(|p| p.text == ".")
+                    && tokens.get(j + 1).is_some_and(|n| n.text == "(") =>
+            {
+                last_lock = Some(j);
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let lock_idx = last_lock?;
+    if j >= tokens.len() || !chain_ends_at_lock(tokens, lock_idx, j) {
+        return None;
+    }
+    Some(GuardBinding {
+        name: name_tok.text.clone(),
+        line: name_tok.line,
+        stmt_end: j,
+    })
+}
+
+/// True when everything between `.lock(`'s closing paren and the
+/// statement's `;` at `stmt_end` is poison-recovery plumbing, i.e. the
+/// guard is what the `let` binds.
+fn chain_ends_at_lock(tokens: &[Token], lock_idx: usize, stmt_end: usize) -> bool {
+    // Find the paren that closes the `lock(` call.
+    let mut depth = 0i64;
+    let mut pos = lock_idx + 1;
+    while pos < stmt_end {
+        match tokens[pos].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    pos += 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        pos += 1;
+    }
+    const ADAPTERS: [&str; 4] = ["unwrap", "expect", "unwrap_or_else", "map_err"];
+    while pos < stmt_end {
+        if tokens[pos].text == "?" {
+            pos += 1;
+            continue;
+        }
+        let adapter = tokens[pos].text == "."
+            && tokens
+                .get(pos + 1)
+                .is_some_and(|t| ADAPTERS.contains(&t.text.as_str()))
+            && tokens.get(pos + 2).is_some_and(|t| t.text == "(");
+        if !adapter {
+            return false;
+        }
+        // Skip to the adapter call's closing paren.
+        let mut d = 0i64;
+        pos += 2;
+        while pos < stmt_end {
+            match tokens[pos].text.as_str() {
+                "(" | "[" | "{" => d += 1,
+                ")" | "]" | "}" => {
+                    d -= 1;
+                    if d == 0 {
+                        pos += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+    }
+    true
+}
+
+/// Flags blocking calls between the binding and the end of its enclosing
+/// block or `drop(name)`.
+fn scan_live_range(
+    file: &SourceFile,
+    tokens: &[Token],
+    binding: &GuardBinding,
+    out: &mut Vec<Finding>,
+) {
+    let mut depth = 0i64;
+    let mut j = binding.stmt_end + 1;
+    while let Some(t) = tokens.get(j) {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return; // enclosing block ended; guard dropped
+                }
+            }
+            "drop"
+                if tokens.get(j + 1).is_some_and(|a| a.text == "(")
+                    && tokens.get(j + 2).is_some_and(|b| b.text == binding.name)
+                    && tokens.get(j + 3).is_some_and(|c| c.text == ")") =>
+            {
+                return; // explicit early drop
+            }
+            m if BLOCKING_METHODS.contains(&m) && t.kind == TokKind::Ident => {
+                let is_call = tokens.get(j.wrapping_sub(1)).is_some_and(|p| p.text == ".")
+                    && tokens.get(j + 1).is_some_and(|n| n.text == "(");
+                if is_call && !file.in_test(j) && !file.waived(RULE, t.line) {
+                    out.push(file.finding(
+                        t.line,
+                        RULE,
+                        format!(
+                            "guard `{}` (bound at line {}) is held across blocking `.{}()`; \
+                             drop it first or waive with a rationale",
+                            binding.name, binding.line, m
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse("crates/x/src/lib.rs".into(), src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn guard_across_recv_is_flagged() {
+        let src = "fn f() {\n    let g = m.lock().unwrap_or_else(PoisonError::into_inner);\n    let job = rx.recv();\n    g.push(job);\n}\n";
+        let out = run(src);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("`g`"));
+        assert!(out[0].message.contains("recv"));
+    }
+
+    #[test]
+    fn second_lock_while_holding_first_is_flagged() {
+        let src = "fn f() {\n    let a = m1.lock().unwrap_or_else(PoisonError::into_inner);\n    let b = m2.lock().unwrap_or_else(PoisonError::into_inner);\n}\n";
+        let out = run(src);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("lock"));
+    }
+
+    #[test]
+    fn scope_end_releases_the_guard() {
+        let src = "fn f() {\n    {\n        let g = m.lock().unwrap_or_else(PoisonError::into_inner);\n        g.push(1);\n    }\n    let job = rx.recv();\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn explicit_drop_releases_the_guard() {
+        let src = "fn f() {\n    let g = m.lock().unwrap_or_else(PoisonError::into_inner);\n    drop(g);\n    let job = rx.recv();\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn transient_lock_without_binding_is_fine() {
+        let src = "fn f() {\n    m.lock().unwrap_or_else(PoisonError::into_inner).push(1);\n    let job = rx.recv();\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn blocking_call_inside_initializer_is_not_a_hold() {
+        let src = "fn f() {\n    let job = rx.lock().unwrap_or_else(PoisonError::into_inner).recv();\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn detached_results_are_not_guards() {
+        // The guard dies inside the initializer; the bound value is data.
+        let take = "fn f() {\n    let v = std::mem::take(&mut *m.lock().unwrap_or_else(PoisonError::into_inner));\n    for h in v { h.join(); }\n}\n";
+        assert!(run(take).is_empty());
+        let block = "fn f() {\n    let depth = {\n        let mut n = m.lock().unwrap_or_else(PoisonError::into_inner);\n        *n += 1;\n        *n\n    };\n    rx.recv();\n}\n";
+        assert!(run(block).is_empty());
+    }
+
+    #[test]
+    fn try_operator_chain_is_still_a_guard() {
+        let src = "fn f() -> Result<(), E> {\n    let g = m.lock().map_err(|_| E)?;\n    rx.recv();\n    Ok(())\n}\n";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn waiver_at_call_site_suppresses() {
+        let src = "fn f() {\n    let g = m.lock().unwrap_or_else(PoisonError::into_inner);\n    // LINT-ALLOW(lock-discipline): writes are serialized by design\n    stream.write_all(buf);\n}\n";
+        assert!(run(src).is_empty());
+    }
+}

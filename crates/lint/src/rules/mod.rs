@@ -1,0 +1,47 @@
+//! The rule set. Each rule is a function from a [`SourceFile`] to
+//! findings; [`run_all`] applies every rule to every file it is scoped to
+//! and returns the findings sorted for deterministic output.
+
+use crate::{Finding, SourceFile};
+
+mod atomic_ordering;
+mod lock_discipline;
+mod panic_path;
+mod unsafe_audit;
+mod wire_compat;
+
+/// Every rule name, in reporting order. `--rule` validates against this.
+pub const RULE_NAMES: [&str; 5] = [
+    "unsafe-audit",
+    "panic-path",
+    "wire-compat",
+    "atomic-ordering",
+    "lock-discipline",
+];
+
+/// Runs every rule (or just `filter`, when given) over `files` and
+/// returns findings sorted by (file, line, rule).
+pub fn run_all(files: &[SourceFile], filter: Option<&str>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let wants = |rule: &str| filter.is_none_or(|f| f == rule);
+    for file in files {
+        if wants("unsafe-audit") {
+            unsafe_audit::check(file, &mut findings);
+        }
+        if wants("panic-path") && file.is_request_path() {
+            panic_path::check(file, &mut findings);
+        }
+        if wants("wire-compat") && file.is_protocol() {
+            wire_compat::check(file, &mut findings);
+        }
+        if wants("atomic-ordering") && file.is_src() {
+            atomic_ordering::check(file, &mut findings);
+        }
+        if wants("lock-discipline") && file.is_src() {
+            lock_discipline::check(file, &mut findings);
+        }
+    }
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    findings
+}

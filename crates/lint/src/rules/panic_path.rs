@@ -1,0 +1,160 @@
+//! **panic-path** — serve's request-handling modules must not panic: a
+//! panic on the reactor or a worker thread kills every connection it was
+//! serving (the exact shape of the PR 3 handler bug). Flags `.unwrap()`,
+//! `.expect()`, the `panic!` macro family, and indexing/slicing in
+//! expression position. `#[cfg(test)]` code is exempt; fixed
+//! integer-literal indices (`pipe_fds[0]`) and full-range slices
+//! (`&buf[..]`) cannot panic and are allowed.
+
+use crate::lexer::{TokKind, Token};
+use crate::{Finding, SourceFile};
+
+const RULE: &str = "panic-path";
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that can directly precede `[` without the bracket being an
+/// index expression (`return [..]`, `match [..]`, `in [..]`, ...).
+const NON_EXPR_KEYWORDS: [&str; 24] = [
+    "let", "mut", "in", "return", "match", "if", "else", "loop", "while", "for", "break",
+    "continue", "move", "ref", "as", "box", "where", "impl", "fn", "pub", "use", "static", "const",
+    "type",
+];
+
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    let tokens = &file.lexed.tokens;
+    for (i, tok) in tokens.iter().enumerate() {
+        if file.in_test(i) {
+            continue;
+        }
+        let message = match classify(tokens, i, tok) {
+            Some(m) => m,
+            None => continue,
+        };
+        if file.waived(RULE, tok.line) {
+            continue;
+        }
+        out.push(file.finding(tok.line, RULE, message));
+    }
+}
+
+fn classify(tokens: &[Token], i: usize, tok: &Token) -> Option<String> {
+    match tok.kind {
+        TokKind::Ident => {
+            let after_dot = i > 0 && tokens[i - 1].text == ".";
+            let before_paren = tokens.get(i + 1).is_some_and(|t| t.text == "(");
+            if after_dot && before_paren && (tok.text == "unwrap" || tok.text == "expect") {
+                return Some(format!(
+                    "`.{}()` in the request path; propagate ServeError instead",
+                    tok.text
+                ));
+            }
+            let before_bang = tokens.get(i + 1).is_some_and(|t| t.text == "!");
+            if before_bang && PANIC_MACROS.contains(&tok.text.as_str()) {
+                return Some(format!(
+                    "`{}!` in the request path; return an error instead of aborting the thread",
+                    tok.text
+                ));
+            }
+            None
+        }
+        TokKind::Punct if tok.text == "[" => {
+            if !prev_is_expression(tokens, i) {
+                return None;
+            }
+            if index_cannot_panic(tokens, i) {
+                return None;
+            }
+            Some(
+                "indexing/slicing can panic in the request path; use `.get()` and handle `None`"
+                    .to_owned(),
+            )
+        }
+        _ => None,
+    }
+}
+
+/// True when the token before `[` ends an expression, making the bracket
+/// an index/slice operation rather than an array type, pattern, or
+/// attribute.
+fn prev_is_expression(tokens: &[Token], i: usize) -> bool {
+    let Some(prev) = i.checked_sub(1).and_then(|p| tokens.get(p)) else {
+        return false;
+    };
+    match prev.kind {
+        TokKind::Ident => !NON_EXPR_KEYWORDS.contains(&prev.text.as_str()),
+        TokKind::Punct => prev.text == ")" || prev.text == "]",
+        _ => false,
+    }
+}
+
+/// True for index expressions that cannot panic by construction: a single
+/// integer literal (`fds[0]` on a fixed-size array) or the full-range
+/// slice (`&buf[..]`).
+fn index_cannot_panic(tokens: &[Token], open: usize) -> bool {
+    let lit = tokens.get(open + 1).zip(tokens.get(open + 2));
+    if let Some((a, b)) = lit {
+        if a.kind == TokKind::Int && b.text == "]" {
+            return true;
+        }
+        if a.text == "." && b.text == "." && tokens.get(open + 3).is_some_and(|t| t.text == "]") {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse("x.rs".into(), src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_panic_macros() {
+        let out = run("fn f() { a.unwrap(); b.expect(\"m\"); panic!(\"x\"); unreachable!(); }\n");
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        assert!(run("fn f() { a.unwrap_or_default(); b.unwrap_or_else(|| 0); }\n").is_empty());
+    }
+
+    #[test]
+    fn flags_variable_indexing_and_range_slicing() {
+        assert_eq!(run("fn f() { let x = arr[i]; }\n").len(), 1);
+        assert_eq!(run("fn f() { let s = &buf[..n]; }\n").len(), 1);
+        assert_eq!(run("fn f() { let s = &buf[a..b]; }\n").len(), 1);
+    }
+
+    #[test]
+    fn literal_index_and_full_range_are_fine() {
+        assert!(run("fn f() { let x = fds[0]; let s = &buf[..]; }\n").is_empty());
+    }
+
+    #[test]
+    fn types_patterns_and_attrs_are_not_indexing() {
+        let src = "#[derive(Debug)]\nstruct S { a: [u8; 4] }\n\
+                   fn f(x: [u8; 2]) -> [u8; 2] { let v = vec![1, 2]; x }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { a.unwrap(); arr[i]; }\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn waiver_suppresses() {
+        let src = "fn f() {\n    // LINT-ALLOW(panic-path): startup only, before any connection\n    a.unwrap();\n}\n";
+        assert!(run(src).is_empty());
+    }
+}

@@ -1,0 +1,71 @@
+//! **unsafe-audit** — every `unsafe` block, fn, or impl must carry a
+//! `// SAFETY:` comment adjacent to it (on the preceding line, the same
+//! line, or in a comment run ending directly above). Applies to every
+//! workspace file, tests included: the FFI sites in the serve integration
+//! tests manipulate rlimits and raw sockets and deserve the same audit
+//! trail as the reactor itself.
+
+use crate::{Finding, SourceFile};
+
+const RULE: &str = "unsafe-audit";
+
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    for tok in &file.lexed.tokens {
+        if tok.text != "unsafe" {
+            continue;
+        }
+        if file.adjacent_comment(tok.line, "SAFETY:") {
+            continue;
+        }
+        if file.waived(RULE, tok.line) {
+            continue;
+        }
+        out.push(file.finding(
+            tok.line,
+            RULE,
+            "unsafe without a `// SAFETY:` comment explaining why the contract holds".to_owned(),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse("x.rs".into(), src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_bare_unsafe_block() {
+        let out = run("fn f() { unsafe { work() } }\n");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 1);
+    }
+
+    #[test]
+    fn safety_comment_above_or_trailing_passes() {
+        assert!(run("// SAFETY: fd is owned\nunsafe { close(fd) }\n").is_empty());
+        assert!(run("unsafe { close(fd) } // SAFETY: fd is owned\n").is_empty());
+        assert!(run("// blah\n// SAFETY: spans a run\nunsafe fn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn unrelated_comment_does_not_pass() {
+        assert_eq!(run("// closes the fd\nunsafe { close(fd) }\n").len(), 1);
+    }
+
+    #[test]
+    fn unsafe_inside_string_is_invisible() {
+        assert!(run("let s = \"unsafe { }\";\n").is_empty());
+    }
+
+    #[test]
+    fn waiver_suppresses() {
+        assert!(run("// LINT-ALLOW(unsafe-audit): vendored shim\nunsafe { x() }\n").is_empty());
+    }
+}

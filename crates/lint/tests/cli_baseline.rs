@@ -1,0 +1,143 @@
+//! End-to-end test of the `qsdnn-lint` binary against a synthetic
+//! workspace: new findings fail, `--update-baseline` grandfathers them,
+//! fixed code makes the grandfathered entry stale (which also fails), and
+//! a freshly seeded violation trips the baseline again.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const BAD: &str = "pub fn f() {\n    let p = &1 as *const i32;\n    let _v = unsafe { *p };\n}\n";
+const FIXED: &str = "pub fn f() {\n    let p = &1 as *const i32;\n    // SAFETY: `p` points at a live stack local.\n    let _v = unsafe { *p };\n}\n";
+
+struct TempWorkspace {
+    root: PathBuf,
+}
+
+impl TempWorkspace {
+    fn new(tag: &str) -> TempWorkspace {
+        let root =
+            std::env::temp_dir().join(format!("qsdnn-lint-e2e-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("crates/x/src")).expect("mkdir workspace");
+        std::fs::write(root.join("Cargo.toml"), "[workspace]\nmembers = []\n")
+            .expect("write manifest");
+        TempWorkspace { root }
+    }
+
+    fn write_lib(&self, src: &str) {
+        std::fs::write(self.root.join("crates/x/src/lib.rs"), src).expect("write lib.rs");
+    }
+
+    fn lint(&self, extra: &[&str]) -> Output {
+        Command::new(env!("CARGO_BIN_EXE_qsdnn-lint"))
+            .arg("--root")
+            .arg(&self.root)
+            .args(extra)
+            .output()
+            .expect("run qsdnn-lint")
+    }
+}
+
+impl Drop for TempWorkspace {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn baseline_lifecycle_gates_new_and_stale_findings() {
+    let ws = TempWorkspace::new("lifecycle");
+    ws.write_lib(BAD);
+
+    // A violation with no baseline is a new finding: nonzero exit, exact
+    // file:line: rule report.
+    let out = ws.lint(&[]);
+    assert_eq!(out.status.code(), Some(1), "stdout: {}", stdout(&out));
+    assert!(
+        stdout(&out).contains("crates/x/src/lib.rs:3: unsafe-audit:"),
+        "stdout: {}",
+        stdout(&out)
+    );
+
+    // Grandfather it, then the same tree is clean.
+    let out = ws.lint(&["--update-baseline"]);
+    assert_eq!(out.status.code(), Some(0), "stdout: {}", stdout(&out));
+    assert!(ws.root.join("lint-baseline.txt").exists());
+    let out = ws.lint(&[]);
+    assert_eq!(out.status.code(), Some(0), "stdout: {}", stdout(&out));
+    assert!(stdout(&out).contains("clean"), "stdout: {}", stdout(&out));
+
+    // Fixing the code strands the baseline entry: stale entries fail too,
+    // so the baseline can only shrink through --update-baseline.
+    ws.write_lib(FIXED);
+    let out = ws.lint(&[]);
+    assert_eq!(out.status.code(), Some(1), "stdout: {}", stdout(&out));
+    assert!(
+        stdout(&out).contains("stale baseline entry"),
+        "stdout: {}",
+        stdout(&out)
+    );
+    let out = ws.lint(&["--update-baseline"]);
+    assert_eq!(out.status.code(), Some(0), "stdout: {}", stdout(&out));
+
+    // Seeding a fresh violation trips the (now empty) baseline again.
+    ws.write_lib(BAD);
+    let out = ws.lint(&[]);
+    assert_eq!(out.status.code(), Some(1), "stdout: {}", stdout(&out));
+    assert!(
+        stdout(&out).contains("crates/x/src/lib.rs:3: unsafe-audit:"),
+        "stdout: {}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn all_flag_ignores_the_baseline() {
+    let ws = TempWorkspace::new("allflag");
+    ws.write_lib(BAD);
+    let out = ws.lint(&["--update-baseline"]);
+    assert_eq!(out.status.code(), Some(0));
+    // Grandfathered, but --all still reports and still exits nonzero.
+    let out = ws.lint(&["--all"]);
+    assert_eq!(out.status.code(), Some(1), "stdout: {}", stdout(&out));
+    assert!(
+        stdout(&out).contains("crates/x/src/lib.rs:3: unsafe-audit:"),
+        "stdout: {}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn unknown_rule_is_a_usage_error() {
+    let ws = TempWorkspace::new("usage");
+    ws.write_lib(FIXED);
+    let out = ws.lint(&["--rule", "no-such-rule"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn fixture_tree_is_excluded_from_real_runs() {
+    // The linter's own known-bad fixtures must never surface as workspace
+    // findings: collect_files skips `fixtures/` directories.
+    let ws = TempWorkspace::new("fixtures");
+    ws.write_lib(FIXED);
+    let fixture_dir = ws.root.join("crates/x/tests/fixtures");
+    std::fs::create_dir_all(&fixture_dir).expect("mkdir fixtures");
+    std::fs::write(fixture_dir.join("bad.rs"), BAD).expect("write fixture");
+    let out = ws.lint(&["--all"]);
+    assert_eq!(out.status.code(), Some(0), "stdout: {}", stdout(&out));
+}
+
+#[test]
+fn help_prints_usage_and_exits_zero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_qsdnn-lint"))
+        .arg("--help")
+        .output()
+        .expect("run qsdnn-lint --help");
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stdout(&out).contains("USAGE"));
+}

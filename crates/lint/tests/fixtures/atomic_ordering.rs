@@ -1,0 +1,17 @@
+//! Known-bad fixture for the atomic-ordering rule. Expected findings:
+//! line 5 (unjustified SeqCst on `flag`) and line 10 (mixed orderings
+//! on `mixed`). Justified SeqCst, uniform Relaxed, and handoff pass.
+pub fn flags(flag: &AtomicBool, mixed: &AtomicU64, ok: &AtomicU64) {
+    flag.store(true, Ordering::SeqCst);
+    // SeqCst: the fixture's justified total-order case.
+    flag.load(Ordering::SeqCst);
+    ok.fetch_add(1, Ordering::Relaxed);
+    ok.load(Ordering::Relaxed);
+    mixed.fetch_add(1, Ordering::Relaxed);
+    mixed.load(Ordering::Acquire);
+}
+
+pub fn handoff(gate: &AtomicBool) {
+    gate.store(true, Ordering::Release);
+    let _ = gate.load(Ordering::Acquire);
+}

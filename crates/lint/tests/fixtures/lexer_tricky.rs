@@ -1,0 +1,16 @@
+//! Lexer stress fixture: raw strings, nested block comments, raw
+//! identifiers, and macros must not confuse line tracking. Expected
+//! finding: unsafe-audit at line 16 — everything before it is a decoy.
+
+pub fn decoys() {
+    let _s = "unsafe { panic!() } .unwrap()";
+    let _r = r#"a "quoted" unsafe block
+spanning lines"#;
+    let _fence = r##"ends with "# not here"##;
+    /* block /* nested unsafe */ still a comment */
+    let _c = '\'';
+    let _lt: &'static str = "lifetime vs char";
+    let r#match = vec![1, 2];
+    let _f = 1.0e-3; let _range = 1..2;
+}
+pub unsafe fn tricky_target() {}

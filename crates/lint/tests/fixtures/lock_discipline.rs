@@ -1,0 +1,30 @@
+//! Known-bad fixture for the lock-discipline rule. Expected finding:
+//! line 7 (`recv` while guard `g` is live). Scoped, dropped, detached,
+//! and waived cases stay silent.
+
+pub fn stall(m: &Mutex<Vec<u32>>, rx: &Receiver<u32>) {
+    let g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let job = rx.recv();
+    drop(job);
+    drop(g);
+}
+
+pub fn scoped(m: &Mutex<Vec<u32>>, rx: &Receiver<u32>) {
+    {
+        let g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        drop(g);
+    }
+    let _ = rx.recv();
+}
+
+pub fn detached(m: &Mutex<Vec<u32>>, rx: &Receiver<u32>) {
+    let v = std::mem::take(&mut *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner));
+    let _ = rx.recv();
+    drop(v);
+}
+
+pub fn waived(m: &Mutex<Vec<u8>>, out: &mut TcpStream) {
+    let g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    // LINT-ALLOW(lock-discipline): the lock exists to serialize writes.
+    let _ = out.write_all(&g);
+}

@@ -1,0 +1,23 @@
+//! Known-bad fixture for the panic-path rule. Expected findings: lines
+//! 5, 6, 7, 8, and 9. Literal indices, full-range slices, waivers, and
+//! `#[cfg(test)]` code stay silent.
+pub fn handler(opt: Option<u32>, res: Result<u32, ()>, arr: &[u8], i: usize) {
+    let _a = opt.unwrap();
+    let _b = res.expect("present");
+    panic!("boom");
+    let _c = arr[i];
+    let _d = &arr[..i];
+    let fds = [0u8; 4];
+    let _ok = fds[0];
+    let _full = &arr[..];
+    // LINT-ALLOW(panic-path): exercising the waiver path.
+    let _w = opt.unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        None::<u32>.unwrap();
+    }
+}

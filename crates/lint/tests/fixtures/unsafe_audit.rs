@@ -1,0 +1,17 @@
+//! Known-bad fixture for the unsafe-audit rule. Expected findings:
+//! lines 4 and 11. Everything else must stay silent.
+
+pub unsafe fn missing_comment() {}
+
+// SAFETY: no-op body; nothing to uphold.
+pub unsafe fn documented() {}
+
+pub fn body() {
+    let p = &1 as *const i32;
+    let _bad = unsafe { *p };
+    // SAFETY: `p` points at a live stack local.
+    let _above = unsafe { *p };
+    let _trailing = unsafe { *p }; // SAFETY: same local, still live.
+    // LINT-ALLOW(unsafe-audit): exercising the waiver path.
+    let _waived = unsafe { *p };
+}

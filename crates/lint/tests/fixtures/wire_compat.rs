@@ -1,0 +1,20 @@
+//! Known-bad fixture for the wire-compat rule. Expected finding: line 6
+//! (mandatory field `seq`). Defaulted, skipped, `Option`, and
+//! non-`Deserialize` fields stay silent.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Envelope {
+    pub seq: u64,
+    #[serde(default)]
+    pub trace: bool,
+    pub note: Option<String>,
+    #[serde(default)]
+    pub tags: HashMap<String, Vec<u32>>,
+}
+
+#[derive(Debug, Clone)]
+pub struct NotWire {
+    pub seq: u64,
+}
+
+#[derive(Deserialize)]
+pub struct Newtype(pub u32);

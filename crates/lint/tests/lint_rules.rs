@@ -1,0 +1,123 @@
+//! Rule-level integration tests: each `tests/fixtures/*.rs` file is a
+//! known-bad snippet with its expected findings documented in its header
+//! comment; these tests pin the exact `file:line: rule` output. The
+//! fixtures directory is skipped by `collect_files`, so the snippets
+//! never leak into a real workspace run.
+
+use std::path::Path;
+
+use qsdnn_lint::rules::run_all;
+use qsdnn_lint::{Finding, SourceFile};
+
+/// Parses a fixture under the given synthetic workspace-relative path
+/// (rules scope themselves by path) and runs one rule — or all of them
+/// when `rule` is `None`.
+fn run_fixture(name: &str, rel: &str, rule: Option<&str>) -> Vec<Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    let file = SourceFile::parse(rel.to_owned(), &src);
+    run_all(&[file], rule)
+}
+
+fn lines_of(findings: &[Finding]) -> Vec<u32> {
+    findings.iter().map(|f| f.line).collect()
+}
+
+#[test]
+fn unsafe_audit_fixture_findings_are_exact() {
+    let out = run_fixture(
+        "unsafe_audit.rs",
+        "crates/x/src/lib.rs",
+        Some("unsafe-audit"),
+    );
+    assert_eq!(lines_of(&out), vec![4, 11], "findings: {out:#?}");
+    assert!(out.iter().all(|f| f.rule == "unsafe-audit"));
+    assert_eq!(
+        out[0].to_string(),
+        "crates/x/src/lib.rs:4: unsafe-audit: unsafe without a `// SAFETY:` comment \
+         explaining why the contract holds"
+    );
+}
+
+#[test]
+fn panic_path_fixture_findings_are_exact() {
+    let rel = "crates/serve/src/server.rs";
+    let out = run_fixture("panic_path.rs", rel, Some("panic-path"));
+    assert_eq!(lines_of(&out), vec![5, 6, 7, 8, 9], "findings: {out:#?}");
+    assert!(out.iter().all(|f| f.rule == "panic-path" && f.file == rel));
+    assert!(out[0].message.contains("`.unwrap()`"));
+    assert!(out[1].message.contains("`.expect()`"));
+    assert!(out[2].message.contains("`panic!`"));
+    assert!(out[3].message.contains("indexing/slicing"));
+}
+
+#[test]
+fn panic_path_only_applies_to_request_modules() {
+    let out = run_fixture(
+        "panic_path.rs",
+        "crates/core/src/lib.rs",
+        Some("panic-path"),
+    );
+    assert!(out.is_empty(), "panic-path leaked outside serve: {out:#?}");
+}
+
+#[test]
+fn wire_compat_fixture_findings_are_exact() {
+    let rel = "crates/serve/src/protocol.rs";
+    let out = run_fixture("wire_compat.rs", rel, Some("wire-compat"));
+    assert_eq!(lines_of(&out), vec![6], "findings: {out:#?}");
+    assert!(out[0].message.contains("`seq`"));
+    assert!(out[0].message.contains("`Envelope`"));
+}
+
+#[test]
+fn wire_compat_only_applies_to_protocol() {
+    let out = run_fixture(
+        "wire_compat.rs",
+        "crates/serve/src/server.rs",
+        Some("wire-compat"),
+    );
+    assert!(
+        out.is_empty(),
+        "wire-compat leaked outside protocol.rs: {out:#?}"
+    );
+}
+
+#[test]
+fn atomic_ordering_fixture_findings_are_exact() {
+    let out = run_fixture(
+        "atomic_ordering.rs",
+        "crates/x/src/lib.rs",
+        Some("atomic-ordering"),
+    );
+    assert_eq!(lines_of(&out), vec![5, 10], "findings: {out:#?}");
+    assert!(out[0].message.contains("SeqCst"));
+    assert!(out[1].message.contains("`mixed`"));
+    assert!(out[1].message.contains("mixes orderings"));
+}
+
+#[test]
+fn lock_discipline_fixture_findings_are_exact() {
+    let out = run_fixture(
+        "lock_discipline.rs",
+        "crates/x/src/lib.rs",
+        Some("lock-discipline"),
+    );
+    assert_eq!(lines_of(&out), vec![7], "findings: {out:#?}");
+    assert!(out[0].message.contains("`g`"));
+    assert!(out[0].message.contains("recv"));
+}
+
+#[test]
+fn lexer_tricky_fixture_yields_exactly_the_one_real_finding() {
+    // All rules at once, on a request-path rel so panic-path runs too:
+    // the raw strings, nested block comments, raw identifiers, and macro
+    // brackets before line 16 must all stay silent, and line numbers must
+    // survive the multi-line raw string.
+    let out = run_fixture("lexer_tricky.rs", "crates/serve/src/server.rs", None);
+    assert_eq!(out.len(), 1, "decoys tripped a rule: {out:#?}");
+    assert_eq!((out[0].line, out[0].rule), (16, "unsafe-audit"));
+}

@@ -61,6 +61,11 @@ impl Counter {
 
 /// A level that can move both ways (queue depth, open connections,
 /// high-water marks via [`Gauge::set_max`]).
+///
+/// Like [`Counter`], every operation is a relaxed atomic: gauges report
+/// state, they never order it. Code that needs a synchronizing flag
+/// (e.g. the server's shutdown latch) owns its own atomic with the
+/// ordering it actually requires.
 #[derive(Debug, Default)]
 pub struct Gauge {
     value: AtomicI64,

@@ -174,6 +174,9 @@ fn escape_json(s: &str) -> String {
 ///
 /// The line is a single JSON object: timestamp, level, event name, then
 /// the given fields in order.
+// stderr IS the default sink here: structured logs are this module's
+// entire purpose, unlike stray debug prints elsewhere in the workspace.
+#[allow(clippy::print_stderr)]
 pub fn event(level: Level, name: &str, fields: &[(&str, FieldValue)]) {
     if !enabled(level) {
         return;

@@ -49,6 +49,14 @@ use qsdnn::engine::{CostLut, Fnv64, Objective};
 use qsdnn::PortfolioOutcome;
 use serde::{Deserialize, Serialize};
 
+/// Locks a cache mutex, recovering from poisoning. Every mutation under
+/// these locks is transactional (insert/remove completes before the guard
+/// drops), so state left by a panicked peer is still coherent — poisoning
+/// must not take the whole cache down with the one request that unwound.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Builds the content address for one plan scenario.
 ///
 /// The LUT fingerprint already covers network, platform, mode and every
@@ -320,7 +328,7 @@ impl SpillTier {
         }
         files.sort_by_key(|f| f.1);
         let excess = files.len().saturating_sub(self.max_disk_entries);
-        let mut index = self.index.lock().expect("spill index lock");
+        let mut index = lock_recover(&self.index);
         *index = DiskIndex::default();
         for (key, _) in files.drain(..excess) {
             let _ = std::fs::remove_file(self.path_for(&key));
@@ -355,12 +363,14 @@ impl SpillTier {
             let _ = std::fs::remove_file(&tmp);
             return;
         }
-        let mut index = self.index.lock().expect("spill index lock");
+        let mut index = lock_recover(&self.index);
         if index.present.insert(key.to_string()) {
             index.order.push_back(key.to_string());
         }
         while index.order.len() > self.max_disk_entries {
-            let victim = index.order.pop_front().expect("non-empty order");
+            let Some(victim) = index.order.pop_front() else {
+                break;
+            };
             index.present.remove(&victim);
             let _ = std::fs::remove_file(self.path_for(&victim));
         }
@@ -368,7 +378,7 @@ impl SpillTier {
 
     /// Spilled entries currently indexed.
     fn len(&self) -> usize {
-        self.index.lock().expect("spill index lock").order.len()
+        lock_recover(&self.index).order.len()
     }
 }
 
@@ -397,7 +407,7 @@ struct InFlightGuard<'a, T> {
 impl<T> Drop for InFlightGuard<'_, T> {
     fn drop(&mut self) {
         if !self.completed {
-            let mut state = self.shard.state.lock().expect("cache lock");
+            let mut state = lock_recover(&self.shard.state);
             if matches!(state.map.get(self.key), Some(Slot::InFlight)) {
                 state.map.remove(self.key);
             }
@@ -490,6 +500,8 @@ impl<T: CacheValue> PlanCache<T> {
     fn shard_for(&self, key: &str) -> &Shard<T> {
         let mut h = Fnv64::new();
         h.write_str(key);
+        // LINT-ALLOW(panic-path): the index is `hash % len`, in range by
+        // construction, and `shards` is never empty (clamped to >= 1).
         &self.shards[(h.finish() % self.shards.len() as u64) as usize]
     }
 
@@ -565,24 +577,23 @@ impl<T: CacheValue> PlanCache<T> {
     /// request owns the slot via `get_or_compute` and will publish (or
     /// unwind) soon. `peek` reports such slots as misses.
     pub fn is_pending(&self, key: &str) -> bool {
-        let state = self.shard_for(key).state.lock().expect("cache lock");
+        let state = lock_recover(&self.shard_for(key).state);
         matches!(state.map.get(key), Some(Slot::InFlight))
     }
 
     fn peek_inner(&self, key: &str, counted: bool) -> Option<Arc<T>> {
         let shard = self.shard_for(key);
         {
-            let mut state = shard.state.lock().expect("cache lock");
-            if matches!(state.map.get(key), Some(Slot::Ready(_))) {
-                state.tick += 1;
-                let tick = state.tick;
+            let mut state = lock_recover(&shard.state);
+            // Reborrow so the entry's borrow of `map` can coexist with
+            // the disjoint `tick`/`counters` field updates.
+            let st = &mut *state;
+            if let Some(Slot::Ready(entry)) = st.map.get_mut(key) {
+                st.tick += 1;
                 if counted {
-                    state.counters.hits += 1;
+                    st.counters.hits += 1;
                 }
-                let Some(Slot::Ready(entry)) = state.map.get_mut(key) else {
-                    unreachable!("slot checked above");
-                };
-                entry.last_used = tick;
+                entry.last_used = st.tick;
                 return Some(Arc::clone(&entry.value));
             }
         }
@@ -590,7 +601,7 @@ impl<T: CacheValue> PlanCache<T> {
         // must not serialize the shard).
         let value = Arc::new(self.load_spilled(key)?);
         let cap = self.per_shard_cap();
-        let mut state = shard.state.lock().expect("cache lock");
+        let mut state = lock_recover(&shard.state);
         if counted {
             state.counters.spill_loads += 1;
         }
@@ -642,47 +653,49 @@ impl<T: CacheValue> PlanCache<T> {
         let shard = self.shard_for(key);
         let mut waited = false;
         {
-            let mut state = shard.state.lock().expect("cache lock");
+            let mut state = lock_recover(&shard.state);
             loop {
-                match state.map.get(key) {
-                    Some(Slot::Ready(_)) => {
-                        state.tick += 1;
-                        let tick = state.tick;
-                        if waited {
-                            state.counters.coalesced += 1;
-                        } else {
-                            state.counters.hits += 1;
-                        }
-                        let Some(Slot::Ready(entry)) = state.map.get_mut(key) else {
-                            unreachable!("slot checked above");
-                        };
-                        entry.last_used = tick;
-                        return Ok((Arc::clone(&entry.value), true));
+                // Reborrow so the entry's borrow of `map` can coexist
+                // with the disjoint `tick`/`counters` field updates.
+                let st = &mut *state;
+                if let Some(Slot::Ready(entry)) = st.map.get_mut(key) {
+                    st.tick += 1;
+                    if waited {
+                        st.counters.coalesced += 1;
+                    } else {
+                        st.counters.hits += 1;
                     }
-                    Some(Slot::InFlight) => {
-                        // Someone else owns the compute; wait for it to
-                        // publish or unwind. Counted once per request at
-                        // the end, not once per wakeup.
-                        waited = true;
-                        state = shard.ready.wait(state).expect("cache lock");
-                    }
-                    None => {
-                        // Claim the key — but only if the shard has room.
-                        // The in-flight marker counts toward the bound, so
-                        // the capacity invariant holds from claim to
-                        // publish.
-                        if state.map.len() < cap || self.evict_one(&mut state) {
-                            state.map.insert(key.to_string(), Slot::InFlight);
-                            break;
-                        }
-                        // Every slot is an in-flight compute: wait for one
-                        // to publish (then evictable) or unwind — never
-                        // overrun the bound.
-                        state.counters.capacity_stalls += 1;
-                        waited = true;
-                        state = shard.ready.wait(state).expect("cache lock");
-                    }
+                    entry.last_used = st.tick;
+                    return Ok((Arc::clone(&entry.value), true));
                 }
+                // Ready was handled above, so an occupied slot means an
+                // in-flight compute someone else owns: wait for it to
+                // publish or unwind. Counted once per request at the
+                // end, not once per wakeup.
+                if state.map.contains_key(key) {
+                    waited = true;
+                    state = match shard.ready.wait(state) {
+                        Ok(guard) => guard,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    continue;
+                }
+                // Claim the key — but only if the shard has room. The
+                // in-flight marker counts toward the bound, so the
+                // capacity invariant holds from claim to publish.
+                if state.map.len() < cap || self.evict_one(&mut state) {
+                    state.map.insert(key.to_string(), Slot::InFlight);
+                    break;
+                }
+                // Every slot is an in-flight compute: wait for one to
+                // publish (then evictable) or unwind — never overrun
+                // the bound.
+                state.counters.capacity_stalls += 1;
+                waited = true;
+                state = match shard.ready.wait(state) {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
             }
         }
 
@@ -699,7 +712,7 @@ impl<T: CacheValue> PlanCache<T> {
         };
         let outcome = Arc::new(outcome);
         {
-            let mut state = shard.state.lock().expect("cache lock");
+            let mut state = lock_recover(&shard.state);
             state.tick += 1;
             let entry = ReadyEntry {
                 value: Arc::clone(&outcome),
@@ -749,7 +762,7 @@ impl<T: CacheValue> PlanCache<T> {
         let cap = self.per_shard_cap();
         self.shards
             .iter()
-            .map(|s| Self::shard_stats_locked(&s.state.lock().expect("cache lock"), cap))
+            .map(|s| Self::shard_stats_locked(&lock_recover(&s.state), cap))
             .collect()
     }
 
@@ -783,7 +796,7 @@ impl<T: CacheValue> PlanCache<T> {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.state.lock().expect("cache lock").map.len())
+            .map(|s| lock_recover(&s.state).map.len())
             .sum()
     }
 

@@ -26,6 +26,10 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// Health gauges a pool maintains: how many jobs are queued and how many
 /// workers are mid-job. Cloned into every worker.
+///
+/// Both gauges are `Relaxed` atomics internally (see `qsdnn_obs`):
+/// statistics only, never used to synchronize — the channel itself is
+/// the worker handoff.
 #[derive(Debug, Clone)]
 pub struct PoolGauges {
     /// Jobs submitted but not yet picked up by a worker.
@@ -67,6 +71,9 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("{prefix}-{i}"))
                     .spawn(move || worker_loop(&rx, gauges.as_ref()))
+                    // LINT-ALLOW(panic-path): pool construction is server
+                    // startup, before any connection is accepted; a host
+                    // that cannot spawn threads cannot serve at all.
                     .expect("spawn worker thread")
             })
             .collect();
@@ -88,16 +95,37 @@ impl WorkerPool {
         self.workers.len()
     }
 
-    /// Enqueues a job; it runs on the first free worker.
+    /// Enqueues a job; it runs on the first free worker. If the pool can
+    /// no longer queue (teardown has begun), the job runs inline on the
+    /// caller's thread rather than being dropped or panicking: late
+    /// completions still get delivered, just without parallelism.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
         if let Some(g) = &self.gauges {
             g.queue_depth.inc();
         }
-        self.tx
-            .as_ref()
-            .expect("pool is alive while owned")
-            .send(Box::new(job))
-            .expect("workers outlive the sender");
+        let Some(tx) = self.tx.as_ref() else {
+            // Only reachable mid-Drop (tx is taken there); run inline.
+            run_inline(Box::new(job), self.gauges.as_ref());
+            return;
+        };
+        if let Err(returned) = tx.send(Box::new(job)) {
+            // Every worker exited, which only happens at teardown; the
+            // send handed the job back, so run it inline.
+            run_inline(returned.0, self.gauges.as_ref());
+        }
+    }
+}
+
+/// Fallback execution path when the queue is gone: same gauge accounting
+/// and panic containment as a worker, on the submitting thread.
+fn run_inline(job: Job, gauges: Option<&PoolGauges>) {
+    if let Some(g) = gauges {
+        g.queue_depth.dec();
+        g.busy.inc();
+    }
+    let _ = catch_unwind(AssertUnwindSafe(job));
+    if let Some(g) = gauges {
+        g.busy.dec();
     }
 }
 

@@ -670,15 +670,18 @@ impl FrameBuffer {
     /// (i.e. whether [`FrameBuffer::buffered`] growth is a single frame
     /// still in flight rather than a parse backlog).
     pub fn has_terminator(&self) -> bool {
-        self.buf[self.start..].contains(&b'\n')
+        self.buf
+            .get(self.start..)
+            .is_some_and(|pending| pending.contains(&b'\n'))
     }
 
     /// Extracts the next complete, non-blank line (terminator stripped).
     /// Returns `None` when no complete line is buffered yet.
     pub fn next_frame(&mut self) -> Option<Vec<u8>> {
         loop {
-            let rel = self.buf[self.start..].iter().position(|&b| b == b'\n')?;
-            let line = &self.buf[self.start..self.start + rel];
+            let pending = self.buf.get(self.start..)?;
+            let rel = pending.iter().position(|&b| b == b'\n')?;
+            let line = pending.get(..rel).unwrap_or(&[]);
             // Strip an optional carriage return so `nc -C`-style clients
             // work, mirroring the `trim()` on the threaded path.
             let line = line.strip_suffix(b"\r").unwrap_or(line);
@@ -698,7 +701,7 @@ impl FrameBuffer {
     /// equivalent, so half-close clients get their last request answered
     /// on either connection layer.
     pub fn take_partial(&mut self) -> Option<Vec<u8>> {
-        let tail = &self.buf[self.start..];
+        let tail = self.buf.get(self.start..).unwrap_or(&[]);
         let tail = tail.strip_suffix(b"\r").unwrap_or(tail);
         let frame = if tail.iter().all(|b| b.is_ascii_whitespace()) {
             None

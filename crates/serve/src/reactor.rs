@@ -133,11 +133,15 @@ struct Epoll {
 
 impl Epoll {
     fn new() -> io::Result<Epoll> {
+        // SAFETY: epoll_create1 takes no pointers; the flag constant is
+        // the kernel's own. A negative return is checked before use.
         let fd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
         if fd < 0 {
             return Err(last_os_error());
         }
         Ok(Epoll {
+            // SAFETY: fd was just returned by epoll_create1 (checked
+            // >= 0) and has no other owner; OwnedFd takes sole custody.
             fd: unsafe { OwnedFd::from_raw_fd(fd) },
         })
     }
@@ -147,6 +151,9 @@ impl Epoll {
             events,
             data: token,
         };
+        // SAFETY: `ev` is a live stack value for the duration of the
+        // call; epoll_ctl only reads it. Both fds are open (self.fd is
+        // owned, `fd` is the caller's live socket).
         let rc = unsafe { sys::epoll_ctl(self.fd.as_raw_fd(), op, fd, &mut ev) };
         if rc < 0 {
             return Err(last_os_error());
@@ -168,6 +175,9 @@ impl Epoll {
 
     fn wait(&self, events: &mut [sys::EpollEvent], timeout: Duration) -> io::Result<usize> {
         let ms = timeout.as_millis().min(i32::MAX as u128) as i32;
+        // SAFETY: the pointer and length describe the caller's live
+        // mutable slice; the kernel writes at most `events.len()`
+        // entries and reports how many via the return value.
         let n = unsafe {
             sys::epoll_wait(
                 self.fd.as_raw_fd(),
@@ -200,6 +210,9 @@ impl Waker {
         let byte = [1u8];
         // EAGAIN: the pipe already holds a pending wakeup. EPIPE: the
         // reactor is gone and nothing needs waking. Both are fine.
+        // SAFETY: the pointer/length pair describes the one-byte stack
+        // buffer above, live for the whole call; the fd is kept open by
+        // the Arc<OwnedFd> this method borrows.
         unsafe {
             sys::write(
                 self.fd.as_raw_fd(),
@@ -233,13 +246,18 @@ impl Completions {
     fn push(&self, completion: Completion) {
         self.queue
             .lock()
-            .expect("completion queue")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push(completion);
         self.waker.wake();
     }
 
     fn drain(&self) -> Vec<Completion> {
-        std::mem::take(&mut *self.queue.lock().expect("completion queue"))
+        std::mem::take(
+            &mut *self
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
     }
 }
 
@@ -318,12 +336,18 @@ pub(crate) fn start(
     listener.set_nonblocking(true)?;
     let epoll = Epoll::new()?;
     let mut pipe_fds = [0i32; 2];
+    // SAFETY: pipe2 writes exactly two fds into the two-element array
+    // whose pointer it is given; the flags are kernel constants.
     let rc = unsafe { sys::pipe2(pipe_fds.as_mut_ptr(), sys::O_NONBLOCK | sys::O_CLOEXEC) };
     if rc < 0 {
         return Err(ServeError::Io(last_os_error()));
     }
+    // SAFETY: pipe2 succeeded (rc checked), so both fds are open and
+    // owned by nobody else; each OwnedFd takes sole custody of one end.
     let wake_rx = unsafe { OwnedFd::from_raw_fd(pipe_fds[0]) };
     let waker = Waker {
+        // SAFETY: as above — the write end from the same successful
+        // pipe2 call, moved into exactly one OwnedFd.
         fd: Arc::new(unsafe { OwnedFd::from_raw_fd(pipe_fds[1]) }),
     };
     epoll.add(listener.as_raw_fd(), sys::EPOLLIN, TOKEN_LISTENER)?;
@@ -356,8 +380,7 @@ pub(crate) fn start(
     };
     let handle = std::thread::Builder::new()
         .name("qsdnn-reactor".into())
-        .spawn(move || reactor.run())
-        .expect("spawn reactor");
+        .spawn(move || reactor.run())?;
     Ok((handle, waker, dispatchers))
 }
 
@@ -400,7 +423,7 @@ impl Reactor {
                 self.state.metrics.reactor_ready_events.set(n as i64);
             }
             let mut accept_ready = false;
-            for ev in &events[..n] {
+            for ev in events.iter().take(n) {
                 // Copy out of the (possibly packed) event before use.
                 let token = ev.data;
                 let bits = ev.events;
@@ -421,6 +444,9 @@ impl Reactor {
                     .reactor_loop_us
                     .record_duration(work_start.elapsed());
             }
+            // SeqCst: shutdown must be totally ordered against the
+            // acceptor and worker threads' own checks so no thread keeps
+            // admitting work after another observed the flag.
             if self.state.shutting_down.load(Ordering::SeqCst) {
                 if self.begin_or_check_drain() {
                     return;
@@ -463,7 +489,9 @@ impl Reactor {
                 self.maybe_close(token);
             }
         }
-        let deadline = self.drain_deadline.expect("drain deadline set above");
+        let deadline = *self
+            .drain_deadline
+            .get_or_insert_with(|| Instant::now() + SHUTDOWN_DRAIN);
         self.conns.is_empty() || Instant::now() >= deadline
     }
 
@@ -484,6 +512,9 @@ impl Reactor {
     fn drain_wake_pipe(&mut self) {
         let mut buf = [0u8; 64];
         loop {
+            // SAFETY: the pointer/length pair describes the local stack
+            // buffer, live across the call; the kernel writes at most
+            // `buf.len()` bytes. The fd is owned by self and nonblocking.
             let n = unsafe {
                 sys::read(
                     self.wake_rx.as_raw_fd(),
@@ -569,7 +600,9 @@ impl Reactor {
                     break;
                 }
                 Ok(n) => {
-                    conn.frames.push(&chunk[..n]);
+                    if let Some(bytes) = chunk.get(..n) {
+                        conn.frames.push(bytes);
+                    }
                     if n < chunk.len() {
                         break;
                     }
@@ -760,18 +793,20 @@ impl Reactor {
             return false;
         };
         while let Some(front) = conn.outbox.front() {
-            match conn.stream.write(&front.line[conn.front_written..]) {
+            let pending = front.line.get(conn.front_written..).unwrap_or(&[]);
+            match conn.stream.write(pending) {
                 Ok(n) => {
                     conn.front_written += n;
-                    conn.outbox_bytes -= n;
-                    if conn.front_written == front.line.len() {
-                        let done = conn.outbox.pop_front().expect("front exists");
+                    conn.outbox_bytes = conn.outbox_bytes.saturating_sub(n);
+                    if conn.front_written >= front.line.len() {
                         conn.front_written = 0;
                         // The reply is fully handed to the kernel: close
                         // out its span with the write stage.
-                        if let Some(mut span) = done.span {
-                            span.record(Stage::Write, done.queued.elapsed());
-                            self.state.metrics.observe(&span);
+                        if let Some(done) = conn.outbox.pop_front() {
+                            if let Some(mut span) = done.span {
+                                span.record(Stage::Write, done.queued.elapsed());
+                                self.state.metrics.observe(&span);
+                            }
                         }
                     }
                 }

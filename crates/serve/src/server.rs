@@ -104,6 +104,9 @@ impl IoModel {
         if let Ok(v) = std::env::var("QSDNN_SERVE_IO") {
             match v.parse() {
                 Ok(io) => return io,
+                // LINT-ALLOW(panic-path): process startup, before any
+                // listener or connection exists; see `# Panics` above for
+                // why silently falling back would fake test coverage.
                 Err(e) => panic!("invalid QSDNN_SERVE_IO: {e}"),
             }
         }
@@ -740,7 +743,10 @@ impl ServiceState {
 
     fn note_transfer(&self, distance: f64) {
         self.transfer_hits.fetch_add(1, Ordering::Relaxed);
-        let mut acc = self.donor_distance.lock().expect("distance lock");
+        let mut acc = self
+            .donor_distance
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         acc.0 += distance;
         acc.1 += 1;
     }
@@ -841,7 +847,10 @@ impl ServiceState {
                 transfer_hits: self.transfer_hits.load(Ordering::Relaxed),
                 warm_starts: self.warm_starts.load(Ordering::Relaxed),
                 mean_donor_distance: {
-                    let (sum, n) = *self.donor_distance.lock().expect("distance lock");
+                    let (sum, n) = *self
+                        .donor_distance
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                     if n == 0 {
                         0.0
                     } else {
@@ -903,6 +912,8 @@ impl ServiceState {
     }
 
     pub(crate) fn is_shutting_down(&self) -> bool {
+        // SeqCst: shutdown must be totally ordered against every
+        // thread's check — see the store in `PlanServer::stop`.
         self.shutting_down.load(Ordering::SeqCst)
     }
 
@@ -1061,9 +1072,11 @@ fn donor_qtable(entry: &ScenarioEntry, outcome: &PortfolioOutcome) -> Option<QTa
         .iter()
         .enumerate()
         .map(|(l, &ci)| {
-            entry.descriptor.layers[l]
-                .cost
-                .get(ci)
+            entry
+                .descriptor
+                .layers
+                .get(l)
+                .and_then(|layer| layer.cost.get(ci))
                 .copied()
                 .unwrap_or(f64::NAN)
         })
@@ -1112,8 +1125,7 @@ impl PlanServer {
                 let acceptor_state = Arc::clone(&state);
                 let acceptor = std::thread::Builder::new()
                     .name("qsdnn-acceptor".into())
-                    .spawn(move || accept_loop(&listener, &acceptor_state))
-                    .expect("spawn acceptor");
+                    .spawn(move || accept_loop(&listener, &acceptor_state))?;
                 IoRuntime::Threads { acceptor }
             }
             #[cfg(target_os = "linux")]
@@ -1183,6 +1195,9 @@ impl PlanServer {
         let Some(runtime) = self.runtime.take() else {
             return;
         };
+        // SeqCst: the acceptor, reactor, handler, and exposition threads
+        // all poll this flag; a total order guarantees none of them keeps
+        // admitting work after any other thread observed shutdown.
         self.state.shutting_down.store(true, Ordering::SeqCst);
         // The exposition accept loop re-checks the flag every tick.
         if let Some(mut exposition) = self.exposition.take() {
@@ -1193,8 +1208,13 @@ impl PlanServer {
                 // Poke the blocking accept() so the loop observes the flag.
                 let _ = TcpStream::connect(self.addr);
                 let _ = acceptor.join();
-                let handlers =
-                    std::mem::take(&mut *self.state.handlers.lock().expect("handlers lock"));
+                let handlers = std::mem::take(
+                    &mut *self
+                        .state
+                        .handlers
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner),
+                );
                 for h in handlers {
                     let _ = h.join();
                 }
@@ -1225,6 +1245,8 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServiceState>) {
     let mut backoff = ACCEPT_BACKOFF_MIN;
     loop {
         let stream = listener.accept();
+        // SeqCst: pairs with the store in `PlanServer::stop` — the
+        // accept that `stop` pokes us with must observe the flag.
         if state.shutting_down.load(Ordering::SeqCst) {
             return;
         }
@@ -1255,19 +1277,31 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServiceState>) {
                 let _ = serve_connection(stream, &conn_state);
             });
         let Ok(handle) = spawned else { continue };
-        let mut handlers = state.handlers.lock().expect("handlers lock");
         // Reap handlers whose connections already closed so a long-lived
         // server doesn't accumulate one JoinHandle per past connection.
-        let mut live = Vec::with_capacity(handlers.len() + 1);
-        for h in handlers.drain(..) {
-            if h.is_finished() {
-                let _ = h.join();
-            } else {
-                live.push(h);
+        // The joins happen after the lock is released: even a finished
+        // thread's join is a blocking call, and the handler list is
+        // contended by `stop`.
+        let mut finished = Vec::new();
+        {
+            let mut handlers = state
+                .handlers
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut live = Vec::with_capacity(handlers.len() + 1);
+            for h in handlers.drain(..) {
+                if h.is_finished() {
+                    finished.push(h);
+                } else {
+                    live.push(h);
+                }
             }
+            live.push(handle);
+            *handlers = live;
         }
-        live.push(handle);
-        *handlers = live;
+        for h in finished {
+            let _ = h.join();
+        }
     }
 }
 
@@ -1285,7 +1319,13 @@ struct ConnShared {
 
 impl ConnShared {
     fn write(&self, resp: &impl serde::Serialize) -> Result<(), ServeError> {
-        let mut w = self.writer.lock().expect("writer lock");
+        let mut w = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // LINT-ALLOW(lock-discipline): writing under the writer lock is
+        // the design — it is what keeps interleaved tagged replies from
+        // tearing mid-line.
         write_message(&mut *w, resp)
     }
 
@@ -1293,18 +1333,31 @@ impl ConnShared {
     /// caller can time serialization and the socket write separately.
     fn write_rendered(&self, json: &str) -> Result<(), ServeError> {
         use std::io::Write;
-        let mut w = self.writer.lock().expect("writer lock");
+        let mut w = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // LINT-ALLOW(lock-discipline): as in `write` — the lock exists
+        // to serialize exactly these socket writes.
         w.write_all(json.as_bytes())?;
+        // LINT-ALLOW(lock-discipline): same serialized write.
         w.write_all(b"\n")?;
+        // LINT-ALLOW(lock-discipline): same serialized write.
         w.flush()?;
         Ok(())
     }
 
     /// Blocks until every dispatched request has written its reply.
     fn drain(&self) {
-        let mut n = self.in_flight.lock().expect("in-flight lock");
+        let mut n = self
+            .in_flight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         while *n > 0 {
-            n = self.done.wait(n).expect("in-flight lock");
+            n = match self.done.wait(n) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
         }
     }
 }
@@ -1339,6 +1392,8 @@ fn read_loop(
 ) -> Result<(), ServeError> {
     let cap = state.config.in_flight_cap();
     loop {
+        // SeqCst: pairs with the store in `PlanServer::stop`; the read
+        // timeout brings us back here so shutdown can join this thread.
         if state.shutting_down.load(Ordering::SeqCst) {
             return Ok(());
         }
@@ -1400,9 +1455,15 @@ fn read_loop(
                 // Backpressure: stop parsing while the connection is at
                 // its cap; dispatchers wake us as they finish.
                 let depth = {
-                    let mut n = shared.in_flight.lock().expect("in-flight lock");
+                    let mut n = shared
+                        .in_flight
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                     while *n >= cap {
-                        n = shared.done.wait(n).expect("in-flight lock");
+                        n = match shared.done.wait(n) {
+                            Ok(guard) => guard,
+                            Err(poisoned) => poisoned.into_inner(),
+                        };
                     }
                     *n += 1;
                     *n
@@ -1438,8 +1499,11 @@ fn read_loop(
                         }
                         metrics.observe(&span);
                         metrics.dispatch_pool.busy.dec();
-                        let mut n = conn.in_flight.lock().expect("in-flight lock");
-                        *n -= 1;
+                        let mut n = conn
+                            .in_flight
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        *n = n.saturating_sub(1);
                         drop(n);
                         conn.done.notify_all();
                     });
@@ -1450,8 +1514,11 @@ fn read_loop(
                     // answer the id with an error so the client's ticket
                     // resolves instead of hanging.
                     {
-                        let mut n = shared.in_flight.lock().expect("in-flight lock");
-                        *n -= 1;
+                        let mut n = shared
+                            .in_flight
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        *n = n.saturating_sub(1);
                     }
                     shared.done.notify_all();
                     shared.write(&TaggedResponse {

@@ -43,6 +43,8 @@ mod rlimit {
     /// reports what is actually available.
     pub fn raise_nofile(want: u64) -> u64 {
         let mut lim = Rlimit { cur: 0, max: 0 };
+        // SAFETY: `lim` is a live, writable `#[repr(C)]` Rlimit matching
+        // the kernel's struct rlimit layout (two u64s on 64-bit Linux).
         if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
             return 0;
         }
@@ -51,7 +53,10 @@ mod rlimit {
                 cur: want.min(lim.max),
                 max: lim.max,
             };
+            // SAFETY: `raised` is a valid Rlimit read-only input; the
+            // re-read passes the same live `lim` as above.
             unsafe { setrlimit(RLIMIT_NOFILE, &raised) };
+            // SAFETY: same contract as the first `getrlimit` call.
             if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
                 return 0;
             }

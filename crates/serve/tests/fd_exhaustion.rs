@@ -43,9 +43,13 @@ mod rlimit {
     impl SoftLimitGuard {
         pub fn lower_to(soft: u64) -> SoftLimitGuard {
             let mut lim = Rlimit { cur: 0, max: 0 };
+            // SAFETY: `lim` is a live, writable `#[repr(C)]` Rlimit
+            // matching the kernel's struct rlimit (two u64s on Linux).
             assert_eq!(unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) }, 0);
             let original = lim.cur;
             lim.cur = soft.min(lim.max);
+            // SAFETY: `lim` is a valid Rlimit passed read-only; lowering
+            // the soft limit never exceeds the hard limit.
             assert_eq!(unsafe { setrlimit(RLIMIT_NOFILE, &lim) }, 0);
             SoftLimitGuard { original }
         }
@@ -54,8 +58,12 @@ mod rlimit {
     impl Drop for SoftLimitGuard {
         fn drop(&mut self) {
             let mut lim = Rlimit { cur: 0, max: 0 };
+            // SAFETY: `lim` is a live, writable `#[repr(C)]` Rlimit
+            // matching the kernel's struct rlimit layout.
             if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } == 0 {
                 lim.cur = self.original.min(lim.max);
+                // SAFETY: `lim` is a valid Rlimit passed read-only;
+                // restoring the saved soft limit stays within the hard cap.
                 unsafe { setrlimit(RLIMIT_NOFILE, &lim) };
             }
         }

@@ -38,6 +38,9 @@ fn shrink_rcvbuf(stream: &TcpStream) {
         ) -> i32;
     }
     let size: i32 = 64 * 1024;
+    // SAFETY: `stream` owns an open socket so the fd is valid for the
+    // duration of the call; `optval` points at a live i32 and `optlen`
+    // is exactly its size, matching setsockopt(2)'s contract.
     let rc = unsafe {
         setsockopt(
             stream.as_raw_fd(),
