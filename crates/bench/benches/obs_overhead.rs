@@ -59,6 +59,7 @@ fn requests() -> Vec<PlanRequest> {
             seeds: vec![0x5EED],
             transfer: TransferMode::Off,
             trace: false,
+            platform: String::new(),
         })
         .collect()
 }

@@ -1,7 +1,10 @@
 //! **Scenario-transfer study**: how many episodes a QS-DNN search needs to
 //! get within 5% of the chain optimum, cold vs warm-started from the
 //! previous batch size's plan — the batch-sweep shape of
-//! `batch_sweep.rs`, now with transfer.
+//! `batch_sweep.rs`, now with transfer — plus a **cross-platform sweep**:
+//! the same network solved on one registry platform warm-starts the
+//! search on another (descriptor distance scores genuine spec divergence
+//! since the platform registry landed, so these donors are admissible).
 //!
 //! Results are printed as a table *and* recorded as JSON under
 //! `crates/bench/results/transfer_warm_start.json`, so the repository
@@ -14,7 +17,9 @@
 use serde::Serialize;
 
 use qsdnn::baselines::solve_chain_dp;
-use qsdnn::engine::{AnalyticalPlatform, CostLut, Mode, Profiler, ScenarioDescriptor};
+use qsdnn::engine::{
+    AnalyticalPlatform, CostLut, Mode, PlatformRegistry, Profiler, ScenarioDescriptor,
+};
 use qsdnn::nn::zoo;
 use qsdnn::{QTable, QsDnnConfig, QsDnnSearch, SearchReport, TransferMapping};
 use qsdnn_bench::rule;
@@ -45,10 +50,22 @@ struct NetworkSweep {
 }
 
 #[derive(Serialize)]
+struct CrossPlatformPoint {
+    network: String,
+    donor_platform: String,
+    target_platform: String,
+    donor_distance: f64,
+    optimum_ms: f64,
+    cold: RunRecord,
+    warm: RunRecord,
+}
+
+#[derive(Serialize)]
 struct BenchReport {
     bench: String,
     mode: String,
     sweeps: Vec<NetworkSweep>,
+    cross_platform: Vec<CrossPlatformPoint>,
 }
 
 /// First episode count whose best-so-far is within 5% of the optimum
@@ -165,10 +182,89 @@ fn main() {
         });
     }
 
+    // Cross-platform sweep: solve each platform cold, then warm every
+    // ordered pair from the other platform's plan at the same batch.
+    // `Mode::Cpu` keeps the CPU-only target in the roster.
+    const PLATFORMS: [&str; 3] = ["sim-tx2", "sim-gpu-heavy", "sim-cpu-only"];
+    let registry = PlatformRegistry::builtin();
+    let mut cross_platform = Vec::new();
+    for name in ["lenet5", "alexnet"] {
+        println!("\ncross-platform transfer: {name} (batch 1)");
+        println!(
+            "{:>14} -> {:<14} {:>9} {:>14} {:>14} {:>12}",
+            "donor", "target", "distance", "cold to-5%", "warm to-5%", "warm best"
+        );
+        rule(84);
+        let solved: Vec<(String, CostLut, ScenarioDescriptor, SearchReport, f64)> = PLATFORMS
+            .iter()
+            .map(|platform| {
+                let spec = registry.resolve(platform).expect("built-in");
+                let net = zoo::by_name(name, 1).expect("roster");
+                let lut =
+                    Profiler::with_repeats(registry.instantiate(spec), 10).profile(&net, Mode::Cpu);
+                let descriptor = ScenarioDescriptor::of(&lut)
+                    .with_batch(1)
+                    .with_platform_features(spec.features());
+                let (_, optimum) = solve_chain_dp(&lut).expect("chain");
+                let episodes = 1000usize.max(40 * lut.len());
+                let cold = QsDnnSearch::new(QsDnnConfig::with_episodes(episodes)).run(&lut);
+                (spec.name.clone(), lut, descriptor, cold, optimum)
+            })
+            .collect();
+        for (donor_name, donor_lut, donor_desc, donor_report, _) in &solved {
+            for (target_name, lut, descriptor, cold, optimum) in &solved {
+                if donor_name == target_name {
+                    continue;
+                }
+                let mapping = TransferMapping::between(donor_desc, descriptor);
+                let table = backbone(donor_lut, donor_report);
+                let mut cfg = QsDnnConfig::with_episodes(cold.episodes);
+                cfg.warm_start = true;
+                let warm = QsDnnSearch::new(cfg).run_warm(lut, &table, &mapping);
+                let cold_rec = record(cold, *optimum);
+                let warm_rec = record(&warm, *optimum);
+                let distance = donor_desc.distance(descriptor);
+                println!(
+                    "{donor_name:>14} -> {target_name:<14} {distance:>9.3} {:>9}/{:<4} {:>9}/{:<4} {:>12.3}",
+                    cold_rec.episodes_to_5pct,
+                    cold_rec.episodes_total,
+                    warm_rec.episodes_to_5pct,
+                    warm_rec.episodes_total,
+                    warm_rec.best_ms,
+                );
+                assert!(
+                    warm_rec.episodes_total < cold_rec.episodes_total,
+                    "warm runs a shortened schedule"
+                );
+                assert!(
+                    warm_rec.episodes_to_5pct <= cold_rec.episodes_to_5pct,
+                    "a cross-platform donor must not slow convergence \
+                     ({donor_name} -> {target_name}: warm {} vs cold {})",
+                    warm_rec.episodes_to_5pct,
+                    cold_rec.episodes_to_5pct
+                );
+                assert!(
+                    warm_rec.best_ms <= cold_rec.best_ms * 1.05 + 1e-9,
+                    "warm stays within 5% of the cold plan"
+                );
+                cross_platform.push(CrossPlatformPoint {
+                    network: name.to_string(),
+                    donor_platform: donor_name.clone(),
+                    target_platform: target_name.clone(),
+                    donor_distance: distance,
+                    optimum_ms: *optimum,
+                    cold: cold_rec,
+                    warm: warm_rec,
+                });
+            }
+        }
+    }
+
     let report = BenchReport {
         bench: "transfer_warm_start".into(),
         mode: "cpu".into(),
         sweeps,
+        cross_platform,
     };
     let json = serde_json::to_string(&report).expect("serializes");
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

@@ -20,7 +20,9 @@ use std::collections::HashMap;
 use qsdnn::baselines::{
     pbqp_search, solve_chain_dp, RandomSearch, SimulatedAnnealing, SimulatedAnnealingConfig,
 };
-use qsdnn::engine::{AnalyticalPlatform, CostLut, MeasuredPlatform, Mode, Objective, Profiler};
+use qsdnn::engine::{
+    AnalyticalPlatform, CostLut, MeasuredPlatform, Mode, Objective, PlatformRegistry, Profiler,
+};
 use qsdnn::nn::zoo;
 use qsdnn::{ApproxQsDnnSearch, QsDnnConfig, QsDnnSearch, SearchReport};
 use qsdnn_serve::protocol::{
@@ -117,26 +119,34 @@ pub fn reject_unknown_options(args: &Args, allowed: &[&str]) -> Result<(), Strin
 pub fn usage() -> String {
     "usage:\n  \
      qsdnn-cli networks\n  \
-     qsdnn-cli profile --network <name> [--mode cpu|gpgpu] [--platform analytical|measured]\n            \
-     [--repeats N] [--batch N] --out <lut.json>\n  \
+     qsdnn-cli profile --network <name> [--mode cpu|gpgpu] [--platform <name>]\n            \
+     [--platform-dir <dir>] [--repeats N] [--batch N] --out <lut.json>\n            \
+     (--platform takes a registry name such as sim-tx2 or sim-gpu-heavy, a\n            \
+     spec from --platform-dir, or the aliases analytical|measured)\n  \
      qsdnn-cli search --lut <lut.json> [--method qsdnn|linear|random|annealing|pbqp|dp]\n            \
      [--episodes N] [--seed N] [--objective latency|energy|weighted:<lambda>] [--out <report.json>]\n  \
      qsdnn-cli report --lut <lut.json> --report <report.json>\n  \
      qsdnn-cli serve [--addr host:port] [--threads N] [--spill <dir>] [--repeats N]\n            \
      [--cache-shards N] [--eviction lru|cost] [--cache-entries N] [--max-in-flight N]\n            \
      [--transfer auto|off] [--index-entries N] [--io threads|epoll] [--dispatchers N]\n            \
-     [--metrics-addr host:port] [--slow-ms N]\n            \
+     [--metrics-addr host:port] [--slow-ms N] [--platform <name>]\n            \
+     [--platform-dir <dir>]\n            \
      (--io defaults to epoll on Linux: one readiness loop serves thousands of\n            \
      connections; threads elsewhere. --metrics-addr serves Prometheus text at\n            \
-     /metrics; requests slower than --slow-ms are logged with a stage breakdown)\n  \
-     qsdnn-cli submit --addr <host:port> [--request plan|profile|search|stats|metrics]\n            \
+     /metrics; requests slower than --slow-ms are logged with a stage breakdown;\n            \
+     --platform-dir loads extra platform specs from *.json files and\n            \
+     --platform picks the server's default target)\n  \
+     qsdnn-cli submit --addr <host:port>\n            \
+     [--request plan|profile|search|platforms|stats|metrics]\n            \
      [--network <name> | --networks a,b,c] [--batch N | --batches 1,2,4,8]\n            \
      [--mode cpu|gpgpu] [--objective <obj>] [--episodes N] [--seeds a,b,c]\n            \
      [--transfer auto|off] [--repeats N] [--lut <lut.json>] [--trace true]\n            \
-     [--histograms true]\n            \
+     [--histograms true] [--platform <name>]\n            \
      (--networks pipelines a batch over one connection; --batches sweeps\n            \
      batch sizes so each warm-starts from the previous one; --trace echoes\n            \
-     per-stage server timings; --histograms adds latency quantiles to stats)\n  \
+     per-stage server timings; --histograms adds latency quantiles to stats;\n            \
+     --platform pins plan/profile/search requests to a named server platform\n            \
+     and --request platforms lists what the server offers)\n  \
      qsdnn-cli help | --help | -h"
         .to_string()
 }
@@ -240,7 +250,15 @@ fn cmd_networks(args: &Args) -> Result<String, String> {
 fn cmd_profile(args: &Args) -> Result<String, String> {
     reject_unknown_options(
         args,
-        &["network", "mode", "platform", "repeats", "batch", "out"],
+        &[
+            "network",
+            "mode",
+            "platform",
+            "platform-dir",
+            "repeats",
+            "batch",
+            "out",
+        ],
     )?;
     let name = required(args, "network")?;
     let batch = opt_parse(args, "batch", 1usize)?;
@@ -251,12 +269,33 @@ fn cmd_profile(args: &Args) -> Result<String, String> {
         .options
         .get("platform")
         .map_or("analytical", String::as_str);
+    // `analytical`/`measured` predate the registry and stay as aliases for
+    // the sim-tx2 model and the host-measured platform; any other value is
+    // resolved as a registry name ("sim-gpu-heavy", specs from
+    // --platform-dir, ...).
     let lut = match platform {
         "analytical" => {
             Profiler::with_repeats(AnalyticalPlatform::tx2(), repeats).profile(&net, mode)
         }
         "measured" => Profiler::with_repeats(MeasuredPlatform::new(7), repeats).profile(&net, mode),
-        other => return Err(format!("unknown platform `{other}` (analytical|measured)")),
+        name => {
+            let mut registry = PlatformRegistry::builtin();
+            if let Some(dir) = args.options.get("platform-dir") {
+                registry
+                    .load_dir(std::path::Path::new(dir))
+                    .map_err(|e| e.to_string())?;
+            }
+            let spec = registry
+                .resolve(name)
+                .map_err(|e| format!("{e} (or use the aliases `analytical`/`measured`)"))?;
+            if !spec.supports(mode) {
+                return Err(format!(
+                    "platform `{}` has no GPU; mode `{mode}` is unavailable on it",
+                    spec.name
+                ));
+            }
+            Profiler::with_repeats(registry.instantiate(spec), repeats).profile(&net, mode)
+        }
     };
     let out_path = required(args, "out")?;
     let json = serde_json::to_string(&lut).map_err(|e| e.to_string())?;
@@ -528,6 +567,8 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
             "dispatchers",
             "metrics-addr",
             "slow-ms",
+            "platform",
+            "platform-dir",
         ],
     )?;
     let addr = args
@@ -554,6 +595,11 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
         dispatchers: opt_parse(args, "dispatchers", 0usize)?,
         metrics_addr: args.options.get("metrics-addr").cloned(),
         slow_ms: opt_parse(args, "slow-ms", qsdnn_serve::DEFAULT_SLOW_MS)?,
+        platform: args.options.get("platform").cloned().unwrap_or_default(),
+        platform_dir: args
+            .options
+            .get("platform-dir")
+            .map(std::path::PathBuf::from),
         ..ServerConfig::default()
     };
     let spill_note = config
@@ -569,7 +615,7 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
         .unwrap_or_default();
     eprintln!(
         "qsdnn-serve listening on {} ({io} connection layer; JSON-lines requests: \
-         profile/search/plan/stats/metrics){spill_note}{metrics_note}",
+         profile/search/plan/platforms/stats/metrics){spill_note}{metrics_note}",
         server.local_addr()
     );
     // Serve until the process is killed.
@@ -597,6 +643,7 @@ fn cmd_submit(args: &Args) -> Result<String, String> {
             "lut",
             "trace",
             "histograms",
+            "platform",
         ],
     )?;
     let addr = required(args, "addr")?;
@@ -614,6 +661,7 @@ fn cmd_submit(args: &Args) -> Result<String, String> {
     let seeds = parse_seeds(args.options.get("seeds").map_or("", String::as_str))?;
     let transfer = parse_transfer(args.options.get("transfer").map_or("auto", String::as_str))?;
     let trace = opt_parse(args, "trace", false)?;
+    let platform = args.options.get("platform").cloned().unwrap_or_default();
     match kind {
         "plan" => {
             // `--batches 1,2,4,8` sweeps batch sizes for one network over
@@ -646,6 +694,7 @@ fn cmd_submit(args: &Args) -> Result<String, String> {
                             seeds: seeds.clone(),
                             transfer,
                             trace,
+                            platform: platform.clone(),
                         })
                         .map_err(|e| e.to_string())?;
                     let plan = client.wait_plan(ticket).map_err(|e| e.to_string())?;
@@ -688,6 +737,7 @@ fn cmd_submit(args: &Args) -> Result<String, String> {
                         seeds: seeds.clone(),
                         transfer,
                         trace,
+                        platform: platform.clone(),
                     })
                     .collect();
                 let started = std::time::Instant::now();
@@ -714,6 +764,7 @@ fn cmd_submit(args: &Args) -> Result<String, String> {
                     seeds,
                     transfer,
                     trace,
+                    platform,
                 })
                 .map_err(|e| e.to_string())?;
             Ok(format_plan(&plan))
@@ -725,6 +776,7 @@ fn cmd_submit(args: &Args) -> Result<String, String> {
                     batch,
                     mode,
                     repeats: opt_parse(args, "repeats", 0usize)?,
+                    platform,
                 })
                 .map_err(|e| e.to_string())?;
             let json = serde_json::to_string(&resp.lut).map_err(|e| e.to_string())?;
@@ -743,9 +795,27 @@ fn cmd_submit(args: &Args) -> Result<String, String> {
         "search" => {
             let lut = load_lut(args)?;
             let plan = client
-                .search(lut, objective, episodes, seeds)
+                .search_on(lut, objective, episodes, seeds, platform)
                 .map_err(|e| e.to_string())?;
             Ok(format_plan(&plan))
+        }
+        "platforms" => {
+            let listing = client.platforms().map_err(|e| e.to_string())?;
+            let mut out = format!("{} platforms registered:", listing.platforms.len());
+            for p in &listing.platforms {
+                out.push_str(&format!(
+                    "\n  {:<16} {:<10} {:<8} fingerprint {}{}",
+                    p.name,
+                    p.kind,
+                    if p.gpu { "cpu+gpu" } else { "cpu-only" },
+                    p.fingerprint,
+                    if p.is_default { "  (default)" } else { "" }
+                ));
+                if !p.description.is_empty() {
+                    out.push_str(&format!("\n                   {}", p.description));
+                }
+            }
+            Ok(out)
         }
         "stats" => {
             let stats = client.stats().map_err(|e| e.to_string())?;
@@ -809,7 +879,7 @@ fn cmd_submit(args: &Args) -> Result<String, String> {
             Ok(format_metrics(&metrics))
         }
         other => Err(format!(
-            "unknown request `{other}` (plan|profile|search|stats|metrics)"
+            "unknown request `{other}` (plan|profile|search|platforms|stats|metrics)"
         )),
     }
 }

@@ -44,7 +44,8 @@ pub use executor::{run_network, ExecutionResult};
 pub use fingerprint::Fnv64;
 pub use lut::{Assignment, CostLut, IncomingEdge, LayerEntry};
 pub use platform::{
-    AnalyticalPlatform, MeasuredPlatform, Mode, Objective, Platform, PlatformConfig,
+    AnalyticalPlatform, CoreSpec, LinkSpec, MeasuredPlatform, Mode, Objective, Platform,
+    PlatformConfig, PlatformError, PlatformKind, PlatformRegistry, PlatformSpec,
 };
 pub use profiler::Profiler;
 pub use scenario::{LayerSummary, ScenarioDescriptor};

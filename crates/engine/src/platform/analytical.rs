@@ -59,6 +59,16 @@ pub struct PlatformConfig {
     pub gpu_power_w: f64,
     /// Power drawn while moving data across the interconnect (W).
     pub transfer_power_w: f64,
+    /// Sustained CPU compute multiplier over the TX-2-class envelope
+    /// tables (1.0 = TX-2; 0, the serde default for configs predating the
+    /// field, is treated as unscaled).
+    #[serde(default)]
+    pub cpu_compute_scale: f64,
+    /// Sustained GPU compute multiplier over the TX-2-class envelope
+    /// tables (1.0 = TX-2; 0, the serde default for configs predating the
+    /// field, is treated as unscaled).
+    #[serde(default)]
+    pub gpu_compute_scale: f64,
 }
 
 impl Default for PlatformConfig {
@@ -79,6 +89,8 @@ impl Default for PlatformConfig {
             cpu_power_w: 1.8,
             gpu_power_w: 7.0,
             transfer_power_w: 2.5,
+            cpu_compute_scale: 1.0,
+            gpu_compute_scale: 1.0,
         }
     }
 }
@@ -281,6 +293,7 @@ fn lowering_scratch_bytes(node: &Node, in_shapes: &[Shape], prim: &Primitive) ->
 /// ```
 #[derive(Debug, Clone)]
 pub struct AnalyticalPlatform {
+    name: String,
     config: PlatformConfig,
     rng: SmallRng,
 }
@@ -291,10 +304,25 @@ impl AnalyticalPlatform {
         AnalyticalPlatform::with_config(PlatformConfig::default())
     }
 
-    /// Platform with custom constants (ablations, other devices).
+    /// Platform with custom constants (ablations, other devices). Reports
+    /// the historical `"sim-tx2"` name; use [`AnalyticalPlatform::from_spec`]
+    /// for named targets.
     pub fn with_config(config: PlatformConfig) -> Self {
         let rng = SmallRng::seed_from_u64(config.seed);
-        AnalyticalPlatform { config, rng }
+        AnalyticalPlatform {
+            name: "sim-tx2".to_string(),
+            config,
+            rng,
+        }
+    }
+
+    /// Platform driven by a data-described target: the spec's numbers
+    /// become the model constants and the spec's name becomes the
+    /// platform (and therefore LUT) name.
+    pub fn from_spec(spec: &super::PlatformSpec) -> Self {
+        let mut platform = AnalyticalPlatform::with_config(spec.to_config());
+        platform.name = spec.name.clone();
+        platform
     }
 
     /// The active configuration.
@@ -315,18 +343,23 @@ impl AnalyticalPlatform {
         }
         let (mut gmacs, mem_eff) = envelope(prim, node.desc.tag());
         gmacs *= conv_regime_factor(prim, node);
-        let (bw, launch, knee) = match prim.processor {
+        let (bw, launch, knee, scale) = match prim.processor {
             Processor::Cpu => (
                 self.config.cpu_bandwidth_gbs,
                 self.config.cpu_launch_ms,
                 self.config.cpu_saturation_macs,
+                self.config.cpu_compute_scale,
             ),
             Processor::Gpu => (
                 self.config.gpu_bandwidth_gbs,
                 self.config.gpu_launch_ms,
                 self.config.gpu_saturation_macs,
+                self.config.gpu_compute_scale,
             ),
         };
+        if scale > 0.0 {
+            gmacs *= scale;
+        }
         let util = macs / (macs + knee);
         let compute_ms = if macs > 0.0 {
             macs / (gmacs * 1e6 * util.max(1e-9))
@@ -394,21 +427,19 @@ impl Platform for AnalyticalPlatform {
         t
     }
 
-    fn layer_energy_mj(&mut self, net: &Network, node: &Node, prim: &Primitive) -> f64 {
-        let t = self.layer_time_ms(net, node, prim);
-        let p = match prim.processor {
+    fn processor_power_w(&self, processor: Processor) -> f64 {
+        match processor {
             Processor::Cpu => self.config.cpu_power_w,
             Processor::Gpu => self.config.gpu_power_w,
-        };
-        t * p
+        }
     }
 
-    fn conversion_energy_mj(&self, shape: Shape, from: &Primitive, to: &Primitive) -> f64 {
-        self.conversion_time_ms(shape, from, to) * self.config.transfer_power_w
+    fn transfer_power_w(&self) -> f64 {
+        self.config.transfer_power_w
     }
 
     fn name(&self) -> &str {
-        "sim-tx2"
+        &self.name
     }
 }
 

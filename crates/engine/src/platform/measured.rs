@@ -17,6 +17,7 @@ use super::{AnalyticalPlatform, Platform};
 /// algorithm families (direct ≪ GEMM-lowered < Winograd for 3×3) is
 /// preserved, which is what the search consumes.
 pub struct MeasuredPlatform {
+    name: String,
     seed: u64,
     analytical: AnalyticalPlatform,
     inputs: HashMap<(String, usize), Vec<Tensor>>,
@@ -25,11 +26,26 @@ pub struct MeasuredPlatform {
 
 impl MeasuredPlatform {
     /// Creates a measured platform; `seed` controls synthetic inputs and
-    /// weights.
+    /// weights. GPU fallback and powers come from the TX-2 spec.
     pub fn new(seed: u64) -> Self {
         MeasuredPlatform {
+            name: "measured-host".to_string(),
             seed,
             analytical: AnalyticalPlatform::tx2(),
+            inputs: HashMap::new(),
+            weights: HashMap::new(),
+        }
+    }
+
+    /// Measured platform described by a spec: the spec's name labels the
+    /// LUTs, its seed drives the fixtures, and its numbers parameterize
+    /// the embedded analytical fallback (GPU primitives, cross-processor
+    /// links) and the per-processor powers.
+    pub fn from_spec(spec: &super::PlatformSpec) -> Self {
+        MeasuredPlatform {
+            name: spec.name.clone(),
+            seed: spec.seed,
+            analytical: AnalyticalPlatform::from_spec(spec),
             inputs: HashMap::new(),
             weights: HashMap::new(),
         }
@@ -101,8 +117,16 @@ impl Platform for MeasuredPlatform {
         elapsed
     }
 
+    fn processor_power_w(&self, processor: Processor) -> f64 {
+        self.analytical.processor_power_w(processor)
+    }
+
+    fn transfer_power_w(&self) -> f64 {
+        self.analytical.transfer_power_w()
+    }
+
     fn name(&self) -> &str {
-        "measured-host"
+        &self.name
     }
 }
 

@@ -1,21 +1,29 @@
 //! Platform abstraction: where layer times and conversion penalties come
 //! from.
 //!
-//! The paper obtains all numbers empirically on a Jetson TX-2. We provide
-//! two sources behind one trait:
+//! The paper obtains all numbers empirically on a Jetson TX-2. Targets are
+//! described as pure data — a [`PlatformSpec`] names the core types, their
+//! bandwidths/powers and the CPU↔GPU link — and a [`PlatformRegistry`]
+//! instantiates a live [`Platform`] impl from a spec (built-in or loaded
+//! from a JSON spec directory). Two implementations exist behind the
+//! trait:
 //!
 //! * [`AnalyticalPlatform`](crate::AnalyticalPlatform) — a calibrated
-//!   roofline-style model of the TX-2 (deterministic, instant; used for all
-//!   paper-scale experiments);
+//!   roofline-style model driven by the spec numbers (deterministic,
+//!   instant; the `sim-tx2` spec is used for all paper-scale experiments);
 //! * [`MeasuredPlatform`](crate::MeasuredPlatform) — wall-clock timing of
 //!   the real Rust kernels on the host CPU (GPU primitives fall back to the
 //!   analytical model; see DESIGN.md §2).
 
 mod analytical;
 mod measured;
+mod registry;
+mod spec;
 
 pub use analytical::{AnalyticalPlatform, PlatformConfig};
 pub use measured::MeasuredPlatform;
+pub use registry::{PlatformError, PlatformRegistry};
+pub use spec::{CoreSpec, LinkSpec, PlatformKind, PlatformSpec};
 
 use qsdnn_nn::{Network, Node};
 use qsdnn_primitives::Primitive;
@@ -36,26 +44,66 @@ pub trait Platform {
     /// layout repack and/or CPU↔GPU transfer. Zero when fully compatible.
     fn conversion_time_ms(&self, shape: Shape, from: &Primitive, to: &Primitive) -> f64;
 
+    /// Active power (W) drawn while `processor` executes a kernel. Every
+    /// implementation sources this from its [`PlatformSpec`] powers — the
+    /// default energy methods below multiply it into execution time, so
+    /// two specs differing only in a core power rank energy-sensitive
+    /// plans differently.
+    fn processor_power_w(&self, processor: qsdnn_primitives::Processor) -> f64;
+
+    /// Power (W) drawn while a conversion moves data across the
+    /// interconnect; from the spec's link description.
+    fn transfer_power_w(&self) -> f64;
+
     /// Energy (mJ) of one execution of `node` under `primitive` — the basis
     /// of the multi-objective reward extension (paper §VII future work).
-    /// Default: power-weighted execution time with TX-2-class core powers.
+    /// Default: execution time weighted by the spec's per-processor power.
     fn layer_energy_mj(&mut self, net: &Network, node: &Node, prim: &Primitive) -> f64 {
         let t = self.layer_time_ms(net, node, prim);
-        let p = match prim.processor {
-            qsdnn_primitives::Processor::Cpu => 1.8,
-            qsdnn_primitives::Processor::Gpu => 7.0,
-        };
-        t * p
+        t * self.processor_power_w(prim.processor)
     }
 
     /// Energy (mJ) of the compatibility layer between `from` and `to`.
-    /// Default: transfer power times the conversion time.
+    /// Default: the spec's transfer power times the conversion time.
     fn conversion_energy_mj(&self, shape: Shape, from: &Primitive, to: &Primitive) -> f64 {
-        self.conversion_time_ms(shape, from, to) * 2.5
+        self.conversion_time_ms(shape, from, to) * self.transfer_power_w()
     }
 
     /// Human-readable platform name for reports.
     fn name(&self) -> &str;
+}
+
+/// Boxed platforms are platforms, so [`PlatformRegistry::instantiate`] fits
+/// anywhere a concrete impl does (e.g. `Profiler<Box<dyn Platform>>`).
+/// Every method delegates, overridden energies included.
+impl<P: Platform + ?Sized> Platform for Box<P> {
+    fn layer_time_ms(&mut self, net: &Network, node: &Node, primitive: &Primitive) -> f64 {
+        (**self).layer_time_ms(net, node, primitive)
+    }
+
+    fn conversion_time_ms(&self, shape: Shape, from: &Primitive, to: &Primitive) -> f64 {
+        (**self).conversion_time_ms(shape, from, to)
+    }
+
+    fn processor_power_w(&self, processor: qsdnn_primitives::Processor) -> f64 {
+        (**self).processor_power_w(processor)
+    }
+
+    fn transfer_power_w(&self) -> f64 {
+        (**self).transfer_power_w()
+    }
+
+    fn layer_energy_mj(&mut self, net: &Network, node: &Node, prim: &Primitive) -> f64 {
+        (**self).layer_energy_mj(net, node, prim)
+    }
+
+    fn conversion_energy_mj(&self, shape: Shape, from: &Primitive, to: &Primitive) -> f64 {
+        (**self).conversion_energy_mj(shape, from, to)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
 }
 
 /// What the search minimizes (paper §VII envisions "different reward

@@ -1,0 +1,316 @@
+//! Named collection of [`PlatformSpec`]s and the factory that turns a
+//! spec into a live [`Platform`] impl.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use super::{AnalyticalPlatform, MeasuredPlatform, Platform, PlatformKind, PlatformSpec};
+
+/// Everything that can go wrong loading or resolving platform specs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlatformError {
+    /// A requested platform name is not registered; carries the sorted
+    /// list of names that are.
+    Unknown {
+        /// The name that failed to resolve.
+        requested: String,
+        /// Every registered name, sorted.
+        available: Vec<String>,
+    },
+    /// A spec file under `--platform-dir` could not be read, parsed or
+    /// validated; carries the offending path and the reason.
+    BadSpecFile {
+        /// Path of the offending file.
+        path: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A spec tried to reuse an already-registered name (built-ins can
+    /// never be shadowed, so `sim-tx2` always means the committed spec).
+    Duplicate(String),
+}
+
+impl std::fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlatformError::Unknown {
+                requested,
+                available,
+            } => write!(
+                f,
+                "unknown platform `{requested}` (available: {})",
+                available.join(", ")
+            ),
+            PlatformError::BadSpecFile { path, reason } => {
+                write!(f, "bad platform spec file {path}: {reason}")
+            }
+            PlatformError::Duplicate(name) => {
+                write!(f, "platform `{name}` is already registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+/// Registry of data-described platforms, keyed by name.
+///
+/// Ships four built-ins — the default [`PlatformSpec::tx2`], the measured
+/// host, and the two synthetic targets — and grows from `*.json` spec
+/// files via [`PlatformRegistry::load_dir`]. Specs instantiate into live
+/// [`Platform`] impls with [`PlatformRegistry::instantiate`].
+///
+/// # Examples
+///
+/// ```
+/// use qsdnn_engine::{Platform, PlatformRegistry};
+///
+/// let registry = PlatformRegistry::builtin();
+/// assert_eq!(registry.default_name(), "sim-tx2");
+/// assert!(registry.names().len() >= 4);
+/// let spec = registry.resolve("sim-gpu-heavy").expect("builtin");
+/// assert_eq!(registry.instantiate(spec).name(), "sim-gpu-heavy");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlatformRegistry {
+    specs: BTreeMap<String, PlatformSpec>,
+    default_name: String,
+}
+
+impl PlatformRegistry {
+    /// Name of the default platform, the one an absent `platform` request
+    /// field resolves to.
+    pub const DEFAULT: &'static str = "sim-tx2";
+
+    /// Registry holding only the four committed built-in specs.
+    pub fn builtin() -> Self {
+        let mut specs = BTreeMap::new();
+        for spec in [
+            PlatformSpec::tx2(),
+            PlatformSpec::measured_host(),
+            PlatformSpec::gpu_heavy(),
+            PlatformSpec::cpu_only(),
+        ] {
+            specs.insert(spec.name.clone(), spec);
+        }
+        PlatformRegistry {
+            specs,
+            default_name: PlatformRegistry::DEFAULT.to_string(),
+        }
+    }
+
+    /// Registers one validated spec; duplicate names are rejected so spec
+    /// files can never shadow a built-in (cache keys depend on that).
+    pub fn insert(&mut self, spec: PlatformSpec) -> Result<(), PlatformError> {
+        if self.specs.contains_key(&spec.name) {
+            return Err(PlatformError::Duplicate(spec.name));
+        }
+        self.specs.insert(spec.name.clone(), spec);
+        Ok(())
+    }
+
+    /// Loads every `*.json` spec file in `dir` (sorted order), validating
+    /// each. Returns how many were added; the first unreadable, unparsable
+    /// or invalid file aborts with [`PlatformError::BadSpecFile`] naming
+    /// it.
+    pub fn load_dir(&mut self, dir: &Path) -> Result<usize, PlatformError> {
+        let bad = |reason: String| PlatformError::BadSpecFile {
+            path: dir.display().to_string(),
+            reason,
+        };
+        let entries = std::fs::read_dir(dir).map_err(|e| bad(e.to_string()))?;
+        let mut paths: Vec<_> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+            .collect();
+        paths.sort();
+        let mut added = 0;
+        for path in paths {
+            let bad = |reason: String| PlatformError::BadSpecFile {
+                path: path.display().to_string(),
+                reason,
+            };
+            let text = std::fs::read_to_string(&path).map_err(|e| bad(e.to_string()))?;
+            let spec: PlatformSpec =
+                serde_json::from_str(&text).map_err(|e| bad(format!("invalid JSON: {e}")))?;
+            spec.validate().map_err(bad)?;
+            match self.insert(spec) {
+                Ok(()) => added += 1,
+                Err(PlatformError::Duplicate(name)) => {
+                    return Err(bad(format!("duplicate platform name `{name}`")))
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Ok(added)
+    }
+
+    /// Looks a spec up by exact name.
+    pub fn get(&self, name: &str) -> Option<&PlatformSpec> {
+        self.specs.get(name)
+    }
+
+    /// Resolves a request's platform field: empty means the default.
+    pub fn resolve(&self, requested: &str) -> Result<&PlatformSpec, PlatformError> {
+        let name = if requested.is_empty() {
+            &self.default_name
+        } else {
+            requested
+        };
+        self.specs.get(name).ok_or_else(|| PlatformError::Unknown {
+            requested: name.to_string(),
+            available: self.names().iter().map(|s| s.to_string()).collect(),
+        })
+    }
+
+    /// The name an empty `platform` field resolves to.
+    pub fn default_name(&self) -> &str {
+        &self.default_name
+    }
+
+    /// Points the default at another registered platform.
+    pub fn set_default(&mut self, name: &str) -> Result<(), PlatformError> {
+        if !self.specs.contains_key(name) {
+            return Err(PlatformError::Unknown {
+                requested: name.to_string(),
+                available: self.names().iter().map(|s| s.to_string()).collect(),
+            });
+        }
+        self.default_name = name.to_string();
+        Ok(())
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.specs.keys().map(String::as_str).collect()
+    }
+
+    /// All registered specs, sorted by name.
+    pub fn specs(&self) -> impl Iterator<Item = &PlatformSpec> {
+        self.specs.values()
+    }
+
+    /// Builds the live `Platform` impl a spec describes.
+    pub fn instantiate(&self, spec: &PlatformSpec) -> Box<dyn Platform> {
+        match spec.kind {
+            PlatformKind::Analytical => Box::new(AnalyticalPlatform::from_spec(spec)),
+            PlatformKind::Measured => Box::new(MeasuredPlatform::from_spec(spec)),
+        }
+    }
+}
+
+impl Default for PlatformRegistry {
+    fn default() -> Self {
+        PlatformRegistry::builtin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Mode, Profiler};
+    use qsdnn_nn::zoo;
+
+    #[test]
+    fn builtin_registry_has_the_four_committed_targets() {
+        let r = PlatformRegistry::builtin();
+        assert_eq!(
+            r.names(),
+            vec!["measured-host", "sim-cpu-only", "sim-gpu-heavy", "sim-tx2"]
+        );
+        assert_eq!(r.resolve("").expect("default").name, "sim-tx2");
+        assert!(matches!(
+            r.resolve("sim-saturn-v"),
+            Err(PlatformError::Unknown { .. })
+        ));
+    }
+
+    #[test]
+    fn builtins_cannot_be_shadowed() {
+        let mut r = PlatformRegistry::builtin();
+        assert_eq!(
+            r.insert(PlatformSpec::tx2()),
+            Err(PlatformError::Duplicate("sim-tx2".to_string()))
+        );
+    }
+
+    #[test]
+    fn instantiated_platforms_carry_the_spec_name_and_profile() {
+        let r = PlatformRegistry::builtin();
+        let net = zoo::by_name("tiny_cnn", 1).expect("zoo");
+        for name in ["sim-tx2", "sim-gpu-heavy", "sim-cpu-only"] {
+            let spec = r.resolve(name).expect("builtin");
+            let platform = r.instantiate(spec);
+            assert_eq!(platform.name(), name);
+            let lut = Profiler::with_repeats(platform, 2).profile(&net, Mode::Cpu);
+            assert_eq!(lut.platform(), name);
+            lut.validate().expect("profiled LUT is coherent");
+        }
+    }
+
+    #[test]
+    fn gpu_heavy_shifts_conv_work_to_the_gpu() {
+        // The same network profiled on the two specs must price GPU convs
+        // differently: the synthetic GPU-heavy target makes them cheaper
+        // relative to the CPU than the TX-2 does.
+        use qsdnn_primitives::Processor;
+        let r = PlatformRegistry::builtin();
+        let net = zoo::by_name("tiny_cnn", 1).expect("zoo");
+        let ratio = |name: &str| -> f64 {
+            let spec = r.resolve(name).expect("builtin");
+            let lut = Profiler::with_repeats(r.instantiate(spec), 3).profile(&net, Mode::Gpgpu);
+            let conv = lut
+                .layers()
+                .iter()
+                .find(|l| l.name == "conv1")
+                .expect("conv1");
+            let best = |proc: Processor| {
+                conv.candidates
+                    .iter()
+                    .zip(&conv.time_ms)
+                    .filter(|(c, _)| c.processor == proc)
+                    .map(|(_, &t)| t)
+                    .fold(f64::INFINITY, f64::min)
+            };
+            best(Processor::Gpu) / best(Processor::Cpu)
+        };
+        assert!(
+            ratio("sim-gpu-heavy") < ratio("sim-tx2"),
+            "gpu-heavy must favor GPU convs more than the TX-2"
+        );
+    }
+
+    #[test]
+    fn load_dir_reports_corrupt_files_instead_of_panicking() {
+        let dir = std::env::temp_dir().join(format!("qsdnn-specs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(dir.join("broken.json"), "{not json").expect("write");
+        let err = PlatformRegistry::builtin()
+            .load_dir(&dir)
+            .expect_err("corrupt file must be an error");
+        match &err {
+            PlatformError::BadSpecFile { path, .. } => {
+                assert!(path.contains("broken.json"), "error names the file: {err}")
+            }
+            other => panic!("expected BadSpecFile, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_dir_adds_valid_specs() {
+        let dir = std::env::temp_dir().join(format!("qsdnn-specs-ok-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let mut custom = PlatformSpec::gpu_heavy();
+        custom.name = "my-board".to_string();
+        std::fs::write(
+            dir.join("my-board.json"),
+            serde_json::to_string(&custom).expect("serialize"),
+        )
+        .expect("write");
+        let mut r = PlatformRegistry::builtin();
+        assert_eq!(r.load_dir(&dir).expect("load"), 1);
+        assert_eq!(r.resolve("my-board").expect("loaded").name, "my-board");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

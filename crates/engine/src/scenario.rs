@@ -72,6 +72,16 @@ pub struct ScenarioDescriptor {
     /// Objective tag (see [`Objective::tag`]); empty when unknown.
     #[serde(default)]
     pub objective: String,
+    /// Numeric platform summary from [`PlatformSpec::features`]; empty
+    /// when the scenario predates platform selection (or came from a
+    /// default-platform request, which stays byte-identical to the
+    /// pre-registry service). When both sides carry features, the
+    /// platform distance term grows smoothly with spec divergence
+    /// instead of being a flat mismatch penalty.
+    ///
+    /// [`PlatformSpec::features`]: crate::PlatformSpec::features
+    #[serde(default)]
+    pub platform_features: Vec<f64>,
     /// Per-layer structural summaries, in topological order.
     pub layers: Vec<LayerSummary>,
 }
@@ -122,6 +132,7 @@ impl ScenarioDescriptor {
             mode: lut.mode().label().to_string(),
             batch: 0,
             objective: String::new(),
+            platform_features: Vec::new(),
             layers,
         }
     }
@@ -138,6 +149,17 @@ impl ScenarioDescriptor {
         self
     }
 
+    /// Returns the descriptor with a platform feature vector attached
+    /// (see [`PlatformSpec::features`]). Only non-default-platform
+    /// scenarios attach one, so legacy descriptors keep their exact
+    /// fingerprints.
+    ///
+    /// [`PlatformSpec::features`]: crate::PlatformSpec::features
+    pub fn with_platform_features(mut self, features: Vec<f64>) -> Self {
+        self.platform_features = features;
+        self
+    }
+
     /// Stable 64-bit content fingerprint of the descriptor — the identity
     /// under which a scenario index stores it.
     pub fn fingerprint(&self) -> u64 {
@@ -148,6 +170,15 @@ impl ScenarioDescriptor {
         h.write_str(&self.mode);
         h.write_usize(self.batch);
         h.write_str(&self.objective);
+        // Marker-style: absent features hash exactly as they did before
+        // platform selection existed, keeping legacy identities stable.
+        if !self.platform_features.is_empty() {
+            h.write_str("platform-features");
+            h.write_usize(self.platform_features.len());
+            for &v in &self.platform_features {
+                h.write_f64(v);
+            }
+        }
         h.write_usize(self.layers.len());
         for l in &self.layers {
             h.write_str(&l.tag);
@@ -179,7 +210,7 @@ impl ScenarioDescriptor {
             d += NETWORK_MISMATCH;
         }
         if self.platform != other.platform {
-            d += PLATFORM_MISMATCH;
+            d += platform_divergence(self, other);
         }
         if self.mode != other.mode {
             d += PLATFORM_MISMATCH;
@@ -199,6 +230,34 @@ impl ScenarioDescriptor {
         }
         d
     }
+}
+
+/// Platform term of the distance, used when the platform *names* differ.
+/// With feature vectors on both sides (see
+/// [`PlatformSpec::features`](crate::PlatformSpec::features)) the term is
+/// `PLATFORM_MISMATCH · m/(m+1)` where `m` is the mean absolute
+/// feature delta — zero for identically-specced twins, strictly
+/// increasing in spec divergence, and always below the flat
+/// [`PLATFORM_MISMATCH`] so cross-platform donors stay inside the serve
+/// layer's donor cutoff. Without features (legacy descriptors,
+/// default-platform scenarios) it degrades to the historical flat
+/// penalty. Symmetric by construction.
+fn platform_divergence(a: &ScenarioDescriptor, b: &ScenarioDescriptor) -> f64 {
+    if a.platform_features.is_empty() || a.platform_features.len() != b.platform_features.len() {
+        return PLATFORM_MISMATCH;
+    }
+    let n = a.platform_features.len() as f64;
+    let mean = a
+        .platform_features
+        .iter()
+        .zip(&b.platform_features)
+        .map(|(x, y)| (x - y).abs())
+        .sum::<f64>()
+        / n;
+    if !mean.is_finite() {
+        return PLATFORM_MISMATCH;
+    }
+    PLATFORM_MISMATCH * mean / (mean + 1.0)
 }
 
 /// Substitution cost between two layer summaries: free for an identical
@@ -304,6 +363,63 @@ mod tests {
         // One deletion over max-length layers.
         let d = chain.distance(&shorter);
         assert!(d > 0.0 && d <= 1.0, "structural delta is bounded: {d}");
+    }
+
+    #[test]
+    fn platform_term_is_monotone_in_spec_divergence_and_bounded() {
+        use crate::PlatformSpec;
+        let mk = |name: &str, features: Vec<f64>| {
+            let mut d = ScenarioDescriptor::of(&toy::small_chain_lut()).with_batch(1);
+            d.platform = name.to_string();
+            d.with_platform_features(features)
+        };
+        let base = mk("a", PlatformSpec::tx2().features());
+        let mut mild_spec = PlatformSpec::tx2();
+        if let Some(gpu) = &mut mild_spec.gpu {
+            gpu.compute_scale = 1.5;
+        }
+        let mild = mk("b", mild_spec.features());
+        let wild = mk("c", PlatformSpec::gpu_heavy().features());
+        let legacy = mk("d", Vec::new());
+        let (near, far, flat) = (
+            base.distance(&mild),
+            base.distance(&wild),
+            base.distance(&legacy),
+        );
+        assert!(near > 0.0, "diverging specs must be apart: {near}");
+        assert!(
+            near < far,
+            "more divergence, more distance: {near} vs {far}"
+        );
+        assert!(
+            far < PLATFORM_MISMATCH,
+            "featured divergence stays below the flat penalty: {far}"
+        );
+        assert_eq!(
+            flat, PLATFORM_MISMATCH,
+            "legacy descriptors keep the flat term"
+        );
+        // Identically-specced twins under different names are free.
+        let twin = mk("e", PlatformSpec::tx2().features());
+        assert_eq!(base.distance(&twin), 0.0);
+        // Still symmetric with features on.
+        assert_eq!(base.distance(&wild), wild.distance(&base));
+    }
+
+    #[test]
+    fn platform_features_change_fingerprint_only_when_present() {
+        let base = ScenarioDescriptor::of(&toy::fig1_lut());
+        let with_features = base
+            .clone()
+            .with_platform_features(crate::PlatformSpec::gpu_heavy().features());
+        assert_ne!(base.fingerprint(), with_features.fingerprint());
+        // An explicitly-empty vector is the absent marker: same identity.
+        assert_eq!(
+            base.fingerprint(),
+            base.clone()
+                .with_platform_features(Vec::new())
+                .fingerprint()
+        );
     }
 
     #[test]

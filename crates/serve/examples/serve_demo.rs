@@ -50,6 +50,7 @@ fn main() {
                         // sequential reference, so transfer stays off.
                         transfer: TransferMode::Off,
                         trace: false,
+                        platform: String::new(),
                     })
                     .expect("plan");
                 (network, client_id, plan)
@@ -127,6 +128,7 @@ fn main() {
             seeds: SEEDS.to_vec(),
             transfer: TransferMode::Off,
             trace: false,
+            platform: String::new(),
         })
         .collect();
     let wall = Instant::now();

@@ -63,11 +63,32 @@ fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// profiled number; the objective and portfolio fingerprints cover what the
 /// search will do with them.
 pub fn plan_key(lut_fingerprint: u64, objective: &Objective, portfolio_fingerprint: u64) -> String {
+    plan_key_on(lut_fingerprint, objective, portfolio_fingerprint, None)
+}
+
+/// [`plan_key`] for a scenario pinned to an explicitly selected platform.
+///
+/// `platform` is `Some((name, spec_fingerprint))` only when the request
+/// *engaged* a non-default platform; `None` hashes exactly the bytes
+/// `plan_key` always hashed, so default-platform requests keep their
+/// historical content addresses (and their caches) across the registry
+/// refactor.
+pub fn plan_key_on(
+    lut_fingerprint: u64,
+    objective: &Objective,
+    portfolio_fingerprint: u64,
+    platform: Option<(&str, u64)>,
+) -> String {
     let mut h = Fnv64::new();
     h.write_str("qsdnn-plan-v1");
     h.write_u64(lut_fingerprint);
     objective.fingerprint_into(&mut h);
     h.write_u64(portfolio_fingerprint);
+    if let Some((name, fp)) = platform {
+        h.write_str("platform");
+        h.write_str(name);
+        h.write_u64(fp);
+    }
     format!("{:016x}", h.finish())
 }
 
@@ -83,12 +104,36 @@ pub fn warm_plan_key(
     portfolio_fingerprint: u64,
     donor_key: &str,
 ) -> String {
+    warm_plan_key_on(
+        lut_fingerprint,
+        objective,
+        portfolio_fingerprint,
+        donor_key,
+        None,
+    )
+}
+
+/// [`warm_plan_key`] with the same optional platform component as
+/// [`plan_key_on`]: `None` preserves the historical bytes, `Some` binds
+/// the warm plan to the explicitly selected target.
+pub fn warm_plan_key_on(
+    lut_fingerprint: u64,
+    objective: &Objective,
+    portfolio_fingerprint: u64,
+    donor_key: &str,
+    platform: Option<(&str, u64)>,
+) -> String {
     let mut h = Fnv64::new();
     h.write_str("qsdnn-plan-warm-v1");
     h.write_u64(lut_fingerprint);
     objective.fingerprint_into(&mut h);
     h.write_u64(portfolio_fingerprint);
     h.write_str(donor_key);
+    if let Some((name, fp)) = platform {
+        h.write_str("platform");
+        h.write_str(name);
+        h.write_u64(fp);
+    }
     format!("{:016x}", h.finish())
 }
 
@@ -158,7 +203,7 @@ impl std::fmt::Display for EvictionPolicy {
 /// Every completed `get_or_compute` call lands in exactly one of `hits`,
 /// `misses`, `coalesced` or `spill_loads`, so the four always sum to the
 /// number of requests the cache has answered.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Requests answered from memory without waiting.
     pub hits: u64,
@@ -194,7 +239,7 @@ impl CacheStats {
 }
 
 /// One shard's counters and occupancy, as reported over the wire.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct ShardStats {
     /// Ready entries resident in this shard.
     pub entries: u64,
@@ -1300,6 +1345,68 @@ mod tests {
                 lut.fingerprint(),
                 &Objective::Latency,
                 Portfolio::paper_default(101, &[1]).fingerprint()
+            )
+        );
+    }
+
+    #[test]
+    fn platform_component_is_absent_by_default_and_separates_targets() {
+        let lut = toy::fig1_lut();
+        let p = Portfolio::paper_default(100, &[1]);
+        let legacy = plan_key(lut.fingerprint(), &Objective::Latency, p.fingerprint());
+        // `None` must hash exactly the bytes `plan_key` always hashed:
+        // default-platform requests keep their historical addresses.
+        assert_eq!(
+            legacy,
+            plan_key_on(
+                lut.fingerprint(),
+                &Objective::Latency,
+                p.fingerprint(),
+                None
+            )
+        );
+        let pinned = plan_key_on(
+            lut.fingerprint(),
+            &Objective::Latency,
+            p.fingerprint(),
+            Some(("sim-gpu-heavy", 0xABCD)),
+        );
+        assert_ne!(legacy, pinned);
+        assert_ne!(
+            pinned,
+            plan_key_on(
+                lut.fingerprint(),
+                &Objective::Latency,
+                p.fingerprint(),
+                Some(("sim-gpu-heavy", 0xABCE)),
+            ),
+            "the spec fingerprint is part of the plan identity"
+        );
+
+        let warm_legacy = warm_plan_key(
+            lut.fingerprint(),
+            &Objective::Latency,
+            p.fingerprint(),
+            "donor",
+        );
+        assert_eq!(
+            warm_legacy,
+            warm_plan_key_on(
+                lut.fingerprint(),
+                &Objective::Latency,
+                p.fingerprint(),
+                "donor",
+                None,
+            )
+        );
+        assert_ne!(
+            warm_legacy,
+            warm_plan_key_on(
+                lut.fingerprint(),
+                &Objective::Latency,
+                p.fingerprint(),
+                "donor",
+                Some(("sim-gpu-heavy", 0xABCD)),
             )
         );
     }

@@ -367,6 +367,23 @@ impl PlanClient {
         episodes: usize,
         seeds: Vec<u64>,
     ) -> Result<PlanResponse, ServeError> {
+        self.search_on(lut, objective, episodes, seeds, "")
+    }
+
+    /// [`PlanClient::search`] pinned to a registered platform (empty =
+    /// the server's default platform).
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a server-side rejection.
+    pub fn search_on(
+        &mut self,
+        lut: CostLut,
+        objective: Objective,
+        episodes: usize,
+        seeds: Vec<u64>,
+        platform: impl Into<String>,
+    ) -> Result<PlanResponse, ServeError> {
         self.expect_plan(&Request::Search(SearchRequest {
             lut,
             objective,
@@ -374,6 +391,7 @@ impl PlanClient {
             seeds,
             transfer: crate::protocol::TransferMode::Auto,
             trace: false,
+            platform: platform.into(),
         }))
     }
 
@@ -408,6 +426,20 @@ impl PlanClient {
     pub fn metrics(&mut self) -> Result<crate::protocol::MetricsResponse, ServeError> {
         match self.request(&Request::Metrics)? {
             Response::Metrics(m) => Ok(m),
+            Response::Error { message } => Err(ServeError::Remote(message)),
+            other => Err(ServeError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Lists the server's platform registry: every target a request's
+    /// `platform` field can select, with spec fingerprints.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a server-side rejection.
+    pub fn platforms(&mut self) -> Result<crate::protocol::PlatformsResponse, ServeError> {
+        match self.request(&Request::Platforms)? {
+            Response::Platforms(p) => Ok(p),
             Response::Error { message } => Err(ServeError::Remote(message)),
             other => Err(ServeError::Protocol(format!("unexpected reply {other:?}"))),
         }

@@ -120,6 +120,9 @@ pub enum ServeError {
     /// The request was valid but the search produced no plan (e.g. no
     /// portfolio member was applicable, or every member failed).
     Search(String),
+    /// Server construction failed (e.g. a malformed platform spec file or
+    /// an unknown default platform) — reported before the listener binds.
+    Config(String),
 }
 
 impl fmt::Display for ServeError {
@@ -130,6 +133,7 @@ impl fmt::Display for ServeError {
             ServeError::Remote(m) => write!(f, "server error: {m}"),
             ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
             ServeError::Search(m) => write!(f, "search failed: {m}"),
+            ServeError::Config(m) => write!(f, "invalid configuration: {m}"),
         }
     }
 }

@@ -66,8 +66,15 @@ impl Stage {
 
 /// Request kinds, the `kind` label of `qsdnn_request_us`. `error` covers
 /// lines that never parsed into a request.
-pub(crate) const KINDS: [&str; 7] = [
-    "ping", "profile", "search", "plan", "stats", "metrics", "error",
+pub(crate) const KINDS: [&str; 8] = [
+    "ping",
+    "profile",
+    "search",
+    "plan",
+    "stats",
+    "metrics",
+    "platforms",
+    "error",
 ];
 
 /// The `kind` label for a parsed request.
@@ -79,6 +86,7 @@ pub(crate) fn request_kind(req: &Request) -> &'static str {
         Request::Plan(_) => "plan",
         Request::Stats => "stats",
         Request::Metrics => "metrics",
+        Request::Platforms => "platforms",
     }
 }
 

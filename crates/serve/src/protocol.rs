@@ -114,6 +114,10 @@ pub struct ProfileRequest {
     pub mode: Mode,
     /// Profiling repeats (0 = server default).
     pub repeats: usize,
+    /// Registered platform to profile on (absent/empty = the server's
+    /// default platform; list names with the `platforms` request).
+    #[serde(default)]
+    pub platform: String,
 }
 
 /// Portfolio search over a client-supplied LUT.
@@ -134,6 +138,12 @@ pub struct SearchRequest {
     /// Tracing never changes the plan — only the response's `trace` field.
     #[serde(default)]
     pub trace: bool,
+    /// Registered platform the supplied LUT was profiled for (absent/empty
+    /// = the server's default platform). The LUT carries its own numbers —
+    /// this only pins the plan's cache identity and the scenario-transfer
+    /// descriptor to the right target.
+    #[serde(default)]
+    pub platform: String,
 }
 
 /// End-to-end plan compilation: profile (server-side, cached) + portfolio
@@ -159,6 +169,10 @@ pub struct PlanRequest {
     /// Tracing never changes the plan — only the response's `trace` field.
     #[serde(default)]
     pub trace: bool,
+    /// Registered platform to compile for (absent/empty = the server's
+    /// default platform; list names with the `platforms` request).
+    #[serde(default)]
+    pub platform: String,
 }
 
 impl PlanRequest {
@@ -174,7 +188,14 @@ impl PlanRequest {
             seeds: Vec::new(),
             transfer: TransferMode::Auto,
             trace: false,
+            platform: String::new(),
         }
+    }
+
+    /// Pins the request to a registered platform.
+    pub fn on_platform(mut self, platform: impl Into<String>) -> Self {
+        self.platform = platform.into();
+        self
     }
 }
 
@@ -197,6 +218,9 @@ pub enum Request {
     /// Full observability snapshot: every metric family with histogram
     /// quantiles (the wire twin of the Prometheus exposition endpoint).
     Metrics,
+    /// The platform registry: every target this server can profile and
+    /// compile for, with spec fingerprints.
+    Platforms,
 }
 
 /// Protocol-v2 envelope: a request tagged with a connection-scoped id so
@@ -286,6 +310,7 @@ pub struct ProfileResponse {
     /// The assembled LUT.
     pub lut: CostLut,
     /// Stable content fingerprint of `lut` (hex).
+    #[serde(default)]
     pub fingerprint: String,
 }
 
@@ -294,16 +319,21 @@ pub struct ProfileResponse {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WarmStartInfo {
     /// Cache key of the donor plan the Q-tables were seeded from.
+    #[serde(default)]
     pub donor_key: String,
     /// Network name of the donor scenario.
+    #[serde(default)]
     pub donor_network: String,
     /// Scenario distance between donor and this request (0 = identical
     /// descriptors; batch neighbors score fractions of 1).
+    #[serde(default)]
     pub donor_distance: f64,
     /// Upper bound on Q-entries the transfer mapping covers.
+    #[serde(default)]
     pub transferred_states: usize,
     /// Episode budget of the warm-started QS-DNN members (shorter than the
     /// cold budget — the point of warm-starting).
+    #[serde(default)]
     pub episodes: usize,
 }
 
@@ -311,8 +341,10 @@ pub struct WarmStartInfo {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StageTiming {
     /// Stage name (`parse`, `queue`, `profile`, `cache`, `search`).
+    #[serde(default)]
     pub stage: String,
     /// Time spent in the stage, milliseconds.
+    #[serde(default)]
     pub ms: f64,
 }
 
@@ -324,8 +356,10 @@ pub struct StageTiming {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceInfo {
     /// Stages with nonzero time, in pipeline order.
+    #[serde(default)]
     pub stages: Vec<StageTiming>,
     /// Total span age when the response was built, milliseconds.
+    #[serde(default)]
     pub total_ms: f64,
 }
 
@@ -333,18 +367,24 @@ pub struct TraceInfo {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlanResponse {
     /// Network the plan is for.
+    #[serde(default)]
     pub network: String,
     /// Content address of this plan in the cache.
+    #[serde(default)]
     pub plan_key: String,
     /// Whether the plan was served without running a fresh search.
+    #[serde(default)]
     pub cache_hit: bool,
     /// The winning report (assignment, cost, curve).
     pub best: SearchReport,
     /// Label of the winning portfolio member.
+    #[serde(default)]
     pub winner: String,
     /// Every member's summary, in portfolio order.
+    #[serde(default)]
     pub members: Vec<MemberSummary>,
     /// Cost of the all-Vanilla reference on the same objective.
+    #[serde(default)]
     pub vanilla_cost_ms: f64,
     /// Set when this plan came from a warm-started (scenario-transfer)
     /// search; `None` for cold searches and `transfer: "off"` requests.
@@ -372,30 +412,42 @@ impl PlanResponse {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatsResponse {
     /// Server protocol revision.
+    #[serde(default)]
     pub version: u32,
     /// Milliseconds since the server started.
+    #[serde(default)]
     pub uptime_ms: u64,
     /// Requests handled (any kind).
+    #[serde(default)]
     pub requests: u64,
     /// Plan/search requests handled.
+    #[serde(default)]
     pub plans: u64,
     /// Plan-cache counters, aggregated over shards.
+    #[serde(default)]
     pub plan_cache: CacheStats,
     /// Per-shard plan-cache occupancy and counters, in shard order.
+    #[serde(default)]
     pub plan_cache_shards: Vec<ShardStats>,
     /// Profile-cache counters, aggregated over shards.
+    #[serde(default)]
     pub profile_cache: CacheStats,
     /// Per-shard profile-cache occupancy and counters, in shard order.
+    #[serde(default)]
     pub profile_cache_shards: Vec<ShardStats>,
     /// Worker threads in the search pool.
+    #[serde(default)]
     pub workers: u64,
     /// Tagged (protocol-v2) requests handled.
+    #[serde(default)]
     pub pipelined: u64,
     /// Highest per-connection in-flight depth observed since start.
+    #[serde(default)]
     pub in_flight_peak: u64,
     /// Per-connection cap on tagged requests in flight (the reader stops
     /// parsing once a connection reaches it, so TCP flow control
     /// backpressures the client).
+    #[serde(default)]
     pub max_in_flight: u64,
     /// Server-wide scenario-transfer policy (`"auto"` or `"off"`).
     #[serde(default)]
@@ -425,19 +477,26 @@ pub struct StatsResponse {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HistogramMsg {
     /// Number of recorded values.
+    #[serde(default)]
     pub count: u64,
     /// Sum of recorded values, microseconds.
+    #[serde(default)]
     pub sum_us: u64,
     /// Median estimate, microseconds.
+    #[serde(default)]
     pub p50_us: u64,
     /// 90th percentile estimate, microseconds.
+    #[serde(default)]
     pub p90_us: u64,
     /// 99th percentile estimate, microseconds.
+    #[serde(default)]
     pub p99_us: u64,
     /// 99.9th percentile estimate, microseconds.
+    #[serde(default)]
     pub p999_us: u64,
     /// Non-empty buckets as `(bucket_index, upper_bound_us, count)`
     /// triples in ascending order.
+    #[serde(default)]
     pub buckets: Vec<(u64, u64, u64)>,
 }
 
@@ -485,6 +544,7 @@ pub enum MetricValue {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricSample {
     /// Label key/value pairs.
+    #[serde(default)]
     pub labels: Vec<(String, String)>,
     /// The sample's value.
     pub value: MetricValue,
@@ -494,12 +554,16 @@ pub struct MetricSample {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricFamily {
     /// Family name (e.g. `qsdnn_request_us`).
+    #[serde(default)]
     pub name: String,
     /// Human-readable description.
+    #[serde(default)]
     pub help: String,
     /// `"counter"`, `"gauge"` or `"histogram"`.
+    #[serde(default)]
     pub kind: String,
     /// Samples in registration order.
+    #[serde(default)]
     pub samples: Vec<MetricSample>,
 }
 
@@ -507,8 +571,10 @@ pub struct MetricFamily {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsResponse {
     /// Milliseconds since the server started (monotonic, ≥ 1).
+    #[serde(default)]
     pub uptime_ms: u64,
     /// Every metric family the server exports.
+    #[serde(default)]
     pub families: Vec<MetricFamily>,
 }
 
@@ -516,6 +582,48 @@ impl MetricsResponse {
     /// Finds a family by name.
     pub fn family(&self, name: &str) -> Option<&MetricFamily> {
         self.families.iter().find(|f| f.name == name)
+    }
+}
+
+/// One registered platform, as reported by the `platforms` request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformInfo {
+    /// Registry name — the string a request's `platform` field selects.
+    #[serde(default)]
+    pub name: String,
+    /// Spec kind: `"analytical"` or `"measured"`.
+    #[serde(default)]
+    pub kind: String,
+    /// Human-readable description from the spec.
+    #[serde(default)]
+    pub description: String,
+    /// Spec content fingerprint (hex) — the value that joins this
+    /// platform's plan and profile cache keys when it is selected
+    /// explicitly.
+    #[serde(default)]
+    pub fingerprint: String,
+    /// Whether this is the server's default platform (the one an absent
+    /// `platform` field resolves to).
+    #[serde(default)]
+    pub is_default: bool,
+    /// Whether the spec models a GPU (`false` means `"gpgpu"`-mode
+    /// requests against this platform are rejected).
+    #[serde(default)]
+    pub gpu: bool,
+}
+
+/// Answer to the `platforms` request: the registry in name order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformsResponse {
+    /// Every registered platform, sorted by name.
+    #[serde(default)]
+    pub platforms: Vec<PlatformInfo>,
+}
+
+impl PlatformsResponse {
+    /// Finds a platform by registry name.
+    pub fn platform(&self, name: &str) -> Option<&PlatformInfo> {
+        self.platforms.iter().find(|p| p.name == name)
     }
 }
 
@@ -535,6 +643,8 @@ pub enum Response {
     Stats(StatsResponse),
     /// Observability snapshot.
     Metrics(MetricsResponse),
+    /// Platform registry listing.
+    Platforms(PlatformsResponse),
     /// Request-level failure (the connection stays usable).
     Error {
         /// Human-readable reason.
@@ -752,6 +862,7 @@ mod tests {
                 batch: 2,
                 mode: Mode::Cpu,
                 repeats: 5,
+                platform: String::new(),
             }),
             Request::Search(SearchRequest {
                 lut: toy::fig1_lut(),
@@ -760,10 +871,13 @@ mod tests {
                 seeds: vec![1, 2, 3],
                 transfer: TransferMode::Off,
                 trace: true,
+                platform: "sim-gpu-heavy".into(),
             }),
             Request::Plan(PlanRequest::latency("mobilenet_v1")),
+            Request::Plan(PlanRequest::latency("lenet5").on_platform("sim-cpu-only")),
             Request::Stats,
             Request::Metrics,
+            Request::Platforms,
         ];
         for req in reqs {
             let json = serde_json::to_string(&req).unwrap();
@@ -1104,6 +1218,70 @@ mod tests {
         // Whitespace-only tails are keepalive noise, not a frame.
         fb.push(b"  \t ");
         assert!(fb.take_partial().is_none());
+    }
+
+    #[test]
+    fn platform_field_is_optional_on_every_request_kind() {
+        // Requests from clients predating the platform registry carry no
+        // `platform` field; they must parse as the empty string (= the
+        // server's default platform).
+        let req = PlanRequest::latency("lenet5");
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(json.contains("\"platform\":\"\""), "{json}");
+        let stripped = json.replace(",\"platform\":\"\"", "");
+        assert_ne!(stripped, json, "strip must remove the field");
+        let back: PlanRequest = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, req);
+
+        let profile = ProfileRequest {
+            network: "lenet5".into(),
+            batch: 1,
+            mode: Mode::Cpu,
+            repeats: 0,
+            platform: String::new(),
+        };
+        let json = serde_json::to_string(&profile).unwrap();
+        let back: ProfileRequest =
+            serde_json::from_str(&json.replace(",\"platform\":\"\"", "")).unwrap();
+        assert_eq!(back, profile);
+
+        // And a pinned request keeps its platform through a roundtrip.
+        let pinned = PlanRequest::latency("lenet5").on_platform("sim-gpu-heavy");
+        let back: PlanRequest =
+            serde_json::from_str(&serde_json::to_string(&pinned).unwrap()).unwrap();
+        assert_eq!(back.platform, "sim-gpu-heavy");
+    }
+
+    #[test]
+    fn platforms_listing_roundtrips() {
+        let resp = Response::Platforms(PlatformsResponse {
+            platforms: vec![
+                PlatformInfo {
+                    name: "sim-cpu-only".into(),
+                    kind: "analytical".into(),
+                    description: "big-core CPU, no GPU".into(),
+                    fingerprint: "00ff00ff00ff00ff".into(),
+                    is_default: false,
+                    gpu: false,
+                },
+                PlatformInfo {
+                    name: "sim-tx2".into(),
+                    kind: "analytical".into(),
+                    description: "calibrated Jetson TX2 model".into(),
+                    fingerprint: "0123456789abcdef".into(),
+                    is_default: true,
+                    gpu: true,
+                },
+            ],
+        });
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(!json.contains('\n'));
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(resp, back);
+        if let Response::Platforms(ref list) = back {
+            assert!(list.platform("sim-tx2").is_some_and(|p| p.is_default));
+            assert!(list.platform("nope").is_none());
+        }
     }
 
     #[test]

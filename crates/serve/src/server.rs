@@ -31,20 +31,22 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use qsdnn::engine::{AnalyticalPlatform, CostLut, Objective, Profiler, ScenarioDescriptor};
+use qsdnn::engine::{
+    CostLut, Objective, PlatformRegistry, PlatformSpec, Profiler, ScenarioDescriptor,
+};
 use qsdnn::nn::zoo;
 use qsdnn::{Portfolio, PortfolioOutcome, QTable, TransferMapping};
 
-use crate::cache::{plan_key, warm_plan_key, CacheValue, EvictionPolicy, PlanCache};
+use crate::cache::{plan_key_on, warm_plan_key_on, CacheValue, EvictionPolicy, PlanCache};
 use crate::exposition::MetricsExposition;
 use crate::metrics::{families_from_snapshot, request_kind, trace_requested, RequestSpan, Stage};
 use crate::pool::WorkerPool;
 use crate::portfolio::{run_portfolio_parallel, run_portfolio_parallel_with, WarmStart};
 use crate::protocol::{
     default_episodes, parse_request_frame, read_line_resumable, write_message, MetricsResponse,
-    PlanRequest, PlanResponse, ProfileRequest, ProfileResponse, Request, RequestFrame, Response,
-    SearchRequest, StatsResponse, TaggedResponse, TransferMode, WarmStartInfo,
-    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+    PlanRequest, PlanResponse, PlatformInfo, PlatformsResponse, ProfileRequest, ProfileResponse,
+    Request, RequestFrame, Response, SearchRequest, StatsResponse, TaggedResponse, TransferMode,
+    WarmStartInfo, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use crate::transfer::{ScenarioEntry, ScenarioIndex, DEFAULT_DONOR_CANDIDATES};
 use crate::ServeError;
@@ -203,6 +205,14 @@ pub struct ServerConfig {
     /// server a private registry (the default — concurrent servers in one
     /// process never mix counters); inject one to aggregate or inspect.
     pub registry: Option<Arc<qsdnn_obs::Registry>>,
+    /// Default platform for requests that do not name one. Empty keeps the
+    /// registry default (`sim-tx2`, the historical behavior); otherwise it
+    /// must be a registered name.
+    pub platform: String,
+    /// Directory of extra platform spec files (`*.json`) merged into the
+    /// registry at startup. A malformed or duplicate spec fails startup
+    /// with an error naming the offending file.
+    pub platform_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -225,6 +235,8 @@ impl Default for ServerConfig {
             slow_ms: DEFAULT_SLOW_MS,
             instrument: true,
             registry: None,
+            platform: String::new(),
+            platform_dir: None,
         }
     }
 }
@@ -270,6 +282,9 @@ pub(crate) struct ServiceState {
     /// Scenario-transfer index, maintained alongside plan-cache inserts
     /// and consulted on plan-cache misses (unless transfer is off).
     index: ScenarioIndex,
+    /// Every platform this server can profile and compile for: the
+    /// built-ins plus any specs loaded from `config.platform_dir`.
+    platforms: PlatformRegistry,
     pub(crate) config: ServerConfig,
     started: Instant,
     requests: AtomicU64,
@@ -316,6 +331,20 @@ impl ServiceState {
             }
             _ => ScenarioIndex::new(index_entries),
         };
+        // The registry is fixed at startup: a bad spec file or an unknown
+        // default platform is a configuration error the operator must see,
+        // not something to paper over at request time.
+        let mut platforms = PlatformRegistry::builtin();
+        if let Some(dir) = &config.platform_dir {
+            platforms
+                .load_dir(dir)
+                .map_err(|e| ServeError::Config(e.to_string()))?;
+        }
+        if !config.platform.is_empty() {
+            platforms
+                .set_default(&config.platform)
+                .map_err(|e| ServeError::Config(e.to_string()))?;
+        }
         // Instruments exist before the pool so the search workers can
         // carry the pool gauges from their first job.
         let registry = config
@@ -343,6 +372,7 @@ impl ServiceState {
             plans,
             profiles,
             index,
+            platforms,
             config,
             started: Instant::now(),
             requests: AtomicU64::new(0),
@@ -374,12 +404,38 @@ impl ServiceState {
         }
     }
 
+    /// Resolves a request's `platform` field against the registry.
+    ///
+    /// The returned flag says whether the request *engaged* a non-default
+    /// target: only engaged requests get a platform component in their
+    /// cache keys and scenario descriptors, so requests resolving to the
+    /// registry default (`sim-tx2`) — whether by naming it or by omission
+    /// — keep their historical, pre-registry identities. The flag keys off
+    /// [`PlatformRegistry::DEFAULT`], not the server's configured default:
+    /// a server whose default *is* another platform must address its plans
+    /// under that platform, not under sim-tx2's addresses.
+    fn platform_for(&self, requested: &str) -> Result<(&PlatformSpec, bool), ServeError> {
+        let spec = self
+            .platforms
+            .resolve(requested)
+            .map_err(|e| ServeError::BadRequest(e.to_string()))?;
+        Ok((spec, spec.name != PlatformRegistry::DEFAULT))
+    }
+
     /// Profiles a zoo network, content-addressed on the request parameters
     /// (the analytical platform is deterministic, so equal parameters give
     /// equal LUTs).
     fn profile(&self, req: &ProfileRequest) -> Result<Arc<CostLut>, ServeError> {
         if req.batch == 0 {
             return Err(ServeError::BadRequest("batch must be >= 1".into()));
+        }
+        let (spec, engaged) = self.platform_for(&req.platform)?;
+        if !spec.supports(req.mode) {
+            return Err(ServeError::BadRequest(format!(
+                "platform `{}` has no GPU; mode `{}` is unavailable on it",
+                spec.name,
+                req.mode.label()
+            )));
         }
         let net = zoo::by_name(&req.network, req.batch)
             .ok_or_else(|| ServeError::BadRequest(format!("unknown network `{}`", req.network)))?;
@@ -396,13 +452,19 @@ impl ServiceState {
             h.write_usize(req.batch);
             h.write_str(req.mode.label());
             h.write_usize(repeats);
+            if engaged {
+                h.write_str("platform");
+                h.write_str(&spec.name);
+                h.write_u64(spec.fingerprint());
+            }
             format!("{:016x}", h.finish())
         };
         // Profiles are cheap relative to searches but heavily repeated in a
         // busy service; single-flight them too.
         let mode = req.mode;
-        let (lut, _) = self.profiles.get_or_compute(&key, || {
-            Profiler::with_repeats(AnalyticalPlatform::tx2(), repeats).profile(&net, mode)
+        let platform = self.platforms.instantiate(spec);
+        let (lut, _) = self.profiles.get_or_compute(&key, move || {
+            Profiler::with_repeats(platform, repeats).profile(&net, mode)
         });
         Ok(lut)
     }
@@ -416,6 +478,7 @@ impl ServiceState {
         seeds: &[u64],
         transfer: TransferMode,
         batch: usize,
+        platform: &str,
         span: &mut RequestSpan,
     ) -> Result<PlanResponse, ServeError> {
         if lut.is_empty() {
@@ -426,6 +489,11 @@ impl ServiceState {
         // response, not a panicked connection thread.
         lut.validate()
             .map_err(|e| ServeError::BadRequest(format!("invalid LUT: {e}")))?;
+        // Engaged platforms join the plan's cache identity and its
+        // scenario descriptor; the default platform stays absent from
+        // both, so pre-registry addresses are preserved.
+        let (spec, engaged) = self.platform_for(platform)?;
+        let platform = engaged.then_some(spec);
         let episodes = self.episodes_for(episodes, lut.len());
         let seeds = self.seeds_for(seeds);
         let portfolio = Portfolio::paper_default(episodes, &seeds);
@@ -437,9 +505,9 @@ impl ServiceState {
         // Transfer needs both opt-ins: the server policy and the request.
         let result = if self.config.transfer == TransferMode::Auto && transfer == TransferMode::Auto
         {
-            self.search_with_transfer(&portfolio, lut, objective, batch, span)
+            self.search_with_transfer(&portfolio, lut, objective, batch, platform, span)
         } else {
-            self.search_with(&portfolio, lut, objective, span)
+            self.search_with(&portfolio, lut, objective, platform, span)
         };
         if span.is_active() {
             let searched = span.stage_total(Stage::Search) - search_before;
@@ -518,11 +586,17 @@ impl ServiceState {
         portfolio: &Portfolio,
         lut: CostLut,
         objective: Objective,
+        platform: Option<&PlatformSpec>,
         span: &mut RequestSpan,
     ) -> Result<PlanResponse, ServeError> {
         let scalarized = lut.with_objective(objective);
         let vanilla_cost_ms = scalarized.cost(&scalarized.vanilla_assignment());
-        let key = plan_key(lut.fingerprint(), &objective, portfolio.fingerprint());
+        let key = plan_key_on(
+            lut.fingerprint(),
+            &objective,
+            portfolio.fingerprint(),
+            platform.map(|s| (s.name.as_str(), s.fingerprint())),
+        );
         let shared = Arc::new(scalarized);
         self.compute_cold(portfolio, &lut, &shared, vanilla_cost_ms, key, span)
     }
@@ -545,28 +619,39 @@ impl ServiceState {
         lut: CostLut,
         objective: Objective,
         batch: usize,
+        platform: Option<&PlatformSpec>,
         span: &mut RequestSpan,
     ) -> Result<PlanResponse, ServeError> {
         let scalarized = lut.with_objective(objective);
         let vanilla_cost_ms = scalarized.cost(&scalarized.vanilla_assignment());
-        let base_key = plan_key(lut.fingerprint(), &objective, portfolio.fingerprint());
+        let pin = platform.map(|s| (s.name.as_str(), s.fingerprint()));
+        let base_key = plan_key_on(lut.fingerprint(), &objective, portfolio.fingerprint(), pin);
+        // An engaged platform adds its feature vector to the descriptor,
+        // so the platform term of the scenario distance measures genuine
+        // spec divergence instead of the flat mismatch penalty —
+        // cross-platform neighbors become usable donors.
+        let describe = |scalarized: &CostLut| {
+            let mut d = ScenarioDescriptor::of(scalarized)
+                .with_batch(batch)
+                .with_objective(&objective);
+            if let Some(spec) = platform {
+                d = d.with_platform_features(spec.features());
+            }
+            d
+        };
 
         if let Some(outcome) = self.plans.peek(&base_key) {
             // Register the scenario on *first* sight only: re-inserting on
             // every repeated hit would re-extract the descriptor and
             // re-serialize it to the index's disk file per request.
             if self.index.lookup(&base_key).is_none() {
-                let descriptor = ScenarioDescriptor::of(&scalarized)
-                    .with_batch(batch)
-                    .with_objective(&objective);
+                let descriptor = describe(&scalarized);
                 self.index
                     .insert(descriptor, base_key.clone(), base_key.clone(), None);
             }
             return Ok(self.plan_response(&lut, base_key, true, &outcome, vanilla_cost_ms, None));
         }
-        let descriptor = ScenarioDescriptor::of(&scalarized)
-            .with_batch(batch)
-            .with_objective(&objective);
+        let descriptor = describe(&scalarized);
         if let Some(entry) = self.index.lookup(&base_key) {
             // The exact-key peek above already failed, so a plan_key equal
             // to base_key means the plan is not fetchable right now.
@@ -640,6 +725,7 @@ impl ServiceState {
                 vanilla_cost_ms,
                 descriptor,
                 base_key,
+                pin,
                 entry,
                 distance,
                 donor,
@@ -672,6 +758,7 @@ impl ServiceState {
         vanilla_cost_ms: f64,
         descriptor: ScenarioDescriptor,
         base_key: String,
+        pin: Option<(&str, u64)>,
         entry: ScenarioEntry,
         distance: f64,
         donor: QTable,
@@ -679,11 +766,12 @@ impl ServiceState {
         span: &mut RequestSpan,
     ) -> Result<PlanResponse, ServeError> {
         let warm_portfolio = portfolio.warmed();
-        let warm_key = warm_plan_key(
+        let warm_key = warm_plan_key_on(
             lut.fingerprint(),
             objective,
             warm_portfolio.fingerprint(),
             &entry.plan_key,
+            pin,
         );
         let transferred_states = mapping.mapped_states();
         let warm = Arc::new(WarmStart { donor, mapping });
@@ -784,10 +872,13 @@ impl ServiceState {
                 seeds,
                 transfer,
                 trace: _,
+                platform,
             }) => {
                 // A client-supplied LUT carries no batch; the descriptor
                 // records it as unknown.
-                match self.run_search(lut, objective, episodes, &seeds, transfer, 0, span) {
+                match self.run_search(
+                    lut, objective, episodes, &seeds, transfer, 0, &platform, span,
+                ) {
                     Ok(plan) => Response::Plan(plan),
                     Err(e) => Response::Error {
                         message: e.to_string(),
@@ -803,12 +894,14 @@ impl ServiceState {
                 seeds,
                 transfer,
                 trace: _,
+                platform,
             }) => {
                 let profile_req = ProfileRequest {
                     network,
                     batch,
                     mode,
                     repeats: 0,
+                    platform: platform.clone(),
                 };
                 match span
                     .time(Stage::Profile, || self.profile(&profile_req))
@@ -820,6 +913,7 @@ impl ServiceState {
                             &seeds,
                             transfer,
                             batch,
+                            &platform,
                             span,
                         )
                     }) {
@@ -829,6 +923,20 @@ impl ServiceState {
                     },
                 }
             }
+            Request::Platforms => Response::Platforms(PlatformsResponse {
+                platforms: self
+                    .platforms
+                    .specs()
+                    .map(|spec| PlatformInfo {
+                        name: spec.name.clone(),
+                        kind: spec.kind.label().to_string(),
+                        description: spec.description.clone(),
+                        fingerprint: format!("{:016x}", spec.fingerprint()),
+                        is_default: spec.name == self.platforms.default_name(),
+                        gpu: spec.gpu.is_some(),
+                    })
+                    .collect(),
+            }),
             Request::Metrics => Response::Metrics(self.metrics_response()),
             Request::Stats => Response::Stats(StatsResponse {
                 version: PROTOCOL_VERSION,
@@ -1557,7 +1665,7 @@ pub fn resolve(addr: &str) -> Result<SocketAddr, ServeError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qsdnn::engine::Mode;
+    use qsdnn::engine::{AnalyticalPlatform, Mode};
     use qsdnn::PortfolioMember;
 
     fn branchy_lut() -> CostLut {
@@ -1582,6 +1690,7 @@ mod tests {
                 &portfolio,
                 branchy_lut(),
                 Objective::Latency,
+                None,
                 &mut state.metrics.span("plan"),
             )
             .expect_err("no member applies");
@@ -1597,6 +1706,7 @@ mod tests {
                 &portfolio,
                 branchy_lut(),
                 Objective::Latency,
+                None,
                 &mut state.metrics.span("plan"),
             )
             .expect_err("still no member");
@@ -1610,6 +1720,7 @@ mod tests {
                 &Portfolio::paper_default(60, &[1]),
                 branchy_lut(),
                 Objective::Latency,
+                None,
                 &mut state.metrics.span("plan"),
             )
             .expect("full portfolio applies");
@@ -1638,6 +1749,7 @@ mod tests {
             seeds: Vec::new(),
             transfer: TransferMode::Auto,
             trace: false,
+            platform: String::new(),
         });
         let resp =
             catch_unwind(AssertUnwindSafe(|| state.dispatch(req))).expect("dispatch never unwinds");

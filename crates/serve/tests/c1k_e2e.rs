@@ -86,6 +86,7 @@ fn request_for(i: usize) -> PlanRequest {
         seeds: SEEDS.to_vec(),
         transfer: TransferMode::Off,
         trace: false,
+        platform: String::new(),
     }
 }
 

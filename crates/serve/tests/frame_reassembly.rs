@@ -37,6 +37,7 @@ fn random_request(rng: &mut SmallRng) -> Request {
                 Mode::Gpgpu
             },
             repeats: rng.gen_range(0..10),
+            platform: String::new(),
         }),
         _ => Request::Plan(PlanRequest {
             network,
@@ -53,6 +54,7 @@ fn random_request(rng: &mut SmallRng) -> Request {
                 TransferMode::Off
             },
             trace: false,
+            platform: String::new(),
         }),
     }
 }

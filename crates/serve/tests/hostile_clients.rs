@@ -71,6 +71,7 @@ fn plan_request(episodes: usize) -> PlanRequest {
         seeds: vec![0x5EED],
         transfer: TransferMode::Off,
         trace: false,
+        platform: String::new(),
     }
 }
 
@@ -186,6 +187,7 @@ fn a_client_that_never_reads_cannot_block_other_connections() {
                     batch: 1,
                     mode: Mode::Gpgpu,
                     repeats: 2,
+                    platform: String::new(),
                 }),
             },
         )

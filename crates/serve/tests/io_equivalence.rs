@@ -38,6 +38,7 @@ fn plan_request(network: &str, episodes: usize) -> PlanRequest {
         seeds: vec![0x5EED, 7],
         transfer: TransferMode::Off,
         trace: false,
+        platform: String::new(),
     }
 }
 
@@ -135,6 +136,7 @@ fn run_script(io: IoModel) -> Vec<String> {
             seeds: vec![11],
             transfer: TransferMode::Off,
             trace: false,
+            platform: String::new(),
         }))
         .expect("search")
     {

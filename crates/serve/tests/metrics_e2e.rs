@@ -56,6 +56,7 @@ fn plan_request(network: &str, episodes: usize, trace: bool) -> PlanRequest {
         seeds: vec![0x5EED],
         transfer: TransferMode::Off,
         trace,
+        platform: String::new(),
     }
 }
 

@@ -33,6 +33,7 @@ fn batch(n: usize, base_episodes: usize, step: usize) -> Vec<PlanRequest> {
             // earlier-finishing budgets seed later ones.
             transfer: TransferMode::Off,
             trace: false,
+            platform: String::new(),
         })
         .collect()
 }

@@ -1,0 +1,249 @@
+//! End-to-end acceptance of the platform registry over the wire: a client
+//! lists the registered targets, pins requests to a non-default platform
+//! (plans land under platform-fingerprinted cache keys, disjoint from the
+//! default's), warm-starts a search *across* platforms, and drives a
+//! server whose default target or spec directory came from configuration.
+//! Startup with a corrupt `--platform-dir` spec must fail with an error
+//! naming the offending file, never panic.
+
+use qsdnn::engine::{Mode, Objective, PlatformSpec};
+use qsdnn_serve::protocol::{PlanRequest, ProfileRequest, Request, Response, TransferMode};
+use qsdnn_serve::{PlanClient, PlanServer, ServeError, ServerConfig};
+
+fn request(network: &str, platform: &str) -> PlanRequest {
+    PlanRequest {
+        network: network.to_string(),
+        batch: 1,
+        mode: Mode::Gpgpu,
+        objective: Objective::Latency,
+        episodes: 150,
+        seeds: vec![7],
+        transfer: TransferMode::Off,
+        trace: false,
+        platform: platform.to_string(),
+    }
+}
+
+#[test]
+fn platforms_request_lists_the_registry() {
+    let server = PlanServer::start(ServerConfig::default()).expect("bind");
+    let mut client = PlanClient::connect(server.local_addr()).expect("connect");
+
+    let listing = client.platforms().expect("platforms");
+    assert!(
+        listing.platforms.len() >= 4,
+        "the four built-ins at minimum: {:?}",
+        listing.platforms
+    );
+    for name in ["sim-tx2", "measured-host", "sim-gpu-heavy", "sim-cpu-only"] {
+        let p = listing
+            .platform(name)
+            .unwrap_or_else(|| panic!("built-in `{name}` missing from {:?}", listing.platforms));
+        assert_eq!(p.is_default, name == "sim-tx2");
+        assert_eq!(p.gpu, name != "sim-cpu-only");
+        assert_eq!(p.fingerprint.len(), 16, "zero-padded hex fingerprint");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn non_default_platforms_get_their_own_plans_and_cache_keys() {
+    let server = PlanServer::start(ServerConfig::default()).expect("bind");
+    let mut client = PlanClient::connect(server.local_addr()).expect("connect");
+
+    let default_plan = client.plan(request("tiny_cnn", "")).expect("default");
+    let gpu_heavy = client
+        .plan(request("tiny_cnn", "sim-gpu-heavy"))
+        .expect("gpu-heavy");
+    assert_ne!(
+        default_plan.plan_key, gpu_heavy.plan_key,
+        "platform-pinned plans must never share the default's address"
+    );
+    assert!(!gpu_heavy.cache_hit);
+
+    // The pinned scenario is itself cached and repeatable.
+    let again = client
+        .plan(request("tiny_cnn", "sim-gpu-heavy"))
+        .expect("repeat");
+    assert!(again.cache_hit);
+    assert_eq!(again.plan_key, gpu_heavy.plan_key);
+
+    // Profiles are platform-specific too: the LUTs genuinely differ.
+    let prof = |platform: &str, client: &mut PlanClient| {
+        client
+            .profile(ProfileRequest {
+                network: "tiny_cnn".into(),
+                batch: 1,
+                mode: Mode::Gpgpu,
+                repeats: 3,
+                platform: platform.into(),
+            })
+            .expect("profile")
+    };
+    let base = prof("", &mut client);
+    let heavy = prof("sim-gpu-heavy", &mut client);
+    assert_ne!(base.fingerprint, heavy.fingerprint);
+    assert_eq!(heavy.lut.platform(), "sim-gpu-heavy");
+
+    // An unknown platform is a clean error listing what exists.
+    let err = client
+        .plan(request("tiny_cnn", "sim-unknown"))
+        .expect_err("unknown platform");
+    let msg = err.to_string();
+    assert!(msg.contains("sim-unknown"), "names the request: {msg}");
+    assert!(msg.contains("sim-tx2"), "lists the registry: {msg}");
+
+    // A GPU mode on a CPU-only platform is rejected before any search.
+    let err = client
+        .plan(request("tiny_cnn", "sim-cpu-only"))
+        .expect_err("no GPU");
+    assert!(err.to_string().contains("no GPU"), "got: {err}");
+    server.shutdown();
+}
+
+/// The refactor's headline behavior: a scenario solved on one platform
+/// warm-starts the same network on *another* platform, because descriptor
+/// distance now scores genuine spec divergence instead of an effectively
+/// infinite mismatch.
+#[test]
+fn searches_warm_start_across_platforms() {
+    let server = PlanServer::start(ServerConfig::default()).expect("bind");
+    let mut client = PlanClient::connect(server.local_addr()).expect("connect");
+
+    let mut seed_req = request("tiny_cnn", "");
+    seed_req.transfer = TransferMode::Auto;
+    let donor = client.plan(seed_req).expect("default-platform donor");
+    assert!(donor.warm_start.is_none(), "first scenario is cold");
+
+    let mut cross = request("tiny_cnn", "sim-gpu-heavy");
+    cross.transfer = TransferMode::Auto;
+    let warmed = client.plan(cross).expect("cross-platform request");
+    let warm = warmed
+        .warm_start
+        .as_ref()
+        .expect("the other platform's plan is an eligible donor");
+    assert_eq!(warm.donor_key, donor.plan_key);
+    assert!(
+        warm.donor_distance < 6.0,
+        "cross-platform donors sit inside the cutoff, got {}",
+        warm.donor_distance
+    );
+    assert!(warm.transferred_states > 0);
+    server.shutdown();
+}
+
+#[test]
+fn server_default_platform_rebases_unpinned_requests() {
+    let server = PlanServer::start(ServerConfig {
+        platform: "sim-gpu-heavy".to_string(),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let mut client = PlanClient::connect(server.local_addr()).expect("connect");
+
+    let listing = client.platforms().expect("platforms");
+    let default = listing
+        .platforms
+        .iter()
+        .find(|p| p.is_default)
+        .expect("a default exists");
+    assert_eq!(default.name, "sim-gpu-heavy");
+
+    // An unpinned request resolves to the configured default and is
+    // addressed under that platform's keys — the same wire bytes against
+    // a stock server produce a different (sim-tx2) plan key.
+    let rebased = client.plan(request("tiny_cnn", "")).expect("plan");
+    let stock = PlanServer::start(ServerConfig::default()).expect("bind stock");
+    let mut stock_client = PlanClient::connect(stock.local_addr()).expect("connect");
+    let baseline = stock_client.plan(request("tiny_cnn", "")).expect("plan");
+    assert_ne!(rebased.plan_key, baseline.plan_key);
+    stock.shutdown();
+    server.shutdown();
+
+    // An unknown default is a startup configuration error, not a panic.
+    match PlanServer::start(ServerConfig {
+        platform: "sim-nonexistent".to_string(),
+        ..ServerConfig::default()
+    }) {
+        Err(ServeError::Config(msg)) => assert!(msg.contains("sim-nonexistent"), "{msg}"),
+        Err(other) => panic!("expected a config error, got {other}"),
+        Ok(_) => panic!("an unknown default platform must fail startup"),
+    }
+}
+
+#[test]
+fn platform_dir_specs_join_the_registry() {
+    let dir = std::env::temp_dir().join(format!("qsdnn_platform_dir_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+
+    // A user spec: gpu-heavy with the GPU clocked further up, under a new
+    // name. Serialized through the spec schema itself, so this also pins
+    // the on-disk format round-trip.
+    let mut spec = PlatformSpec::gpu_heavy();
+    spec.name = "user-hot-gpu".to_string();
+    spec.description = "gpu-heavy with a user overclock".to_string();
+    spec.gpu
+        .as_mut()
+        .expect("gpu-heavy has a gpu")
+        .bandwidth_gbs *= 2.0;
+    std::fs::write(
+        dir.join("hot-gpu.json"),
+        serde_json::to_string(&spec).expect("serialize"),
+    )
+    .expect("write spec");
+
+    let server = PlanServer::start(ServerConfig {
+        platform_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let mut client = PlanClient::connect(server.local_addr()).expect("connect");
+
+    let listing = client.platforms().expect("platforms");
+    let loaded = listing.platform("user-hot-gpu").expect("spec loaded");
+    assert!(!loaded.is_default);
+    assert!(loaded.gpu);
+
+    let plan = client
+        .plan(request("tiny_cnn", "user-hot-gpu"))
+        .expect("plan on the user spec");
+    let stock = client.plan(request("tiny_cnn", "")).expect("default plan");
+    assert_ne!(plan.plan_key, stock.plan_key);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_platform_dir_fails_startup_naming_the_file() {
+    let dir = std::env::temp_dir().join(format!("qsdnn_platform_bad_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    std::fs::write(dir.join("broken.json"), "{not json").expect("write junk");
+
+    match PlanServer::start(ServerConfig {
+        platform_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    }) {
+        Err(ServeError::Config(msg)) => {
+            assert!(msg.contains("broken.json"), "must name the file: {msg}")
+        }
+        Err(other) => panic!("expected a config error, got {other}"),
+        Ok(_) => panic!("a corrupt spec file must fail startup"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The `platforms` request also answers over the raw tagged/untagged
+/// protocol path (exercised through `request`), not just the typed client
+/// helper.
+#[test]
+fn platforms_request_roundtrips_over_the_wire() {
+    let server = PlanServer::start(ServerConfig::default()).expect("bind");
+    let mut client = PlanClient::connect(server.local_addr()).expect("connect");
+    match client.request(&Request::Platforms).expect("roundtrip") {
+        Response::Platforms(listing) => assert!(listing.platforms.len() >= 4),
+        other => panic!("unexpected response {other:?}"),
+    }
+    server.shutdown();
+}

@@ -31,6 +31,7 @@ fn request_for(network: &str) -> PlanRequest {
         // whichever network finishes first donate to the others.
         transfer: TransferMode::Off,
         trace: false,
+        platform: String::new(),
     }
 }
 

@@ -24,6 +24,7 @@ fn request(batch: usize, transfer: TransferMode) -> PlanRequest {
         seeds: SEEDS.to_vec(),
         transfer,
         trace: false,
+        platform: String::new(),
     }
 }
 

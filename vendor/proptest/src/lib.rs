@@ -2,7 +2,7 @@
 //!
 //! Supports the subset the workspace's property tests use: the `proptest!`
 //! macro with an optional `#![proptest_config(..)]` header, integer-range
-//! strategies (`lo..hi`), and `prop_assert!`. Cases are sampled with a
+//! strategies (`lo..hi`), `collection::vec`, and `prop_assert!`. Cases are sampled with a
 //! fixed-seed deterministic RNG, so failures reproduce; there is no
 //! shrinking — the failing inputs are printed instead.
 
@@ -58,6 +58,51 @@ impl Strategy for Range<f64> {
     fn sample(&self, rng: &mut __rand::rngs::SmallRng) -> f64 {
         use __rand::Rng;
         rng.gen_range(self.clone())
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{__rand, Strategy};
+
+    /// Length specification for [`vec()`]: an exact `usize` or a `lo..hi`
+    /// range.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn sample_len(&self, rng: &mut __rand::rngs::SmallRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut __rand::rngs::SmallRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut __rand::rngs::SmallRng) -> usize {
+            use __rand::Rng;
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy producing `Vec`s of an element strategy's values.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// `Vec` strategy: each case draws a length from `len` and fills it
+    /// with independent draws from `element`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut __rand::rngs::SmallRng) -> Self::Value {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
     }
 }
 
