@@ -1,8 +1,9 @@
 //! Observability overhead on the hot path: cached plan requests (the
-//! fastest thing the server does end to end) against two identically
-//! configured servers, one with instrumentation on (spans, histograms,
-//! gauges — the default) and one with `instrument: false`. The run
-//! fails if spans cost more than 5% of hot-hit-path throughput, and
+//! fastest thing the server does end to end) against three identically
+//! configured servers — bare (`instrument: false, recorder: false`),
+//! spans only (`instrument: true, recorder: false`), and the shipping
+//! default (spans + flight recorder). The run fails if spans cost more
+//! than 5% over bare, or the recorder more than 5% over spans, and
 //! records the measurement in `crates/bench/results/obs_overhead.json`.
 //!
 //! Method: one pipelined (protocol-v2) connection per server replays the
@@ -21,9 +22,18 @@ const ROUNDS: usize = 200;
 const BATCH: usize = 32;
 const MAX_OVERHEAD_PCT: f64 = 5.0;
 
+/// The three measured configurations, cheapest first.
+const SIDES: [(&str, bool, bool); 3] = [
+    ("bare", false, false),
+    ("spans", true, false),
+    ("spans+recorder", true, true),
+];
+
 #[derive(Serialize)]
 struct SideReport {
+    label: String,
     instrument: bool,
+    recorder: bool,
     best_round_trip_s: f64,
     requests_per_s: f64,
 }
@@ -34,16 +44,19 @@ struct BenchReport {
     trials: usize,
     rounds: usize,
     requests_per_round: usize,
-    off: SideReport,
-    on: SideReport,
-    overhead_pct: f64,
+    sides: Vec<SideReport>,
+    /// Spans + histograms + gauges over bare, percent.
+    span_overhead_pct: f64,
+    /// Flight recorder over spans-only, percent.
+    recorder_overhead_pct: f64,
 }
 
-fn config(instrument: bool) -> ServerConfig {
+fn config(instrument: bool, recorder: bool) -> ServerConfig {
     ServerConfig {
         threads: 2,
         max_in_flight: BATCH,
         instrument,
+        recorder,
         ..ServerConfig::default()
     }
 }
@@ -83,8 +96,8 @@ fn main() {
 
     let mut servers = Vec::new();
     let mut clients = Vec::new();
-    for instrument in [false, true] {
-        let server = PlanServer::start(config(instrument)).expect("start server");
+    for (_, instrument, recorder) in SIDES {
+        let server = PlanServer::start(config(instrument, recorder)).expect("start server");
         let mut client = PlanClient::connect(server.local_addr()).expect("connect");
         // Populate the cache (cold searches) and fault in every code
         // path once before anything is timed.
@@ -96,37 +109,38 @@ fn main() {
     }
 
     // Interleave trials so slow drift (thermal, noisy neighbors) hits
-    // both sides equally; keep the best trial per side.
-    let mut best = [f64::INFINITY; 2];
+    // every side equally; keep the best trial per side.
+    let mut best = [f64::INFINITY; SIDES.len()];
     for t in 0..TRIALS {
         for (side, client) in clients.iter_mut().enumerate() {
             let s = trial(client, &reqs);
             best[side] = best[side].min(s);
             println!(
-                "trial {}/{TRIALS} instrument={} {s:.4} s (best {:.4} s)",
+                "trial {}/{TRIALS} {} {s:.4} s (best {:.4} s)",
                 t + 1,
-                side == 1,
+                SIDES[side].0,
                 best[side]
             );
         }
     }
 
     let per_trial = (ROUNDS * BATCH) as f64;
-    let side = |i: usize| SideReport {
-        instrument: i == 1,
-        best_round_trip_s: best[i],
-        requests_per_s: per_trial / best[i],
-    };
-    let overhead_pct = (best[1] - best[0]) / best[0] * 100.0;
+    let span_overhead_pct = (best[1] - best[0]) / best[0] * 100.0;
+    let recorder_overhead_pct = (best[2] - best[1]) / best[1] * 100.0;
+    for (i, (label, _, _)) in SIDES.iter().enumerate() {
+        println!("hot hit path [{label}]: {:.0} req/s", per_trial / best[i]);
+    }
     println!(
-        "\nhot hit path: {:.0} req/s uninstrumented, {:.0} req/s instrumented \
-         -> {overhead_pct:+.2}% overhead",
-        per_trial / best[0],
-        per_trial / best[1]
+        "spans {span_overhead_pct:+.2}% over bare, \
+         recorder {recorder_overhead_pct:+.2}% over spans"
     );
     assert!(
-        overhead_pct < MAX_OVERHEAD_PCT,
-        "instrumentation costs {overhead_pct:.2}% on the hot path (budget {MAX_OVERHEAD_PCT}%)"
+        span_overhead_pct < MAX_OVERHEAD_PCT,
+        "spans cost {span_overhead_pct:.2}% on the hot path (budget {MAX_OVERHEAD_PCT}%)"
+    );
+    assert!(
+        recorder_overhead_pct < MAX_OVERHEAD_PCT,
+        "recorder costs {recorder_overhead_pct:.2}% on the hot path (budget {MAX_OVERHEAD_PCT}%)"
     );
 
     let report = BenchReport {
@@ -134,9 +148,19 @@ fn main() {
         trials: TRIALS,
         rounds: ROUNDS,
         requests_per_round: BATCH,
-        off: side(0),
-        on: side(1),
-        overhead_pct,
+        sides: SIDES
+            .iter()
+            .enumerate()
+            .map(|(i, &(label, instrument, recorder))| SideReport {
+                label: label.to_string(),
+                instrument,
+                recorder,
+                best_round_trip_s: best[i],
+                requests_per_s: per_trial / best[i],
+            })
+            .collect(),
+        span_overhead_pct,
+        recorder_overhead_pct,
     };
     let json = serde_json::to_string(&report).expect("serializes");
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -147,6 +171,6 @@ fn main() {
     for server in servers {
         server.shutdown();
     }
-    println!("instrumentation stays under the {MAX_OVERHEAD_PCT}% budget ✔");
+    println!("both layers stay under the {MAX_OVERHEAD_PCT}% budget ✔");
     println!("recorded {}", out.display());
 }

@@ -1,6 +1,6 @@
 //! Implementation of the `qsdnn-cli` command-line tool.
 //!
-//! Six subcommands drive the full pipeline from a shell:
+//! Seven subcommands drive the full pipeline from a shell:
 //!
 //! ```text
 //! qsdnn-cli networks
@@ -9,6 +9,7 @@
 //! qsdnn-cli report  --lut lut.json --report report.json
 //! qsdnn-cli serve   --addr 127.0.0.1:7878 --spill /var/cache/qsdnn
 //! qsdnn-cli submit  --addr 127.0.0.1:7878 --network mobilenet_v1
+//! qsdnn-cli top     --addr 127.0.0.1:7878
 //! ```
 //!
 //! Argument parsing is hand-rolled (no external CLI dependency) and kept in
@@ -26,8 +27,8 @@ use qsdnn::engine::{
 use qsdnn::nn::zoo;
 use qsdnn::{ApproxQsDnnSearch, QsDnnConfig, QsDnnSearch, SearchReport};
 use qsdnn_serve::protocol::{
-    MetricValue, MetricsResponse, PlanRequest, PlanResponse, ProfileRequest, TraceInfo,
-    TransferMode,
+    EventMsg, EventsResponse, HistogramMsg, MetricValue, MetricsResponse, PlanRequest,
+    PlanResponse, ProfileRequest, TasksResponse, TraceInfo, TransferMode,
 };
 use qsdnn_serve::{EvictionPolicy, IoModel, PlanClient, PlanServer, ServerConfig};
 
@@ -133,11 +134,13 @@ pub fn usage() -> String {
      [--platform-dir <dir>]\n            \
      (--io defaults to epoll on Linux: one readiness loop serves thousands of\n            \
      connections; threads elsewhere. --metrics-addr serves Prometheus text at\n            \
-     /metrics; requests slower than --slow-ms are logged with a stage breakdown;\n            \
+     /metrics; requests slower than --slow-ms are logged with a stage breakdown\n            \
+     and journaled as flight-recorder exemplars; SIGTERM or a handler panic\n            \
+     flushes the recorder to a post-mortem dump under --spill;\n            \
      --platform-dir loads extra platform specs from *.json files and\n            \
      --platform picks the server's default target)\n  \
      qsdnn-cli submit --addr <host:port>\n            \
-     [--request plan|profile|search|platforms|stats|metrics]\n            \
+     [--request plan|profile|search|platforms|stats|metrics|events|tasks]\n            \
      [--network <name> | --networks a,b,c] [--batch N | --batches 1,2,4,8]\n            \
      [--mode cpu|gpgpu] [--objective <obj>] [--episodes N] [--seeds a,b,c]\n            \
      [--transfer auto|off] [--repeats N] [--lut <lut.json>] [--trace true]\n            \
@@ -146,7 +149,13 @@ pub fn usage() -> String {
      batch sizes so each warm-starts from the previous one; --trace echoes\n            \
      per-stage server timings; --histograms adds latency quantiles to stats;\n            \
      --platform pins plan/profile/search requests to a named server platform\n            \
-     and --request platforms lists what the server offers)\n  \
+     and --request platforms lists what the server offers; --request events\n            \
+     dumps the flight-recorder journal and slow-request exemplars and\n            \
+     --request tasks shows what every worker thread is doing right now)\n  \
+     qsdnn-cli top --addr <host:port> [--interval-ms N] [--frames N]\n            \
+     (live dashboard: worker task table, rolling p50/p99 request latency and\n            \
+     event rate from flight-recorder deltas; --frames N renders N frames and\n            \
+     exits, for scripts and CI)\n  \
      qsdnn-cli help | --help | -h"
         .to_string()
 }
@@ -549,6 +558,112 @@ fn format_metrics(metrics: &MetricsResponse) -> String {
     out
 }
 
+/// Renders one journaled event as a fixed-width line.
+fn format_event_line(ev: &EventMsg) -> String {
+    let req = if ev.serial == 0 {
+        "       ".to_string()
+    } else {
+        format!("req#{:<3}", ev.serial)
+    };
+    format!(
+        "  {:>12.3} ms  {:<20} {:<18} {req}  {}\n",
+        ev.ts_us as f64 / 1e3,
+        ev.thread,
+        ev.event,
+        ev.detail
+    )
+}
+
+/// Renders the flight-recorder journal plus slow-request exemplars.
+fn format_events(resp: &EventsResponse) -> String {
+    let mut out = format!(
+        "flight recorder: {} | {} events journaled | ring capacity {} per thread\n",
+        if resp.recorder_enabled { "on" } else { "off" },
+        resp.events_total,
+        resp.ring_capacity
+    );
+    // The rings can retain thousands of events; the journal dump shows the
+    // newest tail and says so, rather than scrolling the terminal away.
+    const SHOWN: usize = 50;
+    let skip = resp.events.len().saturating_sub(SHOWN);
+    if skip > 0 {
+        out.push_str(&format!(
+            "\nnewest {SHOWN} of {} retained events:\n",
+            resp.events.len()
+        ));
+    } else {
+        out.push_str(&format!("\n{} retained events:\n", resp.events.len()));
+    }
+    for ev in &resp.events[skip..] {
+        out.push_str(&format_event_line(ev));
+    }
+    if !resp.exemplars.is_empty() {
+        out.push_str("\nslow-request exemplars:\n");
+        for ex in &resp.exemplars {
+            out.push_str(&format!(
+                "  {} req#{}: {:.3} ms{}{}\n",
+                ex.kind,
+                ex.serial,
+                ex.total_ms,
+                if ex.plan_key.is_empty() {
+                    String::new()
+                } else {
+                    format!(", plan {}", ex.plan_key)
+                },
+                if ex.panicked { "  [PANICKED]" } else { "" }
+            ));
+            for s in &ex.stages {
+                out.push_str(&format!("    {:<10} {:>10.3} ms\n", s.stage, s.ms));
+            }
+            for ev in &ex.events {
+                out.push_str(&format!("  {}", format_event_line(ev)));
+            }
+        }
+    }
+    out
+}
+
+/// Renders the live task table: one row per serving thread.
+fn format_tasks(resp: &TasksResponse) -> String {
+    let mut out = format!(
+        "flight recorder: {} | {} events journaled | {} threads\n\n\
+         {:<22} {:<14} {:<8} {:<10} {:<18} {:>11}",
+        if resp.recorder_enabled { "on" } else { "off" },
+        resp.events_total,
+        resp.tasks.len(),
+        "thread",
+        "state",
+        "req",
+        "stage",
+        "plan key",
+        "elapsed"
+    );
+    for t in &resp.tasks {
+        out.push_str(&format!(
+            "\n{:<22} {:<14} {:<8} {:<10} {:<18} {:>9.1}ms",
+            t.thread,
+            t.state,
+            if t.serial == 0 {
+                "-".to_string()
+            } else {
+                format!("#{}", t.serial)
+            },
+            if t.stage.is_empty() {
+                "-"
+            } else {
+                t.stage.as_str()
+            },
+            if t.key.is_empty() {
+                "-"
+            } else {
+                t.key.as_str()
+            },
+            t.elapsed_ms
+        ));
+    }
+    out
+}
+
 fn cmd_serve(args: &Args) -> Result<String, String> {
     reject_unknown_options(
         args,
@@ -613,15 +728,42 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
         .metrics_addr()
         .map(|a| format!(", Prometheus metrics on http://{a}/metrics"))
         .unwrap_or_default();
+    // A handler panic anywhere in the process flushes the flight recorder
+    // to a post-mortem dump before the default hook prints the backtrace:
+    // the journal explains *what the server was doing* when it died, which
+    // the backtrace alone does not.
+    {
+        let write_dump = server.postmortem_writer();
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if let Some(path) = write_dump("panic") {
+                eprintln!(
+                    "qsdnn-serve: post-mortem dump written to {}",
+                    path.display()
+                );
+            }
+            previous(info);
+        }));
+    }
+    qsdnn_serve::signals::install_term_handler();
     eprintln!(
         "qsdnn-serve listening on {} ({io} connection layer; JSON-lines requests: \
-         profile/search/plan/platforms/stats/metrics){spill_note}{metrics_note}",
+         profile/search/plan/platforms/stats/metrics/events/tasks){spill_note}{metrics_note}",
         server.local_addr()
     );
-    // Serve until the process is killed.
-    loop {
-        std::thread::sleep(std::time::Duration::from_secs(3600));
+    // Serve until SIGTERM. The latch is polled rather than waited on so the
+    // handler itself stays async-signal-safe (one atomic store).
+    while !qsdnn_serve::signals::term_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(200));
     }
+    let dump_note = server
+        .write_postmortem("sigterm")
+        .map(|p| format!("; post-mortem dump at {}", p.display()))
+        .unwrap_or_default();
+    server.shutdown();
+    Ok(format!(
+        "qsdnn-serve: SIGTERM, shut down cleanly{dump_note}"
+    ))
 }
 
 fn cmd_submit(args: &Args) -> Result<String, String> {
@@ -878,9 +1020,146 @@ fn cmd_submit(args: &Args) -> Result<String, String> {
             let metrics = client.metrics().map_err(|e| e.to_string())?;
             Ok(format_metrics(&metrics))
         }
+        "events" => {
+            let events = client.events().map_err(|e| e.to_string())?;
+            Ok(format_events(&events))
+        }
+        "tasks" => {
+            let tasks = client.tasks().map_err(|e| e.to_string())?;
+            Ok(format_tasks(&tasks))
+        }
         other => Err(format!(
-            "unknown request `{other}` (plan|profile|search|platforms|stats|metrics)"
+            "unknown request `{other}` (plan|profile|search|platforms|stats|metrics|events|tasks)"
         )),
+    }
+}
+
+/// One sampled `top` frame: the merged request-latency histogram (summed
+/// over the per-kind samples) plus the recorder's event counter, so
+/// consecutive frames can be differenced into a rolling window.
+struct TopSample {
+    /// Bucket index -> (upper bound in us, cumulative count).
+    buckets: HashMap<u64, (u64, u64)>,
+    sum_us: u64,
+    count: u64,
+    events_total: u64,
+    uptime_ms: u64,
+}
+
+fn top_sample(metrics: &MetricsResponse, events_total: u64) -> TopSample {
+    let mut buckets: HashMap<u64, (u64, u64)> = HashMap::new();
+    let mut sum_us = 0u64;
+    let mut count = 0u64;
+    for family in &metrics.families {
+        if family.name != "qsdnn_request_us" {
+            continue;
+        }
+        for sample in &family.samples {
+            if let MetricValue::Histogram(h) = &sample.value {
+                sum_us += h.sum_us;
+                count += h.count;
+                for &(i, upper, n) in &h.buckets {
+                    buckets.entry(i).or_insert((upper, 0)).1 += n;
+                }
+            }
+        }
+    }
+    TopSample {
+        buckets,
+        sum_us,
+        count,
+        events_total,
+        uptime_ms: metrics.uptime_ms,
+    }
+}
+
+/// Differences two samples and re-quantiles the interval through the wire
+/// histogram's own snapshot reconstruction. Returns
+/// `(requests, p50_us, p99_us, events)` for the window.
+fn top_delta(prev: &TopSample, cur: &TopSample) -> (u64, u64, u64, u64) {
+    let mut buckets: Vec<(u64, u64, u64)> = cur
+        .buckets
+        .iter()
+        .map(|(&i, &(upper, n))| {
+            let before = prev.buckets.get(&i).map_or(0, |&(_, p)| p);
+            (i, upper, n.saturating_sub(before))
+        })
+        .filter(|&(_, _, n)| n > 0)
+        .collect();
+    buckets.sort_unstable();
+    let count = cur.count.saturating_sub(prev.count);
+    let window = HistogramMsg {
+        count,
+        sum_us: cur.sum_us.saturating_sub(prev.sum_us),
+        p50_us: 0,
+        p90_us: 0,
+        p99_us: 0,
+        p999_us: 0,
+        buckets,
+    }
+    .to_snapshot();
+    (
+        count,
+        window.p50(),
+        window.p99(),
+        cur.events_total.saturating_sub(prev.events_total),
+    )
+}
+
+fn render_top(
+    addr: &str,
+    tasks: &TasksResponse,
+    sample: &TopSample,
+    delta: Option<(u64, u64, u64, u64)>,
+    interval_ms: u64,
+) -> String {
+    let mut out = format!(
+        "qsdnn-top — {addr} | up {:.1} s",
+        sample.uptime_ms as f64 / 1e3
+    );
+    match delta {
+        Some((reqs, p50, p99, events)) => {
+            let secs = (interval_ms as f64 / 1e3).max(1e-3);
+            out.push_str(&format!(
+                "\nlast {secs:.1} s: {reqs} requests ({:.1}/s), p50 {p50} us, p99 {p99} us, \
+                 {:.1} events/s",
+                reqs as f64 / secs,
+                events as f64 / secs
+            ));
+        }
+        None => out.push_str("\nrolling p50/p99 and event rate appear from the second frame on"),
+    }
+    out.push_str("\n\n");
+    out.push_str(&format_tasks(tasks));
+    out
+}
+
+fn cmd_top(args: &Args) -> Result<String, String> {
+    reject_unknown_options(args, &["addr", "interval-ms", "frames"])?;
+    let addr = required(args, "addr")?;
+    let interval_ms = opt_parse(args, "interval-ms", 1000u64)?;
+    // 0 = refresh until the process is interrupted; N renders N frames and
+    // returns the last one, for scripts and CI smoke tests.
+    let frames = opt_parse(args, "frames", 0u64)?;
+    let mut client = PlanClient::connect(addr.as_str()).map_err(|e| e.to_string())?;
+    let mut prev: Option<TopSample> = None;
+    let mut frame = 0u64;
+    loop {
+        frame += 1;
+        let tasks = client.tasks().map_err(|e| e.to_string())?;
+        let metrics = client.metrics().map_err(|e| e.to_string())?;
+        let sample = top_sample(&metrics, tasks.events_total);
+        let delta = prev.as_ref().map(|p| top_delta(p, &sample));
+        let body = render_top(addr, &tasks, &sample, delta, interval_ms);
+        if frames != 0 && frame >= frames {
+            return Ok(body);
+        }
+        // Interactive frame: clear, redraw, sleep until the next sample.
+        println!("\x1b[2J\x1b[H{body}");
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        prev = Some(sample);
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
     }
 }
 
@@ -898,6 +1177,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         "report" => cmd_report(args),
         "serve" => cmd_serve(args),
         "submit" => cmd_submit(args),
+        "top" => cmd_top(args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
@@ -1205,6 +1485,72 @@ mod tests {
         .unwrap())
         .unwrap_err();
         assert!(err.contains("one --network"), "{err}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn submit_events_and_tasks_surface_the_flight_recorder() {
+        let server = qsdnn_serve::start_local().expect("server");
+        let addr = server.local_addr().to_string();
+        // Drive one plan so the journal has request/cache/stage events.
+        run(&parse_args(&argv(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--network",
+            "tiny_cnn",
+            "--episodes",
+            "120",
+            "--seeds",
+            "3",
+        ]))
+        .unwrap())
+        .unwrap();
+        let out =
+            run(&parse_args(&argv(&["submit", "--addr", &addr, "--request", "events"])).unwrap())
+                .unwrap();
+        assert!(out.contains("flight recorder: on"), "{out}");
+        assert!(out.contains("request_begin"), "{out}");
+        assert!(out.contains("cache_miss"), "{out}");
+        let out =
+            run(&parse_args(&argv(&["submit", "--addr", &addr, "--request", "tasks"])).unwrap())
+                .unwrap();
+        assert!(out.contains("thread"), "{out}");
+        assert!(out.contains("state"), "{out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn top_renders_noninteractive_frames() {
+        let server = qsdnn_serve::start_local().expect("server");
+        let addr = server.local_addr().to_string();
+        run(&parse_args(&argv(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--network",
+            "tiny_cnn",
+            "--episodes",
+            "120",
+            "--seeds",
+            "3",
+        ]))
+        .unwrap())
+        .unwrap();
+        let out = run(&parse_args(&argv(&[
+            "top",
+            "--addr",
+            &addr,
+            "--frames",
+            "2",
+            "--interval-ms",
+            "50",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("qsdnn-top"), "{out}");
+        assert!(out.contains("p50"), "{out}");
+        assert!(out.contains("plan key"), "{out}");
         server.shutdown();
     }
 

@@ -14,6 +14,9 @@
 //!   that needs isolation (one server per test) owns its own `Registry`.
 //! - **[`log`]** — leveled structured events as JSON lines on stderr,
 //!   gated by the `QSDNN_LOG` environment variable.
+//! - **[`recorder`]** — the flight recorder: per-thread ring buffers of
+//!   structured events, a live task table, and bounded slow-request
+//!   exemplars, linking aggregate histograms to concrete traces.
 //!
 //! Recording on the hot path is one relaxed atomic add (plus one for the
 //! histogram sum); snapshotting is the only operation that takes a lock.
@@ -23,9 +26,11 @@ use std::sync::OnceLock;
 
 mod hist;
 pub mod log;
+pub mod recorder;
 mod registry;
 
 pub use hist::{Histogram, HistogramSnapshot, NUM_BUCKETS};
+pub use recorder::{Event, EventKind, Exemplar, FlightRecorder, RequestScope, TaskSnapshot};
 pub use registry::{FamilySnapshot, Kind, Registry, SampleSnapshot, SampleValue, Snapshot};
 
 /// A monotonically increasing event count.

@@ -1,0 +1,137 @@
+//! Property tests for the flight recorder's per-thread seqlock rings:
+//! capacity is a hard bound under concurrent writers, per-thread event
+//! order survives snapshotting, and a snapshot taken *during* writes is
+//! torn-free — every event read back is one that was written, never a
+//! half-overwritten hybrid.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+
+use proptest::prelude::*;
+use qsdnn_obs::{EventKind, FlightRecorder};
+
+/// Spawns `threads` named writers, each emitting `per_thread` events whose
+/// `a` field is the thread-local sequence number 0..per_thread. A barrier
+/// holds every writer alive until all have finished emitting: the recorder
+/// recycles an exited thread's ring for the next thread to register
+/// (relabeling it), so letting a fast writer die mid-run would re-attribute
+/// its events to whichever slow writer adopts the ring.
+fn write_concurrently(rec: &Arc<FlightRecorder>, threads: usize, per_thread: u64) {
+    let all_done = Arc::new(Barrier::new(threads));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let rec = Arc::clone(rec);
+            let all_done = Arc::clone(&all_done);
+            std::thread::Builder::new()
+                .name(format!("rec-prop-{t}"))
+                .spawn(move || {
+                    for i in 0..per_thread {
+                        rec.emit(EventKind::CacheHit, t as u64, i, i.wrapping_mul(3));
+                    }
+                    all_done.wait();
+                })
+                .expect("spawn writer")
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("writer thread");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// However many events concurrent writers push, no thread ever
+    /// retains more than the ring capacity, while the monotonic journal
+    /// counter still accounts for every single emit.
+    #[test]
+    fn concurrent_writers_never_exceed_capacity(
+        capacity in 2usize..64,
+        threads in 1usize..6,
+        per_thread in 1u64..200,
+    ) {
+        let rec = Arc::new(FlightRecorder::with_capacity(true, capacity));
+        write_concurrently(&rec, threads, per_thread);
+        prop_assert_eq!(rec.events_total(), threads as u64 * per_thread);
+        let events = rec.snapshot_events();
+        for t in 0..threads {
+            let name = format!("rec-prop-{t}");
+            let kept = events.iter().filter(|e| *e.thread == name).count();
+            prop_assert!(
+                kept <= capacity,
+                "thread {name} retained {kept} events in a ring of {capacity}"
+            );
+            prop_assert_eq!(kept as u64, per_thread.min(capacity as u64));
+        }
+    }
+
+    /// Within one thread the snapshot preserves emit order and retains
+    /// exactly the newest suffix: sequence numbers are consecutive and
+    /// end at the last value written.
+    #[test]
+    fn per_thread_order_is_preserved(
+        capacity in 2usize..64,
+        threads in 1usize..6,
+        per_thread in 1u64..200,
+    ) {
+        let rec = Arc::new(FlightRecorder::with_capacity(true, capacity));
+        write_concurrently(&rec, threads, per_thread);
+        let events = rec.snapshot_events();
+        for t in 0..threads {
+            let name = format!("rec-prop-{t}");
+            let seq: Vec<u64> = events
+                .iter()
+                .filter(|e| *e.thread == name)
+                .map(|e| e.a)
+                .collect();
+            let expect_first = per_thread.saturating_sub(capacity as u64);
+            let expected: Vec<u64> = (expect_first..per_thread).collect();
+            prop_assert_eq!(
+                seq, expected,
+                "thread {} must retain the newest suffix in emit order",
+                name
+            );
+        }
+    }
+}
+
+/// A snapshot racing a writer never observes a torn event. The writer
+/// spins emitting events whose three payload fields agree (`key == a`
+/// and `b == a * 3`); any snapshot that reads a mix of two different
+/// events would break that invariant.
+#[test]
+fn snapshot_during_write_is_torn_free() {
+    let rec = Arc::new(FlightRecorder::with_capacity(true, 32));
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let rec = Arc::clone(&rec);
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("rec-torn-writer".into())
+            .spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    rec.emit(EventKind::CacheMiss, i, i, i.wrapping_mul(3));
+                    i = i.wrapping_add(1);
+                }
+            })
+            .expect("spawn writer")
+    };
+    for _ in 0..500 {
+        for e in rec.snapshot_events() {
+            if &*e.thread != "rec-torn-writer" {
+                continue;
+            }
+            assert_eq!(e.key, e.a, "torn event: key {} vs a {}", e.key, e.a);
+            assert_eq!(
+                e.b,
+                e.a.wrapping_mul(3),
+                "torn event: b {} vs a {}",
+                e.b,
+                e.a
+            );
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    writer.join().expect("writer thread");
+}

@@ -1,0 +1,19 @@
+//! Stamps the build with the git revision for `qsdnn_build_info`.
+
+use std::process::Command;
+
+fn main() {
+    let hash = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=QSDNN_GIT_HASH={hash}");
+    // The hash only needs to be fresh per build, not per commit; tracking
+    // .git/HEAD would force rebuilds on every branch switch.
+    println!("cargo:rerun-if-changed=build.rs");
+}

@@ -47,6 +47,7 @@ use std::time::UNIX_EPOCH;
 
 use qsdnn::engine::{CostLut, Fnv64, Objective};
 use qsdnn::PortfolioOutcome;
+use qsdnn_obs::{EventKind, FlightRecorder};
 use serde::{Deserialize, Serialize};
 
 /// Locks a cache mutex, recovering from poisoning. Every mutation under
@@ -439,6 +440,9 @@ pub struct PlanCache<T> {
     requested_shards: usize,
     policy: EvictionPolicy,
     spill: Option<SpillTier>,
+    /// Flight recorder plus this cache's id in `CacheHit`/`CacheMiss`/...
+    /// events (`a` payload; the serve stack uses 0 = plans, 1 = profiles).
+    recorder: Option<(Arc<FlightRecorder>, u64)>,
 }
 
 /// Removes the in-flight marker if the computing thread unwinds, waking
@@ -472,6 +476,7 @@ impl<T: CacheValue> PlanCache<T> {
             requested_shards: DEFAULT_SHARDS,
             policy: EvictionPolicy::Lru,
             spill: None,
+            recorder: None,
         };
         cache.rebuild_shards();
         cache
@@ -516,6 +521,15 @@ impl<T: CacheValue> PlanCache<T> {
         self
     }
 
+    /// Returns the cache journaling every hit/miss/coalesce/spill/evict/
+    /// stall to `recorder` as flight-recorder events tagged `cache_id`.
+    /// Counters stay authoritative for totals; the journal adds per-event
+    /// timing, shard and request attribution.
+    pub fn with_recorder(mut self, recorder: Arc<FlightRecorder>, cache_id: u64) -> Self {
+        self.recorder = Some((recorder, cache_id));
+        self
+    }
+
     /// Returns the cache with a different bound on spilled `.json` files
     /// (min 1); trims the directory immediately if it is over. No effect
     /// without a spill directory.
@@ -542,12 +556,28 @@ impl<T: CacheValue> PlanCache<T> {
     /// every byte (not just a prefix) keeps the distribution uniform even
     /// for key families that share long common prefixes, e.g. zero-padded
     /// counters or namespaced keys.
-    fn shard_for(&self, key: &str) -> &Shard<T> {
+    fn shard_index(&self, key: &str) -> usize {
         let mut h = Fnv64::new();
         h.write_str(key);
+        (h.finish() % self.shards.len() as u64) as usize
+    }
+
+    fn shard_for(&self, key: &str) -> &Shard<T> {
         // LINT-ALLOW(panic-path): the index is `hash % len`, in range by
         // construction, and `shards` is never empty (clamped to >= 1).
-        &self.shards[(h.finish() % self.shards.len() as u64) as usize]
+        &self.shards[self.shard_index(key)]
+    }
+
+    /// Journals one cache event when a recorder is attached. Plan keys are
+    /// 16 hex chars, so the key packs losslessly into the event's `key`
+    /// field; non-hex keys (tests) record as 0.
+    fn record(&self, kind: EventKind, key: &str) {
+        if let Some((rec, cache_id)) = &self.recorder {
+            if rec.enabled() {
+                let packed = u64::from_str_radix(key, 16).unwrap_or(0);
+                rec.emit(kind, packed, *cache_id, self.shard_index(key) as u64);
+            }
+        }
     }
 
     fn load_spilled(&self, key: &str) -> Option<T> {
@@ -588,6 +618,7 @@ impl<T: CacheValue> PlanCache<T> {
             Some(k) => {
                 state.map.remove(&k);
                 state.counters.evictions += 1;
+                self.record(EventKind::CacheEvict, &k);
                 true
             }
             None => false,
@@ -639,7 +670,12 @@ impl<T: CacheValue> PlanCache<T> {
                     st.counters.hits += 1;
                 }
                 entry.last_used = st.tick;
-                return Some(Arc::clone(&entry.value));
+                let value = Arc::clone(&entry.value);
+                drop(state);
+                if counted {
+                    self.record(EventKind::CacheHit, key);
+                }
+                return Some(value);
             }
         }
         // Not resident: try the durable tier (outside the lock — disk I/O
@@ -665,6 +701,10 @@ impl<T: CacheValue> PlanCache<T> {
                     state.map.insert(key.to_string(), Slot::Ready(entry));
                 }
             }
+        }
+        drop(state);
+        if counted {
+            self.record(EventKind::CacheSpillLoad, key);
         }
         Some(value)
     }
@@ -711,7 +751,17 @@ impl<T: CacheValue> PlanCache<T> {
                         st.counters.hits += 1;
                     }
                     entry.last_used = st.tick;
-                    return Ok((Arc::clone(&entry.value), true));
+                    let value = Arc::clone(&entry.value);
+                    drop(state);
+                    self.record(
+                        if waited {
+                            EventKind::CacheCoalesced
+                        } else {
+                            EventKind::CacheHit
+                        },
+                        key,
+                    );
+                    return Ok((value, true));
                 }
                 // Ready was handled above, so an occupied slot means an
                 // in-flight compute someone else owns: wait for it to
@@ -736,6 +786,7 @@ impl<T: CacheValue> PlanCache<T> {
                 // publish (then evictable) or unwind — never overrun
                 // the bound.
                 state.counters.capacity_stalls += 1;
+                self.record(EventKind::CacheStall, key);
                 waited = true;
                 state = match shard.ready.wait(state) {
                     Ok(guard) => guard,
@@ -752,8 +803,16 @@ impl<T: CacheValue> PlanCache<T> {
             completed: false,
         };
         let (outcome, from_spill) = match self.load_spilled(key) {
-            Some(o) => (o, true),
-            None => (compute()?, false),
+            Some(o) => {
+                self.record(EventKind::CacheSpillLoad, key);
+                (o, true)
+            }
+            None => {
+                // Journaled before the compute runs so a slow request's
+                // exemplar shows the miss *preceding* its search stages.
+                self.record(EventKind::CacheMiss, key);
+                (compute()?, false)
+            }
         };
         let outcome = Arc::new(outcome);
         {
@@ -777,6 +836,9 @@ impl<T: CacheValue> PlanCache<T> {
         drop(guard);
         shard.ready.notify_all();
         if !from_spill {
+            if self.spill.is_some() {
+                self.record(EventKind::CacheSpill, key);
+            }
             self.spill(key, &outcome);
         }
         Ok((outcome, from_spill))

@@ -444,4 +444,32 @@ impl PlanClient {
             other => Err(ServeError::Protocol(format!("unexpected reply {other:?}"))),
         }
     }
+
+    /// Dumps the server's flight recorder: the event journal across every
+    /// thread ring plus the retained slow/panic exemplars.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a server-side rejection.
+    pub fn events(&mut self) -> Result<crate::protocol::EventsResponse, ServeError> {
+        match self.request(&Request::Events)? {
+            Response::Events(e) => Ok(e),
+            Response::Error { message } => Err(ServeError::Remote(message)),
+            other => Err(ServeError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Fetches the live task table: what every worker and dispatcher
+    /// thread is doing right now.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a server-side rejection.
+    pub fn tasks(&mut self) -> Result<crate::protocol::TasksResponse, ServeError> {
+        match self.request(&Request::Tasks)? {
+            Response::Tasks(t) => Ok(t),
+            Response::Error { message } => Err(ServeError::Remote(message)),
+            other => Err(ServeError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
 }

@@ -90,6 +90,7 @@ pub mod protocol;
 #[cfg(target_os = "linux")]
 mod reactor;
 mod server;
+pub mod signals;
 pub mod transfer;
 
 pub use cache::{
@@ -97,7 +98,7 @@ pub use cache::{
     DEFAULT_MAX_DISK_ENTRIES, DEFAULT_MAX_ENTRIES, DEFAULT_SHARDS,
 };
 pub use client::{PlanClient, Ticket, DEFAULT_CLIENT_WINDOW};
-pub use pool::{PoolGauges, WorkerPool};
+pub use pool::{PoolGauges, PoolRecorder, WorkerPool};
 pub use portfolio::{run_portfolio_parallel, run_portfolio_parallel_with, WarmStart};
 pub use server::{
     resolve, start_local, IoModel, PlanServer, ServerConfig, DEFAULT_MAX_IN_FLIGHT, DEFAULT_SLOW_MS,

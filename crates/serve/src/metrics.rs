@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use qsdnn_obs::log::FieldValue;
-use qsdnn_obs::{Counter, Gauge, Histogram, Registry, Snapshot};
+use qsdnn_obs::{Counter, EventKind, FlightRecorder, Gauge, Histogram, Registry, Snapshot};
 
 use crate::protocol::{
     HistogramMsg, MetricFamily, MetricSample, MetricValue, Request, StageTiming, TraceInfo,
@@ -66,7 +66,7 @@ impl Stage {
 
 /// Request kinds, the `kind` label of `qsdnn_request_us`. `error` covers
 /// lines that never parsed into a request.
-pub(crate) const KINDS: [&str; 8] = [
+pub(crate) const KINDS: [&str; 10] = [
     "ping",
     "profile",
     "search",
@@ -74,8 +74,28 @@ pub(crate) const KINDS: [&str; 8] = [
     "stats",
     "metrics",
     "platforms",
+    "events",
+    "tasks",
     "error",
 ];
+
+/// Task-table kind id for a search worker running a portfolio-member job.
+/// Lives outside the [`KINDS`] index range on purpose: pool jobs are not
+/// requests.
+pub(crate) const TASK_KIND_SEARCH_JOB: u16 = 100;
+
+/// Task-table kind id for an epoll dispatcher running a whole request.
+pub(crate) const TASK_KIND_DISPATCH_JOB: u16 = 101;
+
+/// Index of a kind label in [`KINDS`] (unknown labels fold into `error`).
+/// Doubles as the flight recorder's request/task-kind id space, extended
+/// by the pool-job ids [`TASK_KIND_SEARCH_JOB`]/[`TASK_KIND_DISPATCH_JOB`].
+pub(crate) fn kind_index(kind: &str) -> usize {
+    KINDS
+        .iter()
+        .position(|&k| k == kind)
+        .unwrap_or(KINDS.len() - 1)
+}
 
 /// The `kind` label for a parsed request.
 pub(crate) fn request_kind(req: &Request) -> &'static str {
@@ -87,6 +107,8 @@ pub(crate) fn request_kind(req: &Request) -> &'static str {
         Request::Stats => "stats",
         Request::Metrics => "metrics",
         Request::Platforms => "platforms",
+        Request::Events => "events",
+        Request::Tasks => "tasks",
     }
 }
 
@@ -110,6 +132,10 @@ pub(crate) struct RequestSpan {
     trace: bool,
     start: Instant,
     stages: [Duration; Stage::ALL.len()],
+    /// Flight-recorder request serial (0 when the recorder is off).
+    serial: u64,
+    /// Plan key the request resolved to, packed (0 = none/unknown).
+    key: u64,
 }
 
 impl RequestSpan {
@@ -151,6 +177,21 @@ impl RequestSpan {
         self.trace = trace;
     }
 
+    /// The flight-recorder request serial (0 = recorder off).
+    pub(crate) fn serial(&self) -> u64 {
+        self.serial
+    }
+
+    /// Records the packed plan key the request resolved to.
+    pub(crate) fn set_key(&mut self, key: u64) {
+        self.key = key;
+    }
+
+    /// The span's kind label.
+    pub(crate) fn kind(&self) -> &'static str {
+        self.kind
+    }
+
     /// Whether a trace echo was requested (and the span can supply one).
     pub(crate) fn trace_requested(&self) -> bool {
         self.trace && self.active
@@ -186,6 +227,8 @@ pub(crate) struct ServeMetrics {
     enabled: bool,
     slow: Option<Duration>,
     registry: Arc<Registry>,
+    /// The always-on flight recorder (journal, task table, exemplars).
+    recorder: Arc<FlightRecorder>,
     request_us: Vec<Arc<Histogram>>,
     stage_us: Vec<Arc<Histogram>>,
     slow_requests: Arc<Counter>,
@@ -216,7 +259,22 @@ impl std::fmt::Debug for ServeMetrics {
 
 impl ServeMetrics {
     /// Registers every serve-level instrument in `registry`.
-    pub(crate) fn new(enabled: bool, slow_ms: u64, registry: Arc<Registry>) -> ServeMetrics {
+    pub(crate) fn new(
+        enabled: bool,
+        slow_ms: u64,
+        registry: Arc<Registry>,
+        recorder: Arc<FlightRecorder>,
+    ) -> ServeMetrics {
+        registry
+            .gauge(
+                "qsdnn_build_info",
+                "Build metadata carried in labels; the value is always 1",
+                &[
+                    ("version", env!("CARGO_PKG_VERSION")),
+                    ("git_hash", env!("QSDNN_GIT_HASH")),
+                ],
+            )
+            .set(1);
         let request_us = KINDS
             .iter()
             .map(|kind| {
@@ -281,6 +339,7 @@ impl ServeMetrics {
             enabled,
             slow: (slow_ms > 0).then(|| Duration::from_millis(slow_ms)),
             registry,
+            recorder,
             request_us,
             stage_us,
             slow_requests,
@@ -304,7 +363,13 @@ impl ServeMetrics {
         &self.registry
     }
 
-    /// Opens a span for a request of (not yet necessarily known) kind.
+    /// The server's flight recorder.
+    pub(crate) fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// Opens a span for a request of (not yet necessarily known) kind,
+    /// allocating its flight-recorder serial.
     pub(crate) fn span(&self, kind: &'static str) -> RequestSpan {
         RequestSpan {
             kind,
@@ -312,21 +377,62 @@ impl ServeMetrics {
             trace: false,
             start: Instant::now(),
             stages: [Duration::ZERO; Stage::ALL.len()],
+            serial: if self.recorder.enabled() {
+                self.recorder.next_serial()
+            } else {
+                0
+            },
+            key: 0,
         }
     }
 
-    /// Observes a finished span: request + stage histograms, and the
-    /// slow-request warn event when the total crossed the threshold.
-    /// Call exactly once per span.
+    /// Observes a finished span: request + stage histograms, the
+    /// journal's stage/end events, the slow-request warn event and slow
+    /// exemplar when the total crossed the threshold. Call exactly once
+    /// per span.
     pub(crate) fn observe(&self, span: &RequestSpan) {
+        let total = span.total();
+        let kind_index = kind_index(span.kind);
+        if self.recorder.enabled() && span.serial != 0 {
+            // One ring access for the whole breakdown: the per-emit cost
+            // is the hook lookup + clock read, and this runs per request.
+            let mut batch = [(EventKind::RequestEnd, 0u64, 0u64, 0u64); Stage::ALL.len() + 1];
+            let mut n = 0;
+            for stage in Stage::ALL {
+                let d = span.stages[stage as usize];
+                if !d.is_zero() {
+                    batch[n] = (
+                        EventKind::StageEnd,
+                        span.key,
+                        stage as u64,
+                        d.as_micros() as u64,
+                    );
+                    n += 1;
+                }
+            }
+            batch[n] = (
+                EventKind::RequestEnd,
+                span.key,
+                kind_index as u64,
+                total.as_micros() as u64,
+            );
+            n += 1;
+            self.recorder.emit_batch(span.serial, &batch[..n]);
+            if let Some(threshold) = self.slow {
+                if total > threshold {
+                    self.recorder.capture_exemplar(
+                        kind_index as u16,
+                        span.serial,
+                        total.as_micros() as u64,
+                        span.key,
+                        false,
+                    );
+                }
+            }
+        }
         if !span.active {
             return;
         }
-        let total = span.total();
-        let kind_index = KINDS
-            .iter()
-            .position(|&k| k == span.kind)
-            .unwrap_or(KINDS.len() - 1);
         self.request_us[kind_index].record_duration(total);
         for stage in Stage::ALL {
             let d = span.stages[stage as usize];
@@ -350,6 +456,30 @@ impl ServeMetrics {
                 qsdnn_obs::log::warn("slow_request", &fields);
             }
         }
+    }
+
+    /// Journals a handler panic and captures the request's journal
+    /// excerpt as a panic exemplar. Called from the dispatch firewall;
+    /// the span is still observed afterwards.
+    pub(crate) fn capture_panic(&self, span: &RequestSpan) {
+        if !self.recorder.enabled() || span.serial == 0 {
+            return;
+        }
+        let kind_index = kind_index(span.kind);
+        self.recorder.emit_for(
+            span.serial,
+            EventKind::HandlerPanic,
+            span.key,
+            kind_index as u64,
+            0,
+        );
+        self.recorder.capture_exemplar(
+            kind_index as u16,
+            span.serial,
+            span.total().as_micros() as u64,
+            span.key,
+            true,
+        );
     }
 }
 
@@ -384,7 +514,12 @@ mod tests {
     use super::*;
 
     fn test_metrics(slow_ms: u64) -> ServeMetrics {
-        ServeMetrics::new(true, slow_ms, Arc::new(Registry::new()))
+        ServeMetrics::new(
+            true,
+            slow_ms,
+            Arc::new(Registry::new()),
+            Arc::new(FlightRecorder::new(true)),
+        )
     }
 
     #[test]
@@ -432,7 +567,12 @@ mod tests {
 
     #[test]
     fn inactive_spans_observe_nothing() {
-        let metrics = ServeMetrics::new(false, 1000, Arc::new(Registry::new()));
+        let metrics = ServeMetrics::new(
+            false,
+            1000,
+            Arc::new(Registry::new()),
+            Arc::new(FlightRecorder::disabled()),
+        );
         let mut span = metrics.span("plan");
         span.record(Stage::Search, Duration::from_micros(500));
         metrics.observe(&span);

@@ -20,9 +20,26 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-use qsdnn_obs::Gauge;
+use qsdnn_obs::{EventKind, FlightRecorder, Gauge};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Flight-recorder hookup for a pool: workers publish a task-table entry
+/// for the duration of every job, and `execute` journals a saturation
+/// event when the queue depth first reaches `saturation_threshold`.
+#[derive(Clone)]
+pub struct PoolRecorder {
+    /// The server's flight recorder.
+    pub recorder: Arc<FlightRecorder>,
+    /// Task-table kind id workers register under (see `metrics::task_kind`).
+    pub task_kind: u16,
+    /// Distinguishes this pool in `PoolSaturated` events (`a` payload).
+    pub pool_id: u64,
+    /// Queue depth at which a `PoolSaturated` event is journaled. Emitted
+    /// only on the exact crossing so a persistently saturated pool logs
+    /// once per excursion, not once per job.
+    pub saturation_threshold: i64,
+}
 
 /// Health gauges a pool maintains: how many jobs are queued and how many
 /// workers are mid-job. Cloned into every worker.
@@ -43,6 +60,7 @@ pub struct WorkerPool {
     tx: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
     gauges: Option<PoolGauges>,
+    recorder: Option<PoolRecorder>,
 }
 
 impl WorkerPool {
@@ -61,6 +79,18 @@ impl WorkerPool {
     /// [`named`](WorkerPool::named), additionally exporting queue-depth
     /// and busy-worker gauges.
     pub fn named_with_gauges(prefix: &str, threads: usize, gauges: Option<PoolGauges>) -> Self {
+        WorkerPool::named_observed(prefix, threads, gauges, None)
+    }
+
+    /// [`named_with_gauges`](WorkerPool::named_with_gauges), additionally
+    /// journaling worker activity and queue saturation to the flight
+    /// recorder.
+    pub fn named_observed(
+        prefix: &str,
+        threads: usize,
+        gauges: Option<PoolGauges>,
+        recorder: Option<PoolRecorder>,
+    ) -> Self {
         let threads = threads.max(1);
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
@@ -68,9 +98,10 @@ impl WorkerPool {
             .map(|i| {
                 let rx = Arc::clone(&rx);
                 let gauges = gauges.clone();
+                let recorder = recorder.clone();
                 std::thread::Builder::new()
                     .name(format!("{prefix}-{i}"))
-                    .spawn(move || worker_loop(&rx, gauges.as_ref()))
+                    .spawn(move || worker_loop(&rx, gauges.as_ref(), recorder.as_ref()))
                     // LINT-ALLOW(panic-path): pool construction is server
                     // startup, before any connection is accepted; a host
                     // that cannot spawn threads cannot serve at all.
@@ -81,6 +112,7 @@ impl WorkerPool {
             tx: Some(tx),
             workers,
             gauges,
+            recorder,
         }
     }
 
@@ -101,7 +133,16 @@ impl WorkerPool {
     /// completions still get delivered, just without parallelism.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
         if let Some(g) = &self.gauges {
+            let depth = g.queue_depth.get() + 1;
             g.queue_depth.inc();
+            if let Some(pr) = &self.recorder {
+                // Journal the exact crossing only; the gauge itself tells
+                // operators how deep the excursion went.
+                if depth == pr.saturation_threshold {
+                    pr.recorder
+                        .emit(EventKind::PoolSaturated, 0, pr.pool_id, depth as u64);
+                }
+            }
         }
         let Some(tx) = self.tx.as_ref() else {
             // Only reachable mid-Drop (tx is taken there); run inline.
@@ -129,7 +170,11 @@ fn run_inline(job: Job, gauges: Option<&PoolGauges>) {
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<Job>>, gauges: Option<&PoolGauges>) {
+fn worker_loop(
+    rx: &Mutex<Receiver<Job>>,
+    gauges: Option<&PoolGauges>,
+    recorder: Option<&PoolRecorder>,
+) {
     loop {
         // Hold the lock only to dequeue, never while running the job.
         let job = match rx.lock() {
@@ -142,10 +187,18 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, gauges: Option<&PoolGauges>) {
                     g.queue_depth.dec();
                     g.busy.inc();
                 }
+                if let Some(pr) = recorder {
+                    // Register in the live task table for the duration of
+                    // the job; the job body may refine stage/key itself.
+                    pr.recorder.task_begin(pr.task_kind, 0, 0);
+                }
                 // A panicking search job must not kill the worker; the
                 // submitting side observes the failure through its result
                 // channel hanging up.
                 let _ = catch_unwind(AssertUnwindSafe(job));
+                if let Some(pr) = recorder {
+                    pr.recorder.task_clear();
+                }
                 if let Some(g) = gauges {
                     g.busy.dec();
                 }

@@ -106,13 +106,20 @@ impl std::fmt::Display for TransferMode {
 /// Phase-1 profiling of a zoo network.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ProfileRequest {
-    /// Zoo network name (e.g. `"mobilenet_v1"`).
+    /// Zoo network name (e.g. `"mobilenet_v1"`). Absent = `""`, which the
+    /// handler rejects as an unknown network — a clean error reply instead
+    /// of a dropped frame.
+    #[serde(default)]
     pub network: String,
-    /// Batch size (≥1).
+    /// Batch size (≥1). Absent = 0, rejected by the handler.
+    #[serde(default)]
     pub batch: usize,
-    /// Processor mode.
+    /// Processor mode. Genuinely mandatory: defaulting it would silently
+    /// profile the wrong processor, worse than a parse error.
+    // LINT-ALLOW(wire-compat)
     pub mode: Mode,
     /// Profiling repeats (0 = server default).
+    #[serde(default)]
     pub repeats: usize,
     /// Registered platform to profile on (absent/empty = the server's
     /// default platform; list names with the `platforms` request).
@@ -124,12 +131,18 @@ pub struct ProfileRequest {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SearchRequest {
     /// The Phase-1 LUT to search (profiled anywhere, e.g. on-device).
+    /// Genuinely mandatory: the LUT *is* the request.
+    // LINT-ALLOW(wire-compat)
     pub lut: CostLut,
-    /// Objective to scalarize the LUT with.
+    /// Objective to scalarize the LUT with. Genuinely mandatory:
+    /// defaulting it would silently optimize the wrong thing.
+    // LINT-ALLOW(wire-compat)
     pub objective: Objective,
     /// Episode budget per stochastic member (0 = server default).
+    #[serde(default)]
     pub episodes: usize,
     /// QS-DNN seeds (empty = server default seeds).
+    #[serde(default)]
     pub seeds: Vec<u64>,
     /// Scenario-transfer policy for this request (absent = `"auto"`).
     #[serde(default)]
@@ -150,17 +163,26 @@ pub struct SearchRequest {
 /// search (cached).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlanRequest {
-    /// Zoo network name.
+    /// Zoo network name. Absent = `""`, rejected by the handler as an
+    /// unknown network.
+    #[serde(default)]
     pub network: String,
-    /// Batch size (≥1).
+    /// Batch size (≥1). Absent = 0, rejected by the handler.
+    #[serde(default)]
     pub batch: usize,
-    /// Processor mode.
+    /// Processor mode. Genuinely mandatory: defaulting it would silently
+    /// compile for the wrong processor.
+    // LINT-ALLOW(wire-compat)
     pub mode: Mode,
-    /// Objective to optimize.
+    /// Objective to optimize. Genuinely mandatory: defaulting it would
+    /// silently optimize the wrong thing.
+    // LINT-ALLOW(wire-compat)
     pub objective: Objective,
     /// Episode budget per stochastic member (0 = server default).
+    #[serde(default)]
     pub episodes: usize,
     /// QS-DNN seeds (empty = server default seeds).
+    #[serde(default)]
     pub seeds: Vec<u64>,
     /// Scenario-transfer policy for this request (absent = `"auto"`).
     #[serde(default)]
@@ -221,6 +243,12 @@ pub enum Request {
     /// The platform registry: every target this server can profile and
     /// compile for, with spec fingerprints.
     Platforms,
+    /// The flight recorder's journal: every event still resident in the
+    /// per-thread rings, plus the retained slow/panic exemplars.
+    Events,
+    /// The flight recorder's live task table: what every worker and
+    /// dispatcher thread is doing right now.
+    Tasks,
 }
 
 /// Protocol-v2 envelope: a request tagged with a connection-scoped id so
@@ -229,18 +257,26 @@ pub enum Request {
 pub struct TaggedRequest {
     /// Client-chosen correlation id, echoed verbatim in the reply. Ids are
     /// scoped to the connection; reusing an id while its request is still
-    /// in flight makes the two replies indistinguishable.
+    /// in flight makes the two replies indistinguishable. Genuinely
+    /// mandatory: a defaulted id could not be correlated — and `{"id":N}`
+    /// with no `req` must stay a parse error, not an empty request (the
+    /// framing tests pin this).
+    // LINT-ALLOW(wire-compat)
     pub id: u64,
-    /// The request itself.
+    /// The request itself. Genuinely mandatory — see `id`.
+    // LINT-ALLOW(wire-compat)
     pub req: Request,
 }
 
 /// Protocol-v2 envelope: the reply to a [`TaggedRequest`] with the same id.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TaggedResponse {
-    /// Correlation id copied from the request.
+    /// Correlation id copied from the request. Genuinely mandatory: an
+    /// uncorrelatable reply is useless to a pipelining client.
+    // LINT-ALLOW(wire-compat)
     pub id: u64,
-    /// The response itself.
+    /// The response itself. Genuinely mandatory — see `id`.
+    // LINT-ALLOW(wire-compat)
     pub resp: Response,
 }
 
@@ -307,7 +343,9 @@ pub fn parse_response_frame(line: &str) -> Result<ResponseFrame, ServeError> {
 /// Result of a profile request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ProfileResponse {
-    /// The assembled LUT.
+    /// The assembled LUT. Genuinely mandatory: the LUT *is* the reply, and
+    /// a defaulted empty LUT would fail `validate()` far from the wire.
+    // LINT-ALLOW(wire-compat)
     pub lut: CostLut,
     /// Stable content fingerprint of `lut` (hex).
     #[serde(default)]
@@ -375,7 +413,10 @@ pub struct PlanResponse {
     /// Whether the plan was served without running a fresh search.
     #[serde(default)]
     pub cache_hit: bool,
-    /// The winning report (assignment, cost, curve).
+    /// The winning report (assignment, cost, curve). Genuinely mandatory:
+    /// the report *is* the reply; a defaulted empty assignment would panic
+    /// downstream instead of erroring at the wire.
+    // LINT-ALLOW(wire-compat)
     pub best: SearchReport,
     /// Label of the winning portfolio member.
     #[serde(default)]
@@ -546,7 +587,9 @@ pub struct MetricSample {
     /// Label key/value pairs.
     #[serde(default)]
     pub labels: Vec<(String, String)>,
-    /// The sample's value.
+    /// The sample's value. Genuinely mandatory: a sample without a value
+    /// is not a sample, and `MetricValue` has no meaningful default.
+    // LINT-ALLOW(wire-compat)
     pub value: MetricValue,
 }
 
@@ -627,6 +670,160 @@ impl PlatformsResponse {
     }
 }
 
+/// One flight-recorder journal event on the wire (and in post-mortem
+/// dump files).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventMsg {
+    /// Microseconds since the recorder (≈ the server) started.
+    #[serde(default)]
+    pub ts_us: u64,
+    /// Thread that emitted the event.
+    #[serde(default)]
+    pub thread: String,
+    /// Event kind label (`request_begin`, `cache_hit`, `stage`, ...).
+    #[serde(default)]
+    pub event: String,
+    /// Flight-recorder serial of the request the event belongs to
+    /// (0 = not tied to a request).
+    #[serde(default)]
+    pub serial: u64,
+    /// Subject cache key as its canonical 16-hex-digit string (empty =
+    /// none).
+    #[serde(default)]
+    pub key: String,
+    /// Kind-specific raw payload (e.g. stage id, pool id, distance in
+    /// millionths).
+    #[serde(default)]
+    pub a: u64,
+    /// Kind-specific raw payload (e.g. duration µs, shard index, queue
+    /// depth).
+    #[serde(default)]
+    pub b: u64,
+    /// Human decoding of the payloads (e.g. `stage=search 1532us`);
+    /// empty when the payloads speak for themselves.
+    #[serde(default)]
+    pub detail: String,
+}
+
+/// One retained journal excerpt for a slow or panicked request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExemplarMsg {
+    /// Request kind label (`plan`, `search`, ...).
+    #[serde(default)]
+    pub kind: String,
+    /// The request's flight-recorder serial.
+    #[serde(default)]
+    pub serial: u64,
+    /// End-to-end request duration, milliseconds.
+    #[serde(default)]
+    pub total_ms: f64,
+    /// Plan key the request resolved to (empty when it never reached
+    /// one).
+    #[serde(default)]
+    pub plan_key: String,
+    /// Whether the capture was triggered by a handler panic rather than
+    /// the slow threshold.
+    #[serde(default)]
+    pub panicked: bool,
+    /// Per-stage breakdown decoded from the excerpt's `stage` events, in
+    /// pipeline order.
+    #[serde(default)]
+    pub stages: Vec<StageTiming>,
+    /// Every journal event carrying the request's serial, oldest first.
+    #[serde(default)]
+    pub events: Vec<EventMsg>,
+}
+
+/// Answer to the `events` request: journal dump plus exemplars.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventsResponse {
+    /// Whether the flight recorder is enabled at all.
+    #[serde(default)]
+    pub recorder_enabled: bool,
+    /// Events ever recorded (resident + already overwritten).
+    #[serde(default)]
+    pub events_total: u64,
+    /// Per-thread ring capacity (events retained per thread).
+    #[serde(default)]
+    pub ring_capacity: u64,
+    /// Every event still resident in the rings, oldest first.
+    #[serde(default)]
+    pub events: Vec<EventMsg>,
+    /// Retained slow/panic exemplars, by kind then capture time.
+    #[serde(default)]
+    pub exemplars: Vec<ExemplarMsg>,
+}
+
+/// One live thread in the task table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskMsg {
+    /// Thread name (`qsdnn-worker-0`, `qsdnn-dispatch-1`, ...).
+    #[serde(default)]
+    pub thread: String,
+    /// What the thread is doing: `idle`, a request kind (`plan`, ...),
+    /// or a pool job (`search-job`, `dispatch-job`).
+    #[serde(default)]
+    pub state: String,
+    /// Flight-recorder serial of the request being worked on (0 = none).
+    #[serde(default)]
+    pub serial: u64,
+    /// Pipeline stage last reported (empty when idle / not staged).
+    #[serde(default)]
+    pub stage: String,
+    /// Subject plan key, canonical hex (empty = none).
+    #[serde(default)]
+    pub key: String,
+    /// Milliseconds the thread has been in this state.
+    #[serde(default)]
+    pub elapsed_ms: f64,
+}
+
+/// Answer to the `tasks` request: the live task table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TasksResponse {
+    /// Whether the flight recorder is enabled at all.
+    #[serde(default)]
+    pub recorder_enabled: bool,
+    /// Events ever recorded — delta this between polls for an event
+    /// rate.
+    #[serde(default)]
+    pub events_total: u64,
+    /// Every registered thread, in registration order.
+    #[serde(default)]
+    pub tasks: Vec<TaskMsg>,
+}
+
+/// The post-mortem dump a server writes under its spill dir on panic or
+/// SIGTERM: the full flight-recorder state at the moment of death, as one
+/// JSON document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PostmortemDump {
+    /// Why the dump was written (`panic`, `sigterm`, `shutdown`).
+    #[serde(default)]
+    pub reason: String,
+    /// Server protocol revision that wrote the dump.
+    #[serde(default)]
+    pub version: u32,
+    /// Milliseconds the server had been up.
+    #[serde(default)]
+    pub uptime_ms: u64,
+    /// I/O layer the server was running (`threads` or `epoll`).
+    #[serde(default)]
+    pub io: String,
+    /// Events ever recorded.
+    #[serde(default)]
+    pub events_total: u64,
+    /// The task table at the moment of death.
+    #[serde(default)]
+    pub tasks: Vec<TaskMsg>,
+    /// Every event still resident in the rings, oldest first.
+    #[serde(default)]
+    pub events: Vec<EventMsg>,
+    /// Retained slow/panic exemplars.
+    #[serde(default)]
+    pub exemplars: Vec<ExemplarMsg>,
+}
+
 /// Server → client message.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Response {
@@ -645,6 +842,10 @@ pub enum Response {
     Metrics(MetricsResponse),
     /// Platform registry listing.
     Platforms(PlatformsResponse),
+    /// Flight-recorder journal dump.
+    Events(EventsResponse),
+    /// Flight-recorder live task table.
+    Tasks(TasksResponse),
     /// Request-level failure (the connection stays usable).
     Error {
         /// Human-readable reason.

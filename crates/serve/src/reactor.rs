@@ -41,12 +41,14 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::metrics::{RequestSpan, Stage};
-use crate::pool::WorkerPool;
+use qsdnn_obs::EventKind;
+
+use crate::metrics::{RequestSpan, Stage, TASK_KIND_DISPATCH_JOB};
+use crate::pool::{PoolRecorder, WorkerPool};
 use crate::protocol::{
     parse_request_frame, write_message, FrameBuffer, RequestFrame, Response, TaggedResponse,
 };
-use crate::server::{ServiceState, ACCEPT_BACKOFF_MAX, ACCEPT_BACKOFF_MIN};
+use crate::server::{ServiceState, ACCEPT_BACKOFF_MAX, ACCEPT_BACKOFF_MIN, POOL_ID_DISPATCH};
 use crate::ServeError;
 
 /// Raw Linux epoll/pipe bindings. Constants match the kernel UAPI headers
@@ -116,6 +118,17 @@ const TICK: Duration = Duration::from_millis(100);
 /// replies to flush before abandoning the remaining connections. Keeps a
 /// never-reading client from wedging [`crate::PlanServer::shutdown`].
 const SHUTDOWN_DRAIN: Duration = Duration::from_secs(5);
+
+/// A reactor work phase (everything between two `epoll_wait`s) longer
+/// than this journals a `reactor_stall` flight-recorder event: the loop
+/// is the only thread moving bytes, so a stall here delays every
+/// connection at once.
+const STALL_THRESHOLD: Duration = Duration::from_millis(10);
+
+/// An `epoll_wait` that overstays its requested timeout by more than this
+/// journals an `epoll_wait_outlier` event — scheduler starvation the
+/// latency histograms can't attribute.
+const WAIT_OUTLIER_SLACK: Duration = Duration::from_millis(100);
 
 /// `epoll_wait` data tokens for the two non-connection fds.
 const TOKEN_LISTENER: u64 = 0;
@@ -352,13 +365,20 @@ pub(crate) fn start(
     };
     epoll.add(listener.as_raw_fd(), sys::EPOLLIN, TOKEN_LISTENER)?;
     epoll.add(wake_rx.as_raw_fd(), sys::EPOLLIN, TOKEN_WAKER)?;
-    let dispatchers = Arc::new(WorkerPool::named_with_gauges(
+    let dispatcher_count = state.config.dispatcher_count(state.pool.threads());
+    let dispatchers = Arc::new(WorkerPool::named_observed(
         "qsdnn-dispatch",
-        state.config.dispatcher_count(state.pool.threads()),
+        dispatcher_count,
         state
             .config
             .instrument
             .then(|| state.metrics.dispatch_pool.clone()),
+        state.metrics.recorder().enabled().then(|| PoolRecorder {
+            recorder: Arc::clone(state.metrics.recorder()),
+            task_kind: TASK_KIND_DISPATCH_JOB,
+            pool_id: POOL_ID_DISPATCH,
+            saturation_threshold: (dispatcher_count * 2) as i64,
+        }),
     ));
     let completions = Arc::new(Completions {
         queue: Mutex::new(Vec::new()),
@@ -408,19 +428,24 @@ impl Reactor {
     fn run(&mut self) {
         let mut events = vec![sys::EpollEvent { events: 0, data: 0 }; 256];
         let instrumented = self.state.metrics.enabled();
+        let recorder = Arc::clone(self.state.metrics.recorder());
         loop {
             let timeout = self.wait_timeout();
             let wait_start = Instant::now();
             let n = self.epoll.wait(&mut events, timeout).unwrap_or_default();
             let work_start = Instant::now();
+            let waited = work_start.duration_since(wait_start);
             if instrumented {
                 // Event-loop health: how long the loop sat blocked, and how
                 // much readiness one wakeup delivered.
                 self.state
                     .metrics
                     .reactor_wait_stall_us
-                    .set(work_start.duration_since(wait_start).as_micros() as i64);
+                    .set(waited.as_micros() as i64);
                 self.state.metrics.reactor_ready_events.set(n as i64);
+            }
+            if recorder.enabled() && waited > timeout + WAIT_OUTLIER_SLACK {
+                recorder.emit(EventKind::EpollWaitOutlier, 0, waited.as_micros() as u64, 0);
             }
             let mut accept_ready = false;
             for ev in events.iter().take(n) {
@@ -438,11 +463,12 @@ impl Reactor {
             for completion in self.completions.drain() {
                 self.deliver(completion);
             }
+            let worked = work_start.elapsed();
             if instrumented {
-                self.state
-                    .metrics
-                    .reactor_loop_us
-                    .record_duration(work_start.elapsed());
+                self.state.metrics.reactor_loop_us.record_duration(worked);
+            }
+            if recorder.enabled() && worked > STALL_THRESHOLD {
+                recorder.emit(EventKind::ReactorStall, 0, worked.as_micros() as u64, 0);
             }
             // SeqCst: shutdown must be totally ordered against the
             // acceptor and worker threads' own checks so no thread keeps

@@ -37,16 +37,21 @@ use qsdnn::engine::{
 use qsdnn::nn::zoo;
 use qsdnn::{Portfolio, PortfolioOutcome, QTable, TransferMapping};
 
+use qsdnn_obs::{EventKind, FlightRecorder};
+
 use crate::cache::{plan_key_on, warm_plan_key_on, CacheValue, EvictionPolicy, PlanCache};
 use crate::exposition::MetricsExposition;
-use crate::metrics::{families_from_snapshot, request_kind, trace_requested, RequestSpan, Stage};
-use crate::pool::WorkerPool;
+use crate::metrics::{
+    families_from_snapshot, kind_index, request_kind, trace_requested, RequestSpan, Stage, KINDS,
+};
+use crate::pool::{PoolRecorder, WorkerPool};
 use crate::portfolio::{run_portfolio_parallel, run_portfolio_parallel_with, WarmStart};
 use crate::protocol::{
-    default_episodes, parse_request_frame, read_line_resumable, write_message, MetricsResponse,
-    PlanRequest, PlanResponse, PlatformInfo, PlatformsResponse, ProfileRequest, ProfileResponse,
-    Request, RequestFrame, Response, SearchRequest, StatsResponse, TaggedResponse, TransferMode,
-    WarmStartInfo, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+    default_episodes, parse_request_frame, read_line_resumable, write_message, EventMsg,
+    EventsResponse, ExemplarMsg, MetricsResponse, PlanRequest, PlanResponse, PlatformInfo,
+    PlatformsResponse, PostmortemDump, ProfileRequest, ProfileResponse, Request, RequestFrame,
+    Response, SearchRequest, StageTiming, StatsResponse, TaggedResponse, TaskMsg, TasksResponse,
+    TransferMode, WarmStartInfo, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use crate::transfer::{ScenarioEntry, ScenarioIndex, DEFAULT_DONOR_CANDIDATES};
 use crate::ServeError;
@@ -65,6 +70,15 @@ pub(crate) const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(10);
 /// Ceiling on the acceptor back-off; also bounds the extra shutdown
 /// latency a backed-off threaded acceptor can add.
 pub(crate) const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(500);
+
+/// Cache id carried in cache flight-recorder events (`a` payload).
+pub(crate) const CACHE_ID_PLAN: u64 = 0;
+/// Cache id of the profile cache in flight-recorder events.
+pub(crate) const CACHE_ID_PROFILE: u64 = 1;
+/// Pool id carried in `PoolSaturated` events (`a` payload).
+pub(crate) const POOL_ID_SEARCH: u64 = 0;
+/// Pool id of the epoll dispatcher pool in `PoolSaturated` events.
+pub(crate) const POOL_ID_DISPATCH: u64 = 1;
 
 /// Which connection layer carries accept/read/write traffic. Search work
 /// always runs on the synchronous [`WorkerPool`] either way — the I/O
@@ -201,6 +215,10 @@ pub struct ServerConfig {
     /// is recorded at all. On by default; off reduces the hot path to one
     /// branch per stage, for overhead benchmarks.
     pub instrument: bool,
+    /// Whether the flight recorder journals events and maintains the live
+    /// task table. Always on by default — it exists to explain incidents
+    /// nobody predicted; off exists for overhead benchmarks only.
+    pub recorder: bool,
     /// Metrics registry for this server's instruments. `None` gives the
     /// server a private registry (the default — concurrent servers in one
     /// process never mix counters); inject one to aggregate or inspect.
@@ -234,6 +252,7 @@ impl Default for ServerConfig {
             metrics_addr: None,
             slow_ms: DEFAULT_SLOW_MS,
             instrument: true,
+            recorder: true,
             registry: None,
             platform: String::new(),
             platform_dir: None,
@@ -310,11 +329,18 @@ pub(crate) struct ServiceState {
 
 impl ServiceState {
     pub(crate) fn new(config: ServerConfig) -> Result<Arc<ServiceState>, ServeError> {
-        let plans = config.configure_cache(match &config.spill_dir {
-            Some(dir) => PlanCache::with_spill_dir(dir)?,
-            None => PlanCache::new(),
-        });
-        let profiles = config.configure_cache(PlanCache::new());
+        // The recorder exists before everything it observes: caches, pool
+        // and metrics all take their handle at construction.
+        let recorder = Arc::new(FlightRecorder::new(config.recorder));
+        let plans = config
+            .configure_cache(match &config.spill_dir {
+                Some(dir) => PlanCache::with_spill_dir(dir)?,
+                None => PlanCache::new(),
+            })
+            .with_recorder(Arc::clone(&recorder), CACHE_ID_PLAN);
+        let profiles = config
+            .configure_cache(PlanCache::new())
+            .with_recorder(Arc::clone(&recorder), CACHE_ID_PROFILE);
         let index_entries = if config.index_entries == 0 {
             crate::transfer::DEFAULT_INDEX_ENTRIES
         } else {
@@ -351,8 +377,12 @@ impl ServiceState {
             .registry
             .clone()
             .unwrap_or_else(|| Arc::new(qsdnn_obs::Registry::new()));
-        let metrics =
-            crate::metrics::ServeMetrics::new(config.instrument, config.slow_ms, registry);
+        let metrics = crate::metrics::ServeMetrics::new(
+            config.instrument,
+            config.slow_ms,
+            registry,
+            Arc::clone(&recorder),
+        );
         let threads = if config.threads == 0 {
             // Mirrors `WorkerPool::with_default_size`.
             std::thread::available_parallelism()
@@ -361,10 +391,16 @@ impl ServiceState {
         } else {
             config.threads
         };
-        let pool = WorkerPool::named_with_gauges(
+        let pool = WorkerPool::named_observed(
             "qsdnn-worker",
             threads,
             config.instrument.then(|| metrics.search_pool.clone()),
+            recorder.enabled().then(|| PoolRecorder {
+                recorder: Arc::clone(&recorder),
+                task_kind: crate::metrics::TASK_KIND_SEARCH_JOB,
+                pool_id: POOL_ID_SEARCH,
+                saturation_threshold: (threads * 2) as i64,
+            }),
         );
         Ok(Arc::new(ServiceState {
             pool,
@@ -426,6 +462,7 @@ impl ServiceState {
     /// (the analytical platform is deterministic, so equal parameters give
     /// equal LUTs).
     fn profile(&self, req: &ProfileRequest) -> Result<Arc<CostLut>, ServeError> {
+        self.task_stage(Stage::Profile);
         if req.batch == 0 {
             return Err(ServeError::BadRequest("batch must be >= 1".into()));
         }
@@ -501,6 +538,7 @@ impl ServiceState {
         // inside `compute_cold`/`compute_warm`, which record the `search`
         // stage themselves; the remainder is the `cache` stage.
         let cache_start = Instant::now();
+        self.task_stage(Stage::Cache);
         let search_before = span.stage_total(Stage::Search);
         // Transfer needs both opt-ins: the server policy and the request.
         let result = if self.config.transfer == TransferMode::Auto && transfer == TransferMode::Auto
@@ -554,6 +592,7 @@ impl ServiceState {
         span: &mut RequestSpan,
     ) -> Result<PlanResponse, ServeError> {
         let network = lut.network().to_string();
+        self.task_key_hex(&key);
         // The compute closure runs on this thread (single-flight), so a
         // Cell smuggles the search wall time out to the span; a cache hit
         // never runs it and records zero search.
@@ -562,7 +601,11 @@ impl ServiceState {
             let shared = Arc::clone(shared);
             let pool = &self.pool;
             let search_time = &search_time;
+            let rec = Arc::clone(self.metrics.recorder());
             self.plans.try_get_or_compute(&key, move || {
+                if rec.enabled() {
+                    rec.task_stage(Stage::Search as u16 + 1);
+                }
                 let search_start = Instant::now();
                 let outcome = run_portfolio_parallel(portfolio, &shared, pool);
                 search_time.set(search_start.elapsed());
@@ -776,13 +819,31 @@ impl ServiceState {
         let transferred_states = mapping.mapped_states();
         let warm = Arc::new(WarmStart { donor, mapping });
         let network = lut.network().to_string();
+        self.task_key_hex(&warm_key);
+        {
+            // Journal which donor won and how far away it was; distance is
+            // packed as microunits so the fixed-width event holds it.
+            let rec = self.metrics.recorder();
+            if rec.enabled() {
+                rec.emit(
+                    EventKind::TransferDonor,
+                    u64::from_str_radix(&entry.plan_key, 16).unwrap_or(0),
+                    (distance * 1e6) as u64,
+                    transferred_states as u64,
+                );
+            }
+        }
         let search_time = std::cell::Cell::new(Duration::ZERO);
         let (outcome, cache_hit) = {
             let shared = Arc::clone(shared);
             let warm = Arc::clone(&warm);
             let pool = &self.pool;
             let search_time = &search_time;
+            let rec = Arc::clone(self.metrics.recorder());
             self.plans.try_get_or_compute(&warm_key, move || {
+                if rec.enabled() {
+                    rec.task_stage(Stage::Search as u16 + 1);
+                }
                 let search_start = Instant::now();
                 let outcome =
                     run_portfolio_parallel_with(&warm_portfolio, &shared, pool, Some(&warm));
@@ -923,6 +984,8 @@ impl ServiceState {
                     },
                 }
             }
+            Request::Events => Response::Events(self.events_response()),
+            Request::Tasks => Response::Tasks(self.tasks_response()),
             Request::Platforms => Response::Platforms(PlatformsResponse {
                 platforms: self
                     .platforms
@@ -992,9 +1055,26 @@ impl ServiceState {
     pub(crate) fn dispatch_spanned(&self, req: Request, span: &mut RequestSpan) -> Response {
         span.set_kind(request_kind(&req));
         span.set_trace(trace_requested(&req));
-        let mut resp = {
-            let span = &mut *span;
-            catch_unwind(AssertUnwindSafe(move || self.handle(req, span))).unwrap_or_else(|panic| {
+        // The request scope tags every event this thread journals while
+        // handling — cache hits, donor picks — with the request's serial,
+        // and the task-table entry is what `tasks` reports as "doing now".
+        let recorder = Arc::clone(self.metrics.recorder());
+        let _scope = recorder.begin_request(span.serial());
+        if recorder.enabled() && span.serial() != 0 {
+            let kind = kind_index(span.kind());
+            recorder.request_begin(span.serial(), kind as u16);
+        }
+        let result = {
+            let handler_span = &mut *span;
+            catch_unwind(AssertUnwindSafe(move || self.handle(req, handler_span)))
+        };
+        let mut resp = match result {
+            Ok(resp) => resp,
+            Err(panic) => {
+                // Journal the panic and snapshot the request's events as
+                // an exemplar before answering: the wreckage is exactly
+                // what a post-mortem needs.
+                self.metrics.capture_panic(span);
                 let reason = panic
                     .downcast_ref::<&str>()
                     .map(|s| (*s).to_string())
@@ -1003,14 +1083,94 @@ impl ServiceState {
                 Response::Error {
                     message: format!("internal error: request handler panicked: {reason}"),
                 }
-            })
+            }
         };
+        if let Response::Plan(plan) = &resp {
+            // Plan keys are 16 hex chars; packed, the span (and through it
+            // the slow-request exemplar) names the actual plan served.
+            let key = u64::from_str_radix(&plan.plan_key, 16).unwrap_or(0);
+            span.set_key(key);
+            if recorder.enabled() {
+                recorder.task_key(key);
+            }
+        }
+        recorder.task_clear();
         if span.trace_requested() {
             if let Response::Plan(plan) = &mut resp {
                 plan.trace = Some(span.trace_info());
             }
         }
         resp
+    }
+
+    /// Publishes the stage this thread's task-table entry is in.
+    fn task_stage(&self, stage: Stage) {
+        let rec = self.metrics.recorder();
+        if rec.enabled() {
+            rec.task_stage(stage as u16 + 1);
+        }
+    }
+
+    /// Publishes the plan key this thread's task-table entry works under.
+    fn task_key_hex(&self, key: &str) {
+        let rec = self.metrics.recorder();
+        if rec.enabled() {
+            rec.task_key(u64::from_str_radix(key, 16).unwrap_or(0));
+        }
+    }
+
+    /// The `events` wire reply: full ring dump plus retained exemplars.
+    fn events_response(&self) -> EventsResponse {
+        let rec = self.metrics.recorder();
+        EventsResponse {
+            recorder_enabled: rec.enabled(),
+            events_total: rec.events_total(),
+            ring_capacity: rec.ring_capacity() as u64,
+            events: rec.snapshot_events().iter().map(event_msg).collect(),
+            exemplars: rec.exemplars().iter().map(exemplar_msg).collect(),
+        }
+    }
+
+    /// The `tasks` wire reply: what every registered thread is doing now.
+    fn tasks_response(&self) -> TasksResponse {
+        let rec = self.metrics.recorder();
+        TasksResponse {
+            recorder_enabled: rec.enabled(),
+            events_total: rec.events_total(),
+            tasks: rec.tasks().iter().map(task_msg).collect(),
+        }
+    }
+
+    /// One self-contained post-mortem: task table, full journal and
+    /// exemplars at the moment of death, plus enough identity (io model,
+    /// uptime, protocol version) to read the file in isolation.
+    pub(crate) fn postmortem_dump(&self, reason: &str) -> PostmortemDump {
+        let rec = self.metrics.recorder();
+        PostmortemDump {
+            reason: reason.to_string(),
+            version: PROTOCOL_VERSION,
+            uptime_ms: self.uptime_ms(),
+            io: self.config.io.label().to_string(),
+            events_total: rec.events_total(),
+            tasks: rec.tasks().iter().map(task_msg).collect(),
+            events: rec.snapshot_events().iter().map(event_msg).collect(),
+            exemplars: rec.exemplars().iter().map(exemplar_msg).collect(),
+        }
+    }
+
+    /// Writes [`ServiceState::postmortem_dump`] as JSON under the spill
+    /// directory; `None` without a spill dir or when the write fails (a
+    /// dying process must not die harder over its own post-mortem).
+    ///
+    /// The filename deliberately does **not** end in `.json`: the spill
+    /// tier's startup sweep indexes (and eventually garbage-collects)
+    /// every `*.json` file in this directory as a cache entry.
+    pub(crate) fn write_postmortem(&self, reason: &str) -> Option<std::path::PathBuf> {
+        let dir = self.config.spill_dir.as_ref()?;
+        let json = serde_json::to_string_pretty(&self.postmortem_dump(reason)).ok()?;
+        let path = dir.join(format!("postmortem-{}.dump", std::process::id()));
+        std::fs::write(&path, json).ok()?;
+        Some(path)
     }
 
     /// Monotonic uptime; always at least 1 ms so "the server is up" reads
@@ -1070,6 +1230,11 @@ impl ServiceState {
             "qsdnn_index_entries",
             "Scenarios registered in the transfer index",
             self.index.len() as i64,
+        ));
+        snap.families.push(counter(
+            "qsdnn_recorder_events_total",
+            "Flight-recorder events journaled since start",
+            self.metrics.recorder().events_total(),
         ));
         for (cache, shards) in [
             ("plan", self.plans.shard_stats()),
@@ -1155,6 +1320,143 @@ impl ServiceState {
     pub(crate) fn note_in_flight(&self, depth: usize) {
         self.in_flight_peak
             .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+}
+
+/// Formats a packed plan key for the wire (empty when there is none).
+fn wire_key(key: u64) -> String {
+    if key == 0 {
+        String::new()
+    } else {
+        format!("{key:016x}")
+    }
+}
+
+/// Decodes one raw flight-recorder event into its wire form, rendering
+/// the kind-specific `a`/`b` payloads into a human-readable `detail`.
+fn event_msg(e: &qsdnn_obs::Event) -> EventMsg {
+    let kind = e.kind();
+    let detail = match kind {
+        Some(EventKind::RequestBegin) => {
+            format!("kind={}", KINDS.get(e.a as usize).copied().unwrap_or("?"))
+        }
+        Some(EventKind::RequestEnd) => format!(
+            "kind={} total_us={}",
+            KINDS.get(e.a as usize).copied().unwrap_or("?"),
+            e.b
+        ),
+        Some(EventKind::StageEnd) => format!(
+            "stage={} {}us",
+            Stage::ALL
+                .get(e.a as usize)
+                .map(|s| s.as_str())
+                .unwrap_or("?"),
+            e.b
+        ),
+        Some(
+            EventKind::CacheHit
+            | EventKind::CacheMiss
+            | EventKind::CacheCoalesced
+            | EventKind::CacheSpillLoad
+            | EventKind::CacheEvict
+            | EventKind::CacheSpill
+            | EventKind::CacheStall,
+        ) => format!(
+            "cache={} shard={}",
+            match e.a {
+                CACHE_ID_PLAN => "plan",
+                CACHE_ID_PROFILE => "profile",
+                _ => "?",
+            },
+            e.b
+        ),
+        Some(EventKind::TransferDonor) => {
+            format!("distance={:.6} states={}", e.a as f64 / 1e6, e.b)
+        }
+        Some(EventKind::ReactorStall) => format!("loop_us={}", e.a),
+        Some(EventKind::EpollWaitOutlier) => format!("wait_us={}", e.a),
+        Some(EventKind::PoolSaturated) => format!(
+            "pool={} depth={}",
+            match e.a {
+                POOL_ID_SEARCH => "search",
+                POOL_ID_DISPATCH => "dispatch",
+                _ => "?",
+            },
+            e.b
+        ),
+        Some(EventKind::HandlerPanic) => {
+            format!("kind={}", KINDS.get(e.a as usize).copied().unwrap_or("?"))
+        }
+        None => String::new(),
+    };
+    EventMsg {
+        ts_us: e.ts_us,
+        thread: e.thread.to_string(),
+        event: kind.map(EventKind::label).unwrap_or("unknown").to_string(),
+        serial: e.req,
+        key: wire_key(e.key),
+        a: e.a,
+        b: e.b,
+        detail,
+    }
+}
+
+/// Decodes one live task-table entry into its wire form.
+fn task_msg(t: &qsdnn_obs::TaskSnapshot) -> TaskMsg {
+    let state = match t.kind {
+        None => "idle".to_string(),
+        Some(crate::metrics::TASK_KIND_SEARCH_JOB) => "search-job".to_string(),
+        Some(crate::metrics::TASK_KIND_DISPATCH_JOB) => "dispatch-job".to_string(),
+        Some(k) => KINDS
+            .get(k as usize)
+            .copied()
+            .unwrap_or("unknown")
+            .to_string(),
+    };
+    let stage = match t.stage.checked_sub(1) {
+        None => String::new(), // 0 = no stage published
+        Some(i) => Stage::ALL
+            .get(i as usize)
+            .map(|s| s.as_str().to_string())
+            .unwrap_or_default(),
+    };
+    TaskMsg {
+        thread: t.thread.clone(),
+        state,
+        serial: t.serial,
+        stage,
+        key: wire_key(t.key),
+        elapsed_ms: t.elapsed_us as f64 / 1000.0,
+    }
+}
+
+/// Decodes one retained exemplar: its journal excerpt plus a per-stage
+/// breakdown distilled from the excerpt's `stage` events.
+fn exemplar_msg(x: &qsdnn_obs::Exemplar) -> ExemplarMsg {
+    let stages = x
+        .events
+        .iter()
+        .filter(|e| e.kind() == Some(EventKind::StageEnd))
+        .map(|e| StageTiming {
+            stage: Stage::ALL
+                .get(e.a as usize)
+                .map(|s| s.as_str().to_string())
+                .unwrap_or_default(),
+            ms: e.b as f64 / 1000.0,
+        })
+        .collect();
+    ExemplarMsg {
+        kind: KINDS
+            .get(x.kind as usize)
+            .copied()
+            .unwrap_or("unknown")
+            .to_string(),
+        serial: x.serial,
+        total_ms: x.total_us as f64 / 1000.0,
+        plan_key: wire_key(x.key),
+        panicked: x.panicked,
+        stages,
+        events: x.events.iter().map(event_msg).collect(),
     }
 }
 
@@ -1284,6 +1586,24 @@ impl PlanServer {
     /// The connection layer this server runs on.
     pub fn io_model(&self) -> IoModel {
         self.state.config.io
+    }
+
+    /// Writes a flight-recorder post-mortem dump (`postmortem-<pid>.dump`,
+    /// JSON) under the spill directory and returns its path. `None`
+    /// without a spill directory or when the write fails. `reason` lands
+    /// verbatim in the dump (conventionally `panic`, `sigterm` or
+    /// `shutdown`).
+    pub fn write_postmortem(&self, reason: &str) -> Option<std::path::PathBuf> {
+        self.state.write_postmortem(reason)
+    }
+
+    /// A standalone dump writer for installing in panic hooks and signal
+    /// loops: callable after (and independent of) the server handle itself.
+    pub fn postmortem_writer(
+        &self,
+    ) -> impl Fn(&str) -> Option<std::path::PathBuf> + Send + Sync + 'static {
+        let state = Arc::clone(&self.state);
+        move |reason| state.write_postmortem(reason)
     }
 
     /// Stops accepting and joins the connection layer.

@@ -18,7 +18,9 @@ use qsdnn_serve::{PlanClient, PlanServer, ServerConfig};
 /// catalog both exposure paths must list (global engine/core families
 /// ride along but depend on process-wide test ordering, so they are
 /// asserted separately).
-const SERVE_FAMILIES: [&str; 17] = [
+const SERVE_FAMILIES: [&str; 19] = [
+    "qsdnn_build_info",
+    "qsdnn_recorder_events_total",
     "qsdnn_request_us",
     "qsdnn_request_stage_us",
     "qsdnn_slow_requests_total",
@@ -179,9 +181,18 @@ struct PromSample {
 }
 
 /// A deliberately small Prometheus text-format parser: `# HELP`/`# TYPE`
-/// headers plus `name{labels} value` samples. Returns the `TYPE` table
-/// and every sample; panics (failing the test) on any malformed line.
-fn parse_exposition(body: &str) -> (Vec<(String, String)>, Vec<PromSample>) {
+/// headers plus `name{labels} value` samples. Returns the `HELP` table,
+/// the `TYPE` table, and every sample; panics (failing the test) on any
+/// malformed line.
+#[allow(clippy::type_complexity)]
+fn parse_exposition(
+    body: &str,
+) -> (
+    Vec<(String, String)>,
+    Vec<(String, String)>,
+    Vec<PromSample>,
+) {
+    let mut helps = Vec::new();
     let mut types = Vec::new();
     let mut samples = Vec::new();
     for line in body.lines() {
@@ -199,7 +210,15 @@ fn parse_exposition(body: &str) -> (Vec<(String, String)>, Vec<PromSample>) {
             types.push((name, kind));
             continue;
         }
-        if line.starts_with("# HELP ") {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest
+                .split_once(' ')
+                .unwrap_or_else(|| panic!("HELP line without text: {line}"));
+            assert!(
+                !help.trim().is_empty(),
+                "family {name} has an empty HELP text"
+            );
+            helps.push((name.to_string(), help.to_string()));
             continue;
         }
         assert!(!line.starts_with('#'), "unknown comment line: {line}");
@@ -224,7 +243,7 @@ fn parse_exposition(body: &str) -> (Vec<(String, String)>, Vec<PromSample>) {
             value,
         });
     }
-    (types, samples)
+    (helps, types, samples)
 }
 
 #[test]
@@ -265,13 +284,44 @@ fn prometheus_endpoint_serves_parseable_exposition_mid_load() {
         "wrong content type: {head}"
     );
 
-    let (types, samples) = parse_exposition(body);
+    let (helps, types, samples) = parse_exposition(body);
     for family in SERVE_FAMILIES {
         assert!(
             types.iter().any(|(n, _)| n == family),
             "family {family} missing a TYPE header"
         );
     }
+    // Every declared family carries both headers, with non-empty HELP
+    // text (the parser rejects empty HELP lines outright).
+    for (name, _) in &types {
+        assert!(
+            helps.iter().any(|(n, _)| n == name),
+            "family {name} has a TYPE header but no HELP header"
+        );
+    }
+    for (name, _) in &helps {
+        assert!(
+            types.iter().any(|(n, _)| n == name),
+            "family {name} has a HELP header but no TYPE header"
+        );
+    }
+
+    // Build metadata rides as labels on a constant-1 gauge.
+    let build = samples
+        .iter()
+        .find(|s| s.name == "qsdnn_build_info")
+        .expect("qsdnn_build_info sample");
+    assert_eq!(build.value, 1.0, "build info gauge must be constant 1");
+    assert!(
+        build.labels.contains("version=\""),
+        "build info missing version label: {}",
+        build.labels
+    );
+    assert!(
+        build.labels.contains("git_hash=\""),
+        "build info missing git_hash label: {}",
+        build.labels
+    );
     // Every sample's base series maps back to a declared family
     // (histograms expand to _bucket/_sum/_count).
     for s in &samples {
