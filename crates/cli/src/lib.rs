@@ -144,14 +144,16 @@ pub fn usage() -> String {
      [--network <name> | --networks a,b,c] [--batch N | --batches 1,2,4,8]\n            \
      [--mode cpu|gpgpu] [--objective <obj>] [--episodes N] [--seeds a,b,c]\n            \
      [--transfer auto|off] [--repeats N] [--lut <lut.json>] [--trace true]\n            \
-     [--histograms true] [--platform <name>]\n            \
+     [--histograms true] [--platform <name>] [--protocol 2|3]\n            \
      (--networks pipelines a batch over one connection; --batches sweeps\n            \
      batch sizes so each warm-starts from the previous one; --trace echoes\n            \
      per-stage server timings; --histograms adds latency quantiles to stats;\n            \
      --platform pins plan/profile/search requests to a named server platform\n            \
      and --request platforms lists what the server offers; --request events\n            \
      dumps the flight-recorder journal and slow-request exemplars and\n            \
-     --request tasks shows what every worker thread is doing right now)\n  \
+     --request tasks shows what every worker thread is doing right now;\n            \
+     --protocol 2 pins the JSON wire framing — the default, 3, negotiates\n            \
+     the binary framing with automatic JSON fallback on older servers)\n  \
      qsdnn-cli top --addr <host:port> [--interval-ms N] [--frames N]\n            \
      (live dashboard: worker task table, rolling p50/p99 request latency and\n            \
      event rate from flight-recorder deltas; --frames N renders N frames and\n            \
@@ -786,10 +788,24 @@ fn cmd_submit(args: &Args) -> Result<String, String> {
             "trace",
             "histograms",
             "platform",
+            "protocol",
         ],
     )?;
     let addr = required(args, "addr")?;
-    let mut client = PlanClient::connect(addr.as_str()).map_err(|e| e.to_string())?;
+    // --protocol 2 pins the JSON framing (older servers, wire debugging);
+    // the default negotiates the v3 binary framing with automatic JSON
+    // fallback against pre-v3 servers.
+    let protocol = opt_parse(args, "protocol", 3u32)?;
+    let mut client = match protocol {
+        3 => PlanClient::connect(addr.as_str()),
+        1 | 2 => PlanClient::connect_with_version(addr.as_str(), protocol),
+        other => {
+            return Err(format!(
+                "unsupported --protocol {other} (expected 1, 2 or 3)"
+            ))
+        }
+    }
+    .map_err(|e| e.to_string())?;
     let kind = args.options.get("request").map_or("plan", String::as_str);
     let network = || required(args, "network").cloned();
     let batch = opt_parse(args, "batch", 1usize)?;
@@ -1355,6 +1371,63 @@ mod tests {
             run(&parse_args(&argv(&["submit", "--addr", &addr, "--request", "stats"])).unwrap())
                 .unwrap();
         assert!(stats.contains("plan cache: 1 hits"), "{stats}");
+        server.shutdown();
+    }
+
+    /// `--protocol 2` pins JSON framing, `--protocol 3` (the default)
+    /// negotiates binary — both must produce the same rendered plan for
+    /// the same scenario, cache hit included.
+    #[test]
+    fn submit_protocol_flag_selects_the_wire_framing() {
+        let server = qsdnn_serve::start_local().expect("server");
+        let addr = server.local_addr().to_string();
+        let submit = |protocol: &str| {
+            run(&parse_args(&argv(&[
+                "submit",
+                "--addr",
+                &addr,
+                "--network",
+                "tiny_cnn",
+                "--episodes",
+                "140",
+                "--seeds",
+                "3",
+                "--protocol",
+                protocol,
+            ]))
+            .unwrap())
+            .unwrap()
+        };
+        let via_v2 = submit("2");
+        assert!(via_v2.contains("tiny_cnn"), "{via_v2}");
+        // The v3 repeat is a cache hit served from the preserialized
+        // binary body; the rendered plan must match the JSON one.
+        let via_v3 = submit("3");
+        assert!(via_v3.contains("[cache hit]"), "{via_v3}");
+        let normalize = |s: &str| -> String {
+            s.replace("[cache hit]", "")
+                .lines()
+                .map(str::trim_end)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(
+            normalize(&via_v2),
+            normalize(&via_v3),
+            "wire framing changed the rendered plan"
+        );
+        let err = run(&parse_args(&argv(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--request",
+            "stats",
+            "--protocol",
+            "9",
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert!(err.contains("unsupported --protocol"), "{err}");
         server.shutdown();
     }
 

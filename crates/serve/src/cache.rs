@@ -282,6 +282,13 @@ struct ReadyEntry<T> {
     last_used: u64,
     /// Snapshot of [`CacheValue::recompute_cost_ms`] at insert time.
     cost_ms: f64,
+    /// Preserialized protocol-v3 response body for the zero-copy
+    /// cache-hit fast path. Lazily attached after the first eligible
+    /// binary-framed hit; lives and dies with this slot, so eviction,
+    /// replacement, and spill reload (which starts a fresh entry) all
+    /// invalidate it for free. Never spilled: the durable tier stores
+    /// plans, and the body is cheap to rebuild once per residency.
+    wire_body: Option<Arc<Vec<u8>>>,
 }
 
 enum Slot<T> {
@@ -657,6 +664,30 @@ impl<T: CacheValue> PlanCache<T> {
         matches!(state.map.get(key), Some(Slot::InFlight))
     }
 
+    /// The preserialized wire body attached to `key`'s resident entry,
+    /// if any. Deliberately recency-neutral: the paired [`PlanCache::peek`]
+    /// on the hot path already refreshed LRU for this hit, and a body
+    /// fetch must not double-count it.
+    pub fn wire_body(&self, key: &str) -> Option<Arc<Vec<u8>>> {
+        let state = lock_recover(&self.shard_for(key).state);
+        match state.map.get(key) {
+            Some(Slot::Ready(entry)) => entry.wire_body.clone(),
+            _ => None,
+        }
+    }
+
+    /// Attaches a preserialized wire body to `key`'s resident entry so
+    /// later binary-framed hits skip serialization entirely. A no-op when
+    /// the key is absent or in flight (the entry may have been evicted
+    /// between the hit and the attach — the body is then rebuilt on the
+    /// next residency, which is exactly the invalidation contract).
+    pub fn attach_wire_body(&self, key: &str, body: Arc<Vec<u8>>) {
+        let mut state = lock_recover(&self.shard_for(key).state);
+        if let Some(Slot::Ready(entry)) = state.map.get_mut(key) {
+            entry.wire_body = Some(body);
+        }
+    }
+
     fn peek_inner(&self, key: &str, counted: bool) -> Option<Arc<T>> {
         let shard = self.shard_for(key);
         {
@@ -697,6 +728,7 @@ impl<T: CacheValue> PlanCache<T> {
                         value: Arc::clone(&value),
                         last_used: state.tick,
                         cost_ms: value.recompute_cost_ms(),
+                        wire_body: None,
                     };
                     state.map.insert(key.to_string(), Slot::Ready(entry));
                 }
@@ -822,6 +854,7 @@ impl<T: CacheValue> PlanCache<T> {
                 value: Arc::clone(&outcome),
                 last_used: state.tick,
                 cost_ms: outcome.recompute_cost_ms(),
+                wire_body: None,
             };
             // Replaces our own in-flight marker: occupancy is unchanged,
             // so the bound established at claim time still holds.
@@ -1314,6 +1347,61 @@ mod tests {
         cache.peek("k").expect("now resident");
         assert_eq!(cache.stats().hits, 1);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The protocol-v3 fast path's invalidation contract: a wire body
+    /// attaches to the resident entry, is served back verbatim, dies
+    /// with the entry on eviction, and does not resurrect through the
+    /// spill tier.
+    #[test]
+    fn wire_body_lives_and_dies_with_the_entry() {
+        let dir = std::env::temp_dir().join(format!("qsdnn_wirebody_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let cache = PlanCache::<PortfolioOutcome>::with_spill_dir(&dir).unwrap();
+            cache.get_or_compute("k", outcome);
+            assert!(cache.wire_body("k").is_none(), "fresh entries start bare");
+            let body = Arc::new(vec![0xB3u8, 1, 2, 3]);
+            cache.attach_wire_body("k", Arc::clone(&body));
+            let got = cache.wire_body("k").expect("attached body is served");
+            assert_eq!(*got, *body);
+            // Attaching to an absent key is a silent no-op (the entry may
+            // have been evicted between hit and attach).
+            cache.attach_wire_body("missing", Arc::clone(&body));
+            assert!(cache.wire_body("missing").is_none());
+        }
+        // A fresh instance reloads the plan from spill — the wire body
+        // must NOT survive the round trip (fresh residency, fresh body).
+        let cache = PlanCache::<PortfolioOutcome>::with_spill_dir(&dir).unwrap();
+        assert!(cache.peek("k").is_some(), "plan reloads from spill");
+        assert!(
+            cache.wire_body("k").is_none(),
+            "wire bodies are never spilled"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Eviction drops the attached wire body along with its entry, and a
+    /// recomputed residency starts bare again.
+    #[test]
+    fn wire_body_is_dropped_on_eviction() {
+        let cache = PlanCache::<PortfolioOutcome>::new()
+            .with_shards(1)
+            .with_max_entries(2);
+        cache.get_or_compute("aaaa000000000001", outcome);
+        cache.attach_wire_body("aaaa000000000001", Arc::new(vec![1, 2, 3]));
+        assert!(cache.wire_body("aaaa000000000001").is_some());
+        // Fill past capacity so the oldest entry (and its body) evicts.
+        cache.get_or_compute("aaaa000000000002", outcome);
+        cache.get_or_compute("aaaa000000000003", outcome);
+        assert!(cache.peek("aaaa000000000001").is_none(), "entry evicted");
+        assert!(
+            cache.wire_body("aaaa000000000001").is_none(),
+            "body evicted with it"
+        );
+        // Recompute: the new residency must not inherit the stale body.
+        cache.get_or_compute("aaaa000000000001", outcome);
+        assert!(cache.wire_body("aaaa000000000001").is_none());
     }
 
     /// Regression: donor fetches on the transfer path must not inflate

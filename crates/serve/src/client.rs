@@ -17,18 +17,24 @@
 //! timeout mid-response (after [`PlanClient::set_timeout`]) never drops
 //! received bytes or desyncs the framing — the next read resumes the same
 //! line.
+//!
+//! [`PlanClient::connect`] negotiates the **v3 binary framing** (see the
+//! protocol module docs) and transparently falls back to the JSON v2
+//! handshake against a pre-v3 server — the typed API is identical either
+//! way, and decoded responses are bit-identical by construction.
 
 use std::collections::{HashMap, HashSet};
 use std::io::BufReader;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use qsdnn::engine::{CostLut, Objective};
 
 use crate::protocol::{
-    parse_response_frame, read_line_resumable, write_message, PlanRequest, PlanResponse,
-    ProfileRequest, ProfileResponse, Request, Response, ResponseFrame, SearchRequest,
-    StatsResponse, TaggedRequest, PROTOCOL_VERSION,
+    negotiates_binary, parse_binary_response, parse_response_frame, read_binary_frame_resumable,
+    read_line_resumable, write_binary_message, write_message, FrameBuffer, PlanRequest,
+    PlanResponse, ProfileRequest, ProfileResponse, Request, Response, ResponseFrame, SearchRequest,
+    StatsResponse, TaggedRequest, WireMode, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 use crate::ServeError;
 
@@ -59,6 +65,12 @@ pub struct PlanClient {
     /// Resumable framing buffer: a half-read line survives read timeouts
     /// here instead of being dropped.
     partial: String,
+    /// Resumable binary-framing twin of `partial`, used once the
+    /// connection negotiates v3.
+    bin_frames: FrameBuffer,
+    /// Wire framing in effect: JSON during the handshake (and for life
+    /// against a pre-v3 server), binary after a v3 pong.
+    mode: WireMode,
     next_id: u64,
     /// Tickets submitted but not yet returned to the caller.
     outstanding: HashSet<u64>,
@@ -68,12 +80,38 @@ pub struct PlanClient {
 }
 
 impl PlanClient {
-    /// Connects and verifies the protocol revision with a ping.
+    /// Connects and verifies the protocol revision with a ping,
+    /// negotiating the v3 binary framing. A pre-v3 server answers the
+    /// ping with a version-mismatch error; the client then redoes the
+    /// handshake at v2 on a fresh connection and stays on JSON framing —
+    /// same typed API, bit-identical decoded responses.
     ///
     /// # Errors
     ///
-    /// Fails on connection errors or a protocol-version mismatch.
+    /// Fails on connection errors or a protocol-version mismatch that
+    /// even the v2 fallback cannot bridge.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        // Resolve once so the fallback handshake dials the same server.
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        match Self::connect_with_version(&addrs[..], PROTOCOL_VERSION) {
+            Err(ServeError::Remote(message)) if message.contains("protocol mismatch") => {
+                Self::connect_with_version(&addrs[..], 2)
+            }
+            other => other,
+        }
+    }
+
+    /// [`PlanClient::connect`] pinned to one protocol revision, with no
+    /// fallback: the connection speaks binary frames iff `version`
+    /// negotiates them (v3+), JSON lines otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection errors or when the server rejects `version`.
+    pub fn connect_with_version(
+        addr: impl ToSocketAddrs,
+        version: u32,
+    ) -> Result<Self, ServeError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         let writer = stream.try_clone()?;
@@ -81,20 +119,32 @@ impl PlanClient {
             reader: BufReader::new(stream),
             writer,
             partial: String::new(),
+            bin_frames: FrameBuffer::new(),
+            mode: WireMode::Json,
             next_id: 0,
             outstanding: HashSet::new(),
             stashed: HashMap::new(),
             window: DEFAULT_CLIENT_WINDOW,
         };
-        match client.request(&Request::Ping {
-            version: PROTOCOL_VERSION,
-        })? {
-            Response::Pong { .. } => Ok(client),
+        match client.request(&Request::Ping { version })? {
+            Response::Pong { .. } => {
+                if negotiates_binary(version) {
+                    // That pong was the last JSON line in either
+                    // direction; everything from here is binary frames.
+                    client.mode = WireMode::Binary;
+                }
+                Ok(client)
+            }
             Response::Error { message } => Err(ServeError::Remote(message)),
             other => Err(ServeError::Protocol(format!(
                 "unexpected handshake reply {other:?}"
             ))),
         }
+    }
+
+    /// Whether this connection negotiated the v3 binary framing.
+    pub fn is_binary(&self) -> bool {
+        self.mode == WireMode::Binary
     }
 
     /// Sets read/write timeouts on the underlying socket. A timeout
@@ -125,9 +175,21 @@ impl PlanClient {
     /// Reads the next response frame off the connection, whatever its
     /// framing.
     fn read_frame(&mut self) -> Result<ResponseFrame, ServeError> {
-        match read_line_resumable(&mut self.reader, &mut self.partial)? {
-            Some(line) => parse_response_frame(&line),
-            None => Err(ServeError::Protocol("server closed the connection".into())),
+        match self.mode {
+            WireMode::Json => match read_line_resumable(&mut self.reader, &mut self.partial)? {
+                Some(line) => parse_response_frame(&line),
+                None => Err(ServeError::Protocol("server closed the connection".into())),
+            },
+            WireMode::Binary => {
+                match read_binary_frame_resumable(
+                    &mut self.reader,
+                    &mut self.bin_frames,
+                    MAX_FRAME_BYTES,
+                )? {
+                    Some(frame) => parse_binary_response(&frame),
+                    None => Err(ServeError::Protocol("server closed the connection".into())),
+                }
+            }
         }
     }
 
@@ -139,7 +201,10 @@ impl PlanClient {
     ///
     /// Fails on I/O errors, malformed responses, or a server-side close.
     pub fn request(&mut self, req: &Request) -> Result<Response, ServeError> {
-        write_message(&mut self.writer, req)?;
+        match self.mode {
+            WireMode::Json => write_message(&mut self.writer, req)?,
+            WireMode::Binary => write_binary_message(&mut self.writer, None, req)?,
+        }
         loop {
             match self.read_frame()? {
                 ResponseFrame::Untagged(resp) => return Ok(resp),
@@ -163,7 +228,12 @@ impl PlanClient {
     pub fn submit(&mut self, req: Request) -> Result<Ticket, ServeError> {
         let id = self.next_id;
         self.next_id += 1;
-        write_message(&mut self.writer, &TaggedRequest { id, req })?;
+        match self.mode {
+            WireMode::Json => write_message(&mut self.writer, &TaggedRequest { id, req })?,
+            // The binary envelope carries the id in the frame header, so
+            // the body is the bare request — no JSON-style wrapper.
+            WireMode::Binary => write_binary_message(&mut self.writer, Some(id), &req)?,
+        }
         self.outstanding.insert(id);
         Ok(Ticket(id))
     }

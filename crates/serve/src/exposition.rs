@@ -10,7 +10,7 @@ use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::server::ServiceState;
 use crate::ServeError;
@@ -19,6 +19,14 @@ use crate::ServeError;
 const ACCEPT_TICK: Duration = Duration::from_millis(25);
 /// Read cap on a request head; scrape requests are a few hundred bytes.
 const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Per-`read` tick while collecting a request head: short, so a stalled
+/// scraper can't hold the single-threaded listener long, but the head is
+/// *resumed* across ticks up to [`HEAD_DEADLINE`] rather than abandoned
+/// at the first stall.
+const HEAD_READ_TICK: Duration = Duration::from_millis(100);
+/// Overall bound on collecting one request head. A scraper that cannot
+/// produce its blank line within this is answered 408 and dropped.
+const HEAD_DEADLINE: Duration = Duration::from_secs(3);
 
 /// A running exposition listener.
 pub(crate) struct MetricsExposition {
@@ -80,17 +88,28 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServiceState>) {
 /// Reads one HTTP request head and answers it. Any malformed traffic gets
 /// a 400; only `GET /metrics` (and `GET /`) return the exposition body.
 fn handle_scrape(mut stream: TcpStream, state: &Arc<ServiceState>) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_read_timeout(Some(HEAD_READ_TICK))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
     let mut head = Vec::new();
     let mut buf = [0u8; 1024];
+    let started = Instant::now();
+    let mut timed_out = false;
     // Read until the blank line ending the head; scrape requests have no
-    // body worth waiting for.
+    // body worth waiting for. A read timeout is NOT the end of the head:
+    // a scraper whose headers split across packets (or who dribbles
+    // them byte by byte) resumes here until the overall deadline — the
+    // historical bug was breaking on the first stall, which truncated
+    // the request line and turned a legitimate scrape into a 404.
     while !head_complete(&head) && head.len() < MAX_HEAD_BYTES {
         match stream.read(&mut buf) {
             Ok(0) => break,
             Ok(n) => head.extend_from_slice(&buf[..n]),
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => break,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if started.elapsed() >= HEAD_DEADLINE || state.is_shutting_down() {
+                    timed_out = true;
+                    break;
+                }
+            }
             Err(e) => return Err(e),
         }
     }
@@ -100,7 +119,12 @@ fn handle_scrape(mut stream: TcpStream, state: &Arc<ServiceState>) -> std::io::R
         .unwrap_or("");
     let mut parts = request_line.split_whitespace();
     let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-    let (status, body) = if method != "GET" {
+    let (status, body) = if timed_out && !head_complete(&head) {
+        (
+            "408 Request Timeout",
+            "request head timed out\n".to_string(),
+        )
+    } else if method != "GET" {
         ("405 Method Not Allowed", "method not allowed\n".to_string())
     } else if path == "/metrics" || path == "/" {
         ("200 OK", state.metrics_text())

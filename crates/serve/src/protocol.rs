@@ -17,6 +17,34 @@
 //! The two framings share a connection freely; framing-level errors
 //! (malformed JSON) are answered with an untagged [`Response::Error`]
 //! because no id could be recovered from the broken line.
+//!
+//! # Binary framing (protocol v3)
+//!
+//! A connection starts in JSON-lines mode. A **bare** `Ping` whose
+//! `version` is at least [`BINARY_MIN_VERSION`] and accepted by the
+//! server negotiates an upgrade: the server answers the `Pong` as the
+//! connection's final JSON line, and every subsequent frame in *both*
+//! directions is length-prefixed binary. v1/v2 clients never send such a
+//! ping, so their JSON-lines contract is untouched on the same port.
+//!
+//! A binary frame is:
+//!
+//! ```text
+//! magic  kind   body_len   [id]       body
+//! 0xB3   u8     u32 LE     u64 LE     body_len bytes
+//! ```
+//!
+//! `kind` 0x00 is a bare frame (no `id` field, v1 ordering semantics);
+//! `kind` 0x01 is a tagged frame whose `id` correlates request and reply
+//! exactly like the v2 JSON envelope — same in-flight cap, same
+//! out-of-order completion. The body is the message encoded with the
+//! self-describing value codec ([`encode_body`]/[`decode_body`]): the
+//! same [`Value`] tree the JSON framing serializes, so a decoded v3
+//! response is bit-identical to its v2 twin. A body that fails to decode
+//! is answered with an error frame (tagged when the id survived) and the
+//! connection lives on — the length prefix keeps framing in sync. A
+//! violated *header* (bad magic, unknown kind, body length beyond the
+//! frame bound) is unrecoverable: one error frame, then close.
 
 use std::io::{BufRead, Write};
 
@@ -29,11 +57,57 @@ use crate::ServeError;
 
 /// Protocol revision; servers accept handshakes from
 /// [`MIN_PROTOCOL_VERSION`] up to this revision.
-pub const PROTOCOL_VERSION: u32 = 2;
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Oldest client revision the server still speaks. v1 clients never send
 /// tagged envelopes, so serving them needs no translation.
 pub const MIN_PROTOCOL_VERSION: u32 = 1;
+
+/// First revision that negotiates length-prefixed binary framing: a bare
+/// `Ping` handshake carrying at least this version switches the
+/// connection out of JSON-lines mode once the `Pong` is on the wire.
+pub const BINARY_MIN_VERSION: u32 = 3;
+
+/// First byte of every binary frame. `0xB3` is a UTF-8 continuation
+/// byte, so no JSON-lines frame can ever start with it — JSON text
+/// arriving on a binary connection (and vice versa) is detected on the
+/// first byte instead of producing a silently garbled parse.
+pub const FRAME_MAGIC: u8 = 0xB3;
+
+/// Hard bound on a single frame's payload, shared by both connection
+/// layers and both framings: the JSON layers cap the line length, the
+/// binary codec caps the declared body length.
+pub const MAX_FRAME_BYTES: usize = 8 * 1024 * 1024;
+
+/// Worst-case binary frame header: magic + kind + body length + tag id.
+pub const BINARY_FRAME_OVERHEAD: usize = 1 + 1 + 4 + 8;
+
+/// `kind` byte of a bare binary frame (v1 ordering semantics, no id).
+const FRAME_KIND_BARE: u8 = 0x00;
+/// `kind` byte of a tagged binary frame (pipelined, u64 id follows).
+const FRAME_KIND_TAGGED: u8 = 0x01;
+
+/// Depth bound for the binary value codec, matching the JSON parser's
+/// nesting guard so neither framing accepts what the other would refuse.
+const MAX_BINARY_DEPTH: usize = 128;
+
+/// Whether a handshake at `version` upgrades the connection to binary
+/// framing — true only when the server also accepts the version, which
+/// the caller has already checked via the `Ping` reply.
+pub fn negotiates_binary(version: u32) -> bool {
+    (BINARY_MIN_VERSION..=PROTOCOL_VERSION).contains(&version)
+}
+
+/// Which framing a connection currently speaks. Every connection starts
+/// as [`WireMode::Json`]; a successful v3 handshake flips it to
+/// [`WireMode::Binary`] for the rest of the connection's life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireMode {
+    /// JSON-lines framing (protocol v1/v2).
+    Json,
+    /// Length-prefixed binary framing (protocol v3+).
+    Binary,
+}
 
 /// Default episode budget when a request passes `episodes == 0`.
 pub fn default_episodes(layers: usize) -> usize {
@@ -1023,6 +1097,431 @@ impl FrameBuffer {
         self.start = 0;
         frame
     }
+
+    /// Extracts the next complete binary frame, whatever the
+    /// fragmentation — the header and body reassemble across arbitrary
+    /// byte-boundary splits exactly like [`FrameBuffer::next_frame`]
+    /// reassembles JSON lines. `max_body` bounds the *declared* body
+    /// length, so a hostile length prefix is rejected before any body
+    /// bytes are awaited (let alone buffered).
+    pub fn next_binary_frame(&mut self, max_body: usize) -> BinaryFrameStatus {
+        let Some(pending) = self.buf.get(self.start..) else {
+            return BinaryFrameStatus::NeedMore;
+        };
+        let Some(&magic) = pending.first() else {
+            return BinaryFrameStatus::NeedMore;
+        };
+        if magic != FRAME_MAGIC {
+            return BinaryFrameStatus::Corrupt(format!(
+                "protocol error: bad frame magic 0x{magic:02x} (expected 0x{FRAME_MAGIC:02x}); \
+                 JSON lines are not valid on a binary connection"
+            ));
+        }
+        let Some(&kind) = pending.get(1) else {
+            return BinaryFrameStatus::NeedMore;
+        };
+        let tagged = match kind {
+            FRAME_KIND_BARE => false,
+            FRAME_KIND_TAGGED => true,
+            other => {
+                return BinaryFrameStatus::Corrupt(format!(
+                    "protocol error: unknown frame kind 0x{other:02x}"
+                ));
+            }
+        };
+        let Some(len_bytes) = pending.get(2..6) else {
+            return BinaryFrameStatus::NeedMore;
+        };
+        let Ok(len_arr) = <[u8; 4]>::try_from(len_bytes) else {
+            return BinaryFrameStatus::NeedMore;
+        };
+        let body_len = u32::from_le_bytes(len_arr) as usize;
+        if body_len > max_body {
+            return BinaryFrameStatus::Corrupt(format!(
+                "protocol error: declared frame body of {body_len} bytes exceeds the \
+                 {max_body}-byte frame bound"
+            ));
+        }
+        let header = if tagged { BINARY_FRAME_OVERHEAD } else { 6 };
+        let id = if tagged {
+            let Some(id_bytes) = pending.get(6..BINARY_FRAME_OVERHEAD) else {
+                return BinaryFrameStatus::NeedMore;
+            };
+            let Ok(id_arr) = <[u8; 8]>::try_from(id_bytes) else {
+                return BinaryFrameStatus::NeedMore;
+            };
+            Some(u64::from_le_bytes(id_arr))
+        } else {
+            None
+        };
+        let Some(body) = pending.get(header..header + body_len) else {
+            return BinaryFrameStatus::NeedMore;
+        };
+        let body = body.to_vec();
+        self.start += header + body_len;
+        BinaryFrameStatus::Frame(BinaryFrame { id, body })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary framing (protocol v3)
+// ---------------------------------------------------------------------------
+
+/// One decoded binary frame: the optional pipelining id from the header
+/// and the still-encoded message body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinaryFrame {
+    /// Tag id for pipelined frames; `None` for bare (v1-semantics) ones.
+    pub id: Option<u64>,
+    /// The codec-encoded message payload (see [`decode_body`]).
+    pub body: Vec<u8>,
+}
+
+/// Outcome of [`FrameBuffer::next_binary_frame`].
+#[derive(Debug)]
+pub enum BinaryFrameStatus {
+    /// The buffered bytes do not yet hold a complete frame.
+    NeedMore,
+    /// One complete frame, consumed from the buffer.
+    Frame(BinaryFrame),
+    /// The header violates the framing (bad magic, unknown kind, body
+    /// length beyond the bound); the stream cannot be resynced.
+    Corrupt(String),
+}
+
+// Value-codec tags. The codec is self-describing over the vendored
+// `serde::Value` data model — the same tree the JSON framing writes — so
+// every request/response type serializes without per-type wire code, and
+// a decoded v3 message is field-for-field identical to its JSON twin
+// (floats ride as raw IEEE-754 bits, exactly what the JSON shim's
+// shortest-roundtrip text reproduces).
+const TAG_NULL: u8 = 0x00;
+const TAG_FALSE: u8 = 0x01;
+const TAG_TRUE: u8 = 0x02;
+const TAG_INT: u8 = 0x03;
+const TAG_UINT: u8 = 0x04;
+const TAG_FLOAT: u8 = 0x05;
+const TAG_STRING: u8 = 0x06;
+const TAG_ARRAY: u8 = 0x07;
+const TAG_OBJECT: u8 = 0x08;
+
+fn encode_len(len: usize, out: &mut Vec<u8>) -> Result<(), ServeError> {
+    let n = u32::try_from(len)
+        .map_err(|_| ServeError::Protocol("binary codec: length exceeds u32".to_string()))?;
+    out.extend_from_slice(&n.to_le_bytes());
+    Ok(())
+}
+
+fn encode_value_into(v: &Value, out: &mut Vec<u8>, depth: usize) -> Result<(), ServeError> {
+    if depth > MAX_BINARY_DEPTH {
+        return Err(ServeError::Protocol(
+            "binary codec: nesting too deep".to_string(),
+        ));
+    }
+    match v {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(false) => out.push(TAG_FALSE),
+        Value::Bool(true) => out.push(TAG_TRUE),
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::UInt(u) => {
+            out.push(TAG_UINT);
+            out.extend_from_slice(&u.to_le_bytes());
+        }
+        Value::Float(f) => {
+            out.push(TAG_FLOAT);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::String(s) => {
+            out.push(TAG_STRING);
+            encode_len(s.len(), out)?;
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Array(items) => {
+            out.push(TAG_ARRAY);
+            encode_len(items.len(), out)?;
+            for item in items {
+                encode_value_into(item, out, depth + 1)?;
+            }
+        }
+        Value::Object(fields) => {
+            out.push(TAG_OBJECT);
+            encode_len(fields.len(), out)?;
+            for (k, val) in fields {
+                encode_len(k.len(), out)?;
+                out.extend_from_slice(k.as_bytes());
+                encode_value_into(val, out, depth + 1)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+struct BinReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BinReader<'a> {
+    fn err(&self, msg: &str) -> ServeError {
+        ServeError::Protocol(format!("binary codec error at byte {}: {msg}", self.pos))
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len().saturating_sub(self.pos)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ServeError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| self.err("length overflow"))?;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| self.err("truncated payload"))?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, ServeError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| self.err("truncated payload"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, ServeError> {
+        let bytes = self.take(4)?;
+        let arr = <[u8; 4]>::try_from(bytes).map_err(|_| self.err("truncated u32"))?;
+        Ok(u32::from_le_bytes(arr))
+    }
+
+    fn u64(&mut self) -> Result<u64, ServeError> {
+        let bytes = self.take(8)?;
+        let arr = <[u8; 8]>::try_from(bytes).map_err(|_| self.err("truncated u64"))?;
+        Ok(u64::from_le_bytes(arr))
+    }
+}
+
+fn decode_value_inner(r: &mut BinReader<'_>, depth: usize) -> Result<Value, ServeError> {
+    if depth > MAX_BINARY_DEPTH {
+        return Err(r.err("nesting too deep"));
+    }
+    match r.u8()? {
+        TAG_NULL => Ok(Value::Null),
+        TAG_FALSE => Ok(Value::Bool(false)),
+        TAG_TRUE => Ok(Value::Bool(true)),
+        TAG_INT => Ok(Value::Int(r.u64()? as i64)),
+        TAG_UINT => Ok(Value::UInt(r.u64()?)),
+        TAG_FLOAT => Ok(Value::Float(f64::from_bits(r.u64()?))),
+        TAG_STRING => {
+            let n = r.u32()? as usize;
+            let bytes = r.take(n)?;
+            let s = std::str::from_utf8(bytes).map_err(|_| r.err("string is not valid UTF-8"))?;
+            Ok(Value::String(s.to_string()))
+        }
+        TAG_ARRAY => {
+            let n = r.u32()? as usize;
+            // Every element costs at least its tag byte, so a count
+            // beyond the remaining payload is hostile — reject it before
+            // reserving a poisoned capacity.
+            if n > r.remaining() {
+                return Err(r.err("array count exceeds payload"));
+            }
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(decode_value_inner(r, depth + 1)?);
+            }
+            Ok(Value::Array(items))
+        }
+        TAG_OBJECT => {
+            let n = r.u32()? as usize;
+            // Every field costs at least a 4-byte key length plus a
+            // 1-byte value tag.
+            if n.saturating_mul(5) > r.remaining() {
+                return Err(r.err("field count exceeds payload"));
+            }
+            let mut fields = Vec::with_capacity(n);
+            for _ in 0..n {
+                let klen = r.u32()? as usize;
+                let kbytes = r.take(klen)?;
+                let key = std::str::from_utf8(kbytes)
+                    .map_err(|_| r.err("object key is not valid UTF-8"))?
+                    .to_string();
+                let value = decode_value_inner(r, depth + 1)?;
+                fields.push((key, value));
+            }
+            Ok(Value::Object(fields))
+        }
+        other => Err(r.err(&format!("unknown value tag 0x{other:02x}"))),
+    }
+}
+
+/// Decodes one codec payload into a [`Value`] tree, requiring the whole
+/// slice to be consumed.
+///
+/// # Errors
+///
+/// Returns an error describing the first framing/codec violation.
+pub fn decode_value(bytes: &[u8]) -> Result<Value, ServeError> {
+    let mut r = BinReader { bytes, pos: 0 };
+    let v = decode_value_inner(&mut r, 0)?;
+    if r.pos != bytes.len() {
+        return Err(r.err("trailing bytes after value"));
+    }
+    Ok(v)
+}
+
+/// Encodes a message as a binary-codec body (no frame header).
+///
+/// # Errors
+///
+/// Fails on a value the codec cannot represent (nesting beyond the
+/// depth guard, or a string/collection length beyond `u32`).
+pub fn encode_body<T: Serialize + ?Sized>(msg: &T) -> Result<Vec<u8>, ServeError> {
+    let mut out = Vec::with_capacity(64);
+    encode_value_into(&msg.serialize(), &mut out, 0)?;
+    Ok(out)
+}
+
+/// Decodes a binary-codec body into a typed message.
+///
+/// # Errors
+///
+/// Fails on codec violations or a shape mismatch.
+pub fn decode_body<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, ServeError> {
+    T::deserialize(&decode_value(bytes)?).map_err(|e| ServeError::Protocol(e.to_string()))
+}
+
+/// Wraps an encoded body in a binary frame header — the one copy a
+/// preserialized (cached) body pays on its way to the outbox.
+///
+/// # Errors
+///
+/// Fails when `body` is longer than a `u32` can declare.
+pub fn encode_binary_frame(id: Option<u64>, body: &[u8]) -> Result<Vec<u8>, ServeError> {
+    let len = u32::try_from(body.len())
+        .map_err(|_| ServeError::Protocol("frame body exceeds u32 length".to_string()))?;
+    let mut out = Vec::with_capacity(BINARY_FRAME_OVERHEAD + body.len());
+    out.push(FRAME_MAGIC);
+    match id {
+        Some(id) => {
+            out.push(FRAME_KIND_TAGGED);
+            out.extend_from_slice(&len.to_le_bytes());
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        None => {
+            out.push(FRAME_KIND_BARE);
+            out.extend_from_slice(&len.to_le_bytes());
+        }
+    }
+    out.extend_from_slice(body);
+    Ok(out)
+}
+
+/// Writes one message as a binary frame (tagged when `id` is given).
+///
+/// # Errors
+///
+/// Propagates codec and I/O failures.
+pub fn write_binary_message<T: Serialize + ?Sized>(
+    w: &mut impl Write,
+    id: Option<u64>,
+    msg: &T,
+) -> Result<(), ServeError> {
+    let body = encode_body(msg)?;
+    let frame = encode_binary_frame(id, &body)?;
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one binary frame from a blocking reader, surviving read
+/// timeouts: partially received frames stay in `frames` and the next
+/// call resumes them, mirroring [`read_line_resumable`] for the JSON
+/// framing. `Ok(None)` is a clean EOF on a frame boundary.
+///
+/// # Errors
+///
+/// Propagates I/O failures (timeouts included — buffered bytes stay
+/// valid) and framing violations, including EOF mid-frame (a binary
+/// frame, unlike a JSON line, has an explicit length — a torn tail is
+/// corruption, not a final request).
+pub fn read_binary_frame_resumable(
+    r: &mut impl std::io::Read,
+    frames: &mut FrameBuffer,
+    max_body: usize,
+) -> Result<Option<BinaryFrame>, ServeError> {
+    loop {
+        match frames.next_binary_frame(max_body) {
+            BinaryFrameStatus::Frame(frame) => return Ok(Some(frame)),
+            BinaryFrameStatus::Corrupt(message) => return Err(ServeError::Protocol(message)),
+            BinaryFrameStatus::NeedMore => {}
+        }
+        let mut chunk = [0u8; 16 * 1024];
+        match r.read(&mut chunk) {
+            Ok(0) => {
+                return if frames.buffered() == 0 {
+                    Ok(None)
+                } else {
+                    Err(ServeError::Protocol(
+                        "connection closed mid-frame".to_string(),
+                    ))
+                };
+            }
+            Ok(n) => {
+                if let Some(bytes) = chunk.get(..n) {
+                    frames.push(bytes);
+                }
+            }
+            Err(e) => return Err(ServeError::Io(e)),
+        }
+    }
+}
+
+/// Encodes an error response as a complete binary frame, for reply
+/// paths that must not themselves fail. A flat error object cannot trip
+/// the codec's depth or length guards; if it somehow did, the empty
+/// buffer tells the caller to write nothing rather than a torn frame.
+pub(crate) fn binary_error_frame(id: Option<u64>, message: &str) -> Vec<u8> {
+    let resp = Response::Error {
+        message: message.to_string(),
+    };
+    encode_body(&resp)
+        .and_then(|body| encode_binary_frame(id, &body))
+        .unwrap_or_default()
+}
+
+/// Decodes a binary frame's body as a request, preserving the header id
+/// as the v2-equivalent envelope.
+///
+/// # Errors
+///
+/// Fails on codec violations or an unknown request shape.
+pub fn parse_binary_request(frame: &BinaryFrame) -> Result<RequestFrame, ServeError> {
+    let req: Request = decode_body(&frame.body)?;
+    Ok(match frame.id {
+        Some(id) => RequestFrame::Tagged(TaggedRequest { id, req }),
+        None => RequestFrame::Untagged(req),
+    })
+}
+
+/// Decodes a binary frame's body as a response, preserving the header id.
+///
+/// # Errors
+///
+/// Fails on codec violations or an unknown response shape.
+pub fn parse_binary_response(frame: &BinaryFrame) -> Result<ResponseFrame, ServeError> {
+    let resp: Response = decode_body(&frame.body)?;
+    Ok(match frame.id {
+        Some(id) => ResponseFrame::Tagged(TaggedResponse { id, resp }),
+        None => ResponseFrame::Untagged(resp),
+    })
 }
 
 /// Like [`read_message`], but built on [`read_line_resumable`]: safe to
@@ -1509,5 +2008,270 @@ mod tests {
         assert!((resp.speedup() - 3.0).abs() < 1e-12);
         resp.best.best_cost_ms = 0.0;
         assert!(resp.speedup().is_infinite());
+    }
+
+    // -- binary framing (protocol v3) -----------------------------------
+
+    fn sample_value() -> Value {
+        Value::Object(vec![
+            ("null".to_string(), Value::Null),
+            ("no".to_string(), Value::Bool(false)),
+            ("yes".to_string(), Value::Bool(true)),
+            ("int".to_string(), Value::Int(-42)),
+            ("big".to_string(), Value::UInt(u64::MAX)),
+            ("float".to_string(), Value::Float(std::f64::consts::PI)),
+            ("negzero".to_string(), Value::Float(-0.0)),
+            (
+                "text".to_string(),
+                Value::String("héllo \"w\u{7}rld\"\n".to_string()),
+            ),
+            (
+                "arr".to_string(),
+                Value::Array(vec![
+                    Value::Int(1),
+                    Value::String(String::new()),
+                    Value::Array(vec![]),
+                    Value::Object(vec![]),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn binary_value_roundtrip_every_variant() {
+        let v = sample_value();
+        let mut out = Vec::new();
+        encode_value_into(&v, &mut out, 0).unwrap();
+        let back = decode_value(&out).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn binary_float_bits_survive() {
+        for bits in [
+            0u64,
+            (-0.0f64).to_bits(),
+            f64::INFINITY.to_bits(),
+            f64::NAN.to_bits(),
+            5e-324f64.to_bits(),
+            1e300f64.to_bits(),
+        ] {
+            let v = Value::Float(f64::from_bits(bits));
+            let mut out = Vec::new();
+            encode_value_into(&v, &mut out, 0).unwrap();
+            match decode_value(&out).unwrap() {
+                Value::Float(f) => assert_eq!(f.to_bits(), bits),
+                other => panic!("expected float, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn binary_depth_guard_rejects_both_ways() {
+        let mut deep = Value::Int(0);
+        for _ in 0..(MAX_BINARY_DEPTH + 10) {
+            deep = Value::Array(vec![deep]);
+        }
+        let mut out = Vec::new();
+        assert!(encode_value_into(&deep, &mut out, 0).is_err());
+        // Hand-build the same nesting on the wire so the decoder's own
+        // guard is exercised, not just the encoder's.
+        let mut wire = Vec::new();
+        for _ in 0..(MAX_BINARY_DEPTH + 10) {
+            wire.push(TAG_ARRAY);
+            wire.extend_from_slice(&1u32.to_le_bytes());
+        }
+        wire.push(TAG_NULL);
+        let err = decode_value(&wire).unwrap_err().to_string();
+        assert!(err.contains("deep"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn binary_decode_rejects_hostile_counts_and_tags() {
+        // Array claiming u32::MAX elements with a 1-byte payload.
+        let mut wire = vec![TAG_ARRAY];
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        wire.push(TAG_NULL);
+        assert!(decode_value(&wire).is_err());
+        // Object claiming a huge field count.
+        let mut wire = vec![TAG_OBJECT];
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_value(&wire).is_err());
+        // Unknown tag.
+        assert!(decode_value(&[0x77]).is_err());
+        // Truncated string.
+        let mut wire = vec![TAG_STRING];
+        wire.extend_from_slice(&10u32.to_le_bytes());
+        wire.extend_from_slice(b"abc");
+        assert!(decode_value(&wire).is_err());
+        // Invalid UTF-8 in a string.
+        let mut wire = vec![TAG_STRING];
+        wire.extend_from_slice(&2u32.to_le_bytes());
+        wire.extend_from_slice(&[0xff, 0xfe]);
+        assert!(decode_value(&wire).is_err());
+        // Trailing bytes after a complete value.
+        assert!(decode_value(&[TAG_NULL, TAG_NULL]).is_err());
+    }
+
+    #[test]
+    fn binary_request_roundtrips_match_json_decode() {
+        let reqs = vec![
+            Request::Ping {
+                version: PROTOCOL_VERSION,
+            },
+            Request::Stats,
+            Request::Plan(PlanRequest {
+                network: "lenet5".into(),
+                batch: 1,
+                mode: Mode::Cpu,
+                episodes: 120,
+                seeds: vec![7, 8],
+                objective: Objective::Latency,
+                transfer: TransferMode::Auto,
+                trace: false,
+                platform: String::new(),
+            }),
+        ];
+        for req in reqs {
+            // Bare frame.
+            let body = encode_body(&req).unwrap();
+            let frame = encode_binary_frame(None, &body).unwrap();
+            let mut fb = FrameBuffer::default();
+            fb.push(&frame);
+            let got = match fb.next_binary_frame(MAX_FRAME_BYTES) {
+                BinaryFrameStatus::Frame(f) => f,
+                other => panic!("expected frame, got {other:?}"),
+            };
+            assert_eq!(got.id, None);
+            match parse_binary_request(&got).unwrap() {
+                RequestFrame::Untagged(back) => {
+                    assert_eq!(
+                        serde_json::to_string(&back).unwrap(),
+                        serde_json::to_string(&req).unwrap()
+                    );
+                }
+                other => panic!("expected untagged, got {other:?}"),
+            }
+            // Tagged frame with the same body.
+            let frame = encode_binary_frame(Some(99), &body).unwrap();
+            let mut fb = FrameBuffer::default();
+            fb.push(&frame);
+            let got = match fb.next_binary_frame(MAX_FRAME_BYTES) {
+                BinaryFrameStatus::Frame(f) => f,
+                other => panic!("expected frame, got {other:?}"),
+            };
+            assert_eq!(got.id, Some(99));
+        }
+    }
+
+    #[test]
+    fn binary_frame_reassembles_from_any_split() {
+        let resp = Response::Error {
+            message: "split me".to_string(),
+        };
+        let body = encode_body(&resp).unwrap();
+        let frame = encode_binary_frame(Some(3), &body).unwrap();
+        for split in 0..=frame.len() {
+            let mut fb = FrameBuffer::default();
+            fb.push(&frame[..split]);
+            if split < frame.len() {
+                assert!(matches!(
+                    fb.next_binary_frame(MAX_FRAME_BYTES),
+                    BinaryFrameStatus::NeedMore
+                ));
+            }
+            fb.push(&frame[split..]);
+            let got = match fb.next_binary_frame(MAX_FRAME_BYTES) {
+                BinaryFrameStatus::Frame(f) => f,
+                other => panic!("split {split}: expected frame, got {other:?}"),
+            };
+            assert_eq!(got.id, Some(3));
+            match parse_binary_response(&got).unwrap() {
+                ResponseFrame::Tagged(t) => {
+                    assert_eq!(t.id, 3);
+                    assert!(matches!(t.resp, Response::Error { .. }));
+                }
+                other => panic!("expected tagged, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn binary_header_violations_are_corrupt() {
+        // JSON on a binary connection: '{' is not the magic.
+        let mut fb = FrameBuffer::default();
+        fb.push(b"{\"ping\":{\"version\":3}}\n");
+        assert!(matches!(
+            fb.next_binary_frame(MAX_FRAME_BYTES),
+            BinaryFrameStatus::Corrupt(_)
+        ));
+        // Unknown kind byte.
+        let mut fb = FrameBuffer::default();
+        fb.push(&[FRAME_MAGIC, 0x7f, 0, 0, 0, 0]);
+        assert!(matches!(
+            fb.next_binary_frame(MAX_FRAME_BYTES),
+            BinaryFrameStatus::Corrupt(_)
+        ));
+        // Declared body length beyond the bound — rejected from the
+        // 6-byte header alone, before any body arrives.
+        let mut fb = FrameBuffer::default();
+        let mut hdr = vec![FRAME_MAGIC, 0x00];
+        hdr.extend_from_slice(&(u32::MAX).to_le_bytes());
+        fb.push(&hdr);
+        match fb.next_binary_frame(MAX_FRAME_BYTES) {
+            BinaryFrameStatus::Corrupt(msg) => {
+                assert!(msg.contains("exceeds"), "message: {msg}");
+                assert!(msg.contains("frame bound"), "message: {msg}");
+            }
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_frames_interleave_with_json_on_separate_buffers() {
+        // Two adjacent connections, one per framing, sharing nothing:
+        // bytes split across pushes on both; each reassembles its own.
+        let req = Request::Stats;
+        let bin = encode_binary_frame(None, &encode_body(&req).unwrap()).unwrap();
+        let json = format!("{}\n", serde_json::to_string(&req).unwrap());
+        let mut fb_bin = FrameBuffer::default();
+        let mut fb_json = FrameBuffer::default();
+        for (b, j) in bin.iter().zip(json.bytes()) {
+            fb_bin.push(&[*b]);
+            fb_json.push(&[j]);
+        }
+        fb_json.push(&json.as_bytes()[bin.len().min(json.len())..]);
+        fb_bin.push(&bin[json.len().min(bin.len())..]);
+        assert!(matches!(
+            fb_bin.next_binary_frame(MAX_FRAME_BYTES),
+            BinaryFrameStatus::Frame(_)
+        ));
+        assert!(fb_json.next_frame().is_some());
+    }
+
+    #[test]
+    fn read_binary_frame_resumable_handles_eof() {
+        let resp = Response::Pong {
+            version: PROTOCOL_VERSION,
+        };
+        let frame = encode_binary_frame(None, &encode_body(&resp).unwrap()).unwrap();
+        // Clean EOF on a frame boundary.
+        let mut cursor = std::io::Cursor::new(frame.clone());
+        let mut fb = FrameBuffer::default();
+        let got = read_binary_frame_resumable(&mut cursor, &mut fb, MAX_FRAME_BYTES)
+            .unwrap()
+            .unwrap();
+        assert!(got.id.is_none());
+        assert!(
+            read_binary_frame_resumable(&mut cursor, &mut fb, MAX_FRAME_BYTES)
+                .unwrap()
+                .is_none()
+        );
+        // EOF mid-frame is a protocol error, not a silent drop.
+        let torn = &frame[..frame.len() - 1];
+        let mut cursor = std::io::Cursor::new(torn.to_vec());
+        let mut fb = FrameBuffer::default();
+        let err = read_binary_frame_resumable(&mut cursor, &mut fb, MAX_FRAME_BYTES).unwrap_err();
+        assert!(err.to_string().contains("mid-frame"), "error: {err}");
     }
 }

@@ -46,7 +46,9 @@ use qsdnn_obs::EventKind;
 use crate::metrics::{RequestSpan, Stage, TASK_KIND_DISPATCH_JOB};
 use crate::pool::{PoolRecorder, WorkerPool};
 use crate::protocol::{
-    parse_request_frame, write_message, FrameBuffer, RequestFrame, Response, TaggedResponse,
+    binary_error_frame, negotiates_binary, parse_binary_request, parse_request_frame,
+    write_message, BinaryFrame, BinaryFrameStatus, FrameBuffer, Request, RequestFrame, Response,
+    TaggedResponse, WireMode, BINARY_FRAME_OVERHEAD,
 };
 use crate::server::{ServiceState, ACCEPT_BACKOFF_MAX, ACCEPT_BACKOFF_MIN, POOL_ID_DISPATCH};
 use crate::ServeError;
@@ -101,6 +103,10 @@ mod sys {
 /// this bound exists exactly because the epoll layer is the
 /// thousands-of-untrusted-clients layer.
 pub(crate) const MAX_FRAME_BYTES: usize = 8 * 1024 * 1024;
+
+// The codec layer publishes the same bound for clients and the threaded
+// layer; the two must never drift apart.
+const _: () = assert!(MAX_FRAME_BYTES == crate::protocol::MAX_FRAME_BYTES);
 
 /// Outbox high-water mark: a connection whose peer refuses to read its
 /// replies stops being read once this many reply bytes queue, so its
@@ -305,6 +311,13 @@ struct Conn {
     closing: bool,
     /// Interest mask currently installed in the epoll set.
     registered: u32,
+    /// Wire framing currently active: every connection starts as JSON
+    /// lines; a bare v3 ping flips it to binary at pong delivery.
+    mode: WireMode,
+    /// A bare v3 ping was dispatched; its pong completion flips `mode`.
+    /// `v1_busy` already pauses parsing meanwhile, so no bytes the
+    /// client sends after its ping are misparsed under the old framing.
+    upgrade_pending: bool,
 }
 
 impl Conn {
@@ -320,6 +333,20 @@ impl Conn {
             read_closed: false,
             closing: false,
             registered,
+            mode: WireMode::Json,
+            upgrade_pending: false,
+        }
+    }
+
+    /// Read/parse cutoff for this connection's framing. A binary frame's
+    /// body is bounded at [`MAX_FRAME_BYTES`] like a JSON line, but the
+    /// frame additionally carries its fixed-size header — without the
+    /// slack, an exactly-at-the-bound body could never finish buffering
+    /// and the connection would wedge unreadable.
+    fn frame_bound(&self) -> usize {
+        match self.mode {
+            WireMode::Json => MAX_FRAME_BYTES,
+            WireMode::Binary => MAX_FRAME_BYTES + BINARY_FRAME_OVERHEAD,
         }
     }
 
@@ -635,7 +662,7 @@ impl Reactor {
                     // Bound the bytes taken per readiness round so one
                     // firehose connection cannot starve the loop; level
                     // triggering re-reports the rest next turn.
-                    if conn.frames.buffered() >= MAX_FRAME_BYTES {
+                    if conn.frames.buffered() >= conn.frame_bound() {
                         break;
                     }
                 }
@@ -674,6 +701,39 @@ impl Reactor {
                 || conn.outbox_bytes > MAX_OUTBOX_BYTES
             {
                 return;
+            }
+            if conn.mode == WireMode::Binary {
+                match conn.frames.next_binary_frame(MAX_FRAME_BYTES) {
+                    BinaryFrameStatus::Frame(frame) => {
+                        self.handle_binary_frame(token, frame);
+                        continue;
+                    }
+                    BinaryFrameStatus::Corrupt(message) => {
+                        // Header violation (bad magic/kind, or a declared
+                        // length beyond the bound — rejected from the
+                        // 6-byte header alone): one error frame, then
+                        // close. Without a trustworthy length prefix the
+                        // stream cannot resync.
+                        conn.queue_line(binary_error_frame(None, &message), None);
+                        conn.closing = true;
+                        self.flush(token);
+                        return;
+                    }
+                    BinaryFrameStatus::NeedMore => {
+                        if conn.read_closed && conn.frames.buffered() > 0 {
+                            // EOF mid-frame: explicit lengths make a torn
+                            // tail corruption, not a final request —
+                            // unlike the JSON layer's unterminated line.
+                            conn.queue_line(
+                                binary_error_frame(None, "connection closed mid-frame"),
+                                None,
+                            );
+                            conn.closing = true;
+                            self.flush(token);
+                        }
+                        return;
+                    }
+                }
             }
             let line = match conn.frames.next_frame() {
                 Some(line) => line,
@@ -740,6 +800,13 @@ impl Reactor {
                 // its reply stays in order — parsing pauses until the
                 // completion comes back.
                 conn.v1_busy = true;
+                // A *bare* in-range v3 ping negotiates the binary framing
+                // (the handler always answers it with a pong). The flip
+                // happens when that pong is delivered, so it goes out as
+                // this connection's last JSON line.
+                if matches!(&req, Request::Ping { version } if negotiates_binary(*version)) {
+                    conn.upgrade_pending = true;
+                }
                 let state = Arc::clone(&self.state);
                 let completions = Arc::clone(&self.completions);
                 let enqueued = Instant::now();
@@ -783,6 +850,69 @@ impl Reactor {
         }
     }
 
+    /// [`Reactor::handle_frame`] for a binary-mode connection. Same
+    /// v1/v2 dispatch contract; the dispatcher serializes through
+    /// [`ServiceState::render_binary_frame`], which rides the cached
+    /// wire body on eligible plan-cache hits. A body that fails to
+    /// decode answers under its header id (when tagged) and the
+    /// connection lives — the length prefix already resynced the stream.
+    fn handle_binary_frame(&mut self, token: u64, frame: BinaryFrame) {
+        let mut span = self.state.metrics.span("error");
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let parsed = span.time(Stage::Parse, || parse_binary_request(&frame));
+        match parsed {
+            Err(e) => {
+                let message = match e {
+                    ServeError::Protocol(message) => message,
+                    other => other.to_string(),
+                };
+                conn.queue_line(binary_error_frame(frame.id, &message), Some(span));
+            }
+            Ok(RequestFrame::Untagged(req)) => {
+                conn.v1_busy = true;
+                let state = Arc::clone(&self.state);
+                let completions = Arc::clone(&self.completions);
+                let enqueued = Instant::now();
+                self.dispatchers.execute(move || {
+                    span.record(Stage::Queue, enqueued.elapsed());
+                    let resp = state.dispatch_spanned(req, &mut span);
+                    let line =
+                        span.time(Stage::Serialize, || state.render_binary_frame(None, &resp));
+                    completions.push(Completion {
+                        token,
+                        untagged: true,
+                        line,
+                        span: Some(span),
+                    });
+                });
+            }
+            Ok(RequestFrame::Tagged(tagged)) => {
+                conn.in_flight += 1;
+                let depth = conn.in_flight;
+                self.state.note_in_flight(depth);
+                self.state.pipelined.fetch_add(1, Ordering::Relaxed);
+                let state = Arc::clone(&self.state);
+                let completions = Arc::clone(&self.completions);
+                let enqueued = Instant::now();
+                self.dispatchers.execute(move || {
+                    span.record(Stage::Queue, enqueued.elapsed());
+                    let resp = state.dispatch_spanned(tagged.req, &mut span);
+                    let line = span.time(Stage::Serialize, || {
+                        state.render_binary_frame(Some(tagged.id), &resp)
+                    });
+                    completions.push(Completion {
+                        token,
+                        untagged: false,
+                        line,
+                        span: Some(span),
+                    });
+                });
+            }
+        }
+    }
+
     fn deliver(&mut self, completion: Completion) {
         let Some(conn) = self.conns.get_mut(&completion.token) else {
             // The connection died while its request ran: the reply is
@@ -795,6 +925,14 @@ impl Reactor {
         };
         if completion.untagged {
             conn.v1_busy = false;
+            if conn.upgrade_pending {
+                // The queued line is the negotiation pong — the last
+                // JSON this connection sees. Parsing was paused the
+                // whole time (`v1_busy`), so every byte still buffered
+                // parses under the new framing, never the old.
+                conn.upgrade_pending = false;
+                conn.mode = WireMode::Binary;
+            }
         } else {
             conn.in_flight = conn.in_flight.saturating_sub(1);
         }
@@ -864,7 +1002,7 @@ impl Reactor {
             && !conn.v1_busy
             && conn.in_flight < cap
             && conn.outbox_bytes <= MAX_OUTBOX_BYTES
-            && conn.frames.buffered() < MAX_FRAME_BYTES;
+            && conn.frames.buffered() < conn.frame_bound();
         // EPOLLRDHUP rides with EPOLLIN, never alone: once the read side
         // is done (or paused), a half-closed socket would otherwise
         // re-report RDHUP on every single epoll_wait — a busy loop that

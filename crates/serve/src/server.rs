@@ -23,6 +23,7 @@
 //! jobs, so enough concurrent requests would occupy every worker with
 //! blocked parents and deadlock the pool (the classic nested-pool trap).
 
+use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -32,7 +33,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use qsdnn::engine::{
-    CostLut, Objective, PlatformRegistry, PlatformSpec, Profiler, ScenarioDescriptor,
+    CostLut, Fnv64, Objective, PlatformRegistry, PlatformSpec, Profiler, ScenarioDescriptor,
 };
 use qsdnn::nn::zoo;
 use qsdnn::{Portfolio, PortfolioOutcome, QTable, TransferMapping};
@@ -47,11 +48,13 @@ use crate::metrics::{
 use crate::pool::{PoolRecorder, WorkerPool};
 use crate::portfolio::{run_portfolio_parallel, run_portfolio_parallel_with, WarmStart};
 use crate::protocol::{
-    default_episodes, parse_request_frame, read_line_resumable, write_message, EventMsg,
-    EventsResponse, ExemplarMsg, MetricsResponse, PlanRequest, PlanResponse, PlatformInfo,
-    PlatformsResponse, PostmortemDump, ProfileRequest, ProfileResponse, Request, RequestFrame,
-    Response, SearchRequest, StageTiming, StatsResponse, TaggedResponse, TaskMsg, TasksResponse,
-    TransferMode, WarmStartInfo, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+    default_episodes, encode_binary_frame, encode_body, negotiates_binary, parse_binary_request,
+    parse_request_frame, read_binary_frame_resumable, read_line_resumable, write_message, EventMsg,
+    EventsResponse, ExemplarMsg, FrameBuffer, MetricsResponse, PlanRequest, PlanResponse,
+    PlatformInfo, PlatformsResponse, PostmortemDump, ProfileRequest, ProfileResponse, Request,
+    RequestFrame, Response, SearchRequest, StageTiming, StatsResponse, TaggedResponse, TaskMsg,
+    TasksResponse, TransferMode, WarmStartInfo, MAX_FRAME_BYTES, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
 };
 use crate::transfer::{ScenarioEntry, ScenarioIndex, DEFAULT_DONOR_CANDIDATES};
 use crate::ServeError;
@@ -325,7 +328,30 @@ pub(crate) struct ServiceState {
     /// outlives the server (each observes `shutting_down` within
     /// [`HANDLER_READ_TIMEOUT`]).
     handlers: Mutex<Vec<JoinHandle<()>>>,
+    /// Request-level memo for the zoo-plan hot path: a cheap fingerprint
+    /// of the request parameters → the derived plan key plus the response
+    /// scalars no cache entry carries. A repeat scenario skips the
+    /// per-request LUT clone, re-scalarization and full-LUT fingerprint
+    /// and goes straight to the plan-cache peek; a memo hit whose plan
+    /// was evicted falls back to the full path, which re-primes it.
+    hot_plans: Mutex<HashMap<u64, HotPlan>>,
 }
+
+/// What a hot-path plan hit needs beyond the cached [`PortfolioOutcome`].
+/// Every field is a pure function of the memo key's inputs (the profiled
+/// LUT is deterministic in the request parameters), so entries never go
+/// stale — only the plan cache's residency is checked per hit.
+#[derive(Clone)]
+struct HotPlan {
+    plan_key: String,
+    network: String,
+    vanilla_cost_ms: f64,
+}
+
+/// Bound on the hot-plan memo: at the cap the table is flushed wholesale
+/// (no LRU bookkeeping on the hot path) and re-learns the live working
+/// set in one round of full-path requests.
+const HOT_PLAN_MEMO_CAP: usize = 4096;
 
 impl ServiceState {
     pub(crate) fn new(config: ServerConfig) -> Result<Arc<ServiceState>, ServeError> {
@@ -421,6 +447,7 @@ impl ServiceState {
             accept_errors: AtomicU64::new(0),
             shutting_down: AtomicBool::new(false),
             handlers: Mutex::new(Vec::new()),
+            hot_plans: Mutex::new(HashMap::new()),
         }))
     }
 
@@ -482,7 +509,6 @@ impl ServiceState {
             req.repeats
         };
         let key = {
-            use qsdnn::engine::Fnv64;
             let mut h = Fnv64::new();
             h.write_str("qsdnn-profile-v1");
             h.write_str(&req.network);
@@ -575,6 +601,108 @@ impl ServiceState {
             warm_start,
             trace: None,
         }
+    }
+
+    /// A cheap, pure fingerprint of everything that determines a zoo plan
+    /// request's plan key and response scalars. The profiled LUT is a
+    /// deterministic function of (network, batch, mode, platform) — the
+    /// profile cache is content-addressed on exactly those — and the
+    /// portfolio of (episodes, seeds), so hashing the *inputs* is
+    /// equivalent to hashing the derived artifacts, without the full LUT
+    /// walk [`CostLut::fingerprint`] costs per request.
+    fn hot_plan_memo_key(
+        &self,
+        profile_req: &ProfileRequest,
+        objective: &Objective,
+        episodes: usize,
+        seeds: &[u64],
+        lut: &CostLut,
+    ) -> Option<u64> {
+        let (spec, engaged) = self.platform_for(&profile_req.platform).ok()?;
+        let mut h = Fnv64::new();
+        h.write_str("qsdnn-hot-plan-v1");
+        h.write_str(&profile_req.network);
+        h.write_usize(profile_req.batch);
+        h.write_str(profile_req.mode.label());
+        objective.fingerprint_into(&mut h);
+        h.write_usize(self.episodes_for(episodes, lut.len()));
+        let seeds = if seeds.is_empty() {
+            &self.config.default_seeds[..]
+        } else {
+            seeds
+        };
+        h.write_usize(seeds.len());
+        for &seed in seeds {
+            h.write_u64(seed);
+        }
+        if engaged {
+            h.write_str("platform");
+            h.write_str(&spec.name);
+            h.write_u64(spec.fingerprint());
+        }
+        Some(h.finish())
+    }
+
+    /// Answers a repeat zoo-plan scenario straight from the plan cache:
+    /// a memo lookup, a counted [`PlanCache::peek`] and the response
+    /// build — no LUT clone, no re-scalarization, no full-LUT hash.
+    /// Returns `None` when the scenario is new or its plan has been
+    /// evicted; the caller then takes the full path, whose successful
+    /// response re-primes the memo. The response is field-for-field what
+    /// the full path builds for the same cache hit, so the two paths are
+    /// indistinguishable on the wire.
+    fn hot_plan_hit(&self, memo_key: u64, span: &mut RequestSpan) -> Option<PlanResponse> {
+        let hot = {
+            let memo = self
+                .hot_plans
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            memo.get(&memo_key).cloned()
+        }?;
+        let cache_start = Instant::now();
+        self.task_stage(Stage::Cache);
+        let outcome = self.plans.peek(&hot.plan_key)?;
+        self.task_key_hex(&hot.plan_key);
+        self.plans_served.fetch_add(1, Ordering::Relaxed);
+        let response = PlanResponse {
+            network: hot.network,
+            plan_key: hot.plan_key,
+            cache_hit: true,
+            best: outcome.best.clone(),
+            winner: outcome.winner.clone(),
+            members: outcome.members.clone(),
+            vanilla_cost_ms: hot.vanilla_cost_ms,
+            warm_start: None,
+            trace: None,
+        };
+        if span.is_active() {
+            span.record(Stage::Cache, cache_start.elapsed());
+        }
+        Some(response)
+    }
+
+    /// Primes the hot-plan memo from a full-path response. Warm-started
+    /// responses never register: their plans live under warm keys whose
+    /// reuse is the scenario index's decision, not a memo shortcut's.
+    fn remember_hot_plan(&self, memo_key: u64, response: &PlanResponse) {
+        if response.warm_start.is_some() {
+            return;
+        }
+        let mut memo = self
+            .hot_plans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if memo.len() >= HOT_PLAN_MEMO_CAP {
+            memo.clear();
+        }
+        memo.insert(
+            memo_key,
+            HotPlan {
+                plan_key: response.plan_key.clone(),
+                network: response.network.clone(),
+                vanilla_cost_ms: response.vanilla_cost_ms,
+            },
+        );
     }
 
     /// The cold compute: `portfolio` on `shared` under `key`, single-flight
@@ -967,7 +1095,23 @@ impl ServiceState {
                 match span
                     .time(Stage::Profile, || self.profile(&profile_req))
                     .and_then(|lut| {
-                        self.run_search(
+                        // Transfer-off scenarios get the memoized fast
+                        // path; anything transfer-eligible keeps the full
+                        // path (the scenario index has registration side
+                        // effects a memo shortcut must not skip).
+                        let transfer_off = !(self.config.transfer == TransferMode::Auto
+                            && transfer == TransferMode::Auto);
+                        let memo_key = if transfer_off {
+                            self.hot_plan_memo_key(&profile_req, &objective, episodes, &seeds, &lut)
+                        } else {
+                            None
+                        };
+                        if let Some(key) = memo_key {
+                            if let Some(plan) = self.hot_plan_hit(key, span) {
+                                return Ok(plan);
+                            }
+                        }
+                        let plan = self.run_search(
                             (*lut).clone(),
                             objective,
                             episodes,
@@ -976,7 +1120,11 @@ impl ServiceState {
                             batch,
                             &platform,
                             span,
-                        )
+                        )?;
+                        if let Some(key) = memo_key {
+                            self.remember_hot_plan(key, &plan);
+                        }
+                        Ok(plan)
                     }) {
                     Ok(plan) => Response::Plan(plan),
                     Err(e) => Response::Error {
@@ -1101,6 +1249,49 @@ impl ServiceState {
             }
         }
         resp
+    }
+
+    /// Serializes `resp` into a binary-codec (protocol v3) body, riding
+    /// the plan cache's preserialized-body slot when the response is an
+    /// eligible cache hit: the first such hit pays one encode and
+    /// attaches the bytes to the entry; every later hit is a lookup plus
+    /// a memcpy into the frame — zero re-encoding.
+    ///
+    /// Eligibility is deliberately narrow: `cache_hit` with neither a
+    /// trace echo nor warm-start info, because those two fields are
+    /// per-request (span timings; donor distance from the *requester's*
+    /// descriptor) while everything else in a hit response is a pure
+    /// function of the plan key.
+    pub(crate) fn render_binary_body(&self, resp: &Response) -> Result<Arc<Vec<u8>>, ServeError> {
+        if let Response::Plan(plan) = resp {
+            if plan.cache_hit && plan.trace.is_none() && plan.warm_start.is_none() {
+                if let Some(body) = self.plans.wire_body(&plan.plan_key) {
+                    return Ok(body);
+                }
+                let body = Arc::new(encode_body(resp)?);
+                // Best-effort: if the entry was evicted between the hit
+                // and here, the attach is a no-op and the next residency
+                // rebuilds the body — never a stale one.
+                self.plans
+                    .attach_wire_body(&plan.plan_key, Arc::clone(&body));
+                return Ok(body);
+            }
+        }
+        Ok(Arc::new(encode_body(resp)?))
+    }
+
+    /// [`ServiceState::render_binary_body`] wrapped in a frame header,
+    /// ready for the socket. Infallible from the caller's view: a codec
+    /// failure (unreachable for well-formed responses — guarded depths
+    /// and `u32` lengths) degrades to an error frame naming it.
+    pub(crate) fn render_binary_frame(&self, id: Option<u64>, resp: &Response) -> Vec<u8> {
+        match self
+            .render_binary_body(resp)
+            .and_then(|body| encode_binary_frame(id, &body))
+        {
+            Ok(frame) => frame,
+            Err(e) => crate::protocol::binary_error_frame(id, &e.to_string()),
+        }
     }
 
     /// Publishes the stage this thread's task-table entry is in.
@@ -1775,6 +1966,27 @@ impl ConnShared {
         Ok(())
     }
 
+    /// Writes one already-encoded binary frame. The writer lock keeps
+    /// interleaved tagged frames from tearing, exactly as it keeps JSON
+    /// lines whole; an empty frame (the unreachable fallback of
+    /// [`crate::protocol::binary_error_frame`]) writes nothing.
+    fn write_frame(&self, frame: &[u8]) -> Result<(), ServeError> {
+        use std::io::Write;
+        if frame.is_empty() {
+            return Ok(());
+        }
+        let mut w = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // LINT-ALLOW(lock-discipline): as in `write` — the lock exists
+        // to serialize exactly these socket writes.
+        w.write_all(frame)?;
+        // LINT-ALLOW(lock-discipline): same serialized write.
+        w.flush()?;
+        Ok(())
+    }
+
     /// Blocks until every dispatched request has written its reply.
     fn drain(&self) {
         let mut n = self
@@ -1869,6 +2081,13 @@ fn read_loop(
             }
             Err(e) => return Err(e),
             Ok(RequestFrame::Untagged(req)) => {
+                // Only a *bare* ping negotiates the binary framing: a
+                // tagged ping is an ordinary pipelined request, and out
+                // of range versions still get the JSON mismatch error.
+                let upgrade = matches!(
+                    &req,
+                    Request::Ping { version } if negotiates_binary(*version)
+                );
                 // v1 contract: handled inline, so replies on this
                 // connection stay in request order and at most one
                 // untagged request runs at a time.
@@ -1878,6 +2097,12 @@ fn read_loop(
                     .map_err(|e| ServeError::Protocol(e.to_string()))?;
                 span.time(Stage::Write, || shared.write_rendered(&json))?;
                 state.metrics.observe(&span);
+                if upgrade && matches!(resp, Response::Pong { .. }) {
+                    // That pong was this connection's last JSON line:
+                    // both directions speak length-prefixed binary
+                    // frames from here on.
+                    return binary_read_loop(reader, shared, state);
+                }
             }
             Ok(RequestFrame::Tagged(tagged)) => {
                 // Backpressure: stop parsing while the connection is at
@@ -1955,6 +2180,137 @@ fn read_loop(
                             message: "server out of dispatcher threads".into(),
                         },
                     })?;
+                }
+            }
+        }
+    }
+}
+
+/// [`read_loop`] for a connection upgraded to protocol v3: the same
+/// shutdown polling, v1-inline / v2-spawned dispatch contract, and
+/// in-flight backpressure, over length-prefixed binary frames instead
+/// of JSON lines.
+///
+/// Error contract (mirrored by the epoll layer and pinned by the
+/// hostile-client suite): a body that fails to decode answers with an
+/// error frame — tagged when the header id survived — and the
+/// connection lives, because the length prefix already resynced the
+/// stream. A header violation (bad magic, unknown kind, body length
+/// beyond the bound) or a torn stream answers once and closes: there is
+/// no trustworthy prefix to resync from.
+fn binary_read_loop(
+    reader: &mut BufReader<TcpStream>,
+    shared: &Arc<ConnShared>,
+    state: &Arc<ServiceState>,
+) -> Result<(), ServeError> {
+    let cap = state.config.in_flight_cap();
+    let mut frames = FrameBuffer::default();
+    loop {
+        // SeqCst: pairs with the store in `PlanServer::stop`, exactly as
+        // in the JSON loop.
+        if state.shutting_down.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let frame = match read_binary_frame_resumable(reader, &mut frames, MAX_FRAME_BYTES) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return Ok(()), // clean EOF on a frame boundary
+            Err(ServeError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle timeout: a half-received frame stays buffered;
+                // loop around to re-check the shutdown flag.
+                continue;
+            }
+            Err(ServeError::Protocol(message)) => {
+                // Unsyncable stream (bad header or EOF mid-frame):
+                // best-effort error frame, then close.
+                let _ = shared.write_frame(&crate::protocol::binary_error_frame(None, &message));
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        let mut span = state.metrics.span("error");
+        match span.time(Stage::Parse, || parse_binary_request(&frame)) {
+            Err(ServeError::Protocol(message)) => {
+                // Malformed body: answer under the request's id if the
+                // header carried one, and keep the connection.
+                span.time(Stage::Write, || {
+                    shared.write_frame(&crate::protocol::binary_error_frame(frame.id, &message))
+                })?;
+                state.metrics.observe(&span);
+            }
+            Err(e) => return Err(e),
+            Ok(RequestFrame::Untagged(req)) => {
+                let resp = state.dispatch_spanned(req, &mut span);
+                let out = span.time(Stage::Serialize, || state.render_binary_frame(None, &resp));
+                span.time(Stage::Write, || shared.write_frame(&out))?;
+                state.metrics.observe(&span);
+            }
+            Ok(RequestFrame::Tagged(tagged)) => {
+                // Backpressure: identical permit scheme to the JSON loop.
+                let depth = {
+                    let mut n = shared
+                        .in_flight
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    while *n >= cap {
+                        n = match shared.done.wait(n) {
+                            Ok(guard) => guard,
+                            Err(poisoned) => poisoned.into_inner(),
+                        };
+                    }
+                    *n += 1;
+                    *n
+                };
+                state.note_in_flight(depth);
+                state.pipelined.fetch_add(1, Ordering::Relaxed);
+                let id = tagged.id;
+                let conn = Arc::clone(shared);
+                let dispatch_state = Arc::clone(state);
+                dispatch_state.metrics.dispatch_pool.queue_depth.inc();
+                let queued = Instant::now();
+                let mut span = span;
+                let spawned = std::thread::Builder::new()
+                    .name("qsdnn-dispatch".into())
+                    .spawn(move || {
+                        let metrics = &dispatch_state.metrics;
+                        metrics.dispatch_pool.queue_depth.dec();
+                        metrics.dispatch_pool.busy.inc();
+                        span.record(Stage::Queue, queued.elapsed());
+                        let resp = dispatch_state.dispatch_spanned(tagged.req, &mut span);
+                        let out = span.time(Stage::Serialize, || {
+                            dispatch_state.render_binary_frame(Some(id), &resp)
+                        });
+                        // A failed write means the client is gone; the
+                        // reader will observe that on its side.
+                        let _ = span.time(Stage::Write, || conn.write_frame(&out));
+                        metrics.observe(&span);
+                        metrics.dispatch_pool.busy.dec();
+                        let mut n = conn
+                            .in_flight
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        *n = n.saturating_sub(1);
+                        drop(n);
+                        conn.done.notify_all();
+                    });
+                if spawned.is_err() {
+                    state.metrics.dispatch_pool.queue_depth.dec();
+                    {
+                        let mut n = shared
+                            .in_flight
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        *n = n.saturating_sub(1);
+                    }
+                    shared.done.notify_all();
+                    shared.write_frame(&crate::protocol::binary_error_frame(
+                        Some(id),
+                        "server out of dispatcher threads",
+                    ))?;
                 }
             }
         }
@@ -2045,6 +2401,83 @@ mod tests {
             )
             .expect("full portfolio applies");
         assert!(ok.best.best_cost_ms.is_finite());
+    }
+
+    /// Satellite of the shim's `write_f64` divergence (non-finite →
+    /// `null`): every float the stats response carries must be finite in
+    /// every server state, or a typed client's decode breaks. The
+    /// historical hazard is `mean_donor_distance` with `warm_starts == 0`
+    /// (`0.0 / 0.0 == NaN`); this pins the zero-state answer and that the
+    /// rendered JSON round-trips through the typed decoder.
+    #[test]
+    fn stats_floats_are_finite_in_the_zero_state() {
+        let state = ServiceState::new(ServerConfig::default()).expect("state");
+        let resp = state.dispatch(Request::Stats);
+        let stats = match &resp {
+            Response::Stats(s) => s,
+            other => panic!("expected stats, got {other:?}"),
+        };
+        assert_eq!(stats.warm_starts, 0, "zero-state precondition");
+        assert!(
+            stats.mean_donor_distance.is_finite(),
+            "mean_donor_distance must never be NaN/inf (got {})",
+            stats.mean_donor_distance
+        );
+        // The shim would render a NaN as `null`, which the typed decoder
+        // rejects — so a successful round trip proves no field was
+        // non-finite.
+        let json = serde_json::to_string(&resp).expect("render");
+        assert!(!json.contains("null"), "no float degraded to null: {json}");
+        let back: Response = serde_json::from_str(&json).expect("typed round trip");
+        assert!(matches!(back, Response::Stats(_)));
+    }
+
+    /// The binary fast path serves bit-identical bytes across repeated
+    /// eligible hits and attaches the body to the cache entry once.
+    #[test]
+    fn render_binary_body_caches_eligible_hits() {
+        let state = ServiceState::new(ServerConfig::default()).expect("state");
+        let req = || {
+            Request::Plan(PlanRequest {
+                network: "tiny_cnn".into(),
+                batch: 1,
+                mode: Mode::Gpgpu,
+                objective: Objective::Latency,
+                episodes: 40,
+                seeds: vec![1],
+                transfer: TransferMode::Off,
+                trace: false,
+                platform: String::new(),
+            })
+        };
+        // Cold: not a cache hit, nothing attached.
+        let cold = state.dispatch(req());
+        let cold_key = match &cold {
+            Response::Plan(p) => {
+                assert!(!p.cache_hit);
+                p.plan_key.clone()
+            }
+            other => panic!("expected plan, got {other:?}"),
+        };
+        let _ = state.render_binary_body(&cold).expect("cold renders");
+        assert!(
+            state.plans.wire_body(&cold_key).is_none(),
+            "cold responses never attach a body"
+        );
+        // Hit: first render attaches, second serves the same allocation.
+        let hit = state.dispatch(req());
+        match &hit {
+            Response::Plan(p) => assert!(p.cache_hit),
+            other => panic!("expected plan, got {other:?}"),
+        }
+        let first = state.render_binary_body(&hit).expect("hit renders");
+        assert!(state.plans.wire_body(&cold_key).is_some(), "hit attaches");
+        let second = state.render_binary_body(&hit).expect("hit renders");
+        assert!(Arc::ptr_eq(&first, &second), "second hit is a cache fetch");
+        // The cached bytes decode to the same response a fresh encode
+        // would produce.
+        let fresh = crate::protocol::encode_body(&hit).expect("encode");
+        assert_eq!(*first, fresh, "cached body is bit-identical");
     }
 
     /// The panic firewall answers rather than unwinding: a handler panic

@@ -12,8 +12,9 @@ use rand::{Rng, SeedableRng};
 
 use qsdnn::engine::{Mode, Objective};
 use qsdnn_serve::protocol::{
-    parse_request_frame, write_message, FrameBuffer, PlanRequest, ProfileRequest, Request,
-    RequestFrame, TaggedRequest, TransferMode,
+    encode_binary_frame, encode_body, parse_binary_request, parse_request_frame, write_message,
+    BinaryFrameStatus, FrameBuffer, PlanRequest, ProfileRequest, Request, RequestFrame,
+    TaggedRequest, TransferMode, MAX_FRAME_BYTES,
 };
 
 /// Network names deliberately rich in multibyte UTF-8 (the vendored
@@ -91,6 +92,57 @@ fn random_stream(rng: &mut SmallRng) -> (Vec<RequestFrame>, Vec<u8>) {
     (frames, bytes)
 }
 
+/// A random v3 binary stream: bare and tagged frames over the
+/// length-prefixed framing (no keepalives — the binary framing has no
+/// blank-line concept; every byte belongs to a frame).
+fn random_binary_stream(rng: &mut SmallRng) -> (Vec<RequestFrame>, Vec<u8>) {
+    let mut frames = Vec::new();
+    let mut bytes = Vec::new();
+    for id in 0..rng.gen_range(1..8u64) {
+        let req = random_request(rng);
+        let frame = if rng.gen_bool(0.5) {
+            RequestFrame::Tagged(TaggedRequest { id, req })
+        } else {
+            RequestFrame::Untagged(req)
+        };
+        let (wire_id, req) = match &frame {
+            RequestFrame::Tagged(t) => (Some(t.id), &t.req),
+            RequestFrame::Untagged(r) => (None, r),
+        };
+        let body = encode_body(req).expect("encode body");
+        bytes.extend_from_slice(&encode_binary_frame(wire_id, &body).expect("encode frame"));
+        frames.push(frame);
+    }
+    (frames, bytes)
+}
+
+/// Random packet boundaries over `bytes`: duplicates and empty chunks
+/// included, so zero-length reads and byte-at-a-time delivery both occur.
+fn random_chunks<'a>(rng: &mut SmallRng, bytes: &'a [u8]) -> Vec<&'a [u8]> {
+    let mut cuts: Vec<usize> = (0..rng.gen_range(0..24))
+        .map(|_| rng.gen_range(0..bytes.len() + 1))
+        .collect();
+    cuts.push(0);
+    cuts.push(bytes.len());
+    cuts.sort_unstable();
+    cuts.windows(2)
+        .map(|pair| &bytes[pair[0]..pair[1]])
+        .collect()
+}
+
+/// Drains every complete binary frame currently buffered.
+fn drain_binary(fb: &mut FrameBuffer, got: &mut Vec<RequestFrame>) {
+    loop {
+        match fb.next_binary_frame(MAX_FRAME_BYTES) {
+            BinaryFrameStatus::Frame(frame) => {
+                got.push(parse_binary_request(&frame).expect("frames parse"));
+            }
+            BinaryFrameStatus::NeedMore => return,
+            BinaryFrameStatus::Corrupt(message) => panic!("valid stream read as: {message}"),
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -149,5 +201,61 @@ proptest! {
         let text = String::from_utf8(tail).expect("valid UTF-8");
         got.push(parse_request_frame(&text).expect("tail parses"));
         prop_assert_eq!(&got, &expected);
+    }
+
+    /// The v3 length-prefixed framing reassembles from arbitrary byte
+    /// boundaries — mid-magic, mid-length-prefix, mid-id, mid-body —
+    /// exactly like the JSON splitter does from mid-line cuts.
+    #[test]
+    fn fragmented_binary_streams_reassemble_identically(seed in 0u64..1_000_000) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xB3B3_0000);
+        let (expected, bytes) = random_binary_stream(&mut rng);
+
+        let mut fb = FrameBuffer::new();
+        let mut got = Vec::new();
+        for chunk in random_chunks(&mut rng, &bytes) {
+            fb.push(chunk);
+            drain_binary(&mut fb, &mut got);
+        }
+        prop_assert_eq!(&got, &expected, "seed {} mangled the binary stream", seed);
+        prop_assert_eq!(fb.buffered(), 0, "no bytes may linger after a complete stream");
+    }
+
+    /// Adjacent connections speaking different framings: one JSON, one
+    /// binary, their packets arriving interleaved in arbitrary order.
+    /// Each [`FrameBuffer`] is per-connection state — neither stream may
+    /// perturb the other, however their deliveries are woven together.
+    #[test]
+    fn binary_and_json_connections_interleave_without_crosstalk(seed in 0u64..1_000_000) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x0051_D3A1);
+        let (json_expected, json_bytes) = random_stream(&mut rng);
+        let (bin_expected, bin_bytes) = random_binary_stream(&mut rng);
+        let json_chunks = random_chunks(&mut rng, &json_bytes);
+        let bin_chunks = random_chunks(&mut rng, &bin_bytes);
+
+        let mut json_fb = FrameBuffer::new();
+        let mut bin_fb = FrameBuffer::new();
+        let mut json_got = Vec::new();
+        let mut bin_got = Vec::new();
+        let (mut ji, mut bi) = (0, 0);
+        while ji < json_chunks.len() || bi < bin_chunks.len() {
+            let take_json =
+                bi >= bin_chunks.len() || (ji < json_chunks.len() && rng.gen_bool(0.5));
+            if take_json {
+                json_fb.push(json_chunks[ji]);
+                ji += 1;
+                while let Some(frame) = json_fb.next_frame() {
+                    let text = String::from_utf8(frame).expect("valid UTF-8");
+                    json_got.push(parse_request_frame(&text).expect("frames parse"));
+                }
+            } else {
+                bin_fb.push(bin_chunks[bi]);
+                bi += 1;
+                drain_binary(&mut bin_fb, &mut bin_got);
+            }
+        }
+        prop_assert_eq!(&json_got, &json_expected, "JSON stream perturbed");
+        prop_assert_eq!(&bin_got, &bin_expected, "binary stream perturbed");
+        prop_assert_eq!(json_fb.buffered() + bin_fb.buffered(), 0);
     }
 }

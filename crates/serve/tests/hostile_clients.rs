@@ -18,7 +18,8 @@ use std::time::{Duration, Instant};
 
 use qsdnn::engine::{Mode, Objective};
 use qsdnn_serve::protocol::{
-    write_message, PlanRequest, ProfileRequest, Request, TaggedRequest, TransferMode,
+    encode_binary_frame, encode_body, write_message, PlanRequest, ProfileRequest, Request,
+    TaggedRequest, TransferMode, FRAME_MAGIC, MAX_FRAME_BYTES,
 };
 use qsdnn_serve::{IoModel, PlanClient, PlanServer, ServerConfig};
 
@@ -87,6 +88,15 @@ fn assert_server_responsive(addr: std::net::SocketAddr, episodes: usize) {
         .plan(plan_request(episodes))
         .expect("well-behaved client gets its plan");
     assert!(plan.best.best_cost_ms.is_finite());
+}
+
+/// Upgrades a raw connection to v3 binary framing: bare JSON ping,
+/// JSON pong back (the connection's last JSON line), binary from there.
+fn negotiate_binary(conn: &mut TcpStream, reader: &mut BufReader<TcpStream>) {
+    write_message(conn, &Request::Ping { version: 3 }).expect("v3 ping");
+    let mut pong = String::new();
+    reader.read_line(&mut pong).expect("pong line");
+    assert!(pong.contains("Pong"), "handshake failed: {pong}");
 }
 
 #[test]
@@ -378,5 +388,176 @@ fn an_oversized_frame_is_rejected_not_buffered_forever() {
     drop(flooder);
 
     assert_server_responsive(addr, 160);
+    server.shutdown();
+}
+
+/// A binary client whose length prefix never finishes arriving: three
+/// bytes of header, then silence, then a hard drop. The torn header must
+/// neither wedge the reactor nor stall peer connections.
+#[test]
+fn a_truncated_binary_length_prefix_does_not_wedge_the_server() {
+    let server = epoll_server();
+    let addr = server.local_addr();
+
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    negotiate_binary(&mut conn, &mut reader);
+    // Magic + kind + one byte of the four-byte length: a frame the
+    // server can never finish sizing.
+    conn.write_all(&[FRAME_MAGIC, 0x00, 0x10]).expect("stub");
+    conn.flush().expect("flush");
+
+    // Peers get full service while the truncated header sits buffered.
+    assert_server_responsive(addr, 210);
+
+    // Half-close: the server sees EOF with a partial frame buffered and
+    // must answer the mid-frame diagnostic before closing (explicit
+    // lengths make a torn tail corruption, not a completable request).
+    conn.shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut tail = Vec::new();
+    reader.read_to_end(&mut tail).expect("error then close");
+    assert!(
+        String::from_utf8_lossy(&tail).contains("mid-frame"),
+        "expected the mid-frame diagnostic, got {tail:?}"
+    );
+
+    assert_server_responsive(addr, 211);
+    server.shutdown();
+}
+
+/// A binary header declaring a body larger than the frame bound is a
+/// protocol violation answered with one error frame and a close — the
+/// server must not try to buffer what the header promises.
+#[test]
+fn a_binary_length_past_the_frame_bound_is_rejected_and_closed() {
+    let server = epoll_server();
+    let addr = server.local_addr();
+
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    negotiate_binary(&mut conn, &mut reader);
+    let oversize = (MAX_FRAME_BYTES as u32 + 1).to_le_bytes();
+    let mut header = vec![FRAME_MAGIC, 0x00];
+    header.extend_from_slice(&oversize);
+    conn.write_all(&header).expect("oversize header");
+    conn.flush().expect("flush");
+
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut tail = Vec::new();
+    reader.read_to_end(&mut tail).expect("error then close");
+    let reply = String::from_utf8_lossy(&tail);
+    assert!(
+        reply.contains("exceeds") && reply.contains("frame bound"),
+        "expected the frame-bound error, got {reply:?}"
+    );
+
+    assert_server_responsive(addr, 212);
+    server.shutdown();
+}
+
+/// Binary clients that vanish mid-frame — header promising a body that
+/// never arrives, then a hard drop — must leave the server healthy.
+#[test]
+fn binary_mid_frame_disconnects_leave_the_server_healthy() {
+    let server = epoll_server();
+    let addr = server.local_addr();
+
+    let body = encode_body(&Request::Stats).expect("encode");
+    let frame = encode_binary_frame(Some(7), &body).expect("frame");
+    for i in 0..12 {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+        negotiate_binary(&mut conn, &mut reader);
+        // Cut inside the header for some, inside the body for others.
+        let cut = 1 + (i * 5) % (frame.len() - 1);
+        conn.write_all(&frame[..cut]).expect("torn frame");
+        conn.flush().expect("flush");
+        drop(conn);
+    }
+
+    assert_server_responsive(addr, 213);
+    let mut client = PlanClient::connect(addr).expect("post-mortem client");
+    let stats = client.stats().expect("stats");
+    assert!(stats.requests >= 1);
+    server.shutdown();
+}
+
+/// JSON text on a *binary* connection: the first byte is not the frame
+/// magic, so the framing is unrecoverable — one error naming the magic,
+/// then close. Peer connections never notice.
+#[test]
+fn json_garbage_on_a_binary_connection_is_diagnosed_and_closed() {
+    let server = epoll_server();
+    let addr = server.local_addr();
+
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    negotiate_binary(&mut conn, &mut reader);
+    // A well-formed JSON request — on the wrong framing. One write, so
+    // the whole line lands before the server's error-and-close (a second
+    // segment arriving after the close would turn the FIN into an RST).
+    let mut line = Vec::new();
+    write_message(&mut line, &Request::Stats).expect("serialize");
+    conn.write_all(&line).expect("json on binary");
+    conn.flush().expect("flush");
+
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut tail = Vec::new();
+    reader.read_to_end(&mut tail).expect("error then close");
+    let reply = String::from_utf8_lossy(&tail);
+    assert!(
+        reply.contains("bad frame magic") && reply.contains("JSON"),
+        "expected the bad-magic diagnostic, got {reply:?}"
+    );
+
+    assert_server_responsive(addr, 214);
+    server.shutdown();
+}
+
+/// A binary frame on a *JSON* connection (no handshake): the magic byte
+/// is invalid UTF-8 in a JSON line, so the hostile line gets an error —
+/// and because JSON framing resynchronizes at the newline, the *same*
+/// connection stays usable afterwards, unlike the binary-side mirror.
+#[test]
+fn binary_garbage_on_a_json_connection_gets_an_error_and_survives() {
+    let server = epoll_server();
+    let addr = server.local_addr();
+
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    let body = encode_body(&Request::Stats).expect("encode");
+    let mut garbage = encode_binary_frame(None, &body).expect("frame");
+    garbage.push(b'\n'); // terminate the "line" so the JSON layer answers
+    conn.write_all(&garbage).expect("binary on json");
+    conn.flush().expect("flush");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("error reply");
+    assert!(reply.contains("Error"), "garbage must be answered: {reply}");
+
+    // The connection resynchronized: real JSON still works on it. The
+    // frame's length prefix happens to contain a 0x0A byte, so the JSON
+    // splitter may see the garbage as *several* lines — each gets its
+    // own error reply before the pong arrives.
+    write_message(&mut conn, &Request::Ping { version: 2 }).expect("ping");
+    let mut got_pong = false;
+    for _ in 0..8 {
+        reply.clear();
+        reader.read_line(&mut reply).expect("reply line");
+        if reply.contains("Pong") {
+            got_pong = true;
+            break;
+        }
+        assert!(reply.contains("Error"), "unexpected reply: {reply}");
+    }
+    assert!(got_pong, "connection must still serve real requests");
+
+    assert_server_responsive(addr, 215);
     server.shutdown();
 }

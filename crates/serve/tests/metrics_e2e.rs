@@ -485,3 +485,60 @@ fn slow_requests_land_in_the_log_with_a_stage_breakdown() {
 
     server.shutdown();
 }
+
+/// A scraper whose request head dribbles in across multiple packets —
+/// with a stall longer than any single read tick — must still get the
+/// full exposition. The listener historically treated the first read
+/// timeout as end-of-head, so a mid-head pause truncated the request
+/// line and turned `GET /metrics` into a 404 for `GET /met`. The head
+/// read now resumes across stalls up to an overall deadline; a scraper
+/// that never finishes its head inside that deadline is answered 408
+/// instead of holding the single-threaded listener forever.
+#[test]
+fn dribbling_scraper_still_gets_a_complete_exposition() {
+    let server = PlanServer::start(ServerConfig {
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        ..config()
+    })
+    .expect("start server");
+    let scrape_addr = server.metrics_addr().expect("exposition bound");
+
+    // Dribble: request line split mid-path, with the stall sized to
+    // outlast the per-read tick many times over (and the pre-fix 2s
+    // single-shot timeout) while staying inside the head deadline.
+    let mut conn = TcpStream::connect(scrape_addr).expect("scrape connect");
+    conn.write_all(b"GET /met").expect("first chunk");
+    conn.flush().expect("flush first chunk");
+    std::thread::sleep(Duration::from_millis(2300));
+    conn.write_all(b"rics HTTP/1.1\r\nHost: qsdnn\r\nConnection: close\r\n\r\n")
+        .expect("second chunk");
+    conn.flush().expect("flush second chunk");
+    let mut response = String::new();
+    conn.read_to_string(&mut response).expect("scrape response");
+    assert!(
+        response.starts_with("HTTP/1.1 200 OK\r\n"),
+        "dribbled head was not reassembled: {response}"
+    );
+    assert!(
+        response.contains("qsdnn_build_info"),
+        "dribbled scrape missing exposition body: {response}"
+    );
+
+    // A scraper that stalls forever mid-head is bounded by the deadline
+    // and told why, rather than silently misparsed or held open.
+    let mut stalled = TcpStream::connect(scrape_addr).expect("stalled connect");
+    stalled
+        .write_all(b"GET /metrics HTTP/1.1\r\n")
+        .expect("partial head");
+    stalled.flush().expect("flush partial head");
+    let mut response = String::new();
+    stalled
+        .read_to_string(&mut response)
+        .expect("stalled response");
+    assert!(
+        response.starts_with("HTTP/1.1 408 "),
+        "stalled head should time out with 408: {response}"
+    );
+
+    server.shutdown();
+}

@@ -300,7 +300,10 @@ fn client_framing_survives_a_mid_response_timeout() {
         std::thread::sleep(Duration::from_millis(400));
     });
 
-    let mut client = PlanClient::connect(addr).expect("handshake");
+    // Pinned to the v2 handshake: this test exercises JSON-line
+    // resumability against a fake JSON server (its binary twin follows).
+    let mut client = PlanClient::connect_with_version(addr, 2).expect("handshake");
+    assert!(!client.is_binary());
     let ticket = client.submit(Request::Stats).expect("submit");
     // Let the first half of the reply arrive, then read with a timeout
     // shorter than the server's mid-line pause.
@@ -321,6 +324,86 @@ fn client_framing_survives_a_mid_response_timeout() {
     }
     // Retrying the same ticket resumes the half-read line instead of
     // parsing its severed tail as a fresh message.
+    client
+        .set_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let resp = client.wait(ticket).expect("resumed read completes");
+    assert_eq!(
+        resp,
+        Response::Error {
+            message: marker.to_string()
+        }
+    );
+    fake_server.join().expect("fake server");
+}
+
+/// The binary twin of the mid-response-timeout test: a v3 frame split in
+/// two around a pause longer than the client's read timeout must resume
+/// from the buffered half, never desync.
+#[test]
+fn client_binary_framing_survives_a_mid_frame_timeout() {
+    use qsdnn_serve::protocol::{
+        encode_binary_frame, encode_body, read_binary_frame_resumable, FrameBuffer, MAX_FRAME_BYTES,
+    };
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake server");
+    let addr = listener.local_addr().expect("addr");
+    let marker = "resumable-binary-framing-marker";
+
+    let fake_server = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("accept");
+        let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+        // JSON handshake; accepting the v3 ping upgrades both directions.
+        let ping: Request = read_message(&mut reader).expect("ping").expect("open");
+        assert!(matches!(ping, Request::Ping { version: 3 }));
+        write_message(
+            &mut stream,
+            &Response::Pong {
+                version: PROTOCOL_VERSION,
+            },
+        )
+        .expect("pong");
+        // One tagged *binary* request, answered in two halves with a
+        // pause that outlives the client's read timeout.
+        let mut frames = FrameBuffer::new();
+        let frame = read_binary_frame_resumable(&mut reader, &mut frames, MAX_FRAME_BYTES)
+            .expect("tagged request")
+            .expect("open");
+        assert_eq!(frame.id, Some(0), "expected the first tagged frame");
+        let body = encode_body(&Response::Error {
+            message: marker.to_string(),
+        })
+        .expect("encode");
+        let reply = encode_binary_frame(Some(0), &body).expect("frame");
+        let mid = reply.len() / 2;
+        stream.write_all(&reply[..mid]).expect("first half");
+        stream.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(400));
+        stream.write_all(&reply[mid..]).expect("second half");
+        stream.flush().expect("flush");
+        // Keep the socket open until the client is done reading.
+        std::thread::sleep(Duration::from_millis(400));
+    });
+
+    let mut client = PlanClient::connect(addr).expect("handshake");
+    assert!(client.is_binary(), "v3 handshake negotiates binary");
+    let ticket = client.submit(Request::Stats).expect("submit");
+    std::thread::sleep(Duration::from_millis(150));
+    client
+        .set_timeout(Some(Duration::from_millis(100)))
+        .expect("timeout");
+    let err = client.wait(ticket).expect_err("must time out mid-frame");
+    match err {
+        qsdnn_serve::ServeError::Io(e) => assert!(
+            matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            "unexpected I/O error {e:?}"
+        ),
+        other => panic!("expected a timeout, got {other}"),
+    }
+    // Retrying the same ticket resumes the half-read frame instead of
+    // parsing its severed tail as a fresh frame header.
     client
         .set_timeout(Some(Duration::from_secs(5)))
         .expect("timeout");

@@ -15,7 +15,12 @@ pub use serde::Error;
 /// Result alias matching `serde_json::Result`.
 pub type Result<T> = std::result::Result<T, Error>;
 
-/// Maximum nesting depth accepted by the parser.
+/// Maximum nesting depth accepted by the parser — and, symmetrically,
+/// emitted by the writer. The writer enforcing the same bound means
+/// `to_string` can never produce output that `from_str` would reject for
+/// depth: before the guard, a 129-deep `Value` serialized fine into JSON
+/// this very module could not read back (and unbounded recursion risked
+/// a stack overflow on hostile trees).
 const MAX_DEPTH: usize = 128;
 
 // ---------------------------------------------------------------------------
@@ -57,7 +62,17 @@ fn write_f64(f: f64, out: &mut String) {
     }
 }
 
-fn write_value(v: &Value, out: &mut String) {
+fn depth_error() -> Error {
+    Error::custom(format!(
+        "JSON serialize error: nesting deeper than {MAX_DEPTH} levels; \
+         the parser would reject the output"
+    ))
+}
+
+fn write_value(v: &Value, out: &mut String, depth: usize) -> Result<()> {
+    if depth > MAX_DEPTH {
+        return Err(depth_error());
+    }
     match v {
         Value::Null => out.push_str("null"),
         Value::Bool(true) => out.push_str("true"),
@@ -72,7 +87,7 @@ fn write_value(v: &Value, out: &mut String) {
                 if i > 0 {
                     out.push(',');
                 }
-                write_value(item, out);
+                write_value(item, out, depth + 1)?;
             }
             out.push(']');
         }
@@ -84,14 +99,18 @@ fn write_value(v: &Value, out: &mut String) {
                 }
                 write_escaped(k, out);
                 out.push(':');
-                write_value(val, out);
+                write_value(val, out, depth + 1)?;
             }
             out.push('}');
         }
     }
+    Ok(())
 }
 
-fn write_value_pretty(v: &Value, indent: usize, out: &mut String) {
+fn write_value_pretty(v: &Value, indent: usize, out: &mut String) -> Result<()> {
+    if indent > MAX_DEPTH {
+        return Err(depth_error());
+    }
     let pad = "  ".repeat(indent);
     let pad_inner = "  ".repeat(indent + 1);
     match v {
@@ -102,7 +121,7 @@ fn write_value_pretty(v: &Value, indent: usize, out: &mut String) {
                     out.push_str(",\n");
                 }
                 out.push_str(&pad_inner);
-                write_value_pretty(item, indent + 1, out);
+                write_value_pretty(item, indent + 1, out)?;
             }
             out.push('\n');
             out.push_str(&pad);
@@ -117,25 +136,26 @@ fn write_value_pretty(v: &Value, indent: usize, out: &mut String) {
                 out.push_str(&pad_inner);
                 write_escaped(k, out);
                 out.push_str(": ");
-                write_value_pretty(val, indent + 1, out);
+                write_value_pretty(val, indent + 1, out)?;
             }
             out.push('\n');
             out.push_str(&pad);
             out.push('}');
         }
-        other => write_value(other, out),
+        other => write_value(other, out, indent)?,
     }
+    Ok(())
 }
 
 /// Serializes a value to compact JSON.
 ///
 /// # Errors
 ///
-/// Infallible for the supported data model; kept fallible to match the real
-/// `serde_json` signature.
+/// Fails only if the value nests deeper than the parser's `MAX_DEPTH`
+/// guard — output that `from_str` could never accept back.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
     let mut out = String::new();
-    write_value(&value.serialize(), &mut out);
+    write_value(&value.serialize(), &mut out, 0)?;
     Ok(out)
 }
 
@@ -143,10 +163,10 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
 ///
 /// # Errors
 ///
-/// Infallible for the supported data model (see [`to_string`]).
+/// Fails only on over-deep nesting (see [`to_string`]).
 pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
     let mut out = String::new();
-    write_value_pretty(&value.serialize(), 0, &mut out);
+    write_value_pretty(&value.serialize(), 0, &mut out)?;
     Ok(out)
 }
 
@@ -154,7 +174,7 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
 ///
 /// # Errors
 ///
-/// Infallible for the supported data model (see [`to_string`]).
+/// Fails only on over-deep nesting (see [`to_string`]).
 pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
     to_string(value).map(String::into_bytes)
 }
@@ -504,6 +524,48 @@ mod tests {
         assert_eq!(from_str::<String>("\"\\u00e9\"").unwrap(), "é");
         assert_eq!(from_str::<String>("\"\\ud83d\\ude00\"").unwrap(), "😀");
         assert_eq!(from_str::<String>("\"héllo\"").unwrap(), "héllo");
+    }
+
+    /// Documented divergence from bit-exact round-tripping: non-finite
+    /// floats have no JSON representation, so the writer (like the real
+    /// `serde_json`) emits `null` — and the value comes back as
+    /// `Value::Null`, not a float. Callers that must round-trip floats
+    /// exactly (the plan cache's content-addressing, the serve stats
+    /// wire messages) are responsible for never producing NaN/inf;
+    /// the serve crate pins that on its side.
+    #[test]
+    fn nonfinite_floats_collapse_to_null() {
+        for f in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let json = to_string(&f).unwrap();
+            assert_eq!(json, "null", "{f}");
+            assert_eq!(parse(&json).unwrap(), Value::Null);
+        }
+        // -0.0 IS finite and must survive with its sign bit.
+        let json = to_string(&-0.0f64).unwrap();
+        assert_eq!(json, "-0.0");
+        let back: f64 = from_str(&json).unwrap();
+        assert_eq!(back.to_bits(), (-0.0f64).to_bits());
+    }
+
+    /// The writer refuses nesting the parser would refuse to read back:
+    /// the deepest tree that parses also serializes, and one level past
+    /// the bound fails in *both* directions instead of producing
+    /// write-only JSON.
+    #[test]
+    fn writer_depth_guard_matches_parser() {
+        let deepest = (0..128).fold(Value::Null, |v, _| Value::Array(vec![v]));
+        let json = to_string(&deepest).unwrap();
+        assert_eq!(parse(&json).unwrap(), deepest);
+        assert!(to_string_pretty(&deepest).is_ok());
+
+        let too_deep = Value::Array(vec![deepest]);
+        assert!(to_string(&too_deep).is_err(), "compact writer depth guard");
+        assert!(
+            to_string_pretty(&too_deep).is_err(),
+            "pretty writer depth guard"
+        );
+        let unreadable = "[".repeat(129) + "null" + &"]".repeat(129);
+        assert!(parse(&unreadable).is_err(), "parser agrees at 129");
     }
 
     #[test]

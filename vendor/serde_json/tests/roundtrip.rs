@@ -1,0 +1,260 @@
+//! `Value → to_string → from_str` round-trip property tests for the
+//! vendored JSON shim, plus deterministic regressions for the corners
+//! the serve wire protocol leans on: `u64` payloads above `i64::MAX`,
+//! control-character escapes, nesting at the `MAX_DEPTH` boundary,
+//! surrogate-pair (and lone-surrogate) `\u` escapes, and `-0.0`.
+//!
+//! Two canonicalization rules are inherent to the JSON data model and
+//! are applied before comparing, never silently assumed elsewhere:
+//! a `UInt` that fits `i64` re-parses as `Int` (the textual form is
+//! identical), and non-finite floats have no JSON form at all — the
+//! writer emits `null` (the generator below only produces finite
+//! floats; the divergence has its own unit test in the crate).
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+use serde::Value;
+use serde_json::{from_str, parse, to_string, to_string_pretty};
+
+/// Characters deliberately hostile to naive escaping: every escape
+/// shorthand, raw control characters, DEL, multibyte BMP text, astral
+/// (surrogate-pair territory) characters, and noncharacter code points.
+const CHAR_POOL: &[char] = &[
+    'a',
+    'Z',
+    '7',
+    ' ',
+    '"',
+    '\\',
+    '/',
+    '\n',
+    '\r',
+    '\t',
+    '\u{08}',
+    '\u{0C}',
+    '\u{00}',
+    '\u{01}',
+    '\u{1f}',
+    '\u{7f}',
+    'é',
+    'ß',
+    'あ',
+    '\u{e000}',
+    '\u{fffd}',
+    '\u{ffff}',
+    '😀',
+    '\u{10ffff}',
+];
+
+fn random_string(rng: &mut SmallRng) -> String {
+    let len = rng.gen_range(0..12usize);
+    (0..len)
+        .map(|_| CHAR_POOL[rng.gen_range(0..CHAR_POOL.len())])
+        .collect()
+}
+
+/// A random finite float biased toward awkward bit patterns: denormals,
+/// negative zero, huge magnitudes, and garden-variety fractions.
+fn random_finite_f64(rng: &mut SmallRng) -> f64 {
+    loop {
+        let f = match rng.gen_range(0..4u32) {
+            0 => f64::from_bits(rng.next_u64()),
+            1 => -0.0,
+            2 => f64::from_bits(rng.gen_range(1..1024u64)), // denormals
+            _ => rng.gen_range(-1.0e6..1.0e6),
+        };
+        if f.is_finite() {
+            return f;
+        }
+    }
+}
+
+fn random_value(rng: &mut SmallRng, depth: usize) -> Value {
+    // Leaf probability rises with depth so trees stay bounded.
+    if depth >= 5 || rng.gen_bool(0.55) {
+        match rng.gen_range(0..6u32) {
+            0 => Value::Null,
+            1 => Value::Bool(rng.gen_bool(0.5)),
+            2 => Value::Int(rng.gen_range(i64::MIN..i64::MAX)),
+            3 => Value::UInt(rng.next_u64()),
+            4 => Value::Float(random_finite_f64(rng)),
+            _ => Value::String(random_string(rng)),
+        }
+    } else if rng.gen_bool(0.5) {
+        let n = rng.gen_range(0..5usize);
+        Value::Array((0..n).map(|_| random_value(rng, depth + 1)).collect())
+    } else {
+        let n = rng.gen_range(0..5usize);
+        Value::Object(
+            (0..n)
+                .map(|_| (random_string(rng), random_value(rng, depth + 1)))
+                .collect(),
+        )
+    }
+}
+
+/// What parsing must hand back for a given written value: `UInt`s that
+/// fit `i64` become `Int` (their decimal text is indistinguishable).
+fn canonicalize(v: Value) -> Value {
+    match v {
+        Value::UInt(u) => i64::try_from(u).map(Value::Int).unwrap_or(Value::UInt(u)),
+        Value::Array(items) => Value::Array(items.into_iter().map(canonicalize).collect()),
+        Value::Object(fields) => Value::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k, canonicalize(v)))
+                .collect(),
+        ),
+        other => other,
+    }
+}
+
+/// Structural equality with floats compared by bit pattern, so `-0.0`
+/// vs `0.0` (equal under `PartialEq`) cannot mask a lost sign bit.
+fn bits_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+        (Value::Array(xs), Value::Array(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| bits_eq(x, y))
+        }
+        (Value::Object(xs), Value::Object(ys)) => {
+            xs.len() == ys.len()
+                && xs
+                    .iter()
+                    .zip(ys)
+                    .all(|((ka, va), (kb, vb))| ka == kb && bits_eq(va, vb))
+        }
+        _ => a == b,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any generated tree survives `to_string` → `parse` up to the two
+    /// documented canonicalization rules, bit-for-bit on floats.
+    #[test]
+    fn value_roundtrips_through_compact_text(seed in 0u64..u64::MAX) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let value = random_value(&mut rng, 0);
+        let json = to_string(&value).expect("bounded tree serializes");
+        let back = parse(&json).unwrap_or_else(|e| panic!("reparse of {json}: {e:?}"));
+        let expected = canonicalize(value);
+        prop_assert!(bits_eq(&expected, &back), "{json}");
+    }
+
+    /// The pretty writer emits the same tree, just with whitespace.
+    #[test]
+    fn value_roundtrips_through_pretty_text(seed in 0u64..u64::MAX) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5DEECE66D);
+        let value = random_value(&mut rng, 0);
+        let pretty = to_string_pretty(&value).expect("bounded tree serializes");
+        let back = parse(&pretty).unwrap_or_else(|e| panic!("reparse of {pretty}: {e:?}"));
+        prop_assert!(bits_eq(&canonicalize(value), &back), "{pretty}");
+    }
+
+    /// Every finite `f64` bit pattern round-trips exactly.
+    #[test]
+    fn finite_floats_roundtrip_bit_exact(bits in 0u64..u64::MAX) {
+        let f = f64::from_bits(bits);
+        if f.is_finite() {
+            let json = to_string(&f).expect("scalar serializes");
+            let back: f64 = from_str(&json).expect("float reparses");
+            prop_assert_eq!(f.to_bits(), back.to_bits(), "{}", json);
+        }
+    }
+
+    /// Strings drawn from the hostile pool — control characters,
+    /// quotes, backslashes, astral chars — survive escaping exactly.
+    #[test]
+    fn hostile_strings_roundtrip(seed in 0u64..u64::MAX) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9E3779B9);
+        let s = random_string(&mut rng);
+        let json = to_string(s.as_str()).expect("string serializes");
+        let back: String = from_str(&json).expect("string reparses");
+        prop_assert_eq!(&s, &back, "{}", json);
+    }
+}
+
+#[test]
+fn u64_above_i64_max_survives_as_uint() {
+    for u in [i64::MAX as u64 + 1, u64::MAX, u64::MAX - 1] {
+        let json = to_string(&Value::UInt(u)).expect("uint serializes");
+        assert_eq!(json, u.to_string());
+        assert_eq!(parse(&json).expect("uint reparses"), Value::UInt(u));
+        let typed: u64 = from_str(&json).expect("typed u64 reparses");
+        assert_eq!(typed, u);
+    }
+    // At or below i64::MAX the decimal text is owned by Int.
+    let json = to_string(&Value::UInt(i64::MAX as u64)).expect("uint serializes");
+    assert_eq!(parse(&json).expect("reparses"), Value::Int(i64::MAX));
+}
+
+#[test]
+fn every_control_character_escapes_and_returns() {
+    for b in 0u8..0x20 {
+        let s = format!("x{}y", b as char);
+        let json = to_string(s.as_str()).expect("string serializes");
+        // The escaped form itself must contain no raw control bytes.
+        assert!(
+            json.bytes().all(|b| b >= 0x20),
+            "raw control byte in {json:?}"
+        );
+        let back: String = from_str(&json).expect("string reparses");
+        assert_eq!(s, back, "control char 0x{b:02x} via {json:?}");
+    }
+}
+
+#[test]
+fn surrogate_pair_escapes_decode_and_lone_halves_are_rejected() {
+    // A surrogate pair decodes to one astral character…
+    assert_eq!(from_str::<String>("\"\\ud83d\\ude00\"").unwrap(), "😀");
+    // …which the writer then re-emits as raw UTF-8, still reparseable.
+    let json = to_string("😀").expect("astral serializes");
+    assert_eq!(from_str::<String>(&json).unwrap(), "😀");
+    // Lone halves, reversed pairs, and truncated pairs are all errors —
+    // accepting them would smuggle unpaired surrogates into a String.
+    for bad in [
+        "\"\\ud800\"",
+        "\"\\udc00\"",
+        "\"\\ud800x\"",
+        "\"\\ud800\\u0041\"",
+        "\"\\ude00\\ud83d\"",
+        "\"\\ud8\"",
+    ] {
+        assert!(parse(bad).is_err(), "accepted {bad}");
+    }
+}
+
+#[test]
+fn depth_boundary_nesting_roundtrips_and_overflow_fails_closed() {
+    // Exactly at MAX_DEPTH: a mixed array/object chain 128 levels deep
+    // serializes and reparses identically.
+    let mut v = Value::String("bottom".to_string());
+    for i in 0..128 {
+        v = if i % 2 == 0 {
+            Value::Array(vec![v])
+        } else {
+            Value::Object(vec![("k".to_string(), v)])
+        };
+    }
+    let json = to_string(&v).expect("128-deep serializes");
+    assert_eq!(parse(&json).expect("128-deep reparses"), v);
+    // One deeper fails on write — never emitting JSON the parser would
+    // then reject (the old writer happily produced such orphans).
+    let over = Value::Array(vec![v]);
+    assert!(to_string(&over).is_err());
+}
+
+#[test]
+fn negative_zero_keeps_its_sign_bit_in_nested_positions() {
+    let v = Value::Object(vec![
+        ("a".to_string(), Value::Float(-0.0)),
+        ("b".to_string(), Value::Array(vec![Value::Float(0.0)])),
+    ]);
+    let json = to_string(&v).expect("serializes");
+    assert_eq!(json, "{\"a\":-0.0,\"b\":[0.0]}");
+    let back = parse(&json).expect("reparses");
+    assert!(bits_eq(&v, &back), "sign bit lost in {json}");
+}
